@@ -1,0 +1,74 @@
+(* efgame_cli — decide ≡_k for the FC Ehrenfeucht-Fraïssé game.
+
+   Examples:
+     efgame_cli aaa aaaa --rounds 1
+     efgame_cli aa aaa --rounds 2 --explain
+     efgame_cli --scan 2 --max 14            (minimal unary pair search)
+     efgame_cli --classes 1 --max 8          (≡_k classes of a^0..a^max) *)
+
+open Cmdliner
+
+let pp_word ppf w = Words.Word.pp ppf w
+
+let run words rounds explain budget scan classes max_n =
+  match (scan, classes) with
+  | Some k, _ ->
+      (match Efgame.Witness.minimal_pair ~budget ~k ~max_n () with
+      | Efgame.Witness.Found (p, q) ->
+          Format.printf "minimal pair for ≡_%d: a^%d ≡ a^%d@." k p q
+      | Efgame.Witness.Exhausted n ->
+          Format.printf "no pair with q ≤ %d (exhaustive)@." n
+      | Efgame.Witness.Inconclusive (n, unknowns) ->
+          Format.printf "inconclusive up to %d (budget ran out on %d pairs)@." n
+            (List.length unknowns));
+      exit 0
+  | None, Some k ->
+      (match Efgame.Witness.classes ~budget ~k ~max_n () with
+      | None -> Format.printf "budget exhausted@."
+      | Some cls ->
+          Format.printf "≡_%d classes of {a^0..a^%d}:@." k max_n;
+          List.iter
+            (fun members ->
+              Format.printf "  {%s}@." (String.concat ", " (List.map string_of_int members)))
+            cls);
+      exit 0
+  | None, None -> (
+      match words with
+      | [ w; v ] ->
+          let cfg = Efgame.Game.make w v in
+          let verdict, stats = Efgame.Game.decide_with_stats ~budget cfg rounds in
+          Format.printf "%a %a_%d %a  (%d nodes, %d memo entries)@." pp_word w
+            Efgame.Game.pp_verdict verdict rounds pp_word v stats.Efgame.Game.nodes
+            stats.Efgame.Game.memo_entries;
+          if explain && verdict = Efgame.Game.Not_equiv then begin
+            match Efgame.Game.winning_line ~budget cfg rounds with
+            | None -> Format.printf "no line extracted (budget)@."
+            | Some line ->
+                Format.printf "Spoiler's winning line:@.";
+                List.iter
+                  (fun ((m : Efgame.Game.move), r) ->
+                    Format.printf "  %a → %s@." Efgame.Game.pp_move m
+                      (match r with
+                      | Some s -> Format.asprintf "%a" pp_word s
+                      | None -> "(no reply preserves the partial isomorphism)"))
+                  line
+          end;
+          exit (match verdict with Efgame.Game.Unknown -> 3 | _ -> 0)
+      | _ ->
+          Format.eprintf "expected exactly two words (or --scan / --classes)@.";
+          exit 2)
+
+let words_arg = Arg.(value & pos_all string [] & info [] ~docv:"WORD" ~doc:"The two words.")
+let rounds_arg = Arg.(value & opt int 1 & info [ "k"; "rounds" ] ~docv:"K" ~doc:"Number of rounds.")
+let explain_arg = Arg.(value & flag & info [ "explain" ] ~doc:"Show a winning Spoiler line when inequivalent.")
+let budget_arg = Arg.(value & opt int 50_000_000 & info [ "budget" ] ~docv:"N" ~doc:"Search node budget.")
+let scan_arg = Arg.(value & opt (some int) None & info [ "scan" ] ~docv:"K" ~doc:"Search the minimal unary ≡_K pair.")
+let classes_arg = Arg.(value & opt (some int) None & info [ "classes" ] ~docv:"K" ~doc:"Compute unary ≡_K classes.")
+let max_arg = Arg.(value & opt int 14 & info [ "max" ] ~docv:"N" ~doc:"Bound for --scan/--classes.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "efgame_cli" ~doc:"Decide w ≡_k v with the exhaustive EF-game solver")
+    Term.(const run $ words_arg $ rounds_arg $ explain_arg $ budget_arg $ scan_arg $ classes_arg $ max_arg)
+
+let () = exit (Cmd.eval cmd)

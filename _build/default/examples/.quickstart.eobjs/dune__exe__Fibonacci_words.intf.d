@@ -1,0 +1,1 @@
+examples/fibonacci_words.mli:

@@ -1,0 +1,1 @@
+examples/inexpressibility_tour.ml: Core Efgame Format List Spanner String Words

@@ -1,0 +1,1 @@
+examples/misspellings.ml: Format List Spanner String

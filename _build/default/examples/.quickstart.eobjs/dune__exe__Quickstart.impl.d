@@ -1,0 +1,1 @@
+examples/quickstart.ml: Core Efgame Fc Format List String

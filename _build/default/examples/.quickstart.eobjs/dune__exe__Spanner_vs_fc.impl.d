@@ -1,0 +1,1 @@
+examples/spanner_vs_fc.ml: Fc Format List Spanner String

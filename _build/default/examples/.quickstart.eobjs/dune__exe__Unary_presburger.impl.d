@@ -1,0 +1,1 @@
+examples/unary_presburger.ml: Efgame Fc Format List Semilinear String

@@ -1,0 +1,1 @@
+examples/unary_presburger.mli:

@@ -1,0 +1,61 @@
+(* Section 3's unary landscape, end to end: Presburger predicates,
+   semi-linear sets, FC sentences, and EF games all see the same sets of
+   numbers — and powers of two escape all of them.
+
+   Run with: dune exec examples/unary_presburger.exe *)
+
+let unary n = String.make n 'a'
+
+let () =
+  (* A Presburger predicate and its exact semi-linear normal form. *)
+  let f =
+    Semilinear.Presburger.And
+      (Semilinear.Presburger.Geq 3, Semilinear.Presburger.Mod (0, 2))
+  in
+  let s = Semilinear.Presburger.to_semilinear f in
+  Format.printf "Presburger  %a@." Semilinear.Presburger.pp f;
+  Format.printf "semi-linear %a@." Semilinear.Set.pp s;
+  Format.printf "members ≤ 20: %s@.@."
+    (String.concat ", " (List.map string_of_int (Semilinear.Set.to_list_upto 20 s)));
+
+  (* The same set as an FC sentence: even numbers ≥ 4 = (aa)(aa)+ — via the
+     corrected word-star builder and a length offset. *)
+  let fc_even_ge4 =
+    Fc.Builders.whole_word_exists
+      (Fc.Formula.Exists
+         ( "_t",
+           Fc.Formula.And
+             ( Fc.Formula.eq_concat (Fc.Term.Var "_w")
+                 [ Fc.Term.Const 'a'; Fc.Term.Const 'a'; Fc.Term.Var "_t" ],
+               Fc.Builders.word_star "aa" "_t" ) ))
+      "_w"
+  in
+  Format.printf "FC sentence for { a^n : n even, n ≥ 2 } + offset check:@.";
+  for n = 0 to 10 do
+    let fc = Fc.Eval.language_member ~sigma:[ 'a' ] fc_even_ge4 (unary n) in
+    let pres = Semilinear.Presburger.sat (Semilinear.Presburger.And (Semilinear.Presburger.Geq 2, Semilinear.Presburger.Mod (0, 2))) n in
+    Format.printf "  n = %-2d fc = %-5b presburger(n≥2 ∧ n≡0 mod 2) = %-5b %s@." n fc pres
+      (if fc = pres then "" else "  <-- DISAGREE")
+  done;
+
+  (* EF games: the ≡_k classes of a^0 … a^16 — the finite index that makes
+     Lemma 3.4's witness pairs inevitable. *)
+  Format.printf "@.≡_k classes of a^0 .. a^16:@.";
+  List.iter
+    (fun k ->
+      match Efgame.Witness.classes ~k ~max_n:16 () with
+      | Some classes ->
+          Format.printf "  k = %d: %d classes: %s@." k (List.length classes)
+            (String.concat " "
+               (List.map
+                  (fun members ->
+                    "{" ^ String.concat "," (List.map string_of_int members) ^ "}")
+                  classes))
+      | None -> Format.printf "  k = %d: budget exhausted@." k)
+    [ 0; 1; 2 ];
+
+  (* And the escape hatch: powers of two are not semi-linear, hence not FC. *)
+  Format.printf "@.{2^n} refutes ultimate periodicity up to 200: %b@."
+    (Semilinear.Set.refutes_ultimate_periodicity
+       (Semilinear.Unary.powers_of_two ~bound:0)
+       ~bound:200)

@@ -1,0 +1,1 @@
+lib/core/closure.ml: Langs List Regex_engine String Words

@@ -1,0 +1,1 @@
+lib/core/closure.mli: Langs Regex_engine

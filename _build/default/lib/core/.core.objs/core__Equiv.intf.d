@@ -1,0 +1,1 @@
+lib/core/equiv.mli: Efgame

@@ -1,0 +1,1 @@
+lib/core/fooling.ml: Efgame String Words

@@ -1,0 +1,1 @@
+lib/core/fooling.mli: Efgame

@@ -1,0 +1,1 @@
+lib/core/langs.ml: Efgame List Semilinear String Words

@@ -1,0 +1,1 @@
+lib/core/primitive_power.ml: Efgame Format String Words

@@ -1,0 +1,1 @@
+lib/core/primitive_power.mli: Efgame Format

@@ -1,0 +1,1 @@
+lib/core/pseudo_congruence.ml: Efgame List String Words

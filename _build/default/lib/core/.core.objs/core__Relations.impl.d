@@ -1,0 +1,1 @@
+lib/core/relations.ml: Fun Langs List Spanner String Words

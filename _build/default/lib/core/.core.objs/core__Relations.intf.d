@@ -1,0 +1,1 @@
+lib/core/relations.mli: Langs Spanner

@@ -1,0 +1,41 @@
+type argument = {
+  description : string;
+  language : string -> bool;
+  window : Regex_engine.Regex.t;
+  target : Langs.t;
+}
+
+let check arg ~max_len =
+  let words = Words.Word.enumerate ~alphabet:arg.target.Langs.sigma ~max_len in
+  let agree =
+    List.for_all
+      (fun w ->
+        let in_intersection = arg.language w && Regex_engine.Regex.matches arg.window w in
+        in_intersection = arg.target.Langs.member w)
+      words
+  in
+  (agree, List.length words)
+
+let count_balanced w = Words.Word.count_letter 'a' w = Words.Word.count_letter 'b' w
+
+let balanced_ab =
+  {
+    description = "{ w : |w|_a = |w|_b } ∩ a*b* = { a^n b^n }";
+    language = count_balanced;
+    window = Regex_engine.Regex.parse_exn "a*b*";
+    target = Langs.anbn;
+  }
+
+let scattered_prefix =
+  {
+    description =
+      "{ w : the maximal a-prefix is non-empty and a scattered subword of the rest } ∩ a a*(ba)* = L2";
+    language =
+      (fun w ->
+        let n = String.length w in
+        let rec go i = if i < n && w.[i] = 'a' then go (i + 1) else i in
+        let i = go 0 in
+        i >= 1 && Words.Subword.is_scattered_subword (String.sub w 0 i) (String.sub w i (n - i)));
+    window = Regex_engine.Regex.parse_exn "aa*(ba)*";
+    target = Langs.l2;
+  }

@@ -1,0 +1,26 @@
+(** The conclusion's closure argument, executable.
+
+    FC[REG] is closed under intersection with regular languages, so
+    L ∈ L(FC[REG]) implies L ∩ R ∈ L(FC[REG]) for regular R. When L ∩ R is
+    one of the bounded languages already shown non-FC (Lemma 4.14 + Lemma
+    5.3), L itself cannot be FC[REG]-definable — even though L may not be
+    bounded. The paper's example: {w : |w|_a = |w|_b} ∩ a*b* = {aⁿbⁿ}. *)
+
+type argument = {
+  description : string;
+  language : string -> bool;  (** the non-bounded language L *)
+  window : Regex_engine.Regex.t;  (** the regular R *)
+  target : Langs.t;  (** the known non-FC language L ∩ R should equal *)
+}
+
+val check : argument -> max_len:int -> bool * int
+(** Verifies L ∩ R = target on Σ^{≤max_len} (over the target's alphabet);
+    returns the verdict and the number of words checked. *)
+
+val balanced_ab : argument
+(** {w : |w|_a = |w|_b} with window a*b* and target aⁿbⁿ — the conclusion's
+    worked example. *)
+
+val scattered_prefix : argument
+(** {w : the maximal a-prefix is non-empty and scattered in the rest} with
+    window a·a*·(ba)* targeting L₂ — a second, Scatt-flavoured instance. *)

@@ -1,0 +1,17 @@
+let decide ?sigma ?budget w v k = Efgame.Game.equiv ?sigma ?budget w v k
+
+let known_unary_pair = function
+  | 0 -> Some (1, 2)
+  | 1 -> Some (3, 4)
+  | 2 -> Some (12, 14)
+  | _ -> None
+
+let unary_pair_for ~rounds =
+  let rec go k = if k > 2 then None else match known_unary_pair k with
+    | Some p when k >= rounds -> Some p
+    | _ -> go (k + 1)
+  in
+  go (max rounds 0)
+
+let distinguishing_line ?sigma ?budget w v k =
+  Efgame.Game.winning_line ?budget (Efgame.Game.make ?sigma w v) k

@@ -1,0 +1,23 @@
+(** Front door for ≡_k decisions and the known unary witness pairs.
+
+    The minimal pairs below were discovered by exhaustive solver scans
+    ({!Efgame.Witness.minimal_pair}) and are re-verified by the test suite;
+    they seed every experiment that needs an "a^p ≡_k a^q with p ≠ q". *)
+
+val decide : ?sigma:char list -> ?budget:int -> string -> string -> int -> Efgame.Game.verdict
+(** Full-search solver verdict on w ≡_k v. *)
+
+val known_unary_pair : int -> (int * int) option
+(** [known_unary_pair k]: a verified minimal pair p < q with a^p ≡_k a^q,
+    for the k where one is known (k ≤ 2; monotonicity gives the same pairs
+    for smaller k). [None] beyond the solver frontier — Lemma 3.4
+    guarantees pairs exist for every k, but non-constructively. *)
+
+val unary_pair_for : rounds:int -> (int * int) option
+(** A pair usable as an ≡_rounds premise (the known pair for the smallest
+    covered k ≥ rounds). *)
+
+val distinguishing_line :
+  ?sigma:char list -> ?budget:int -> string -> string -> int ->
+  (Efgame.Game.move * string option) list option
+(** Spoiler's winning line when w ≢_k v (see {!Efgame.Game.winning_line}). *)

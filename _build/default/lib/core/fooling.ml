@@ -1,0 +1,59 @@
+type instance = {
+  w1 : string;
+  u : string;
+  w2 : string;
+  v : string;
+  w3 : string;
+  f : int -> int;
+  f_name : string;
+}
+
+let make ?(w1 = "") ?(w2 = "") ?(w3 = "") ~u ~v ~f ~f_name () =
+  if not (Words.Conjugacy.are_co_primitive u v) then
+    invalid_arg "Fooling.make: u and v must be co-primitive";
+  { w1; u; w2; v; w3; f; f_name }
+
+let l5_instance = make ~u:"abaabb" ~v:"bbaaba" ~f:(fun n -> n) ~f_name:"id" ()
+
+let word_at inst p =
+  inst.w1 ^ Words.Word.repeat inst.u p ^ inst.w2
+  ^ Words.Word.repeat inst.v (inst.f p)
+  ^ inst.w3
+
+let member inst ~max_p w =
+  let rec go p =
+    p <= max_p
+    &&
+    let candidate = word_at inst p in
+    (String.length candidate <= String.length w && candidate = w) || go (p + 1)
+  in
+  go 0
+
+type fooling_pair = {
+  s : int;
+  t : int;
+  inside : string;
+  fooled : string;
+  k : int;
+  verdict : Efgame.Game.verdict;
+}
+
+let fool ?budget inst ~k ~p ~q =
+  if p = q then invalid_arg "Fooling.fool: p and q must differ";
+  let inside = word_at inst p in
+  let fooled =
+    inst.w1 ^ Words.Word.repeat inst.u q ^ inst.w2
+    ^ Words.Word.repeat inst.v (inst.f p)
+    ^ inst.w3
+  in
+  {
+    s = q;
+    t = inst.f p;
+    inside;
+    fooled;
+    k;
+    verdict = Efgame.Game.equiv ?budget inside fooled k;
+  }
+
+let common_factor_bound inst ~max_exp =
+  Words.Conjugacy.coprimitive_max_common_factor inst.u inst.v ~max_exp

@@ -1,0 +1,48 @@
+(** The Fooling Lemma pipeline (Lemma 4.12 / Proposition 4.13).
+
+    An instance fixes w₁, w₂, w₃ ∈ Σ*, co-primitive u, v ∈ Σ⁺ and an
+    injective f : ℕ → ℕ; the target language is
+    L = { w₁ · uᵖ · w₂ · v^f(p) · w₃ | p ∈ ℕ }. The lemma produces s, t
+    with f(s) ≠ t such that w₁ uˢ w₂ vᵗ w₃ is accepted by any FC sentence
+    accepting all of L — so L ∉ L(FC). *)
+
+type instance = {
+  w1 : string;
+  u : string;
+  w2 : string;
+  v : string;
+  w3 : string;
+  f : int -> int;
+  f_name : string;
+}
+
+val make :
+  ?w1:string -> ?w2:string -> ?w3:string -> u:string -> v:string ->
+  f:(int -> int) -> f_name:string -> unit -> instance
+(** Raises [Invalid_argument] unless u and v are co-primitive. *)
+
+val l5_instance : instance
+(** u = abaabb, v = bbaaba, f = id, wᵢ = ε: Proposition 4.13's L₅. *)
+
+val word_at : instance -> int -> string
+(** w₁ · uᵖ · w₂ · v^f(p) · w₃. *)
+
+val member : instance -> max_p:int -> string -> bool
+(** Membership in L, with p searched up to [max_p]. *)
+
+type fooling_pair = {
+  s : int;
+  t : int;  (** with f(s) ≠ t *)
+  inside : string;  (** w₁ u^p w₂ v^f(p) w₃ ∈ L *)
+  fooled : string;  (** w₁ u^q w₂ v^f(p) w₃ ∉ L *)
+  k : int;
+  verdict : Efgame.Game.verdict;
+}
+
+val fool : ?budget:int -> instance -> k:int -> p:int -> q:int -> fooling_pair
+(** Instantiate the lemma's construction with a unary pair p ≠ q: the
+    fooled word is w₁ u^q w₂ v^f(p) w₃ (so s = q, t = f(p) ≠ f(q)); the
+    verdict is the solver's on inside ≡_k fooled. *)
+
+val common_factor_bound : instance -> max_exp:int -> int option
+(** The r of Lemma 4.10 (3) for (u, v), discovered up to [max_exp]. *)

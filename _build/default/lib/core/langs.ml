@@ -1,0 +1,191 @@
+type t = {
+  name : string;
+  sigma : char list;
+  member : string -> bool;
+  nth : int -> string;
+}
+
+let rep = Words.Word.repeat
+let unary c n = String.make n c
+
+(* Parse w = prefix-block decompositions deterministically. *)
+let split_block w pred =
+  (* longest prefix satisfying pred letter-wise *)
+  let n = String.length w in
+  let rec go i = if i < n && pred w.[i] then go (i + 1) else i in
+  let i = go 0 in
+  (String.sub w 0 i, String.sub w i (n - i))
+
+let l1 =
+  {
+    name = "L1 = { a^n (ba)^n }";
+    sigma = [ 'a'; 'b' ];
+    member =
+      (fun w ->
+        let a_part, rest = split_block w (fun c -> c = 'a') in
+        (* the a-block absorbs the first letter of (ba)^n only if n = 0 *)
+        let n_a = String.length a_part in
+        match Words.Word.power_of ~base:"ba" rest with
+        | Some m -> n_a = m
+        | None -> false);
+    nth = (fun n -> unary 'a' n ^ rep "ba" n);
+  }
+
+let l2 =
+  {
+    name = "L2 = { a^i (ba)^j | 1 <= i <= j }";
+    sigma = [ 'a'; 'b' ];
+    member =
+      (fun w ->
+        let a_part, rest = split_block w (fun c -> c = 'a') in
+        let i = String.length a_part in
+        match Words.Word.power_of ~base:"ba" rest with
+        | Some j -> 1 <= i && i <= j
+        | None -> false);
+    nth = (fun n -> unary 'a' (n + 1) ^ rep "ba" (n + 1));
+  }
+
+let l3 =
+  {
+    name = "L3 = { b^n a^m b^(n+m) }";
+    sigma = [ 'a'; 'b' ];
+    member =
+      (fun w ->
+        if String.for_all (fun c -> c = 'b') w then
+          (* m = 0: the b-run splits as b^n . b^n *)
+          String.length w mod 2 = 0
+        else
+          let b1, rest = split_block w (fun c -> c = 'b') in
+          let a_mid, b2 = split_block rest (fun c -> c = 'a') in
+          a_mid <> ""
+          && String.for_all (fun c -> c = 'b') b2
+          && String.length b2 = String.length b1 + String.length a_mid);
+    nth = (fun n -> unary 'a' n ^ unary 'b' n);
+  }
+
+let l4 =
+  {
+    name = "L4 = { b^n a^m b^(n*m) }";
+    sigma = [ 'a'; 'b' ];
+    member =
+      (fun w ->
+        let b1, rest = split_block w (fun c -> c = 'b') in
+        let a_mid, b2 = split_block rest (fun c -> c = 'a') in
+        String.for_all (fun c -> c = 'b') b2
+        && String.length b2 = String.length b1 * String.length a_mid);
+    nth = (fun n -> "b" ^ unary 'a' n ^ unary 'b' n);
+  }
+
+let l5_u = "abaabb"
+let l5_v = "bbaaba"
+
+let l5 =
+  {
+    name = "L5 = { (abaabb)^m (bbaaba)^m }";
+    sigma = [ 'a'; 'b' ];
+    member =
+      (fun w ->
+        let n = String.length w in
+        n mod 12 = 0
+        &&
+        let m = n / 12 in
+        w = rep l5_u m ^ rep l5_v m);
+    nth = (fun m -> rep l5_u m ^ rep l5_v m);
+  }
+
+let l6 =
+  {
+    name = "L6 = { a^n b^n (ab)^n }";
+    sigma = [ 'a'; 'b' ];
+    member =
+      (fun w ->
+        let n = String.length w in
+        n mod 4 = 0
+        &&
+        let m = n / 4 in
+        w = unary 'a' m ^ unary 'b' m ^ rep "ab" m);
+    nth = (fun n -> unary 'a' n ^ unary 'b' n ^ rep "ab" n);
+  }
+
+let anbn =
+  {
+    name = "{ a^n b^n }";
+    sigma = [ 'a'; 'b' ];
+    member =
+      (fun w ->
+        let n = String.length w in
+        n mod 2 = 0 && w = unary 'a' (n / 2) ^ unary 'b' (n / 2));
+    nth = (fun n -> unary 'a' n ^ unary 'b' n);
+  }
+
+let a_le_b =
+  {
+    name = "{ a^i b^j | 0 <= i <= j }";
+    sigma = [ 'a'; 'b' ];
+    member =
+      (fun w ->
+        let a_part, rest = split_block w (fun c -> c = 'a') in
+        String.for_all (fun c -> c = 'b') rest
+        && String.length a_part <= String.length rest);
+    nth = (fun n -> unary 'a' n ^ unary 'b' n);
+  }
+
+let l_fib =
+  {
+    name = "L_fib = { c F0 c F1 c ... c Fn c }";
+    sigma = [ 'a'; 'b'; 'c' ];
+    member = (fun w -> Words.Fibonacci.l_fib_member w);
+    nth = (fun n -> Words.Fibonacci.l_fib_word n);
+  }
+
+let l_pow =
+  {
+    name = "L_pow = { a^(2^n) }";
+    sigma = [ 'a' ];
+    member =
+      (fun w ->
+        String.for_all (fun c -> c = 'a') w
+        && Semilinear.Unary.powers_of_two ~bound:0 (String.length w));
+    nth = (fun n -> unary 'a' (1 lsl n));
+  }
+
+let paper_languages = [ l1; l2; l3; l4; l5; l6 ]
+
+type witness = {
+  lang : t;
+  inside : string;
+  outside : string;
+  k : int;
+  verdict : Efgame.Game.verdict;
+}
+
+let witness_candidates lang ~p ~q =
+  (* The constructions from the proofs of Lemma 4.14 / Example 4.4 /
+     Prop. 4.5, parameterized by a unary pair p < q. *)
+  let a n = unary 'a' n and b n = unary 'b' n in
+  if lang.name = l1.name then Some (a p ^ rep "ba" p, a q ^ rep "ba" p)
+  else if lang.name = l2.name then Some (a p ^ rep "ba" p, a q ^ rep "ba" p)
+  else if lang.name = l3.name then Some (a p ^ b p, a q ^ b p)
+  else if lang.name = l4.name then Some ("b" ^ a p ^ b p, "b" ^ a p ^ b q)
+  else if lang.name = l5.name then Some (rep l5_u p ^ rep l5_v p, rep l5_u q ^ rep l5_v p)
+  else if lang.name = l6.name then Some (a p ^ b p ^ rep "ab" p, a q ^ b p ^ rep "ab" p)
+  else if lang.name = anbn.name then Some (a p ^ b p, a q ^ b p)
+  else if lang.name = a_le_b.name then Some (a p ^ b p, a q ^ b p)
+  else None
+
+let default_pairs = [ (3, 4); (4, 6); (6, 8); (12, 14) ]
+
+let find_witness ?budget ?(pairs = default_pairs) lang ~k =
+  let try_pair (p, q) =
+    match witness_candidates lang ~p ~q with
+    | None -> None
+    | Some (inside, outside) ->
+        if not (lang.member inside && not (lang.member outside)) then None
+        else begin
+          match Efgame.Game.equiv ?budget inside outside k with
+          | Efgame.Game.Equiv ->
+              Some { lang; inside; outside; k; verdict = Efgame.Game.Equiv }
+          | Efgame.Game.Not_equiv | Efgame.Game.Unknown -> None
+        end
+  in
+  List.find_map try_pair pairs

@@ -1,0 +1,63 @@
+(** The languages of the paper, with decidable membership and generators:
+    L₁–L₆ of Lemma 4.14, L_fib (Prop. 3.3), L_pow (Section 3), aⁿbⁿ, and
+    the witness-pair constructions used in their inexpressibility proofs. *)
+
+type t = {
+  name : string;
+  sigma : char list;
+  member : string -> bool;
+  nth : int -> string;  (** the n-th member (n ≥ 0), ascending by length *)
+}
+
+val l1 : t
+(** L₁ = { aⁿ(ba)ⁿ }. *)
+
+val l2 : t
+(** L₂ = { aⁱ(ba)ʲ | 1 ≤ i ≤ j }; [nth] enumerates the diagonal i = j. *)
+
+val l3 : t
+(** L₃ = { bⁿ aᵐ bⁿ⁺ᵐ }; [nth] enumerates the n = 0 slice. *)
+
+val l4 : t
+(** L₄ = { bⁿ aᵐ bⁿᵐ }; [nth] enumerates the n = 1 slice. *)
+
+val l5 : t
+(** L₅ = { (abaabb)ᵐ(bbaaba)ᵐ }. *)
+
+val l6 : t
+(** L₆ = { aⁿ bⁿ (ab)ⁿ }. *)
+
+val anbn : t
+(** { aⁿbⁿ } (Example 4.4). *)
+
+val a_le_b : t
+(** { aⁱbʲ | 0 ≤ i ≤ j } (Example 4.4); [nth] enumerates the diagonal. *)
+
+val l_fib : t
+(** Prop. 3.3's FC-definable language. *)
+
+val l_pow : t
+(** L_pow = { a^(2ⁿ) }. *)
+
+val paper_languages : t list
+(** L₁ … L₆ in order. *)
+
+type witness = {
+  lang : t;
+  inside : string;  (** ∈ L *)
+  outside : string;  (** ∉ L *)
+  k : int;
+  verdict : Efgame.Game.verdict;  (** solver verdict on inside ≡_k outside *)
+}
+
+val witness_candidates : t -> p:int -> q:int -> (string * string) option
+(** The proof's (p, q)-parameterized witness pair (inside, outside) for
+    each of L₁…L₆, aⁿbⁿ and a≤b — e.g. (aᵖ(ba)ᵖ, a^q(ba)ᵖ) for L₁.
+    [None] for languages without such a construction (L_fib, L_pow). *)
+
+val find_witness :
+  ?budget:int -> ?pairs:(int * int) list -> t -> k:int -> witness option
+(** Search the candidate (p, q) pairs (default: small pairs then the known
+    unary ≡₂ pair (12, 14)) for one whose words the solver certifies as
+    ≡_k; membership/non-membership is checked before solving. Returns the
+    first certified witness. *)

@@ -1,0 +1,64 @@
+type check = {
+  base : string;
+  p : int;
+  q : int;
+  k : int;
+  premise_same_k : Efgame.Game.verdict;
+  premise_full : Efgame.Game.verdict;
+  conclusion : Efgame.Game.verdict;
+}
+
+let unary n = String.make n 'a'
+
+let check ?budget ~base ~p ~q ~k () =
+  if not (Words.Primitive.is_primitive base) then
+    invalid_arg "Primitive_power.check: base is not primitive";
+  {
+    base;
+    p;
+    q;
+    k;
+    premise_same_k = Efgame.Game.equiv ?budget (unary p) (unary q) k;
+    premise_full = Efgame.Game.equiv ?budget (unary p) (unary q) (k + 3);
+    conclusion =
+      Efgame.Game.equiv ?budget (Words.Word.repeat base p) (Words.Word.repeat base q) k;
+  }
+
+type square = {
+  move : string;
+  exponent : int;
+  u1 : string;
+  u2 : string;
+  lookup_move : string;
+  lookup_reply : string;
+  reply : string;
+}
+
+let lift_square ~base ~lookup_reply u =
+  match Words.Primitive.factorize_in_power ~base u with
+  | None -> None
+  | Some (u1, e, u2) ->
+      let m = String.length lookup_reply in
+      Some
+        {
+          move = u;
+          exponent = e;
+          u1;
+          u2;
+          lookup_move = String.make e 'a';
+          lookup_reply;
+          reply = u1 ^ Words.Word.repeat base m ^ u2;
+        }
+
+let certify ?cap ~base ~p ~q ~k () =
+  let cap = match cap with Some c -> c | None -> k + 3 in
+  let lookup = Efgame.Strategies.unary_lookup_maximin ~p ~q ~cap in
+  let main =
+    Efgame.Game.make (Words.Word.repeat base p) (Words.Word.repeat base q)
+  in
+  Efgame.Strategy.validate main ~k (Efgame.Strategies.primitive_power ~base lookup)
+
+let pp_square ppf s =
+  Format.fprintf ppf "%a = %a·w^%d·%a  ⇢  %a  →lookup→  %a  ⇢  %a" Words.Word.pp s.move
+    Words.Word.pp s.u1 s.exponent Words.Word.pp s.u2 Words.Word.pp s.lookup_move
+    Words.Word.pp s.lookup_reply Words.Word.pp s.reply

@@ -1,0 +1,43 @@
+(** Executable form of the Primitive Power Lemma (Lemma 4.8) and its
+    strategy lifting (Figures 2 and 4).
+
+    The lemma: for primitive w, [a^p ≡_{k+3} a^q] implies [w^p ≡_k w^q].
+    Two empirical angles are provided: solver verdicts on premise and
+    conclusion at the round counts a laptop-scale search can decide, and
+    exhaustive certification of the lifted Duplicator strategy. *)
+
+type check = {
+  base : string;
+  p : int;
+  q : int;
+  k : int;
+  premise_same_k : Efgame.Game.verdict;  (** a^p ≡_k a^q *)
+  premise_full : Efgame.Game.verdict;  (** a^p ≡_{k+3} a^q (often Unknown/Not_equiv at small scale) *)
+  conclusion : Efgame.Game.verdict;  (** w^p ≡_k w^q *)
+}
+
+val check : ?budget:int -> base:string -> p:int -> q:int -> k:int -> unit -> check
+(** Raises [Invalid_argument] when [base] is not primitive. *)
+
+type square = {
+  move : string;  (** Spoiler's element u *)
+  exponent : int;  (** exp_base u *)
+  u1 : string;  (** unique strict suffix of base *)
+  u2 : string;  (** unique strict prefix of base *)
+  lookup_move : string;  (** aⁿ *)
+  lookup_reply : string;  (** aᵐ *)
+  reply : string;  (** u₁ · baseᵐ · u₂ *)
+}
+
+val lift_square : base:string -> lookup_reply:string -> string -> square option
+(** The Figure-2/4 square for one Spoiler element; [None] when
+    exp_base u = 0 (the reply is then u itself). *)
+
+val certify :
+  ?cap:int -> base:string -> p:int -> q:int -> k:int -> unit ->
+  (unit, Efgame.Strategy.failure) result
+(** Validate the lifted strategy (maximin + mirror-tie-break unary lookup
+    with probe cap [cap], default k+3) on w^p vs w^q against every k-round
+    Spoiler play. *)
+
+val pp_square : Format.formatter -> square -> unit

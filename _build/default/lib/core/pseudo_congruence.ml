@@ -1,0 +1,38 @@
+type instance = { w1 : string; w2 : string; v1 : string; v2 : string }
+type premises = { common_factors_agree : bool; r : int }
+
+let premises inst =
+  let fw1 = Words.Factors.of_word inst.w1 and fw2 = Words.Factors.of_word inst.w2 in
+  let fv1 = Words.Factors.of_word inst.v1 and fv2 = Words.Factors.of_word inst.v2 in
+  let cw = Words.Factors.inter fw1 fw2 and cv = Words.Factors.inter fv1 fv2 in
+  {
+    common_factors_agree = cw = cv;
+    r = List.fold_left (fun m f -> max m (String.length f)) 0 cw;
+  }
+
+let required_rounds inst ~k = k + (premises inst).r + 2
+
+let premise_verdicts ?budget inst ~rounds =
+  ( Efgame.Game.equiv ?budget inst.w1 inst.v1 rounds,
+    Efgame.Game.equiv ?budget inst.w2 inst.v2 rounds )
+
+let main_game inst = Efgame.Game.make (inst.w1 ^ inst.w2) (inst.v1 ^ inst.v2)
+
+let conclusion ?budget inst ~k =
+  Efgame.Game.decide ?budget (main_game inst) k
+
+let leg_lookup ?(cap = 6) w v =
+  let game = Efgame.Game.make w v in
+  let strategy =
+    if w = v then Efgame.Strategies.identity
+    else Efgame.Strategies.solver_backed_maximin game ~cap
+  in
+  { Efgame.Strategies.game; strategy }
+
+let composed_strategy ?cap inst =
+  Efgame.Strategies.pseudo_congruence
+    (leg_lookup ?cap inst.w1 inst.v1)
+    (leg_lookup ?cap inst.w2 inst.v2)
+
+let certify ?cap inst ~k =
+  Efgame.Strategy.validate (main_game inst) ~k (composed_strategy ?cap inst)

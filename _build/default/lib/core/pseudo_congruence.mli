@@ -1,0 +1,36 @@
+(** Executable form of the Pseudo-Congruence Lemma (Lemma 4.3).
+
+    An instance is a quadruple (w₁, w₂, v₁, v₂). The lemma: if the common
+    factor sets agree — Facs(w₁) ∩ Facs(w₂) = Facs(v₁) ∩ Facs(v₂), with
+    [r] the longest common factor's length — and w₁ ≡_{k+r+2} v₁ and
+    w₂ ≡_{k+r+2} v₂, then w₁w₂ ≡_k v₁v₂. *)
+
+type instance = { w1 : string; w2 : string; v1 : string; v2 : string }
+
+type premises = {
+  common_factors_agree : bool;
+  r : int;  (** max length of a common factor of w₁ and w₂ *)
+}
+
+val premises : instance -> premises
+val required_rounds : instance -> k:int -> int
+(** k + r + 2. *)
+
+val premise_verdicts :
+  ?budget:int -> instance -> rounds:int -> Efgame.Game.verdict * Efgame.Game.verdict
+(** Solver verdicts for w₁ ≡_rounds v₁ and w₂ ≡_rounds v₂. *)
+
+val conclusion : ?budget:int -> instance -> k:int -> Efgame.Game.verdict
+(** Solver verdict for w₁w₂ ≡_k v₁v₂. *)
+
+val composed_strategy : ?cap:int -> instance -> Efgame.Strategy.t
+(** The proof's strategy composition, with maximin look-up strategies
+    (identity when a leg has equal words); [cap] bounds the look-up
+    maximin probes (default 6). *)
+
+val certify :
+  ?cap:int -> instance -> k:int -> (unit, Efgame.Strategy.failure) result
+(** Validate the composed strategy against every k-round Spoiler play on
+    w₁w₂ vs v₁v₂. *)
+
+val main_game : instance -> Efgame.Game.config

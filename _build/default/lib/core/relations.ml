@@ -1,0 +1,60 @@
+type reduction = {
+  relation : Spanner.Selectable.t;
+  spanner : Spanner.Algebra.expr;
+  target : Langs.t;
+  note : string;
+}
+
+let rf = Spanner.Regex_formula.parse_exn
+
+let reduce relation formula vars target note =
+  {
+    relation;
+    spanner = Spanner.Algebra.Select_rel (relation, vars, Spanner.Algebra.Extract (rf formula));
+    target;
+    note;
+  }
+
+let all =
+  [
+    reduce (Spanner.Selectable.num 'a') "x{a*}y{(ba)*}" [ "x"; "y" ] Langs.l1 "";
+    reduce Spanner.Selectable.scatt "x{a+}y{(ba)*}" [ "x"; "y" ] Langs.l2
+      "uses a+ for x (the paper's a* would also admit i = 0, which L2 excludes)";
+    reduce Spanner.Selectable.add "x{b*}y{a*}z{b*}" [ "x"; "y"; "z" ] Langs.l3 "";
+    reduce Spanner.Selectable.mult "x{b*}y{a*}z{b*}" [ "x"; "y"; "z" ] Langs.l4 "";
+    reduce Spanner.Selectable.perm "x{(abaabb)*}y{(bbaaba)*}" [ "x"; "y" ] Langs.l5 "";
+    reduce Spanner.Selectable.rev "x{(abaabb)*}y{(bbaaba)*}" [ "x"; "y" ] Langs.l5 "ψ5'";
+    reduce Spanner.Selectable.shuff "x{a*}y{b*}z{(ab)*}" [ "x"; "y"; "z" ] Langs.l6
+      "constrains z to (ab)* (omitted in the paper's ψ6, without which e.g. aabbaabb is \
+       also accepted) and relaxes a+/b+ to a*/b* so that ε ∈ L6 is matched";
+    reduce
+      (Spanner.Selectable.morph Words.Morphism.paper_h)
+      "x{a*}y{b*}" [ "x"; "y" ] Langs.anbn "";
+  ]
+
+let language_member red w = Spanner.Algebra.define_language red.spanner w
+
+let mutations w sigma =
+  List.concat_map
+    (fun i ->
+      List.filter_map
+        (fun c -> if w.[i] = c then None else Some (String.mapi (fun j d -> if j = i then c else d) w))
+        sigma)
+    (List.init (String.length w) Fun.id)
+
+let agreement_up_to red ~max_len =
+  let sigma = red.target.Langs.sigma in
+  let exhaustive = Words.Word.enumerate ~alphabet:sigma ~max_len:(min max_len 12) in
+  let structured =
+    let rec members n acc =
+      let w = red.target.Langs.nth n in
+      if String.length w > max_len || n > 40 then acc
+      else members (n + 1) ((w :: mutations w sigma) @ acc)
+    in
+    members 0 []
+  in
+  let pool =
+    List.sort_uniq compare (exhaustive @ List.filter (fun w -> String.length w <= max_len) structured)
+  in
+  let agree = List.for_all (fun w -> language_member red w = red.target.Langs.member w) pool in
+  (agree, List.length pool)

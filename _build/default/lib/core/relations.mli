@@ -1,0 +1,32 @@
+(** Theorem 5.5's reductions ψ₁ … ψ₆ (and the Morph reduction), executed
+    on the spanner engine.
+
+    Each reduction wraps a relation R as a ζ^R selection over a regex
+    formula decomposing the input word, and its language is a bounded
+    language from Lemma 4.14. Since those languages are not FC[REG]
+    languages (Lemma 4.14 + Lemma 5.3), no generalized core spanner can
+    express R — which the experiment demonstrates by running the reduction
+    on the (non-spanner-expressible) ζ^R engine and checking that it
+    carves out exactly the expected language. *)
+
+type reduction = {
+  relation : Spanner.Selectable.t;
+  spanner : Spanner.Algebra.expr;  (** Boolean: uses ζ^R, decides L(ψ) *)
+  target : Langs.t;  (** the Lemma 4.14 language L(ψ) must equal *)
+  note : string;  (** deviations from the paper's formula, if any *)
+}
+
+val all : reduction list
+(** ψ₁ (Num_a → L₁), ψ₂ (Scatt → L₂), ψ₃ (Add → L₃), ψ₄ (Mult → L₄),
+    ψ₅ (Perm → L₅), ψ₅′ (Rev → L₅), ψ₆ (Shuff → L₆),
+    ψ_h (Morph_h → aⁿbⁿ). *)
+
+val language_member : reduction -> string -> bool
+(** Evaluate the reduction's spanner on a word. *)
+
+val agreement_up_to : reduction -> max_len:int -> bool * int
+(** Does L(ψ) = L_target? Checked exhaustively on Σ^{≤min(max_len, 12)}
+    and, beyond that, on structured samples up to [max_len]: the target
+    language's members and all their single-letter mutations (which is
+    where disagreements would hide for block-structured languages like
+    L₅). Returns the verdict and the number of words checked. *)

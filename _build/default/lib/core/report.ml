@@ -1,0 +1,60 @@
+type table = {
+  id : string;
+  title : string;
+  paper_ref : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let make ~id ~title ~paper_ref ~header ?(notes = []) rows =
+  List.iter
+    (fun row ->
+      if List.length row <> List.length header then
+        invalid_arg (Printf.sprintf "Report.make: row width mismatch in %s" id))
+    rows;
+  { id; title; paper_ref; header; rows; notes }
+
+(* Column widths are computed on byte length, which is close enough for the
+   mostly-ASCII cells we emit. *)
+let widths t =
+  List.fold_left
+    (fun acc row -> List.map2 (fun w cell -> max w (String.length cell)) acc row)
+    (List.map String.length t.header)
+    t.rows
+
+let pad width s = s ^ String.make (max 0 (width - String.length s)) ' '
+
+let pp ppf t =
+  let ws = widths t in
+  let line row = String.concat "  " (List.map2 pad ws row) in
+  Format.fprintf ppf "@[<v>%s: %s (%s)@,%s@,%s@," t.id t.title t.paper_ref (line t.header)
+    (String.make (String.length (line t.header)) '-');
+  List.iter (fun row -> Format.fprintf ppf "%s@," (line row)) t.rows;
+  List.iter (fun note -> Format.fprintf ppf "note: %s@," note) t.notes;
+  Format.fprintf ppf "@]"
+
+let to_markdown t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "### %s — %s\n\n*Paper artifact: %s.*\n\n" t.id t.title t.paper_ref);
+  let row cells = "| " ^ String.concat " | " cells ^ " |\n" in
+  Buffer.add_string buf (row t.header);
+  Buffer.add_string buf (row (List.map (fun _ -> "---") t.header));
+  List.iter (fun r -> Buffer.add_string buf (row r)) t.rows;
+  if t.notes <> [] then begin
+    Buffer.add_char buf '\n';
+    List.iter (fun n -> Buffer.add_string buf (Printf.sprintf "- *%s*\n" n)) t.notes
+  end;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let verdict_cell = function
+  | Efgame.Game.Equiv -> "≡ (solver)"
+  | Efgame.Game.Not_equiv -> "≢ (solver)"
+  | Efgame.Game.Unknown -> "? (budget)"
+
+let bool_cell b = if b then "yes" else "no"
+
+let result_cell = function
+  | Ok () -> "certified"
+  | Error f -> Format.asprintf "failed: %a" Efgame.Strategy.pp_failure f

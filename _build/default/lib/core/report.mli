@@ -1,0 +1,26 @@
+(** Experiment reporting: plain-text and Markdown tables.
+
+    Every experiment in EXPERIMENTS.md is regenerated from these tables by
+    [bin/experiments.exe]. *)
+
+type table = {
+  id : string;  (** e.g. "E2" *)
+  title : string;
+  paper_ref : string;  (** e.g. "Lemma 3.4" *)
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+val make :
+  id:string -> title:string -> paper_ref:string -> header:string list ->
+  ?notes:string list -> string list list -> table
+
+val pp : Format.formatter -> table -> unit
+(** Console rendering with aligned columns. *)
+
+val to_markdown : table -> string
+
+val verdict_cell : Efgame.Game.verdict -> string
+val bool_cell : bool -> string
+val result_cell : (unit, Efgame.Strategy.failure) result -> string

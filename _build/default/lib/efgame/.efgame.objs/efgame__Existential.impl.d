@@ -1,0 +1,1 @@
+lib/efgame/existential.ml: Array Char Fc Game Hashtbl List String Words

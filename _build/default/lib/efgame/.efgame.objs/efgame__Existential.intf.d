@@ -1,0 +1,1 @@
+lib/efgame/existential.mli: Fc Game Partial_iso

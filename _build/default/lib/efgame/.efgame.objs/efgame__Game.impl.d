@@ -1,0 +1,1 @@
+lib/efgame/game.ml: Char Fc Format Hashtbl List Option Partial_iso String Words

@@ -1,0 +1,1 @@
+lib/efgame/game.mli: Fc Format Partial_iso

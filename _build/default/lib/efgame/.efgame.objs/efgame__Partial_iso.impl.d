@@ -1,0 +1,1 @@
+lib/efgame/partial_iso.ml: Array Fc List

@@ -1,0 +1,1 @@
+lib/efgame/pebble.ml: Array Fc Fun Game Hashtbl List Partial_iso

@@ -1,0 +1,1 @@
+lib/efgame/pebble.mli: Game

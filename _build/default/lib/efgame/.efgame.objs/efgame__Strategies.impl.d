@@ -1,0 +1,1 @@
+lib/efgame/strategies.ml: Fc Game List Option Partial_iso Printf Strategy String Words

@@ -1,0 +1,1 @@
+lib/efgame/strategies.mli: Game Strategy

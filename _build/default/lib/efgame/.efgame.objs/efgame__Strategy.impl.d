@@ -1,0 +1,1 @@
+lib/efgame/strategy.ml: Fc Format Game List Partial_iso Words

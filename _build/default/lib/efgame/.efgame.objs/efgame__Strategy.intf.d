@@ -1,0 +1,1 @@
+lib/efgame/strategy.mli: Format Game Partial_iso

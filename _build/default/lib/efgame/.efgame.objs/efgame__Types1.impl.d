@@ -1,0 +1,1 @@
+lib/efgame/types1.ml: Char Fc List Partial_iso Printf Words

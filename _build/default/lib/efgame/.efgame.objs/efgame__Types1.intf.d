@@ -1,0 +1,1 @@
+lib/efgame/types1.mli: Fc

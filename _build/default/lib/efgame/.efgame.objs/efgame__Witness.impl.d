@@ -1,0 +1,1 @@
+lib/efgame/witness.ml: Game List String Words

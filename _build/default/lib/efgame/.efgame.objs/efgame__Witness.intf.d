@@ -1,0 +1,1 @@
+lib/efgame/witness.mli: Game

@@ -1,0 +1,112 @@
+let concat3 x y z =
+  match (x, y, z) with Some a, Some b, Some c -> a = b ^ c | _ -> false
+
+let pair_preserved (a1, b1) (a2, b2) =
+  (* left equality must transfer; ⊥ on the left imposes nothing *)
+  match (a1, a2) with Some x, Some y when x = y -> b1 = b2 | _ -> true
+
+let triple_preserved (a1, b1) (a2, b2) (a3, b3) =
+  if concat3 a1 a2 a3 then concat3 b1 b2 b3 else true
+
+let preserves entries =
+  let arr = Array.of_list entries in
+  let n = Array.length arr in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if !ok && not (pair_preserved arr.(i) arr.(j)) then ok := false;
+      for k = 0 to n - 1 do
+        if !ok && not (triple_preserved arr.(i) arr.(j) arr.(k)) then ok := false
+      done
+    done
+  done;
+  !ok
+
+let extension_ok entries e =
+  let arr = Array.of_list (e :: entries) in
+  let n = Array.length arr in
+  let ok = ref true in
+  for i = 1 to n - 1 do
+    if !ok && not (pair_preserved arr.(0) arr.(i) && pair_preserved arr.(i) arr.(0)) then
+      ok := false
+  done;
+  if !ok then begin
+    let check i j k =
+      if !ok && not (triple_preserved arr.(i) arr.(j) arr.(k)) then ok := false
+    in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        check 0 i j;
+        check i 0 j;
+        check i j 0
+      done
+    done
+  end;
+  !ok
+
+exception Budget_exceeded
+
+let decide ?(budget = 50_000_000) cfg k0 =
+  let left, right = Game.structures cfg in
+  let consts = Game.constant_entries cfg in
+  let moves =
+    Fc.Structure.universe left
+    |> List.filter (fun e ->
+           not (List.exists (fun (a, _) -> a = Some e) consts))
+    |> List.sort (fun a b ->
+           let c = compare (String.length b) (String.length a) in
+           if c <> 0 then c else String.compare a b)
+  in
+  let memo = Hashtbl.create 1024 in
+  let nodes = ref 0 in
+  let rec wins pairs entries k =
+    incr nodes;
+    if !nodes > budget then raise Budget_exceeded;
+    if k = 0 then true
+    else
+      let key = (k, List.sort compare pairs) in
+      match Hashtbl.find_opt memo key with
+      | Some r -> r
+      | None ->
+          let result =
+            List.for_all
+              (fun a ->
+                List.exists (fun (a', _) -> a' = a) pairs
+                || List.exists
+                     (fun r ->
+                       let entry = (Some a, Some r) in
+                       extension_ok entries entry
+                       && wins ((a, r) :: pairs) (entry :: entries) (k - 1))
+                     (Game.response_candidates cfg entries Game.Left a))
+              moves
+          in
+          Hashtbl.replace memo key result;
+          result
+  in
+  ignore right;
+  if not (preserves consts) then Game.Not_equiv
+  else
+    try if wins [] consts k0 then Game.Equiv else Game.Not_equiv
+    with Budget_exceeded -> Game.Unknown
+
+let equiv ?sigma ?budget w v k = decide ?budget (Game.make ?sigma w v) k
+
+let rec positive_exists (f : Fc.Formula.t) =
+  match f with
+  | True | False | Eq _ | Mem _ -> true
+  | And (a, b) | Or (a, b) -> positive_exists a && positive_exists b
+  | Exists (_, g) -> positive_exists g
+  | Not _ | Forall _ -> false
+
+let transfer_check ?sigma f w v =
+  if not (positive_exists f && Fc.Formula.is_sentence f) then None
+  else
+    let sigma =
+      match sigma with
+      | Some cs -> cs
+      | None ->
+          List.sort_uniq Char.compare
+            (Fc.Formula.constants f @ Words.Word.alphabet w @ Words.Word.alphabet v)
+    in
+    let holds u = Fc.Eval.holds (Fc.Structure.make ~sigma u) f in
+    Some ((not (holds w)) || holds v)

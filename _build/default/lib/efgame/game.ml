@@ -1,0 +1,298 @@
+type side = Left | Right
+type move = { side : side; element : string }
+type verdict = Equiv | Not_equiv | Unknown
+type mode = Full | Duplicator_limited of int
+
+type config = {
+  left : Fc.Structure.t;
+  right : Fc.Structure.t;
+  consts : Partial_iso.entry list;
+  left_moves : string list; (* candidate Spoiler elements, longest first *)
+  right_moves : string list;
+  left_all : string list; (* full universes *)
+  right_all : string list;
+}
+
+let by_desc_length a b =
+  let c = compare (String.length b) (String.length a) in
+  if c <> 0 then c else String.compare a b
+
+let make ?sigma w v =
+  let sigma =
+    match sigma with
+    | Some cs -> List.sort_uniq Char.compare cs
+    | None -> List.sort_uniq Char.compare (Words.Word.alphabet w @ Words.Word.alphabet v)
+  in
+  let left = Fc.Structure.make ~sigma w and right = Fc.Structure.make ~sigma v in
+  let consts = Partial_iso.constant_entries left right in
+  let const_values side_proj =
+    List.filter_map side_proj consts |> List.sort_uniq String.compare
+  in
+  let lconsts = const_values fst and rconsts = const_values snd in
+  let movable universe skip =
+    List.filter (fun f -> not (List.mem f skip)) universe |> List.sort by_desc_length
+  in
+  {
+    left;
+    right;
+    consts;
+    left_moves = movable (Fc.Structure.universe left) lconsts;
+    right_moves = movable (Fc.Structure.universe right) rconsts;
+    left_all = Fc.Structure.universe left;
+    right_all = Fc.Structure.universe right;
+  }
+
+let left_word cfg = Fc.Structure.word cfg.left
+let right_word cfg = Fc.Structure.word cfg.right
+let base_partial_iso cfg = Partial_iso.holds cfg.consts
+let structures cfg = (cfg.left, cfg.right)
+let constant_entries cfg = cfg.consts
+
+(* ------------------------------------------------------------------ *)
+(* Duplicator candidates.                                              *)
+
+(* Orient an entry so that [fst] is the Spoiler's side. *)
+let orient side (x, y) = if side = Left then (x, y) else (y, x)
+let unorient side (x, y) = if side = Left then (x, y) else (y, x)
+
+let derived_candidates entries side a =
+  (* Responses forced (or strongly suggested) by the concatenation pattern
+     of the position: if a relates to already-played elements by R∘, the
+     response must relate to their partners the same way. *)
+  let oriented = List.map (orient side) entries in
+  let known = List.filter_map (fun (x, y) -> match (x, y) with Some x, Some y -> Some (x, y) | _ -> None) oriented in
+  let out = ref [] in
+  let add r = if not (List.mem r !out) then out := r :: !out in
+  List.iter
+    (fun (xi, yi) ->
+      List.iter
+        (fun (xj, yj) ->
+          (* a = xi · xj  ⇒  respond yi · yj *)
+          if xi ^ xj = a then add (yi ^ yj);
+          (* xi = a · xj  ⇒  respond yi with suffix yj removed *)
+          if
+            String.length xi = String.length a + String.length xj
+            && xi = a ^ xj
+            && Words.Word.is_suffix ~suffix:yj yi
+          then add (String.sub yi 0 (String.length yi - String.length yj));
+          (* xi = xj · a  ⇒  respond yi with prefix yj removed *)
+          if
+            String.length xi = String.length xj + String.length a
+            && xi = xj ^ a
+            && Words.Word.is_prefix ~prefix:yj yi
+          then add (String.sub yi (String.length yj) (String.length yi - String.length yj)))
+        known)
+    known;
+  List.rev !out
+
+let score ~from_word ~to_word a r =
+  if r = a then (-1, 0, 0)
+  else
+    let lf = String.length from_word and lt = String.length to_word in
+    let la = String.length a and lr = String.length r in
+    let status_penalty =
+      (if Words.Word.is_prefix ~prefix:a from_word = Words.Word.is_prefix ~prefix:r to_word then 0
+       else 1)
+      + if Words.Word.is_suffix ~suffix:a from_word = Words.Word.is_suffix ~suffix:r to_word then 0
+        else 1
+    in
+    let mirror = abs (lt - lr - (lf - la)) and direct = abs (lr - la) in
+    (0, status_penalty, min mirror direct)
+
+let response_candidates cfg entries side a =
+  let from_word, to_word, universe =
+    match side with
+    | Left -> (left_word cfg, right_word cfg, cfg.right_all)
+    | Right -> (right_word cfg, left_word cfg, cfg.left_all)
+  in
+  let to_struct = match side with Left -> cfg.right | Right -> cfg.left in
+  let derived =
+    derived_candidates entries side a |> List.filter (Fc.Structure.mem to_struct)
+  in
+  let rest =
+    List.filter (fun r -> not (List.mem r derived)) universe
+    |> List.map (fun r -> (score ~from_word ~to_word a r, r))
+    |> List.sort compare |> List.map snd
+  in
+  derived @ rest
+
+(* ------------------------------------------------------------------ *)
+(* Solver.                                                             *)
+
+exception Budget_exceeded
+
+type stats = { nodes : int; memo_entries : int }
+
+type solver = {
+  cfg : config;
+  mode : mode;
+  budget : int;
+  memo : (int * (string * string) list, bool) Hashtbl.t;
+  mutable nodes : int;
+}
+
+let solver ?(mode = Full) ?(budget = 50_000_000) cfg =
+  { cfg; mode; budget; memo = Hashtbl.create 4096; nodes = 0 }
+
+let solver_run s pairs0 k0 =
+  let cfg = s.cfg in
+  let memo = s.memo in
+  let nodes = ref s.nodes in
+  let limit = match s.mode with Full -> max_int | Duplicator_limited n -> n in
+  let rec wins pairs entries k =
+    incr nodes;
+    if !nodes > s.budget then raise Budget_exceeded;
+    if k = 0 then true
+    else
+      let key = (k, List.sort compare pairs) in
+      match Hashtbl.find_opt memo key with
+      | Some r -> r
+      | None ->
+          let result =
+            spoiler_side Left pairs entries k && spoiler_side Right pairs entries k
+          in
+          Hashtbl.replace memo key result;
+          result
+  and spoiler_side side pairs entries k =
+    let moves = match side with Left -> cfg.left_moves | Right -> cfg.right_moves in
+    let played (a, b) = match side with Left -> a | Right -> b in
+    List.for_all
+      (fun a ->
+        if List.exists (fun p -> played p = a) pairs then true (* dominated move *)
+        else
+          let candidates = response_candidates cfg entries side a in
+          let candidates =
+            if limit = max_int then candidates
+            else
+              let derived = derived_candidates entries side a in
+              let d = List.length derived in
+              List.filteri (fun i _ -> i < d + limit) candidates
+          in
+          List.exists
+            (fun r ->
+              let entry = unorient side (Some a, Some r) in
+              Partial_iso.extension_ok entries entry
+              &&
+              let pair = unorient side (a, r) in
+              wins (pair :: pairs) (entry :: entries) (k - 1))
+            candidates)
+      moves
+  in
+  let entries0 =
+    List.fold_left (fun acc (a, b) -> (Some a, Some b) :: acc) cfg.consts pairs0
+  in
+  let result =
+    if not (Partial_iso.holds entries0) then Some false
+    else try Some (wins pairs0 entries0 k0) with Budget_exceeded -> None
+  in
+  s.nodes <- !nodes;
+  (result, { nodes = !nodes; memo_entries = Hashtbl.length memo })
+
+let to_verdict mode result =
+  match (result, mode) with
+  | Some true, _ -> Equiv
+  | Some false, Full -> Not_equiv
+  | Some false, Duplicator_limited _ -> Unknown
+  | None, _ -> Unknown
+
+let solver_wins s pairs k = to_verdict s.mode (fst (solver_run s pairs k))
+
+let decide_with_stats ?(mode = Full) ?(budget = 50_000_000) cfg k =
+  let s = solver ~mode ~budget cfg in
+  let result, stats = solver_run s [] k in
+  (to_verdict mode result, stats)
+
+let decide ?mode ?budget cfg k = fst (decide_with_stats ?mode ?budget cfg k)
+let equiv ?sigma ?mode ?budget w v k = decide ?mode ?budget (make ?sigma w v) k
+
+(* ------------------------------------------------------------------ *)
+(* Principal variation extraction.                                     *)
+
+let winning_line ?(budget = 50_000_000) cfg k0 =
+  if not (base_partial_iso cfg) then Some []
+  else
+    let memo = Hashtbl.create 1024 in
+    let nodes = ref 0 in
+    let rec wins pairs entries k =
+      incr nodes;
+      if !nodes > budget then raise Budget_exceeded;
+      if k = 0 then true
+      else
+        let key = (k, List.sort compare pairs) in
+        match Hashtbl.find_opt memo key with
+        | Some r -> r
+        | None ->
+            let result = side_ok Left pairs entries k && side_ok Right pairs entries k in
+            Hashtbl.replace memo key result;
+            result
+    and side_ok side pairs entries k =
+      let moves = match side with Left -> cfg.left_moves | Right -> cfg.right_moves in
+      let played (a, b) = match side with Left -> a | Right -> b in
+      List.for_all
+        (fun a ->
+          List.exists (fun p -> played p = a) pairs
+          || List.exists
+               (fun r ->
+                 let entry = unorient side (Some a, Some r) in
+                 Partial_iso.extension_ok entries entry
+                 && wins (unorient side (a, r) :: pairs) (entry :: entries) (k - 1))
+               (response_candidates cfg entries side a))
+        moves
+    in
+    let find_breaking_move pairs entries k =
+      let try_side side =
+        let moves = match side with Left -> cfg.left_moves | Right -> cfg.right_moves in
+        let played (a, b) = match side with Left -> a | Right -> b in
+        List.find_opt
+          (fun a ->
+            (not (List.exists (fun p -> played p = a) pairs))
+            && not
+                 (List.exists
+                    (fun r ->
+                      let entry = unorient side (Some a, Some r) in
+                      Partial_iso.extension_ok entries entry
+                      && wins (unorient side (a, r) :: pairs) (entry :: entries) (k - 1))
+                    (response_candidates cfg entries side a)))
+          moves
+        |> Option.map (fun a -> { side; element = a })
+      in
+      match try_side Left with Some m -> Some m | None -> try_side Right
+    in
+    try
+      if wins [] cfg.consts k0 then None
+      else begin
+        let rec build pairs entries k acc =
+          if k = 0 then List.rev acc
+          else
+            match find_breaking_move pairs entries k with
+            | None -> List.rev acc
+            | Some m ->
+                (* Choose the Duplicator response that at least preserves the
+                   partial isomorphism, if any, to continue the line. *)
+                let resp =
+                  List.find_opt
+                    (fun r -> Partial_iso.extension_ok entries (unorient m.side (Some m.element, Some r)))
+                    (response_candidates cfg entries m.side m.element)
+                in
+                (match resp with
+                | None -> List.rev ((m, None) :: acc)
+                | Some r ->
+                    let entry = unorient m.side (Some m.element, Some r) in
+                    build
+                      (unorient m.side (m.element, r) :: pairs)
+                      (entry :: entries) (k - 1)
+                      ((m, Some r) :: acc))
+        in
+        Some (build [] cfg.consts k0 [])
+      end
+    with Budget_exceeded -> None
+
+let pp_move ppf m =
+  Format.fprintf ppf "%s:%a"
+    (match m.side with Left -> "L" | Right -> "R")
+    Words.Word.pp m.element
+
+let pp_verdict ppf = function
+  | Equiv -> Format.pp_print_string ppf "≡"
+  | Not_equiv -> Format.pp_print_string ppf "≢"
+  | Unknown -> Format.pp_print_string ppf "?"

@@ -1,0 +1,73 @@
+type entry = string option * string option
+
+let constant_entries sta stb =
+  if Fc.Structure.sigma sta <> Fc.Structure.sigma stb then
+    invalid_arg "Partial_iso.constant_entries: structures over different alphabets";
+  List.map2
+    (fun (_, va) (_, vb) -> (va, vb))
+    (Fc.Structure.constant_vector sta)
+    (Fc.Structure.constant_vector stb)
+
+let concat3 x y z =
+  match (x, y, z) with Some a, Some b, Some c -> a = b ^ c | _ -> false
+
+let pair_consistent (a1, b1) (a2, b2) = (a1 = a2) = (b1 = b2)
+
+let triple_consistent e1 e2 e3 =
+  let (a1, b1), (a2, b2), (a3, b3) = (e1, e2, e3) in
+  concat3 a1 a2 a3 = concat3 b1 b2 b3
+
+let holds entries =
+  let arr = Array.of_list entries in
+  let n = Array.length arr in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if !ok then begin
+        if not (pair_consistent arr.(i) arr.(j)) then ok := false;
+        for k = 0 to n - 1 do
+          if !ok && not (triple_consistent arr.(i) arr.(j) arr.(k)) then ok := false
+        done
+      end
+    done
+  done;
+  !ok
+
+let extension_ok entries e =
+  let arr = Array.of_list (e :: entries) in
+  let n = Array.length arr in
+  let ok = ref true in
+  (* pairwise conditions involving index 0 *)
+  for i = 1 to n - 1 do
+    if !ok && not (pair_consistent arr.(0) arr.(i)) then ok := false
+  done;
+  (* triples where the new entry occurs at least once *)
+  if !ok then begin
+    let check i j k =
+      if !ok && not (triple_consistent arr.(i) arr.(j) arr.(k)) then ok := false
+    in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        check 0 i j;
+        check i 0 j;
+        check i j 0
+      done
+    done
+  end;
+  !ok
+
+let violation entries =
+  let arr = Array.of_list entries in
+  let n = Array.length arr in
+  let found = ref None in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if !found = None && not (pair_consistent arr.(i) arr.(j)) then
+        found := Some ("equality pattern differs", [ arr.(i); arr.(j) ]);
+      for k = 0 to n - 1 do
+        if !found = None && not (triple_consistent arr.(i) arr.(j) arr.(k)) then
+          found := Some ("concatenation pattern differs", [ arr.(i); arr.(j); arr.(k) ])
+      done
+    done
+  done;
+  !found

@@ -1,0 +1,27 @@
+(** Partial isomorphisms between two τ_Σ word structures (Definition 3.1).
+
+    A configuration is a sequence of pairs (aᵢ, bᵢ) of universe elements —
+    [None] standing for ⊥ — always implicitly extended with the constant
+    vectors ⟨𝔄⟩, ⟨𝔅⟩. The pair of tuples is a partial isomorphism when
+
+    - aᵢ = aⱼ ⟺ bᵢ = bⱼ (this subsumes the constant condition, since the
+      constant interpretations are part of the tuples), and
+    - aᵢ = aⱼ·aₖ ⟺ bᵢ = bⱼ·bₖ (with ⊥ never participating in R∘). *)
+
+type entry = string option * string option
+
+val constant_entries : Fc.Structure.t -> Fc.Structure.t -> entry list
+(** ⟨𝔄⟩ and ⟨𝔅⟩ zipped; both structures must share the same Σ (raises
+    [Invalid_argument] otherwise). *)
+
+val holds : entry list -> bool
+(** Full O(n³) check over the given entries (callers append the constant
+    entries themselves). *)
+
+val extension_ok : entry list -> entry -> bool
+(** [extension_ok entries e]: assuming [holds entries], does
+    [holds (e :: entries)] hold? Only checks the conditions that involve
+    the new entry — O(n²). *)
+
+val violation : entry list -> (string * entry list) option
+(** Diagnostic: [Some (reason, offenders)] when {!holds} fails. *)

@@ -1,0 +1,25 @@
+(** k-pebble Ehrenfeucht-Fraïssé games — the finite-variable games the
+    paper's conclusion points to (Libkin, Ch. 11).
+
+    Each player owns k pebbles; in every round Spoiler picks a pebble
+    (possibly one already on the board) and places it on an element of
+    either structure, Duplicator places the matching pebble on the other
+    structure, and Duplicator survives as long as the pebbled positions
+    (plus constants) form a partial isomorphism. Duplicator winning the
+    r-round k-pebble game on 𝔄_w, 𝔅_v means the structures agree on all
+    FC formulas with at most k (reused) variables of quantifier depth ≤ r. *)
+
+val decide :
+  ?budget:int -> pebbles:int -> rounds:int -> Game.config -> Game.verdict
+(** Does Duplicator win the r-round, k-pebble game? *)
+
+val equiv :
+  ?sigma:char list -> ?budget:int -> pebbles:int -> rounds:int ->
+  string -> string -> Game.verdict
+
+val compare_with_unrestricted :
+  ?budget:int -> pebbles:int -> rounds:int -> string -> string ->
+  Game.verdict * Game.verdict
+(** (pebble verdict, plain k-round verdict) for the same pair: with
+    pebbles ≥ rounds the games coincide; with fewer pebbles Duplicator can
+    only do better. Used by tests and the pebble ablation bench. *)

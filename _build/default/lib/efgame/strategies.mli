@@ -1,0 +1,70 @@
+(** Concrete Duplicator strategies, including the two strategy
+    compositions at the heart of the paper: the Pseudo-Congruence
+    composition (Lemma 4.3, Figures 1 and 3) and the Primitive-Power
+    lifting (Lemma 4.8, Figures 2 and 4).
+
+    All strategies are stateless: look-up game histories are recomputed
+    from the main game's history on every call, exactly as the paper
+    describes Duplicator deriving their response from the auxiliary
+    games. *)
+
+val identity : Strategy.t
+(** Respond with the very element Spoiler chose; wins iff the two words are
+    equal (used for the trivial [w ≡_k w] legs of compositions). *)
+
+val solver_backed : Game.config -> total_rounds:int -> Strategy.t
+(** An optimal strategy extracted from the exhaustive solver: respond with
+    any candidate that keeps the remaining game Duplicator-won. Raises
+    {!Strategy.Failure_to_respond} when the position is lost or the
+    solver's budget runs out — in particular this strategy only exists when
+    the two words are ≡_{total_rounds}. The solver's memo table is shared
+    across calls. *)
+
+val solver_backed_maximin : Game.config -> cap:int -> Strategy.t
+(** Like {!solver_backed}, but instead of targeting a fixed round count it
+    picks the response from which Duplicator can survive the {e most}
+    further rounds (probed up to [cap]). This is the best-effort look-up
+    strategy used when a full ≡_{k+3} witness is out of the solver's
+    reach: it never fails while some response preserves the partial
+    isomorphism. *)
+
+(** {1 Pseudo-congruence composition (Lemma 4.3)} *)
+
+type lookup = { game : Game.config; strategy : Strategy.t }
+(** A look-up game and a Duplicator strategy for it. *)
+
+val split_crossing : left:string -> right:string -> string -> (string * string) option
+(** [split_crossing ~left ~right u]: for a factor [u] of [left · right]
+    that is a factor of neither part, the canonical border-crossing
+    decomposition [u = u₁ · u₂] with [u₁] a non-empty suffix of [left] and
+    [u₂] a non-empty prefix of [right] (Figure 1); [None] when [u] is a
+    factor of one of the parts. *)
+
+val pseudo_congruence : lookup -> lookup -> Strategy.t
+(** [pseudo_congruence g1 g2]: Duplicator's composed strategy for the game
+    over [w₁·w₂] and [v₁·v₂], where [g1] plays [w₁] vs [v₁] and [g2] plays
+    [w₂] vs [v₂]. Spoiler's choices are routed to the look-up games as in
+    the lemma's proof: common factors to both, one-sided factors to their
+    game, border-crossing factors split by {!split_crossing}. *)
+
+(** {1 Primitive-power lifting (Lemma 4.8)} *)
+
+val primitive_power : base:string -> lookup -> Strategy.t
+(** [primitive_power ~base g]: Duplicator's strategy for the game over
+    [base^p] vs [base^q] ([base] primitive), derived from a unary look-up
+    game over [a^p] vs [a^q]: a move [u] with [exp_base u = 0] is answered
+    verbatim; a move [u = u₁ · baseⁿ · u₂] is answered [u₁ · baseᵐ · u₂]
+    where [aᵐ] answers [aⁿ] in the look-up game (Figure 2). *)
+
+val unary_lookup : p:int -> q:int -> rounds:int -> lookup
+(** The solver-backed look-up game over [a^p] and [a^q]. *)
+
+val unary_lookup_maximin : p:int -> q:int -> cap:int -> lookup
+(** Maximin variant of {!unary_lookup}, for instances where the ≡_{k+3}
+    premise is beyond the full solver's reach. *)
+
+val unary_lookup_threshold : p:int -> q:int -> threshold:int -> cap:int -> lookup
+(** The strategy shape the Primitive-Power proof relies on (Claim F.2):
+    short elements are answered identically, elements within [threshold]
+    of the end are answered by mirroring the distance to the end, and the
+    middle falls back to the maximin search. Validated, never assumed. *)

@@ -1,0 +1,113 @@
+type history = (Game.move * string) list
+type t = Game.config -> history -> Game.move -> string
+
+exception Failure_to_respond of string
+
+type failure = {
+  history : history;
+  move : Game.move;
+  response : string option;
+  reason : string;
+}
+
+let entry_of_round (move : Game.move) response : Partial_iso.entry =
+  match move.Game.side with
+  | Game.Left -> (Some move.Game.element, Some response)
+  | Game.Right -> (Some response, Some move.Game.element)
+
+let entries_of_history cfg history =
+  List.fold_left
+    (fun acc (m, r) -> entry_of_round m r :: acc)
+    (Game.constant_entries cfg) history
+
+let spoiler_moves cfg ~skip_dominated history =
+  let sta, stb = Game.structures cfg in
+  (* Elements present on a given side of the position: moves played on that
+     side plus responses to moves from the other side. *)
+  let on_side side =
+    List.map
+      (fun ((m : Game.move), r) -> if m.Game.side = side then m.Game.element else r)
+      history
+  in
+  let consts = Game.constant_entries cfg in
+  let const_values proj = List.filter_map proj consts in
+  let moves side st proj =
+    Fc.Structure.universe st
+    |> List.filter (fun e -> not (List.mem e (const_values proj)))
+    |> List.filter (fun e -> not (skip_dominated && List.mem e (on_side side)))
+    |> List.map (fun e -> { Game.side; Game.element = e })
+  in
+  moves Game.Left sta fst @ moves Game.Right stb snd
+
+let validate ?(skip_dominated = true) cfg ~k strategy =
+  let exception Failed of failure in
+  let sta, stb = Game.structures cfg in
+  let opposite_mem (m : Game.move) r =
+    match m.Game.side with
+    | Game.Left -> Fc.Structure.mem stb r
+    | Game.Right -> Fc.Structure.mem sta r
+  in
+  let rec play history rounds_left =
+    if rounds_left = 0 then ()
+    else
+      let entries = entries_of_history cfg history in
+      List.iter
+        (fun m ->
+          let response =
+            try Ok (strategy cfg history m) with
+            | Failure_to_respond msg -> Error msg
+            | Invalid_argument msg -> Error msg
+          in
+          match response with
+          | Error reason -> raise (Failed { history; move = m; response = None; reason })
+          | Ok r ->
+              if not (opposite_mem m r) then
+                raise
+                  (Failed
+                     {
+                       history;
+                       move = m;
+                       response = Some r;
+                       reason = "response is not a factor of the opposite word";
+                     });
+              let entry = entry_of_round m r in
+              if not (Partial_iso.extension_ok entries entry) then
+                raise
+                  (Failed
+                     {
+                       history;
+                       move = m;
+                       response = Some r;
+                       reason = "partial isomorphism violated";
+                     });
+              play (history @ [ (m, r) ]) (rounds_left - 1))
+        (spoiler_moves cfg ~skip_dominated history)
+  in
+  if not (Game.base_partial_iso cfg) then
+    Error
+      {
+        history = [];
+        move = { Game.side = Game.Left; Game.element = "" };
+        response = None;
+        reason = "constant vectors are not partially isomorphic";
+      }
+  else try Ok (play [] k) with Failed f -> Error f
+
+let rounds_survived cfg ~k strategy =
+  let rec go j =
+    if j > k then k
+    else match validate cfg ~k:j strategy with Ok () -> go (j + 1) | Error _ -> j - 1
+  in
+  go 1
+
+let pp_failure ppf f =
+  let pp_round ppf ((m : Game.move), r) =
+    Format.fprintf ppf "%a→%a" Game.pp_move m Words.Word.pp r
+  in
+  Format.fprintf ppf "after [%a], move %a, response %a: %s"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") pp_round)
+    f.history Game.pp_move f.move
+    (Format.pp_print_option
+       ~none:(fun ppf () -> Format.pp_print_string ppf "(none)")
+       Words.Word.pp)
+    f.response f.reason

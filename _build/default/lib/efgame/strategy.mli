@@ -1,0 +1,43 @@
+(** Duplicator strategies as first-class values, with an exhaustive
+    validator.
+
+    A strategy maps the game history and the current Spoiler move to a
+    response in the opposite structure. Strategies are pure functions of
+    the full history, so composed strategies (look-up games, Section 4)
+    can recompute their auxiliary game states deterministically.
+
+    The validator plays {e every} Spoiler move sequence (modulo dominated
+    repetitions) against the strategy and checks the partial isomorphism
+    after every round — a finite, complete certification that the strategy
+    wins the k-round game on the given pair of words. *)
+
+type history = (Game.move * string) list
+(** Oldest round first: (Spoiler's move, Duplicator's response). *)
+
+type t = Game.config -> history -> Game.move -> string
+(** May raise {!Failure_to_respond} when the strategy is stuck. *)
+
+exception Failure_to_respond of string
+
+type failure = {
+  history : history;
+  move : Game.move;
+  response : string option;  (** [None] when the strategy raised *)
+  reason : string;
+}
+
+val entries_of_history : Game.config -> history -> Partial_iso.entry list
+(** The position (played pairs plus constant entries) a history denotes. *)
+
+val validate :
+  ?skip_dominated:bool -> Game.config -> k:int -> t -> (unit, failure) result
+(** Exhaustive certification. [skip_dominated] (default true) prunes
+    Spoiler moves that repeat an element already in the position —
+    Duplicator's reply is forced and the position does not change, so
+    omitting them does not weaken Spoiler. *)
+
+val rounds_survived : Game.config -> k:int -> t -> int
+(** The largest [j ≤ k] such that the strategy survives all j-round
+    Spoiler plays. *)
+
+val pp_failure : Format.formatter -> failure -> unit

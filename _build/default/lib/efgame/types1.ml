@@ -1,0 +1,54 @@
+(* An element's atomic type: for every slot pattern over {a} ∪ constants
+   (with a occurring at least once), whether the concatenation fact holds;
+   plus equalities with each constant. Constants are identified by NAME so
+   fingerprints are comparable across the two structures. *)
+
+type fingerprint = { equalities : (string * bool) list; triples : (string * bool) list }
+
+let compare_fingerprint = compare
+
+let slot_values st =
+  (* (name, value-or-⊥) for each constant, plus the element slot "·" *)
+  Fc.Structure.constant_vector st
+
+let fingerprint st a =
+  let consts = slot_values st in
+  let slots = ("\xc2\xb7", Some a) :: consts in
+  let equalities =
+    List.map (fun (name, v) -> (name, v = Some a)) consts
+  in
+  let concat3 x y z =
+    match (x, y, z) with
+    | Some xv, Some yv, Some zv -> xv = yv ^ zv && Fc.Structure.mem st xv
+    | _ -> false
+  in
+  let triples =
+    List.concat_map
+      (fun (n1, v1) ->
+        List.concat_map
+          (fun (n2, v2) ->
+            List.filter_map
+              (fun (n3, v3) ->
+                if n1 = "\xc2\xb7" || n2 = "\xc2\xb7" || n3 = "\xc2\xb7" then
+                  Some (Printf.sprintf "%s=%s.%s" n1 n2 n3, concat3 v1 v2 v3)
+                else None)
+              slots)
+          slots)
+      slots
+  in
+  { equalities; triples }
+
+let types_of st =
+  Fc.Structure.universe st
+  |> List.map (fingerprint st)
+  |> List.sort_uniq compare_fingerprint
+
+let equiv1 ?sigma w v =
+  let sigma =
+    match sigma with
+    | Some cs -> List.sort_uniq Char.compare cs
+    | None -> List.sort_uniq Char.compare (Words.Word.alphabet w @ Words.Word.alphabet v)
+  in
+  let stw = Fc.Structure.make ~sigma w and stv = Fc.Structure.make ~sigma v in
+  let base = Partial_iso.holds (Partial_iso.constant_entries stw stv) in
+  base && types_of stw = types_of stv

@@ -1,0 +1,22 @@
+(** A direct, game-free decision procedure for ≡₁ via atomic types.
+
+    After one round the position is (a, b) plus the constant vectors, so
+    Duplicator wins the 1-round game iff every element of either structure
+    has a partner with the same {e atomic type}: the pattern of equalities
+    and concatenation facts the element forms with the constants and with
+    itself. This is the k = 1 instance of the Hintikka/type view of
+    Ehrenfeucht-Fraïssé equivalence — an independent oracle the solver is
+    differentially tested against. *)
+
+type fingerprint
+(** The atomic type of an element relative to its structure's constants. *)
+
+val fingerprint : Fc.Structure.t -> string -> fingerprint
+val compare_fingerprint : fingerprint -> fingerprint -> int
+
+val types_of : Fc.Structure.t -> fingerprint list
+(** The set of atomic types realized in the structure, sorted. *)
+
+val equiv1 : ?sigma:char list -> string -> string -> bool
+(** [equiv1 w v]: decides w ≡₁ v — constant vectors partially isomorphic
+    and both structures realize exactly the same atomic types. *)

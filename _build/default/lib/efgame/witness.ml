@@ -1,0 +1,69 @@
+let unary n = String.make n 'a'
+
+type scan_outcome =
+  | Found of int * int
+  | Exhausted of int
+  | Inconclusive of int * (int * int) list
+
+let verify_pair ?budget ~k p q = Game.equiv ?budget (unary p) (unary q) k
+
+let verify_pair_sound ?budget ?(width = 6) ~k p q =
+  Game.equiv ~mode:(Game.Duplicator_limited width) ?budget (unary p) (unary q) k
+
+let minimal_pair ?budget ~k ~max_n () =
+  let unknowns = ref [] in
+  let found = ref None in
+  (try
+     for q = 1 to max_n do
+       for p = 0 to q - 1 do
+         if !found = None then
+           match verify_pair ?budget ~k p q with
+           | Game.Equiv ->
+               found := Some (p, q);
+               raise Exit
+           | Game.Not_equiv -> ()
+           | Game.Unknown -> unknowns := (p, q) :: !unknowns
+       done
+     done
+   with Exit -> ());
+  match !found with
+  | Some (p, q) -> Found (p, q)
+  | None -> if !unknowns = [] then Exhausted max_n else Inconclusive (max_n, List.rev !unknowns)
+
+let classes ?budget ~k ~max_n () =
+  let reps : (int * int list ref) list ref = ref [] in
+  let ok = ref true in
+  for n = 0 to max_n do
+    if !ok then begin
+      let rec place = function
+        | [] -> reps := !reps @ [ (n, ref [ n ]) ]
+        | (rep, members) :: rest -> (
+            match verify_pair ?budget ~k rep n with
+            | Game.Equiv -> members := n :: !members
+            | Game.Not_equiv -> place rest
+            | Game.Unknown -> ok := false)
+      in
+      place !reps
+    end
+  done;
+  if not !ok then None
+  else Some (List.map (fun (_, members) -> List.rev !members) !reps)
+
+let classes_words ?budget ~sigma ~k ~max_len () =
+  let reps : (string * string list ref) list ref = ref [] in
+  let ok = ref true in
+  List.iter
+    (fun w ->
+      if !ok then begin
+        let rec place = function
+          | [] -> reps := !reps @ [ (w, ref [ w ]) ]
+          | (rep, members) :: rest -> (
+              match Game.equiv ?budget ~sigma rep w k with
+              | Game.Equiv -> members := w :: !members
+              | Game.Not_equiv -> place rest
+              | Game.Unknown -> ok := false)
+        in
+        place !reps
+      end)
+    (Words.Word.enumerate ~alphabet:sigma ~max_len);
+  if not !ok then None else Some (List.map (fun (_, members) -> List.rev !members) !reps)

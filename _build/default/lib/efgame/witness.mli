@@ -1,0 +1,31 @@
+(** Witness search over unary words (Lemma 3.4): minimal pairs p < q with
+    [a^p ≡_k a^q], and ≡_k equivalence classes of initial segments. *)
+
+type scan_outcome =
+  | Found of int * int  (** the minimal pair within the scanned range *)
+  | Exhausted of int  (** no pair with q ≤ bound; all verdicts were exact *)
+  | Inconclusive of int * (int * int) list
+      (** bound, plus the pairs on which the solver ran out of budget *)
+
+val minimal_pair : ?budget:int -> k:int -> max_n:int -> unit -> scan_outcome
+(** Scan pairs in order of q, then p (so the first hit minimizes the larger
+    word). Prunes using monotonicity: a pair can only be ≡_k if it is ≡_j
+    for every j < k. *)
+
+val classes : ?budget:int -> k:int -> max_n:int -> unit -> int list list option
+(** ≡_k-classes of {a^0, …, a^max_n}, each sorted ascending, classes
+    ordered by minimum. [None] when some comparison came back [Unknown]. *)
+
+val verify_pair : ?budget:int -> k:int -> int -> int -> Game.verdict
+(** [verify_pair ~k p q]: decide [a^p ≡_k a^q] with a full search. *)
+
+val verify_pair_sound : ?budget:int -> ?width:int -> k:int -> int -> int -> Game.verdict
+(** One-sided verification using the Duplicator-restricted search (default
+    [width] 6): [Equiv] answers are sound; anything else is [Unknown]. For
+    pairs beyond the full solver's reach. *)
+
+val classes_words :
+  ?budget:int -> sigma:char list -> k:int -> max_len:int -> unit ->
+  string list list option
+(** ≡_k classes of all words over [sigma] up to [max_len] — the finite
+    index underlying Theorem 3.2. [None] on budget exhaustion. *)

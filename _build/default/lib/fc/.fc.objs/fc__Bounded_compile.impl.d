@@ -1,0 +1,1 @@
+lib/fc/bounded_compile.ml: Builders Formula List Option Regex_engine Term

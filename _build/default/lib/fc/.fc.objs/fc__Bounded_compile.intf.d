@@ -1,0 +1,1 @@
+lib/fc/bounded_compile.mli: Formula Regex_engine

@@ -1,0 +1,1 @@
+lib/fc/builders.ml: Formula List Semilinear String Term Words

@@ -1,0 +1,1 @@
+lib/fc/builders.mli: Formula Semilinear Term

@@ -1,0 +1,1 @@
+lib/fc/eval.ml: Char Formula Hashtbl List Printf Regex_engine String Structure Term Words

@@ -1,0 +1,1 @@
+lib/fc/eval.mli: Formula Structure Term

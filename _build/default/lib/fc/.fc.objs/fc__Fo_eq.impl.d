@@ -1,0 +1,1 @@
+lib/fc/fo_eq.ml: Format List Printf String

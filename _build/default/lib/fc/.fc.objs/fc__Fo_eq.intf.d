@@ -1,0 +1,1 @@
+lib/fc/fo_eq.mli: Format

@@ -1,0 +1,1 @@
+lib/fc/formula.ml: Char Format List Printf Regex_engine String Term

@@ -1,0 +1,1 @@
+lib/fc/formula.mli: Format Regex_engine Term

@@ -1,0 +1,1 @@
+lib/fc/parser.ml: Formula List Printf Regex_engine Result String Term

@@ -1,0 +1,1 @@
+lib/fc/parser.mli: Formula

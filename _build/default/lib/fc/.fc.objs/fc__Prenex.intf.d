@@ -1,0 +1,1 @@
+lib/fc/prenex.mli: Formula

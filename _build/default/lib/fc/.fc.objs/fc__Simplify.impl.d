@@ -1,0 +1,1 @@
+lib/fc/simplify.ml: Formula List Regex_engine Term

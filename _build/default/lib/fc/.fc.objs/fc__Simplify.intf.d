@@ -1,0 +1,1 @@
+lib/fc/simplify.mli: Formula

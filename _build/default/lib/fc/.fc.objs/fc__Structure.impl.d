@@ -1,0 +1,1 @@
+lib/fc/structure.ml: Char Format List String Words

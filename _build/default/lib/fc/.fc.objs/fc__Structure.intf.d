@@ -1,0 +1,1 @@
+lib/fc/structure.mli: Format Words

@@ -1,0 +1,1 @@
+lib/fc/term.ml: Format Stdlib

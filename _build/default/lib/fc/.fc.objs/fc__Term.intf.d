@@ -1,0 +1,1 @@
+lib/fc/term.mli: Format

@@ -1,0 +1,61 @@
+open Formula
+
+let rec of_form (form : Regex_engine.Bounded.form) x =
+  match form with
+  | Finite ws -> Builders.finite_language ws x
+  | Word_star w -> Builders.word_star w x
+  | Power_set (z, s) -> Builders.power_set z s x
+  | Branch fs -> disj (List.map (fun f -> of_form f x) fs)
+  | Seq [] -> eq2 (Term.var x) Term.eps
+  | Seq fs ->
+      let parts = List.map (fun _ -> fresh_var ~prefix:"s" ()) fs in
+      let constraints = List.map2 (fun f p -> of_form f p) fs parts in
+      exists parts (conj (eq_concat (Term.var x) (List.map Term.var parts) :: constraints))
+
+let of_bounded_regex ?alphabet r x =
+  Option.map (fun f -> of_form f x) (Regex_engine.Bounded.decompose ?alphabet r)
+
+let of_simple_regex ~sigma r x =
+  match Regex_engine.Simple_re.flatten ~sigma r with
+  | None -> None
+  | Some branches ->
+      let compile_branch atoms =
+        let parts =
+          List.map
+            (function
+              | Regex_engine.Simple_re.Letter c -> `C c
+              | Regex_engine.Simple_re.Any -> `V (fresh_var ~prefix:"w" ()))
+            atoms
+        in
+        Builders.exists_split (Term.var x) parts True
+      in
+      Some (disj (List.map compile_branch branches))
+
+let compile_formula ?sigma f =
+  let sigma = match sigma with Some cs -> cs | None -> Formula.constants f in
+  let exception Unsupported in
+  let compile_mem t r =
+    let x, wrap =
+      match t with
+      | Term.Var x -> (x, fun body -> body)
+      | _ ->
+          let x = fresh_var ~prefix:"m" () in
+          (x, fun body -> Exists (x, And (eq2 (Term.var x) t, body)))
+    in
+    match of_bounded_regex ~alphabet:sigma r x with
+    | Some body -> wrap body
+    | None -> (
+        match of_simple_regex ~sigma r x with
+        | Some body -> wrap body
+        | None -> raise Unsupported)
+  in
+  let rec go = function
+    | (True | False | Eq _) as a -> a
+    | Mem (t, r) -> compile_mem t r
+    | Not f -> Not (go f)
+    | And (a, b) -> And (go a, go b)
+    | Or (a, b) -> Or (go a, go b)
+    | Exists (x, f) -> Exists (x, go f)
+    | Forall (x, f) -> Forall (x, go f)
+  in
+  try Some (go f) with Unsupported -> None

@@ -1,0 +1,30 @@
+(** Compiling regular constraints away (Lemma 5.3 / Claim C.2, plus the
+    simple-regular-expression case of Lemma 5.5 in Freydenberger &
+    Peterfreund 2019).
+
+    Every bounded regular language is FC-definable; consequently an
+    FC[REG] formula whose constraints are all bounded (or simple) can be
+    rewritten into a pure FC formula with the same satisfying
+    assignments. *)
+
+val of_form : Regex_engine.Bounded.form -> string -> Formula.t
+(** [of_form f x]: a pure FC formula φ(x) with σ(x) ∈ L(f) iff
+    (𝔄_w, σ) ⊨ φ, for every word w and factor σ(x). *)
+
+val of_bounded_regex :
+  ?alphabet:char list -> Regex_engine.Regex.t -> string -> Formula.t option
+(** [of_bounded_regex γ x]: compile the constraint (x ∈̇ γ) to pure FC when
+    γ admits a bounded normal form ({!Regex_engine.Bounded.decompose}). *)
+
+val of_simple_regex :
+  sigma:char list -> Regex_engine.Regex.t -> string -> Formula.t option
+(** Compile (x ∈̇ γ) for a {e simple} regular expression γ — letters, ε,
+    union, concatenation and the Σ-star wildcard, which becomes an
+    unconstrained existential factor. *)
+
+val compile_formula : ?sigma:char list -> Formula.t -> Formula.t option
+(** Rewrite every [Mem] atom of an FC[REG] formula using
+    {!of_bounded_regex}, falling back to {!of_simple_regex}; [None] when
+    some constraint is neither bounded-decomposable nor simple. The result
+    is pure FC and agrees with the input on every structure whose alphabet
+    contains [sigma] (default: the constants of the formula). *)

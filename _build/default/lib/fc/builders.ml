@@ -1,0 +1,131 @@
+open Formula
+
+let v = Term.var
+let c = Term.const
+
+let universe x =
+  let z1 = fresh_var ~prefix:"z" () and z2 = fresh_var ~prefix:"z" () in
+  Not
+    (exists [ z1; z2 ]
+       (And
+          ( Or (eq (v z1) (v z2) (v x), eq (v z1) (v x) (v z2)),
+            Not (eq2 (v z2) Term.eps) )))
+
+let whole_word_exists body x = Exists (x, And (universe x, body))
+let ww = whole_word_exists (Exists ("_y", eq (v "_u") (v "_y") (v "_y"))) "_u"
+let copy x y = eq (v x) (v y) (v y)
+
+let k_copies k x y =
+  if k < 0 then invalid_arg "Builders.k_copies";
+  eq_concat (v x) (List.init k (fun _ -> v y))
+
+let cube_free =
+  Forall
+    ( "z",
+      implies
+        (Not (eq2 (v "z") Term.eps))
+        (Not
+           (exists [ "x"; "y" ] (And (eq (v "x") (v "z") (v "y"), eq (v "y") (v "z") (v "z"))))) )
+
+let vbv =
+  exists [ "x"; "y"; "z" ]
+    (conj [ eq (v "y") (v "x") (v "z"); eq (v "z") (c 'b') (v "x"); universe "y" ])
+
+let rec forall_split term parts body =
+  match parts with
+  | [] -> implies (eq2 term Term.eps) body
+  | [ `C ch ] -> implies (eq term (c ch) Term.eps) body
+  | [ `V y ] -> Forall (y, implies (eq (v y) term Term.eps) body)
+  | `C ch :: rest ->
+      let r = fresh_var ~prefix:"r" () in
+      Forall (r, implies (eq term (c ch) (v r)) (forall_split (v r) rest body))
+  | `V y :: rest ->
+      let r = fresh_var ~prefix:"r" () in
+      Forall
+        (y, Forall (r, implies (eq term (v y) (v r)) (forall_split (v r) rest body)))
+
+let rec exists_split term parts body =
+  match parts with
+  | [] -> And (eq2 term Term.eps, body)
+  | [ `C ch ] -> And (eq term (c ch) Term.eps, body)
+  | [ `V y ] -> Exists (y, And (eq (v y) term Term.eps, body))
+  | `C ch :: rest ->
+      let r = fresh_var ~prefix:"r" () in
+      Exists (r, And (eq term (c ch) (v r), exists_split (v r) rest body))
+  | `V y :: rest ->
+      let r = fresh_var ~prefix:"r" () in
+      Exists (y, Exists (r, And (eq term (v y) (v r), exists_split (v r) rest body)))
+
+let contains_letter ch y =
+  let p = fresh_var ~prefix:"p" () and q = fresh_var ~prefix:"q" () in
+  exists_split (v y) [ `V p; `C ch; `V q ] True
+
+let fib =
+  (* L_fib = { c F₀ c F₁ c ⋯ c Fₙ c | n ∈ ℕ } over Σ = {a, b, c}. The two
+     shortest members are explicit disjuncts (see the interface comment);
+     longer members are characterized by: the word looks like
+     c·a·c·ab·c·(…·c)⁺ with no factor cc, and every factor c y₁ c y₂ c y₃ c
+     with c-free yᵢ satisfies y₃ = y₂·y₁. *)
+  let u = "_u" in
+  let struc =
+    let x1 = fresh_var ~prefix:"x" () in
+    And
+      ( exists_split (v u) [ `C 'c'; `C 'a'; `C 'c'; `C 'a'; `C 'b'; `C 'c'; `V x1; `C 'c' ] True,
+        Not
+          (Exists
+             ( "_cc",
+               exists_split (v "_cc") [ `C 'c'; `C 'c' ] True )) )
+  in
+  let recurrence =
+    Forall
+      ( "_x",
+        forall_split (v "_x")
+          [ `C 'c'; `V "_y1"; `C 'c'; `V "_y2"; `C 'c'; `V "_y3"; `C 'c' ]
+          (disj
+             [ contains_letter 'c' "_y1";
+               contains_letter 'c' "_y2";
+               contains_letter 'c' "_y3";
+               eq (v "_y3") (v "_y2") (v "_y1")
+             ]) )
+  in
+  whole_word_exists
+    (disj [ eq_word (v u) "cac"; eq_word (v u) "cacabc"; And (struc, recurrence) ])
+    u
+
+let finite_language ws x = disj (List.map (eq_word (v x)) ws)
+
+let primitive_star z x =
+  (* x ∈ z* for primitive z: x = ε, or x = z·t = t·z for some t (then
+     commutation forces t ∈ z* since z is primitive). *)
+  assert (Words.Primitive.is_primitive z);
+  let t = fresh_var ~prefix:"z" () in
+  let letters = List.init (String.length z) (fun i -> c z.[i]) in
+  Or
+    ( eq2 (v x) Term.eps,
+      Exists
+        (t, And (eq_concat (v x) (letters @ [ v t ]), eq_concat (v x) (v t :: letters))) )
+
+let word_star w x =
+  if w = "" then eq2 (v x) Term.eps
+  else
+    let root, k = Words.Primitive.primitive_root w in
+    if k = 1 then primitive_star root x
+    else
+      (* x ∈ (u^k)* ⟺ x = y^k for some y ∈ u*. *)
+      let y = fresh_var ~prefix:"y" () in
+      Exists (y, And (primitive_star root y, k_copies k x y))
+
+let power_set z s x =
+  if z = "" then invalid_arg "Builders.power_set: empty base";
+  let component l =
+    let base = Semilinear.Linear.base l and periods = Semilinear.Linear.periods l in
+    let base_var = fresh_var ~prefix:"b" () in
+    let period_vars = List.map (fun _ -> fresh_var ~prefix:"p" ()) periods in
+    let parts = List.map v (base_var :: period_vars) in
+    exists (base_var :: period_vars)
+      (conj
+         (eq_concat (v x) parts
+         :: eq_word (v base_var) (Words.Word.repeat z base)
+         :: List.map2 (fun pv p -> word_star (Words.Word.repeat z p) pv) period_vars periods))
+  in
+  disj (List.map component (Semilinear.Set.linears s))

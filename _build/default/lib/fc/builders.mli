@@ -1,0 +1,65 @@
+(** The concrete FC formulas used throughout the paper, built once and
+    shared by examples, experiments and tests.
+
+    Where the paper's appendix formulas contain slips, the corrected
+    versions are used and the deviation is spelled out (they are also
+    exercised in the experiment suite):
+
+    - Claim C.2's [φ_{w*}(x) := (x ≐ ε) ∨ ∃z: (x ≐ w·z) ∧ (x ≐ z·w)] is
+      only correct for {e primitive} w — for w = u^k (k ≥ 2) it accepts
+      every u^{k+j}, e.g. aaa for w = aa. {!word_star} therefore reduces to
+      the primitive root and adds a k-th-power constraint.
+    - Proposition 3.3's φ_struc forces the prefix c·a·c·ab·c and forbids
+      the factor cc, which excludes the two shortest members of L_fib
+      (cac and cacabc); {!fib} adds them back as explicit disjuncts. *)
+
+val universe : string -> Formula.t
+(** [universe x]: φ_w(x) of Example 2.4 — σ(x) is the whole input word:
+    no factor extends x on either side by a non-empty word. *)
+
+val whole_word_exists : Formula.t -> string -> Formula.t
+(** [whole_word_exists body x]: ∃x: universe(x) ∧ body — the standard way
+    to simulate the universe variable 𝔲 of the original FC definition. *)
+
+val ww : Formula.t
+(** φ_ww of Example 2.4: the input word is a square v·v. *)
+
+val copy : string -> string -> Formula.t
+(** [copy x y]: the relation R_copy, x = y·y. *)
+
+val k_copies : int -> string -> string -> Formula.t
+(** [k_copies k x y]: x = y^k (R_{k-copies}); [k ≥ 0]. *)
+
+val cube_free : Formula.t
+(** The introduction's sentence: no factor u·u·u with u ≠ ε. *)
+
+val vbv : Formula.t
+(** Proposition 3.5's distinguishing sentence for { v·b·v | v ∈ Σ* };
+    quantifier rank 5. *)
+
+val forall_split :
+  Term.t -> [ `C of char | `V of string ] list -> Formula.t -> Formula.t
+(** [forall_split t parts body]: for every decomposition of (the value of)
+    [t] as the concatenation of [parts] — fixed letters [`C c] and freshly
+    universally-quantified variables [`V y] — [body] holds. Built as an
+    interleaved guard chain so the guided evaluator explores only genuine
+    decompositions. *)
+
+val exists_split :
+  Term.t -> [ `C of char | `V of string ] list -> Formula.t -> Formula.t
+(** Existential counterpart of {!forall_split}. *)
+
+val contains_letter : char -> string -> Formula.t
+(** [contains_letter c y]: φ_c(y) — y has an occurrence of the letter c. *)
+
+val fib : Formula.t
+(** Proposition 3.3: a sentence with L(φ) = L_fib over Σ = {a, b, c}. *)
+
+val word_star : string -> string -> Formula.t
+(** [word_star w x]: x ∈ w* (corrected Claim C.2; see above). *)
+
+val finite_language : string list -> string -> Formula.t
+(** [finite_language ws x]: x ∈ {w₁, …, wₙ}. *)
+
+val power_set : string -> Semilinear.Set.t -> string -> Formula.t
+(** [power_set z s x]: x ∈ { zⁿ | n ∈ s } for a non-empty word z. *)

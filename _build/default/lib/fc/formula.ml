@@ -1,0 +1,154 @@
+type t =
+  | True
+  | False
+  | Eq of Term.t * Term.t * Term.t
+  | Mem of Term.t * Regex_engine.Regex.t
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Exists of string * t
+  | Forall of string * t
+
+let eq t1 t2 t3 = Eq (t1, t2, t3)
+let eq2 t1 t2 = Eq (t1, t2, Term.Eps)
+let mem t r = Mem (t, r)
+
+let conj = function
+  | [] -> True
+  | f :: fs -> List.fold_left (fun acc g -> And (acc, g)) f fs
+
+let disj = function
+  | [] -> False
+  | f :: fs -> List.fold_left (fun acc g -> Or (acc, g)) f fs
+
+let implies a b = Or (Not a, b)
+let iff a b = And (implies a b, implies b a)
+let exists xs f = List.fold_right (fun x acc -> Exists (x, acc)) xs f
+let forall xs f = List.fold_right (fun x acc -> Forall (x, acc)) xs f
+
+let fresh_counter = ref 0
+
+let fresh_var ?(prefix = "t") () =
+  incr fresh_counter;
+  Printf.sprintf "_%s%d" prefix !fresh_counter
+
+let rec eq_concat x ts =
+  match ts with
+  | [] -> eq2 x Term.Eps
+  | [ t ] -> eq2 x t
+  | [ t1; t2 ] -> Eq (x, t1, t2)
+  | t :: rest ->
+      let aux = fresh_var () in
+      Exists (aux, And (Eq (x, t, Term.Var aux), eq_concat (Term.Var aux) rest))
+
+let eq_word x w = eq_concat x (List.init (String.length w) (fun i -> Term.Const w.[i]))
+
+let rec quantifier_rank = function
+  | True | False | Eq _ | Mem _ -> 0
+  | Not f -> quantifier_rank f
+  | And (a, b) | Or (a, b) -> max (quantifier_rank a) (quantifier_rank b)
+  | Exists (_, f) | Forall (_, f) -> 1 + quantifier_rank f
+
+let rec free_vars_raw = function
+  | True | False -> []
+  | Eq (t1, t2, t3) -> Term.vars t1 @ Term.vars t2 @ Term.vars t3
+  | Mem (t, _) -> Term.vars t
+  | Not f -> free_vars_raw f
+  | And (a, b) | Or (a, b) -> free_vars_raw a @ free_vars_raw b
+  | Exists (x, f) | Forall (x, f) -> List.filter (fun y -> y <> x) (free_vars_raw f)
+
+let free_vars f = List.sort_uniq String.compare (free_vars_raw f)
+
+let rec all_vars_raw = function
+  | True | False -> []
+  | Eq (t1, t2, t3) -> Term.vars t1 @ Term.vars t2 @ Term.vars t3
+  | Mem (t, _) -> Term.vars t
+  | Not f -> all_vars_raw f
+  | And (a, b) | Or (a, b) -> all_vars_raw a @ all_vars_raw b
+  | Exists (x, f) | Forall (x, f) -> x :: all_vars_raw f
+
+let all_vars f = List.sort_uniq String.compare (all_vars_raw f)
+let is_sentence f = free_vars f = []
+
+let rec is_pure_fc = function
+  | True | False | Eq _ -> true
+  | Mem _ -> false
+  | Not f | Exists (_, f) | Forall (_, f) -> is_pure_fc f
+  | And (a, b) | Or (a, b) -> is_pure_fc a && is_pure_fc b
+
+let constants f =
+  let term_consts = function Term.Const c -> [ c ] | Term.Var _ | Term.Eps -> [] in
+  let rec go = function
+    | True | False -> []
+    | Eq (t1, t2, t3) -> term_consts t1 @ term_consts t2 @ term_consts t3
+    | Mem (t, r) -> term_consts t @ Regex_engine.Regex.alphabet r
+    | Not f | Exists (_, f) | Forall (_, f) -> go f
+    | And (a, b) | Or (a, b) -> go a @ go b
+  in
+  List.sort_uniq Char.compare (go f)
+
+let rec size = function
+  | True | False | Eq _ | Mem _ -> 1
+  | Not f | Exists (_, f) | Forall (_, f) -> 1 + size f
+  | And (a, b) | Or (a, b) -> 1 + size a + size b
+
+let rename_free subst f =
+  let rename_term subst = function
+    | Term.Var x -> ( match List.assoc_opt x subst with Some y -> Term.Var y | None -> Term.Var x)
+    | t -> t
+  in
+  let rec go subst = function
+    | True -> True
+    | False -> False
+    | Eq (t1, t2, t3) -> Eq (rename_term subst t1, rename_term subst t2, rename_term subst t3)
+    | Mem (t, r) -> Mem (rename_term subst t, r)
+    | Not f -> Not (go subst f)
+    | And (a, b) -> And (go subst a, go subst b)
+    | Or (a, b) -> Or (go subst a, go subst b)
+    | Exists (x, f) -> Exists (x, go (List.remove_assoc x subst) f)
+    | Forall (x, f) -> Forall (x, go (List.remove_assoc x subst) f)
+  in
+  go subst f
+
+let rec nnf = function
+  | (True | False | Eq _ | Mem _) as a -> a
+  | And (a, b) -> And (nnf a, nnf b)
+  | Or (a, b) -> Or (nnf a, nnf b)
+  | Exists (x, f) -> Exists (x, nnf f)
+  | Forall (x, f) -> Forall (x, nnf f)
+  | Not f -> (
+      match f with
+      | True -> False
+      | False -> True
+      | (Eq _ | Mem _) as a -> Not a
+      | Not g -> nnf g
+      | And (a, b) -> Or (nnf (Not a), nnf (Not b))
+      | Or (a, b) -> And (nnf (Not a), nnf (Not b))
+      | Exists (x, g) -> Forall (x, nnf (Not g))
+      | Forall (x, g) -> Exists (x, nnf (Not g)))
+
+let rec pp ppf f =
+  let open Format in
+  match f with
+  | True -> pp_print_string ppf "⊤"
+  | False -> pp_print_string ppf "⊥"
+  | Eq (t1, t2, Term.Eps) when t2 = Term.Eps -> fprintf ppf "(%a ≐ ε)" Term.pp t1
+  | Eq (t1, t2, t3) -> fprintf ppf "(%a ≐ %a·%a)" Term.pp t1 Term.pp t2 Term.pp t3
+  | Mem (t, r) -> fprintf ppf "(%a ∈̇ %a)" Term.pp t Regex_engine.Regex.pp r
+  | Not f -> fprintf ppf "¬%a" pp_tight f
+  | And (a, b) -> fprintf ppf "(%a ∧ %a)" pp a pp b
+  | Or (a, b) -> fprintf ppf "(%a ∨ %a)" pp a pp b
+  | Exists (x, f) -> fprintf ppf "∃%s%a" x pp_quantified f
+  | Forall (x, f) -> fprintf ppf "∀%s%a" x pp_quantified f
+
+and pp_tight ppf f =
+  match f with
+  | Eq _ | Mem _ | True | False | Not _ -> pp ppf f
+  | _ -> Format.fprintf ppf "(%a)" pp f
+
+and pp_quantified ppf f =
+  match f with
+  | Exists _ | Forall _ -> Format.fprintf ppf " %a" pp f
+  | _ -> Format.fprintf ppf ": %a" pp f
+
+let to_string f = Format.asprintf "%a" pp f

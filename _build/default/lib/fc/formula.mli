@@ -1,0 +1,74 @@
+(** FC and FC[REG] formulas (Sections 2 and 5).
+
+    Atomic formulas are word equations [t₁ ≐ t₂ · t₃] over variables,
+    letter constants and ε — syntactic sugar for the ternary concatenation
+    relation R∘ — plus, for FC[REG], regular constraints [t ∈̇ γ].
+    A formula with no {!Mem} atom is a pure FC formula. *)
+
+type t =
+  | True
+  | False
+  | Eq of Term.t * Term.t * Term.t  (** t₁ ≐ t₂ · t₃ *)
+  | Mem of Term.t * Regex_engine.Regex.t  (** t ∈̇ γ (FC[REG] only) *)
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Exists of string * t
+  | Forall of string * t
+
+(** {1 Construction helpers} *)
+
+val eq : Term.t -> Term.t -> Term.t -> t
+(** [eq t1 t2 t3] is [t₁ ≐ t₂ · t₃]. *)
+
+val eq2 : Term.t -> Term.t -> t
+(** [eq2 t1 t2] abbreviates [t₁ ≐ t₂ · ε]. *)
+
+val mem : Term.t -> Regex_engine.Regex.t -> t
+val conj : t list -> t
+val disj : t list -> t
+val implies : t -> t -> t
+val iff : t -> t -> t
+val exists : string list -> t -> t
+val forall : string list -> t -> t
+
+val eq_concat : Term.t -> Term.t list -> t
+(** [eq_concat x [t₁; …; tₙ]] expresses [x ≐ t₁ · t₂ ⋯ tₙ] by splitting the
+    long right-hand side into binary concatenations with fresh auxiliary
+    variables, interleaving the existential quantifiers with their guards
+    (this shape is what the guided evaluator exploits). [eq_concat x []]
+    states [x ≐ ε]. *)
+
+val eq_word : Term.t -> string -> t
+(** [eq_word x w]: [x] denotes exactly the fixed word [w]. *)
+
+val fresh_var : ?prefix:string -> unit -> string
+(** A fresh variable name ["_%s%d"]; deterministic per process. *)
+
+(** {1 Analysis} *)
+
+val quantifier_rank : t -> int
+val free_vars : t -> string list
+(** Sorted, duplicate-free. *)
+
+val all_vars : t -> string list
+val is_sentence : t -> bool
+val is_pure_fc : t -> bool
+(** No regular constraints. *)
+
+val constants : t -> char list
+(** Letter constants appearing in the formula, sorted. *)
+
+val size : t -> int
+(** Number of AST nodes. *)
+
+val rename_free : (string * string) list -> t -> t
+(** Capture-avoiding only in the sense needed here: renames free
+    occurrences; bound variables shadow as usual. The caller must choose
+    fresh targets. *)
+
+val nnf : t -> t
+(** Negation normal form; negations remain only on atoms. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

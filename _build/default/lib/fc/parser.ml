@@ -1,0 +1,253 @@
+exception Error of string
+
+type token =
+  | IDENT of string
+  | CHAR_LIT of char
+  | WORD_LIT of string
+  | REGEX_LIT of Regex_engine.Regex.t
+  | KW_EXISTS
+  | KW_FORALL
+  | KW_IN
+  | KW_EPS
+  | KW_TRUE
+  | KW_FALSE
+  | LPAREN
+  | RPAREN
+  | EQUALS
+  | DOT
+  | AMP
+  | BAR
+  | BANG
+  | ARROW
+  | IFF
+  | COLON
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_' || c = '\''
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let tokenize input =
+  let n = String.length input in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      match input.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1) acc
+      | '(' -> go (i + 1) (LPAREN :: acc)
+      | ')' -> go (i + 1) (RPAREN :: acc)
+      | '=' -> go (i + 1) (EQUALS :: acc)
+      | '.' -> go (i + 1) (DOT :: acc)
+      | '&' -> go (i + 1) (AMP :: acc)
+      | '|' -> go (i + 1) (BAR :: acc)
+      | '!' | '~' -> go (i + 1) (BANG :: acc)
+      | ':' -> go (i + 1) (COLON :: acc)
+      | '-' ->
+          if i + 1 < n && input.[i + 1] = '>' then go (i + 2) (ARROW :: acc)
+          else raise (Error (Printf.sprintf "stray '-' at offset %d" i))
+      | '<' ->
+          if i + 2 < n && input.[i + 1] = '-' && input.[i + 2] = '>' then go (i + 3) (IFF :: acc)
+          else raise (Error (Printf.sprintf "stray '<' at offset %d" i))
+      | '\'' ->
+          if i + 2 < n && input.[i + 2] = '\'' then go (i + 3) (CHAR_LIT input.[i + 1] :: acc)
+          else raise (Error (Printf.sprintf "bad character literal at offset %d" i))
+      | '"' ->
+          let rec closing j =
+            if j >= n then raise (Error "unterminated word literal")
+            else if input.[j] = '"' then j
+            else closing (j + 1)
+          in
+          let j = closing (i + 1) in
+          go (j + 1) (WORD_LIT (String.sub input (i + 1) (j - i - 1)) :: acc)
+      | '/' ->
+          let rec closing j =
+            if j >= n then raise (Error "unterminated regex literal")
+            else if input.[j] = '/' then j
+            else closing (j + 1)
+          in
+          let j = closing (i + 1) in
+          let body = String.sub input (i + 1) (j - i - 1) in
+          (match Regex_engine.Regex.parse body with
+          | Ok r -> go (j + 1) (REGEX_LIT r :: acc)
+          | Error msg -> raise (Error (Printf.sprintf "regex literal: %s" msg)))
+      | ch when is_ident_start ch ->
+          let rec stop j = if j < n && is_ident_char input.[j] then stop (j + 1) else j in
+          let j = stop i in
+          let word = String.sub input i (j - i) in
+          let token =
+            match word with
+            | "exists" | "E" -> KW_EXISTS
+            | "forall" | "A" -> KW_FORALL
+            | "in" -> KW_IN
+            | "eps" -> KW_EPS
+            | "true" -> KW_TRUE
+            | "false" -> KW_FALSE
+            | _ -> IDENT word
+          in
+          go j (token :: acc)
+      | ch -> raise (Error (Printf.sprintf "unexpected character %C at offset %d" ch i))
+  in
+  go 0 []
+
+type state = { mutable tokens : token list }
+
+let peek st = match st.tokens with [] -> None | t :: _ -> Some t
+
+let advance st =
+  match st.tokens with [] -> raise (Error "unexpected end of input") | _ :: rest -> st.tokens <- rest
+
+let expect st token msg =
+  match peek st with
+  | Some t when t = token -> advance st
+  | _ -> raise (Error msg)
+
+(* Terms: a parsed term is either a plain FC term or a word literal, which
+   only some positions accept. *)
+type pterm = Plain of Term.t | Word of string
+
+let parse_term st =
+  match peek st with
+  | Some (IDENT x) ->
+      advance st;
+      Plain (Term.Var x)
+  | Some (CHAR_LIT ch) ->
+      advance st;
+      Plain (Term.Const ch)
+  | Some (WORD_LIT w) ->
+      advance st;
+      Word w
+  | Some KW_EPS ->
+      advance st;
+      Plain Term.Eps
+  | _ -> raise (Error "expected a term")
+
+let term_to_parts = function
+  | Plain t -> [ t ]
+  | Word w -> List.init (String.length w) (fun i -> Term.Const w.[i])
+
+let rec parse_formula st = parse_quantified st
+
+and parse_quantified st =
+  match peek st with
+  | Some KW_EXISTS -> parse_binder st (fun x f -> Formula.Exists (x, f))
+  | Some KW_FORALL -> parse_binder st (fun x f -> Formula.Forall (x, f))
+  | _ -> parse_iff st
+
+and parse_binder st wrap =
+  advance st;
+  let rec vars acc =
+    match peek st with
+    | Some (IDENT x) ->
+        advance st;
+        vars (x :: acc)
+    | Some (DOT | COLON) ->
+        advance st;
+        List.rev acc
+    | _ -> raise (Error "expected variables then '.' or ':' after quantifier")
+  in
+  let xs = vars [] in
+  if xs = [] then raise (Error "quantifier binds no variables");
+  let body = parse_quantified st in
+  List.fold_right wrap xs body
+
+and parse_iff st =
+  let lhs = parse_implies st in
+  match peek st with
+  | Some IFF ->
+      advance st;
+      Formula.iff lhs (parse_iff st)
+  | _ -> lhs
+
+and parse_implies st =
+  let lhs = parse_or st in
+  match peek st with
+  | Some ARROW ->
+      advance st;
+      Formula.implies lhs (parse_implies st)
+  | _ -> lhs
+
+and parse_or st =
+  let first = parse_and st in
+  let rec more acc =
+    match peek st with
+    | Some BAR ->
+        advance st;
+        more (Formula.Or (acc, parse_and st))
+    | _ -> acc
+  in
+  more first
+
+and parse_and st =
+  let first = parse_unary st in
+  let rec more acc =
+    match peek st with
+    | Some AMP ->
+        advance st;
+        more (Formula.And (acc, parse_unary st))
+    | _ -> acc
+  in
+  more first
+
+and parse_unary st =
+  match peek st with
+  | Some BANG ->
+      advance st;
+      Formula.Not (parse_unary st)
+  | Some KW_TRUE ->
+      advance st;
+      Formula.True
+  | Some KW_FALSE ->
+      advance st;
+      Formula.False
+  | Some LPAREN ->
+      advance st;
+      let f = parse_formula st in
+      expect st RPAREN "expected ')'";
+      f
+  | Some (KW_EXISTS | KW_FORALL) -> parse_quantified st
+  | _ -> parse_atom st
+
+and parse_atom st =
+  let lhs = parse_term st in
+  match peek st with
+  | Some EQUALS -> (
+      advance st;
+      let rec rhs acc =
+        match peek st with
+        | Some DOT ->
+            advance st;
+            rhs (parse_term st :: acc)
+        | _ -> List.rev acc
+      in
+      let parts = List.concat_map term_to_parts (rhs [ parse_term st ]) in
+      match lhs with
+      | Plain t -> Formula.eq_concat t parts
+      | Word w ->
+          (* "abc" = rhs: only sensible as a ground identity; encode via a
+             fresh variable constrained to the literal. *)
+          let x = Formula.fresh_var ~prefix:"lit" () in
+          Formula.Exists
+            ( x,
+              Formula.And (Formula.eq_word (Term.Var x) w, Formula.eq_concat (Term.Var x) parts)
+            ))
+  | Some KW_IN -> (
+      advance st;
+      match peek st with
+      | Some (REGEX_LIT r) -> (
+          advance st;
+          match lhs with
+          | Plain t -> Formula.Mem (t, r)
+          | Word w ->
+              let x = Formula.fresh_var ~prefix:"lit" () in
+              Formula.Exists
+                (x, Formula.And (Formula.eq_word (Term.Var x) w, Formula.Mem (Term.Var x, r))))
+      | _ -> raise (Error "expected a /regex/ after 'in'"))
+  | _ -> raise (Error "expected '=' or 'in' in atomic formula")
+
+let parse_exn input =
+  let st = { tokens = tokenize input } in
+  let f = parse_formula st in
+  if st.tokens <> [] then raise (Error "trailing input");
+  f
+
+let parse input = try Ok (parse_exn input) with Error msg -> Result.Error msg

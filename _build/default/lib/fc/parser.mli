@@ -1,0 +1,25 @@
+(** Concrete syntax for FC / FC[REG] formulas.
+
+    Grammar (precedence from loosest to tightest):
+    {v
+    formula  ::= ('exists'|'E') vars ('.'|':') formula
+               | ('forall'|'A') vars ('.'|':') formula
+               | iff
+    iff      ::= implies ('<->' implies)*
+    implies  ::= or ('->' implies)?
+    or       ::= and ('|' and)*
+    and      ::= unary ('&' unary)*
+    unary    ::= ('!'|'~') unary | '(' formula ')' | 'true' | 'false' | atom
+    atom     ::= term '=' term ('.' term)*        word equation
+               | term 'in' '/' regex '/'          regular constraint
+    term     ::= identifier | 'eps' | '\'' char '\'' | '"' word '"'
+    v}
+
+    A word literal ["abc"] on the right-hand side contributes its letters
+    to the concatenation; on the left-hand side it is only allowed as the
+    unique right-hand-side-free form [t = "abc"].
+
+    Example: ["forall z. !(z = eps) -> !exists x y. (x = z . y) & (y = z . z)"]. *)
+
+val parse : string -> (Formula.t, string) result
+val parse_exn : string -> Formula.t

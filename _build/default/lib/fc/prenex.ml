@@ -1,0 +1,71 @@
+open Formula
+
+let rename_apart f =
+  let rec go subst = function
+    | True -> True
+    | False -> False
+    | Eq (t1, t2, t3) ->
+        let r = function
+          | Term.Var x -> (
+              match List.assoc_opt x subst with Some y -> Term.Var y | None -> Term.Var x)
+          | t -> t
+        in
+        Eq (r t1, r t2, r t3)
+    | Mem (t, re) ->
+        let t =
+          match t with
+          | Term.Var x -> (
+              match List.assoc_opt x subst with Some y -> Term.Var y | None -> Term.Var x)
+          | t -> t
+        in
+        Mem (t, re)
+    | Not g -> Not (go subst g)
+    | And (a, b) -> And (go subst a, go subst b)
+    | Or (a, b) -> Or (go subst a, go subst b)
+    | Exists (x, g) ->
+        let x' = fresh_var ~prefix:"q" () in
+        Exists (x', go ((x, x') :: subst) g)
+    | Forall (x, g) ->
+        let x' = fresh_var ~prefix:"q" () in
+        Forall (x', go ((x, x') :: subst) g)
+  in
+  go [] f
+
+type quant = Q_exists of string | Q_forall of string
+
+let prenex f =
+  let rec pull (f : t) : quant list * t =
+    match f with
+    | True | False | Eq _ | Mem _ | Not (Eq _) | Not (Mem _) -> ([], f)
+    | Not _ -> assert false (* NNF: negation only on atoms *)
+    | Exists (x, g) ->
+        let qs, m = pull g in
+        (Q_exists x :: qs, m)
+    | Forall (x, g) ->
+        let qs, m = pull g in
+        (Q_forall x :: qs, m)
+    | And (a, b) ->
+        let qa, ma = pull a and qb, mb = pull b in
+        (qa @ qb, And (ma, mb))
+    | Or (a, b) ->
+        let qa, ma = pull a and qb, mb = pull b in
+        (qa @ qb, Or (ma, mb))
+  in
+  let qs, matrix = pull (nnf (rename_apart f)) in
+  List.fold_right
+    (fun q acc -> match q with Q_exists x -> Exists (x, acc) | Q_forall x -> Forall (x, acc))
+    qs matrix
+
+let rec prefix_length = function
+  | Exists (_, g) | Forall (_, g) -> 1 + prefix_length g
+  | _ -> 0
+
+let is_prenex f =
+  let rec quantifier_free = function
+    | True | False | Eq _ | Mem _ -> true
+    | Not g -> quantifier_free g
+    | And (a, b) | Or (a, b) -> quantifier_free a && quantifier_free b
+    | Exists _ | Forall _ -> false
+  in
+  let rec strip = function Exists (_, g) | Forall (_, g) -> strip g | g -> g in
+  quantifier_free (strip f)

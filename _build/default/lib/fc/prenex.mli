@@ -1,0 +1,23 @@
+(** Prenex normal form for FC / FC[REG] formulas.
+
+    Every formula is equivalent to one with all quantifiers in front —
+    over word structures just as in the classical case, since the universe
+    Facs(w) is non-empty. Bound variables are renamed apart first, so
+    pulling quantifiers over ∧/∨ never captures. The quantifier rank of
+    the result equals the number of its quantifiers (its prefix length),
+    which can exceed the original rank — prenexing trades rank for
+    readability, which is why the paper's game arguments work with the
+    nested form. *)
+
+val rename_apart : Formula.t -> Formula.t
+(** α-rename so that every quantifier binds a distinct fresh variable,
+    distinct from all free variables. *)
+
+val prenex : Formula.t -> Formula.t
+(** Equivalent prenex form: a (possibly empty) quantifier prefix over a
+    quantifier-free matrix. Negations are pushed inward first (NNF). *)
+
+val prefix_length : Formula.t -> int
+(** Number of leading quantifiers. *)
+
+val is_prenex : Formula.t -> bool

@@ -1,0 +1,56 @@
+open Formula
+
+let trivial_atom t1 t2 t3 =
+  (* t ≐ t·ε for t a variable or ε always holds (variables denote factors);
+     for constants it tests letter presence and must be kept. *)
+  match (t1, t2, t3) with
+  | Term.Var x, Term.Var y, Term.Eps when x = y -> true
+  | Term.Eps, Term.Eps, Term.Eps -> true
+  | _ -> false
+
+let rec pass (f : t) : t =
+  match f with
+  | True | False -> f
+  | Eq (t1, t2, t3) -> if trivial_atom t1 t2 t3 then True else f
+  | Mem (t, r) -> (
+      let empty_lang = Regex_engine.Dfa.is_empty (Regex_engine.Dfa.of_regex r) in
+      if empty_lang then False
+      else
+        match t with
+        | Term.Eps -> if Regex_engine.Regex.nullable r then True else False
+        | Term.Var _ | Term.Const _ -> f)
+  | Not g -> (
+      match pass g with
+      | True -> False
+      | False -> True
+      | Not h -> h
+      | g' -> Not g')
+  | And (a, b) -> (
+      match (pass a, pass b) with
+      | True, x | x, True -> x
+      | False, _ | _, False -> False
+      | a', b' -> if a' = b' then a' else And (a', b'))
+  | Or (a, b) -> (
+      match (pass a, pass b) with
+      | False, x | x, False -> x
+      | True, _ | _, True -> True
+      | a', b' -> if a' = b' then a' else Or (a', b'))
+  | Exists (x, g) -> (
+      match pass g with
+      | True -> True
+      | False -> False
+      | g' -> if List.mem x (free_vars g') then Exists (x, g') else g')
+  | Forall (x, g) -> (
+      match pass g with
+      | True -> True
+      | False -> False
+      | g' -> if List.mem x (free_vars g') then Forall (x, g') else g')
+
+let simplify f =
+  let rec fix f =
+    let f' = pass f in
+    if f' = f then f else fix f'
+  in
+  fix f
+
+let size_reduction f = (Formula.size f, Formula.size (simplify f))

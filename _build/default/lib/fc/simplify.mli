@@ -1,0 +1,25 @@
+(** Semantics-preserving simplification of FC / FC[REG] formulas.
+
+    Used to keep machine-generated formulas (desugared long equations,
+    compiled bounded constraints, spanner translations) readable and to
+    speed up evaluation; every rule preserves {!Eval.holds} on every
+    structure and assignment, which the property tests check. Rules:
+
+    - boolean constant folding (⊤/⊥ units and annihilators);
+    - double-negation elimination;
+    - idempotent ∧/∨ (syntactic duplicates);
+    - unused quantifier elimination (∃x φ → φ when x ∉ free(φ) — sound
+      because the universe Facs(w) is never empty);
+    - trivial atoms: (t ≐ t·ε) → ⊤ when t is ε or a variable (a variable
+      always denotes a factor; for a letter constant the atom tests
+      presence and is kept);
+    - regular constraints with an empty language → ⊥, and ε-constraints
+      decided by nullability. Constraints on variables are never folded to
+      ⊤: the structure's alphabet may exceed the expression's, so even a
+      seemingly universal γ can reject factors. *)
+
+val simplify : Formula.t -> Formula.t
+(** Bottom-up to a fixpoint. *)
+
+val size_reduction : Formula.t -> int * int
+(** (size before, size after). *)

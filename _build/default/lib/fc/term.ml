@@ -1,0 +1,13 @@
+type t = Var of string | Const of char | Eps
+
+let var x = Var x
+let const c = Const c
+let eps = Eps
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+let vars = function Var x -> [ x ] | Const _ | Eps -> []
+
+let pp ppf = function
+  | Var x -> Format.pp_print_string ppf x
+  | Const c -> Format.pp_print_char ppf c
+  | Eps -> Format.pp_print_string ppf "\xce\xb5"

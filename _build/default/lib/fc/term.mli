@@ -1,0 +1,19 @@
+(** Terms of FC atoms: variables, letter constants, and ε (Section 2). *)
+
+type t =
+  | Var of string
+  | Const of char
+  | Eps
+
+val var : string -> t
+val const : char -> t
+val eps : t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val vars : t -> string list
+(** The variable of the term, if any. *)
+
+val pp : Format.formatter -> t -> unit
+(** Variables print as-is, constants as their letter, ε as "ε". *)

@@ -1,0 +1,1 @@
+lib/regex_engine/bounded.ml: Array Char Dfa Format Fun List Regex Semilinear Stdlib String Words

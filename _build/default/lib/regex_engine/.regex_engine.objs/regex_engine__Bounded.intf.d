@@ -1,0 +1,1 @@
+lib/regex_engine/bounded.mli: Dfa Format Regex Semilinear

@@ -1,0 +1,1 @@
+lib/regex_engine/dfa.ml: Array Char Fun Hashtbl List Option Queue Regex String Words

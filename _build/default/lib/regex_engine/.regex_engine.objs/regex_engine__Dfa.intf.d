@@ -1,0 +1,1 @@
+lib/regex_engine/dfa.mli: Regex

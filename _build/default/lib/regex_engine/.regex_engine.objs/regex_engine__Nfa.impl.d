@@ -1,0 +1,1 @@
+lib/regex_engine/nfa.ml: Array Char Dfa Hashtbl Int List Option Regex Set String

@@ -1,0 +1,1 @@
+lib/regex_engine/nfa.mli: Dfa Regex

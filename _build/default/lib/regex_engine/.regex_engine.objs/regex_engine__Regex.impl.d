@@ -1,0 +1,1 @@
+lib/regex_engine/regex.ml: Char Format List Printf Stdlib String Words

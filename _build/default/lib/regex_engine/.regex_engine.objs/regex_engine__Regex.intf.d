@@ -1,0 +1,1 @@
+lib/regex_engine/regex.mli: Format

@@ -1,0 +1,1 @@
+lib/regex_engine/simple_re.ml: List Regex

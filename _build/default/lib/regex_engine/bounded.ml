@@ -1,0 +1,164 @@
+let trim d =
+  (* Keep live states; all other targets are redirected to a fresh sink so
+     the automaton stays complete. *)
+  let live = Dfa.live d in
+  let n = Dfa.state_count d in
+  let sigma = Dfa.alphabet d in
+  let old_of_new = List.filter (fun q -> live.(q)) (List.init n Fun.id) |> Array.of_list in
+  let new_of_old = Array.make n (-1) in
+  Array.iteri (fun i q -> new_of_old.(q) <- i) old_of_new;
+  let m = Array.length old_of_new in
+  let sink = m in
+  let accept = Array.append (Array.map (Dfa.is_accepting d) old_of_new) [| false |] in
+  let next =
+    Array.init (m + 1) (fun q ->
+        Array.of_list
+          (List.map
+             (fun c ->
+               if q = sink then sink
+               else
+                 let q' = Dfa.step d old_of_new.(q) c in
+                 if new_of_old.(q') >= 0 then new_of_old.(q') else sink)
+             sigma))
+  in
+  let start = if m > 0 && new_of_old.(Dfa.start d) >= 0 then new_of_old.(Dfa.start d) else sink in
+  (Dfa.make ~alphabet:sigma ~start ~accept ~next, m)
+
+let cycle_states d live_count =
+  let cyc = Dfa.on_cycle d in
+  List.filter (fun q -> q < live_count && cyc.(q)) (List.init (Dfa.state_count d) Fun.id)
+
+let loop_root_at d q =
+  match Dfa.shortest_cycle_word d q with
+  | None -> None
+  | Some w ->
+      let z, _ = Words.Primitive.primitive_root w in
+      Some z
+
+let loop_ok d q =
+  match loop_root_at d q with
+  | None -> true
+  | Some z ->
+      let zstar = Dfa.of_regex ~alphabet:(Dfa.alphabet d) (Regex.word_star z) in
+      Dfa.included (Dfa.loop_dfa d q) zstar
+
+let is_bounded d =
+  let trimmed, live_count = trim d in
+  List.for_all (loop_ok trimmed) (cycle_states trimmed live_count)
+
+let is_bounded_regex ?alphabet r = is_bounded (Dfa.of_regex ?alphabet r)
+
+let loop_roots d =
+  let trimmed, live_count = trim d in
+  let states = cycle_states trimmed live_count in
+  List.map
+    (fun q ->
+      if not (loop_ok trimmed q) then failwith "Bounded.loop_roots: language is unbounded";
+      match loop_root_at trimmed q with
+      | Some z -> (q, z)
+      | None -> assert false)
+    states
+
+let bounding_chain d =
+  if not (is_bounded d) then None
+  else begin
+    let _, live_count = trim d in
+    let roots = List.map snd (loop_roots d) |> List.sort_uniq Stdlib.compare in
+    let letters = List.map (String.make 1) (Dfa.alphabet d) in
+    (* Any accepted word alternates at most live_count loop factors, each a
+       power of some root z_q, with simple-path segments of fewer than
+       live_count letters, so repeating the block
+       [roots . letters^live_count] live_count + 1 times bounds the
+       language. Coarse but correct. *)
+    let block = roots @ List.concat (List.init (max live_count 1) (fun _ -> letters)) in
+    Some (List.concat (List.init (live_count + 1) (fun _ -> block)))
+  end
+
+(* ------------------------------------------------------------------ *)
+
+type form =
+  | Finite of string list
+  | Word_star of string
+  | Power_set of string * Semilinear.Set.t
+  | Seq of form list
+  | Branch of form list
+
+let commutative_star_form ~alphabet body =
+  (* L(body)* when L(body) ⊆ z* for a single primitive z. *)
+  let a = Dfa.of_regex ~alphabet body in
+  let eps_only = Dfa.of_regex ~alphabet Regex.eps in
+  if Dfa.is_empty a || Dfa.included a eps_only then Some (Finite [ "" ])
+  else
+    match Dfa.shortest_member (Dfa.diff a eps_only) with
+    | None -> None
+    | Some shortest ->
+        let z, _ = Words.Primitive.primitive_root shortest in
+        let zstar = Dfa.of_regex ~alphabet (Regex.word_star z) in
+        if not (Dfa.included a zstar) then None
+        else begin
+          let member n = Dfa.accepts a (Words.Word.repeat z n) in
+          let bound = 3 * (Dfa.state_count a + 2) in
+          match
+            Semilinear.Unary.semilinear_of_predicate
+              (fun w -> member (String.length w))
+              'a' ~bound
+          with
+          | None -> None (* cannot happen: DFA power sequences are u.p. *)
+          | Some exponents ->
+              let starred = Semilinear.Set.star exponents in
+              if
+                Semilinear.Set.equal_upto (3 * bound) starred
+                  (Semilinear.Set.arithmetic ~start:0 ~step:1)
+                && Semilinear.Set.mem exponents 1
+              then Some (Word_star z)
+              else Some (Power_set (z, starred))
+        end
+
+let decompose ?alphabet r =
+  let sigma =
+    match alphabet with Some cs -> List.sort_uniq Char.compare cs | None -> Regex.alphabet r
+  in
+  let rec go (r : Regex.t) =
+    match r with
+    | Regex.Empty -> Some (Finite [])
+    | Regex.Eps -> Some (Finite [ "" ])
+    | Regex.Char c -> Some (Finite [ String.make 1 c ])
+    | Regex.Alt (a, b) -> (
+        match (go a, go b) with Some fa, Some fb -> Some (Branch [ fa; fb ]) | _ -> None)
+    | Regex.Cat (a, b) -> (
+        match (go a, go b) with Some fa, Some fb -> Some (Seq [ fa; fb ]) | _ -> None)
+    | Regex.Star body -> (
+        match Regex.language_words body with
+        | Some [ w ] when w <> "" -> Some (Word_star w)
+        | Some [] | Some [ "" ] -> Some (Finite [ "" ])
+        | _ -> commutative_star_form ~alphabet:sigma body)
+  in
+  go r
+
+let rec form_matches form w =
+  match form with
+  | Finite ws -> List.mem w ws
+  | Word_star z -> Words.Word.power_of ~base:z w <> None
+  | Power_set (z, s) -> (
+      match Words.Word.power_of ~base:z w with
+      | Some n -> Semilinear.Set.mem s n
+      | None -> false)
+  | Branch fs -> List.exists (fun f -> form_matches f w) fs
+  | Seq [] -> w = ""
+  | Seq (f :: fs) ->
+      Words.Word.splits w
+      |> List.exists (fun (u, v) -> form_matches f u && form_matches (Seq fs) v)
+
+let rec pp_form ppf =
+  let open Format in
+  function
+  | Finite ws ->
+      fprintf ppf "{%a}"
+        (pp_print_list ~pp_sep:(fun ppf () -> fprintf ppf ", ") Words.Word.pp)
+        ws
+  | Word_star z -> fprintf ppf "(%a)*" Words.Word.pp z
+  | Power_set (z, s) -> fprintf ppf "{(%a)^n | n ∈ %a}" Words.Word.pp z Semilinear.Set.pp s
+  | Seq fs ->
+      fprintf ppf "(%a)" (pp_print_list ~pp_sep:(fun ppf () -> fprintf ppf " · ") pp_form) fs
+  | Branch fs ->
+      fprintf ppf "(%a)" (pp_print_list ~pp_sep:(fun ppf () -> fprintf ppf " ∪ ") pp_form) fs

@@ -1,0 +1,52 @@
+(** Bounded regular languages (Section 5, Lemma 5.3).
+
+    A language is {e bounded} when it is a subset of [w₁* · w₂* ⋯ wₙ*].
+    Boundedness of a regular language is decidable via the classical loop
+    criterion on trim DFAs (Ginsburg–Spanier): the language is bounded iff
+    the loop language at every live state is contained in [z*] for a single
+    word [z] (equivalently, every two cycles through a common state have
+    commuting labels). *)
+
+val is_bounded : Dfa.t -> bool
+(** Exact decision on the given automaton. *)
+
+val is_bounded_regex : ?alphabet:char list -> Regex.t -> bool
+
+val loop_roots : Dfa.t -> (int * string) list
+(** For every live state on a cycle, the primitive root [z] of its shortest
+    cycle, provided the loop-language inclusion [L_q ⊆ z*] holds for all
+    such states; raises [Failure] when the language is unbounded (use
+    {!is_bounded} first). *)
+
+val bounding_chain : Dfa.t -> string list option
+(** A witness chain [w₁ … wₙ] with [L ⊆ w₁*⋯wₙ*] for bounded languages
+    (coarse but correct: built from the loop roots and the alphabet
+    letters), [None] when unbounded. *)
+
+(** {1 Bounded normal form}
+
+    Syntactic decomposition of a regular expression into the shape the
+    FC compiler of Lemma 5.3 / Claim C.2 consumes. *)
+
+type form =
+  | Finite of string list  (** a finite language, length-lex sorted *)
+  | Word_star of string  (** w* for a single non-empty word *)
+  | Power_set of string * Semilinear.Set.t
+      (** { zⁿ | n ∈ S } for a primitive z — e.g. (z²|z³)* *)
+  | Seq of form list  (** concatenation *)
+  | Branch of form list  (** union *)
+
+val decompose : ?alphabet:char list -> Regex.t -> form option
+(** [decompose r]: a bounded normal form of [L(r)] when one can be derived.
+    Handles finite expressions, unions, concatenations and stars whose body
+    language is commutative (contained in [z*] for some word [z] — checked
+    exactly with DFA inclusion, with the exponent set recovered as a
+    semi-linear set). Returns [None] otherwise. [decompose] succeeding
+    implies [L(r)] is bounded; the converse may fail for expressions whose
+    boundedness is not star-structural. *)
+
+val form_matches : form -> string -> bool
+(** Membership in the denoted language; for cross-checking against
+    {!Regex.matches}. *)
+
+val pp_form : Format.formatter -> form -> unit

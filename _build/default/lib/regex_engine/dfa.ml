@@ -1,0 +1,401 @@
+type t = {
+  alphabet : char array; (* sorted *)
+  letter_index : int array; (* char code -> index or -1 *)
+  start : int;
+  accept : bool array;
+  next : int array array; (* state -> letter index -> state *)
+}
+
+let build_letter_index alphabet =
+  let idx = Array.make 256 (-1) in
+  Array.iteri (fun i c -> idx.(Char.code c) <- i) alphabet;
+  idx
+
+let make ~alphabet ~start ~accept ~next =
+  let alphabet = Array.of_list (List.sort_uniq Char.compare alphabet) in
+  let states = Array.length accept in
+  if Array.length next <> states then invalid_arg "Dfa.make: next/accept size mismatch";
+  Array.iter
+    (fun row ->
+      if Array.length row <> Array.length alphabet then invalid_arg "Dfa.make: bad row width";
+      Array.iter (fun q -> if q < 0 || q >= states then invalid_arg "Dfa.make: bad target") row)
+    next;
+  if start < 0 || start >= states then invalid_arg "Dfa.make: bad start";
+  { alphabet; letter_index = build_letter_index alphabet; start; accept; next }
+
+let alphabet t = Array.to_list t.alphabet
+let state_count t = Array.length t.accept
+let start t = t.start
+let is_accepting t q = t.accept.(q)
+
+let step t q c =
+  let i = t.letter_index.(Char.code c) in
+  if i < 0 then invalid_arg "Dfa.step: letter outside alphabet";
+  t.next.(q).(i)
+
+let accepts t w =
+  let rec go q i =
+    if i = String.length w then t.accept.(q)
+    else
+      let li = t.letter_index.(Char.code w.[i]) in
+      if li < 0 then false else go t.next.(q).(li) (i + 1)
+  in
+  go t.start 0
+
+let of_regex ?alphabet:alpha r =
+  let sigma =
+    match alpha with
+    | Some cs -> List.sort_uniq Char.compare cs
+    | None -> Regex.alphabet r
+  in
+  let sigma_arr = Array.of_list sigma in
+  let ids : (Regex.t, int) Hashtbl.t = Hashtbl.create 64 in
+  let states = ref [] (* reversed list of regexes *) and count = ref 0 in
+  let intern r =
+    match Hashtbl.find_opt ids r with
+    | Some i -> i
+    | None ->
+        let i = !count in
+        incr count;
+        Hashtbl.add ids r i;
+        states := r :: !states;
+        i
+  in
+  let _ = intern r in
+  (* Worklist exploration of derivatives. *)
+  let transitions = Hashtbl.create 64 in
+  let rec explore frontier =
+    match frontier with
+    | [] -> ()
+    | re :: rest ->
+        let q = Hashtbl.find ids re in
+        let new_states =
+          List.filter_map
+            (fun c ->
+              let d = Regex.deriv c re in
+              let fresh = not (Hashtbl.mem ids d) in
+              let q' = intern d in
+              Hashtbl.replace transitions (q, c) q';
+              if fresh then Some d else None)
+            sigma
+        in
+        explore (new_states @ rest)
+  in
+  explore [ r ];
+  let n = !count in
+  let all = Array.make n Regex.empty in
+  List.iteri (fun i re -> all.(n - 1 - i) <- re) !states;
+  let accept = Array.map Regex.nullable all in
+  let next =
+    Array.init n (fun q ->
+        Array.map (fun c -> Hashtbl.find transitions (q, c)) sigma_arr)
+  in
+  if Array.length sigma_arr = 0 then
+    (* Degenerate alphabet: a one- or two-state automaton over Σ = ∅. *)
+    { alphabet = sigma_arr; letter_index = build_letter_index sigma_arr; start = 0;
+      accept = [| Regex.nullable r |]; next = [| [||] |] }
+  else { alphabet = sigma_arr; letter_index = build_letter_index sigma_arr; start = 0; accept; next }
+
+(* ------------------------------------------------------------------ *)
+(* Alphabet alignment: embed into a larger alphabet by adding a sink. *)
+
+let widen t sigma =
+  let sigma = Array.of_list (List.sort_uniq Char.compare (Array.to_list t.alphabet @ sigma)) in
+  if sigma = t.alphabet then t
+  else begin
+    let n = Array.length t.accept in
+    let sink = n in
+    let next =
+      Array.init (n + 1) (fun q ->
+          Array.map
+            (fun c ->
+              if q = sink then sink
+              else
+                let i = t.letter_index.(Char.code c) in
+                if i < 0 then sink else t.next.(q).(i))
+            sigma)
+    in
+    { alphabet = sigma;
+      letter_index = build_letter_index sigma;
+      start = t.start;
+      accept = Array.append t.accept [| false |];
+      next }
+  end
+
+let complement t =
+  { t with accept = Array.map not t.accept }
+
+let product op a b =
+  let sigma = List.sort_uniq Char.compare (alphabet a @ alphabet b) in
+  let a = widen a sigma and b = widen b sigma in
+  let sigma_arr = a.alphabet in
+  let nb = Array.length b.accept in
+  let encode qa qb = (qa * nb) + qb in
+  let ids = Hashtbl.create 64 and count = ref 0 in
+  let order = ref [] in
+  let intern pair =
+    match Hashtbl.find_opt ids pair with
+    | Some i -> i
+    | None ->
+        let i = !count in
+        incr count;
+        Hashtbl.add ids pair i;
+        order := pair :: !order;
+        i
+  in
+  let _ = intern (encode a.start b.start) in
+  let transitions = Hashtbl.create 64 in
+  let rec explore = function
+    | [] -> ()
+    | pair :: rest ->
+        let q = Hashtbl.find ids pair in
+        let qa = pair / nb and qb = pair mod nb in
+        let fresh =
+          Array.to_list sigma_arr
+          |> List.filter_map (fun c ->
+                 let ia = a.letter_index.(Char.code c) in
+                 let pair' = encode a.next.(qa).(ia) b.next.(qb).(ia) in
+                 let fresh = not (Hashtbl.mem ids pair') in
+                 let q' = intern pair' in
+                 Hashtbl.replace transitions (q, c) q';
+                 if fresh then Some pair' else None)
+        in
+        explore (fresh @ rest)
+  in
+  explore [ encode a.start b.start ];
+  let n = !count in
+  let pairs = Array.make n 0 in
+  List.iteri (fun i p -> pairs.(n - 1 - i) <- p) !order;
+  let accept = Array.map (fun p -> op a.accept.(p / nb) b.accept.(p mod nb)) pairs in
+  let next =
+    Array.init n (fun q -> Array.map (fun c -> Hashtbl.find transitions (q, c)) sigma_arr)
+  in
+  { alphabet = sigma_arr; letter_index = build_letter_index sigma_arr; start = 0; accept; next }
+
+let inter = product ( && )
+let union = product ( || )
+let diff = product (fun x y -> x && not y)
+
+let reachable t =
+  let n = Array.length t.accept in
+  let seen = Array.make n false in
+  let rec dfs q =
+    if not seen.(q) then begin
+      seen.(q) <- true;
+      Array.iter dfs t.next.(q)
+    end
+  in
+  dfs t.start;
+  seen
+
+let co_reachable t =
+  let n = Array.length t.accept in
+  (* reverse adjacency *)
+  let preds = Array.make n [] in
+  Array.iteri (fun q row -> Array.iter (fun q' -> preds.(q') <- q :: preds.(q')) row) t.next;
+  let seen = Array.make n false in
+  let rec dfs q =
+    if not seen.(q) then begin
+      seen.(q) <- true;
+      List.iter dfs preds.(q)
+    end
+  in
+  Array.iteri (fun q acc -> if acc then dfs q) t.accept;
+  seen
+
+let live t =
+  let r = reachable t and c = co_reachable t in
+  Array.mapi (fun i x -> x && c.(i)) r
+
+let shortest_member t =
+  (* BFS from the start state. *)
+  let n = Array.length t.accept in
+  let seen = Array.make n false in
+  let queue = Queue.create () in
+  Queue.add (t.start, "") queue;
+  seen.(t.start) <- true;
+  let rec go () =
+    if Queue.is_empty queue then None
+    else
+      let q, w = Queue.take queue in
+      if t.accept.(q) then Some w
+      else begin
+        Array.iteri
+          (fun i q' ->
+            if not seen.(q') then begin
+              seen.(q') <- true;
+              Queue.add (q', w ^ String.make 1 t.alphabet.(i)) queue
+            end)
+          t.next.(q);
+        go ()
+      end
+  in
+  go ()
+
+let is_empty t = shortest_member t = None
+let included a b = is_empty (diff a b)
+let equivalent a b = included a b && included b a
+
+let enumerate t ~max_len =
+  Words.Word.enumerate ~alphabet:(alphabet t) ~max_len |> List.filter (accepts t)
+
+let to_regex t =
+  (* Generalized-NFA state elimination: states 0..n-1 plus fresh start (n)
+     and accept (n+1); edges carry regexes; eliminate 0..n-1 in order. *)
+  let n = Array.length t.accept in
+  let size = n + 2 in
+  let start = n and final = n + 1 in
+  let edge = Array.make_matrix size size Regex.empty in
+  Array.iteri
+    (fun q row ->
+      Array.iteri
+        (fun i q' -> edge.(q).(q') <- Regex.alt edge.(q).(q') (Regex.char t.alphabet.(i)))
+        row)
+    t.next;
+  edge.(start).(t.start) <- Regex.eps;
+  Array.iteri (fun q acc -> if acc then edge.(q).(final) <- Regex.alt edge.(q).(final) Regex.eps) t.accept;
+  for k = 0 to n - 1 do
+    let loop = Regex.star edge.(k).(k) in
+    for i = 0 to size - 1 do
+      if i <> k then
+        for j = 0 to size - 1 do
+          if j <> k then
+            edge.(i).(j) <-
+              Regex.alt edge.(i).(j) (Regex.cat edge.(i).(k) (Regex.cat loop edge.(k).(j)))
+        done
+    done;
+    (* disconnect k *)
+    for i = 0 to size - 1 do
+      edge.(i).(k) <- Regex.empty;
+      edge.(k).(i) <- Regex.empty
+    done
+  done;
+  edge.(start).(final)
+
+let minimize t =
+  (* Restrict to reachable states, then Moore refinement. *)
+  let reach = reachable t in
+  let n = Array.length t.accept in
+  let old_of_new = Array.of_list (List.filter (fun q -> reach.(q)) (List.init n Fun.id)) in
+  let new_of_old = Array.make n (-1) in
+  Array.iteri (fun i q -> new_of_old.(q) <- i) old_of_new;
+  let m = Array.length old_of_new in
+  let accept = Array.map (fun q -> t.accept.(q)) old_of_new in
+  let next = Array.map (fun q -> Array.map (fun q' -> new_of_old.(q')) t.next.(q)) old_of_new in
+  let start0 = new_of_old.(t.start) in
+  let cls = Array.init m (fun q -> if accept.(q) then 1 else 0) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let signature q = (cls.(q), Array.map (fun q' -> cls.(q')) next.(q)) in
+    let table = Hashtbl.create m in
+    let fresh = ref 0 in
+    let newcls = Array.make m 0 in
+    for q = 0 to m - 1 do
+      let s = signature q in
+      match Hashtbl.find_opt table s with
+      | Some c -> newcls.(q) <- c
+      | None ->
+          Hashtbl.add table s !fresh;
+          newcls.(q) <- !fresh;
+          incr fresh
+    done;
+    if newcls <> cls then begin
+      Array.blit newcls 0 cls 0 m;
+      changed := true
+    end
+  done;
+  let k = 1 + Array.fold_left max 0 cls in
+  let accept' = Array.make k false and next' = Array.make_matrix k (Array.length t.alphabet) 0 in
+  for q = 0 to m - 1 do
+    accept'.(cls.(q)) <- accept.(q);
+    Array.iteri (fun i q' -> next'.(cls.(q)).(i) <- cls.(q')) next.(q)
+  done;
+  { t with start = cls.(start0); accept = accept'; next = next' }
+
+let sccs t =
+  let n = Array.length t.accept in
+  let index = Array.make n (-1) and low = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] and counter = ref 0 in
+  let comp = Array.make n (-1) and comp_count = ref 0 in
+  let rec strongconnect v =
+    index.(v) <- !counter;
+    low.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    Array.iter
+      (fun w ->
+        if index.(w) = -1 then begin
+          strongconnect w;
+          low.(v) <- min low.(v) low.(w)
+        end
+        else if on_stack.(w) then low.(v) <- min low.(v) index.(w))
+      t.next.(v);
+    if low.(v) = index.(v) then begin
+      let rec pop () =
+        match !stack with
+        | [] -> ()
+        | w :: rest ->
+            stack := rest;
+            on_stack.(w) <- false;
+            comp.(w) <- !comp_count;
+            if w <> v then pop ()
+      in
+      pop ();
+      incr comp_count
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) = -1 then strongconnect v
+  done;
+  comp
+
+let on_cycle t =
+  let comp = sccs t in
+  let n = Array.length t.accept in
+  let size = Hashtbl.create 16 in
+  Array.iter
+    (fun c -> Hashtbl.replace size c (1 + Option.value ~default:0 (Hashtbl.find_opt size c)))
+    comp;
+  Array.init n (fun q ->
+      Hashtbl.find size comp.(q) > 1 || Array.exists (fun q' -> q' = q) t.next.(q))
+
+let shortest_cycle_word t q0 =
+  let n = Array.length t.accept in
+  let seen = Array.make n false in
+  let queue = Queue.create () in
+  Array.iteri
+    (fun i q' ->
+      let w = String.make 1 t.alphabet.(i) in
+      if q' = q0 then Queue.add (q0, w) queue
+      else if not seen.(q') then begin
+        seen.(q') <- true;
+        Queue.add (q', w) queue
+      end)
+    t.next.(q0);
+  let rec go () =
+    if Queue.is_empty queue then None
+    else
+      let q, w = Queue.take queue in
+      if q = q0 then Some w
+      else begin
+        Array.iteri
+          (fun i q' ->
+            let w' = w ^ String.make 1 t.alphabet.(i) in
+            if q' = q0 then Queue.add (q0, w') queue
+            else if not seen.(q') then begin
+              seen.(q') <- true;
+              Queue.add (q', w') queue
+            end)
+          t.next.(q);
+        go ()
+      end
+  in
+  if Array.length t.alphabet = 0 then None else go ()
+
+let loop_dfa t q =
+  let accept = Array.make (Array.length t.accept) false in
+  accept.(q) <- true;
+  { t with start = q; accept }

@@ -1,0 +1,75 @@
+(** Complete deterministic finite automata with a boolean algebra.
+
+    Built from regular expressions by Brzozowski-derivative exploration
+    (normal forms in {!Regex} keep the state set finite). Supports the
+    operations needed for FC[REG] (Section 5): products, complement,
+    emptiness, inclusion, equivalence — plus the structural analyses
+    (trimming, strongly connected components, loop languages) that the
+    boundedness test of {!Bounded} relies on. *)
+
+type t
+
+val of_regex : ?alphabet:char list -> Regex.t -> t
+(** The alphabet defaults to the letters of the expression; pass a larger
+    one when complementation relative to a bigger Σ is intended. *)
+
+val make :
+  alphabet:char list -> start:int -> accept:bool array -> next:int array array -> t
+(** Raw constructor (validated): [next.(q).(i)] is the successor of state
+    [q] on the [i]-th alphabet letter. *)
+
+val alphabet : t -> char list
+val state_count : t -> int
+val start : t -> int
+val is_accepting : t -> int -> bool
+val step : t -> int -> char -> int
+(** Raises [Invalid_argument] for letters outside the alphabet. *)
+
+val accepts : t -> string -> bool
+(** Words containing letters outside the alphabet are rejected. *)
+
+val complement : t -> t
+val inter : t -> t -> t
+val union : t -> t -> t
+val diff : t -> t -> t
+(** Binary operations align alphabets by taking the union of both. *)
+
+val is_empty : t -> bool
+val shortest_member : t -> string option
+val equivalent : t -> t -> bool
+val included : t -> t -> bool
+val minimize : t -> t
+(** Moore partition refinement on the reachable part. *)
+
+val enumerate : t -> max_len:int -> string list
+(** Accepted words up to the given length, length-lex order. *)
+
+val to_regex : t -> Regex.t
+(** Kleene / state-elimination conversion back to a regular expression.
+    The result can be large but always satisfies
+    [equivalent t (of_regex ~alphabet:(alphabet t) (to_regex t))]. *)
+
+(** {1 Structure} *)
+
+val reachable : t -> bool array
+val co_reachable : t -> bool array
+(** States from which an accepting state is reachable. *)
+
+val live : t -> bool array
+(** Reachable ∧ co-reachable ("trim" states). *)
+
+val sccs : t -> int array
+(** Tarjan: maps each state to its SCC id (ids are in reverse topological
+    order of the condensation). *)
+
+val on_cycle : t -> bool array
+(** States lying on some non-trivial cycle (an SCC with ≥ 2 states or a
+    self-loop). *)
+
+val shortest_cycle_word : t -> int -> string option
+(** [shortest_cycle_word d q]: the label of a shortest non-empty path
+    q → q, if any. *)
+
+val loop_dfa : t -> int -> t
+(** The automaton recognizing the loop language at q: same transitions,
+    initial and unique-accepting state q. (Accepts ε by construction.) *)

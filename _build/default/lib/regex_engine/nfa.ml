@@ -1,0 +1,132 @@
+(* Glushkov construction: states are letter positions of the expression,
+   plus a fresh initial state. *)
+
+module Int_set = Set.Make (Int)
+
+type t = {
+  letters : char array; (* letter at each position, 1-based positions shifted to 0 *)
+  first : Int_set.t;
+  last : Int_set.t;
+  follow : Int_set.t array;
+  nullable : bool;
+}
+
+type glushkov = {
+  g_null : bool;
+  g_first : Int_set.t;
+  g_last : Int_set.t;
+}
+
+let of_regex r =
+  let letters = ref [] and count = ref 0 in
+  let follow = Hashtbl.create 16 in
+  let add_follow p set =
+    let old = Option.value ~default:Int_set.empty (Hashtbl.find_opt follow p) in
+    Hashtbl.replace follow p (Int_set.union old set)
+  in
+  let rec go : Regex.t -> glushkov = function
+    | Regex.Empty -> { g_null = false; g_first = Int_set.empty; g_last = Int_set.empty }
+    | Regex.Eps -> { g_null = true; g_first = Int_set.empty; g_last = Int_set.empty }
+    | Regex.Char c ->
+        let p = !count in
+        incr count;
+        letters := c :: !letters;
+        { g_null = false; g_first = Int_set.singleton p; g_last = Int_set.singleton p }
+    | Regex.Alt (a, b) ->
+        let ga = go a and gb = go b in
+        { g_null = ga.g_null || gb.g_null;
+          g_first = Int_set.union ga.g_first gb.g_first;
+          g_last = Int_set.union ga.g_last gb.g_last }
+    | Regex.Cat (a, b) ->
+        let ga = go a in
+        let gb = go b in
+        Int_set.iter (fun p -> add_follow p gb.g_first) ga.g_last;
+        { g_null = ga.g_null && gb.g_null;
+          g_first = (if ga.g_null then Int_set.union ga.g_first gb.g_first else ga.g_first);
+          g_last = (if gb.g_null then Int_set.union ga.g_last gb.g_last else gb.g_last) }
+    | Regex.Star a ->
+        let ga = go a in
+        Int_set.iter (fun p -> add_follow p ga.g_first) ga.g_last;
+        { g_null = true; g_first = ga.g_first; g_last = ga.g_last }
+  in
+  let g = go r in
+  let n = !count in
+  let letter_arr = Array.make n ' ' in
+  List.iteri (fun i c -> letter_arr.(n - 1 - i) <- c) !letters;
+  let follow_arr =
+    Array.init n (fun p -> Option.value ~default:Int_set.empty (Hashtbl.find_opt follow p))
+  in
+  { letters = letter_arr; first = g.g_first; last = g.g_last; follow = follow_arr; nullable = g.g_null }
+
+let state_count t = Array.length t.letters + 1
+
+let accepts t w =
+  let step states c =
+    let targets source =
+      Int_set.filter (fun p -> t.letters.(p) = c) source
+    in
+    Int_set.fold
+      (fun p acc -> Int_set.union acc (targets t.follow.(p)))
+      (Int_set.remove (-1) states)
+      (if Int_set.mem (-1) states then targets t.first else Int_set.empty)
+  in
+  let final = String.fold_left step (Int_set.singleton (-1)) w in
+  if Int_set.mem (-1) final then t.nullable
+  else not (Int_set.is_empty (Int_set.inter final t.last))
+
+let to_dfa ?alphabet t =
+  let sigma =
+    match alphabet with
+    | Some cs -> List.sort_uniq Char.compare cs
+    | None -> Array.to_list t.letters |> List.sort_uniq Char.compare
+  in
+  let sigma_arr = Array.of_list sigma in
+  let accepting states =
+    if Int_set.mem (-1) states then t.nullable
+    else not (Int_set.is_empty (Int_set.inter states t.last))
+  in
+  let step states c =
+    let targets source = Int_set.filter (fun p -> t.letters.(p) = c) source in
+    Int_set.fold
+      (fun p acc -> if p = -1 then Int_set.union acc (targets t.first) else Int_set.union acc (targets t.follow.(p)))
+      states Int_set.empty
+  in
+  let ids = Hashtbl.create 64 and count = ref 0 and order = ref [] in
+  let intern s =
+    match Hashtbl.find_opt ids s with
+    | Some i -> i
+    | None ->
+        let i = !count in
+        incr count;
+        Hashtbl.add ids s i;
+        order := s :: !order;
+        i
+  in
+  let start_set = Int_set.singleton (-1) in
+  let _ = intern start_set in
+  let transitions = Hashtbl.create 64 in
+  let rec explore = function
+    | [] -> ()
+    | s :: rest ->
+        let q = Hashtbl.find ids s in
+        let fresh =
+          List.filter_map
+            (fun c ->
+              let s' = step s c in
+              let fresh = not (Hashtbl.mem ids s') in
+              let q' = intern s' in
+              Hashtbl.replace transitions (q, c) q';
+              if fresh then Some s' else None)
+            sigma
+        in
+        explore (fresh @ rest)
+  in
+  explore [ start_set ];
+  let n = !count in
+  let sets = Array.make n Int_set.empty in
+  List.iteri (fun i s -> sets.(n - 1 - i) <- s) !order;
+  let accept = Array.map accepting sets in
+  let next =
+    Array.init n (fun q -> Array.map (fun c -> Hashtbl.find transitions (q, c)) sigma_arr)
+  in
+  Dfa.make ~alphabet:sigma ~start:0 ~accept ~next

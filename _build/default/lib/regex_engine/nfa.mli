@@ -1,0 +1,18 @@
+(** Glushkov (position) automata.
+
+    An ε-free NFA built from the positions of a regular expression; used as
+    an alternative matcher and as an ablation baseline against derivative
+    matching and compiled DFAs. *)
+
+type t
+
+val of_regex : Regex.t -> t
+
+val accepts : t -> string -> bool
+(** Subset simulation, O(|w| · states²). *)
+
+val state_count : t -> int
+
+val to_dfa : ?alphabet:char list -> t -> Dfa.t
+(** Subset construction. The alphabet defaults to the letters occurring in
+    the source expression. *)

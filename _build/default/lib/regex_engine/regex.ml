@@ -1,0 +1,232 @@
+type t = Empty | Eps | Char of char | Alt of t * t | Cat of t * t | Star of t
+
+let empty = Empty
+let eps = Eps
+let char c = Char c
+
+let rec compare a b =
+  let rank = function
+    | Empty -> 0
+    | Eps -> 1
+    | Char _ -> 2
+    | Alt _ -> 3
+    | Cat _ -> 4
+    | Star _ -> 5
+  in
+  match (a, b) with
+  | Empty, Empty | Eps, Eps -> 0
+  | Char c, Char d -> Char.compare c d
+  | Alt (a1, a2), Alt (b1, b2) | Cat (a1, a2), Cat (b1, b2) ->
+      let c = compare a1 b1 in
+      if c <> 0 then c else compare a2 b2
+  | Star a, Star b -> compare a b
+  | _ -> Stdlib.compare (rank a) (rank b)
+
+let equal_syntactic a b = compare a b = 0
+
+(* Alternations are kept as right-nested, strictly sorted chains. *)
+let rec alt_elements = function Alt (a, b) -> a :: alt_elements b | r -> [ r ]
+
+let alt a b =
+  let elems =
+    List.sort_uniq compare (alt_elements a @ alt_elements b)
+    |> List.filter (fun r -> r <> Empty)
+  in
+  match elems with
+  | [] -> Empty
+  | [ r ] -> r
+  | _ ->
+      let rec nest = function [] -> assert false | [ r ] -> r | r :: rs -> Alt (r, nest rs) in
+      nest elems
+
+let rec cat_elements = function Cat (a, b) -> a :: cat_elements b | r -> [ r ]
+
+let cat a b =
+  let elems = (cat_elements a @ cat_elements b) |> List.filter (fun r -> r <> Eps) in
+  if List.exists (fun r -> r = Empty) elems then Empty
+  else
+    match elems with
+    | [] -> Eps
+    | [ r ] -> r
+    | _ ->
+        let rec nest = function [] -> assert false | [ r ] -> r | r :: rs -> Cat (r, nest rs) in
+        nest elems
+
+let star r = match r with Empty | Eps -> Eps | Star _ -> r | _ -> Star r
+let alt_list rs = List.fold_left alt Empty rs
+let cat_list rs = List.fold_left cat Eps rs
+
+let of_word w =
+  let letters = List.init (String.length w) (fun i -> Char w.[i]) in
+  cat_list letters
+
+let of_words ws = alt_list (List.map of_word ws)
+let word_star w = star (of_word w)
+let opt r = alt r Eps
+let plus r = cat r (star r)
+let any_of cs = alt_list (List.map char cs)
+let all_words cs = star (any_of cs)
+
+let rec nullable = function
+  | Empty | Char _ -> false
+  | Eps | Star _ -> true
+  | Alt (a, b) -> nullable a || nullable b
+  | Cat (a, b) -> nullable a && nullable b
+
+let rec deriv c = function
+  | Empty | Eps -> Empty
+  | Char d -> if c = d then Eps else Empty
+  | Alt (a, b) -> alt (deriv c a) (deriv c b)
+  | Cat (a, b) ->
+      let head = cat (deriv c a) b in
+      if nullable a then alt head (deriv c b) else head
+  | Star a as r -> cat (deriv c a) r
+
+let matches r w =
+  let rec go r i = if i = String.length w then nullable r else go (deriv w.[i] r) (i + 1) in
+  go r 0
+
+let alphabet r =
+  let rec collect acc = function
+    | Empty | Eps -> acc
+    | Char c -> c :: acc
+    | Alt (a, b) | Cat (a, b) -> collect (collect acc a) b
+    | Star a -> collect acc a
+  in
+  List.sort_uniq Char.compare (collect [] r)
+
+let enumerate r ~alphabet:sigma ~max_len =
+  Words.Word.enumerate ~alphabet:sigma ~max_len |> List.filter (matches r)
+
+let rec is_finite_language = function
+  | Empty | Eps | Char _ -> true
+  | Alt (a, b) | Cat (a, b) -> is_finite_language a && is_finite_language b
+  | Star _ -> false
+
+let language_words r =
+  if not (is_finite_language r) then None
+  else
+    let rec words = function
+      | Empty -> []
+      | Eps -> [ "" ]
+      | Char c -> [ String.make 1 c ]
+      | Alt (a, b) -> words a @ words b
+      | Cat (a, b) ->
+          let wa = words a and wb = words b in
+          List.concat_map (fun u -> List.map (fun v -> u ^ v) wb) wa
+      | Star _ -> assert false
+    in
+    Some (List.sort_uniq Words.Word.compare_length_lex (words r))
+
+(* ------------------------------------------------------------------ *)
+(* Concrete syntax                                                    *)
+
+exception Parse_error of string
+
+let metachars = [ '('; ')'; '|'; '*'; '+'; '?'; '\\'; '%' ]
+
+let parse_exn input =
+  let n = String.length input in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some input.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  (* grammar: alt := cat ('|' cat)* ; cat := postfix* ; postfix := atom
+     ('*'|'+'|'?')* ; atom := literal | '(' alt ')' | '%e' | '%0' | '\'c *)
+  let rec parse_alt () =
+    let first = parse_cat () in
+    let rec more acc =
+      match peek () with
+      | Some '|' ->
+          advance ();
+          more (alt acc (parse_cat ()))
+      | _ -> acc
+    in
+    more first
+  and parse_cat () =
+    let rec go acc =
+      match peek () with
+      | None | Some ')' | Some '|' -> acc
+      | _ -> go (cat acc (parse_postfix ()))
+    in
+    go Eps
+  and parse_postfix () =
+    let base = parse_atom () in
+    let rec ops acc =
+      match peek () with
+      | Some '*' ->
+          advance ();
+          ops (star acc)
+      | Some '+' ->
+          advance ();
+          ops (plus acc)
+      | Some '?' ->
+          advance ();
+          ops (opt acc)
+      | _ -> acc
+    in
+    ops base
+  and parse_atom () =
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '(' -> (
+        advance ();
+        match peek () with
+        | Some ')' ->
+            advance ();
+            Eps
+        | _ ->
+            let r = parse_alt () in
+            if peek () = Some ')' then (
+              advance ();
+              r)
+            else fail "expected ')'")
+    | Some '\\' -> (
+        advance ();
+        match peek () with
+        | None -> fail "dangling escape"
+        | Some c ->
+            advance ();
+            char c)
+    | Some '%' -> (
+        advance ();
+        match peek () with
+        | Some 'e' ->
+            advance ();
+            Eps
+        | Some '0' ->
+            advance ();
+            Empty
+        | _ -> fail "expected %e or %0")
+    | Some c when not (List.mem c metachars) ->
+        advance ();
+        char c
+    | Some c -> fail (Printf.sprintf "unexpected character %C" c)
+  in
+  let r = parse_alt () in
+  if !pos <> n then fail "trailing input";
+  r
+
+let parse input = try Ok (parse_exn input) with Parse_error msg -> Error msg
+
+let rec pp ppf r =
+  let open Format in
+  let needs_parens_in_cat = function Alt _ -> true | _ -> false in
+  let needs_parens_in_star = function
+    | Alt _ | Cat _ -> true
+    | Star _ -> true
+    | _ -> false
+  in
+  match r with
+  | Empty -> pp_print_string ppf "%0"
+  | Eps -> pp_print_string ppf "%e"
+  | Char c ->
+      if List.mem c metachars then fprintf ppf "\\%c" c else pp_print_char ppf c
+  | Alt (a, b) -> fprintf ppf "%a|%a" pp a pp b
+  | Cat (a, b) ->
+      let pp_side ppf x = if needs_parens_in_cat x then fprintf ppf "(%a)" pp x else pp ppf x in
+      fprintf ppf "%a%a" pp_side a pp_side b
+  | Star a ->
+      if needs_parens_in_star a then fprintf ppf "(%a)*" pp a else fprintf ppf "%a*" pp a
+
+let to_string r = Format.asprintf "%a" pp r

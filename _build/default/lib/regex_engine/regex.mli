@@ -1,0 +1,87 @@
+(** Regular expressions with Brzozowski derivatives.
+
+    These are the γ of the paper's regular constraints (x ∈̇ γ) in FC[REG]
+    (Section 5). Values are kept in a normal form (associativity,
+    commutativity and idempotence of ∨; associativity and units of ·; star
+    collapsing) so that the set of iterated derivatives is finite, which
+    gives a DFA construction for free (see {!Dfa}). *)
+
+type t = private
+  | Empty  (** ∅ *)
+  | Eps  (** ε *)
+  | Char of char
+  | Alt of t * t  (** right-nested, sorted, duplicate-free *)
+  | Cat of t * t  (** right-nested *)
+  | Star of t
+
+(** {1 Smart constructors} — always use these, never raw constructors. *)
+
+val empty : t
+val eps : t
+val char : char -> t
+val alt : t -> t -> t
+val cat : t -> t -> t
+val star : t -> t
+val alt_list : t list -> t
+val cat_list : t list -> t
+val of_word : string -> t
+(** The singleton language {w}. *)
+
+val of_words : string list -> t
+(** A finite language. *)
+
+val word_star : string -> t
+(** w*. *)
+
+val opt : t -> t
+(** r? = r ∨ ε *)
+
+val plus : t -> t
+(** r⁺ = r · r* *)
+
+val any_of : char list -> t
+(** Union of single letters. *)
+
+val all_words : char list -> t
+(** Σ* for the given alphabet. *)
+
+(** {1 Semantics} *)
+
+val nullable : t -> bool
+(** Does the language contain ε? *)
+
+val deriv : char -> t -> t
+(** Brzozowski derivative: [L(deriv c r) = { w | c·w ∈ L(r) }]. *)
+
+val matches : t -> string -> bool
+(** Membership via iterated derivatives. *)
+
+val alphabet : t -> char list
+(** Letters syntactically occurring in the expression, sorted. *)
+
+val compare : t -> t -> int
+val equal_syntactic : t -> t -> bool
+
+val enumerate : t -> alphabet:char list -> max_len:int -> string list
+(** All members of the language up to the given length (length-lex order).
+    Exhaustive over Σ^{≤max_len}; for testing. *)
+
+val is_finite_language : t -> bool
+(** Syntactic check: no star over a non-empty, non-ε expression. Sound and
+    complete on normal forms (a star that survives normalization always has
+    a non-trivial body). *)
+
+val language_words : t -> string list option
+(** For finite languages (per {!is_finite_language}): the full member list,
+    length-lex sorted. [None] for infinite languages. *)
+
+(** {1 Syntax} *)
+
+val parse : string -> (t, string) result
+(** Concrete syntax: juxtaposition = concatenation, [|] = union, [*], [+],
+    [?] postfix, parentheses, [()] or [%e] for ε, [%0] for ∅, [\\c] escapes a
+    metacharacter. Example: ["a*(ba)*|c?"]. *)
+
+val parse_exn : string -> t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

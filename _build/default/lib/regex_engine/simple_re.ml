@@ -1,0 +1,29 @@
+let wildcard ~sigma = Regex.all_words sigma
+
+let is_simple ~sigma r =
+  let wild = wildcard ~sigma in
+  let rec go (r : Regex.t) =
+    match r with
+    | Regex.Empty | Regex.Eps | Regex.Char _ -> true
+    | Regex.Alt (a, b) | Regex.Cat (a, b) -> go a && go b
+    | Regex.Star _ -> Regex.equal_syntactic r wild
+  in
+  go r
+
+type atom = Letter of char | Any
+
+let flatten ~sigma r =
+  if not (is_simple ~sigma r) then None
+  else
+    let rec go (r : Regex.t) : atom list list =
+      match r with
+      | Regex.Empty -> []
+      | Regex.Eps -> [ [] ]
+      | Regex.Char c -> [ [ Letter c ] ]
+      | Regex.Star _ -> [ [ Any ] ]
+      | Regex.Alt (a, b) -> go a @ go b
+      | Regex.Cat (a, b) ->
+          let la = go a and lb = go b in
+          List.concat_map (fun xs -> List.map (fun ys -> xs @ ys) lb) la
+    in
+    Some (go r)

@@ -1,0 +1,23 @@
+(** Simple regular expressions (Lemma 5.5 of Freydenberger & Peterfreund
+    2019, referenced by the paper's Section 5).
+
+    A {e simple} regular expression is built from ∅, ε, single letters,
+    union, concatenation and the wildcard Σ* — i.e. the only stars allowed
+    are stars of the full alphabet. FC[REG] constraints over simple regular
+    expressions can be rewritten into pure FC. *)
+
+val is_simple : sigma:char list -> Regex.t -> bool
+(** Is every star sub-expression of the (normalized) expression exactly
+    [Σ*] for the given alphabet? *)
+
+val wildcard : sigma:char list -> Regex.t
+(** Σ*. *)
+
+type atom =
+  | Letter of char
+  | Any  (** Σ* *)
+
+val flatten : sigma:char list -> Regex.t -> atom list list option
+(** A simple regular expression denotes a finite union of concatenations
+    of letters and wildcards; [flatten] produces that union ([None] when
+    the expression is not simple). Used by the FC compiler. *)

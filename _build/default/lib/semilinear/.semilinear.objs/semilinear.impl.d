@@ -1,0 +1,1 @@
+lib/semilinear/semilinear.ml: Linear_set Presburger Semilinear_set Unary_lang

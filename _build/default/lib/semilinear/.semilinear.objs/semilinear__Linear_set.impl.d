@@ -1,0 +1,1 @@
+lib/semilinear/linear_set.ml: Array Format List

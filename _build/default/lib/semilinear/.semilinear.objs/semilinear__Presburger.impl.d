@@ -1,0 +1,1 @@
+lib/semilinear/presburger.ml: Format List Semilinear_set

@@ -1,0 +1,1 @@
+lib/semilinear/presburger.mli: Format Semilinear_set

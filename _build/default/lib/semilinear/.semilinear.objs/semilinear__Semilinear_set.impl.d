@@ -1,0 +1,1 @@
+lib/semilinear/semilinear_set.ml: Array Format Linear_set List

@@ -1,0 +1,1 @@
+lib/semilinear/semilinear_set.mli: Format Linear_set

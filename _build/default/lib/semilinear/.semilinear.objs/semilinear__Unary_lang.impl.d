@@ -1,0 +1,1 @@
+lib/semilinear/unary_lang.ml: List Semilinear_set String

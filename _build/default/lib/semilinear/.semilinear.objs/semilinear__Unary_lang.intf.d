@@ -1,0 +1,1 @@
+lib/semilinear/unary_lang.mli: Semilinear_set

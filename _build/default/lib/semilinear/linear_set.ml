@@ -1,0 +1,44 @@
+type t = { base : int; periods : int list (* sorted, distinct, positive *) }
+
+let make ~base ~periods =
+  if base < 0 then invalid_arg "Linear_set.make: negative base";
+  if List.exists (fun p -> p < 0) periods then invalid_arg "Linear_set.make: negative period";
+  { base; periods = List.sort_uniq compare (List.filter (fun p -> p > 0) periods) }
+
+let base t = t.base
+let periods t = t.periods
+let singleton n = make ~base:n ~periods:[]
+let arithmetic ~start ~step = make ~base:start ~periods:[ step ]
+
+let mem t n =
+  if n < t.base then false
+  else
+    let target = n - t.base in
+    match t.periods with
+    | [] -> target = 0
+    | [ p ] -> target mod p = 0
+    | ps ->
+        (* reachable.(i): i expressible as a non-negative combination of ps *)
+        let reachable = Array.make (target + 1) false in
+        reachable.(0) <- true;
+        for i = 1 to target do
+          reachable.(i) <- List.exists (fun p -> p <= i && reachable.(i - p)) ps
+        done;
+        reachable.(target)
+
+let sum a b = make ~base:(a.base + b.base) ~periods:(a.periods @ b.periods)
+let scale k t =
+  if k < 0 then invalid_arg "Linear_set.scale: negative factor";
+  make ~base:(k * t.base) ~periods:(List.map (fun p -> k * p) t.periods)
+
+let is_finite t = t.periods = []
+let equal a b = a.base = b.base && a.periods = b.periods
+
+let pp ppf t =
+  match t.periods with
+  | [] -> Format.fprintf ppf "{%d}" t.base
+  | ps ->
+      let pp_p ppf p = Format.fprintf ppf "%d·ℕ" p in
+      Format.fprintf ppf "%d + %a" t.base
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " + ") pp_p)
+        ps

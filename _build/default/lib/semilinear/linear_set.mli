@@ -1,0 +1,39 @@
+(** Linear sets of natural numbers.
+
+    A linear set is [{ m₀ + Σᵢ mᵢ·nᵢ | nᵢ ≥ 0 }] for a base [m₀ ≥ 0] and
+    finitely many periods [mᵢ ≥ 0]. Over a unary alphabet these are the
+    building blocks of the languages FC can define (Section 3). *)
+
+type t
+
+val make : base:int -> periods:int list -> t
+(** Raises [Invalid_argument] on negative base or periods. Zero periods are
+    dropped; periods are deduplicated and sorted. *)
+
+val base : t -> int
+val periods : t -> int list
+
+val singleton : int -> t
+(** [{n}]. *)
+
+val arithmetic : start:int -> step:int -> t
+(** [{ start + step·n | n ≥ 0 }]. *)
+
+val mem : t -> int -> bool
+(** Membership. With a single period this is a congruence test; in general
+    it is a bounded coin-problem dynamic program (exact). *)
+
+val sum : t -> t -> t
+(** Minkowski sum: [{ a + b | a ∈ s, b ∈ t }] — linear again. *)
+
+val scale : int -> t -> t
+(** [{ k·a | a ∈ s }]. *)
+
+val is_finite : t -> bool
+(** True iff the set has no non-zero period. *)
+
+val equal : t -> t -> bool
+(** Structural equality of normalized representations (sound but not
+    complete for extensional equality; use {!Semilinear.equal_upto}). *)
+
+val pp : Format.formatter -> t -> unit

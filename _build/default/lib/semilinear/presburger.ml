@@ -1,0 +1,59 @@
+type t =
+  | Leq of int
+  | Geq of int
+  | Eq_const of int
+  | Mod of int * int
+  | Not of t
+  | And of t * t
+  | Or of t * t
+
+let rec sat f n =
+  match f with
+  | Leq c -> n <= c
+  | Geq c -> n >= c
+  | Eq_const c -> n = c
+  | Mod (r, m) ->
+      if m < 1 then invalid_arg "Presburger.sat: modulus must be >= 1";
+      n mod m = ((r mod m) + m) mod m
+  | Not g -> not (sat g n)
+  | And (a, b) -> sat a n && sat b n
+  | Or (a, b) -> sat a n || sat b n
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+let lcm a b = if a = 0 || b = 0 then 0 else a / gcd a b * b
+
+let rec period = function
+  | Leq _ | Geq _ | Eq_const _ -> 1
+  | Mod (_, m) -> max m 1
+  | Not g -> period g
+  | And (a, b) | Or (a, b) -> lcm (period a) (period b)
+
+let rec threshold = function
+  | Leq c | Geq c | Eq_const c -> max 0 c + 1
+  | Mod _ -> 0
+  | Not g -> threshold g
+  | And (a, b) | Or (a, b) -> max (threshold a) (threshold b)
+
+let to_semilinear f =
+  let t = threshold f and p = period f in
+  let finite =
+    List.init t (fun n -> n) |> List.filter (sat f) |> Semilinear_set.of_list
+  in
+  let periodic =
+    List.init p (fun i -> t + i)
+    |> List.filter (sat f)
+    |> List.map (fun start -> Semilinear_set.arithmetic ~start ~step:p)
+    |> List.fold_left Semilinear_set.union Semilinear_set.empty
+  in
+  Semilinear_set.union finite periodic
+
+let rec pp ppf =
+  let open Format in
+  function
+  | Leq c -> fprintf ppf "x ≤ %d" c
+  | Geq c -> fprintf ppf "x ≥ %d" c
+  | Eq_const c -> fprintf ppf "x = %d" c
+  | Mod (r, m) -> fprintf ppf "x ≡ %d (mod %d)" r m
+  | Not g -> fprintf ppf "¬(%a)" pp g
+  | And (a, b) -> fprintf ppf "(%a ∧ %a)" pp a pp b
+  | Or (a, b) -> fprintf ppf "(%a ∨ %a)" pp a pp b

@@ -1,0 +1,35 @@
+(** One-variable Presburger predicates and their exact semi-linear normal
+    forms.
+
+    Over a unary alphabet, Presburger arithmetic, FC, and (generalized)
+    core spanners all define the semi-linear sets (Section 3; Ginsburg &
+    Spanier). This module makes the first leg executable: quantifier-free
+    one-variable Presburger formulas — comparisons with constants and
+    congruences, under Boolean combinations — normalize to semi-linear
+    sets exactly. *)
+
+type t =
+  | Leq of int  (** x ≤ c *)
+  | Geq of int  (** x ≥ c *)
+  | Eq_const of int  (** x = c *)
+  | Mod of int * int  (** x ≡ r (mod m), m ≥ 1 *)
+  | Not of t
+  | And of t * t
+  | Or of t * t
+
+val sat : t -> int -> bool
+(** Direct evaluation (n ≥ 0). *)
+
+val to_semilinear : t -> Semilinear_set.t
+(** Exact: every quantifier-free one-variable Presburger predicate is
+    ultimately periodic with period lcm(moduli) and threshold
+    max(constants) + 1; the normal form enumerates the finite part and one
+    arithmetic progression per surviving residue. *)
+
+val period : t -> int
+(** lcm of the moduli occurring in the formula (1 when none). *)
+
+val threshold : t -> int
+(** One past the largest constant compared against. *)
+
+val pp : Format.formatter -> t -> unit

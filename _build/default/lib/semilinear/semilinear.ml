@@ -1,0 +1,12 @@
+(** Semi-linear sets of natural numbers and unary languages (Section 3).
+
+    - {!Linear} — single linear sets [m₀ + Σ mᵢ·ℕ];
+    - {!Set} — finite unions of linear sets with a decidable algebra;
+    - {!Unary} — the bridge between unary words aⁿ and sets of numbers;
+    - {!Presburger} — one-variable Presburger predicates normalized to
+      semi-linear sets. *)
+
+module Linear = Linear_set
+module Set = Semilinear_set
+module Unary = Unary_lang
+module Presburger = Presburger

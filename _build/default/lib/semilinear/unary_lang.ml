@@ -1,0 +1,44 @@
+let to_number a w =
+  let rec all_a i = i >= String.length w || (w.[i] = a && all_a (i + 1)) in
+  if all_a 0 then Some (String.length w) else None
+
+let of_number a n = String.make n a
+
+let language_of a t ~max_len =
+  Semilinear_set.to_list_upto max_len t |> List.map (of_number a)
+
+let semilinear_of_predicate f a ~bound =
+  let fn n = f (of_number a n) in
+  if Semilinear_set.refutes_ultimate_periodicity fn ~bound then None
+  else begin
+    (* Find the lexicographically-least fitting (threshold, period) and read
+       off the base/period structure directly. *)
+    let limit = bound / 3 in
+    let fits threshold period =
+      let rec go n = n + period > bound || (fn n = fn (n + period) && go (n + 1)) in
+      go threshold
+    in
+    let rec search t p =
+      if t > limit then None
+      else if p > limit then search (t + 1) 1
+      else if fits t p then Some (t, p)
+      else search t (p + 1)
+    in
+    match search 0 1 with
+    | None -> None
+    | Some (threshold, period) ->
+        let finite_part =
+          List.init threshold (fun n -> n) |> List.filter fn |> Semilinear_set.of_list
+        in
+        let periodic_part =
+          List.init period (fun i -> threshold + i)
+          |> List.filter fn
+          |> List.map (fun start -> Semilinear_set.arithmetic ~start ~step:period)
+          |> List.fold_left Semilinear_set.union Semilinear_set.empty
+        in
+        Some (Semilinear_set.union finite_part periodic_part)
+  end
+
+let powers_of_two ~bound:_ n =
+  let rec go p = p = n || (p < n && go (2 * p)) in
+  n >= 1 && go 1

@@ -1,0 +1,25 @@
+(** Unary languages as sets of natural numbers (Section 3).
+
+    Over Σ = {a}, the word aⁿ is identified with n; FC, core spanners and
+    generalized core spanners all define exactly the semi-linear unary
+    languages. This module bridges words and {!Semilinear_set}. *)
+
+val to_number : char -> string -> int option
+(** [to_number a w] is [Some |w|] when [w ∈ a*]. *)
+
+val of_number : char -> int -> string
+(** [of_number a n = aⁿ]. *)
+
+val language_of : char -> Semilinear_set.t -> max_len:int -> string list
+(** All members aⁿ with n ≤ max_len, ascending. *)
+
+val semilinear_of_predicate : (string -> bool) -> char -> bound:int -> Semilinear_set.t option
+(** Attempts to reconstruct a semi-linear set from a unary-language
+    membership predicate by detecting ultimate periodicity on
+    [0 .. bound]. Returns [None] when no (threshold, period) with
+    threshold, period ≤ bound/3 fits — finite evidence the language is not
+    semi-linear (hence not an FC language). *)
+
+val powers_of_two : bound:int -> int -> bool
+(** [powers_of_two ~bound n]: n is a power of two (≤ 2^62); the [bound]
+    argument is ignored but kept for symmetry with sampled predicates. *)

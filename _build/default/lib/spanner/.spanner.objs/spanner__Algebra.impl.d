@@ -1,0 +1,1 @@
+lib/spanner/algebra.ml: Format List Regex_formula Relation Selectable String

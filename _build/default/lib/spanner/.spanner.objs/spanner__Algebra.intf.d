@@ -1,0 +1,1 @@
+lib/spanner/algebra.mli: Format Regex_formula Relation Selectable

@@ -1,0 +1,1 @@
+lib/spanner/regex_formula.ml: Format Hashtbl List Printf Regex_engine Relation Span String Words

@@ -1,0 +1,1 @@
+lib/spanner/regex_formula.mli: Format Regex_engine Relation

@@ -1,0 +1,1 @@
+lib/spanner/relation.ml: Format List Printf Span String

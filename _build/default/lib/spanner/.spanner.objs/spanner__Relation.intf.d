@@ -1,0 +1,1 @@
+lib/spanner/relation.mli: Format Span

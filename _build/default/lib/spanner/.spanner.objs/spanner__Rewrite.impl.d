@@ -1,0 +1,1 @@
+lib/spanner/rewrite.ml: Algebra Format List Regex_engine Regex_formula String

@@ -1,0 +1,1 @@
+lib/spanner/rewrite.mli: Algebra

@@ -1,0 +1,1 @@
+lib/spanner/selectable.ml: Format List Printf Words

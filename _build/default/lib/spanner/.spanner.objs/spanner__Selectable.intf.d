@@ -1,0 +1,1 @@
+lib/spanner/selectable.mli: Format Words

@@ -1,0 +1,1 @@
+lib/spanner/span.ml: Format Fun List Stdlib String

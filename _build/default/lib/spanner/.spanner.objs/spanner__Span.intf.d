@@ -1,0 +1,1 @@
+lib/spanner/span.mli: Format

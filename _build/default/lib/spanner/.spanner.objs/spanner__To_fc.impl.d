@@ -1,0 +1,1 @@
+lib/spanner/to_fc.ml: Algebra Fc List Option Regex_engine Regex_formula

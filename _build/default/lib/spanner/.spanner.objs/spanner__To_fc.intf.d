@@ -1,0 +1,1 @@
+lib/spanner/to_fc.mli: Algebra Fc Regex_formula

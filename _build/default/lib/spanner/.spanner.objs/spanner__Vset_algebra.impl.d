@@ -1,0 +1,1 @@
+lib/spanner/vset_algebra.ml: Algebra List Option Regex_engine Regex_formula Vset_automaton

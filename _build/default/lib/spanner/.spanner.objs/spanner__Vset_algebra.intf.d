@@ -1,0 +1,1 @@
+lib/spanner/vset_algebra.mli: Algebra Regex_engine Vset_automaton

@@ -1,0 +1,1 @@
+lib/spanner/vset_automaton.ml: Array Hashtbl List Regex_formula Relation Set Span String

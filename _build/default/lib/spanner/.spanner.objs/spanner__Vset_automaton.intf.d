@@ -1,0 +1,1 @@
+lib/spanner/vset_automaton.mli: Regex_formula Relation

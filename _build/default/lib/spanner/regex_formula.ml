@@ -1,0 +1,238 @@
+type t =
+  | Empty
+  | Eps
+  | Char of char
+  | Alt of t * t
+  | Cat of t * t
+  | Star of t
+  | Bind of string * t
+
+let rec vars_raw = function
+  | Empty | Eps | Char _ -> []
+  | Alt (a, b) | Cat (a, b) -> vars_raw a @ vars_raw b
+  | Star a -> vars_raw a
+  | Bind (x, a) -> x :: vars_raw a
+
+let vars t = List.sort_uniq String.compare (vars_raw t)
+
+let rec is_functional = function
+  | Empty | Eps | Char _ -> true
+  | Alt (a, b) -> vars a = vars b && is_functional a && is_functional b
+  | Cat (a, b) ->
+      is_functional a && is_functional b
+      && List.for_all (fun v -> not (List.mem v (vars b))) (vars a)
+  | Star a -> vars a = [] && is_functional a
+  | Bind (x, a) -> (not (List.mem x (vars a))) && is_functional a
+
+let rec to_regex = function
+  | Empty -> Regex_engine.Regex.empty
+  | Eps -> Regex_engine.Regex.eps
+  | Char c -> Regex_engine.Regex.char c
+  | Alt (a, b) -> Regex_engine.Regex.alt (to_regex a) (to_regex b)
+  | Cat (a, b) -> Regex_engine.Regex.cat (to_regex a) (to_regex b)
+  | Star a -> Regex_engine.Regex.star (to_regex a)
+  | Bind (_, a) -> to_regex a
+
+let rec of_regex (r : Regex_engine.Regex.t) =
+  match r with
+  | Regex_engine.Regex.Empty -> Empty
+  | Regex_engine.Regex.Eps -> Eps
+  | Regex_engine.Regex.Char c -> Char c
+  | Regex_engine.Regex.Alt (a, b) -> Alt (of_regex a, of_regex b)
+  | Regex_engine.Regex.Cat (a, b) -> Cat (of_regex a, of_regex b)
+  | Regex_engine.Regex.Star a -> Star (of_regex a)
+
+let eval formula doc =
+  if not (is_functional formula) then invalid_arg "Regex_formula.eval: formula is not functional";
+  let n = String.length doc in
+  (* memoized boolean matcher for variable-free subformulas *)
+  let bool_memo : (t * int * int, bool) Hashtbl.t = Hashtbl.create 256 in
+  let rec bool_matches r i j =
+    match Hashtbl.find_opt bool_memo (r, i, j) with
+    | Some b -> b
+    | None ->
+        let b =
+          match r with
+          | Empty -> false
+          | Eps -> i = j
+          | Char c -> j = i + 1 && doc.[i] = c
+          | Alt (a, b) -> bool_matches a i j || bool_matches b i j
+          | Cat (a, b) ->
+              let rec split m = m <= j && ((bool_matches a i m && bool_matches b m j) || split (m + 1)) in
+              split i
+          | Star a ->
+              i = j
+              ||
+              let rec step m = m <= j && ((m > i && bool_matches a i m && bool_matches r m j) || step (m + 1)) in
+              step (i + 1)
+          | Bind (_, a) -> bool_matches a i j
+        in
+        Hashtbl.replace bool_memo (r, i, j) b;
+        b
+  in
+  (* binding enumerator; only called on subformulas that contain variables *)
+  let rec bindings r i j : (string * Span.t) list list =
+    if vars_raw r = [] then if bool_matches r i j then [ [] ] else []
+    else
+      match r with
+      | Empty | Eps | Char _ | Star _ -> assert false (* variable-free *)
+      | Alt (a, b) -> bindings a i j @ bindings b i j
+      | Cat (a, b) ->
+          List.concat_map
+            (fun m ->
+              let ba = bindings a i m in
+              if ba = [] then []
+              else
+                let bb = bindings b m j in
+                List.concat_map (fun ea -> List.map (fun eb -> ea @ eb) bb) ba)
+            (List.init (j - i + 1) (fun d -> i + d))
+      | Bind (x, a) ->
+          bindings a i j |> List.map (fun e -> (x, Span.make i j) :: e)
+  in
+  let tuples = bindings formula 0 n in
+  if vars formula = [] then if tuples <> [] then Relation.unit else Relation.empty []
+  else if tuples = [] then Relation.empty (vars formula)
+  else Relation.of_assoc tuples
+
+let matches_anywhere formula doc =
+  let sigma = Words.Word.alphabet doc in
+  let wild = of_regex (Regex_engine.Regex.all_words sigma) in
+  eval (Cat (wild, Cat (formula, wild))) doc
+
+(* ------------------------------------------------------------------ *)
+(* Syntax: regex syntax plus ident{...} bindings.                      *)
+
+exception Parse_error of string
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+
+let metachars = [ '('; ')'; '|'; '*'; '+'; '?'; '\\'; '%'; '{'; '}' ]
+
+let parse_exn input =
+  let n = String.length input in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some input.[!pos] else None in
+  let peek2 () = if !pos + 1 < n then Some input.[!pos + 1] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let opt r = Alt (r, Eps) in
+  let plus r = Cat (r, Star r) in
+  (* A binding looks like ident{...}: scan ahead from an identifier start
+     for a '{' immediately after the identifier. *)
+  let binding_ahead () =
+    let rec scan j =
+      if j < n && is_ident_char input.[j] then scan (j + 1)
+      else j > !pos && j < n && input.[j] = '{'
+    in
+    match peek () with
+    | Some c when is_ident_char c -> scan !pos
+    | _ -> false
+  in
+  let rec parse_alt () =
+    let first = parse_cat () in
+    let rec more acc =
+      match peek () with
+      | Some '|' ->
+          advance ();
+          more (Alt (acc, parse_cat ()))
+      | _ -> acc
+    in
+    more first
+  and parse_cat () =
+    let rec go acc =
+      match peek () with
+      | None | Some ')' | Some '|' | Some '}' -> acc
+      | _ ->
+          let next = parse_postfix () in
+          go (if acc = Eps then next else Cat (acc, next))
+    in
+    go Eps
+  and parse_postfix () =
+    let base = parse_atom () in
+    let rec ops acc =
+      match peek () with
+      | Some '*' ->
+          advance ();
+          ops (Star acc)
+      | Some '+' ->
+          advance ();
+          ops (plus acc)
+      | Some '?' ->
+          advance ();
+          ops (opt acc)
+      | _ -> acc
+    in
+    ops base
+  and parse_atom () =
+    if binding_ahead () then begin
+      let start = !pos in
+      while !pos < n && is_ident_char input.[!pos] do
+        advance ()
+      done;
+      let name = String.sub input start (!pos - start) in
+      advance () (* '{' *);
+      let body = parse_alt () in
+      if peek () = Some '}' then (
+        advance ();
+        Bind (name, body))
+      else fail "expected '}'"
+    end
+    else
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '(' -> (
+          advance ();
+          match peek () with
+          | Some ')' ->
+              advance ();
+              Eps
+          | _ ->
+              let r = parse_alt () in
+              if peek () = Some ')' then (
+                advance ();
+                r)
+              else fail "expected ')'")
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | None -> fail "dangling escape"
+          | Some c ->
+              advance ();
+              Char c)
+      | Some '%' -> (
+          advance ();
+          match (peek (), peek2 ()) with
+          | Some 'e', _ ->
+              advance ();
+              Eps
+          | Some '0', _ ->
+              advance ();
+              Empty
+          | _ -> fail "expected %e or %0")
+      | Some c when not (List.mem c metachars) ->
+          advance ();
+          Char c
+      | Some c -> fail (Printf.sprintf "unexpected character %C" c)
+  in
+  let r = parse_alt () in
+  if !pos <> n then fail "trailing input";
+  r
+
+let parse input = try Ok (parse_exn input) with Parse_error msg -> Error msg
+
+let rec pp ppf =
+  let open Format in
+  function
+  | Empty -> pp_print_string ppf "%0"
+  | Eps -> pp_print_string ppf "%e"
+  | Char c -> if List.mem c metachars then fprintf ppf "\\%c" c else pp_print_char ppf c
+  | Alt (a, b) -> fprintf ppf "%a|%a" pp a pp b
+  | Cat (a, b) ->
+      let side ppf x = match x with Alt _ -> fprintf ppf "(%a)" pp x | _ -> pp ppf x in
+      fprintf ppf "%a%a" side a side b
+  | Star a -> (
+      match a with
+      | Char _ | Bind _ -> fprintf ppf "%a*" pp a
+      | _ -> fprintf ppf "(%a)*" pp a)
+  | Bind (x, a) -> fprintf ppf "%s{%a}" x pp a

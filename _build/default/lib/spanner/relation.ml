@@ -1,0 +1,122 @@
+type t = { schema : string list; rows : Span.t list list }
+
+let schema t = t.schema
+let rows t = t.rows
+
+let check_schema schema =
+  let sorted = List.sort_uniq String.compare schema in
+  if List.length sorted <> List.length schema then
+    invalid_arg "Relation: duplicate variables in schema";
+  sorted
+
+let make ~schema rows =
+  let sorted = check_schema schema in
+  let arity = List.length schema in
+  let permute row =
+    if List.length row <> arity then invalid_arg "Relation.make: arity mismatch";
+    let tagged = List.combine schema row in
+    List.map (fun v -> List.assoc v tagged) sorted
+  in
+  { schema = sorted; rows = List.sort_uniq compare (List.map permute rows) }
+
+let of_assoc = function
+  | [] -> { schema = []; rows = [] }
+  | first :: _ as tuples ->
+      let schema = List.sort_uniq String.compare (List.map fst first) in
+      let row tuple =
+        if List.sort_uniq String.compare (List.map fst tuple) <> schema then
+          invalid_arg "Relation.of_assoc: inconsistent variable sets";
+        List.map (fun v -> List.assoc v tuple) schema
+      in
+      { schema; rows = List.sort_uniq compare (List.map row tuples) }
+
+let empty schema = { schema = check_schema schema; rows = [] }
+let unit = { schema = []; rows = [ [] ] }
+let is_empty t = t.rows = []
+let cardinality t = List.length t.rows
+
+let mem t tuple =
+  let row = List.map (fun v -> List.assoc v tuple) t.schema in
+  List.mem row t.rows
+
+let same_schema op a b =
+  if a.schema <> b.schema then invalid_arg (Printf.sprintf "Relation.%s: schema mismatch" op)
+
+let union a b =
+  same_schema "union" a b;
+  { a with rows = List.sort_uniq compare (a.rows @ b.rows) }
+
+let diff a b =
+  same_schema "diff" a b;
+  { a with rows = List.filter (fun r -> not (List.mem r b.rows)) a.rows }
+
+let project vars t =
+  let vars = List.sort_uniq String.compare vars in
+  List.iter
+    (fun v -> if not (List.mem v t.schema) then invalid_arg "Relation.project: unknown variable")
+    vars;
+  let keep = List.map (fun v -> List.mem v vars) t.schema in
+  let shrink row = List.filteri (fun i _ -> List.nth keep i) row in
+  { schema = vars; rows = List.sort_uniq compare (List.map shrink t.rows) }
+
+let natural_join a b =
+  let shared = List.filter (fun v -> List.mem v b.schema) a.schema in
+  let schema = List.sort_uniq String.compare (a.schema @ b.schema) in
+  let pos vars v =
+    let rec go i = function
+      | [] -> invalid_arg "Relation.natural_join: variable not found"
+      | x :: rest -> if x = v then i else go (i + 1) rest
+    in
+    go 0 vars
+  in
+  let a_pos = List.map (pos a.schema) shared and b_pos = List.map (pos b.schema) shared in
+  let key poss row = List.map (fun i -> List.nth row i) poss in
+  let combine ra rb =
+    let tagged = List.combine a.schema ra @ List.combine b.schema rb in
+    List.map (fun v -> List.assoc v tagged) schema
+  in
+  let rows =
+    List.concat_map
+      (fun ra ->
+        List.filter_map
+          (fun rb -> if key a_pos ra = key b_pos rb then Some (combine ra rb) else None)
+          b.rows)
+      a.rows
+  in
+  { schema; rows = List.sort_uniq compare rows }
+
+let select f t = { t with rows = List.filter f t.rows }
+
+let column t v =
+  let rec go i = function
+    | [] -> invalid_arg (Printf.sprintf "Relation: variable %s not in schema" v)
+    | x :: rest -> if x = v then i else go (i + 1) rest
+  in
+  go 0 t.schema
+
+let select_string_eq ~doc x y t =
+  let ix = column t x and iy = column t y in
+  select (fun row -> Span.string_equal doc (List.nth row ix) (List.nth row iy)) t
+
+let select_word_rel ~doc rel vars t =
+  let cols = List.map (column t) vars in
+  select (fun row -> rel (List.map (fun i -> Span.content doc (List.nth row i)) cols)) t
+
+let to_word_tuples ~doc ~vars t =
+  let cols = List.map (column t) vars in
+  t.rows
+  |> List.map (fun row -> List.map (fun i -> Span.content doc (List.nth row i)) cols)
+  |> List.sort_uniq compare
+
+let equal a b = a.schema = b.schema && a.rows = b.rows
+
+let pp ~doc ppf t =
+  let pp_cell ppf (v, s) = Format.fprintf ppf "%s=%a%S" v Span.pp s (Span.content doc s) in
+  let pp_row ppf row =
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_cell)
+      (List.combine t.schema row)
+  in
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") pp_row)
+    t.rows

@@ -1,0 +1,58 @@
+(** Span relations: sets of tuples of spans under a named schema.
+
+    These are the tables that spanners extract from a document and that
+    the algebra of Section 1 operates on. *)
+
+type t
+
+val schema : t -> string list
+(** Sorted variable names. *)
+
+val rows : t -> Span.t list list
+(** Rows aligned with {!schema}, sorted and duplicate-free. *)
+
+val make : schema:string list -> Span.t list list -> t
+(** Raises [Invalid_argument] on arity mismatches or duplicate schema
+    variables. Rows are sorted and deduplicated; the column order is
+    normalized to the sorted schema. *)
+
+val of_assoc : (string * Span.t) list list -> t
+(** Build from tagged tuples; all tuples must bind exactly the same
+    variable set. The empty list yields the empty relation over the empty
+    schema. *)
+
+val empty : string list -> t
+val unit : t
+(** The relation over the empty schema containing the empty tuple (the
+    join identity). *)
+
+val is_empty : t -> bool
+val cardinality : t -> int
+val mem : t -> (string * Span.t) list -> bool
+
+val union : t -> t -> t
+(** Schemas must coincide. *)
+
+val diff : t -> t -> t
+(** Schemas must coincide. *)
+
+val project : string list -> t -> t
+(** Keep the listed variables (must be a subset of the schema). *)
+
+val natural_join : t -> t -> t
+val select : (Span.t list -> bool) -> t -> t
+(** Generic selection on rows (aligned with {!schema}). *)
+
+val select_string_eq : doc:string -> string -> string -> t -> t
+(** ζ^=_{x,y}: keep rows whose x- and y-spans read the same factor. *)
+
+val select_word_rel : doc:string -> (string list -> bool) -> string list -> t -> t
+(** ζ^R: keep rows where R holds of the factors read by the listed
+    variables (the "selectable relation" operator the paper studies). *)
+
+val to_word_tuples : doc:string -> vars:string list -> t -> string list list
+(** The word relation induced on factor contents, ordered by [vars];
+    duplicate-free. *)
+
+val equal : t -> t -> bool
+val pp : doc:string -> Format.formatter -> t -> unit

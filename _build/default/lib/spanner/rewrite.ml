@@ -1,0 +1,59 @@
+open Algebra
+
+(* expressions may embed ζ^R closures, on which polymorphic compare raises;
+   compare via the printed form instead *)
+let key e = Format.asprintf "%a" Algebra.pp e
+let expr_equal a b = key a = key b
+let expr_lt a b = key a < key b
+
+let rec size = function
+  | Extract _ -> 1
+  | Union (a, b) | Join (a, b) | Diff (a, b) -> 1 + size a + size b
+  | Project (_, e) | Select_eq (_, _, e) | Select_rel (_, _, e) -> 1 + size e
+
+let rec is_trivially_empty = function
+  | Extract f -> Regex_formula.to_regex f = Regex_engine.Regex.empty
+  | Diff (a, b) -> expr_equal a b || is_trivially_empty a
+  | Union (a, b) -> is_trivially_empty a && is_trivially_empty b
+  | Join (a, b) -> is_trivially_empty a || is_trivially_empty b
+  | Project (_, e) | Select_eq (_, _, e) | Select_rel (_, _, e) -> is_trivially_empty e
+
+(* One bottom-up pass of local rules. *)
+let rec pass e =
+  match e with
+  | Extract _ -> e
+  | Union (a, b) ->
+      let a = pass a and b = pass b in
+      if expr_equal a b then a else if expr_lt b a then Union (b, a) else Union (a, b)
+  | Join (a, b) ->
+      let a = pass a and b = pass b in
+      if expr_equal a b then a else Join (a, b)
+  | Diff (a, b) -> Diff (pass a, pass b)
+  | Project (vars, inner) -> (
+      let inner = pass inner in
+      match inner with
+      | Project (_, deeper) ->
+          (* outer vars ⊆ inner vars when well-formed *)
+          Project (vars, deeper)
+      | _ -> (
+          match well_formed inner with
+          | Ok schema when List.sort_uniq String.compare vars = schema -> inner
+          | _ -> Project (vars, inner)))
+  | Select_eq (x, y, inner) -> (
+      let inner = pass inner in
+      if x = y then inner
+      else
+        let x, y = if y < x then (y, x) else (x, y) in
+        (* canonical ordering of commuting selection chains *)
+        match inner with
+        | Select_eq (x', y', deeper) when (x', y') < (x, y) ->
+            Select_eq (x', y', pass (Select_eq (x, y, deeper)))
+        | _ -> Select_eq (x, y, inner))
+  | Select_rel (r, vars, inner) -> Select_rel (r, vars, pass inner)
+
+let simplify e =
+  let rec fix e =
+    let e' = pass e in
+    if expr_equal e' e then e else fix e'
+  in
+  match well_formed e with Ok _ -> fix e | Error _ -> e

@@ -1,0 +1,23 @@
+(** Semantics-preserving rewrites on spanner algebra expressions — the
+    executable shadow of the core-simplification normal-form reasoning
+    (Fagin et al.), used here as a query optimizer and exercised by
+    equivalence property tests.
+
+    Every rule preserves {!Algebra.eval} on every document:
+    - collapse nested projections; drop identity projections;
+    - drop reflexive ζ^=; deduplicate idempotent unions;
+    - evaluate differences with syntactically equal operands to ∅ via
+      projection of an empty union — kept as [Diff (a, a)] since the
+      algebra has no empty literal, but flagged by {!is_trivially_empty};
+    - sort commuting selection chains into a canonical order. *)
+
+val simplify : Algebra.expr -> Algebra.expr
+(** Bottom-up application of all rules to a fixpoint. Ill-formed
+    expressions are returned unchanged. *)
+
+val size : Algebra.expr -> int
+(** Number of operator nodes (regex formulas count as 1). *)
+
+val is_trivially_empty : Algebra.expr -> bool
+(** Syntactic emptiness: [Diff (a, a)], extraction of the empty regex
+    formula, or joins/unions/selections thereof. *)

@@ -1,0 +1,33 @@
+type t = { name : string; arity : int; holds : string list -> bool }
+
+let make ~name ~arity holds = { name; arity; holds }
+
+let holds t tuple =
+  if List.length tuple <> t.arity then
+    invalid_arg (Printf.sprintf "Selectable.holds: %s expects arity %d" t.name t.arity);
+  t.holds tuple
+
+let binary name f = make ~name ~arity:2 (function [ x; y ] -> f x y | _ -> assert false)
+let ternary name f = make ~name ~arity:3 (function [ x; y; z ] -> f x y z | _ -> assert false)
+
+let num a = binary (Printf.sprintf "Num_%c" a) (Words.Subword.num_eq a)
+let add = ternary "Add" Words.Subword.add_rel
+let mult = ternary "Mult" Words.Subword.mult_rel
+let scatt = binary "Scatt" Words.Subword.is_scattered_subword
+let perm = binary "Perm" Words.Subword.is_permutation
+let rev = binary "Rev" Words.Subword.rev_rel
+let shuff = ternary "Shuff" (fun x y z -> Words.Subword.in_shuffle x y z)
+
+let morph h =
+  binary (Format.asprintf "Morph_%a" Words.Morphism.pp h) (Words.Morphism.rel h)
+
+let len_eq = binary "LenEq" Words.Subword.len_eq
+let len_lt = binary "LenLt" Words.Subword.len_lt
+
+let complement t =
+  { name = "co-" ^ t.name; arity = t.arity; holds = (fun tuple -> not (t.holds tuple)) }
+
+let all_paper_relations =
+  [ num 'a'; add; mult; scatt; perm; rev; shuff; morph Words.Morphism.paper_h ]
+
+let pp ppf t = Format.fprintf ppf "%s/%d" t.name t.arity

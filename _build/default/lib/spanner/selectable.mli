@@ -1,0 +1,53 @@
+(** Word relations considered for ζ^R selection — including every relation
+    Theorem 5.5 proves non-selectable by generalized core spanners, plus
+    the classical comparison relations.
+
+    Each value packages a name, an arity and a decidable membership test on
+    word tuples, so the algebra can evaluate ζ^R even though no
+    generalized core spanner could express it. *)
+
+type t = { name : string; arity : int; holds : string list -> bool }
+
+val make : name:string -> arity:int -> (string list -> bool) -> t
+val holds : t -> string list -> bool
+
+val num : char -> t
+(** Num_a: |x|_a = |y|_a. *)
+
+val add : t
+(** Add: |z| = |x| + |y| (variables in order x, y, z). *)
+
+val mult : t
+(** Mult: |z| = |x| · |y|. *)
+
+val scatt : t
+(** Scatt: x is a scattered subword of y. *)
+
+val perm : t
+(** Perm: x is a permutation of y. *)
+
+val rev : t
+(** Rev: x is the reverse of y. *)
+
+val shuff : t
+(** Shuff: z ∈ x ⧢ y. *)
+
+val morph : Words.Morphism.t -> t
+(** Morph_h: y = h(x). *)
+
+val len_eq : t
+(** Length equality — not selectable even by generalized core spanners
+    (Freydenberger & Peterfreund 2019, Thm 5.14). *)
+
+val len_lt : t
+(** R_<: |x| < |y| — not selectable by core spanners. *)
+
+val complement : t -> t
+(** The complement relation; the paper notes FC[REG]'s closure under
+    complement makes these non-selectable too. *)
+
+val all_paper_relations : t list
+(** The eight relations of Theorem 5.5 (with the paper's morphism h(a) =
+    h(b) = b). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,22 @@
+type t = { left : int; right : int }
+
+let make left right =
+  if left < 0 || right < left then invalid_arg "Span.make";
+  { left; right }
+
+let length s = s.right - s.left
+
+let in_document doc s = s.right <= String.length doc
+
+let content doc s =
+  if not (in_document doc s) then invalid_arg "Span.content: span outside document";
+  String.sub doc s.left (length s)
+
+let all doc =
+  let n = String.length doc in
+  List.concat_map (fun i -> List.init (n - i + 1) (fun l -> { left = i; right = i + l })) (List.init (n + 1) Fun.id)
+
+let string_equal doc a b = content doc a = content doc b
+let compare a b = Stdlib.compare (a.left, a.right) (b.left, b.right)
+let equal a b = compare a b = 0
+let pp ppf s = Format.fprintf ppf "\xe2\x9f\xa8%d, %d\xe2\x9f\xa9" s.left s.right

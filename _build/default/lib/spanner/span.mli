@@ -1,0 +1,25 @@
+(** Spans: intervals [i, j⟩ of positions in a document (Fagin et al.).
+
+    A span of a word w of length n satisfies 0 ≤ i ≤ j ≤ n and denotes the
+    factor w[i..j). Two spans are {e string-equal} on w when they denote
+    the same factor, possibly at different positions — the relation behind
+    the ζ^= operator of core spanners. *)
+
+type t = { left : int; right : int }
+
+val make : int -> int -> t
+(** Raises [Invalid_argument] unless 0 ≤ left ≤ right. *)
+
+val length : t -> int
+val content : string -> t -> string
+(** Raises [Invalid_argument] when the span exceeds the document. *)
+
+val in_document : string -> t -> bool
+val all : string -> t list
+(** All spans of the document, ordered by (left, right). *)
+
+val string_equal : string -> t -> t -> bool
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+(** Prints [⟨i, j⟩] (the paper's [i, j⟩ notation needs balanced brackets). *)

@@ -1,0 +1,93 @@
+type seg =
+  | Plain of Regex_engine.Regex.t
+  | Var of string * seg list
+
+let var_free (f : Regex_formula.t) = Regex_formula.vars f = []
+
+let rec segments (f : Regex_formula.t) : seg list option =
+  if var_free f then Some [ Plain (Regex_formula.to_regex f) ]
+  else
+    match f with
+    | Regex_formula.Cat (a, b) -> (
+        match (segments a, segments b) with
+        | Some sa, Some sb -> Some (sa @ sb)
+        | _ -> None)
+    | Regex_formula.Bind (x, body) ->
+        Option.map (fun subs -> [ Var (x, subs) ]) (segments body)
+    | Regex_formula.Alt _ | Regex_formula.Star _ -> None (* with variables *)
+    | Regex_formula.Empty | Regex_formula.Eps | Regex_formula.Char _ ->
+        Some [ Plain (Regex_formula.to_regex f) ]
+
+(* Build the FC constraints for a segment list; returns the terms whose
+   concatenation spans the segment list plus the side constraints. *)
+let rec build segs : Fc.Term.t list * Fc.Formula.t list =
+  List.fold_left
+    (fun (terms, constraints) seg ->
+      match seg with
+      | Plain r ->
+          let t = Fc.Formula.fresh_var ~prefix:"seg" () in
+          (terms @ [ Fc.Term.Var t ], constraints @ [ Fc.Formula.Mem (Fc.Term.Var t, r) ])
+      | Var (x, subs) ->
+          let sub_terms, sub_constraints = build subs in
+          ( terms @ [ Fc.Term.Var x ],
+            constraints
+            @ [ Fc.Formula.eq_concat (Fc.Term.Var x) sub_terms ]
+            @ sub_constraints ))
+    ([], []) segs
+
+let compile_one (f : Regex_formula.t) : Fc.Formula.t option =
+  match segments f with
+  | None -> None
+  | Some segs ->
+      let vars = Regex_formula.vars f in
+      let u = Fc.Formula.fresh_var ~prefix:"doc" () in
+      let terms, constraints = build segs in
+      let body =
+        Fc.Formula.conj (Fc.Formula.eq_concat (Fc.Term.Var u) terms :: constraints)
+      in
+      let bound =
+        Fc.Formula.free_vars body
+        |> List.filter (fun v -> v <> u && not (List.mem v vars))
+      in
+      Some
+        (Fc.Formula.Exists
+           ( u,
+             Fc.Formula.And (Fc.Builders.universe u, Fc.Formula.exists bound body) ))
+
+let rec compile (f : Regex_formula.t) : Fc.Formula.t option =
+  match f with
+  | Regex_formula.Alt (a, b) when Regex_formula.vars f <> [] ->
+      if Regex_formula.vars a <> Regex_formula.vars b then None
+      else (
+        match (compile a, compile b) with
+        | Some fa, Some fb -> Some (Fc.Formula.Or (fa, fb))
+        | _ -> None)
+  | _ -> compile_one f
+
+let compile_boolean f =
+  match compile f with
+  | None -> None
+  | Some phi -> Some (Fc.Formula.exists (Fc.Formula.free_vars phi) phi)
+
+let rec compile_algebra (e : Algebra.expr) : Fc.Formula.t option =
+  match e with
+  | Algebra.Extract f -> compile f
+  | Algebra.Union (a, b) -> (
+      match (compile_algebra a, compile_algebra b) with
+      | Some fa, Some fb -> Some (Fc.Formula.Or (fa, fb))
+      | _ -> None)
+  | Algebra.Join (a, b) -> (
+      match (compile_algebra a, compile_algebra b) with
+      | Some fa, Some fb -> Some (Fc.Formula.And (fa, fb))
+      | _ -> None)
+  | Algebra.Project (vars, a) -> (
+      match compile_algebra a with
+      | Some fa ->
+          let dropped = List.filter (fun v -> not (List.mem v vars)) (Fc.Formula.free_vars fa) in
+          Some (Fc.Formula.exists dropped fa)
+      | None -> None)
+  | Algebra.Select_eq (x, y, a) -> (
+      match compile_algebra a with
+      | Some fa -> Some (Fc.Formula.And (fa, Fc.Formula.eq2 (Fc.Term.Var x) (Fc.Term.Var y)))
+      | None -> None)
+  | Algebra.Diff _ | Algebra.Select_rel _ -> None

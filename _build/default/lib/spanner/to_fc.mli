@@ -1,0 +1,27 @@
+(** Compiling spanners to FC[REG] — the direction behind "FC[REG] captures
+    generalized core spanners" (Freydenberger & Peterfreund 2019), which
+    the paper uses to transfer its FC inexpressibility results to spanners
+    (Section 5).
+
+    The supported fragment is {e sequential} regex formulas: concatenation
+    chains of variable-free segments and bindings (possibly nested), with
+    variable-free alternations and stars inside segments, and top-level
+    alternations over the same variable set. This covers every extractor
+    used in the paper and in this repository's experiments. *)
+
+val compile : Regex_formula.t -> Fc.Formula.t option
+(** [compile γ]: an FC[REG] formula φ with free variables = vars(γ) such
+    that for every document w, the word relation extracted by γ
+    ({!Algebra.selected_words}) equals the relation φ defines on 𝔄_w
+    ({!Fc.Eval.relation}) — positions are forgotten on both sides.
+    [None] outside the fragment. *)
+
+val compile_boolean : Regex_formula.t -> Fc.Formula.t option
+(** The Boolean-spanner case: a sentence with w ∈ L(φ) iff γ matches w
+    (with some span assignment). *)
+
+val compile_algebra : Algebra.expr -> Fc.Formula.t option
+(** Extends {!compile} through the positive algebra: ∪ (same schema),
+    ⋈ (conjunction), π (existential projection), ζ^= (variable equality).
+    Difference and ζ^R are not compiled — difference would need schema
+    complements and ζ^R is exactly what Theorem 5.5 rules out. *)

@@ -1,0 +1,48 @@
+(** The regular-spanner algebra computed on vset-automata.
+
+    Fagin et al. show regular spanners (regex formulas with ∪, π, ⋈) are
+    exactly the vset-automaton spanners; this module implements the three
+    closure constructions at the automaton level and a compiler from the
+    positive, ζ-free fragment of {!Algebra}. Everything is differentially
+    tested against the relation-level operations. *)
+
+val union : Vset_automaton.t -> Vset_automaton.t -> Vset_automaton.t
+(** Disjoint union with a fresh start; the operands must have the same
+    variable set (raises [Invalid_argument] otherwise). *)
+
+val project : string list -> Vset_automaton.t -> Vset_automaton.t
+(** Keep the listed variables; other variables' operations become ε. *)
+
+val join : Vset_automaton.t -> Vset_automaton.t -> Vset_automaton.t
+(** Natural join: a position-synchronized product — letters advance both
+    operands, shared variables' operations synchronize, private operations
+    interleave. Complete when, at any one document position, the two
+    operands perform their shared-variable operations in a consistent
+    order (always the case for the chain-shaped formulas used here;
+    a full normal-form pre-pass would lift the restriction). *)
+
+val of_algebra : Algebra.expr -> Vset_automaton.t option
+(** Compile Extract / Union / Project / Join expressions; [None] when the
+    expression uses difference or selections (not regular-spanner
+    operations). *)
+
+(** {1 Recognizable relations} *)
+
+module Recognizable : sig
+  type t = { arity : int; products : Regex_engine.Regex.t list list }
+  (** A finite union of products L₁ × ⋯ × L_arity of regular languages —
+      the relation class regular spanners cannot exceed (Fagin et al.),
+      against which the paper contrasts (generalized) core spanners. *)
+
+  val product : Regex_engine.Regex.t list -> t
+  val union : t -> t -> t
+  val holds : t -> string list -> bool
+
+  val selection : ?sigma:char list -> t -> string list -> Algebra.expr -> Algebra.expr
+  (** ζ^R for a {e recognizable} R is expressible with regular-spanner
+      means: each component constrains each variable's content by joining
+      with Σ*·x{γᵢ}·Σ* — no ζ^R operator needed. The result is a pure
+      (generalized-core, even regular modulo the input) algebra
+      expression whose evaluation coincides with
+      {!Algebra.Select_rel} on the corresponding {!Selectable} relation. *)
+end

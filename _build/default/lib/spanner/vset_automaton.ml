@@ -1,0 +1,205 @@
+type label = Read of char | Open of string | Close of string
+
+type t = {
+  states : int;
+  start : int;
+  accepting : int list;
+  transitions : (int * label * int) list;
+  vars : string list;
+}
+
+let vars_of_transitions transitions =
+  (* the empty variable name encodes ε-moves and is not a variable *)
+  List.filter_map
+    (function
+      | _, Open x, _ | _, Close x, _ -> if x = "" then None else Some x
+      | _, Read _, _ -> None)
+    transitions
+  |> List.sort_uniq String.compare
+
+let make ~states ~start ~accepting ~transitions =
+  let check_state q =
+    if q < 0 || q >= states then invalid_arg "Vset_automaton.make: state out of range"
+  in
+  check_state start;
+  List.iter check_state accepting;
+  List.iter
+    (fun (q, _, q') ->
+      check_state q;
+      check_state q')
+    transitions;
+  { states; start; accepting; transitions; vars = vars_of_transitions transitions }
+
+let states t = t.states
+let start t = t.start
+let accepting t = t.accepting
+let vars t = t.vars
+let transitions t = t.transitions
+
+(* Thompson construction with fragments (entry, exit). *)
+let of_regex_formula formula =
+  let transitions = ref [] and count = ref 0 in
+  let fresh () =
+    let q = !count in
+    incr count;
+    q
+  in
+  let add q l q' = transitions := (q, l, q') :: !transitions in
+  (* Build a fragment and return (entry, exit). Empty is represented by a
+     fragment with no path, Eps by entry = exit. *)
+  let rec build (f : Regex_formula.t) =
+    match f with
+    | Regex_formula.Empty ->
+        let i = fresh () and o = fresh () in
+        (i, o) (* no transition: dead *)
+    | Regex_formula.Eps ->
+        let i = fresh () in
+        (i, i)
+    | Regex_formula.Char c ->
+        let i = fresh () and o = fresh () in
+        add i (Read c) o;
+        (i, o)
+    | Regex_formula.Alt (a, b) ->
+        let i = fresh () and o = fresh () in
+        let ia, oa = build a and ib, ob = build b in
+        (* ε-moves are encoded as Open "" — the empty variable name is
+           reserved (no parser accepts it) and treated as ε everywhere *)
+        add i (Open "") ia;
+        add i (Open "") ib;
+        add oa (Open "") o;
+        add ob (Open "") o;
+        (i, o)
+    | Regex_formula.Cat (a, b) ->
+        let ia, oa = build a and ib, ob = build b in
+        add oa (Open "") ib;
+        (ia, ob)
+    | Regex_formula.Star a ->
+        let i = fresh () in
+        let ia, oa = build a in
+        add i (Open "") ia;
+        add oa (Open "") i;
+        (i, i)
+    | Regex_formula.Bind (x, a) ->
+        let i = fresh () and o = fresh () in
+        let ia, oa = build a in
+        add i (Open x) ia;
+        add oa (Close x) o;
+        (i, o)
+  in
+  let entry, exit_ = build formula in
+  {
+    states = !count;
+    start = entry;
+    accepting = [ exit_ ];
+    transitions = !transitions;
+    vars = Regex_formula.vars formula;
+  }
+
+(* Variable status during a run. *)
+type status = Unseen | Opened of int | Closed of Span.t
+
+let adjacency t =
+  let out = Array.make t.states [] in
+  List.iter (fun (q, l, q') -> out.(q) <- (l, q') :: out.(q)) t.transitions;
+  out
+
+let eval_runs t doc =
+  let n = String.length doc in
+  let out = adjacency t in
+  let runs = ref [] in
+  (* DFS over (state, position, statuses). ε-moves (Open "") do not change
+     statuses; Open/Close are ε in the document. Cycles of pure ε-moves are
+     possible through Star, so we track an on-path visited set for ε-closure
+     at a fixed position. Identical (state, pos, statuses) branches are
+     deduplicated globally — the runs they produce are indistinguishable at
+     the relation level. *)
+  let visited = Hashtbl.create 1024 in
+  let rec go state pos statuses seen =
+    if not (Hashtbl.mem visited (state, pos, statuses)) then begin
+      Hashtbl.add visited (state, pos, statuses) ();
+      if pos = n && List.mem state t.accepting then runs := statuses :: !runs;
+      List.iter
+        (fun (l, q') ->
+          match l with
+          | Read c -> if pos < n && doc.[pos] = c then go q' (pos + 1) statuses []
+          | Open "" ->
+              if not (List.mem (q', pos) seen) then go q' pos statuses ((state, pos) :: seen)
+          | Open x -> (
+              match List.assoc x statuses with
+              | Unseen -> go q' pos ((x, Opened pos) :: List.remove_assoc x statuses) []
+              | Opened _ | Closed _ -> ())
+          | Close x -> (
+              match List.assoc x statuses with
+              | Opened i ->
+                  go q' pos ((x, Closed (Span.make i pos)) :: List.remove_assoc x statuses) []
+              | Unseen | Closed _ -> ()))
+        out.(state)
+    end
+  in
+  let init = List.map (fun x -> (x, Unseen)) t.vars in
+  go t.start 0 init [];
+  !runs
+
+let complete_rows t runs =
+  List.filter_map
+    (fun statuses ->
+      let cells =
+        List.filter_map
+          (fun x ->
+            match List.assoc x statuses with Closed s -> Some (x, s) | _ -> None)
+          t.vars
+      in
+      if List.length cells = List.length t.vars then Some cells else None)
+    runs
+
+let eval t doc =
+  let rows = complete_rows t (eval_runs t doc) in
+  match rows with
+  | [] -> Relation.empty t.vars
+  | _ -> Relation.of_assoc rows
+
+let run_count t doc = List.length (complete_rows t (eval_runs t doc))
+
+let is_functional t =
+  (* abstract statuses: per variable Unseen/Opened/Closed (no positions);
+     reachability over (state, abstract status); accepting states reached
+     with a non-fully-closed status witness non-functionality, as do Open
+     on an opened/closed variable etc. Since eval simply drops incomplete
+     runs, we define functionality as: every accepting abstract
+     configuration closes all variables. *)
+  let module S = Set.Make (struct
+    type nonrec t = int * (string * int) list
+
+    let compare = compare
+  end) in
+  let init = List.map (fun x -> (x, 0)) t.vars in
+  let step (state, st) =
+    List.filter_map
+      (fun (q, l, q') ->
+        if q <> state then None
+        else
+          match l with
+          | Read _ -> Some (q', st)
+          | Open "" -> Some (q', st)
+          | Open x -> (
+              match List.assoc x st with
+              | 0 -> Some (q', (x, 1) :: List.remove_assoc x st |> List.sort compare)
+              | _ -> None)
+          | Close x -> (
+              match List.assoc x st with
+              | 1 -> Some (q', (x, 2) :: List.remove_assoc x st |> List.sort compare)
+              | _ -> None))
+      t.transitions
+  in
+  let rec explore frontier seen =
+    match frontier with
+    | [] -> seen
+    | c :: rest ->
+        if S.mem c seen then explore rest seen
+        else explore (step c @ rest) (S.add c seen)
+  in
+  let seen = explore [ (t.start, List.sort compare init) ] S.empty in
+  S.for_all
+    (fun (state, st) ->
+      (not (List.mem state t.accepting)) || List.for_all (fun (_, s) -> s = 2) st)
+    seen

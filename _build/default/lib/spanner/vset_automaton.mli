@@ -1,0 +1,46 @@
+(** Variable-set automata (vset-automata) — the automaton representation of
+    regular spanners in the document-spanner framework (Fagin et al.).
+
+    A vset-automaton is an NFA whose transitions are either letter reads or
+    variable operations ⊢x (open) and x⊣ (close); an accepting run over a
+    document assigns each variable the span between its open and close
+    operations. Regex formulas compile into vset-automata (Thompson-style),
+    and the two evaluators are differentially tested against each other. *)
+
+type label =
+  | Read of char
+  | Open of string  (** ⊢x *)
+  | Close of string  (** x⊣ *)
+
+type t
+
+val make :
+  states:int -> start:int -> accepting:int list ->
+  transitions:(int * label * int) list -> t
+(** Raises [Invalid_argument] on out-of-range states. The variable set is
+    inferred from the labels. *)
+
+val states : t -> int
+val start : t -> int
+val accepting : t -> int list
+val vars : t -> string list
+val transitions : t -> (int * label * int) list
+
+val of_regex_formula : Regex_formula.t -> t
+(** Thompson construction; [Bind (x, f)] becomes ⊢x · f · x⊣. *)
+
+val eval : t -> string -> Relation.t
+(** All accepting runs over the whole document, as a span relation over the
+    automaton's variables. Runs that open a variable and never close it (or
+    never open it) do not produce rows. Raises [Invalid_argument] when
+    different accepting runs bind different variable sets (non-functional
+    use); check {!is_functional} first. *)
+
+val is_functional : t -> bool
+(** Every accepting run opens and closes every variable exactly once
+    (decided by reachability over variable-status abstractions). *)
+
+val run_count : t -> string -> int
+(** Number of distinct accepting configurations (the evaluator merges
+    branches that reach the same state with the same variable statuses, so
+    syntactically duplicated paths count once). *)

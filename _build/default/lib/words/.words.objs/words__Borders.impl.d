@@ -1,0 +1,1 @@
+lib/words/borders.ml: Array Fun List String

@@ -1,0 +1,1 @@
+lib/words/borders.mli:

@@ -1,0 +1,1 @@
+lib/words/conjugacy.ml: Factors Fun List Primitive String Word

@@ -1,0 +1,1 @@
+lib/words/conjugacy.mli:

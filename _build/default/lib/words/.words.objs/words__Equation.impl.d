@@ -1,0 +1,1 @@
+lib/words/equation.ml: Char List Pattern Primitive String Word

@@ -1,0 +1,1 @@
+lib/words/factors.ml: Array Hashtbl List String Word

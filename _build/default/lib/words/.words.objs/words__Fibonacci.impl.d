@@ -1,0 +1,1 @@
+lib/words/fibonacci.ml: Buffer String Word

@@ -1,0 +1,1 @@
+lib/words/morphism.ml: Buffer Char Format List String Word

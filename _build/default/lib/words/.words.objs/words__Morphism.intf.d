@@ -1,0 +1,1 @@
+lib/words/morphism.mli: Format

@@ -1,0 +1,1 @@
+lib/words/pattern.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/words/primitive.ml: List String Word

@@ -1,0 +1,1 @@
+lib/words/primitive.mli:

@@ -1,0 +1,1 @@
+lib/words/subword.ml: Array Char List String Word

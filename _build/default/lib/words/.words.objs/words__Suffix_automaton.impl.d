@@ -1,0 +1,1 @@
+lib/words/suffix_automaton.ml: Array Fun List Option String

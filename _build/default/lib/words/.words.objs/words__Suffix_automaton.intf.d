@@ -1,0 +1,1 @@
+lib/words/suffix_automaton.mli:

@@ -1,0 +1,1 @@
+lib/words/word.ml: Array Buffer Char Format Fun List String

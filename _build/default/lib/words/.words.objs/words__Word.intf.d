@@ -1,0 +1,1 @@
+lib/words/word.mli: Format

@@ -1,0 +1,76 @@
+let border_array w =
+  let n = String.length w in
+  let b = Array.make n 0 in
+  for i = 1 to n - 1 do
+    let k = ref b.(i - 1) in
+    while !k > 0 && w.[i] <> w.[!k] do
+      k := b.(!k - 1)
+    done;
+    if w.[i] = w.[!k] then incr k;
+    b.(i) <- !k
+  done;
+  b
+
+let longest_border w =
+  let n = String.length w in
+  if n = 0 then ""
+  else
+    let b = border_array w in
+    String.sub w 0 b.(n - 1)
+
+let all_borders w =
+  let n = String.length w in
+  if n = 0 then []
+  else
+    let b = border_array w in
+    let rec collect len acc = if len = 0 then "" :: acc else collect b.(len - 1) (String.sub w 0 len :: acc) in
+    collect b.(n - 1) []
+
+let smallest_period w =
+  let n = String.length w in
+  if n = 0 then 0
+  else
+    let b = border_array w in
+    n - b.(n - 1)
+
+let periods w =
+  let n = String.length w in
+  if n = 0 then []
+  else
+    let is_period p =
+      let rec go i = i + p >= n || (w.[i] = w.[i + p] && go (i + 1)) in
+      go 0
+    in
+    List.filter is_period (List.init (n - 1) (fun i -> i + 1)) @ [ n ]
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let fine_wilf_check w p q =
+  let n = String.length w in
+  let is_period d =
+    d >= 1
+    &&
+    let rec go i = i + d >= n || (w.[i] = w.[i + d] && go (i + 1)) in
+    go 0
+  in
+  if is_period p && is_period q && n >= p + q - gcd p q then is_period (gcd p q) else true
+
+let occurrences_kmp ~pattern w =
+  let m = String.length pattern and n = String.length w in
+  if m = 0 then List.init (n + 1) Fun.id
+  else begin
+    let b = border_array pattern in
+    let acc = ref [] in
+    let k = ref 0 in
+    for i = 0 to n - 1 do
+      while !k > 0 && w.[i] <> pattern.[!k] do
+        k := b.(!k - 1)
+      done;
+      if w.[i] = pattern.[!k] then incr k;
+      if !k = m then begin
+        acc := (i - m + 1) :: !acc;
+        k := b.(m - 1)
+      end
+    done;
+    List.rev !acc
+  end

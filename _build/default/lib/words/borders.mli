@@ -1,0 +1,38 @@
+(** Borders and periods — the classical machinery behind the periodicity
+    lemma the paper invokes in Section 4.3.
+
+    A {e border} of [w] is a word that is both a strict prefix and a strict
+    suffix of [w]; a {e period} is [p] with [w.[i] = w.[i+p]] for all valid
+    [i]. Borders and periods are dual: [p] is a period iff [|w| − p] is a
+    border length. *)
+
+val border_array : string -> int array
+(** [border_array w].(i) = length of the longest border of [w[0..i]]
+    (the KMP failure function). Empty word ⇒ empty array. *)
+
+val longest_border : string -> string
+(** The longest border of [w]; [""] when none. *)
+
+val all_borders : string -> string list
+(** All borders, shortest first (excluding [w] itself, including [""] for
+    non-empty words). *)
+
+val smallest_period : string -> int
+(** The smallest period of [w]; [0] for the empty word. A word is
+    primitive-rooted with root length [smallest_period w] iff
+    [smallest_period w] divides [|w|]. *)
+
+val periods : string -> int list
+(** All periods in increasing order, including [|w|] itself for non-empty
+    words. *)
+
+val fine_wilf_check : string -> int -> int -> bool
+(** [fine_wilf_check w p q]: validates the Fine–Wilf theorem instance on
+    [w] — if [p] and [q] are periods of [w] and [|w| ≥ p + q − gcd(p,q)],
+    then [gcd p q] is also a period. Returns true when the implication
+    holds (it always should; exposed for property testing). *)
+
+val occurrences_kmp : pattern:string -> string -> int list
+(** KMP search: all (overlapping) occurrence positions, ascending — a
+    drop-in, O(|w| + |pattern|) replacement for the naive scan in
+    {!Word.occurrences}, against which it is differentially tested. *)

@@ -1,0 +1,75 @@
+let are_conjugate w v =
+  String.length w = String.length v && (w = "" || Word.is_factor ~factor:v (w ^ w))
+
+let conjugates w =
+  let n = String.length w in
+  let rot i = String.sub w i (n - i) ^ String.sub w 0 i in
+  List.init (max n 1) rot |> List.sort_uniq Word.compare_length_lex
+
+let conjugation_witness w v =
+  let n = String.length w in
+  if String.length v <> n then None
+  else
+    let candidate i =
+      let x, y = Word.split_at w i in
+      if y ^ x = v then Some (x, y) else None
+    in
+    List.find_map candidate (List.init (n + 1) Fun.id)
+
+let are_co_primitive w v =
+  Primitive.is_primitive w && Primitive.is_primitive v && not (are_conjugate w v)
+
+let periodicity_common_factor_bound w v = String.length w + String.length v - 1
+
+let longest_common_power_factor w v ~max_len =
+  if w = "" || v = "" then invalid_arg "Conjugacy.longest_common_power_factor: empty word";
+  let power_covering base len = Word.repeat base ((len / String.length base) + 2) in
+  let wpow = power_covering w max_len and vpow = power_covering v max_len in
+  (* Longest factor of wpow (of length ≤ max_len, and within the periodic
+     prefix so it is genuinely a factor of w^ω) also occurring in vpow. *)
+  let best = ref 0 in
+  let n = String.length wpow in
+  for len = 1 to min max_len n do
+    if len > !best then begin
+      let found = ref false in
+      let i = ref 0 in
+      while (not !found) && !i + len <= n do
+        let f = String.sub wpow !i len in
+        if Word.is_factor ~factor:f vpow then found := true;
+        incr i
+      done;
+      if !found then best := len
+    end
+  done;
+  !best
+
+let facs_of_power base e = Factors.of_word (Word.repeat base e)
+
+let inter_at w v n m = Factors.inter (facs_of_power w n) (facs_of_power v m)
+
+let common_factor_stabilization w v ~max_exp =
+  if w = "" || v = "" then invalid_arg "Conjugacy.common_factor_stabilization: empty word";
+  let stable n0 m0 =
+    let base = inter_at w v n0 m0 in
+    let same n m = inter_at w v n m = base in
+    let rec check n m =
+      if n > max_exp then true
+      else if m > max_exp then check (n + 1) (m0 + 1)
+      else same n m && check n (m + 1)
+    in
+    if check (n0 + 1) (m0 + 1) then Some base else None
+  in
+  let rec search d =
+    if d > max_exp - 1 then None
+    else
+      match stable d d with
+      | Some base -> Some (d, d, base)
+      | None -> search (d + 1)
+  in
+  search 1
+
+let coprimitive_max_common_factor w v ~max_exp =
+  match common_factor_stabilization w v ~max_exp with
+  | None -> None
+  | Some (_, _, common) ->
+      Some (List.fold_left (fun m f -> max m (String.length f)) 0 common)

@@ -1,0 +1,43 @@
+(** Conjugacy, co-primitivity and the periodicity lemma (Section 4.3).
+
+    Two words [w, v ∈ Σ⁺] are {e conjugate} if [w = x·y] and [v = y·x] for
+    some [x, y]. Primitive, non-conjugate words are {e co-primitive}. *)
+
+val are_conjugate : string -> string -> bool
+(** [are_conjugate w v]: true iff [w] and [v] are conjugate. Implemented via
+    the classical criterion |w| = |v| and [v ⊑ w·w]. Two empty words are
+    conjugate (with [x = y = ε]). *)
+
+val conjugates : string -> string list
+(** All distinct conjugates (rotations) of [w], in length-lex order. *)
+
+val conjugation_witness : string -> string -> (string * string) option
+(** [conjugation_witness w v] returns [Some (x, y)] with [w = x·y],
+    [v = y·x] when the words are conjugate. *)
+
+val are_co_primitive : string -> string -> bool
+(** [are_co_primitive w v]: both primitive and not conjugate. *)
+
+val periodicity_common_factor_bound : string -> string -> int
+(** The bound [|w| + |v| − 1] from the periodicity lemma: if [w^ω] and
+    [v^ω] share a factor of at least this length, [w] and [v] are
+    conjugate. *)
+
+val longest_common_power_factor : string -> string -> max_len:int -> int
+(** Length of the longest word (of length ≤ [max_len]) that is a factor of
+    both [w^ω] and [v^ω]. Exhaustive but bounded; used to validate the
+    periodicity lemma on instances. Requires both words non-empty. *)
+
+val common_factor_stabilization :
+  string -> string -> max_exp:int -> (int * int * string list) option
+(** Executable form of Lemma 4.10 (2): searches for the smallest
+    [(n₀, m₀)], with exponents bounded by [max_exp], such that
+    [Facs(w^n) ∩ Facs(v^m)] equals [Facs(w^n₀) ∩ Facs(v^m₀)] for all
+    [n₀ < n ≤ max_exp] and [m₀ < m ≤ max_exp]. Returns the stabilized
+    intersection as well. [None] if no stabilization is seen within the
+    bound (which, by the lemma, indicates the words are not co-primitive). *)
+
+val coprimitive_max_common_factor : string -> string -> max_exp:int -> int option
+(** Lemma 4.10 (3): the bound [r] on common factor lengths of arbitrary
+    powers, discovered empirically up to [max_exp]; [None] when lengths
+    keep growing (conjugate roots). *)

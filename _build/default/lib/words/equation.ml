@@ -1,0 +1,39 @@
+type t = { lhs : Pattern.t; rhs : Pattern.t }
+
+let parse s =
+  match String.split_on_char '=' s with
+  | [ l; r ] -> { lhs = Pattern.parse l; rhs = Pattern.parse r }
+  | _ -> invalid_arg "Equation.parse: expected exactly one '='"
+
+let vars eq = List.sort_uniq String.compare (Pattern.vars eq.lhs @ Pattern.vars eq.rhs)
+
+let letters eq =
+  let of_pattern p =
+    List.filter_map (function Pattern.Letter c -> Some c | Pattern.Var _ -> None) p
+  in
+  match List.sort_uniq Char.compare (of_pattern eq.lhs @ of_pattern eq.rhs) with
+  | [] -> [ 'a'; 'b' ]
+  | cs -> cs
+
+let is_solution eq subst = Pattern.apply subst eq.lhs = Pattern.apply subst eq.rhs
+
+let solutions ?(erasing = true) ~max_len eq =
+  let sigma = letters eq in
+  let values =
+    Word.enumerate ~alphabet:sigma ~max_len |> List.filter (fun w -> erasing || w <> "")
+  in
+  let rec assign acc = function
+    | [] -> if is_solution eq acc then [ List.sort compare acc ] else []
+    | x :: rest -> List.concat_map (fun v -> assign ((x, v) :: acc) rest) values
+  in
+  List.sort_uniq compare (assign [] (vars eq))
+
+let commutation = parse "XY=YX"
+
+let check_commutation_theorem ~max_len =
+  solutions ~max_len commutation
+  |> List.for_all (fun subst ->
+         let x = List.assoc "X" subst and y = List.assoc "Y" subst in
+         match Primitive.commutation_root x y with
+         | Some z -> Word.power_of ~base:z x <> None && Word.power_of ~base:z y <> None
+         | None -> x = "" && y = "")

@@ -1,0 +1,29 @@
+(** Word equations α ≐ β over variables and letters — the objects FC's
+    atoms desugar from, and the classical source of core-spanner
+    inexpressibility techniques (Karhumäki–Mignosi–Plandowski, discussed
+    in the paper's related work).
+
+    This is a bounded solver: solutions are enumerated with substitution
+    lengths bounded by the target length budget, which is complete for the
+    questions asked here (solutions within a given length). *)
+
+type t = { lhs : Pattern.t; rhs : Pattern.t }
+
+val parse : string -> t
+(** ["XaY=YbX"]: uppercase = variables, lowercase = letters, one [=]. *)
+
+val vars : t -> string list
+
+val solutions : ?erasing:bool -> max_len:int -> t -> (string * string) list list
+(** All substitutions σ over [vars] with σ(lhs) = σ(rhs) and every σ(x) of
+    length ≤ max_len, each sorted by variable, duplicate-free. Alphabet:
+    the letters occurring in the equation, or {a, b} when it has none. *)
+
+val is_solution : t -> (string * string) list -> bool
+
+val commutation : t
+(** XY = YX — solved by powers of a common word (Lothaire 1.3.2), which
+    {!check_commutation_theorem} verifies on the enumerated solutions. *)
+
+val check_commutation_theorem : max_len:int -> bool
+(** Every bounded solution of XY = YX has X and Y powers of one word. *)

@@ -1,0 +1,53 @@
+(** Factor sets: the set [Facs(w)] of all factors of a word, with interning.
+
+    The universe of the τ_Σ-structure 𝔄_w is [Facs(w) ∪ {⊥}]; this module
+    provides the [Facs(w)] part as an indexed set so that factors can be
+    manipulated as small integers by the game solver and the model checker. *)
+
+type t
+(** An immutable factor set of some word, with O(1) membership and
+    string↔id conversion. Ids are [0 .. size t - 1]; id [0] is always the
+    empty word and ids are assigned in length-lexicographic order. *)
+
+val of_word : string -> t
+(** [of_word w] computes [Facs(w)]. Costs O(|w|³) time/space in the worst
+    case, which is fine for the word lengths the solver can handle anyway. *)
+
+val word : t -> string
+(** The word this factor set was built from. *)
+
+val size : t -> int
+(** Number of distinct factors, including the empty word. *)
+
+val mem : t -> string -> bool
+val id_of : t -> string -> int option
+val id_of_exn : t -> string -> int
+
+val factor_of : t -> int -> string
+(** Raises [Invalid_argument] for out-of-range ids. *)
+
+val to_list : t -> string list
+(** All factors in length-lexicographic order. *)
+
+val iter : (string -> unit) -> t -> unit
+val fold : ('a -> string -> 'a) -> 'a -> t -> 'a
+
+val concat_id : t -> int -> int -> int option
+(** [concat_id t i j] is the id of [factor i ^ factor j] when that
+    concatenation is itself a factor, and [None] otherwise. Memoized. *)
+
+val with_prefix : t -> string -> string list
+(** All factors having the given prefix, length-lex sorted. Memoized. *)
+
+val with_suffix : t -> string -> string list
+(** All factors having the given suffix, length-lex sorted. Memoized. *)
+
+val inter : t -> t -> string list
+(** Factors common to both sets, in length-lexicographic order. *)
+
+val max_common_factor_length : t -> t -> int
+(** Length of the longest common factor — the quantity [r] in the
+    Pseudo-Congruence Lemma. *)
+
+val equal_sets : t -> t -> bool
+(** Extensional equality of the two factor sets. *)

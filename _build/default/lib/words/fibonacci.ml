@@ -1,0 +1,50 @@
+let word n =
+  if n < 0 then invalid_arg "Fibonacci.word";
+  let rec go i prev cur = if i = n then cur else go (i + 1) cur (cur ^ prev) in
+  if n = 0 then "a" else go 1 "a" "ab"
+
+let length n =
+  if n < 0 then invalid_arg "Fibonacci.length";
+  let rec go i prev cur = if i = n then cur else go (i + 1) cur (cur + prev) in
+  if n = 0 then 1 else go 1 1 2
+
+let l_fib_word ?(sep = 'c') n =
+  let c = String.make 1 sep in
+  let b = Buffer.create 64 in
+  Buffer.add_string b c;
+  for i = 0 to n do
+    Buffer.add_string b (word i);
+    Buffer.add_string b c
+  done;
+  Buffer.contents b
+
+let l_fib_member ?(sep = 'c') w =
+  let c = String.make 1 sep in
+  let rec try_n n =
+    let candidate = l_fib_word ~sep n in
+    if String.length candidate > String.length w then false
+    else candidate = w || try_n (n + 1)
+  in
+  String.length w >= String.length (l_fib_word ~sep 0) && Word.is_prefix ~prefix:c w && try_n 0
+
+let prefix n =
+  let rec grow i = if length i >= n then word i else grow (i + 1) in
+  if n <= 0 then "" else String.sub (grow 0) 0 n
+
+let has_power_factor k w =
+  let n = String.length w in
+  let rec scan_start i =
+    if i >= n then false
+    else
+      let rec scan_len l =
+        if i + (k * l) > n then false
+        else
+          let u = String.sub w i l in
+          if Word.repeat u k = String.sub w i (k * l) then true else scan_len (l + 1)
+      in
+      scan_len 1 || scan_start (i + 1)
+  in
+  scan_start 0
+
+let has_fourth_power w = has_power_factor 4 w
+let is_cube_free w = not (has_power_factor 3 w)

@@ -1,0 +1,30 @@
+(** Fibonacci words and the language L_fib of Proposition 3.3.
+
+    [F₀ = a], [F₁ = ab], [Fᵢ = Fᵢ₋₁ · Fᵢ₋₂]. The infinite Fibonacci word
+    F_ω contains no fourth power [u⁴] with [u ≠ ε] (Karhumäki 1983), which
+    is what makes L_fib a counterexample to naive pumping for FC. *)
+
+val word : int -> string
+(** [word n] is [Fₙ]. Raises [Invalid_argument] for negative [n]. *)
+
+val length : int -> int
+(** [length n = |Fₙ|] (a Fibonacci number), computed without building the
+    word. *)
+
+val l_fib_member : ?sep:char -> string -> bool
+(** Membership in L_fib = { c·F₀·c·F₁·c⋯c·Fₙ·c | n ∈ ℕ } with separator
+    [c] (default ['c']). *)
+
+val l_fib_word : ?sep:char -> int -> string
+(** [l_fib_word n] is the L_fib member [c F₀ c F₁ c … c Fₙ c]. *)
+
+val prefix : int -> string
+(** [prefix n]: the length-[n] prefix of the infinite word F_ω. *)
+
+val has_fourth_power : string -> bool
+(** [has_fourth_power w]: does [w] contain a factor [u⁴] with [u ≠ ε]?
+    False on every prefix of F_ω. *)
+
+val is_cube_free : string -> bool
+(** No factor [u³] with [u ≠ ε]. (F_ω itself is not cube-free — it contains
+    cubes — but contains no fourth powers.) *)

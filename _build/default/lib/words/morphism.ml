@@ -1,0 +1,22 @@
+type t = (char * string) list (* sorted association list over letters *)
+
+let of_table table =
+  let dedup =
+    List.fold_left (fun acc (c, s) -> if List.mem_assoc c acc then acc else (c, s) :: acc) [] table
+  in
+  List.sort (fun (a, _) (b, _) -> Char.compare a b) dedup
+
+let image t c = match List.assoc_opt c t with Some s -> s | None -> String.make 1 c
+
+let apply t w =
+  let b = Buffer.create (String.length w) in
+  String.iter (fun c -> Buffer.add_string b (image t c)) w;
+  Buffer.contents b
+
+let is_erasing t = List.exists (fun (_, s) -> s = "") t
+let rel t x y = apply t x = y
+let paper_h = of_table [ ('a', "b"); ('b', "b") ]
+
+let pp ppf t =
+  let pp_binding ppf (c, s) = Format.fprintf ppf "%c↦%a" c Word.pp s in
+  Format.fprintf ppf "{%a}" (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_binding) t

@@ -1,0 +1,24 @@
+(** Monoid morphisms h : Σ* → Σ* (Theorem 5.5's Morph_h relation).
+
+    A morphism is determined by its action on letters and satisfies
+    [h(x·y) = h(x)·h(y)]. *)
+
+type t
+(** A morphism given by a finite letter table; letters outside the table are
+    mapped to themselves. *)
+
+val of_table : (char * string) list -> t
+(** [of_table [(a, h_a); …]] builds a morphism. Later bindings for the same
+    letter are ignored. *)
+
+val apply : t -> string -> string
+val is_erasing : t -> bool
+(** True iff some letter of the table maps to the empty word. *)
+
+val rel : t -> string -> string -> bool
+(** [rel h x y]: the Morph_h relation, [y = h(x)]. *)
+
+val paper_h : t
+(** The morphism used in Theorem 5.5's proof: h(a) = b, h(b) = b. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,53 @@
+type item = Letter of char | Var of string
+type t = item list
+
+let parse s =
+  List.init (String.length s) (fun i ->
+      let c = s.[i] in
+      if c >= 'A' && c <= 'Z' then Var (String.make 1 c) else Letter c)
+
+let to_string p =
+  String.concat ""
+    (List.map (function Letter c -> String.make 1 c | Var x -> x) p)
+
+let vars p =
+  List.filter_map (function Var x -> Some x | Letter _ -> None) p
+  |> List.sort_uniq String.compare
+
+let apply subst p =
+  String.concat ""
+    (List.map
+       (function
+         | Letter c -> String.make 1 c
+         | Var x -> (
+             match List.assoc_opt x subst with
+             | Some v -> v
+             | None -> invalid_arg (Printf.sprintf "Pattern.apply: unbound variable %s" x)))
+       p)
+
+let matches ?(erasing = true) p w =
+  (* backtracking over the pattern with an accumulating substitution *)
+  let n = String.length w in
+  let results = ref [] in
+  let rec go items pos subst =
+    match items with
+    | [] -> if pos = n then results := subst :: !results
+    | Letter c :: rest -> if pos < n && w.[pos] = c then go rest (pos + 1) subst
+    | Var x :: rest -> (
+        match List.assoc_opt x subst with
+        | Some v ->
+            let l = String.length v in
+            if pos + l <= n && String.sub w pos l = v then go rest (pos + l) subst
+        | None ->
+            let min_len = if erasing then 0 else 1 in
+            for l = min_len to n - pos do
+              go rest (pos + l) ((x, String.sub w pos l) :: subst)
+            done)
+  in
+  go p 0 [];
+  List.sort_uniq compare (List.map (List.sort compare) !results)
+
+let in_language ?erasing p w = matches ?erasing p w <> []
+
+let to_parts p =
+  List.map (function Letter c -> `C c | Var x -> `V x) p

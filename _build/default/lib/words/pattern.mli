@@ -1,0 +1,39 @@
+(** Patterns and pattern languages — the word-equation view of FC atoms.
+
+    A pattern is a word over variables and terminal letters; its language
+    is the set of images under (erasing or non-erasing) substitutions.
+    FC's atoms are exactly word equations, and the inexpressibility lineage
+    the paper builds on (Karhumäki–Mignosi–Plandowski) is about expressing
+    pattern-style relations — this module makes the connection executable
+    and feeds {!Fc.Builders}-style formulas via [to_parts]. *)
+
+type item =
+  | Letter of char
+  | Var of string
+
+type t = item list
+
+val parse : string -> t
+(** Uppercase letters are variables, lowercase letters are terminals:
+    ["aXbX"] is a·X·b·X. *)
+
+val to_string : t -> string
+val vars : t -> string list
+(** Sorted, duplicate-free. *)
+
+val apply : (string * string) list -> t -> string
+(** Substitute; unbound variables raise [Invalid_argument]. *)
+
+val matches : ?erasing:bool -> t -> string -> (string * string) list list
+(** All substitutions σ with σ(pattern) = word; [erasing] (default true)
+    allows σ(x) = ε. Exponential in the number of variables; intended for
+    short words. *)
+
+val in_language : ?erasing:bool -> t -> string -> bool
+(** Membership in the pattern language. *)
+
+val to_parts : t -> [ `C of char | `V of string ] list
+(** The shape consumed by {!Fc.Builders.exists_split} — a pattern
+    occurrence constraint as an FC formula. Note repeated variables need
+    the FC equality treatment by the caller (an FC [eq_concat] with the
+    same variable twice already identifies them). *)

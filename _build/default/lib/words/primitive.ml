@@ -1,0 +1,69 @@
+let is_primitive w =
+  let n = String.length w in
+  if n = 0 then false
+  else
+    (* w is primitive iff w occurs in w·w only at positions 0 and n. *)
+    let occs = Word.occurrences ~pattern:w (w ^ w) in
+    occs = [ 0; n ]
+
+let is_imprimitive w = not (is_primitive w)
+
+let primitive_root w =
+  let n = String.length w in
+  if n = 0 then invalid_arg "Primitive.primitive_root: empty word";
+  (* The primitive root has length d = smallest period dividing n; scan
+     divisors in increasing order. *)
+  let rec find d =
+    if d > n then assert false
+    else if n mod d = 0 && Word.repeat (String.sub w 0 d) (n / d) = w then
+      (String.sub w 0 d, n / d)
+    else find (d + 1)
+  in
+  find 1
+
+let exp ~base u =
+  if base = "" then invalid_arg "Primitive.exp: empty base";
+  let rec grow m =
+    if Word.is_factor ~factor:(Word.repeat base (m + 1)) u then grow (m + 1) else m
+  in
+  grow 0
+
+let is_factor_of_power ~base u =
+  if base = "" then invalid_arg "Primitive.is_factor_of_power: empty base";
+  let m = (String.length u / String.length base) + 2 in
+  Word.is_factor ~factor:u (Word.repeat base m)
+
+let factorize_in_power ~base u =
+  if not (is_primitive base) then invalid_arg "Primitive.factorize_in_power: base not primitive";
+  let e = exp ~base u in
+  if e = 0 || not (is_factor_of_power ~base u) then None
+  else
+    (* Locate base^e inside u; by Lemma 4.7 the surrounding strict
+       suffix/prefix pair is unique, so the first admissible occurrence is
+       the only one. *)
+    let core = Word.repeat base e in
+    let lb = String.length base in
+    let admissible start =
+      let u1 = String.sub u 0 start in
+      let u2 = String.sub u (start + String.length core) (String.length u - start - String.length core) in
+      if
+        String.length u1 < lb
+        && String.length u2 < lb
+        && Word.is_suffix ~suffix:u1 base
+        && Word.is_prefix ~prefix:u2 base
+      then Some (u1, e, u2)
+      else None
+    in
+    List.find_map admissible (Word.occurrences ~pattern:core u)
+
+let interior_occurrence_check w m =
+  if not (is_primitive w) then invalid_arg "Primitive.interior_occurrence_check: not primitive";
+  let n = String.length w in
+  Word.occurrences ~pattern:w (Word.repeat w m) |> List.for_all (fun p -> p mod n = 0)
+
+let commutation_root u v =
+  if u ^ v <> v ^ u then None
+  else if u = "" && v = "" then Some ""
+  else
+    let z, _ = primitive_root (if u = "" then v else u) in
+    Some z

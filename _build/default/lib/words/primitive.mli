@@ -1,0 +1,43 @@
+(** Primitive words, primitive roots, exponents and the unique
+    factorization of factors of powers (Section 4.2 of the paper).
+
+    A word [w ∈ Σ⁺] is {e primitive} if [w = z^m] implies [w = z]. The empty
+    word is imprimitive by convention. *)
+
+val is_primitive : string -> bool
+(** [is_primitive w]: uses the classical characterization that [w ≠ ε] is
+    primitive iff [w] occurs in [w·w] only as a prefix and a suffix. O(|w|²). *)
+
+val is_imprimitive : string -> bool
+
+val primitive_root : string -> string * int
+(** [primitive_root w] is the unique pair [(z, k)] with [z] primitive and
+    [w = z^k] ([k ≥ 1]); raises [Invalid_argument] on the empty word. *)
+
+val exp : base:string -> string -> int
+(** [exp ~base u] is [exp_base(u)]: the largest [m] with [base^m ⊑ u].
+    Requires [base ≠ ε]. Example: [exp ~base:"aab" "aaaabaabaab" = 3]. *)
+
+val factorize_in_power : base:string -> string -> (string * int * string) option
+(** [factorize_in_power ~base u] implements Lemma 4.7: if [base] is primitive
+    and [u ⊑ base^m] for some [m] with [exp ~base u > 0], there is a unique
+    decomposition [u = u₁ · base^e · u₂] with [u₁] a strict suffix and [u₂] a
+    strict prefix of [base] and [e = exp ~base u]. Returns [Some (u₁, e, u₂)]
+    in that case. Returns [None] when [exp ~base u = 0] or no such
+    decomposition exists (e.g. [u] is not a factor of any power of [base]).
+    Requires [base] primitive. *)
+
+val is_factor_of_power : base:string -> string -> bool
+(** [is_factor_of_power ~base u]: does [u ⊑ base^m] hold for some [m]?
+    Equivalently, [u] is a factor of [base^⌈|u|/|base|⌉⁺¹]. [base ≠ ε]. *)
+
+val interior_occurrence_check : string -> int -> bool
+(** Executable form of Lemma D.1 ([obs:primitive]): for primitive [w] and
+    exponent [m], every occurrence of [w] inside [w^m] starts at a multiple
+    of [|w|]. [interior_occurrence_check w m] verifies that property
+    exhaustively and returns whether it holds. *)
+
+val commutation_root : string -> string -> string option
+(** Lothaire, Prop. 1.3.2: if [u·v = v·u] then both are powers of a common
+    word. [commutation_root u v] returns [Some z] (the primitive such [z],
+    or [""] when both are empty) iff [u·v = v·u]. *)

@@ -1,0 +1,57 @@
+let is_scattered_subword x y =
+  let lx = String.length x and ly = String.length y in
+  let rec go i j =
+    if i = lx then true
+    else if j = ly then false
+    else if x.[i] = y.[j] then go (i + 1) (j + 1)
+    else go i (j + 1)
+  in
+  go 0 0
+
+let in_shuffle x y z =
+  let lx = String.length x and ly = String.length y in
+  if String.length z <> lx + ly then false
+  else begin
+    (* dp.(i).(j): can z[0 .. i+j) be formed interleaving x[0..i) and y[0..j)? *)
+    let dp = Array.make_matrix (lx + 1) (ly + 1) false in
+    dp.(0).(0) <- true;
+    for i = 0 to lx do
+      for j = 0 to ly do
+        if (i, j) <> (0, 0) then begin
+          let from_x = i > 0 && dp.(i - 1).(j) && x.[i - 1] = z.[i + j - 1] in
+          let from_y = j > 0 && dp.(i).(j - 1) && y.[j - 1] = z.[i + j - 1] in
+          dp.(i).(j) <- from_x || from_y
+        end
+      done
+    done;
+    dp.(lx).(ly)
+  end
+
+let shuffle x y =
+  let rec go x y =
+    if x = "" then [ y ]
+    else if y = "" then [ x ]
+    else
+      let tx = String.sub x 1 (String.length x - 1) in
+      let ty = String.sub y 1 (String.length y - 1) in
+      List.map (fun s -> String.make 1 x.[0] ^ s) (go tx y)
+      @ List.map (fun s -> String.make 1 y.[0] ^ s) (go x ty)
+  in
+  List.sort_uniq Word.compare_length_lex (go x y)
+
+let parikh w =
+  let counts = Array.make 256 0 in
+  String.iter (fun c -> counts.(Char.code c) <- counts.(Char.code c) + 1) w;
+  let acc = ref [] in
+  for i = 255 downto 0 do
+    if counts.(i) > 0 then acc := (Char.chr i, counts.(i)) :: !acc
+  done;
+  !acc
+
+let is_permutation x y = String.length x = String.length y && parikh x = parikh y
+let num_eq a x y = Word.count_letter a x = Word.count_letter a y
+let add_rel x y z = String.length z = String.length x + String.length y
+let mult_rel x y z = String.length z = String.length x * String.length y
+let rev_rel x y = x = Word.reverse y
+let len_eq x y = String.length x = String.length y
+let len_lt x y = String.length x < String.length y

@@ -1,0 +1,37 @@
+(** Scattered subwords, shuffle products and permutations (Section 5).
+
+    These are the word relations of Theorem 5.5: [Scatt], [Shuff], [Perm],
+    [Rev], plus the counting/length relations [Num_a], [Add], [Mult]. *)
+
+val is_scattered_subword : string -> string -> bool
+(** [is_scattered_subword x y]: [x ⊑_scatt y], i.e. [x] is a (not
+    necessarily contiguous) subsequence of [y]. *)
+
+val in_shuffle : string -> string -> string -> bool
+(** [in_shuffle x y z]: [z ∈ x ⧢ y]. Dynamic programming in O(|x|·|y|);
+    requires [|z| = |x| + |y|] to possibly hold. *)
+
+val shuffle : string -> string -> string list
+(** The full (deduplicated) shuffle product [x ⧢ y], length-lex sorted.
+    Exponential in general — intended for short words. *)
+
+val is_permutation : string -> string -> bool
+(** [is_permutation x y]: [x] is a rearrangement of the letters of [y]. *)
+
+val parikh : string -> (char * int) list
+(** The Parikh image: letters with multiplicities, sorted by letter. *)
+
+val num_eq : char -> string -> string -> bool
+(** [num_eq a x y]: |x|_a = |y|_a (the relation Num_a). *)
+
+val add_rel : string -> string -> string -> bool
+(** [add_rel x y z]: |z| = |x| + |y| (the relation Add). *)
+
+val mult_rel : string -> string -> string -> bool
+(** [mult_rel x y z]: |z| = |x| · |y| (the relation Mult). *)
+
+val rev_rel : string -> string -> bool
+(** [rev_rel x y]: [x] is the reverse of [y]. *)
+
+val len_eq : string -> string -> bool
+val len_lt : string -> string -> bool

@@ -1,0 +1,87 @@
+type state = {
+  mutable len : int;
+  mutable link : int;
+  mutable next : (char * int) list;
+  mutable occurrences : int; (* endpos class size, filled after build *)
+}
+
+type t = { word : string; states : state array; size : int }
+
+let build w =
+  let n = String.length w in
+  let cap = max 2 ((2 * n) + 2) in
+  let states =
+    Array.init cap (fun _ -> { len = 0; link = -1; next = []; occurrences = 0 })
+  in
+  let size = ref 1 in
+  let last = ref 0 in
+  let get q c = List.assoc_opt c states.(q).next in
+  let set q c tgt =
+    states.(q).next <- (c, tgt) :: List.remove_assoc c states.(q).next
+  in
+  String.iter
+    (fun c ->
+      let cur = !size in
+      incr size;
+      states.(cur).len <- states.(!last).len + 1;
+      states.(cur).occurrences <- 1;
+      let p = ref !last in
+      while !p >= 0 && get !p c = None do
+        set !p c cur;
+        p := states.(!p).link
+      done;
+      (if !p = -1 then states.(cur).link <- 0
+       else
+         let q = Option.get (get !p c) in
+         if states.(q).len = states.(!p).len + 1 then states.(cur).link <- q
+         else begin
+           let clone = !size in
+           incr size;
+           states.(clone).len <- states.(!p).len + 1;
+           states.(clone).next <- states.(q).next;
+           states.(clone).link <- states.(q).link;
+           states.(clone).occurrences <- 0;
+           while !p >= 0 && get !p c = Some q do
+             set !p c clone;
+             p := states.(!p).link
+           done;
+           states.(q).link <- clone;
+           states.(cur).link <- clone
+         end);
+      last := cur)
+    w;
+  (* propagate endpos sizes up suffix links, processing by decreasing len *)
+  let order = List.init !size Fun.id |> List.sort (fun a b -> compare states.(b).len states.(a).len) in
+  List.iter
+    (fun v ->
+      let l = states.(v).link in
+      if l >= 0 then states.(l).occurrences <- states.(l).occurrences + states.(v).occurrences)
+    order;
+  { word = w; states; size = !size }
+
+let word t = t.word
+let state_count t = t.size
+
+let walk t u =
+  let rec go q i =
+    if i = String.length u then Some q
+    else
+      match List.assoc_opt u.[i] t.states.(q).next with
+      | Some q' -> go q' (i + 1)
+      | None -> None
+  in
+  go 0 0
+
+let is_factor t u = walk t u <> None
+
+let count_factors t =
+  (* each state contributes len(v) − len(link(v)) distinct factors; +1 for ε *)
+  let total = ref 1 in
+  for v = 1 to t.size - 1 do
+    total := !total + t.states.(v).len - t.states.(t.states.(v).link).len
+  done;
+  !total
+
+let count_occurrences t u =
+  if u = "" then String.length t.word + 1
+  else match walk t u with Some q -> t.states.(q).occurrences | None -> 0

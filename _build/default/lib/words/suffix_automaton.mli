@@ -1,0 +1,26 @@
+(** Suffix automata: a linear-size index of all factors of a word.
+
+    The suffix automaton of [w] is the minimal DFA of the suffix language
+    of [w]; its states correspond to end-position equivalence classes, and
+    every factor of [w] is readable from the initial state. It provides
+    O(|u|) factor membership and an O(|w|) count of distinct factors —
+    the asymptotically right substrate for Facs(w), differentially tested
+    against the explicit {!Factors} set. *)
+
+type t
+
+val build : string -> t
+(** Online construction (Blumer et al.), O(|w| · |Σ|). *)
+
+val word : t -> string
+val state_count : t -> int
+
+val is_factor : t -> string -> bool
+(** O(|u|) membership in Facs(word). *)
+
+val count_factors : t -> int
+(** Number of distinct factors, including ε. *)
+
+val count_occurrences : t -> string -> int
+(** Number of (possibly overlapping) occurrences of a factor; 0 when not a
+    factor. *)

@@ -1,0 +1,94 @@
+let is_prefix ~prefix w =
+  let lp = String.length prefix and lw = String.length w in
+  lp <= lw && String.sub w 0 lp = prefix
+
+let is_strict_prefix ~prefix w = is_prefix ~prefix w && prefix <> w
+
+let is_suffix ~suffix w =
+  let ls = String.length suffix and lw = String.length w in
+  ls <= lw && String.sub w (lw - ls) ls = suffix
+
+let is_strict_suffix ~suffix w = is_suffix ~suffix w && suffix <> w
+
+let occurrences ~pattern w =
+  let lp = String.length pattern and lw = String.length w in
+  let rec matches_at i j = j >= lp || (w.[i + j] = pattern.[j] && matches_at i (j + 1)) in
+  let rec scan i acc =
+    if i > lw - lp then List.rev acc
+    else if matches_at i 0 then scan (i + 1) (i :: acc)
+    else scan (i + 1) acc
+  in
+  if lp = 0 then List.init (lw + 1) Fun.id else scan 0 []
+
+let is_factor ~factor w = occurrences ~pattern:factor w <> []
+let is_strict_factor ~factor w = factor <> w && is_factor ~factor w
+let count_occurrences ~pattern w = List.length (occurrences ~pattern w)
+
+let count_letter a w =
+  let n = ref 0 in
+  String.iter (fun c -> if c = a then incr n) w;
+  !n
+
+let repeat w k =
+  if k < 0 then invalid_arg "Word.repeat: negative exponent";
+  let b = Buffer.create (String.length w * k) in
+  for _ = 1 to k do
+    Buffer.add_string b w
+  done;
+  Buffer.contents b
+
+let power_of ~base w =
+  let lb = String.length base and lw = String.length w in
+  if lw = 0 then Some 0
+  else if lb = 0 then None
+  else if lw mod lb <> 0 then None
+  else
+    let k = lw / lb in
+    if repeat base k = w then Some k else None
+
+let reverse w = String.init (String.length w) (fun i -> w.[String.length w - 1 - i])
+let prefixes w = List.init (String.length w + 1) (fun i -> String.sub w 0 i)
+
+let suffixes w =
+  let n = String.length w in
+  List.init (n + 1) (fun i -> String.sub w (n - i) i)
+
+let alphabet w =
+  let seen = Array.make 256 false in
+  String.iter (fun c -> seen.(Char.code c) <- true) w;
+  let acc = ref [] in
+  for i = 255 downto 0 do
+    if seen.(i) then acc := Char.chr i :: !acc
+  done;
+  !acc
+
+let split_at w i =
+  let n = String.length w in
+  if i < 0 || i > n then invalid_arg "Word.split_at";
+  (String.sub w 0 i, String.sub w i (n - i))
+
+let splits w = List.init (String.length w + 1) (split_at w)
+
+let overlap_splits ~x ~y w =
+  let ok (u, v) = is_suffix ~suffix:u x && is_prefix ~prefix:v y in
+  List.filter ok (splits w)
+
+let compare_length_lex u v =
+  let c = compare (String.length u) (String.length v) in
+  if c <> 0 then c else String.compare u v
+
+let enumerate ~alphabet ~max_len =
+  (* Breadth-first generation: all words of length [l] extend those of
+     length [l - 1], so the result is naturally in length-lex order as long
+     as [alphabet] is sorted. *)
+  let alphabet = List.sort_uniq Char.compare alphabet in
+  let extend w = List.map (fun c -> w ^ String.make 1 c) alphabet in
+  let rec layers l current acc =
+    if l > max_len then List.rev acc
+    else
+      let next = List.concat_map extend current in
+      layers (l + 1) next (List.rev_append next acc)
+  in
+  if max_len < 0 then [] else layers 1 [ "" ] [ "" ]
+
+let pp ppf w = if w = "" then Format.pp_print_string ppf "\xce\xb5" else Format.pp_print_string ppf w

@@ -1,0 +1,77 @@
+(** Basic operations on finite words (strings over a finite alphabet).
+
+    Conventions follow Section 2 of the paper: [w1] is a {e prefix} of [w]
+    and [w3] a {e suffix} of [w] whenever [w = w1 · w2 · w3]; [w2] is a
+    {e factor}. "Strict" means distinct from [w] itself. The empty word is
+    denoted by [""]. *)
+
+val is_prefix : prefix:string -> string -> bool
+(** [is_prefix ~prefix w] holds iff [prefix] is a prefix of [w]. *)
+
+val is_strict_prefix : prefix:string -> string -> bool
+(** Like {!is_prefix} but additionally [prefix <> w]. *)
+
+val is_suffix : suffix:string -> string -> bool
+(** [is_suffix ~suffix w] holds iff [suffix] is a suffix of [w]. *)
+
+val is_strict_suffix : suffix:string -> string -> bool
+(** Like {!is_suffix} but additionally [suffix <> w]. *)
+
+val is_factor : factor:string -> string -> bool
+(** [is_factor ~factor w] holds iff [factor ⊑ w], i.e. [factor] occurs as a
+    contiguous subword of [w]. The empty word is a factor of every word. *)
+
+val is_strict_factor : factor:string -> string -> bool
+(** [factor ⊏ w]: a factor distinct from [w]. *)
+
+val occurrences : pattern:string -> string -> int list
+(** [occurrences ~pattern w] lists all start positions (0-based, increasing)
+    of occurrences of [pattern] in [w], including overlapping ones. The empty
+    pattern occurs at every position [0 .. length w]. *)
+
+val count_occurrences : pattern:string -> string -> int
+(** Number of (possibly overlapping) occurrences of [pattern] in [w]. *)
+
+val count_letter : char -> string -> int
+(** [count_letter a w] is |w|_a, the number of occurrences of letter [a]. *)
+
+val repeat : string -> int -> string
+(** [repeat w k] is [w^k]; [repeat w 0 = ""]. Raises [Invalid_argument] for
+    negative [k]. *)
+
+val power_of : base:string -> string -> int option
+(** [power_of ~base w] is [Some k] iff [w = base^k]. For [base = ""] this is
+    [Some 0] iff [w = ""]. When [w = ""] and [base <> ""], returns [Some 0]. *)
+
+val reverse : string -> string
+
+val prefixes : string -> string list
+(** All prefixes of [w], shortest first, including [""] and [w]. *)
+
+val suffixes : string -> string list
+(** All suffixes of [w], shortest first, including [""] and [w]. *)
+
+val alphabet : string -> char list
+(** The set of letters occurring in [w], sorted and without duplicates. *)
+
+val split_at : string -> int -> string * string
+(** [split_at w i] is [(String.sub w 0 i, String.sub w i (n - i))].
+    Raises [Invalid_argument] when [i < 0] or [i > length w]. *)
+
+val splits : string -> (string * string) list
+(** All [length w + 1] ways of writing [w = u · v], in order of [|u|]. *)
+
+val overlap_splits : x:string -> y:string -> string -> (string * string) list
+(** [overlap_splits ~x ~y w]: all pairs [(u, v)] with [w = u · v], [u] a
+    suffix of [x] and [v] a prefix of [y]. Used to split border-crossing
+    factors of a concatenation [x · y] (Figure 1 of the paper). *)
+
+val compare_length_lex : string -> string -> int
+(** Total order: by length first, then lexicographic. *)
+
+val enumerate : alphabet:char list -> max_len:int -> string list
+(** All words over [alphabet] of length at most [max_len], in
+    {!compare_length_lex} order. *)
+
+val pp : Format.formatter -> string -> unit
+(** Prints a word, rendering the empty word as ["ε"]. *)

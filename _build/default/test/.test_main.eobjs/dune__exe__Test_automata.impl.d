@@ -1,0 +1,1 @@
+test/test_automata.ml: Alcotest Array Dfa Fun List Nfa QCheck QCheck_alcotest Regex Regex_engine Words

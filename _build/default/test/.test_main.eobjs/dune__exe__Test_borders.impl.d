@@ -1,0 +1,1 @@
+test/test_borders.ml: Alcotest Borders List Primitive QCheck QCheck_alcotest String Word Words

@@ -1,0 +1,1 @@
+test/test_bounded.ml: Alcotest Bounded Dfa Fun List Regex Regex_engine Semilinear Simple_re String Words

@@ -1,0 +1,1 @@
+test/test_bounded_compile.ml: Alcotest Bounded_compile Builders Eval Fc Formula List Printf Regex Regex_engine Structure Term Words

@@ -1,0 +1,1 @@
+test/test_closure.ml: Alcotest Closure Core Langs Regex_engine String

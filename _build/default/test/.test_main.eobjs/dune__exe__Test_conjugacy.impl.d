@@ -1,0 +1,1 @@
+test/test_conjugacy.ml: Alcotest Conjugacy List Primitive QCheck QCheck_alcotest Words

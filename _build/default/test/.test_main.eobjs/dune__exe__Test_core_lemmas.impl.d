@@ -1,0 +1,1 @@
+test/test_core_lemmas.ml: Alcotest Core Efgame Equiv Fooling Langs List Primitive_power Pseudo_congruence Relations Spanner String Words

@@ -1,0 +1,1 @@
+test/test_ef_theorem.ml: Alcotest Efgame Fc List String Words

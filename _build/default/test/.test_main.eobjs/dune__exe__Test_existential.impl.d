@@ -1,0 +1,1 @@
+test/test_existential.ml: Alcotest Efgame Existential Fc Game List String

@@ -1,0 +1,1 @@
+test/test_factors.ml: Alcotest Factors Fun List QCheck QCheck_alcotest String Words

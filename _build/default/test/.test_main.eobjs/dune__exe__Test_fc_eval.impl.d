@@ -1,0 +1,1 @@
+test/test_fc_eval.ml: Alcotest Builders Eval Fc Formula List Semilinear Structure Term Words

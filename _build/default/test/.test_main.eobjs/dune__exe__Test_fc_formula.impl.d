@@ -1,0 +1,1 @@
+test/test_fc_formula.ml: Alcotest Builders Eval Fc Formula List Parser Regex_engine Result Structure Term Words

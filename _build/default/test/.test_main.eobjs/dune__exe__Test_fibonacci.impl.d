@@ -1,0 +1,1 @@
+test/test_fibonacci.ml: Alcotest Fibonacci List String Word Words

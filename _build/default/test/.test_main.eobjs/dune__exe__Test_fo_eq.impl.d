@@ -1,0 +1,1 @@
+test/test_fo_eq.ml: Alcotest Builders Eval Fc Fo_eq List Regex_engine Words

@@ -1,0 +1,1 @@
+test/test_game.ml: Alcotest Efgame Fun Game List Printf String

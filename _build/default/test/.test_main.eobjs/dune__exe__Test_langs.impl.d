@@ -1,0 +1,1 @@
+test/test_langs.ml: Alcotest Core Efgame Langs List Printf

@@ -1,0 +1,1 @@
+test/test_partial_iso.ml: Alcotest Efgame Fc List Partial_iso QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_pattern.ml: Alcotest Fc List Pattern QCheck QCheck_alcotest Word Words

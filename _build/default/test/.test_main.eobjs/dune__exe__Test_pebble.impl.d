@@ -1,0 +1,1 @@
+test/test_pebble.ml: Alcotest Efgame Game List Pebble String

@@ -1,0 +1,1 @@
+test/test_prenex_equation.ml: Alcotest Fc List String Words

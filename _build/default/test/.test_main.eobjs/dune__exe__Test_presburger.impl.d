@@ -1,0 +1,1 @@
+test/test_presburger.ml: Alcotest Format Fun List Presburger QCheck QCheck_alcotest Semilinear Set

@@ -1,0 +1,1 @@
+test/test_primitive.ml: Alcotest Factors List Primitive QCheck QCheck_alcotest String Word Words

@@ -1,0 +1,1 @@
+test/test_random_properties.ml: Efgame Fc QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_regex.ml: Alcotest List QCheck QCheck_alcotest Regex Regex_engine Result String Words

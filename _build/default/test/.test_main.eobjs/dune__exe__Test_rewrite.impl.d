@@ -1,0 +1,1 @@
+test/test_rewrite.ml: Alcotest Algebra Format List Regex_formula Relation Rewrite Spanner Words

@@ -1,0 +1,1 @@
+test/test_semilinear.ml: Alcotest Fun Linear List QCheck QCheck_alcotest Semilinear Set String Unary

@@ -1,0 +1,1 @@
+test/test_simplify.ml: Alcotest Builders Char Eval Fc Formula List Parser Regex_engine Simplify Structure Term Words

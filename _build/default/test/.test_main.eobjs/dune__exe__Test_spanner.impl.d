@@ -1,0 +1,1 @@
+test/test_spanner.ml: Alcotest Algebra List Regex_formula Relation Selectable Span Spanner

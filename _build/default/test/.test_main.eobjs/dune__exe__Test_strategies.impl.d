@@ -1,0 +1,1 @@
+test/test_strategies.ml: Alcotest Efgame Game List QCheck QCheck_alcotest Strategies Strategy String Words

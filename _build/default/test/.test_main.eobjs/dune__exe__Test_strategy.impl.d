@@ -1,0 +1,1 @@
+test/test_strategy.ml: Alcotest Efgame Game List Partial_iso Strategies Strategy String

@@ -1,0 +1,1 @@
+test/test_subword.ml: Alcotest List Morphism QCheck QCheck_alcotest String Subword Word Words

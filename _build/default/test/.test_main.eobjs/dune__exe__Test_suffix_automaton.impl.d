@@ -1,0 +1,1 @@
+test/test_suffix_automaton.ml: Alcotest Factors Fun List QCheck QCheck_alcotest String Suffix_automaton Word Words

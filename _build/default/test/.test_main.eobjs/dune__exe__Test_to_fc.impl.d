@@ -1,0 +1,1 @@
+test/test_to_fc.ml: Alcotest Algebra Fc List Regex_engine Regex_formula Selectable Spanner To_fc Words

@@ -1,0 +1,1 @@
+test/test_types1.ml: Alcotest Efgame Fc Game List QCheck QCheck_alcotest String Types1

@@ -1,0 +1,1 @@
+test/test_vset.ml: Alcotest List Regex_formula Relation Spanner Vset_automaton Words

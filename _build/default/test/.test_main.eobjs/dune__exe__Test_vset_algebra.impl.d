@@ -1,0 +1,1 @@
+test/test_vset_algebra.ml: Alcotest Algebra List Regex_engine Regex_formula Relation Selectable Spanner Vset_algebra Vset_automaton Words

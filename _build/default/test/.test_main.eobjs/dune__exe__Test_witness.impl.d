@@ -1,0 +1,1 @@
+test/test_witness.ml: Alcotest Efgame Game Witness

@@ -1,0 +1,138 @@
+open Regex_engine
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let words4 = Words.Word.enumerate ~alphabet:[ 'a'; 'b' ] ~max_len:4
+
+let agree r d = List.for_all (fun w -> Regex.matches r w = Dfa.accepts d w) words4
+
+let test_dfa_of_regex () =
+  List.iter
+    (fun src ->
+      let r = Regex.parse_exn src in
+      if not (agree r (Dfa.of_regex ~alphabet:[ 'a'; 'b' ] r)) then
+        Alcotest.failf "dfa disagrees for %s" src)
+    [ "a*"; "a*(ba)*"; "(a|b)*abb"; "%0"; "%e"; "ab|ba"; "(ab)+" ]
+
+let test_boolean_ops () =
+  let d1 = Dfa.of_regex ~alphabet:[ 'a'; 'b' ] (Regex.parse_exn "a*") in
+  let d2 = Dfa.of_regex ~alphabet:[ 'a'; 'b' ] (Regex.parse_exn "(a|b)*b") in
+  let u = Dfa.union d1 d2 and i = Dfa.inter d1 d2 and df = Dfa.diff d1 d2 in
+  List.iter
+    (fun w ->
+      let m1 = Dfa.accepts d1 w and m2 = Dfa.accepts d2 w in
+      if Dfa.accepts u w <> (m1 || m2) then Alcotest.failf "union wrong on %S" w;
+      if Dfa.accepts i w <> (m1 && m2) then Alcotest.failf "inter wrong on %S" w;
+      if Dfa.accepts df w <> (m1 && not m2) then Alcotest.failf "diff wrong on %S" w;
+      if Dfa.accepts (Dfa.complement d1) w <> not m1 then Alcotest.failf "compl wrong on %S" w)
+    words4
+
+let test_emptiness () =
+  check "empty" true (Dfa.is_empty (Dfa.of_regex ~alphabet:[ 'a' ] Regex.empty));
+  check "nonempty" false (Dfa.is_empty (Dfa.of_regex (Regex.parse_exn "ab")));
+  Alcotest.(check (option string)) "shortest" (Some "ab")
+    (Dfa.shortest_member (Dfa.of_regex (Regex.parse_exn "ab|abab")));
+  check "inclusion" true
+    (Dfa.included
+       (Dfa.of_regex ~alphabet:[ 'a'; 'b' ] (Regex.parse_exn "(ab)*"))
+       (Dfa.of_regex ~alphabet:[ 'a'; 'b' ] (Regex.parse_exn "(a|b)*")));
+  check "non-inclusion" false
+    (Dfa.included
+       (Dfa.of_regex ~alphabet:[ 'a'; 'b' ] (Regex.parse_exn "(a|b)*"))
+       (Dfa.of_regex ~alphabet:[ 'a'; 'b' ] (Regex.parse_exn "(ab)*")))
+
+let test_equivalence_and_minimize () =
+  let d1 = Dfa.of_regex ~alphabet:[ 'a'; 'b' ] (Regex.parse_exn "(a|b)*abb") in
+  let d2 = Dfa.of_regex ~alphabet:[ 'a'; 'b' ] (Regex.parse_exn "(a|b)*abb|(a|b)*abb") in
+  check "equivalent" true (Dfa.equivalent d1 d2);
+  let m = Dfa.minimize d1 in
+  check "minimize equivalent" true (Dfa.equivalent d1 m);
+  check "minimize smaller or equal" true (Dfa.state_count m <= Dfa.state_count d1);
+  check_int "known minimal size" 4 (Dfa.state_count (Dfa.minimize d1))
+
+let test_structure () =
+  let d = Dfa.of_regex ~alphabet:[ 'a'; 'b' ] (Regex.parse_exn "a*b") in
+  let live = Dfa.live d in
+  check "start live" true live.(Dfa.start d);
+  let cyc = Dfa.on_cycle d in
+  check "some state on cycle" true (Array.exists Fun.id cyc);
+  (match Dfa.shortest_cycle_word d (Dfa.start d) with
+  | Some w -> Alcotest.(check string) "self loop a" "a" w
+  | None -> Alcotest.fail "expected cycle at start");
+  let loop = Dfa.loop_dfa d (Dfa.start d) in
+  check "loop language" true (Dfa.accepts loop "aaa");
+  check "loop rejects b" false (Dfa.accepts loop "b")
+
+let test_nfa () =
+  List.iter
+    (fun src ->
+      let r = Regex.parse_exn src in
+      let n = Nfa.of_regex r in
+      List.iter
+        (fun w ->
+          if Nfa.accepts n w <> Regex.matches r w then Alcotest.failf "nfa wrong: %s on %S" src w)
+        words4;
+      let d = Nfa.to_dfa ~alphabet:[ 'a'; 'b' ] n in
+      if not (agree r d) then Alcotest.failf "nfa->dfa wrong for %s" src)
+    [ "a*"; "(a|b)*abb"; "ab|ba"; "(ab)+"; "%e"; "a?b*" ]
+
+let rec gen_regex depth =
+  let open QCheck.Gen in
+  if depth = 0 then oneof [ return Regex.eps; map Regex.char (oneofl [ 'a'; 'b' ]) ]
+  else
+    frequency
+      [
+        (2, map Regex.char (oneofl [ 'a'; 'b' ]));
+        (2, map2 Regex.alt (gen_regex (depth - 1)) (gen_regex (depth - 1)));
+        (3, map2 Regex.cat (gen_regex (depth - 1)) (gen_regex (depth - 1)));
+        (2, map Regex.star (gen_regex (depth - 1)));
+      ]
+
+let arb_regex = QCheck.make ~print:Regex.to_string (gen_regex 3)
+
+let prop_three_engines_agree =
+  QCheck.Test.make ~name:"regex = NFA = DFA" ~count:100 arb_regex (fun r ->
+      let d = Dfa.of_regex ~alphabet:[ 'a'; 'b' ] r in
+      let n = Nfa.of_regex r in
+      List.for_all
+        (fun w ->
+          let expected = Regex.matches r w in
+          Dfa.accepts d w = expected && Nfa.accepts n w = expected)
+        words4)
+
+let test_to_regex () =
+  List.iter
+    (fun src ->
+      let d = Dfa.of_regex ~alphabet:[ 'a'; 'b' ] (Regex.parse_exn src) in
+      let r = Dfa.to_regex d in
+      if not (Dfa.equivalent d (Dfa.of_regex ~alphabet:[ 'a'; 'b' ] r)) then
+        Alcotest.failf "to_regex roundtrip failed for %s" src)
+    [ "a*"; "(a|b)*abb"; "ab|ba"; "(ab)+"; "%e"; "%0"; "a*(ba)*" ]
+
+let prop_to_regex_roundtrip =
+  QCheck.Test.make ~name:"to_regex roundtrip preserves the language" ~count:50
+    (QCheck.make ~print:Regex.to_string (gen_regex 3))
+    (fun r ->
+      let d = Dfa.of_regex ~alphabet:[ 'a'; 'b' ] r in
+      Dfa.equivalent d (Dfa.of_regex ~alphabet:[ 'a'; 'b' ] (Dfa.to_regex d)))
+
+let prop_minimize_preserves =
+  QCheck.Test.make ~name:"minimize preserves the language" ~count:100 arb_regex (fun r ->
+      let d = Dfa.of_regex ~alphabet:[ 'a'; 'b' ] r in
+      Dfa.equivalent d (Dfa.minimize d))
+
+let tests =
+  ( "automata",
+    [
+      Alcotest.test_case "dfa of regex" `Quick test_dfa_of_regex;
+      Alcotest.test_case "boolean operations" `Quick test_boolean_ops;
+      Alcotest.test_case "emptiness/inclusion" `Quick test_emptiness;
+      Alcotest.test_case "equivalence/minimize" `Quick test_equivalence_and_minimize;
+      Alcotest.test_case "structural analyses" `Quick test_structure;
+      Alcotest.test_case "glushkov nfa" `Quick test_nfa;
+      Alcotest.test_case "state elimination" `Quick test_to_regex;
+      QCheck_alcotest.to_alcotest prop_to_regex_roundtrip;
+      QCheck_alcotest.to_alcotest prop_three_engines_agree;
+      QCheck_alcotest.to_alcotest prop_minimize_preserves;
+    ] )

@@ -1,0 +1,78 @@
+open Words
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_border_array () =
+  Alcotest.(check (array int)) "abab" [| 0; 0; 1; 2 |] (Borders.border_array "abab");
+  Alcotest.(check (array int)) "aaaa" [| 0; 1; 2; 3 |] (Borders.border_array "aaaa");
+  Alcotest.(check (array int)) "abc" [| 0; 0; 0 |] (Borders.border_array "abc")
+
+let test_borders () =
+  Alcotest.(check string) "longest" "ab" (Borders.longest_border "abab");
+  Alcotest.(check (list string)) "all" [ ""; "a"; "aba" ] (Borders.all_borders "ababa");
+  Alcotest.(check (list string)) "none" [ "" ] (Borders.all_borders "abc");
+  Alcotest.(check (list string)) "eps" [] (Borders.all_borders "")
+
+let test_periods () =
+  check_int "abab period" 2 (Borders.smallest_period "abab");
+  check_int "aaa period" 1 (Borders.smallest_period "aaa");
+  check_int "abc period" 3 (Borders.smallest_period "abc");
+  check_int "eps" 0 (Borders.smallest_period "");
+  Alcotest.(check (list int)) "periods of ababa" [ 2; 4; 5 ] (Borders.periods "ababa")
+
+let test_period_primitivity_link () =
+  (* w is a power of a word of length p iff p is a period dividing |w| —
+     ties Borders to Primitive *)
+  List.iter
+    (fun w ->
+      let p = Borders.smallest_period w in
+      let primitive_via_period = p = String.length w || String.length w mod p <> 0 in
+      if primitive_via_period <> Primitive.is_primitive w then
+        Alcotest.failf "period/primitivity mismatch on %s" w)
+    [ "a"; "ab"; "aa"; "abab"; "aab"; "abaabb"; "aabaab"; "ababa" ]
+
+let test_kmp_matches_naive () =
+  List.iter
+    (fun (pat, w) ->
+      if Borders.occurrences_kmp ~pattern:pat w <> Word.occurrences ~pattern:pat w then
+        Alcotest.failf "kmp disagrees on (%s, %s)" pat w)
+    [ ("aa", "aaaa"); ("ab", "ababab"); ("", "ab"); ("aba", "ababa"); ("b", "aaa") ]
+
+let arb_pair =
+  QCheck.make
+    QCheck.Gen.(
+      pair
+        (string_size ~gen:(oneofl [ 'a'; 'b' ]) (0 -- 4))
+        (string_size ~gen:(oneofl [ 'a'; 'b' ]) (0 -- 10)))
+
+let prop_kmp =
+  QCheck.Test.make ~name:"KMP = naive occurrences" ~count:300 arb_pair (fun (pat, w) ->
+      Borders.occurrences_kmp ~pattern:pat w = Word.occurrences ~pattern:pat w)
+
+let arb_word =
+  QCheck.make QCheck.Gen.(string_size ~gen:(oneofl [ 'a'; 'b' ]) (1 -- 10))
+
+let prop_border_duality =
+  QCheck.Test.make ~name:"period p iff border of length n-p" ~count:200 arb_word (fun w ->
+      let n = String.length w in
+      let borders = Borders.all_borders w |> List.map String.length in
+      Borders.periods w = List.rev_map (fun b -> n - b) borders)
+
+let prop_fine_wilf =
+  QCheck.Test.make ~name:"Fine–Wilf" ~count:300
+    (QCheck.triple arb_word (QCheck.int_range 1 10) (QCheck.int_range 1 10))
+    (fun (w, p, q) -> Borders.fine_wilf_check w p q)
+
+let tests =
+  ( "borders",
+    [
+      Alcotest.test_case "border array" `Quick test_border_array;
+      Alcotest.test_case "borders" `Quick test_borders;
+      Alcotest.test_case "periods" `Quick test_periods;
+      Alcotest.test_case "period/primitivity" `Quick test_period_primitivity_link;
+      Alcotest.test_case "kmp" `Quick test_kmp_matches_naive;
+      QCheck_alcotest.to_alcotest prop_kmp;
+      QCheck_alcotest.to_alcotest prop_border_duality;
+      QCheck_alcotest.to_alcotest prop_fine_wilf;
+    ] )

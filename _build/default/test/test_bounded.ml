@@ -1,0 +1,93 @@
+open Regex_engine
+
+let check = Alcotest.(check bool)
+
+let dfa src = Dfa.of_regex ~alphabet:[ 'a'; 'b' ] (Regex.parse_exn src)
+
+let test_is_bounded () =
+  check "a*b* bounded" true (Bounded.is_bounded (dfa "a*b*"));
+  check "(ab)* bounded" true (Bounded.is_bounded (dfa "(ab)*"));
+  check "(a|b)* unbounded" false (Bounded.is_bounded (dfa "(a|b)*"));
+  check "finite bounded" true (Bounded.is_bounded (dfa "ab|ba"));
+  check "a*(ba)* bounded" true (Bounded.is_bounded (dfa "a*(ba)*"));
+  check "(aa|aaa)* bounded" true (Bounded.is_bounded (dfa "(aa|aaa)*"));
+  check "(ab|ba)* unbounded" false (Bounded.is_bounded (dfa "(ab|ba)*"));
+  check "b(a*)b(a*) bounded" true (Bounded.is_bounded (dfa "ba*ba*"));
+  check "(a|b)*abb unbounded" false (Bounded.is_bounded (dfa "(a|b)*abb"));
+  check "empty bounded" true (Bounded.is_bounded (dfa "%0"))
+
+let test_loop_roots () =
+  let roots = Bounded.loop_roots (dfa "a*b*") in
+  check "roots are a and b" true
+    (List.sort_uniq compare (List.map snd roots) = [ "a"; "b" ])
+
+let test_bounding_chain () =
+  match Bounded.bounding_chain (dfa "a*(ba)*") with
+  | None -> Alcotest.fail "expected chain"
+  | Some chain ->
+      (* every member up to length 6 lies in the chain product *)
+      let members =
+        Regex.enumerate (Regex.parse_exn "a*(ba)*") ~alphabet:[ 'a'; 'b' ] ~max_len:6
+      in
+      let in_chain w =
+        let rec go parts w =
+          match parts with
+          | [] -> w = ""
+          | p :: rest ->
+              let rec strip w = (go rest w) || (Words.Word.is_prefix ~prefix:p w && strip (String.sub w (String.length p) (String.length w - String.length p))) in
+              strip w
+        in
+        go chain w
+      in
+      check "chain covers members" true (List.for_all in_chain members)
+
+let test_decompose () =
+  let words6 = Words.Word.enumerate ~alphabet:[ 'a'; 'b' ] ~max_len:6 in
+  let matches_agree src =
+    let r = Regex.parse_exn src in
+    match Bounded.decompose ~alphabet:[ 'a'; 'b' ] r with
+    | None -> Alcotest.failf "expected decomposition for %s" src
+    | Some form ->
+        List.for_all (fun w -> Bounded.form_matches form w = Regex.matches r w) words6
+  in
+  List.iter
+    (fun src -> if not (matches_agree src) then Alcotest.failf "form disagrees for %s" src)
+    [ "a*"; "(ab)*"; "a*b*"; "ab|ba"; "a*(ba)*"; "(aa|aaa)*"; "%e"; "%0"; "b(aa)*b" ]
+
+let test_decompose_commutative_star () =
+  (* (aa|aaa)* is the numerical semigroup ⟨2,3⟩ over base a *)
+  match Bounded.decompose ~alphabet:[ 'a' ] (Regex.parse_exn "(aa|aaa)*") with
+  | Some (Bounded.Power_set (z, s)) ->
+      Alcotest.(check string) "root" "a" z;
+      check "semigroup" true
+        (List.for_all
+           (fun n -> Semilinear.Set.mem s n = (n <> 1))
+           (List.init 12 Fun.id))
+  | Some (Bounded.Word_star _) -> Alcotest.fail "should not collapse to a word star"
+  | _ -> Alcotest.fail "expected power-set decomposition"
+
+let test_decompose_rejects () =
+  check "(a|b)* not decomposable" true
+    (Bounded.decompose ~alphabet:[ 'a'; 'b' ] (Regex.parse_exn "(a|b)*") = None);
+  check "(ab|ba)* not decomposable" true
+    (Bounded.decompose ~alphabet:[ 'a'; 'b' ] (Regex.parse_exn "(ab|ba)*") = None)
+
+let test_simple_re () =
+  let sigma = [ 'a'; 'b' ] in
+  check "simple" true (Simple_re.is_simple ~sigma (Regex.parse_exn "a(a|b)*b|%e"));
+  check "not simple" false (Simple_re.is_simple ~sigma (Regex.parse_exn "a*"));
+  match Simple_re.flatten ~sigma (Regex.parse_exn "a(a|b)*|b") with
+  | Some branches -> Alcotest.(check int) "branches" 2 (List.length branches)
+  | None -> Alcotest.fail "expected flattening"
+
+let tests =
+  ( "bounded",
+    [
+      Alcotest.test_case "boundedness decision" `Quick test_is_bounded;
+      Alcotest.test_case "loop roots" `Quick test_loop_roots;
+      Alcotest.test_case "bounding chain" `Quick test_bounding_chain;
+      Alcotest.test_case "decompose agrees with regex" `Quick test_decompose;
+      Alcotest.test_case "commutative star" `Quick test_decompose_commutative_star;
+      Alcotest.test_case "decompose rejects unbounded" `Quick test_decompose_rejects;
+      Alcotest.test_case "simple regular expressions" `Quick test_simple_re;
+    ] )

@@ -1,0 +1,105 @@
+open Fc
+open Regex_engine
+
+let check = Alcotest.(check bool)
+
+(* Compare a compiled constraint against direct regex semantics: for all
+   words w (the document) and all factors x of w, σ(x) ∈ L(γ) iff the
+   compiled φ(x) holds. *)
+let constraint_agrees ?(max_len = 5) ~sigma src =
+  let r = Regex.parse_exn src in
+  match Bounded_compile.of_bounded_regex ~alphabet:sigma r "x" with
+  | None -> Alcotest.failf "expected compilation of %s" src
+  | Some f ->
+      check (Printf.sprintf "%s compiles to pure FC" src) true (Formula.is_pure_fc f);
+      let docs = Words.Word.enumerate ~alphabet:sigma ~max_len in
+      List.iter
+        (fun doc ->
+          let st = Structure.make ~sigma doc in
+          Structure.universe st
+          |> List.iter (fun x ->
+                 let expected = Regex.matches r x in
+                 let got = Eval.holds ~env:[ ("x", x) ] st f in
+                 if expected <> got then
+                   Alcotest.failf "%s disagrees: doc=%S x=%S (regex %b, fc %b)" src doc x
+                     expected got))
+        docs
+
+let test_word_star_constraints () =
+  constraint_agrees ~sigma:[ 'a'; 'b' ] "(ab)*";
+  constraint_agrees ~sigma:[ 'a'; 'b' ] "a*";
+  constraint_agrees ~sigma:[ 'a' ] "(aa)*"
+
+let test_finite_constraints () =
+  constraint_agrees ~sigma:[ 'a'; 'b' ] "ab|ba|%e";
+  constraint_agrees ~sigma:[ 'a'; 'b' ] "%0";
+  constraint_agrees ~sigma:[ 'a'; 'b' ] "aba"
+
+let test_compound_constraints () =
+  constraint_agrees ~sigma:[ 'a'; 'b' ] "a*b*";
+  constraint_agrees ~sigma:[ 'a'; 'b' ] "a*(ba)*";
+  constraint_agrees ~sigma:[ 'a'; 'b' ] "b(aa)*b|a*";
+  constraint_agrees ~max_len:6 ~sigma:[ 'a' ] "(aa|aaa)*"
+
+let test_unbounded_rejected () =
+  check "Σ* rejected by bounded path" true
+    (Bounded_compile.of_bounded_regex ~alphabet:[ 'a'; 'b' ] (Regex.parse_exn "(a|b)*") "x"
+    = None)
+
+let test_simple_regex_compilation () =
+  let sigma = [ 'a'; 'b' ] in
+  let r = Regex.parse_exn "a(a|b)*b" in
+  match Bounded_compile.of_simple_regex ~sigma r "x" with
+  | None -> Alcotest.fail "expected simple compilation"
+  | Some f ->
+      check "pure" true (Formula.is_pure_fc f);
+      let doc = "aabbab" in
+      let st = Structure.make ~sigma doc in
+      Structure.universe st
+      |> List.iter (fun x ->
+             if Regex.matches r x <> Eval.holds ~env:[ ("x", x) ] st f then
+               Alcotest.failf "simple compile disagrees on %S" x)
+
+let test_compile_formula () =
+  (* an FC[REG] sentence: ∃x,y: 𝔲 = x·y ∧ x ∈ a* ∧ y ∈ b* — i.e. a*b* *)
+  let v = Term.var in
+  let freg =
+    Builders.whole_word_exists
+      (Formula.exists [ "x"; "y" ]
+         (Formula.conj
+            [
+              Formula.eq (v "_u") (v "x") (v "y");
+              Formula.Mem (v "x", Regex.parse_exn "a*");
+              Formula.Mem (v "y", Regex.parse_exn "b*");
+            ]))
+      "_u"
+  in
+  match Bounded_compile.compile_formula ~sigma:[ 'a'; 'b' ] freg with
+  | None -> Alcotest.fail "expected formula compilation"
+  | Some pure ->
+      check "pure" true (Formula.is_pure_fc pure);
+      List.iter
+        (fun w ->
+          let expected = Eval.language_member ~sigma:[ 'a'; 'b' ] freg w in
+          let got = Eval.language_member ~sigma:[ 'a'; 'b' ] pure w in
+          if expected <> got then Alcotest.failf "compiled formula disagrees on %S" w;
+          if expected <> Regex.matches (Regex.parse_exn "a*b*") w then
+            Alcotest.failf "FC[REG] semantics wrong on %S" w)
+        (Words.Word.enumerate ~alphabet:[ 'a'; 'b' ] ~max_len:5)
+
+let test_compile_formula_unsupported () =
+  let freg = Formula.Mem (Term.var "x", Regex.parse_exn "(ab|ba)*") in
+  check "unsupported constraint" true
+    (Bounded_compile.compile_formula ~sigma:[ 'a'; 'b' ] freg = None)
+
+let tests =
+  ( "bounded-compile",
+    [
+      Alcotest.test_case "word stars" `Quick test_word_star_constraints;
+      Alcotest.test_case "finite languages" `Quick test_finite_constraints;
+      Alcotest.test_case "compounds" `Quick test_compound_constraints;
+      Alcotest.test_case "unbounded rejected" `Quick test_unbounded_rejected;
+      Alcotest.test_case "simple regexes (Lemma 5.5)" `Quick test_simple_regex_compilation;
+      Alcotest.test_case "whole formulas (Lemma 5.3)" `Quick test_compile_formula;
+      Alcotest.test_case "unsupported constraints" `Quick test_compile_formula_unsupported;
+    ] )

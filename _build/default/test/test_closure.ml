@@ -1,0 +1,40 @@
+open Core
+
+let check = Alcotest.(check bool)
+
+let test_balanced_ab () =
+  let ok, count = Closure.check Closure.balanced_ab ~max_len:10 in
+  check "intersection equals anbn" true ok;
+  check "words checked" true (count > 1000)
+
+let test_scattered_prefix () =
+  let ok, _ = Closure.check Closure.scattered_prefix ~max_len:10 in
+  check "intersection equals L2" true ok
+
+let test_balanced_is_not_bounded_style () =
+  (* sanity: the outer language is genuinely not within the window *)
+  check "balanced word outside the window" true
+    (Closure.balanced_ab.Closure.language "abba"
+    && not (Regex_engine.Regex.matches Closure.balanced_ab.Closure.window "abba"))
+
+let test_custom_argument () =
+  (* a deliberately wrong argument is detected *)
+  let bogus =
+    {
+      Closure.description = "bogus";
+      language = (fun w -> String.length w mod 2 = 0);
+      window = Regex_engine.Regex.parse_exn "a*b*";
+      target = Langs.anbn;
+    }
+  in
+  let ok, _ = Closure.check bogus ~max_len:6 in
+  check "detected" false ok
+
+let tests =
+  ( "closure-argument",
+    [
+      Alcotest.test_case "balanced ab (conclusion example)" `Quick test_balanced_ab;
+      Alcotest.test_case "scattered prefix" `Quick test_scattered_prefix;
+      Alcotest.test_case "outside the window" `Quick test_balanced_is_not_bounded_style;
+      Alcotest.test_case "wrong arguments rejected" `Quick test_custom_argument;
+    ] )

@@ -1,0 +1,94 @@
+open Words
+
+let check = Alcotest.(check bool)
+
+let test_conjugate () =
+  check "ab~ba" true (Conjugacy.are_conjugate "ab" "ba");
+  check "refl" true (Conjugacy.are_conjugate "aba" "aba");
+  check "eps" true (Conjugacy.are_conjugate "" "");
+  check "diff lengths" false (Conjugacy.are_conjugate "ab" "aba");
+  (* the paper's example: aabba and aaabb are conjugate via x=aabb, y=a *)
+  check "aabba~aaabb" true (Conjugacy.are_conjugate "aabba" "aaabb");
+  check "aba vs bba" false (Conjugacy.are_conjugate "aba" "bba")
+
+let test_witness () =
+  (match Conjugacy.conjugation_witness "aabba" "aaabb" with
+  | Some (x, y) ->
+      check "w = xy" true ("aabba" = x ^ y);
+      check "v = yx" true ("aaabb" = y ^ x)
+  | None -> Alcotest.fail "expected witness");
+  Alcotest.(check (option (pair string string))) "none" None
+    (Conjugacy.conjugation_witness "aba" "bba")
+
+let test_conjugates () =
+  Alcotest.(check (list string)) "rotations of aab" [ "aab"; "aba"; "baa" ]
+    (Conjugacy.conjugates "aab");
+  Alcotest.(check (list string)) "rotations of aa" [ "aa" ] (Conjugacy.conjugates "aa")
+
+let test_co_primitive () =
+  (* Example after Lemma 4.10 *)
+  check "aabba/aaabb primitive but conjugate" false (Conjugacy.are_co_primitive "aabba" "aaabb");
+  check "aba/bba co-primitive" true (Conjugacy.are_co_primitive "aba" "bba");
+  check "abaabb/bbaaba co-primitive (L5)" true (Conjugacy.are_co_primitive "abaabb" "bbaaba");
+  check "imprimitive never co-primitive" false (Conjugacy.are_co_primitive "aa" "bba");
+  check "ab/ba conjugate" false (Conjugacy.are_co_primitive "ab" "ba")
+
+let test_periodicity_bound () =
+  Alcotest.(check int) "bound" 11 (Conjugacy.periodicity_common_factor_bound "abaabb" "bbaaba");
+  (* conjugate words share arbitrarily long factors of their powers *)
+  let long = Conjugacy.longest_common_power_factor "ab" "ba" ~max_len:10 in
+  Alcotest.(check int) "conjugates share long factors" 10 long;
+  (* co-primitive words stay below the periodicity bound *)
+  let bounded = Conjugacy.longest_common_power_factor "aba" "bba" ~max_len:12 in
+  check "below bound" true (bounded < Conjugacy.periodicity_common_factor_bound "aba" "bba")
+
+let test_stabilization () =
+  (* Lemma 4.10 (2): co-primitive pairs stabilize *)
+  (match Conjugacy.common_factor_stabilization "aba" "bba" ~max_exp:6 with
+  | Some (n0, m0, common) ->
+      check "stabilizes" true (n0 <= 4 && m0 <= 4);
+      check "common nonempty" true (List.mem "" common)
+  | None -> Alcotest.fail "expected stabilization");
+  (* conjugate pairs do not *)
+  Alcotest.(check bool) "conjugates do not stabilize" true
+    (Conjugacy.common_factor_stabilization "ab" "ba" ~max_exp:6 = None)
+
+let test_coprimitive_bound () =
+  (match Conjugacy.coprimitive_max_common_factor "abaabb" "bbaaba" ~max_exp:5 with
+  | Some r -> check "bound below periodicity" true (r < 11)
+  | None -> Alcotest.fail "expected bound");
+  Alcotest.(check (option int)) "no bound for conjugates" None
+    (Conjugacy.coprimitive_max_common_factor "ab" "ba" ~max_exp:5)
+
+let arb_word =
+  QCheck.make
+    ~print:(fun s -> s)
+    QCheck.Gen.(string_size ~gen:(oneofl [ 'a'; 'b' ]) (1 -- 7))
+
+let prop_conjugacy_symmetric =
+  QCheck.Test.make ~name:"conjugacy symmetric" ~count:200 (QCheck.pair arb_word arb_word)
+    (fun (w, v) -> Conjugacy.are_conjugate w v = Conjugacy.are_conjugate v w)
+
+let prop_rotations_conjugate =
+  QCheck.Test.make ~name:"all rotations are conjugate" ~count:100 arb_word (fun w ->
+      List.for_all (Conjugacy.are_conjugate w) (Conjugacy.conjugates w))
+
+let prop_conjugates_preserve_primitivity =
+  QCheck.Test.make ~name:"conjugates preserve primitivity" ~count:100 arb_word (fun w ->
+      QCheck.assume (Primitive.is_primitive w);
+      List.for_all Primitive.is_primitive (Conjugacy.conjugates w))
+
+let tests =
+  ( "conjugacy",
+    [
+      Alcotest.test_case "conjugate" `Quick test_conjugate;
+      Alcotest.test_case "witness" `Quick test_witness;
+      Alcotest.test_case "conjugates" `Quick test_conjugates;
+      Alcotest.test_case "co-primitive (paper example)" `Quick test_co_primitive;
+      Alcotest.test_case "periodicity bound" `Quick test_periodicity_bound;
+      Alcotest.test_case "stabilization (Lemma 4.10)" `Quick test_stabilization;
+      Alcotest.test_case "co-primitive bound" `Quick test_coprimitive_bound;
+      QCheck_alcotest.to_alcotest prop_conjugacy_symmetric;
+      QCheck_alcotest.to_alcotest prop_rotations_conjugate;
+      QCheck_alcotest.to_alcotest prop_conjugates_preserve_primitivity;
+    ] )

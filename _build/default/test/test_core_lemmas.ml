@@ -1,0 +1,121 @@
+open Core
+
+let check = Alcotest.(check bool)
+let unary n = String.make n 'a'
+let rep = Words.Word.repeat
+
+let test_equiv_facade () =
+  check "known pair k=1" true (Equiv.known_unary_pair 1 = Some (3, 4));
+  check "known pair k=2" true (Equiv.known_unary_pair 2 = Some (12, 14));
+  check "frontier" true (Equiv.known_unary_pair 3 = None);
+  check "pair for rounds 2" true (Equiv.unary_pair_for ~rounds:2 = Some (12, 14));
+  check "pair for rounds 1" true (Equiv.unary_pair_for ~rounds:1 = Some (3, 4));
+  check "decide" true (Equiv.decide (unary 3) (unary 4) 1 = Efgame.Game.Equiv);
+  (* the known pairs are genuine *)
+  check "3-4 verified" true (Equiv.decide (unary 3) (unary 4) 1 = Efgame.Game.Equiv);
+  check "12-14 verified" true (Equiv.decide (unary 12) (unary 14) 2 = Efgame.Game.Equiv)
+
+let test_pseudo_congruence_instance () =
+  (* Example 4.4: w1 = a^p, w2 = b^m with r = 0 *)
+  let inst = { Pseudo_congruence.w1 = unary 3; w2 = "bb"; v1 = unary 4; v2 = "bb" } in
+  let prem = Pseudo_congruence.premises inst in
+  check "common factors agree" true prem.Pseudo_congruence.common_factors_agree;
+  Alcotest.(check int) "r = 0" 0 prem.Pseudo_congruence.r;
+  Alcotest.(check int) "required rounds" 3 (Pseudo_congruence.required_rounds inst ~k:1);
+  check "conclusion k=1" true (Pseudo_congruence.conclusion inst ~k:1 = Efgame.Game.Equiv);
+  check "certified k=1" true (Pseudo_congruence.certify inst ~k:1 = Ok ())
+
+let test_pseudo_congruence_r1 () =
+  (* Prop. 4.5: w2 = (ba)^n gives r = 1 *)
+  let inst =
+    { Pseudo_congruence.w1 = unary 3; w2 = rep "ba" 3; v1 = unary 4; v2 = rep "ba" 3 }
+  in
+  let prem = Pseudo_congruence.premises inst in
+  check "common factors agree" true prem.Pseudo_congruence.common_factors_agree;
+  Alcotest.(check int) "r = 1" 1 prem.Pseudo_congruence.r;
+  check "conclusion k=1" true (Pseudo_congruence.conclusion inst ~k:1 = Efgame.Game.Equiv)
+
+let test_pseudo_congruence_mismatch () =
+  (* different common factor sets are detected *)
+  let inst = { Pseudo_congruence.w1 = "ab"; w2 = "ba"; v1 = "ab"; v2 = "ab" } in
+  check "mismatch detected" false
+    (Pseudo_congruence.premises inst).Pseudo_congruence.common_factors_agree
+
+let test_primitive_power_check () =
+  let c = Primitive_power.check ~base:"ab" ~p:3 ~q:4 ~k:1 () in
+  check "premise same k" true (c.Primitive_power.premise_same_k = Efgame.Game.Equiv);
+  check "conclusion" true (c.Primitive_power.conclusion = Efgame.Game.Equiv);
+  Alcotest.check_raises "imprimitive base"
+    (Invalid_argument "Primitive_power.check: base is not primitive") (fun () ->
+      ignore (Primitive_power.check ~base:"aa" ~p:3 ~q:4 ~k:1 ()))
+
+let test_primitive_power_square () =
+  match Primitive_power.lift_square ~base:"aab" ~lookup_reply:"aa" "abaabaaba" with
+  | None -> Alcotest.fail "expected square"
+  | Some sq ->
+      Alcotest.(check string) "u1" "ab" sq.Primitive_power.u1;
+      Alcotest.(check int) "exponent" 2 sq.Primitive_power.exponent;
+      Alcotest.(check string) "reply" ("ab" ^ rep "aab" 2 ^ "a") sq.Primitive_power.reply;
+      check "reply shape" true
+        (sq.Primitive_power.reply = sq.Primitive_power.u1 ^ rep "aab" 2 ^ sq.Primitive_power.u2)
+
+let test_primitive_power_certify_k1 () =
+  check "certified (ab, 12, 14, k=1)" true
+    (Primitive_power.certify ~base:"ab" ~p:12 ~q:14 ~k:1 () = Ok ())
+
+let test_fooling () =
+  let inst = Fooling.l5_instance in
+  check "co-primitivity enforced" true
+    (try
+       ignore (Fooling.make ~u:"ab" ~v:"ba" ~f:(fun n -> n) ~f_name:"id" ());
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check string) "word at 1" ("abaabb" ^ "bbaaba") (Fooling.word_at inst 1);
+  check "member" true (Fooling.member inst ~max_p:3 (Fooling.word_at inst 2));
+  check "non member" false (Fooling.member inst ~max_p:4 ("abaabb" ^ "bbaaba" ^ "bbaaba"));
+  let fp = Fooling.fool inst ~k:1 ~p:1 ~q:2 in
+  check "f(s) <> t" true (inst.Fooling.f fp.Fooling.s <> fp.Fooling.t);
+  check "inside member" true (Fooling.member inst ~max_p:3 fp.Fooling.inside);
+  check "fooled not member" false (Fooling.member inst ~max_p:6 fp.Fooling.fooled);
+  (match Fooling.common_factor_bound inst ~max_exp:4 with
+  | Some r -> check "bound below periodicity" true (r <= 11)
+  | None -> Alcotest.fail "expected common-factor bound")
+
+let test_relations_reductions () =
+  List.iter
+    (fun (red : Relations.reduction) ->
+      let ok, count = Relations.agreement_up_to red ~max_len:8 in
+      if not ok then
+        Alcotest.failf "reduction %s disagrees with %s"
+          red.Relations.relation.Spanner.Selectable.name red.Relations.target.Langs.name;
+      if count = 0 then Alcotest.fail "no words checked")
+    Relations.all
+
+let test_relations_examples () =
+  let find name =
+    List.find
+      (fun (r : Relations.reduction) -> r.Relations.relation.Spanner.Selectable.name = name)
+      Relations.all
+  in
+  let num = find "Num_a" in
+  check "num accepts a(ba)" true (Relations.language_member num "aba");
+  check "num rejects a(ba)^2" false (Relations.language_member num "ababa");
+  let shuff = find "Shuff" in
+  check "shuff accepts L6 member" true (Relations.language_member shuff "aabbabab");
+  check "shuff rejects shuffled-but-not-(ab)^n" false (Relations.language_member shuff "aabbaabb")
+
+let tests =
+  ( "core-lemmas",
+    [
+      Alcotest.test_case "equiv facade" `Quick test_equiv_facade;
+      Alcotest.test_case "pseudo-congruence instance (Ex 4.4)" `Quick
+        test_pseudo_congruence_instance;
+      Alcotest.test_case "pseudo-congruence r=1 (Prop 4.5)" `Quick test_pseudo_congruence_r1;
+      Alcotest.test_case "pseudo-congruence mismatch" `Quick test_pseudo_congruence_mismatch;
+      Alcotest.test_case "primitive power check" `Quick test_primitive_power_check;
+      Alcotest.test_case "primitive power square (Fig 2)" `Quick test_primitive_power_square;
+      Alcotest.test_case "primitive power certify k=1" `Quick test_primitive_power_certify_k1;
+      Alcotest.test_case "fooling pipeline (L5)" `Quick test_fooling;
+      Alcotest.test_case "Theorem 5.5 reductions" `Slow test_relations_reductions;
+      Alcotest.test_case "reduction examples" `Quick test_relations_examples;
+    ] )

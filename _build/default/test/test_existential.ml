@@ -1,0 +1,81 @@
+open Efgame
+
+let unary n = String.make n 'a'
+let check = Alcotest.(check bool)
+let verdict = Alcotest.testable Game.pp_verdict ( = )
+
+let test_homomorphism_condition () =
+  (* left facts must transfer; right-only facts are fine *)
+  check "transfer ok" true
+    (Existential.preserves [ (Some "ab", Some "ba"); (Some "a", Some "b"); (Some "b", Some "a") ]);
+  check "left concat broken" false
+    (Existential.preserves [ (Some "ab", Some "ab"); (Some "a", Some "a"); (Some "b", Some "a") ]);
+  (* the reflected direction is NOT required: a concatenation fact that
+     holds only among the right components is fine *)
+  check "right-only concat allowed" true
+    (Existential.preserves [ (Some "ab", Some "aa"); (Some "ba", Some "a"); (Some "aab", Some "a") ])
+
+let test_embedding_direction () =
+  (* a^n embeds into a^m for n ≤ m at any round count: Duplicator answers
+     identically *)
+  Alcotest.check verdict "a^3 into a^5 @2" Game.Equiv (Existential.equiv (unary 3) (unary 5) 2);
+  Alcotest.check verdict "a^3 into a^3 @3" Game.Equiv (Existential.equiv (unary 3) (unary 3) 3);
+  (* the reverse direction fails once Spoiler has enough rounds to pin an
+     a·a·a·a chain that a^3 cannot reproduce *)
+  Alcotest.check verdict "a^5 into a^3 @3" Game.Not_equiv (Existential.equiv (unary 5) (unary 3) 3)
+
+let test_asymmetry () =
+  (* existential equivalence is weaker than full ≡ and genuinely one-way *)
+  check "full game differs" true (Game.equiv (unary 3) (unary 5) 2 = Game.Not_equiv);
+  check "existential passes" true (Existential.equiv (unary 3) (unary 5) 2 = Game.Equiv)
+
+let test_positive_class () =
+  check "eq atom positive" true (Existential.positive_exists (Fc.Parser.parse_exn "x = y . y"));
+  check "exists positive" true
+    (Existential.positive_exists (Fc.Parser.parse_exn "exists x y. (x = y . y)"));
+  check "negation not positive" false
+    (Existential.positive_exists (Fc.Parser.parse_exn "!(x = eps)"));
+  check "forall not positive" false
+    (Existential.positive_exists (Fc.Parser.parse_exn "forall x. x = eps"))
+
+let battery =
+  List.map Fc.Parser.parse_exn
+    [
+      "exists x. x = 'a' . 'a'";
+      "exists x y. x = y . y & exists z. z = x . 'a'";
+      "exists x. x = \"aa\" . \"aa\"";
+      "exists x y z. (x = y . z) & (y = 'a' . 'a') & (z = 'a' . 'a')";
+    ]
+
+let test_game_preserves_positive_sentences () =
+  (* soundness of the game: w ⇛_k v implies every existential-positive
+     sentence of qr ≤ k transfers from w to v *)
+  let words = [ ""; "a"; "aa"; "aaa"; "aaaa"; "aaaaa" ] in
+  List.iter
+    (fun w ->
+      List.iter
+        (fun v ->
+          List.iter
+            (fun phi ->
+              let k = Fc.Formula.quantifier_rank phi in
+              if Existential.equiv ~sigma:[ 'a' ] w v k = Game.Equiv then
+                match Existential.transfer_check ~sigma:[ 'a' ] phi w v with
+                | Some true -> ()
+                | Some false ->
+                    Alcotest.failf "transfer violated: %s vs %s on %s" w v
+                      (Fc.Formula.to_string phi)
+                | None -> Alcotest.fail "battery sentence not positive")
+            battery)
+        words)
+    words
+
+let tests =
+  ( "existential-game",
+    [
+      Alcotest.test_case "homomorphism condition" `Quick test_homomorphism_condition;
+      Alcotest.test_case "embedding direction" `Quick test_embedding_direction;
+      Alcotest.test_case "asymmetry" `Quick test_asymmetry;
+      Alcotest.test_case "positive fragment" `Quick test_positive_class;
+      Alcotest.test_case "positive sentences transfer" `Quick
+        test_game_preserves_positive_sentences;
+    ] )

@@ -1,0 +1,115 @@
+open Fc
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let v = Term.var
+let phi_example = Formula.Exists ("x", Formula.And (Formula.eq (v "x") (v "y") (v "y"), Formula.Not (Formula.eq2 (v "y") Term.eps)))
+
+let test_quantifier_rank () =
+  check_int "atomic" 0 (Formula.quantifier_rank (Formula.eq (v "x") (v "y") (v "z")));
+  check_int "exists" 1 (Formula.quantifier_rank phi_example);
+  check_int "vbv is qr 5" 5 (Formula.quantifier_rank Builders.vbv);
+  check_int "cube_free" 3 (Formula.quantifier_rank Builders.cube_free);
+  check_int "negation transparent" 1 (Formula.quantifier_rank (Formula.Not phi_example));
+  check_int "conj max" 1
+    (Formula.quantifier_rank (Formula.And (phi_example, Formula.eq2 (v "z") Term.eps)))
+
+let test_free_vars () =
+  Alcotest.(check (list string)) "free" [ "y" ] (Formula.free_vars phi_example);
+  check "sentence" true (Formula.is_sentence Builders.ww);
+  check "not sentence" false (Formula.is_sentence phi_example);
+  Alcotest.(check (list string)) "all vars include bound" [ "x"; "y" ]
+    (Formula.all_vars phi_example)
+
+let test_pure_fc () =
+  check "pure" true (Formula.is_pure_fc Builders.fib);
+  let reg = Formula.Mem (v "x", Regex_engine.Regex.parse_exn "a*") in
+  check "not pure" false (Formula.is_pure_fc (Formula.And (phi_example, reg)))
+
+let test_constants () =
+  Alcotest.(check (list char)) "consts of vbv" [ 'b' ] (Formula.constants Builders.vbv);
+  Alcotest.(check (list char)) "consts of fib" [ 'a'; 'b'; 'c' ] (Formula.constants Builders.fib)
+
+let test_eq_concat () =
+  (* x ≐ abc desugars with fresh existentials but keeps qr contributions *)
+  let f = Formula.eq_word (v "x") "abc" in
+  Alcotest.(check (list string)) "only x free" [ "x" ] (Formula.free_vars f);
+  let st = Structure.make "xabcx" in
+  check "binds to the word" true (Eval.holds ~env:[ ("x", "abc") ] st f);
+  check "rejects others" false (Eval.holds ~env:[ ("x", "ab") ] st f);
+  check "empty word eq" true
+    (Eval.holds ~env:[ ("x", "") ] st (Formula.eq_word (v "x") ""))
+
+let test_nnf () =
+  let f = Formula.Not (Formula.Forall ("x", Formula.implies phi_example Formula.True)) in
+  let g = Formula.nnf f in
+  let rec no_compound_negation = function
+    | Formula.Not (Formula.Eq _ | Formula.Mem _) -> true
+    | Formula.Not _ -> false
+    | Formula.True | Formula.False | Formula.Eq _ | Formula.Mem _ -> true
+    | Formula.And (a, b) | Formula.Or (a, b) -> no_compound_negation a && no_compound_negation b
+    | Formula.Exists (_, a) | Formula.Forall (_, a) -> no_compound_negation a
+  in
+  check "nnf pushes negation" true (no_compound_negation g);
+  (* nnf preserves semantics *)
+  let st = Structure.make "ab" in
+  List.iter
+    (fun fo ->
+      let fn = Formula.nnf fo in
+      if Eval.holds st fo <> Eval.holds st fn then Alcotest.fail "nnf changed semantics")
+    [ Builders.ww; Builders.cube_free; Formula.Not Builders.ww ]
+
+let test_rename () =
+  let f = Formula.rename_free [ ("y", "z") ] phi_example in
+  Alcotest.(check (list string)) "renamed" [ "z" ] (Formula.free_vars f);
+  (* bound variables shadow *)
+  let g = Formula.rename_free [ ("x", "w") ] phi_example in
+  Alcotest.(check (list string)) "bound untouched" [ "y" ] (Formula.free_vars g)
+
+let test_parser () =
+  List.iter
+    (fun src ->
+      match Parser.parse src with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "parse %s: %s" src msg)
+    [
+      "x = y . z";
+      "exists x y. (x = y . y) & !(y = eps)";
+      "forall z. !(z = eps) -> !exists x y. (x = z . y) & (y = z . z)";
+      "x in /a*(ba)*/";
+      "A x: E y: x = 'a' . y | x = eps";
+      "x = \"abc\"";
+      "true & !false";
+      "x = y . 'b' . y";
+    ];
+  check "reject garbage" true (Result.is_error (Parser.parse "x ="));
+  check "reject unbound quantifier" true (Result.is_error (Parser.parse "exists . x = eps"))
+
+let test_parser_semantics () =
+  let f = Parser.parse_exn "forall z. !(z = eps) -> !exists x y. (x = z . y) & (y = z . z)" in
+  let st_ok = Structure.make ~sigma:[ 'a'; 'b' ] "abab" in
+  let st_bad = Structure.make ~sigma:[ 'a'; 'b' ] "aaab" in
+  check "cube free ok" true (Eval.holds st_ok f);
+  check "cube detected" false (Eval.holds st_bad f);
+  (* matches the builder *)
+  List.iter
+    (fun w ->
+      let st = Structure.make ~sigma:[ 'a'; 'b' ] w in
+      if Eval.holds st f <> Eval.holds st Builders.cube_free then
+        Alcotest.failf "parsed cube-free disagrees on %s" w)
+    (Words.Word.enumerate ~alphabet:[ 'a'; 'b' ] ~max_len:5)
+
+let tests =
+  ( "fc-formula",
+    [
+      Alcotest.test_case "quantifier rank" `Quick test_quantifier_rank;
+      Alcotest.test_case "free variables" `Quick test_free_vars;
+      Alcotest.test_case "purity" `Quick test_pure_fc;
+      Alcotest.test_case "constants" `Quick test_constants;
+      Alcotest.test_case "eq_concat/eq_word" `Quick test_eq_concat;
+      Alcotest.test_case "nnf" `Quick test_nnf;
+      Alcotest.test_case "rename" `Quick test_rename;
+      Alcotest.test_case "parser" `Quick test_parser;
+      Alcotest.test_case "parser semantics" `Quick test_parser_semantics;
+    ] )

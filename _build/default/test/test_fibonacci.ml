@@ -1,0 +1,61 @@
+open Words
+
+let check = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+
+let test_words () =
+  check_str "F0" "a" (Fibonacci.word 0);
+  check_str "F1" "ab" (Fibonacci.word 1);
+  check_str "F2" "aba" (Fibonacci.word 2);
+  check_str "F3" "abaab" (Fibonacci.word 3);
+  check_str "F4" "abaababa" (Fibonacci.word 4);
+  check "recurrence" true
+    (List.for_all
+       (fun i -> Fibonacci.word i = Fibonacci.word (i - 1) ^ Fibonacci.word (i - 2))
+       [ 2; 3; 4; 5; 6; 7; 8 ])
+
+let test_lengths () =
+  check "lengths" true
+    (List.for_all (fun i -> Fibonacci.length i = String.length (Fibonacci.word i))
+       [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]);
+  check_int "F10 length" 144 (Fibonacci.length 10)
+
+let test_l_fib () =
+  check_str "n=0" "cac" (Fibonacci.l_fib_word 0);
+  check_str "n=1" "cacabc" (Fibonacci.l_fib_word 1);
+  check_str "n=2" "cacabcabac" (Fibonacci.l_fib_word 2);
+  check "members" true
+    (List.for_all (fun n -> Fibonacci.l_fib_member (Fibonacci.l_fib_word n)) [ 0; 1; 2; 3; 4; 5 ]);
+  check "not member: empty" false (Fibonacci.l_fib_member "");
+  check "not member: truncated" false (Fibonacci.l_fib_member "cacab");
+  check "not member: swapped" false (Fibonacci.l_fib_member "cacbac");
+  check "custom separator" true (Fibonacci.l_fib_member ~sep:'d' "dadabd")
+
+let test_prefix () =
+  check_str "prefix 5" "abaab" (Fibonacci.prefix 5);
+  check_str "prefix 0" "" (Fibonacci.prefix 0);
+  check "prefixes nest" true
+    (List.for_all
+       (fun n -> Word.is_prefix ~prefix:(Fibonacci.prefix n) (Fibonacci.prefix (n + 7)))
+       [ 1; 4; 9; 20 ])
+
+let test_fourth_power_free () =
+  (* Karhumäki 1983: F_ω contains no u⁴ — the reason L_fib defeats naive
+     pumping for FC *)
+  check "prefix 150 is 4th-power free" false (Fibonacci.has_fourth_power (Fibonacci.prefix 150));
+  check "aaaa has 4th power" true (Fibonacci.has_fourth_power "aaaa");
+  check "babababab has 4th power" true (Fibonacci.has_fourth_power "abababab");
+  (* F_ω is NOT cube-free: it contains cubes like (aba)³ eventually *)
+  check "long prefix has a cube" false (Fibonacci.is_cube_free (Fibonacci.prefix 150));
+  check "short prefix cube-free" true (Fibonacci.is_cube_free (Fibonacci.prefix 8))
+
+let tests =
+  ( "fibonacci",
+    [
+      Alcotest.test_case "words" `Quick test_words;
+      Alcotest.test_case "lengths" `Quick test_lengths;
+      Alcotest.test_case "L_fib membership" `Quick test_l_fib;
+      Alcotest.test_case "infinite-word prefixes" `Quick test_prefix;
+      Alcotest.test_case "fourth-power freeness" `Quick test_fourth_power_free;
+    ] )

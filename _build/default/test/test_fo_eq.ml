@@ -1,0 +1,73 @@
+open Fc
+
+let check = Alcotest.(check bool)
+let words n = Words.Word.enumerate ~alphabet:[ 'a'; 'b' ] ~max_len:n
+
+let test_atoms () =
+  check "less" true (Fo_eq.holds ~env:[ ("x", 0); ("y", 2) ] "aba" (Fo_eq.Less ("x", "y")));
+  check "letter" true (Fo_eq.holds ~env:[ ("x", 1) ] "aba" (Fo_eq.Letter ('b', "x")));
+  check "factor eq" true
+    (Fo_eq.holds
+       ~env:[ ("a", 0); ("b", 1); ("c", 2); ("d", 3) ]
+       "abab"
+       (Fo_eq.Factor_eq ("a", "b", "c", "d")));
+  check "factor neq" false
+    (Fo_eq.holds
+       ~env:[ ("a", 0); ("b", 1); ("c", 1); ("d", 2) ]
+       "abab"
+       (Fo_eq.Factor_eq ("a", "b", "c", "d")))
+
+let test_sugar () =
+  check "succ" true (Fo_eq.holds ~env:[ ("x", 1); ("y", 2) ] "aaa" (Fo_eq.succ "x" "y"));
+  check "not succ" false (Fo_eq.holds ~env:[ ("x", 0); ("y", 2) ] "aaa" (Fo_eq.succ "x" "y"));
+  check "first" true (Fo_eq.holds ~env:[ ("x", 0) ] "ab" (Fo_eq.is_first "x"));
+  check "last" true (Fo_eq.holds ~env:[ ("x", 1) ] "ab" (Fo_eq.is_last "x"))
+
+let test_empty_word () =
+  check "empty word sentence" true (Fo_eq.language_member Fo_eq.empty_word "");
+  check "nonempty" false (Fo_eq.language_member Fo_eq.empty_word "a");
+  (* over ε, ∀ vacuous, ∃ false *)
+  check "forall vacuous" true (Fo_eq.holds "" (Fo_eq.Forall ("x", Fo_eq.False)));
+  check "exists empty" false (Fo_eq.holds "" (Fo_eq.Exists ("x", Fo_eq.True)))
+
+let test_ww_cross_logic () =
+  (* FO[EQ]'s ww agrees with FC's ww on all words up to length 6 *)
+  List.iter
+    (fun w ->
+      let fo = Fo_eq.language_member Fo_eq.ww w in
+      let fc = Eval.language_member ~sigma:[ 'a'; 'b' ] Builders.ww w in
+      if fo <> fc then Alcotest.failf "ww disagreement on %S (fo=%b fc=%b)" w fo fc)
+    (words 6)
+
+let test_cube_free_cross_logic () =
+  List.iter
+    (fun w ->
+      let fo = Fo_eq.language_member Fo_eq.cube_free w in
+      let fc = Eval.language_member ~sigma:[ 'a'; 'b' ] Builders.cube_free w in
+      if fo <> fc then Alcotest.failf "cube-free disagreement on %S (fo=%b fc=%b)" w fo fc)
+    (words 7)
+
+let test_ab_block () =
+  List.iter
+    (fun w ->
+      let expected = Regex_engine.Regex.matches (Regex_engine.Regex.parse_exn "a+b+") w in
+      if Fo_eq.language_member Fo_eq.ends_ab_block w <> expected then
+        Alcotest.failf "a+b+ disagreement on %S" w)
+    (words 5)
+
+let test_qr_and_fv () =
+  Alcotest.(check int) "qr ww" 5 (Fo_eq.quantifier_rank Fo_eq.ww);
+  Alcotest.(check (list string)) "fv" [ "x"; "y" ] (Fo_eq.free_vars (Fo_eq.Less ("x", "y")));
+  check "sentence" true (Fo_eq.free_vars Fo_eq.cube_free = [])
+
+let tests =
+  ( "fo-eq",
+    [
+      Alcotest.test_case "atoms" `Quick test_atoms;
+      Alcotest.test_case "sugar" `Quick test_sugar;
+      Alcotest.test_case "empty word" `Quick test_empty_word;
+      Alcotest.test_case "ww across logics" `Quick test_ww_cross_logic;
+      Alcotest.test_case "cube-free across logics" `Quick test_cube_free_cross_logic;
+      Alcotest.test_case "a+b+" `Quick test_ab_block;
+      Alcotest.test_case "rank and free vars" `Quick test_qr_and_fv;
+    ] )

@@ -1,0 +1,78 @@
+open Core
+
+let check = Alcotest.(check bool)
+
+let test_membership_nth () =
+  List.iter
+    (fun (l : Langs.t) ->
+      List.iter
+        (fun n ->
+          if not (l.Langs.member (l.Langs.nth n)) then
+            Alcotest.failf "%s: nth %d not a member" l.Langs.name n)
+        [ 0; 1; 2; 3; 4 ])
+    (Langs.paper_languages @ [ Langs.anbn; Langs.a_le_b; Langs.l_fib; Langs.l_pow ])
+
+let test_non_members () =
+  check "L1 rejects aabaa" false (Langs.l1.Langs.member "aabaa");
+  check "L1 rejects extra a" false (Langs.l1.Langs.member "aaba");
+  check "L2 needs i>=1" false (Langs.l2.Langs.member "baba");
+  check "L3 accepts b·a·bb" true (Langs.l3.Langs.member "babb");
+  check "L3 rejects b·a·b" false (Langs.l3.Langs.member "bab");
+  check "L4 accepts b·aa·bb" true (Langs.l4.Langs.member "baabb");
+  check "L4 rejects b·aa·bbb" false (Langs.l4.Langs.member "baabbb");
+  check "L5 rejects wrong length" false (Langs.l5.Langs.member "abaabbbbaabaabaabb");
+  check "L5 rejects swapped blocks" false (Langs.l5.Langs.member ("bbaaba" ^ "abaabb"));
+  check "L6 rejects" false (Langs.l6.Langs.member "aabbab");
+  check "anbn rejects" false (Langs.anbn.Langs.member "aab");
+  check "pow rejects 3" false (Langs.l_pow.Langs.member "aaa");
+  check "pow accepts 4" true (Langs.l_pow.Langs.member "aaaa")
+
+let test_l2_semantics () =
+  check "i=j" true (Langs.l2.Langs.member ("a" ^ "ba"));
+  check "i<j" true (Langs.l2.Langs.member ("a" ^ "baba"));
+  check "i>j" false (Langs.l2.Langs.member ("aa" ^ "ba"));
+  check "i=0" false (Langs.l2.Langs.member "baba")
+
+let test_l3_l4_slices () =
+  (* L3 contains all b^{2n} (m = 0) and a^m b^m (n = 0) *)
+  check "b^4 in L3" true (Langs.l3.Langs.member "bbbb");
+  check "b^3 not in L3" false (Langs.l3.Langs.member "bbb");
+  check "a^2b^2 in L3" true (Langs.l3.Langs.member "aabb");
+  (* L4 contains all b^n (m = 0) *)
+  check "b^3 in L4" true (Langs.l4.Langs.member "bbb");
+  check "a^2 in L4 (n=0)" true (Langs.l4.Langs.member "aa")
+
+let test_witness_candidates () =
+  List.iter
+    (fun (l : Langs.t) ->
+      match Langs.witness_candidates l ~p:3 ~q:4 with
+      | None -> Alcotest.failf "%s: expected candidates" l.Langs.name
+      | Some (inside, outside) ->
+          if not (l.Langs.member inside) then
+            Alcotest.failf "%s: inside %S not a member" l.Langs.name inside;
+          if l.Langs.member outside then
+            Alcotest.failf "%s: outside %S is a member" l.Langs.name outside)
+    (Langs.paper_languages @ [ Langs.anbn; Langs.a_le_b ])
+
+let test_find_witness_k1 () =
+  List.iter
+    (fun (l : Langs.t) ->
+      match Langs.find_witness l ~k:1 with
+      | Some w ->
+          check
+            (Printf.sprintf "%s k=1 witness certified" l.Langs.name)
+            true
+            (w.Langs.verdict = Efgame.Game.Equiv)
+      | None -> Alcotest.failf "%s: no k=1 witness found" l.Langs.name)
+    [ Langs.anbn; Langs.l3; Langs.l4 ]
+
+let tests =
+  ( "langs",
+    [
+      Alcotest.test_case "membership of nth" `Quick test_membership_nth;
+      Alcotest.test_case "non-members" `Quick test_non_members;
+      Alcotest.test_case "L2 semantics" `Quick test_l2_semantics;
+      Alcotest.test_case "L3/L4 slices" `Quick test_l3_l4_slices;
+      Alcotest.test_case "witness candidates (p,q)=(3,4)" `Quick test_witness_candidates;
+      Alcotest.test_case "find witness k=1" `Quick test_find_witness_k1;
+    ] )

@@ -1,0 +1,75 @@
+open Efgame
+
+let check = Alcotest.(check bool)
+
+let entries_of_pairs pairs = List.map (fun (a, b) -> (Some a, Some b)) pairs
+
+let test_constant_entries () =
+  let sta = Fc.Structure.make ~sigma:[ 'a'; 'b' ] "ab" in
+  let stb = Fc.Structure.make ~sigma:[ 'a'; 'b' ] "ba" in
+  let consts = Partial_iso.constant_entries sta stb in
+  Alcotest.(check int) "two letters plus eps" 3 (List.length consts);
+  check "base pi" true (Partial_iso.holds consts);
+  (* a letter present on one side only breaks the base configuration *)
+  let stc = Fc.Structure.make ~sigma:[ 'a'; 'b' ] "aa" in
+  check "asymmetric letters" false (Partial_iso.holds (Partial_iso.constant_entries sta stc))
+
+let test_equality_condition () =
+  check "consistent" true (Partial_iso.holds (entries_of_pairs [ ("a", "b"); ("a", "b") ]));
+  check "left equal right not" false
+    (Partial_iso.holds (entries_of_pairs [ ("a", "b"); ("a", "c") ]));
+  check "right equal left not" false
+    (Partial_iso.holds (entries_of_pairs [ ("a", "c"); ("b", "c") ]))
+
+let test_concat_condition () =
+  check "both concat" true
+    (Partial_iso.holds (entries_of_pairs [ ("ab", "ba"); ("a", "b"); ("b", "a") ]));
+  check "left concat only" false
+    (Partial_iso.holds (entries_of_pairs [ ("ab", "ba"); ("a", "b"); ("b", "b") ]));
+  (* ⊥ never participates in concatenation *)
+  check "bottom ok" true (Partial_iso.holds [ (None, None); (Some "", Some "") ])
+
+let test_extension () =
+  let base = entries_of_pairs [ ("ab", "ba"); ("a", "b") ] in
+  check "extension consistent" true (Partial_iso.extension_ok base (Some "b", Some "a"));
+  check "extension breaking" false (Partial_iso.extension_ok base (Some "b", Some "b"));
+  check "matches full recheck" true
+    (Partial_iso.holds ((Some "b", Some "a") :: base))
+
+let test_violation_diagnostics () =
+  (match Partial_iso.violation (entries_of_pairs [ ("a", "b"); ("a", "c") ]) with
+  | Some (reason, _) -> check "equality reason" true (String.length reason > 0)
+  | None -> Alcotest.fail "expected violation");
+  Alcotest.(check bool) "no violation" true
+    (Partial_iso.violation (entries_of_pairs [ ("a", "x") ]) = None)
+
+(* random differential test: extension_ok equals full holds *)
+let arb_entries =
+  let open QCheck.Gen in
+  let word = string_size ~gen:(oneofl [ 'a'; 'b' ]) (0 -- 2) in
+  let entry = map2 (fun a b -> (Some a, Some b)) word word in
+  QCheck.make (list_size (0 -- 4) entry)
+
+let prop_extension_matches_holds =
+  QCheck.Test.make ~name:"extension_ok consistent with holds" ~count:300
+    (QCheck.pair arb_entries
+       (QCheck.make
+          QCheck.Gen.(
+            map2
+              (fun a b -> (Some a, Some b))
+              (string_size ~gen:(oneofl [ 'a'; 'b' ]) (0 -- 2))
+              (string_size ~gen:(oneofl [ 'a'; 'b' ]) (0 -- 2)))))
+    (fun (entries, e) ->
+      QCheck.assume (Partial_iso.holds entries);
+      Partial_iso.extension_ok entries e = Partial_iso.holds (e :: entries))
+
+let tests =
+  ( "partial-iso",
+    [
+      Alcotest.test_case "constant entries" `Quick test_constant_entries;
+      Alcotest.test_case "equality condition" `Quick test_equality_condition;
+      Alcotest.test_case "concatenation condition" `Quick test_concat_condition;
+      Alcotest.test_case "incremental extension" `Quick test_extension;
+      Alcotest.test_case "violation diagnostics" `Quick test_violation_diagnostics;
+      QCheck_alcotest.to_alcotest prop_extension_matches_holds;
+    ] )

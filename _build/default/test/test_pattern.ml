@@ -1,0 +1,78 @@
+open Words
+
+let check = Alcotest.(check bool)
+
+let test_parse_print () =
+  Alcotest.(check string) "roundtrip" "aXbX" (Pattern.to_string (Pattern.parse "aXbX"));
+  Alcotest.(check (list string)) "vars" [ "X"; "Y" ] (Pattern.vars (Pattern.parse "XaYbX"))
+
+let test_apply () =
+  Alcotest.(check string) "apply" "aabbab" (Pattern.apply [ ("X", "ab") ] (Pattern.parse "aXbX"));
+  Alcotest.check_raises "unbound" (Invalid_argument "Pattern.apply: unbound variable Y")
+    (fun () -> ignore (Pattern.apply [] (Pattern.parse "Y")))
+
+let test_matches () =
+  let p = Pattern.parse "XX" in
+  check "square" true (Pattern.in_language p "abab");
+  check "odd not square" false (Pattern.in_language p "aba");
+  check "eps is square (erasing)" true (Pattern.in_language p "");
+  check "non-erasing excludes eps" false (Pattern.in_language ~erasing:false p "");
+  (* substitution enumeration *)
+  let subs = Pattern.matches (Pattern.parse "XY") "ab" in
+  Alcotest.(check int) "three splits" 3 (List.length subs);
+  (* consistency of repeated variables *)
+  let subs2 = Pattern.matches (Pattern.parse "XaX") "aaa" in
+  check "XaX on aaa" true (List.mem [ ("X", "a") ] subs2);
+  check "XaX rejects inconsistent" true
+    (List.for_all (fun s -> Pattern.apply s (Pattern.parse "XaX") = "aaa") subs2)
+
+let test_fc_connection () =
+  (* pattern-language membership is an FC word equation: repeated pattern
+     variables become repeated FC variables in one eq_concat *)
+  let fc_of p u =
+    let terms =
+      List.map
+        (function Pattern.Letter c -> Fc.Term.Const c | Pattern.Var x -> Fc.Term.Var x)
+        p
+    in
+    Fc.Formula.exists (Pattern.vars p) (Fc.Formula.eq_concat (Fc.Term.var u) terms)
+  in
+  List.iter
+    (fun pat ->
+      let p = Pattern.parse pat in
+      List.iter
+        (fun w ->
+          let via_pattern = Pattern.in_language p w in
+          let st = Fc.Structure.make ~sigma:[ 'a'; 'b' ] w in
+          let via_fc = Fc.Eval.holds ~env:[ ("u", w) ] st (fc_of p "u") in
+          if via_pattern <> via_fc then
+            Alcotest.failf "pattern/FC disagree on pattern %s, word %S" pat w)
+        (Word.enumerate ~alphabet:[ 'a'; 'b' ] ~max_len:6))
+    [ "aXX"; "XX"; "XaY"; "XbXa" ]
+
+let arb_word =
+  QCheck.make QCheck.Gen.(string_size ~gen:(oneofl [ 'a'; 'b' ]) (0 -- 6))
+
+let prop_matches_sound =
+  QCheck.Test.make ~name:"every reported substitution reproduces the word" ~count:150
+    arb_word (fun w ->
+      let p = Pattern.parse "XbY" in
+      List.for_all (fun s -> Pattern.apply s p = w) (Pattern.matches p w))
+
+let prop_apply_in_language =
+  QCheck.Test.make ~name:"applied patterns are in the language" ~count:150
+    (QCheck.pair arb_word arb_word)
+    (fun (u, v) ->
+      let p = Pattern.parse "XaY" in
+      Pattern.in_language p (Pattern.apply [ ("X", u); ("Y", v) ] p))
+
+let tests =
+  ( "pattern",
+    [
+      Alcotest.test_case "parse/print" `Quick test_parse_print;
+      Alcotest.test_case "apply" `Quick test_apply;
+      Alcotest.test_case "matching" `Quick test_matches;
+      Alcotest.test_case "FC connection" `Quick test_fc_connection;
+      QCheck_alcotest.to_alcotest prop_matches_sound;
+      QCheck_alcotest.to_alcotest prop_apply_in_language;
+    ] )

@@ -1,0 +1,72 @@
+open Efgame
+
+let unary n = String.make n 'a'
+let verdict = Alcotest.testable Game.pp_verdict ( = )
+let check = Alcotest.(check bool)
+
+let test_enough_pebbles_matches_plain () =
+  (* with pebbles ≥ rounds the pebble game is the plain k-round game *)
+  List.iter
+    (fun (w, v, r) ->
+      let p, plain = Pebble.compare_with_unrestricted ~pebbles:r ~rounds:r w v in
+      if p <> plain then Alcotest.failf "pebble(k=r) differs from plain on (%s,%s,%d)" w v r)
+    [
+      (unary 3, unary 4, 1);
+      (unary 2, unary 3, 1);
+      (unary 4, unary 3, 2);
+      ("abab", "baba", 2);
+      ("ab", "ab", 2);
+    ]
+
+let test_fewer_pebbles_weaker () =
+  (* fewer pebbles can only help Duplicator: Equiv is monotone downward *)
+  List.iter
+    (fun (w, v, r) ->
+      if Game.equiv w v r = Game.Equiv then
+        List.iter
+          (fun p ->
+            if Pebble.equiv ~pebbles:p ~rounds:r w v <> Game.Equiv then
+              Alcotest.failf "pebble weaker-monotonicity broken (%s,%s,r=%d,p=%d)" w v r p)
+          [ 1; 2 ])
+    [ (unary 3, unary 4, 1); (unary 12, unary 14, 2) ]
+
+let test_one_pebble_reuse () =
+  (* with one pebble Spoiler can never relate two of his own choices, so
+     a^3 vs a^4 survives any number of rounds — while the 2-round
+     unrestricted game separates them *)
+  Alcotest.check verdict "a^3 vs a^4, 1 pebble, 2 rounds" Game.Equiv
+    (Pebble.equiv ~pebbles:1 ~rounds:2 (unary 3) (unary 4));
+  Alcotest.check verdict "a^3 vs a^4, plain, 2 rounds" Game.Not_equiv
+    (Game.equiv (unary 3) (unary 4) 2);
+  (* single-round facts through the constants still bite: a·a pins aa *)
+  Alcotest.check verdict "a^1 vs a^2, 1 pebble, 1 round" Game.Not_equiv
+    (Pebble.equiv ~pebbles:1 ~rounds:1 (unary 1) (unary 2))
+
+let test_rounds_monotone () =
+  (* more rounds never help Duplicator *)
+  List.iter
+    (fun (w, v) ->
+      let results =
+        List.map (fun r -> Pebble.equiv ~pebbles:2 ~rounds:r w v = Game.Equiv) [ 1; 2; 3 ]
+      in
+      match results with
+      | [ r1; r2; r3 ] ->
+          if (not r1) && r2 then Alcotest.fail "rounds monotonicity broken (1→2)";
+          if (not r2) && r3 then Alcotest.fail "rounds monotonicity broken (2→3)"
+      | _ -> assert false)
+    [ (unary 3, unary 4); (unary 2, unary 4); ("ab", "ba") ]
+
+let test_budget () =
+  check "budget yields unknown" true
+    (Pebble.equiv ~budget:3 ~pebbles:2 ~rounds:2 (unary 12) (unary 14) = Game.Unknown)
+
+let tests =
+  ( "pebble-game",
+    [
+      Alcotest.test_case "pebbles = rounds matches plain game" `Quick
+        test_enough_pebbles_matches_plain;
+      Alcotest.test_case "fewer pebbles weaker" `Quick test_fewer_pebbles_weaker;
+      Alcotest.test_case "one pebble reuse" `Quick test_one_pebble_reuse;
+      Alcotest.test_case "rounds monotone" `Quick test_rounds_monotone;
+      Alcotest.test_case "budget" `Quick test_budget;
+    ] )

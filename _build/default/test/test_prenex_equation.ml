@@ -1,0 +1,120 @@
+let check = Alcotest.(check bool)
+
+(* ---------------- prenex ---------------- *)
+
+let equivalent f g =
+  List.for_all
+    (fun w ->
+      let st = Fc.Structure.make ~sigma:[ 'a'; 'b' ] w in
+      Fc.Eval.holds st f = Fc.Eval.holds st g)
+    (Words.Word.enumerate ~alphabet:[ 'a'; 'b' ] ~max_len:4)
+
+let test_prenex_shape () =
+  List.iter
+    (fun f ->
+      let p = Fc.Prenex.prenex f in
+      if not (Fc.Prenex.is_prenex p) then
+        Alcotest.failf "not prenex: %s" (Fc.Formula.to_string p);
+      if not (equivalent f p) then
+        Alcotest.failf "prenex changed semantics of %s" (Fc.Formula.to_string f))
+    [
+      Fc.Builders.ww;
+      Fc.Builders.cube_free;
+      Fc.Builders.vbv;
+      Fc.Parser.parse_exn "(exists x. x = 'a' . 'a') & (forall y. y = eps | exists z. z = y . 'a')";
+      Fc.Parser.parse_exn "!(exists x. x = 'b' . 'b')";
+    ]
+
+let test_rename_apart () =
+  let f = Fc.Parser.parse_exn "(exists x. x = 'a' . 'a') | (exists x. x = 'b' . 'b')" in
+  let g = Fc.Prenex.rename_apart f in
+  let rec bound_vars = function
+    | Fc.Formula.Exists (x, h) | Fc.Formula.Forall (x, h) -> x :: bound_vars h
+    | Fc.Formula.Not h -> bound_vars h
+    | Fc.Formula.And (a, b) | Fc.Formula.Or (a, b) -> bound_vars a @ bound_vars b
+    | _ -> []
+  in
+  let bv = bound_vars g in
+  check "distinct binders" true (List.length bv = List.length (List.sort_uniq compare bv));
+  check "equivalent" true (equivalent f g)
+
+let test_prefix_length () =
+  let p = Fc.Prenex.prenex Fc.Builders.cube_free in
+  check "prefix covers all quantifiers" true
+    (Fc.Prenex.prefix_length p = 3);
+  check "rank can grow" true
+    (Fc.Prenex.prefix_length (Fc.Prenex.prenex Fc.Builders.ww)
+    >= Fc.Formula.quantifier_rank Fc.Builders.ww)
+
+(* ---------------- word equations ---------------- *)
+
+let test_parse_vars () =
+  let eq = Words.Equation.parse "XaY=YbX" in
+  Alcotest.(check (list string)) "vars" [ "X"; "Y" ] (Words.Equation.vars eq);
+  Alcotest.check_raises "no equals" (Invalid_argument "Equation.parse: expected exactly one '='")
+    (fun () -> ignore (Words.Equation.parse "XY"))
+
+let test_solutions () =
+  (* Xa = aX: X ∈ a* *)
+  let eq = Words.Equation.parse "Xa=aX" in
+  let sols = Words.Equation.solutions ~max_len:4 eq in
+  check "powers of a" true
+    (List.for_all
+       (fun s -> String.for_all (fun c -> c = 'a') (List.assoc "X" s))
+       sols);
+  Alcotest.(check int) "count" 5 (List.length sols);
+  (* unsolvable: Xa = bX forces a = b at the ends *)
+  let eq2 = Words.Equation.parse "aX=Xb" in
+  check "no solutions" true (Words.Equation.solutions ~max_len:4 eq2 = [])
+
+let test_is_solution () =
+  let eq = Words.Equation.parse "XY=YX" in
+  check "commuting" true (Words.Equation.is_solution eq [ ("X", "abab"); ("Y", "ab") ]);
+  check "non-commuting" false (Words.Equation.is_solution eq [ ("X", "ab"); ("Y", "ba") ])
+
+let test_commutation_theorem () =
+  check "Lothaire 1.3.2 on bounded solutions" true
+    (Words.Equation.check_commutation_theorem ~max_len:4)
+
+let test_fc_equation_bridge () =
+  (* σ solves α = β iff the FC formula ∃u: u ≐ α ∧ u ≐ β holds with σ *)
+  let eq = Words.Equation.parse "XbY=YbX" in
+  let to_terms p =
+    List.map
+      (function Words.Pattern.Letter c -> Fc.Term.Const c | Words.Pattern.Var x -> Fc.Term.Var x)
+      p
+  in
+  let formula =
+    Fc.Formula.Exists
+      ( "_u",
+        Fc.Formula.And
+          ( Fc.Formula.eq_concat (Fc.Term.Var "_u") (to_terms eq.Words.Equation.lhs),
+            Fc.Formula.eq_concat (Fc.Term.Var "_u") (to_terms eq.Words.Equation.rhs) ) )
+  in
+  let doc = "ababbab" in
+  let st = Fc.Structure.make ~sigma:[ 'a'; 'b' ] doc in
+  List.iter
+    (fun subst ->
+      let x = List.assoc "X" subst and y = List.assoc "Y" subst in
+      if
+        Words.Word.is_factor ~factor:(x ^ "b" ^ y) doc
+        && String.length x <= 2
+        && String.length y <= 2
+      then begin
+        let fc = Fc.Eval.holds ~env:[ ("X", x); ("Y", y) ] st formula in
+        if not fc then Alcotest.failf "FC rejects solution X=%s Y=%s" x y
+      end)
+    (Words.Equation.solutions ~max_len:2 eq)
+
+let tests =
+  ( "prenex-and-equations",
+    [
+      Alcotest.test_case "prenex preserves semantics" `Quick test_prenex_shape;
+      Alcotest.test_case "rename apart" `Quick test_rename_apart;
+      Alcotest.test_case "prefix length" `Quick test_prefix_length;
+      Alcotest.test_case "equation parsing" `Quick test_parse_vars;
+      Alcotest.test_case "equation solutions" `Quick test_solutions;
+      Alcotest.test_case "solution checking" `Quick test_is_solution;
+      Alcotest.test_case "commutation theorem" `Quick test_commutation_theorem;
+      Alcotest.test_case "FC bridge" `Quick test_fc_equation_bridge;
+    ] )

@@ -1,0 +1,73 @@
+open Semilinear
+
+let check = Alcotest.(check bool)
+
+let test_sat () =
+  check "leq" true (Presburger.sat (Presburger.Leq 5) 3);
+  check "geq" false (Presburger.sat (Presburger.Geq 5) 3);
+  check "mod" true (Presburger.sat (Presburger.Mod (2, 3)) 8);
+  check "mod negative residue normalized" true (Presburger.sat (Presburger.Mod (-1, 3)) 2);
+  check "boolean" true
+    (Presburger.sat (Presburger.And (Presburger.Geq 2, Presburger.Not (Presburger.Eq_const 4))) 6)
+
+let test_period_threshold () =
+  let f = Presburger.And (Presburger.Mod (0, 4), Presburger.Or (Presburger.Mod (1, 6), Presburger.Leq 7)) in
+  Alcotest.(check int) "period lcm" 12 (Presburger.period f);
+  Alcotest.(check int) "threshold" 8 (Presburger.threshold f)
+
+let test_normalization_examples () =
+  let cases =
+    [
+      Presburger.Leq 4;
+      Presburger.Geq 3;
+      Presburger.Eq_const 7;
+      Presburger.Mod (1, 2);
+      Presburger.Not (Presburger.Mod (0, 3));
+      Presburger.And (Presburger.Geq 2, Presburger.Mod (0, 2));
+      Presburger.Or (Presburger.Leq 1, Presburger.And (Presburger.Mod (2, 5), Presburger.Not (Presburger.Leq 10)));
+    ]
+  in
+  List.iter
+    (fun f ->
+      let s = Presburger.to_semilinear f in
+      for n = 0 to 120 do
+        if Presburger.sat f n <> Set.mem s n then
+          Alcotest.failf "normalization wrong at %d for %s" n (Format.asprintf "%a" Presburger.pp f)
+      done)
+    cases
+
+let rec gen_formula depth =
+  let open QCheck.Gen in
+  if depth = 0 then
+    oneof
+      [
+        map (fun c -> Presburger.Leq c) (int_range 0 12);
+        map (fun c -> Presburger.Geq c) (int_range 0 12);
+        map (fun c -> Presburger.Eq_const c) (int_range 0 12);
+        map2 (fun r m -> Presburger.Mod (r, m)) (int_range 0 5) (int_range 1 6);
+      ]
+  else
+    oneof
+      [
+        map (fun f -> Presburger.Not f) (gen_formula (depth - 1));
+        map2 (fun a b -> Presburger.And (a, b)) (gen_formula (depth - 1)) (gen_formula (depth - 1));
+        map2 (fun a b -> Presburger.Or (a, b)) (gen_formula (depth - 1)) (gen_formula (depth - 1));
+        gen_formula 0;
+      ]
+
+let prop_normalization =
+  QCheck.Test.make ~name:"to_semilinear is exact" ~count:120
+    (QCheck.make ~print:(Format.asprintf "%a" Presburger.pp) (gen_formula 3))
+    (fun f ->
+      let s = Presburger.to_semilinear f in
+      let bound = Presburger.threshold f + (3 * Presburger.period f) + 20 in
+      List.for_all (fun n -> Presburger.sat f n = Set.mem s n) (List.init bound Fun.id))
+
+let tests =
+  ( "presburger",
+    [
+      Alcotest.test_case "satisfaction" `Quick test_sat;
+      Alcotest.test_case "period/threshold" `Quick test_period_threshold;
+      Alcotest.test_case "normalization" `Quick test_normalization_examples;
+      QCheck_alcotest.to_alcotest prop_normalization;
+    ] )

@@ -1,0 +1,119 @@
+open Words
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_is_primitive () =
+  check "a" true (Primitive.is_primitive "a");
+  check "ab" true (Primitive.is_primitive "ab");
+  check "aba" true (Primitive.is_primitive "aba");
+  check "abaabb" true (Primitive.is_primitive "abaabb");
+  check "bbaaba" true (Primitive.is_primitive "bbaaba");
+  check "aa" false (Primitive.is_primitive "aa");
+  check "abab" false (Primitive.is_primitive "abab");
+  check "eps" false (Primitive.is_primitive "");
+  check "imprimitive eps" true (Primitive.is_imprimitive "")
+
+let test_root () =
+  Alcotest.(check (pair string int)) "abab" ("ab", 2) (Primitive.primitive_root "abab");
+  Alcotest.(check (pair string int)) "aaa" ("a", 3) (Primitive.primitive_root "aaa");
+  Alcotest.(check (pair string int)) "aba" ("aba", 1) (Primitive.primitive_root "aba");
+  Alcotest.check_raises "eps" (Invalid_argument "Primitive.primitive_root: empty word")
+    (fun () -> ignore (Primitive.primitive_root ""))
+
+let test_exp () =
+  (* the paper's Example 4.6: u = aaaabaabaab *)
+  let u = "aaaabaabaab" in
+  check_int "exp_a" 4 (Primitive.exp ~base:"a" u);
+  check_int "exp_aab" 3 (Primitive.exp ~base:"aab" u);
+  check_int "exp zero" 0 (Primitive.exp ~base:"bb" u);
+  check_int "exp of eps arg" 0 (Primitive.exp ~base:"ab" "")
+
+let test_factorize () =
+  (* Lemma 4.7: unique u₁ · w^e · u₂ with u₁ strict suffix, u₂ strict prefix *)
+  (match Primitive.factorize_in_power ~base:"ab" "babab" with
+  | Some (u1, e, u2) ->
+      Alcotest.(check (triple string int string)) "babab" ("b", 2, "") (u1, e, u2)
+  | None -> Alcotest.fail "expected factorization");
+  (match Primitive.factorize_in_power ~base:"aab" "abaabaaba" with
+  | Some (u1, e, u2) ->
+      Alcotest.(check string) "u1 suffix" u1 "ab";
+      check "recombines" true (u1 ^ Word.repeat "aab" e ^ u2 = "abaabaaba")
+  | None -> Alcotest.fail "expected factorization");
+  Alcotest.(check (option (triple string int string)))
+    "exp 0 gives none" None
+    (Primitive.factorize_in_power ~base:"ab" "b");
+  Alcotest.(check (option (triple string int string)))
+    "not factor of power" None
+    (Primitive.factorize_in_power ~base:"ab" "abb")
+
+let test_factorize_exhaustive () =
+  (* E10: every factor of w^m with positive exponent factorizes uniquely *)
+  List.iter
+    (fun w ->
+      let m = 5 in
+      let power = Word.repeat w m in
+      Factors.of_word power
+      |> Factors.iter (fun u ->
+             if Primitive.exp ~base:w u > 0 then
+               match Primitive.factorize_in_power ~base:w u with
+               | None -> Alcotest.failf "no factorization for %s in %s^%d" u w m
+               | Some (u1, e, u2) ->
+                   if not (u1 ^ Word.repeat w e ^ u2 = u) then
+                     Alcotest.failf "bad factorization of %s" u;
+                   if String.length u1 >= String.length w then
+                     Alcotest.failf "u1 not strict for %s" u;
+                   if String.length u2 >= String.length w then
+                     Alcotest.failf "u2 not strict for %s" u))
+    [ "ab"; "aab"; "aba"; "abaabb" ]
+
+let test_interior_occurrence () =
+  check "ab^4" true (Primitive.interior_occurrence_check "ab" 4);
+  check "aab^4" true (Primitive.interior_occurrence_check "aab" 4);
+  check "abaabb^3" true (Primitive.interior_occurrence_check "abaabb" 3)
+
+let test_commutation () =
+  Alcotest.(check (option string)) "aa,aaa" (Some "a") (Primitive.commutation_root "aa" "aaa");
+  Alcotest.(check (option string)) "ab,ba" None (Primitive.commutation_root "ab" "ba");
+  Alcotest.(check (option string)) "eps,eps" (Some "") (Primitive.commutation_root "" "");
+  Alcotest.(check (option string)) "abab,ab" (Some "ab") (Primitive.commutation_root "abab" "ab")
+
+let arb_word =
+  QCheck.make
+    ~print:(fun s -> s)
+    QCheck.Gen.(string_size ~gen:(oneofl [ 'a'; 'b' ]) (1 -- 8))
+
+let prop_root_primitive =
+  QCheck.Test.make ~name:"primitive_root yields a primitive word" ~count:200 arb_word (fun w ->
+      let z, k = Primitive.primitive_root w in
+      Primitive.is_primitive z && Word.repeat z k = w)
+
+let prop_root_of_power =
+  QCheck.Test.make ~name:"root of w^k = root of w" ~count:200
+    (QCheck.pair arb_word QCheck.(int_range 1 3))
+    (fun (w, k) ->
+      let z, _ = Primitive.primitive_root w in
+      let z', _ = Primitive.primitive_root (Word.repeat w k) in
+      z = z')
+
+let prop_exp_monotone =
+  QCheck.Test.make ~name:"exp is monotone under extension" ~count:200
+    (QCheck.pair arb_word QCheck.(int_range 1 3))
+    (fun (w, k) ->
+      QCheck.assume (Primitive.is_primitive w);
+      Primitive.exp ~base:w (Word.repeat w k) = k)
+
+let tests =
+  ( "primitive",
+    [
+      Alcotest.test_case "is_primitive" `Quick test_is_primitive;
+      Alcotest.test_case "primitive_root" `Quick test_root;
+      Alcotest.test_case "exp (Example 4.6)" `Quick test_exp;
+      Alcotest.test_case "factorize (Lemma 4.7)" `Quick test_factorize;
+      Alcotest.test_case "factorize exhaustive (E10)" `Quick test_factorize_exhaustive;
+      Alcotest.test_case "interior occurrences (Lemma D.1)" `Quick test_interior_occurrence;
+      Alcotest.test_case "commutation (Lothaire 1.3.2)" `Quick test_commutation;
+      QCheck_alcotest.to_alcotest prop_root_primitive;
+      QCheck_alcotest.to_alcotest prop_root_of_power;
+      QCheck_alcotest.to_alcotest prop_exp_monotone;
+    ] )

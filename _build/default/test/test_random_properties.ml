@@ -1,0 +1,108 @@
+(* Randomized cross-engine audits:
+   - guided and naive FC evaluation agree on arbitrary generated formulas
+     (the guided evaluator's candidate generators are exactly complete);
+   - the game solver is symmetric in its two structures;
+   - pebble games with as many pebbles as rounds coincide with plain games. *)
+
+let gen_term =
+  QCheck.Gen.oneof
+    [
+      QCheck.Gen.map (fun x -> Fc.Term.Var x) (QCheck.Gen.oneofl [ "x"; "y"; "z" ]);
+      QCheck.Gen.map (fun c -> Fc.Term.Const c) (QCheck.Gen.oneofl [ 'a'; 'b' ]);
+      QCheck.Gen.return Fc.Term.Eps;
+    ]
+
+let rec gen_formula depth =
+  let open QCheck.Gen in
+  if depth = 0 then
+    map3 (fun t1 t2 t3 -> Fc.Formula.Eq (t1, t2, t3)) gen_term gen_term gen_term
+  else
+    frequency
+      [
+        (3, map3 (fun t1 t2 t3 -> Fc.Formula.Eq (t1, t2, t3)) gen_term gen_term gen_term);
+        (2, map (fun f -> Fc.Formula.Not f) (gen_formula (depth - 1)));
+        (2, map2 (fun a b -> Fc.Formula.And (a, b)) (gen_formula (depth - 1)) (gen_formula (depth - 1)));
+        (2, map2 (fun a b -> Fc.Formula.Or (a, b)) (gen_formula (depth - 1)) (gen_formula (depth - 1)));
+        ( 2,
+          map2
+            (fun x f -> Fc.Formula.Exists (x, f))
+            (oneofl [ "x"; "y"; "z" ])
+            (gen_formula (depth - 1)) );
+        ( 2,
+          map2
+            (fun x f -> Fc.Formula.Forall (x, f))
+            (oneofl [ "x"; "y"; "z" ])
+            (gen_formula (depth - 1)) );
+      ]
+
+let close f = Fc.Formula.exists (Fc.Formula.free_vars f) f
+
+let arb_sentence =
+  QCheck.make
+    ~print:(fun f -> Fc.Formula.to_string f)
+    (QCheck.Gen.map close (gen_formula 3))
+
+let gen_word = QCheck.Gen.(string_size ~gen:(oneofl [ 'a'; 'b' ]) (0 -- 3))
+
+let prop_guided_equals_naive =
+  QCheck.Test.make ~name:"guided = naive on random sentences" ~count:250
+    (QCheck.pair arb_sentence (QCheck.make gen_word))
+    (fun (f, w) ->
+      let st = Fc.Structure.make ~sigma:[ 'a'; 'b' ] w in
+      Fc.Eval.holds st f = Fc.Eval.holds_naive st f)
+
+let prop_simplify_on_random =
+  QCheck.Test.make ~name:"simplify preserves random sentences" ~count:200
+    (QCheck.pair arb_sentence (QCheck.make gen_word))
+    (fun (f, w) ->
+      let st = Fc.Structure.make ~sigma:[ 'a'; 'b' ] w in
+      Fc.Eval.holds st f = Fc.Eval.holds st (Fc.Simplify.simplify f))
+
+let prop_prenex_on_random =
+  QCheck.Test.make ~name:"prenex preserves random sentences" ~count:150
+    (QCheck.pair arb_sentence (QCheck.make gen_word))
+    (fun (f, w) ->
+      let st = Fc.Structure.make ~sigma:[ 'a'; 'b' ] w in
+      Fc.Eval.holds st f = Fc.Eval.holds st (Fc.Prenex.prenex f))
+
+let arb_word_pair =
+  QCheck.make
+    ~print:(fun (w, v) -> w ^ " / " ^ v)
+    QCheck.Gen.(
+      pair (string_size ~gen:(oneofl [ 'a'; 'b' ]) (0 -- 4)) (string_size ~gen:(oneofl [ 'a'; 'b' ]) (0 -- 4)))
+
+let prop_game_symmetric =
+  QCheck.Test.make ~name:"the game is symmetric in its structures" ~count:150 arb_word_pair
+    (fun (w, v) ->
+      let sigma = [ 'a'; 'b' ] in
+      Efgame.Game.equiv ~sigma w v 2 = Efgame.Game.equiv ~sigma v w 2)
+
+let prop_equiv_reflexive =
+  QCheck.Test.make ~name:"≡_k reflexive" ~count:80
+    (QCheck.make QCheck.Gen.(string_size ~gen:(oneofl [ 'a'; 'b' ]) (0 -- 4)))
+    (fun w -> Efgame.Game.equiv w w 2 = Efgame.Game.Equiv)
+
+let prop_pebble_matches_plain =
+  QCheck.Test.make ~name:"pebbles ≥ rounds ⇒ pebble game = plain game" ~count:60 arb_word_pair
+    (fun (w, v) ->
+      let p, plain = Efgame.Pebble.compare_with_unrestricted ~pebbles:2 ~rounds:2 w v in
+      p = plain)
+
+let prop_existential_weaker =
+  QCheck.Test.make ~name:"full ≡_k implies both existential directions" ~count:80 arb_word_pair
+    (fun (w, v) ->
+      QCheck.assume (Efgame.Game.equiv w v 2 = Efgame.Game.Equiv);
+      Efgame.Existential.equiv w v 2 = Efgame.Game.Equiv
+      && Efgame.Existential.equiv v w 2 = Efgame.Game.Equiv)
+
+let tests =
+  ( "random-properties",
+    [
+      QCheck_alcotest.to_alcotest prop_guided_equals_naive;
+      QCheck_alcotest.to_alcotest prop_simplify_on_random;
+      QCheck_alcotest.to_alcotest prop_prenex_on_random;
+      QCheck_alcotest.to_alcotest prop_game_symmetric;
+      QCheck_alcotest.to_alcotest prop_equiv_reflexive;
+      QCheck_alcotest.to_alcotest prop_pebble_matches_plain;
+      QCheck_alcotest.to_alcotest prop_existential_weaker;
+    ] )

@@ -1,0 +1,108 @@
+open Regex_engine
+
+let check = Alcotest.(check bool)
+
+let test_matching () =
+  let r = Regex.parse_exn "a*(ba)*" in
+  check "eps" true (Regex.matches r "");
+  check "a" true (Regex.matches r "aaa");
+  check "mixed" true (Regex.matches r "aababa");
+  check "bad" false (Regex.matches r "ab");
+  let misspell = Regex.parse_exn "(a|b)*(acheive|begining)(a|b|c|e|g|h|i|n|v)*" in
+  check "misspell" true (Regex.matches misspell "abacheiveb")
+
+let test_smart_constructors () =
+  check "alt idempotent" true
+    (Regex.equal_syntactic (Regex.alt (Regex.char 'a') (Regex.char 'a')) (Regex.char 'a'));
+  check "alt empty unit" true
+    (Regex.equal_syntactic (Regex.alt Regex.empty (Regex.char 'a')) (Regex.char 'a'));
+  check "cat eps unit" true
+    (Regex.equal_syntactic (Regex.cat Regex.eps (Regex.char 'a')) (Regex.char 'a'));
+  check "cat empty annihilates" true
+    (Regex.equal_syntactic (Regex.cat Regex.empty (Regex.char 'a')) Regex.empty);
+  check "star collapse" true
+    (Regex.equal_syntactic
+       (Regex.star (Regex.star (Regex.char 'a')))
+       (Regex.star (Regex.char 'a')));
+  check "star eps" true (Regex.equal_syntactic (Regex.star Regex.eps) Regex.eps);
+  check "alt commutes" true
+    (Regex.equal_syntactic
+       (Regex.alt (Regex.char 'a') (Regex.char 'b'))
+       (Regex.alt (Regex.char 'b') (Regex.char 'a')))
+
+let test_derivatives () =
+  let r = Regex.word_star "ab" in
+  check "deriv chain" true (Regex.nullable (Regex.deriv 'b' (Regex.deriv 'a' r)));
+  check "deriv dead" true
+    (Regex.equal_syntactic (Regex.deriv 'b' r) Regex.empty)
+
+let test_parser_roundtrip () =
+  List.iter
+    (fun src ->
+      let r = Regex.parse_exn src in
+      let r' = Regex.parse_exn (Regex.to_string r) in
+      if not (Regex.equal_syntactic r r') then Alcotest.failf "roundtrip failed for %s" src)
+    [ "a"; "ab|c"; "a*(ba)*"; "a+b?"; "%e|abc"; "%0"; "((a|b)*c)+"; "\\*a" ]
+
+let test_parse_errors () =
+  check "unbalanced" true (Result.is_error (Regex.parse "(ab"));
+  check "trailing" true (Result.is_error (Regex.parse "ab)"));
+  check "dangling escape" true (Result.is_error (Regex.parse "ab\\"))
+
+let test_finite () =
+  check "finite" true (Regex.is_finite_language (Regex.parse_exn "ab|cd?"));
+  check "infinite" false (Regex.is_finite_language (Regex.parse_exn "ab*"));
+  Alcotest.(check (option (list string)))
+    "words" (Some [ "c"; "ab"; "cd" ])
+    (Regex.language_words (Regex.parse_exn "ab|cd?"));
+  Alcotest.(check (option (list string))) "infinite none" None (Regex.language_words (Regex.parse_exn "a*"))
+
+let test_enumerate () =
+  Alcotest.(check (list string)) "a* up to 3"
+    [ ""; "a"; "aa"; "aaa" ]
+    (Regex.enumerate (Regex.parse_exn "a*") ~alphabet:[ 'a'; 'b' ] ~max_len:3)
+
+(* random regex generator for differential testing *)
+let rec gen_regex depth =
+  let open QCheck.Gen in
+  if depth = 0 then oneof [ return Regex.eps; map Regex.char (oneofl [ 'a'; 'b' ]) ]
+  else
+    frequency
+      [
+        (2, map Regex.char (oneofl [ 'a'; 'b' ]));
+        (1, return Regex.eps);
+        (2, map2 Regex.alt (gen_regex (depth - 1)) (gen_regex (depth - 1)));
+        (3, map2 Regex.cat (gen_regex (depth - 1)) (gen_regex (depth - 1)));
+        (2, map Regex.star (gen_regex (depth - 1)));
+      ]
+
+let arb_regex = QCheck.make ~print:Regex.to_string (gen_regex 3)
+
+let prop_print_parse =
+  QCheck.Test.make ~name:"print/parse roundtrip" ~count:200 arb_regex (fun r ->
+      match Regex.parse (Regex.to_string r) with
+      | Ok r' ->
+          (* languages agree on short words *)
+          let words = Words.Word.enumerate ~alphabet:[ 'a'; 'b' ] ~max_len:4 in
+          List.for_all (fun w -> Regex.matches r w = Regex.matches r' w) words
+      | Error _ -> false)
+
+let prop_deriv_semantics =
+  QCheck.Test.make ~name:"derivative semantics" ~count:200
+    (QCheck.pair arb_regex (QCheck.make QCheck.Gen.(string_size ~gen:(oneofl [ 'a'; 'b' ]) (1 -- 4))))
+    (fun (r, w) ->
+      Regex.matches r w = Regex.matches (Regex.deriv w.[0] r) (String.sub w 1 (String.length w - 1)))
+
+let tests =
+  ( "regex",
+    [
+      Alcotest.test_case "matching" `Quick test_matching;
+      Alcotest.test_case "smart constructors" `Quick test_smart_constructors;
+      Alcotest.test_case "derivatives" `Quick test_derivatives;
+      Alcotest.test_case "parser roundtrip" `Quick test_parser_roundtrip;
+      Alcotest.test_case "parse errors" `Quick test_parse_errors;
+      Alcotest.test_case "finite languages" `Quick test_finite;
+      Alcotest.test_case "enumerate" `Quick test_enumerate;
+      QCheck_alcotest.to_alcotest prop_print_parse;
+      QCheck_alcotest.to_alcotest prop_deriv_semantics;
+    ] )

@@ -1,0 +1,72 @@
+open Spanner
+
+let check = Alcotest.(check bool)
+let rf = Regex_formula.parse_exn
+let docs = Words.Word.enumerate ~alphabet:[ 'a'; 'b' ] ~max_len:4
+
+let preserves_semantics e =
+  let e' = Rewrite.simplify e in
+  List.for_all (fun doc -> Relation.equal (Algebra.eval e doc) (Algebra.eval e' doc)) docs
+
+let base = Algebra.Extract (rf "x{a*}y{b*}")
+
+let test_nested_projection () =
+  let e = Algebra.Project ([ "x" ], Algebra.Project ([ "x"; "y" ], base)) in
+  let e' = Rewrite.simplify e in
+  check "collapsed" true (Rewrite.size e' < Rewrite.size e);
+  check "semantics" true (preserves_semantics e)
+
+let test_identity_projection () =
+  let e = Algebra.Project ([ "x"; "y" ], base) in
+  check "dropped" true (Rewrite.simplify e = base);
+  check "semantics" true (preserves_semantics e)
+
+let test_reflexive_selection () =
+  let e = Algebra.Select_eq ("x", "x", base) in
+  check "dropped" true (Rewrite.simplify e = base)
+
+let test_union_idempotent () =
+  let e = Algebra.Union (base, base) in
+  check "deduped" true (Rewrite.simplify e = base);
+  check "semantics" true (preserves_semantics e)
+
+let test_selection_reorder () =
+  let e3 = Algebra.Extract (rf "x{a*}y{a*}z{a*}") in
+  let chain1 = Algebra.Select_eq ("y", "z", Algebra.Select_eq ("x", "y", e3)) in
+  let chain2 = Algebra.Select_eq ("x", "y", Algebra.Select_eq ("y", "z", e3)) in
+  check "canonicalized to the same expression" true
+    (Rewrite.simplify chain1 = Rewrite.simplify chain2);
+  check "semantics 1" true (preserves_semantics chain1);
+  check "semantics 2" true (preserves_semantics chain2)
+
+let test_trivially_empty () =
+  check "diff self" true (Rewrite.is_trivially_empty (Algebra.Diff (base, base)));
+  check "join with empty" true
+    (Rewrite.is_trivially_empty (Algebra.Join (base, Algebra.Extract Regex_formula.Empty)));
+  check "nonempty" false (Rewrite.is_trivially_empty base)
+
+let test_random_pipelines () =
+  (* a grab-bag of composite expressions, all must keep their semantics *)
+  List.iter
+    (fun e ->
+      if not (preserves_semantics e) then
+        Alcotest.failf "simplify changed semantics of %s" (Format.asprintf "%a" Algebra.pp e))
+    [
+      Algebra.Union (Algebra.Select_eq ("x", "y", base), Algebra.Select_eq ("x", "y", base));
+      Algebra.Project ([ "y" ], Algebra.Select_eq ("x", "y", base));
+      Algebra.Join (base, Algebra.Project ([ "x" ], base));
+      Algebra.Diff (base, Algebra.Select_eq ("x", "y", base));
+      Algebra.Project ([], Algebra.Project ([ "x" ], Algebra.Project ([ "x"; "y" ], base)));
+    ]
+
+let tests =
+  ( "algebra-rewrite",
+    [
+      Alcotest.test_case "nested projection" `Quick test_nested_projection;
+      Alcotest.test_case "identity projection" `Quick test_identity_projection;
+      Alcotest.test_case "reflexive selection" `Quick test_reflexive_selection;
+      Alcotest.test_case "idempotent union" `Quick test_union_idempotent;
+      Alcotest.test_case "selection reorder" `Quick test_selection_reorder;
+      Alcotest.test_case "trivial emptiness" `Quick test_trivially_empty;
+      Alcotest.test_case "composite pipelines" `Quick test_random_pipelines;
+    ] )

@@ -1,0 +1,123 @@
+open Semilinear
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_ints = Alcotest.(check (list int))
+
+let test_linear_membership () =
+  let l = Linear.make ~base:3 ~periods:[ 4 ] in
+  check "base" true (Linear.mem l 3);
+  check "step" true (Linear.mem l 11);
+  check "below" false (Linear.mem l 2);
+  check "off-step" false (Linear.mem l 4);
+  let multi = Linear.make ~base:0 ~periods:[ 3; 5 ] in
+  check_ints "coin problem" [ 0; 3; 5; 6; 8; 9; 10; 11; 12 ]
+    (List.filter (Linear.mem multi) (List.init 13 Fun.id));
+  check "singleton" true (Linear.mem (Linear.singleton 7) 7);
+  check "singleton only" false (Linear.mem (Linear.singleton 7) 8)
+
+let test_linear_ops () =
+  let a = Linear.arithmetic ~start:1 ~step:2 in
+  let b = Linear.arithmetic ~start:2 ~step:3 in
+  let s = Linear.sum a b in
+  check "sum mem" true (Linear.mem s 3);
+  check "sum mem 2" true (Linear.mem s (1 + 2 + (2 * 4) + (3 * 5)));
+  check "sum not below" false (Linear.mem s 2);
+  let sc = Linear.scale 3 a in
+  check "scale" true (Linear.mem sc 3 && Linear.mem sc 9 && not (Linear.mem sc 5));
+  check "finite" true (Linear.is_finite (Linear.singleton 4));
+  check "infinite" false (Linear.is_finite a)
+
+let test_set_algebra () =
+  let evens = Set.arithmetic ~start:0 ~step:2 in
+  let odds = Set.arithmetic ~start:1 ~step:2 in
+  let all = Set.union evens odds in
+  check "union covers" true (List.for_all (Set.mem all) (List.init 20 Fun.id));
+  check_ints "to_list" [ 0; 2; 4; 6 ] (Set.to_list_upto 7 evens);
+  check "empty" true (Set.to_list_upto 5 Set.empty = []);
+  check "equal_upto" true (Set.equal_upto 50 all Set.everything);
+  check "sum" true (Set.mem (Set.sum evens odds) 5);
+  check "scale" true (Set.mem (Set.scale 3 odds) 9)
+
+let test_star () =
+  (* numerical semigroup ⟨3, 5⟩: Chicken McNugget — 0,3,5,6 then all ≥ 8 *)
+  let s = Set.star (Set.of_list [ 3; 5 ]) in
+  check_ints "semigroup elems" [ 0; 3; 5; 6; 8; 9; 10; 11; 12; 13; 14; 15 ]
+    (Set.to_list_upto 15 s);
+  (* ⟨2⟩ = even numbers *)
+  let s2 = Set.star (Set.of_list [ 2 ]) in
+  check "evens" true (Set.equal_upto 40 s2 (Set.arithmetic ~start:0 ~step:2));
+  (* star of {0} and of ∅ is {0} *)
+  check_ints "star zero" [ 0 ] (Set.to_list_upto 10 (Set.star (Set.of_list [ 0 ])));
+  check_ints "star empty" [ 0 ] (Set.to_list_upto 10 (Set.star Set.empty));
+  (* star of a set containing 1 is everything *)
+  check "star with 1" true
+    (Set.equal_upto 40 (Set.star (Set.of_list [ 1; 7 ])) Set.everything)
+
+let test_ultimately_periodic () =
+  (match Set.is_ultimately_periodic (Set.arithmetic ~start:5 ~step:3) with
+  | Some (threshold, period) ->
+      check "period divides" true (period = 3 || period mod 3 = 0);
+      check "threshold sane" true (threshold >= 0)
+  | None -> Alcotest.fail "expected periodicity");
+  (match Set.is_ultimately_periodic (Set.of_list [ 1; 4; 9 ]) with
+  | Some (_, period) -> check_int "finite has period 0" 0 period
+  | None -> Alcotest.fail "finite sets are ultimately periodic")
+
+let test_refutation () =
+  (* powers of two are not ultimately periodic — the L_pow argument *)
+  check "2^n refuted" true
+    (Set.refutes_ultimate_periodicity (Semilinear.Unary.powers_of_two ~bound:0) ~bound:120);
+  (* but an actual semi-linear set is not refuted *)
+  let s = Set.union (Set.of_list [ 1; 4 ]) (Set.arithmetic ~start:6 ~step:4) in
+  check "semi-linear not refuted" false
+    (Set.refutes_ultimate_periodicity (fun n -> Set.mem s n) ~bound:120)
+
+let test_unary () =
+  Alcotest.(check (option int)) "to_number" (Some 3) (Unary.to_number 'a' "aaa");
+  Alcotest.(check (option int)) "to_number eps" (Some 0) (Unary.to_number 'a' "");
+  Alcotest.(check (option int)) "to_number bad" None (Unary.to_number 'a' "aba");
+  Alcotest.(check string) "of_number" "aaaa" (Unary.of_number 'a' 4);
+  let s = Set.arithmetic ~start:1 ~step:2 in
+  Alcotest.(check (list string)) "language" [ "a"; "aaa" ] (Unary.language_of 'a' s ~max_len:4)
+
+let test_reconstruction () =
+  (* round-trip: a semi-linear predicate is reconstructed faithfully *)
+  let original = Set.union (Set.of_list [ 0; 2 ]) (Set.arithmetic ~start:7 ~step:5) in
+  (match Unary.semilinear_of_predicate (fun w -> Set.mem original (String.length w)) 'a' ~bound:90 with
+  | Some rebuilt -> check "roundtrip" true (Set.equal_upto 200 original rebuilt)
+  | None -> Alcotest.fail "reconstruction failed");
+  Alcotest.(check bool) "powers of two unreconstructible" true
+    (Unary.semilinear_of_predicate
+       (fun w -> Unary.powers_of_two ~bound:0 (String.length w))
+       'a' ~bound:120
+    = None)
+
+let prop_sum_correct =
+  QCheck.Test.make ~name:"sum membership" ~count:100
+    QCheck.(triple (int_range 0 6) (int_range 1 5) (int_range 0 30))
+    (fun (b, p, n) ->
+      let s = Set.sum (Set.of_list [ b ]) (Set.arithmetic ~start:0 ~step:p) in
+      Set.mem s n = (n >= b && (n - b) mod p = 0))
+
+let prop_star_contains_generators =
+  QCheck.Test.make ~name:"star contains generators and sums" ~count:50
+    QCheck.(pair (int_range 1 9) (int_range 1 9))
+    (fun (x, y) ->
+      let s = Set.star (Set.of_list [ x; y ]) in
+      Set.mem s 0 && Set.mem s x && Set.mem s y && Set.mem s (x + y) && Set.mem s ((2 * x) + y))
+
+let tests =
+  ( "semilinear",
+    [
+      Alcotest.test_case "linear membership" `Quick test_linear_membership;
+      Alcotest.test_case "linear operations" `Quick test_linear_ops;
+      Alcotest.test_case "set algebra" `Quick test_set_algebra;
+      Alcotest.test_case "star / numerical semigroups" `Quick test_star;
+      Alcotest.test_case "ultimately periodic" `Quick test_ultimately_periodic;
+      Alcotest.test_case "non-periodicity refutation (L_pow)" `Quick test_refutation;
+      Alcotest.test_case "unary bridge" `Quick test_unary;
+      Alcotest.test_case "reconstruction" `Quick test_reconstruction;
+      QCheck_alcotest.to_alcotest prop_sum_correct;
+      QCheck_alcotest.to_alcotest prop_star_contains_generators;
+    ] )

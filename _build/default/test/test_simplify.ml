@@ -1,0 +1,97 @@
+open Fc
+
+let check = Alcotest.(check bool)
+let v = Term.var
+
+let preserves f =
+  let f' = Simplify.simplify f in
+  let sigma = List.sort_uniq Char.compare ('a' :: 'b' :: Formula.constants f) in
+  let fvs = Formula.free_vars f in
+  List.for_all
+    (fun w ->
+      let st = Structure.make ~sigma w in
+      (* enumerate every assignment of the original free variables *)
+      let rec envs = function
+        | [] -> [ [] ]
+        | x :: rest ->
+            let tails = envs rest in
+            List.concat_map
+              (fun v -> List.map (fun e -> (x, v) :: e) tails)
+              (Structure.universe st)
+      in
+      List.for_all (fun env -> Eval.holds ~env st f = Eval.holds ~env st f') (envs fvs))
+    (Words.Word.enumerate ~alphabet:[ 'a'; 'b' ] ~max_len:3)
+
+let test_constant_folding () =
+  check "and true" true (Simplify.simplify (Formula.And (Formula.True, Builders.ww)) = Simplify.simplify Builders.ww);
+  check "or true" true (Simplify.simplify (Formula.Or (Builders.ww, Formula.True)) = Formula.True);
+  check "not not" true
+    (Simplify.simplify (Formula.Not (Formula.Not (Formula.eq2 (v "x") Term.eps)))
+    = Formula.eq2 (v "x") Term.eps);
+  check "and false" true
+    (Simplify.simplify (Formula.And (Builders.ww, Formula.False)) = Formula.False)
+
+let test_trivial_atoms () =
+  check "x = x eps" true (Simplify.simplify (Formula.eq (v "x") (v "x") Term.eps) = Formula.True);
+  check "eps = eps eps" true
+    (Simplify.simplify (Formula.eq Term.eps Term.eps Term.eps) = Formula.True);
+  (* a ≐ a·ε tests letter presence: must NOT fold *)
+  check "const atom kept" true
+    (Simplify.simplify (Formula.eq2 (Term.const 'a') (Term.const 'a'))
+    = Formula.eq2 (Term.const 'a') (Term.const 'a'))
+
+let test_unused_quantifier () =
+  let f = Formula.Exists ("z", Builders.ww) in
+  check "dropped" true (Simplify.simplify f = Simplify.simplify Builders.ww);
+  check "used kept" true
+    (match Simplify.simplify (Formula.Exists ("x", Formula.eq2 (v "x") Term.eps)) with
+    | Formula.Exists _ -> true
+    | _ -> false)
+
+let test_mem_folding () =
+  check "empty regex" true
+    (Simplify.simplify (Formula.Mem (v "x", Regex_engine.Regex.empty)) = Formula.False);
+  check "eps in nullable" true
+    (Simplify.simplify (Formula.Mem (Term.eps, Regex_engine.Regex.parse_exn "a*")) = Formula.True);
+  check "eps in non-nullable" true
+    (Simplify.simplify (Formula.Mem (Term.eps, Regex_engine.Regex.parse_exn "a+")) = Formula.False);
+  (* variable constraints are kept even for seemingly universal regexes *)
+  check "var constraint kept" true
+    (match Simplify.simplify (Formula.Mem (v "x", Regex_engine.Regex.parse_exn "(a|b)*")) with
+    | Formula.Mem _ -> true
+    | _ -> false)
+
+let test_preservation () =
+  List.iter
+    (fun f ->
+      if not (preserves f) then
+        Alcotest.failf "simplify changed semantics of %s" (Formula.to_string f))
+    [
+      Builders.ww;
+      Builders.cube_free;
+      Formula.And (Formula.True, Builders.vbv);
+      Formula.Or (Formula.Not (Formula.Not Builders.ww), Formula.False);
+      Formula.Exists ("unused", Builders.cube_free);
+      Formula.eq (v "x") (v "x") Term.eps;
+      Formula.And (Formula.eq2 (v "x") Term.eps, Formula.eq2 (v "x") Term.eps);
+      Parser.parse_exn "exists x. (x = eps | true) & !(false)";
+    ]
+
+let test_size_reduction () =
+  let bloated =
+    Formula.And
+      (Formula.True, Formula.Or (Formula.False, Formula.Exists ("dead", Builders.ww)))
+  in
+  let before, after = Simplify.size_reduction bloated in
+  check "shrinks" true (after < before)
+
+let tests =
+  ( "fc-simplify",
+    [
+      Alcotest.test_case "constant folding" `Quick test_constant_folding;
+      Alcotest.test_case "trivial atoms" `Quick test_trivial_atoms;
+      Alcotest.test_case "unused quantifiers" `Quick test_unused_quantifier;
+      Alcotest.test_case "regular constraints" `Quick test_mem_folding;
+      Alcotest.test_case "semantics preserved" `Quick test_preservation;
+      Alcotest.test_case "size reduction" `Quick test_size_reduction;
+    ] )

@@ -1,0 +1,117 @@
+open Efgame
+
+let unary n = String.make n 'a'
+let rep = Words.Word.repeat
+let check = Alcotest.(check bool)
+
+let test_split_crossing () =
+  Alcotest.(check (option (pair string string)))
+    "crossing bb in ab·ba" (Some ("b", "b"))
+    (Strategies.split_crossing ~left:"ab" ~right:"ba" "bb");
+  Alcotest.(check (option (pair string string)))
+    "factor of left" None
+    (Strategies.split_crossing ~left:"ab" ~right:"ba" "ab");
+  Alcotest.(check (option (pair string string)))
+    "whole word" (Some ("ab", "ba"))
+    (Strategies.split_crossing ~left:"ab" ~right:"ba" "abba")
+
+let prop_split_crossing_sound =
+  let arb =
+    QCheck.make
+      QCheck.Gen.(
+        pair
+          (string_size ~gen:(oneofl [ 'a'; 'b' ]) (1 -- 5))
+          (string_size ~gen:(oneofl [ 'a'; 'b' ]) (1 -- 5)))
+  in
+  QCheck.Test.make ~name:"split_crossing covers all crossing factors" ~count:100 arb
+    (fun (left, right) ->
+      let facs = Words.Factors.of_word (left ^ right) in
+      Words.Factors.to_list facs
+      |> List.for_all (fun u ->
+             match Strategies.split_crossing ~left ~right u with
+             | None ->
+                 Words.Word.is_factor ~factor:u left || Words.Word.is_factor ~factor:u right
+             | Some (u1, u2) ->
+                 u1 ^ u2 = u
+                 && Words.Word.is_suffix ~suffix:u1 left
+                 && Words.Word.is_prefix ~prefix:u2 right))
+
+let lookup w v cap =
+  let game = Game.make w v in
+  let strategy =
+    if w = v then Strategies.identity else Strategies.solver_backed_maximin game ~cap
+  in
+  { Strategies.game; strategy }
+
+let test_pseudo_congruence_identity_legs () =
+  (* both legs identical: composition must win any k *)
+  let s = Strategies.pseudo_congruence (lookup "ab" "ab" 3) (lookup "ba" "ba" 3) in
+  check "identity legs" true (Strategy.validate (Game.make "abba" "abba") ~k:2 s = Ok ())
+
+let test_pseudo_congruence_r0 () =
+  (* Example 4.4's shape: a^p · b^m vs a^q · b^m with r = 0 *)
+  let s = Strategies.pseudo_congruence (lookup (unary 3) (unary 4) 3) (lookup "bb" "bb" 3) in
+  let main = Game.make (unary 3 ^ "bb") (unary 4 ^ "bb") in
+  check "k=1 certified" true (Strategy.validate main ~k:1 s = Ok ())
+
+let test_pseudo_congruence_k2 () =
+  let s =
+    Strategies.pseudo_congruence (lookup (unary 12) (unary 14) 5) (lookup "bbb" "bbb" 5)
+  in
+  let main = Game.make (unary 12 ^ "bbb") (unary 14 ^ "bbb") in
+  check "k=2 certified" true (Strategy.validate main ~k:2 s = Ok ())
+
+let test_pseudo_congruence_r1 () =
+  (* Prop. 4.5's shape: a^p · (ba)^p vs a^q · (ba)^p with r = 1 *)
+  let s =
+    Strategies.pseudo_congruence (lookup (unary 3) (unary 4) 4) (lookup (rep "ba" 3) (rep "ba" 3) 4)
+  in
+  let main = Game.make (unary 3 ^ rep "ba" 3) (unary 4 ^ rep "ba" 3) in
+  check "k=1 certified" true (Strategy.validate main ~k:1 s = Ok ())
+
+let test_primitive_power_k1 () =
+  let lk = Strategies.unary_lookup_maximin ~p:12 ~q:14 ~cap:4 in
+  let main = Game.make (rep "ab" 12) (rep "ab" 14) in
+  check "(ab)^12/(ab)^14 k=1 certified" true
+    (Strategy.validate main ~k:1 (Strategies.primitive_power ~base:"ab" lk) = Ok ())
+
+let test_primitive_power_identity () =
+  let lk = { Strategies.game = Game.make (unary 4) (unary 4); strategy = Strategies.identity } in
+  let main = Game.make (rep "aab" 4) (rep "aab" 4) in
+  check "equal powers any k" true
+    (Strategy.validate main ~k:2 (Strategies.primitive_power ~base:"aab" lk) = Ok ())
+
+let test_primitive_power_requires_primitive () =
+  Alcotest.check_raises "imprimitive base rejected"
+    (Invalid_argument "Strategies.primitive_power: base is not primitive") (fun () ->
+      let s =
+        Strategies.primitive_power ~base:"abab"
+          { Strategies.game = Game.make "a" "a"; strategy = Strategies.identity }
+      in
+      ignore (s : Strategy.t))
+
+let test_k2_lift_needs_premise () =
+  (* The +3 slack in Lemma 4.8 is real: lifting a merely-≡₂ unary pair does
+     not survive 2 rounds — the validator exhibits a concrete refutation. *)
+  let lk = Strategies.unary_lookup_maximin ~p:12 ~q:14 ~cap:5 in
+  let main = Game.make (rep "ab" 12) (rep "ab" 14) in
+  match Strategy.validate main ~k:2 (Strategies.primitive_power ~base:"ab" lk) with
+  | Error f -> check "failure has a trace" true (List.length f.Strategy.history >= 1)
+  | Ok () -> Alcotest.fail "expected the weak-premise lift to fail at k=2"
+
+let tests =
+  ( "strategies",
+    [
+      Alcotest.test_case "split crossing" `Quick test_split_crossing;
+      QCheck_alcotest.to_alcotest prop_split_crossing_sound;
+      Alcotest.test_case "pseudo-congruence, identity legs" `Quick
+        test_pseudo_congruence_identity_legs;
+      Alcotest.test_case "pseudo-congruence, r=0 (Example 4.4)" `Quick test_pseudo_congruence_r0;
+      Alcotest.test_case "pseudo-congruence, k=2" `Slow test_pseudo_congruence_k2;
+      Alcotest.test_case "pseudo-congruence, r=1 (Prop 4.5)" `Quick test_pseudo_congruence_r1;
+      Alcotest.test_case "primitive power lift, k=1" `Quick test_primitive_power_k1;
+      Alcotest.test_case "primitive power, identity lookup" `Quick test_primitive_power_identity;
+      Alcotest.test_case "primitive power needs primitivity" `Quick
+        test_primitive_power_requires_primitive;
+      Alcotest.test_case "k=2 lift needs the +3 premise" `Slow test_k2_lift_needs_premise;
+    ] )

@@ -1,0 +1,64 @@
+open Efgame
+
+let unary n = String.make n 'a'
+let check = Alcotest.(check bool)
+
+let test_identity () =
+  check "identity wins on equal words" true
+    (Strategy.validate (Game.make "abba" "abba") ~k:3 Strategies.identity = Ok ());
+  check "identity loses on different words" true
+    (match Strategy.validate (Game.make (unary 3) (unary 4)) ~k:1 Strategies.identity with
+    | Error _ -> true
+    | Ok () -> false)
+
+let test_solver_backed () =
+  let cfg = Game.make (unary 3) (unary 4) in
+  check "k=1 certified" true
+    (Strategy.validate cfg ~k:1 (Strategies.solver_backed cfg ~total_rounds:1) = Ok ());
+  let cfg2 = Game.make (unary 12) (unary 14) in
+  check "k=2 certified" true
+    (Strategy.validate cfg2 ~k:2 (Strategies.solver_backed cfg2 ~total_rounds:2) = Ok ())
+
+let test_solver_backed_forced_responses () =
+  (* Lemma 4.1's shape: constants and short factors get identical replies *)
+  let cfg = Game.make (unary 12) (unary 14) in
+  let s = Strategies.solver_backed cfg ~total_rounds:2 in
+  let reply = s cfg [] { Game.side = Game.Left; Game.element = "a" } in
+  Alcotest.(check string) "single letter forced" "a" reply
+
+let test_maximin () =
+  let cfg = Game.make (unary 12) (unary 14) in
+  check "maximin also certifies k=2" true
+    (Strategy.validate cfg ~k:2 (Strategies.solver_backed_maximin cfg ~cap:3) = Ok ())
+
+let test_rounds_survived () =
+  let cfg = Game.make (unary 12) (unary 14) in
+  let s = Strategies.solver_backed_maximin cfg ~cap:3 in
+  Alcotest.(check int) "survives exactly 2" 2 (Strategy.rounds_survived cfg ~k:3 s)
+
+let test_bad_strategy_detected () =
+  (* a strategy that always answers ε must break the partial isomorphism *)
+  let bad : Strategy.t = fun _ _ _ -> "" in
+  match Strategy.validate (Game.make "ab" "ab") ~k:1 bad with
+  | Error f -> check "reason recorded" true (String.length f.Strategy.reason > 0)
+  | Ok () -> Alcotest.fail "expected failure"
+
+let test_entries_of_history () =
+  let cfg = Game.make "ab" "ab" in
+  let h = [ ({ Game.side = Game.Left; Game.element = "a" }, "a") ] in
+  let entries = Strategy.entries_of_history cfg h in
+  (* 1 round + 2 letters + ε *)
+  Alcotest.(check int) "entry count" 4 (List.length entries);
+  check "pi holds" true (Partial_iso.holds entries)
+
+let tests =
+  ( "strategy",
+    [
+      Alcotest.test_case "identity" `Quick test_identity;
+      Alcotest.test_case "solver-backed" `Quick test_solver_backed;
+      Alcotest.test_case "forced responses (Lemma 4.1)" `Quick test_solver_backed_forced_responses;
+      Alcotest.test_case "maximin" `Quick test_maximin;
+      Alcotest.test_case "rounds survived" `Quick test_rounds_survived;
+      Alcotest.test_case "bad strategy detected" `Quick test_bad_strategy_detected;
+      Alcotest.test_case "history entries" `Quick test_entries_of_history;
+    ] )

@@ -1,0 +1,93 @@
+open Words
+
+let check = Alcotest.(check bool)
+
+let test_scattered () =
+  (* the paper's example: aa ⊑_scatt abba *)
+  check "aa in abba" true (Subword.is_scattered_subword "aa" "abba");
+  check "refl" true (Subword.is_scattered_subword "ab" "ab");
+  check "eps" true (Subword.is_scattered_subword "" "x");
+  check "not" false (Subword.is_scattered_subword "ba" "ab");
+  check "order matters" false (Subword.is_scattered_subword "bb" "ab");
+  check "a^i in (ba)^j iff i<=j" true
+    (List.for_all
+       (fun (i, j) ->
+         Subword.is_scattered_subword (String.make i 'a') (Word.repeat "ba" j) = (i <= j))
+       [ (0, 0); (1, 1); (2, 1); (2, 3); (3, 3); (4, 3) ])
+
+let test_shuffle () =
+  (* the paper's example: ababaa ∈ abba ⧢ aa *)
+  check "paper example" true (Subword.in_shuffle "abba" "aa" "ababaa");
+  check "trivial left" true (Subword.in_shuffle "" "ab" "ab");
+  check "wrong length" false (Subword.in_shuffle "a" "b" "abc");
+  check "wrong letters" true (Subword.in_shuffle "aa" "bb" "abba");
+  Alcotest.(check (list string)) "full shuffle ab x c"
+    [ "abc"; "acb"; "cab" ]
+    (Subword.shuffle "ab" "c");
+  check "(ab)^n in a^n shuffle b^n" true
+    (List.for_all
+       (fun n ->
+         Subword.in_shuffle (String.make n 'a') (String.make n 'b') (Word.repeat "ab" n))
+       [ 0; 1; 2; 3; 4 ])
+
+let test_permutation () =
+  check "perm" true (Subword.is_permutation "abba" "baba");
+  check "not perm" false (Subword.is_permutation "ab" "aa");
+  check "diff len" false (Subword.is_permutation "ab" "aba");
+  Alcotest.(check (list (pair char int))) "parikh" [ ('a', 2); ('b', 1) ] (Subword.parikh "aba")
+
+let test_relations () =
+  check "num_eq" true (Subword.num_eq 'a' "aab" "aba");
+  check "num_eq no" false (Subword.num_eq 'a' "aab" "abb");
+  check "add" true (Subword.add_rel "ab" "b" "xyz");
+  check "mult" true (Subword.mult_rel "ab" "ab" "abcd");
+  check "rev" true (Subword.rev_rel "abc" "cba");
+  check "len_eq" true (Subword.len_eq "ab" "cd");
+  check "len_lt" true (Subword.len_lt "a" "bc")
+
+let test_morphism () =
+  let h = Morphism.of_table [ ('a', "ab"); ('b', "") ] in
+  Alcotest.(check string) "apply" "abab" (Morphism.apply h "aba");
+  check "erasing" true (Morphism.is_erasing h);
+  check "rel" true (Morphism.rel Morphism.paper_h "aab" "bbb");
+  Alcotest.(check string) "paper h" "bb" (Morphism.apply Morphism.paper_h "ab");
+  check "identity default" true (Morphism.apply (Morphism.of_table []) "xyz" = "xyz")
+
+let arb_word =
+  QCheck.make
+    ~print:(fun s -> s)
+    QCheck.Gen.(string_size ~gen:(oneofl [ 'a'; 'b' ]) (0 -- 5))
+
+let prop_shuffle_sound =
+  QCheck.Test.make ~name:"enumerated shuffles satisfy in_shuffle" ~count:100
+    (QCheck.pair arb_word arb_word)
+    (fun (x, y) -> List.for_all (Subword.in_shuffle x y) (Subword.shuffle x y))
+
+let prop_shuffle_scattered =
+  QCheck.Test.make ~name:"shuffle members contain x scattered" ~count:100
+    (QCheck.pair arb_word arb_word)
+    (fun (x, y) -> List.for_all (Subword.is_scattered_subword x) (Subword.shuffle x y))
+
+let prop_morphism_homomorphic =
+  QCheck.Test.make ~name:"h(xy) = h(x)h(y)" ~count:200 (QCheck.pair arb_word arb_word)
+    (fun (x, y) ->
+      let h = Morphism.paper_h in
+      Morphism.apply h (x ^ y) = Morphism.apply h x ^ Morphism.apply h y)
+
+let prop_perm_parikh =
+  QCheck.Test.make ~name:"perm iff equal parikh" ~count:200 (QCheck.pair arb_word arb_word)
+    (fun (x, y) -> Subword.is_permutation x y = (Subword.parikh x = Subword.parikh y))
+
+let tests =
+  ( "subword",
+    [
+      Alcotest.test_case "scattered subwords" `Quick test_scattered;
+      Alcotest.test_case "shuffle" `Quick test_shuffle;
+      Alcotest.test_case "permutation" `Quick test_permutation;
+      Alcotest.test_case "length relations" `Quick test_relations;
+      Alcotest.test_case "morphisms" `Quick test_morphism;
+      QCheck_alcotest.to_alcotest prop_shuffle_sound;
+      QCheck_alcotest.to_alcotest prop_shuffle_scattered;
+      QCheck_alcotest.to_alcotest prop_morphism_homomorphic;
+      QCheck_alcotest.to_alcotest prop_perm_parikh;
+    ] )

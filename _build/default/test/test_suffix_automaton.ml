@@ -1,0 +1,61 @@
+open Words
+
+let check = Alcotest.(check bool)
+
+let test_membership () =
+  let sa = Suffix_automaton.build "abaab" in
+  check "aba" true (Suffix_automaton.is_factor sa "aba");
+  check "aab" true (Suffix_automaton.is_factor sa "aab");
+  check "eps" true (Suffix_automaton.is_factor sa "");
+  check "bb" false (Suffix_automaton.is_factor sa "bb");
+  check "whole" true (Suffix_automaton.is_factor sa "abaab");
+  check "too long" false (Suffix_automaton.is_factor sa "abaabx")
+
+let test_counts () =
+  let sa = Suffix_automaton.build "aaaa" in
+  Alcotest.(check int) "factors of a^4" 5 (Suffix_automaton.count_factors sa);
+  Alcotest.(check int) "occurrences of aa" 3 (Suffix_automaton.count_occurrences sa "aa");
+  Alcotest.(check int) "occurrences of eps" 5 (Suffix_automaton.count_occurrences sa "");
+  Alcotest.(check int) "occurrences absent" 0 (Suffix_automaton.count_occurrences sa "b")
+
+let test_empty_word () =
+  let sa = Suffix_automaton.build "" in
+  check "eps factor" true (Suffix_automaton.is_factor sa "");
+  Alcotest.(check int) "one factor" 1 (Suffix_automaton.count_factors sa)
+
+let arb_word =
+  QCheck.make ~print:Fun.id QCheck.Gen.(string_size ~gen:(oneofl [ 'a'; 'b' ]) (0 -- 12))
+
+let prop_membership_matches_factors =
+  QCheck.Test.make ~name:"suffix automaton = explicit factor set" ~count:150 arb_word
+    (fun w ->
+      let sa = Suffix_automaton.build w in
+      let facs = Factors.of_word w in
+      Factors.size facs = Suffix_automaton.count_factors sa
+      && List.for_all (Suffix_automaton.is_factor sa) (Factors.to_list facs)
+      && List.for_all
+           (fun probe -> Suffix_automaton.is_factor sa probe = Factors.mem facs probe)
+           (Word.enumerate ~alphabet:[ 'a'; 'b' ] ~max_len:4))
+
+let prop_occurrence_counts =
+  QCheck.Test.make ~name:"occurrence counts match the naive scan" ~count:150
+    (QCheck.pair arb_word (QCheck.make QCheck.Gen.(string_size ~gen:(oneofl [ 'a'; 'b' ]) (1 -- 4))))
+    (fun (w, u) ->
+      Suffix_automaton.count_occurrences (Suffix_automaton.build w) u
+      = Word.count_occurrences ~pattern:u w)
+
+let prop_linear_size =
+  QCheck.Test.make ~name:"at most 2|w| states" ~count:150 arb_word (fun w ->
+      QCheck.assume (String.length w >= 2);
+      Suffix_automaton.state_count (Suffix_automaton.build w) <= 2 * String.length w)
+
+let tests =
+  ( "suffix-automaton",
+    [
+      Alcotest.test_case "membership" `Quick test_membership;
+      Alcotest.test_case "counts" `Quick test_counts;
+      Alcotest.test_case "empty word" `Quick test_empty_word;
+      QCheck_alcotest.to_alcotest prop_membership_matches_factors;
+      QCheck_alcotest.to_alcotest prop_occurrence_counts;
+      QCheck_alcotest.to_alcotest prop_linear_size;
+    ] )

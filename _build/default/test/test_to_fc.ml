@@ -1,0 +1,103 @@
+open Spanner
+
+let check = Alcotest.(check bool)
+
+let docs = Words.Word.enumerate ~alphabet:[ 'a'; 'b' ] ~max_len:5
+
+(* relation agreement: spanner word tuples = FC-defined relation *)
+let relation_agrees formula_src =
+  let rf = Regex_formula.parse_exn formula_src in
+  match To_fc.compile rf with
+  | None -> Alcotest.failf "expected compilation of %s" formula_src
+  | Some phi ->
+      let vars = Regex_formula.vars rf in
+      List.iter
+        (fun doc ->
+          let spanner_side =
+            Algebra.selected_words (Algebra.Extract rf) ~vars doc
+          in
+          let fc_side = Fc.Eval.relation (Fc.Structure.make ~sigma:[ 'a'; 'b' ] doc) phi ~vars in
+          if spanner_side <> fc_side then
+            Alcotest.failf "%s disagrees on %S: spanner %d tuples, fc %d tuples" formula_src
+              doc (List.length spanner_side) (List.length fc_side))
+        docs
+
+let test_simple_chain () = relation_agrees "x{a*}y{b*}"
+let test_plain_segments () = relation_agrees "a*x{(ab)*}b*"
+let test_nested () = relation_agrees "x{a y{b*} a}"
+let test_alt () = relation_agrees "x{aa}|x{bb}"
+let test_three_vars () = relation_agrees "x{a*}y{(ba)*}z{b*}"
+
+let test_boolean () =
+  let rf = Regex_formula.parse_exn "x{a*}y{b*}" in
+  match To_fc.compile_boolean rf with
+  | None -> Alcotest.fail "expected boolean compilation"
+  | Some phi ->
+      check "sentence" true (Fc.Formula.is_sentence phi);
+      List.iter
+        (fun doc ->
+          let expected = Regex_engine.Regex.matches (Regex_engine.Regex.parse_exn "a*b*") doc in
+          if Fc.Eval.language_member ~sigma:[ 'a'; 'b' ] phi doc <> expected then
+            Alcotest.failf "boolean compile wrong on %S" doc)
+        docs
+
+let test_algebra_join_select () =
+  (* ζ^=(x,y) over a join compiles to x ≐ y conjunction *)
+  let e =
+    Algebra.Select_eq
+      ("x", "y", Algebra.Extract (Regex_formula.parse_exn "x{(a|b)+}y{(a|b)+}"))
+  in
+  match To_fc.compile_algebra e with
+  | None -> Alcotest.fail "expected algebra compilation"
+  | Some phi ->
+      List.iter
+        (fun doc ->
+          let spanner_side = Algebra.selected_words e ~vars:[ "x"; "y" ] doc in
+          let fc_side =
+            Fc.Eval.relation (Fc.Structure.make ~sigma:[ 'a'; 'b' ] doc) phi ~vars:[ "x"; "y" ]
+          in
+          if spanner_side <> fc_side then Alcotest.failf "select-eq compile wrong on %S" doc)
+        docs
+
+let test_projection () =
+  let e = Algebra.Project ([ "x" ], Algebra.Extract (Regex_formula.parse_exn "x{a*}y{b+}")) in
+  match To_fc.compile_algebra e with
+  | None -> Alcotest.fail "expected projection compilation"
+  | Some phi ->
+      Alcotest.(check (list string)) "free vars" [ "x" ] (Fc.Formula.free_vars phi);
+      List.iter
+        (fun doc ->
+          let spanner_side = Algebra.selected_words e ~vars:[ "x" ] doc in
+          let fc_side =
+            Fc.Eval.relation (Fc.Structure.make ~sigma:[ 'a'; 'b' ] doc) phi ~vars:[ "x" ]
+          in
+          if spanner_side <> fc_side then Alcotest.failf "projection compile wrong on %S" doc)
+        docs
+
+let test_rejections () =
+  check "zeta^R not compiled" true
+    (To_fc.compile_algebra
+       (Algebra.Select_rel
+          (Selectable.perm, [ "x"; "y" ], Algebra.Extract (Regex_formula.parse_exn "x{a*}y{a*}")))
+    = None);
+  check "difference not compiled" true
+    (To_fc.compile_algebra
+       (Algebra.Diff
+          ( Algebra.Extract (Regex_formula.parse_exn "x{a*}"),
+            Algebra.Extract (Regex_formula.parse_exn "x{a*}") ))
+    = None);
+  check "starred binding not compiled" true (To_fc.compile (Regex_formula.parse_exn "(x{a})*b") = None)
+
+let tests =
+  ( "spanner-to-fc",
+    [
+      Alcotest.test_case "simple chain" `Quick test_simple_chain;
+      Alcotest.test_case "plain segments" `Quick test_plain_segments;
+      Alcotest.test_case "nested bindings" `Quick test_nested;
+      Alcotest.test_case "alternation" `Quick test_alt;
+      Alcotest.test_case "three variables" `Quick test_three_vars;
+      Alcotest.test_case "boolean spanners" `Quick test_boolean;
+      Alcotest.test_case "algebra: join + zeta-eq" `Quick test_algebra_join_select;
+      Alcotest.test_case "algebra: projection" `Quick test_projection;
+      Alcotest.test_case "unsupported shapes rejected" `Quick test_rejections;
+    ] )

@@ -1,0 +1,45 @@
+open Efgame
+
+let unary n = String.make n 'a'
+let check = Alcotest.(check bool)
+
+let test_known_pairs () =
+  check "(3,4) equiv1" true (Types1.equiv1 (unary 3) (unary 4));
+  check "(2,3) not equiv1" false (Types1.equiv1 (unary 2) (unary 3));
+  check "identical words" true (Types1.equiv1 "abab" "abab");
+  check "abab vs baba" true (Types1.equiv1 "abab" "baba");
+  check "alphabet mismatch" false (Types1.equiv1 ~sigma:[ 'a'; 'b' ] "aa" "ab")
+
+let test_types_are_finite () =
+  let st = Fc.Structure.make ~sigma:[ 'a'; 'b' ] "abab" in
+  let types = Types1.types_of st in
+  check "fewer types than factors" true
+    (List.length types <= Fc.Structure.universe_size st)
+
+let prop_matches_solver =
+  let arb =
+    QCheck.make
+      ~print:(fun (w, v) -> w ^ " / " ^ v)
+      QCheck.Gen.(
+        pair
+          (string_size ~gen:(oneofl [ 'a'; 'b' ]) (0 -- 5))
+          (string_size ~gen:(oneofl [ 'a'; 'b' ]) (0 -- 5)))
+  in
+  QCheck.Test.make ~name:"type-based ≡₁ = game solver" ~count:200 arb (fun (w, v) ->
+      let sigma = [ 'a'; 'b' ] in
+      Types1.equiv1 ~sigma w v = (Game.equiv ~sigma w v 1 = Game.Equiv))
+
+let prop_unary_matches_solver =
+  QCheck.Test.make ~name:"type-based ≡₁ = solver (unary)" ~count:80
+    (QCheck.pair (QCheck.int_range 0 10) (QCheck.int_range 0 10))
+    (fun (p, q) ->
+      Types1.equiv1 (unary p) (unary q) = (Game.equiv (unary p) (unary q) 1 = Game.Equiv))
+
+let tests =
+  ( "types1",
+    [
+      Alcotest.test_case "known pairs" `Quick test_known_pairs;
+      Alcotest.test_case "type counts" `Quick test_types_are_finite;
+      QCheck_alcotest.to_alcotest prop_matches_solver;
+      QCheck_alcotest.to_alcotest prop_unary_matches_solver;
+    ] )

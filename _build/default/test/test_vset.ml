@@ -1,0 +1,96 @@
+open Spanner
+
+let check = Alcotest.(check bool)
+let docs = Words.Word.enumerate ~alphabet:[ 'a'; 'b' ] ~max_len:5
+
+let relation_agrees src =
+  let rf = Regex_formula.parse_exn src in
+  let va = Vset_automaton.of_regex_formula rf in
+  List.iter
+    (fun doc ->
+      let via_formula = Regex_formula.eval rf doc in
+      let via_automaton = Vset_automaton.eval va doc in
+      if not (Relation.equal via_formula via_automaton) then
+        Alcotest.failf "%s: formula/automaton disagree on %S" src doc)
+    docs
+
+let test_agreement_simple () = relation_agrees "x{a*}y{b*}"
+let test_agreement_anywhere () = relation_agrees "(a|b)*x{ab}(a|b)*"
+let test_agreement_nested () = relation_agrees "x{a y{b*} a}"
+let test_agreement_alt () = relation_agrees "x{aa}|x{bb}"
+let test_agreement_varfree () = relation_agrees "(ab)*"
+
+let test_functionality () =
+  let functional src expected =
+    let va = Vset_automaton.of_regex_formula (Regex_formula.parse_exn src) in
+    if Vset_automaton.is_functional va <> expected then
+      Alcotest.failf "functionality of %s: expected %b" src expected
+  in
+  functional "x{a*}y{b*}" true;
+  functional "x{a}|x{b}" true;
+  functional "x{a}|b" false;
+  (* alternation binding x on one side only *)
+  functional "(x{a})*" false (* the star may skip the binding *)
+
+let test_hand_built () =
+  (* ⊢x a x⊣ b : extracts the a-span before a b *)
+  let va =
+    Vset_automaton.make ~states:5 ~start:0 ~accepting:[ 4 ]
+      ~transitions:
+        [
+          (0, Vset_automaton.Open "x", 1);
+          (1, Vset_automaton.Read 'a', 2);
+          (2, Vset_automaton.Close "x", 3);
+          (3, Vset_automaton.Read 'b', 4);
+        ]
+  in
+  check "functional" true (Vset_automaton.is_functional va);
+  let rel = Vset_automaton.eval va "ab" in
+  Alcotest.(check (list (list string)))
+    "span content"
+    [ [ "a" ] ]
+    (Relation.to_word_tuples ~doc:"ab" ~vars:[ "x" ] rel);
+  check "rejects other docs" true (Relation.is_empty (Vset_automaton.eval va "ba"))
+
+let test_incomplete_runs_dropped () =
+  (* an automaton that can accept without closing x yields no row for that
+     run and is flagged non-functional *)
+  let va =
+    Vset_automaton.make ~states:2 ~start:0 ~accepting:[ 0; 1 ]
+      ~transitions:[ (0, Vset_automaton.Open "x", 1) ]
+  in
+  check "non functional" false (Vset_automaton.is_functional va);
+  check "no rows" true (Relation.is_empty (Vset_automaton.eval va ""))
+
+let test_run_count () =
+  (* (a|a) ambiguity merges into one configuration; distinct spans stay
+     distinct *)
+  let rf = Regex_formula.parse_exn "x{a}|x{a}" in
+  let va = Vset_automaton.of_regex_formula rf in
+  Alcotest.(check int) "merged configurations" 1 (Vset_automaton.run_count va "a");
+  (* note: "ax{a}" would parse as a binding named "ax"; parenthesize *)
+  let rf2 = Regex_formula.parse_exn "x{a}a|(a)x{a}" in
+  let va2 = Vset_automaton.of_regex_formula rf2 in
+  Alcotest.(check int) "two spans" 2 (Vset_automaton.run_count va2 "aa");
+  Alcotest.(check int) "two rows" 2 (Relation.cardinality (Vset_automaton.eval va2 "aa"))
+
+let test_bad_state () =
+  Alcotest.check_raises "state range" (Invalid_argument "Vset_automaton.make: state out of range")
+    (fun () ->
+      ignore
+        (Vset_automaton.make ~states:1 ~start:0 ~accepting:[ 2 ] ~transitions:[]))
+
+let tests =
+  ( "vset-automata",
+    [
+      Alcotest.test_case "formula/automaton agreement: chain" `Quick test_agreement_simple;
+      Alcotest.test_case "agreement: anywhere" `Quick test_agreement_anywhere;
+      Alcotest.test_case "agreement: nested" `Quick test_agreement_nested;
+      Alcotest.test_case "agreement: alternation" `Quick test_agreement_alt;
+      Alcotest.test_case "agreement: variable-free" `Quick test_agreement_varfree;
+      Alcotest.test_case "functionality" `Quick test_functionality;
+      Alcotest.test_case "hand built" `Quick test_hand_built;
+      Alcotest.test_case "incomplete runs dropped" `Quick test_incomplete_runs_dropped;
+      Alcotest.test_case "run counting" `Quick test_run_count;
+      Alcotest.test_case "validation" `Quick test_bad_state;
+    ] )

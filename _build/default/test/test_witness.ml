@@ -1,0 +1,39 @@
+open Efgame
+
+let check = Alcotest.(check bool)
+
+let test_minimal_pairs () =
+  (match Witness.minimal_pair ~k:1 ~max_n:6 () with
+  | Witness.Found (p, q) -> Alcotest.(check (pair int int)) "k=1" (3, 4) (p, q)
+  | _ -> Alcotest.fail "expected (3,4)");
+  match Witness.minimal_pair ~k:2 ~max_n:14 () with
+  | Witness.Found (p, q) -> Alcotest.(check (pair int int)) "k=2" (12, 14) (p, q)
+  | _ -> Alcotest.fail "expected (12,14)"
+
+let test_exhausted () =
+  match Witness.minimal_pair ~k:2 ~max_n:8 () with
+  | Witness.Exhausted n -> Alcotest.(check int) "bound" 8 n
+  | Witness.Found (p, q) -> Alcotest.failf "unexpected pair (%d,%d)" p q
+  | Witness.Inconclusive _ -> Alcotest.fail "unexpected budget exhaustion"
+
+let test_classes_k1 () =
+  match Witness.classes ~k:1 ~max_n:7 () with
+  | None -> Alcotest.fail "expected classes"
+  | Some classes ->
+      (* k=1 distinguishes 0,1,2 and merges everything from 3 on *)
+      Alcotest.(check (list (list int)))
+        "classes" [ [ 0 ]; [ 1 ]; [ 2 ]; [ 3; 4; 5; 6; 7 ] ] classes
+
+let test_verify () =
+  check "verify (3,4)" true (Witness.verify_pair ~k:1 3 4 = Game.Equiv);
+  check "sound mode agrees" true (Witness.verify_pair_sound ~k:1 3 4 = Game.Equiv);
+  check "sound mode never lies" true (Witness.verify_pair_sound ~k:1 2 3 <> Game.Equiv)
+
+let tests =
+  ( "witness",
+    [
+      Alcotest.test_case "minimal pairs" `Quick test_minimal_pairs;
+      Alcotest.test_case "exhausted scan" `Quick test_exhausted;
+      Alcotest.test_case "equivalence classes k=1" `Quick test_classes_k1;
+      Alcotest.test_case "verification modes" `Quick test_verify;
+    ] )

@@ -1,0 +1,108 @@
+open Words
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+let check_strs = Alcotest.(check (list string))
+
+let test_prefix_suffix () =
+  check "prefix" true (Word.is_prefix ~prefix:"ab" "abc");
+  check "prefix refl" true (Word.is_prefix ~prefix:"abc" "abc");
+  check "prefix empty" true (Word.is_prefix ~prefix:"" "abc");
+  check "not prefix" false (Word.is_prefix ~prefix:"b" "abc");
+  check "strict prefix" false (Word.is_strict_prefix ~prefix:"abc" "abc");
+  check "strict prefix yes" true (Word.is_strict_prefix ~prefix:"a" "abc");
+  check "suffix" true (Word.is_suffix ~suffix:"bc" "abc");
+  check "suffix refl" true (Word.is_suffix ~suffix:"abc" "abc");
+  check "suffix empty" true (Word.is_suffix ~suffix:"" "abc");
+  check "not suffix" false (Word.is_suffix ~suffix:"ab" "abc");
+  check "strict suffix" false (Word.is_strict_suffix ~suffix:"abc" "abc")
+
+let test_factor () =
+  check "factor mid" true (Word.is_factor ~factor:"ba" "abab");
+  check "factor eps" true (Word.is_factor ~factor:"" "");
+  check "not factor" false (Word.is_factor ~factor:"aa" "abab");
+  check "strict" false (Word.is_strict_factor ~factor:"abab" "abab");
+  check "strict yes" true (Word.is_strict_factor ~factor:"aba" "abab")
+
+let test_occurrences () =
+  Alcotest.(check (list int)) "overlapping" [ 0; 1; 2 ] (Word.occurrences ~pattern:"aa" "aaaa");
+  Alcotest.(check (list int)) "empty pattern" [ 0; 1; 2 ] (Word.occurrences ~pattern:"" "ab");
+  check_int "count" 3 (Word.count_occurrences ~pattern:"aa" "aaaa");
+  check_int "count letter" 2 (Word.count_letter 'a' "abab");
+  check_int "count letter none" 0 (Word.count_letter 'c' "abab")
+
+let test_repeat_power () =
+  check_str "repeat" "ababab" (Word.repeat "ab" 3);
+  check_str "repeat zero" "" (Word.repeat "ab" 0);
+  Alcotest.(check (option int)) "power yes" (Some 3) (Word.power_of ~base:"ab" "ababab");
+  Alcotest.(check (option int)) "power no" None (Word.power_of ~base:"ab" "aba");
+  Alcotest.(check (option int)) "power eps" (Some 0) (Word.power_of ~base:"ab" "");
+  Alcotest.(check (option int)) "eps base eps word" (Some 0) (Word.power_of ~base:"" "");
+  Alcotest.(check (option int)) "eps base word" None (Word.power_of ~base:"" "a")
+
+let test_structure () =
+  check_str "reverse" "cba" (Word.reverse "abc");
+  check_strs "prefixes" [ ""; "a"; "ab" ] (Word.prefixes "ab");
+  check_strs "suffixes" [ ""; "b"; "ab" ] (Word.suffixes "ab");
+  Alcotest.(check (list char)) "alphabet" [ 'a'; 'b' ] (Word.alphabet "abab");
+  Alcotest.(check (pair string string)) "split" ("ab", "c") (Word.split_at "abc" 2);
+  check_int "splits count" 4 (List.length (Word.splits "abc"))
+
+let test_overlap_splits () =
+  (* factors crossing the border of "ab" · "ba" *)
+  Alcotest.(check (list (pair string string)))
+    "bb crossing" [ ("b", "b") ]
+    (Word.overlap_splits ~x:"ab" ~y:"ba" "bb");
+  Alcotest.(check (list (pair string string)))
+    "abba crossing"
+    [ ("ab", "ba") ]
+    (Word.overlap_splits ~x:"ab" ~y:"ba" "abba")
+
+let test_enumerate () =
+  check_strs "len 2 unary" [ ""; "a"; "aa" ] (Word.enumerate ~alphabet:[ 'a' ] ~max_len:2);
+  check_int "binary count" 7 (List.length (Word.enumerate ~alphabet:[ 'a'; 'b' ] ~max_len:2));
+  check_strs "order" [ ""; "a"; "b"; "aa"; "ab"; "ba"; "bb" ]
+    (Word.enumerate ~alphabet:[ 'b'; 'a' ] ~max_len:2)
+
+(* property tests *)
+let small_word = QCheck.Gen.(string_size ~gen:(oneofl [ 'a'; 'b' ]) (0 -- 8))
+let arb_word = QCheck.make ~print:(fun s -> s) small_word
+
+let prop_splits_recombine =
+  QCheck.Test.make ~name:"splits recombine" ~count:200 arb_word (fun w ->
+      List.for_all (fun (u, v) -> u ^ v = w) (Word.splits w))
+
+let prop_factor_via_occurrence =
+  QCheck.Test.make ~name:"factor iff occurrence" ~count:200
+    (QCheck.pair arb_word arb_word)
+    (fun (u, w) -> Word.is_factor ~factor:u w = (Word.occurrences ~pattern:u w <> []))
+
+let prop_power_roundtrip =
+  QCheck.Test.make ~name:"power_of (repeat w k) >= k when w nonempty" ~count:200
+    (QCheck.pair arb_word QCheck.(int_range 0 4))
+    (fun (w, k) ->
+      QCheck.assume (w <> "");
+      match Word.power_of ~base:w (Word.repeat w k) with
+      | Some k' -> Word.repeat w k' = Word.repeat w k
+      | None -> false)
+
+let prop_reverse_involutive =
+  QCheck.Test.make ~name:"reverse involutive" ~count:200 arb_word (fun w ->
+      Word.reverse (Word.reverse w) = w)
+
+let tests =
+  ( "word",
+    [
+      Alcotest.test_case "prefix/suffix" `Quick test_prefix_suffix;
+      Alcotest.test_case "factor" `Quick test_factor;
+      Alcotest.test_case "occurrences" `Quick test_occurrences;
+      Alcotest.test_case "repeat/power" `Quick test_repeat_power;
+      Alcotest.test_case "structure" `Quick test_structure;
+      Alcotest.test_case "overlap splits" `Quick test_overlap_splits;
+      Alcotest.test_case "enumerate" `Quick test_enumerate;
+      QCheck_alcotest.to_alcotest prop_splits_recombine;
+      QCheck_alcotest.to_alcotest prop_factor_via_occurrence;
+      QCheck_alcotest.to_alcotest prop_power_roundtrip;
+      QCheck_alcotest.to_alcotest prop_reverse_involutive;
+    ] )
