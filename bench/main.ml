@@ -129,6 +129,44 @@ let bench_powers =
   Test.make ~name:"efgame/powers((ab)^12 vs (ab)^14, k=1)  [E11]"
     (Staged.stage (fun () -> ignore (Efgame.Game.equiv (rep "ab" 12) (rep "ab" 14) 1)))
 
+(* The E2 ≡₂ frontier scan under each solver engine: the seed memoized
+   search, the transposition-table engine (fresh table per run, so the
+   speedup is canonicalization + pruning + the arithmetic fast path, not
+   warm-cache reuse), and the table engine with the per-q pair checks
+   fanned out over two worker domains. *)
+
+let bench_scan_k2_seed =
+  Test.make ~name:"efgame/scan_k2_seed(minimal pair, n<=14)  [E2]"
+    (Staged.stage (fun () ->
+         ignore (Efgame.Witness.minimal_pair ~engine:Efgame.Witness.Seed ~k:2 ~max_n:14 ())))
+
+let bench_scan_k2_cached =
+  Test.make ~name:"efgame/scan_k2_cached(minimal pair, n<=14)  [E2]"
+    (Staged.stage (fun () ->
+         let engine = Efgame.Witness.Cached (Efgame.Cache.create ()) in
+         ignore (Efgame.Witness.minimal_pair ~engine ~k:2 ~max_n:14 ())))
+
+let bench_scan_k2_parallel =
+  Test.make ~name:"efgame/scan_k2_parallel(minimal pair, n<=14, 2 domains)  [E2]"
+    (Staged.stage (fun () ->
+         let engine = Efgame.Witness.Parallel (Efgame.Cache.create (), 2) in
+         ignore (Efgame.Witness.minimal_pair ~engine ~k:2 ~max_n:14 ())))
+
+let bench_frontier_k3_cached =
+  Test.make ~name:"efgame/scan_k3_cached(exhaustive, n<=40)  [E2]"
+    (Staged.stage (fun () ->
+         let engine = Efgame.Witness.Cached (Efgame.Cache.create ()) in
+         ignore (Efgame.Witness.minimal_pair ~engine ~k:3 ~max_n:40 ())))
+
+let bench_parallel_decide =
+  Test.make ~name:"efgame/parallel_decide(a^12 vs a^14, k=2, 2 domains)"
+    (Staged.stage (fun () ->
+         let cache = Efgame.Cache.create () in
+         ignore
+           (Efgame.Parallel.decide ~jobs:2 ~cache
+              (Efgame.Game.make (unary 12) (unary 14))
+              2)))
+
 let bench_limited_mode =
   Test.make ~name:"efgame/duplicator_limited(a^12 vs a^14, k=2) [ablation]"
     (Staged.stage (fun () ->
@@ -245,6 +283,8 @@ let all_tests =
     bench_fc_fib_guided; bench_fc_ww_guided; bench_fc_ww_naive; bench_fc_cubefree;
     bench_fc_vbv; bench_bounded_compile;
     bench_unary_neq; bench_unary_witness; bench_anbn; bench_powers;
+    bench_scan_k2_seed; bench_scan_k2_cached; bench_scan_k2_parallel;
+    bench_frontier_k3_cached; bench_parallel_decide;
     bench_limited_mode; bench_strategy_pseudo; bench_strategy_power;
     bench_spanner_extract; bench_spanner_join; bench_spanner_reduction;
     bench_fooling; bench_langs;
@@ -258,7 +298,7 @@ let contains_substring ~needle haystack =
   let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
   go 0
 
-let benchmark filter =
+let benchmark ~smoke filter =
   let tests =
     match filter with
     | None -> all_tests
@@ -272,7 +312,12 @@ let benchmark filter =
   in
   let test = Test.make_grouped ~name:"bench" tests in
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let cfg =
+    (* --smoke: run every benchmark body at least once with a minimal
+       quota, as a CI-sized liveness check; estimates are meaningless *)
+    if smoke then Benchmark.cfg ~limit:1 ~quota:(Time.second 0.001) ()
+    else Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ()
+  in
   let raw = Benchmark.all cfg instances test in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:Measure.[| run |] in
   let results = Analyze.all ols Instance.monotonic_clock raw in
@@ -291,6 +336,9 @@ let benchmark filter =
          | _ -> Printf.printf "%-60s (no estimate)\n%!" name)
 
 let () =
-  let filter = if Array.length Sys.argv > 1 then Some Sys.argv.(1) else None in
-  Printf.printf "bench: monotonic clock, OLS ns/run estimates\n%!";
-  benchmark filter
+  let args = List.tl (Array.to_list Sys.argv) in
+  let smoke = List.mem "--smoke" args in
+  let filter = List.find_opt (fun a -> a <> "--smoke") args in
+  Printf.printf "bench: monotonic clock, OLS ns/run estimates%s\n%!"
+    (if smoke then " (smoke mode: single runs, timings not meaningful)" else "");
+  benchmark ~smoke filter

@@ -3,17 +3,35 @@
    Examples:
      efgame_cli aaa aaaa --rounds 1
      efgame_cli aa aaa --rounds 2 --explain
+     efgame_cli aaaa aaaaaa --rounds 2 --cache --stats
+     efgame_cli abab baba --rounds 2 --jobs 4
      efgame_cli --scan 2 --max 14            (minimal unary pair search)
+     efgame_cli --scan 3 --max 96 --cache    (frontier scan, memoized engine)
      efgame_cli --classes 1 --max 8          (≡_k classes of a^0..a^max) *)
 
 open Cmdliner
 
 let pp_word ppf w = Words.Word.pp ppf w
 
-let run words rounds explain budget scan classes max_n =
+let run words rounds explain budget scan classes max_n use_cache jobs stats =
+  let cache =
+    if use_cache || jobs > 1 then Some (Efgame.Cache.create ()) else None
+  in
+  let engine =
+    match (cache, jobs) with
+    | Some c, j when j > 1 -> Efgame.Witness.Parallel (c, j)
+    | Some c, _ -> Efgame.Witness.Cached c
+    | None, _ -> Efgame.Witness.Seed
+  in
+  let print_cache_stats () =
+    match cache with
+    | Some c when stats ->
+        Format.printf "cache: %a@." Efgame.Cache.pp_stats (Efgame.Cache.stats c)
+    | _ -> ()
+  in
   match (scan, classes) with
   | Some k, _ ->
-      (match Efgame.Witness.minimal_pair ~budget ~k ~max_n () with
+      (match Efgame.Witness.minimal_pair ~budget ~engine ~k ~max_n () with
       | Efgame.Witness.Found (p, q) ->
           Format.printf "minimal pair for ≡_%d: a^%d ≡ a^%d@." k p q
       | Efgame.Witness.Exhausted n ->
@@ -21,9 +39,10 @@ let run words rounds explain budget scan classes max_n =
       | Efgame.Witness.Inconclusive (n, unknowns) ->
           Format.printf "inconclusive up to %d (budget ran out on %d pairs)@." n
             (List.length unknowns));
+      print_cache_stats ();
       exit 0
   | None, Some k ->
-      (match Efgame.Witness.classes ~budget ~k ~max_n () with
+      (match Efgame.Witness.classes ~budget ~engine ~k ~max_n () with
       | None -> Format.printf "budget exhausted@."
       | Some cls ->
           Format.printf "≡_%d classes of {a^0..a^%d}:@." k max_n;
@@ -31,15 +50,24 @@ let run words rounds explain budget scan classes max_n =
             (fun members ->
               Format.printf "  {%s}@." (String.concat ", " (List.map string_of_int members)))
             cls);
+      print_cache_stats ();
       exit 0
   | None, None -> (
       match words with
       | [ w; v ] ->
           let cfg = Efgame.Game.make w v in
-          let verdict, stats = Efgame.Game.decide_with_stats ~budget cfg rounds in
+          let verdict, s =
+            match (cache, jobs) with
+            | Some c, j when j > 1 -> Efgame.Parallel.decide ~budget ~jobs:j ~cache:c cfg rounds
+            | _ -> Efgame.Game.decide_with_stats ~budget ?cache cfg rounds
+          in
           Format.printf "%a %a_%d %a  (%d nodes, %d memo entries)@." pp_word w
-            Efgame.Game.pp_verdict verdict rounds pp_word v stats.Efgame.Game.nodes
-            stats.Efgame.Game.memo_entries;
+            Efgame.Game.pp_verdict verdict rounds pp_word v s.Efgame.Game.nodes
+            s.Efgame.Game.memo_entries;
+          if stats then
+            Format.printf "table: %d hits, %d misses@." s.Efgame.Game.cache_hits
+              s.Efgame.Game.cache_misses;
+          print_cache_stats ();
           if explain && verdict = Efgame.Game.Not_equiv then begin
             match Efgame.Game.winning_line ~budget cfg rounds with
             | None -> Format.printf "no line extracted (budget)@."
@@ -66,9 +94,27 @@ let scan_arg = Arg.(value & opt (some int) None & info [ "scan" ] ~docv:"K" ~doc
 let classes_arg = Arg.(value & opt (some int) None & info [ "classes" ] ~docv:"K" ~doc:"Compute unary ≡_K classes.")
 let max_arg = Arg.(value & opt int 14 & info [ "max" ] ~docv:"N" ~doc:"Bound for --scan/--classes.")
 
+let cache_arg =
+  Arg.(value & flag & info [ "cache" ]
+       ~doc:"Use the transposition-table solver engine (canonical position \
+             keys, rounds-aware entries; unary instances take the arithmetic \
+             fast path).")
+
+let jobs_arg =
+  Arg.(value & opt int 1 & info [ "jobs" ] ~docv:"J"
+       ~doc:"Fan the top-level Spoiler moves (or the scan's pair checks) out \
+             over J worker domains sharing one transposition table. Implies \
+             --cache when J > 1.")
+
+let stats_arg =
+  Arg.(value & flag & info [ "stats" ]
+       ~doc:"Print transposition-table statistics (entries, hits, misses, \
+             stores) after solving.")
+
 let cmd =
   Cmd.v
     (Cmd.info "efgame_cli" ~doc:"Decide w ≡_k v with the exhaustive EF-game solver")
-    Term.(const run $ words_arg $ rounds_arg $ explain_arg $ budget_arg $ scan_arg $ classes_arg $ max_arg)
+    Term.(const run $ words_arg $ rounds_arg $ explain_arg $ budget_arg $ scan_arg
+          $ classes_arg $ max_arg $ cache_arg $ jobs_arg $ stats_arg)
 
 let () = exit (Cmd.eval cmd)

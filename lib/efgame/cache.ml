@@ -1,0 +1,120 @@
+type entry = {
+  key : Position.key;
+  win : int Atomic.t; (* max k with a proven Duplicator win; -1 = none *)
+  lose : int Atomic.t; (* min k with a proven Spoiler win; max_int = none *)
+  unknown : (int * int * int) list Atomic.t;
+      (* (k, width, budget): the search at k rounds with this Duplicator
+         width exhausted this node budget *)
+}
+
+type t = {
+  buckets : entry list Atomic.t array;
+  mask : int;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  stores : int Atomic.t;
+  count : int Atomic.t;
+}
+
+let create ?(log2_buckets = 16) () =
+  let n = 1 lsl log2_buckets in
+  {
+    buckets = Array.init n (fun _ -> Atomic.make []);
+    mask = n - 1;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    stores = Atomic.make 0;
+    count = Atomic.make 0;
+  }
+
+let bucket t key = t.buckets.(Hashtbl.hash key land t.mask)
+
+let find_entry t key =
+  List.find_opt (fun e -> String.equal e.key key) (Atomic.get (bucket t key))
+
+let rec get_entry t key =
+  let b = bucket t key in
+  let chain = Atomic.get b in
+  match List.find_opt (fun e -> String.equal e.key key) chain with
+  | Some e -> e
+  | None ->
+      let e =
+        {
+          key;
+          win = Atomic.make (-1);
+          lose = Atomic.make max_int;
+          unknown = Atomic.make [];
+        }
+      in
+      if Atomic.compare_and_set b chain (e :: chain) then begin
+        Atomic.incr t.count;
+        e
+      end
+      else get_entry t key
+
+let rec atomic_max a v =
+  let c = Atomic.get a in
+  if v > c && not (Atomic.compare_and_set a c v) then atomic_max a v
+
+let rec atomic_min a v =
+  let c = Atomic.get a in
+  if v < c && not (Atomic.compare_and_set a c v) then atomic_min a v
+
+let lookup t key ~k =
+  match find_entry t key with
+  | Some e when k <= Atomic.get e.win ->
+      Atomic.incr t.hits;
+      Some true
+  | Some e when k >= Atomic.get e.lose ->
+      Atomic.incr t.hits;
+      Some false
+  | _ ->
+      Atomic.incr t.misses;
+      None
+
+let store t key ~k result =
+  let e = get_entry t key in
+  if result then atomic_max e.win k else atomic_min e.lose k;
+  Atomic.incr t.stores
+
+let unknown_reusable t key ~k ~width ~budget =
+  match find_entry t key with
+  | None -> false
+  | Some e ->
+      List.exists
+        (fun (k', width', budget') -> k' = k && width' <= width && budget' >= budget)
+        (Atomic.get e.unknown)
+
+let rec store_unknown t key ~k ~width ~budget =
+  let e = get_entry t key in
+  let cur = Atomic.get e.unknown in
+  let subsumed =
+    List.exists
+      (fun (k', width', budget') -> k' = k && width' <= width && budget' >= budget)
+      cur
+  in
+  if not subsumed then
+    if not (Atomic.compare_and_set e.unknown cur ((k, width, budget) :: cur))
+    then store_unknown t key ~k ~width ~budget
+
+type stats = { hits : int; misses : int; stores : int; entries : int }
+
+let stats (t : t) =
+  {
+    hits = Atomic.get t.hits;
+    misses = Atomic.get t.misses;
+    stores = Atomic.get t.stores;
+    entries = Atomic.get t.count;
+  }
+
+let reset_counters (t : t) =
+  Atomic.set t.hits 0;
+  Atomic.set t.misses 0;
+  Atomic.set t.stores 0
+
+let pp_stats ppf s =
+  let total = s.hits + s.misses in
+  Format.fprintf ppf "%d entries, %d hits / %d lookups (%.1f%%), %d stores"
+    s.entries s.hits total
+    (if total = 0 then 0. else 100. *. float_of_int s.hits /. float_of_int total)
+    s.stores

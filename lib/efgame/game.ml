@@ -121,24 +121,114 @@ let response_candidates cfg entries side a =
 
 exception Budget_exceeded
 
-type stats = { nodes : int; memo_entries : int }
+type stats = {
+  nodes : int;
+  memo_entries : int;
+  cache_hits : int;
+  cache_misses : int;
+}
+
+(* Both words powers of the same single letter (and nonempty, so the
+   letter constant is defined on both sides): eligible for the arithmetic
+   fast path of [Unary]. *)
+let unary_of cfg =
+  let w = Fc.Structure.word cfg.left and v = Fc.Structure.word cfg.right in
+  if w = "" || v = "" then None
+  else
+    let c = w.[0] in
+    if String.for_all (Char.equal c) w && String.for_all (Char.equal c) v then
+      Some (c, String.length w, String.length v)
+    else None
 
 type solver = {
   cfg : config;
   mode : mode;
   budget : int;
   memo : (int * (string * string) list, bool) Hashtbl.t;
+  cache : Cache.t option;
+  interner : Position.interner;
+  cmemo : (int * int, bool) Hashtbl.t; (* (rounds, position id), cached path *)
+  unary : (char * int * int) option;
   mutable nodes : int;
 }
 
-let solver ?(mode = Full) ?(budget = 50_000_000) cfg =
-  { cfg; mode; budget; memo = Hashtbl.create 4096; nodes = 0 }
+let solver ?(mode = Full) ?(budget = 50_000_000) ?cache cfg =
+  {
+    cfg;
+    mode;
+    budget;
+    memo = Hashtbl.create 64;
+    cache;
+    interner = Position.interner ();
+    cmemo = Hashtbl.create 64;
+    unary = (match cache with Some _ -> unary_of cfg | None -> None);
+    nodes = 0;
+  }
+
+let width_of_mode = function Full -> max_int | Duplicator_limited n -> n
+
+(* Forced Duplicator replies in the general game (string form). When the
+   Spoiler move [a] occurs in a concatenation pattern with two known
+   entries, triple-consistency of the partial isomorphism determines the
+   reply: a = xi·xj forces yi·yj; xi = a·xj forces the prefix of yi
+   complementing yj; xi = xj·a forces the suffix; xi = a·a forces the
+   half of yi. Every other candidate fails [Partial_iso.extension_ok],
+   so restricting the scan to the forced value (or refuting the move
+   when the forcings conflict or fall outside the structure) is exact. *)
+let forced_response cfg entries side a =
+  let to_struct = match side with Left -> cfg.right | Right -> cfg.left in
+  let oriented = List.map (orient side) entries in
+  let known =
+    List.filter_map
+      (fun (x, y) -> match (x, y) with Some x, Some y -> Some (x, y) | _ -> None)
+      oriented
+  in
+  let forced = ref None in
+  let force r =
+    if not (Fc.Structure.mem to_struct r) then raise Exit
+    else
+      match !forced with
+      | None -> forced := Some r
+      | Some r' -> if r <> r' then raise Exit
+  in
+  try
+    List.iter
+      (fun (xi, yi) ->
+        let li = String.length xi and la = String.length a in
+        if li = 2 * la && xi = a ^ a then begin
+          let ly = String.length yi in
+          if ly land 1 = 1 then raise Exit;
+          let h = String.sub yi 0 (ly / 2) in
+          if yi = h ^ h then force h else raise Exit
+        end;
+        List.iter
+          (fun (xj, yj) ->
+            if xi ^ xj = a then force (yi ^ yj);
+            let lj = String.length xj in
+            if li = la + lj && xi = a ^ xj then
+              if Words.Word.is_suffix ~suffix:yj yi then
+                force (String.sub yi 0 (String.length yi - String.length yj))
+              else raise Exit;
+            if li = lj + la && xi = xj ^ a then
+              if Words.Word.is_prefix ~prefix:yj yi then
+                force
+                  (String.sub yi (String.length yj)
+                     (String.length yi - String.length yj))
+              else raise Exit)
+          known)
+      known;
+    match !forced with None -> `Unconstrained | Some r -> `Forced r
+  with Exit -> `Unsat
 
 let solver_run s pairs0 k0 =
   let cfg = s.cfg in
   let memo = s.memo in
   let nodes = ref s.nodes in
-  let limit = match s.mode with Full -> max_int | Duplicator_limited n -> n in
+  let limit = width_of_mode s.mode in
+  let sigma = Fc.Structure.sigma cfg.left in
+  let lw = left_word cfg and rw = right_word cfg in
+  let cache_hits = ref 0 and cache_misses = ref 0 in
+  (* ---------------- seed path: no transposition table ---------------- *)
   let rec wins pairs entries k =
     incr nodes;
     if !nodes > s.budget then raise Budget_exceeded;
@@ -149,11 +239,39 @@ let solver_run s pairs0 k0 =
       | Some r -> r
       | None ->
           let result =
-            spoiler_side Left pairs entries k && spoiler_side Right pairs entries k
+            spoiler_side wins Left pairs entries k
+            && spoiler_side wins Right pairs entries k
           in
           Hashtbl.replace memo key result;
           result
-  and spoiler_side side pairs entries k =
+  (* --------------- cached path: canonical keys + table --------------- *)
+  and cwins pairs entries k =
+    incr nodes;
+    if !nodes > s.budget then raise Budget_exceeded;
+    if k = 0 then true
+    else
+      let key = Position.key ~sigma ~left:lw ~right:rw pairs in
+      let id = Position.intern s.interner key in
+      match Hashtbl.find_opt s.cmemo (k, id) with
+      | Some r -> r
+      | None -> (
+          let cache = Option.get s.cache in
+          match Cache.lookup cache key ~k with
+          | Some r ->
+              incr cache_hits;
+              Hashtbl.replace s.cmemo (k, id) r;
+              r
+          | None ->
+              incr cache_misses;
+              let result =
+                cspoiler_side Left pairs entries k
+                && cspoiler_side Right pairs entries k
+              in
+              Hashtbl.replace s.cmemo (k, id) result;
+              if result || limit = max_int then
+                Cache.store cache key ~k result;
+              result)
+  and spoiler_side recur side pairs entries k =
     let moves = match side with Left -> cfg.left_moves | Right -> cfg.right_moves in
     let played (a, b) = match side with Left -> a | Right -> b in
     List.for_all
@@ -174,19 +292,117 @@ let solver_run s pairs0 k0 =
               Partial_iso.extension_ok entries entry
               &&
               let pair = unorient side (a, r) in
-              wins (pair :: pairs) (entry :: entries) (k - 1))
+              recur (pair :: pairs) (entry :: entries) (k - 1))
             candidates)
+      moves
+  and cspoiler_side side pairs entries k =
+    let moves = match side with Left -> cfg.left_moves | Right -> cfg.right_moves in
+    let played (a, b) = match side with Left -> a | Right -> b in
+    let try_reply a r =
+      let entry = unorient side (Some a, Some r) in
+      Partial_iso.extension_ok entries entry
+      &&
+      let pair = unorient side (a, r) in
+      cwins (pair :: pairs) (entry :: entries) (k - 1)
+    in
+    List.for_all
+      (fun a ->
+        if List.exists (fun p -> played p = a) pairs then true (* dominated move *)
+        else
+          match forced_response cfg entries side a with
+          | `Unsat -> false
+          | `Forced r -> try_reply a r
+          | `Unconstrained ->
+              let candidates = response_candidates cfg entries side a in
+              let candidates =
+                if limit = max_int then candidates
+                else List.filteri (fun i _ -> i < limit) candidates
+              in
+              List.exists (fun r -> try_reply a r) candidates)
       moves
   in
   let entries0 =
     List.fold_left (fun acc (a, b) -> (Some a, Some b) :: acc) cfg.consts pairs0
   in
-  let result =
-    if not (Partial_iso.holds entries0) then Some false
-    else try Some (wins pairs0 entries0 k0) with Budget_exceeded -> None
+  let top_key =
+    match s.cache with
+    | None -> None
+    | Some _ -> (
+        match s.unary with
+        | Some (_, p, q) ->
+            Some
+              (Position.unary_key ~p ~q
+                 (List.map
+                    (fun (a, b) -> (String.length a, String.length b))
+                    pairs0))
+        | None -> Some (Position.key ~sigma ~left:lw ~right:rw pairs0))
+  in
+  let result, memo_entries =
+    if not (Partial_iso.holds entries0) then (Some false, Hashtbl.length memo)
+    else
+      (* an exact verdict outranks any recorded budget exhaustion (a
+         later, better-funded search may have solved the position after
+         an earlier one starved) *)
+      let exact =
+        match (s.cache, top_key) with
+        | Some cache, Some key -> Cache.lookup cache key ~k:k0
+        | _ -> None
+      in
+      match (s.cache, top_key) with
+      | Some _, Some _ when exact <> None ->
+          incr cache_hits;
+          (exact, Hashtbl.length memo)
+      | Some cache, Some key
+        when Cache.unknown_reusable cache key ~k:k0 ~width:limit
+               ~budget:s.budget ->
+          (* a weaker-or-equal search already exhausted at least this
+             budget here: rerunning cannot do better *)
+          incr cache_hits;
+          (None, Hashtbl.length memo)
+      | Some cache, Some key -> (
+          let on_budget () =
+            Cache.store_unknown cache key ~k:k0 ~width:limit ~budget:s.budget
+          in
+          match s.unary with
+          | Some (_, p, q) -> (
+              let init =
+                List.map
+                  (fun (a, b) -> (String.length a, String.length b))
+                  pairs0
+              in
+              let before = Cache.stats cache in
+              let r, n, m =
+                Unary.solve ~cache ~limit ~budget:s.budget ~p ~q ~init k0
+              in
+              let after = Cache.stats cache in
+              cache_hits := !cache_hits + (after.Cache.hits - before.Cache.hits);
+              cache_misses :=
+                !cache_misses + (after.Cache.misses - before.Cache.misses);
+              nodes := !nodes + n;
+              match r with
+              | Some _ -> (r, m)
+              | None ->
+                  on_budget ();
+                  (None, m))
+          | None -> (
+              match cwins pairs0 entries0 k0 with
+              | r -> (Some r, Position.interned s.interner)
+              | exception Budget_exceeded ->
+                  on_budget ();
+                  (None, Position.interned s.interner)))
+      | _ -> (
+          match wins pairs0 entries0 k0 with
+          | r -> (Some r, Hashtbl.length memo)
+          | exception Budget_exceeded -> (None, Hashtbl.length memo))
   in
   s.nodes <- !nodes;
-  (result, { nodes = !nodes; memo_entries = Hashtbl.length memo })
+  ( result,
+    {
+      nodes = !nodes;
+      memo_entries;
+      cache_hits = !cache_hits;
+      cache_misses = !cache_misses;
+    } )
 
 let to_verdict mode result =
   match (result, mode) with
@@ -197,13 +413,35 @@ let to_verdict mode result =
 
 let solver_wins s pairs k = to_verdict s.mode (fst (solver_run s pairs k))
 
-let decide_with_stats ?(mode = Full) ?(budget = 50_000_000) cfg k =
-  let s = solver ~mode ~budget cfg in
+let solver_stats s =
+  let ch, cm =
+    match s.cache with
+    | None -> (0, 0)
+    | Some c ->
+        let st = Cache.stats c in
+        (st.Cache.hits, st.Cache.misses)
+  in
+  {
+    nodes = s.nodes;
+    memo_entries = Hashtbl.length s.memo + Position.interned s.interner;
+    cache_hits = ch;
+    cache_misses = cm;
+  }
+
+let spoiler_moves cfg = function
+  | Left -> cfg.left_moves
+  | Right -> cfg.right_moves
+
+let decide_with_stats ?(mode = Full) ?(budget = 50_000_000) ?cache cfg k =
+  let s = solver ~mode ~budget ?cache cfg in
   let result, stats = solver_run s [] k in
   (to_verdict mode result, stats)
 
-let decide ?mode ?budget cfg k = fst (decide_with_stats ?mode ?budget cfg k)
-let equiv ?sigma ?mode ?budget w v k = decide ?mode ?budget (make ?sigma w v) k
+let decide ?mode ?budget ?cache cfg k =
+  fst (decide_with_stats ?mode ?budget ?cache cfg k)
+
+let equiv ?sigma ?mode ?budget ?cache w v k =
+  decide ?mode ?budget ?cache (make ?sigma w v) k
 
 (* ------------------------------------------------------------------ *)
 (* Principal variation extraction.                                     *)

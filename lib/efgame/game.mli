@@ -43,27 +43,47 @@ val base_partial_iso : config -> bool
     the words are already distinguished at 0 rounds — e.g. when a letter
     occurs in only one of them). *)
 
-type stats = { nodes : int; memo_entries : int }
+type stats = {
+  nodes : int;
+  memo_entries : int;
+  cache_hits : int;  (** transposition-table hits (0 without [?cache]) *)
+  cache_misses : int;
+}
 
-val decide : ?mode:mode -> ?budget:int -> config -> int -> verdict
+val decide : ?mode:mode -> ?budget:int -> ?cache:Cache.t -> config -> int -> verdict
 (** [decide cfg k]: does Duplicator have a winning strategy for the
     k-round game? [budget] bounds the number of search nodes (default
-    50_000_000). *)
+    50_000_000).
+
+    With [?cache], the solve runs through the transposition-table engine:
+    positions are canonicalized ({!Position}), consulted in and stored to
+    the shared {!Cache}, Spoiler moves with partial-isomorphism-forced
+    replies skip the candidate scan, and unary instances are dispatched
+    to the arithmetic fast path ({!Unary}). Verdicts are identical to the
+    plain engine on every instance; without [?cache] the seed search runs
+    unchanged. *)
 
 type solver
 (** A solver handle with a persistent memo table, for deciding many
     positions of the same game (e.g. by solver-backed strategies). *)
 
-val solver : ?mode:mode -> ?budget:int -> config -> solver
+val solver : ?mode:mode -> ?budget:int -> ?cache:Cache.t -> config -> solver
 
 val solver_wins : solver -> (string * string) list -> int -> verdict
 (** [solver_wins s pairs k]: can Duplicator win [k] more rounds from the
     position given by the played [(left, right)] pairs? [Not_equiv] is also
     returned when the position itself is not a partial isomorphism. *)
 
-val decide_with_stats : ?mode:mode -> ?budget:int -> config -> int -> verdict * stats
+val solver_stats : solver -> stats
+(** Cumulative nodes and memo size of the handle; cache hit/miss counters
+    are those of the shared table, when one was supplied. *)
 
-val equiv : ?sigma:char list -> ?mode:mode -> ?budget:int -> string -> string -> int -> verdict
+val decide_with_stats :
+  ?mode:mode -> ?budget:int -> ?cache:Cache.t -> config -> int -> verdict * stats
+
+val equiv :
+  ?sigma:char list -> ?mode:mode -> ?budget:int -> ?cache:Cache.t ->
+  string -> string -> int -> verdict
 (** Convenience wrapper building the config. *)
 
 val winning_line : ?budget:int -> config -> int -> (move * string option) list option
@@ -86,3 +106,12 @@ val response_candidates :
 
 val structures : config -> Fc.Structure.t * Fc.Structure.t
 val constant_entries : config -> Partial_iso.entry list
+
+val spoiler_moves : config -> side -> string list
+(** The candidate Spoiler elements on one side (the universe minus the
+    constant values), longest first — the exact top-level move list of the
+    solver. Exposed for the parallel fan-out driver. *)
+
+val unary_of : config -> (char * int * int) option
+(** [Some (c, p, q)] when both words are nonempty powers of the same
+    letter [c] — the instances eligible for the {!Unary} fast path. *)

@@ -1,0 +1,124 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* Run [worker 0 .. worker (jobs-1)] to completion, [jobs - 1] of them on
+   fresh domains and one inline. Reraises the first worker exception. *)
+let run_workers ~jobs worker =
+  if jobs <= 1 then worker 0
+  else begin
+    let spawned =
+      List.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1)))
+    in
+    let inline_exn = try worker 0; None with e -> Some e in
+    let joined =
+      List.filter_map
+        (fun d -> try Domain.join d; None with e -> Some e)
+        spawned
+    in
+    match (inline_exn, joined) with
+    | Some e, _ | None, e :: _ -> raise e
+    | None, [] -> ()
+  end
+
+let map ?jobs f xs =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  let out = Array.make n None in
+  let next = Atomic.make 0 in
+  let worker _ =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        out.(i) <- Some (f arr.(i));
+        loop ()
+      end
+    in
+    loop ()
+  in
+  run_workers ~jobs:(min jobs (max n 1)) worker;
+  Array.to_list out |> List.map Option.get
+
+type task_result = Refuted | Survives | Exhausted
+
+let decide ?(mode = Game.Full) ?(budget = 50_000_000) ?jobs ~cache cfg k =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  if k = 0 || not (Game.base_partial_iso cfg) then
+    Game.decide_with_stats ~mode ~budget ~cache cfg k
+  else begin
+    let tasks =
+      Array.of_list
+        (List.map (fun a -> (Game.Left, a)) (Game.spoiler_moves cfg Game.Left)
+        @ List.map (fun a -> (Game.Right, a)) (Game.spoiler_moves cfg Game.Right))
+    in
+    let entries0 = Game.constant_entries cfg in
+    let limit = match mode with Game.Full -> max_int | Game.Duplicator_limited n -> n in
+    let refuted = Atomic.make false in
+    let exhausted = Atomic.make false in
+    let nodes = Atomic.make 0 in
+    let memo_entries = Atomic.make 0 in
+    let run_task (side, a) =
+      let s = Game.solver ~mode ~budget ~cache cfg in
+      let pair r = match side with Game.Left -> (a, r) | Game.Right -> (r, a) in
+      let entry r =
+        match side with
+        | Game.Left -> (Some a, Some r)
+        | Game.Right -> (Some r, Some a)
+      in
+      let candidates = Game.response_candidates cfg entries0 side a in
+      let candidates =
+        if limit = max_int then candidates
+        else List.filteri (fun i _ -> i < limit) candidates
+      in
+      let saw_unknown = ref false in
+      let survives =
+        List.exists
+          (fun r ->
+            Partial_iso.extension_ok entries0 (entry r)
+            &&
+            match Game.solver_wins s [ pair r ] (k - 1) with
+            | Game.Equiv -> true
+            | Game.Not_equiv -> false
+            | Game.Unknown ->
+                saw_unknown := true;
+                false)
+          candidates
+      in
+      let st = Game.solver_stats s in
+      ignore (Atomic.fetch_and_add nodes st.Game.nodes);
+      ignore (Atomic.fetch_and_add memo_entries st.Game.memo_entries);
+      if survives then Survives
+      else if !saw_unknown then Exhausted
+      else Refuted
+    in
+    let next = Atomic.make 0 in
+    let worker _ =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < Array.length tasks && not (Atomic.get refuted) then begin
+          (match run_task tasks.(i) with
+          | Refuted -> Atomic.set refuted true
+          | Exhausted -> Atomic.set exhausted true
+          | Survives -> ());
+          loop ()
+        end
+      in
+      loop ()
+    in
+    run_workers ~jobs:(min jobs (max (Array.length tasks) 1)) worker;
+    let verdict =
+      if Atomic.get refuted then
+        match mode with
+        | Game.Full -> Game.Not_equiv
+        | Game.Duplicator_limited _ -> Game.Unknown
+      else if Atomic.get exhausted then Game.Unknown
+      else Game.Equiv
+    in
+    let cstats = Cache.stats cache in
+    ( verdict,
+      {
+        Game.nodes = Atomic.get nodes;
+        memo_entries = Atomic.get memo_entries;
+        cache_hits = cstats.Cache.hits;
+        cache_misses = cstats.Cache.misses;
+      } )
+  end

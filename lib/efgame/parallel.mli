@@ -1,0 +1,40 @@
+(** Multicore EF-game solving: OCaml 5 [Domain] fan-out over the
+    top-level Spoiler moves, with a shared lock-free-read transposition
+    table.
+
+    The k-round game value is ∀(top-level Spoiler move) ∃(reply) (win in
+    k−1 rounds from the one-pair position). Each top-level move is an
+    independent task; workers pull tasks from a shared atomic counter,
+    each running the sequential cached solver ({!Game.solver}) on its own
+    domain-local memo while reading and publishing positions through the
+    shared {!Cache.t}. A move refuted by every reply flips an atomic flag
+    that makes remaining workers stop early: one refuted move decides the
+    whole game.
+
+    Verdict assembly is three-valued and sound: [Not_equiv] needs one
+    move whose every reply is {e exactly} refuted; a budget-exhausted or
+    width-truncated reply downgrades that move's evidence to [Unknown]
+    rather than flipping the flag. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val decide :
+  ?mode:Game.mode ->
+  ?budget:int ->
+  ?jobs:int ->
+  cache:Cache.t ->
+  Game.config ->
+  int ->
+  Game.verdict * Game.stats
+(** [decide ~cache cfg k] with [jobs] worker domains (default
+    {!default_jobs}; [jobs ≤ 1] runs the task loop inline without
+    spawning). [budget] applies per top-level task, not globally: each
+    subtree search gets the full node budget. Verdicts agree with
+    {!Game.decide} on every instance. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel map over independent work items (e.g. the
+    (p, q) instances of a witness scan). [f] must be domain-safe — in
+    this library that means: share nothing mutable between calls except a
+    {!Cache.t}. *)

@@ -1,0 +1,248 @@
+exception Budget_exceeded
+exception Unsat
+
+(* Partial-isomorphism extension check, arithmetic form. [entries] are
+   (left, right) length pairs including the constants (0,0) and (1,1);
+   [(na, nb)] is the candidate new pair. Mirrors Partial_iso.extension_ok:
+   equality patterns, plus every concatenation triple involving the new
+   entry — which over a single letter collapse to the additive equations
+   below (u·v and v·u have equal length, halving the triple cases). *)
+let ext_ok entries na nb =
+  List.for_all (fun (x, y) -> (na = x) = (nb = y)) entries
+  && List.for_all
+       (fun (x, y) ->
+         (x = na + na) = (y = nb + nb)
+         && List.for_all
+              (fun (u, v) ->
+                (na = x + u) = (nb = y + v) && (x = na + u) = (y = nb + v))
+              entries)
+       entries
+
+(* Forced Duplicator replies. If the move [a] satisfies an additive
+   pattern with known entries, triple-consistency forces the reply:
+     a = x + u   ⇒  b = y + v
+     x = a + u   ⇒  b = y - v
+     x = a + a   ⇒  b = y / 2
+   Conflicting or out-of-range forcings mean no reply preserves the
+   partial isomorphism at all. Returns [None] (unconstrained) or
+   [Some b]; raises [Unsat] when the move refutes the position. *)
+let forced_reply entries ~other_max a =
+  let forced = ref None in
+  let force v =
+    if v < 0 || v > other_max then raise Unsat
+    else
+      match !forced with
+      | None -> forced := Some v
+      | Some w -> if w <> v then raise Unsat
+  in
+  List.iter
+    (fun (x, y) ->
+      if x = a + a then
+        if y land 1 = 1 then raise Unsat else force (y asr 1);
+      List.iter
+        (fun (u, v) ->
+          if x + u = a then force (y + v);
+          if x = a + u then force (y - v))
+        entries)
+    entries;
+  !forced
+
+let candidate_order ~mine_max ~other_max a =
+  (* Replies that tend to survive, in order: identical (b = a), mirror
+     (same distance from the right end), same distance shifted by half
+     the length gap — the shift Duplicator's midpoint strategies use —
+     and then by plain closeness. The order is a heuristic only; the
+     scan below stays exhaustive. *)
+  let g = other_max - mine_max in
+  let h = g / 2 and h' = g - (g / 2) in
+  let score b =
+    if b = a then -1
+    else
+      let d = b - a in
+      min
+        (min (abs d) (abs (d - g)))
+        (min (abs (d - h)) (abs (d - h')))
+  in
+  List.init (other_max + 1) (fun b -> (score b, b))
+  |> List.sort compare |> List.map snd
+
+(* Additive closure of the played coordinates on one side: the values
+   {x + u, x - u, x / 2} for entry coordinates x, u, clipped to the move
+   range [2..max_v]. Because (0, 0) and (1, 1) are always entries, the
+   closure contains every played coordinate and its ±1 neighbours. A
+   Spoiler move outside the closure fires no pattern of [ext_ok], so it
+   is exactly the closure moves that can be forced or refuted. *)
+let closure xs ~max_v =
+  let add acc v = if v >= 2 && v <= max_v then v :: acc else acc in
+  List.fold_left
+    (fun acc x ->
+      let acc = if x land 1 = 0 then add acc (x asr 1) else acc in
+      List.fold_left (fun acc u -> add (add acc (x + u)) (x - u)) acc xs)
+    [] xs
+  |> List.sort_uniq compare
+
+(* Exact closed form for the 1-round game. A closure move's reply is
+   pinned down by [forced_reply] (or refuted outright); a generic move
+   [a] — one outside the closure — fires no pattern, and neither does a
+   generic reply [b], so [ext_ok entries a b] holds for any such pair
+   (every pattern equivalence is false on both sides). Conversely a
+   generic [a] paired with a closure [b] fails: some pattern fires on
+   the reply side only. Hence Duplicator survives a generic move iff a
+   generic reply value exists, i.e. iff the reply-side closure does not
+   cover all of [2..other_max]. *)
+let w1 entries ~p ~q =
+  let side oriented ~mine_max ~other_max =
+    let xs = List.map fst oriented in
+    let cs = closure xs ~max_v:mine_max in
+    List.for_all
+      (fun a ->
+        match forced_reply oriented ~other_max a with
+        | exception Unsat -> false
+        | Some b -> ext_ok oriented a b
+        | None ->
+            (* unreachable for closure moves; kept for exactness *)
+            let rec scan b = b <= other_max && (ext_ok oriented a b || scan (b + 1)) in
+            scan 0)
+      cs
+    &&
+    (* generic moves exist iff the closure misses part of [2..mine_max] *)
+    let generic_move = List.length cs < max 0 (mine_max - 1) in
+    (not generic_move)
+    ||
+    let ys = List.map snd oriented in
+    let cs' = closure ys ~max_v:other_max in
+    List.length cs' < max 0 (other_max - 1)
+  in
+  side entries ~mine_max:p ~other_max:q
+  && side (List.map (fun (l, r) -> (r, l)) entries) ~mine_max:q ~other_max:p
+
+(* Spoiler move order: refuting moves cluster at the top of the range
+   (the whole-word and near-whole-word factors) and at the small end,
+   so interleave the two directions. Order only — the loop is still
+   exhaustive over [2..m]. *)
+let move_order m =
+  let out = ref [] in
+  let hi = ref m and lo = ref 2 in
+  while !hi >= !lo do
+    out := !hi :: !out;
+    if !lo < !hi then out := !lo :: !out;
+    decr hi;
+    incr lo
+  done;
+  List.rev !out
+
+(* The candidate order depends only on (side, a) for a fixed instance:
+   compute it once per move value and reuse across the whole search. *)
+let candidate_table ~mine_max ~other_max =
+  let tbl = Array.make (mine_max + 1) [] in
+  let filled = Array.make (mine_max + 1) false in
+  fun a ->
+    if not filled.(a) then begin
+      tbl.(a) <- candidate_order ~mine_max ~other_max a;
+      filled.(a) <- true
+    end;
+    tbl.(a)
+
+let solve ?cache ?(limit = max_int) ?(budget = 50_000_000) ~p ~q ~init k0 =
+  if p < 1 || q < 1 then invalid_arg "Unary.solve: need p >= 1 and q >= 1";
+  let consts = [ (0, 0); (1, 1) ] in
+  let nodes = ref 0 in
+  let memo : (int * (int * int) list, bool) Hashtbl.t = Hashtbl.create 64 in
+  let full = limit = max_int in
+  let candidates_l = candidate_table ~mine_max:p ~other_max:q in
+  let candidates_r = candidate_table ~mine_max:q ~other_max:p in
+  let order_l = move_order p and order_r = move_order q in
+  let rec wins pairs entries k =
+    incr nodes;
+    if !nodes > budget then raise Budget_exceeded;
+    if k = 0 then true
+    else if k = 1 then begin
+      (* closed form: no reply scan, so skip the global table too — the
+         computation is cheaper than building its key *)
+      let local = (1, List.sort compare pairs) in
+      match Hashtbl.find_opt memo local with
+      | Some r -> r
+      | None ->
+          let r = w1 entries ~p ~q in
+          Hashtbl.replace memo local r;
+          r
+    end
+    else
+      let spairs = List.sort compare pairs in
+      let local = (k, spairs) in
+      match Hashtbl.find_opt memo local with
+      | Some r -> r
+      | None -> (
+          let gkey =
+            match cache with
+            | Some _ -> Some (Position.unary_key ~p ~q spairs)
+            | None -> None
+          in
+          let cached =
+            match (cache, gkey) with
+            | Some c, Some key -> Cache.lookup c key ~k
+            | _ -> None
+          in
+          match cached with
+          | Some r ->
+              Hashtbl.replace memo local r;
+              r
+          | None ->
+              let r =
+                spoiler_side `L pairs entries k
+                && spoiler_side `R pairs entries k
+              in
+              Hashtbl.replace memo local r;
+              (match (cache, gkey) with
+              | Some c, Some key ->
+                  (* limited-mode failures are not genuine Spoiler wins *)
+                  if r || full then Cache.store c key ~k r
+              | _ -> ());
+              r)
+  and spoiler_side side pairs entries k =
+    let other_max = match side with `L -> q | `R -> p in
+    let mine (l, r) = match side with `L -> l | `R -> r in
+    let orient_entry a b = match side with `L -> (a, b) | `R -> (b, a) in
+    let oriented =
+      List.map (fun (l, r) -> match side with `L -> (l, r) | `R -> (r, l)) entries
+    in
+    let rec moves = function
+      | [] -> true
+      | a :: rest -> (dominated a || survives a) && moves rest
+    and dominated a = List.exists (fun pr -> mine pr = a) pairs
+    and survives a =
+      match forced_reply oriented ~other_max a with
+      | exception Unsat -> false
+      | Some b -> try_reply a b
+      | None ->
+          let cands =
+            match side with `L -> candidates_l a | `R -> candidates_r a
+          in
+          let cands =
+            if full then cands
+            else List.filteri (fun i _ -> i < limit) cands
+          in
+          List.exists (fun b -> try_reply a b) cands
+    and try_reply a b =
+      let na, nb = orient_entry a b in
+      ext_ok entries na nb
+      && wins ((na, nb) :: pairs) ((na, nb) :: entries) (k - 1)
+    in
+    moves (match side with `L -> order_l | `R -> order_r)
+  in
+  (* validate the initial position, entry by entry (same predicate as
+     Partial_iso.holds on the corresponding string entries) *)
+  let valid, entries0 =
+    List.fold_left
+      (fun (ok, acc) (l, r) ->
+        if
+          ok && l >= 0 && l <= p && r >= 0 && r <= q && ext_ok acc l r
+        then (true, (l, r) :: acc)
+        else (false, acc))
+      (true, consts) init
+  in
+  let result =
+    if not valid then Some false
+    else try Some (wins init entries0 k0) with Budget_exceeded -> None
+  in
+  (result, !nodes, Hashtbl.length memo)

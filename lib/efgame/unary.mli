@@ -1,0 +1,42 @@
+(** Specialized EF-game solver for unary words (c^p vs c^q).
+
+    Over a single letter, the structure 𝔄_{c^p} is isomorphic to
+    ({0, …, p}, +|≤p, 0, 1): factors are determined by their lengths and
+    every concatenation pattern is an additive equation. This engine
+    replays the exact search of {!Game} in that arithmetic representation
+    — no string allocation anywhere on the hot path — with
+
+    - positions as sorted lists of (left-length, right-length) pairs,
+      memoized locally and in a shared {!Cache};
+    - {e forced-reply pruning}: when Spoiler's move a participates in an
+      additive pattern with two already-played entries (a = x + u,
+      x = a + u, or x = a + a), triple-consistency of the partial
+      isomorphism pins Duplicator's reply to a single value (or to none,
+      refuting the move immediately), so the candidate scan collapses
+      from O(q) to O(1). This is exact: every other candidate would fail
+      [Partial_iso.extension_ok];
+    - dominance pruning of Spoiler moves that repeat a played length on
+      the same side (the reply is forced and the position unchanged),
+      mirroring the seed solver's skip.
+
+    Verdicts agree with {!Game.decide} on every unary instance: the
+    search is the same ∀∃ recursion over the same move/candidate space,
+    only the representation differs. *)
+
+val solve :
+  ?cache:Cache.t ->
+  ?limit:int ->
+  ?budget:int ->
+  p:int ->
+  q:int ->
+  init:(int * int) list ->
+  int ->
+  bool option * int * int
+(** [solve ~p ~q ~init k]: can Duplicator win [k] more rounds of the game
+    on c^p vs c^q from the position given by the played [init] pairs of
+    lengths? Requires [p ≥ 1] and [q ≥ 1] (so the letter constant is
+    defined on both sides). [limit] is the Duplicator candidate width
+    ([max_int], the default, is the full search; with a finite limit,
+    [Some true] stays sound and [Some false] only means the truncated
+    search failed). Returns [(result, nodes, memo_entries)]; [result] is
+    [None] when the node [budget] is exhausted. *)

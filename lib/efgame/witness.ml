@@ -1,36 +1,86 @@
 let unary n = String.make n 'a'
 
+type engine = Seed | Cached of Cache.t | Parallel of Cache.t * int
+
 type scan_outcome =
   | Found of int * int
   | Exhausted of int
   | Inconclusive of int * (int * int) list
 
-let verify_pair ?budget ~k p q = Game.equiv ?budget (unary p) (unary q) k
+let verdict_of_result = function
+  | Some true -> Game.Equiv
+  | Some false -> Game.Not_equiv
+  | None -> Game.Unknown
+
+(* Decide [a^p ≡_k a^q] under the given engine. Cached/Parallel engines
+   take the arithmetic fast path ({!Unary.solve}) whenever both words are
+   nonempty, skipping [Game.make] entirely; pairs involving ε fall back
+   to the general solver (with the transposition table when present). *)
+let decide_pair ?budget ?(engine = Seed) ~k p q =
+  let general ?cache () = Game.equiv ?budget ?cache (unary p) (unary q) k in
+  match engine with
+  | Seed -> general ()
+  | Cached cache | Parallel (cache, _) ->
+      if p >= 1 && q >= 1 then
+        let budget = Option.value budget ~default:50_000_000 in
+        let r, _, _ = Unary.solve ~cache ~budget ~p ~q ~init:[] k in
+        verdict_of_result r
+      else general ~cache ()
+
+(* Monotonicity prefilter: Duplicator surviving k rounds survives any
+   prefix of the play, so ≡_k ⊆ ≡_j for every j < k. Testing the cheap
+   low-round games first refutes most pairs long before the k-round
+   search runs; every skip is justified by an exact Not_equiv verdict,
+   so exhaustive-scan claims remain sound. *)
+let check_chain ?budget ~engine ~k p q =
+  let rec go j =
+    if j >= k then decide_pair ?budget ~engine ~k p q
+    else
+      match decide_pair ?budget ~engine ~k:j p q with
+      | Game.Not_equiv -> Game.Not_equiv
+      | Game.Equiv -> go (j + 1)
+      | Game.Unknown -> Game.Unknown
+  in
+  go (min 1 k)
+
+let verify_pair ?budget ?engine ~k p q = decide_pair ?budget ?engine ~k p q
 
 let verify_pair_sound ?budget ?(width = 6) ~k p q =
   Game.equiv ~mode:(Game.Duplicator_limited width) ?budget (unary p) (unary q) k
 
-let minimal_pair ?budget ~k ~max_n () =
+let minimal_pair ?budget ?(engine = Seed) ?on_q ~k ~max_n () =
   let unknowns = ref [] in
   let found = ref None in
+  let eval q p = (p, check_chain ?budget ~engine ~k p q) in
   (try
      for q = 1 to max_n do
-       for p = 0 to q - 1 do
-         if !found = None then
-           match verify_pair ?budget ~k p q with
+       (match on_q with Some f -> f q | None -> ());
+       let ps = List.init q Fun.id in
+       let results =
+         match engine with
+         | Parallel (_, jobs) when jobs > 1 -> Parallel.map ~jobs (eval q) ps
+         | _ -> List.map (eval q) ps
+       in
+       List.iter
+         (fun (p, r) ->
+           match r with
            | Game.Equiv ->
-               found := Some (p, q);
-               raise Exit
+               if !found = None then begin
+                 found := Some (p, q);
+                 raise Exit
+               end
            | Game.Not_equiv -> ()
-           | Game.Unknown -> unknowns := (p, q) :: !unknowns
-       done
+           | Game.Unknown -> unknowns := (p, q) :: !unknowns)
+         results
      done
    with Exit -> ());
   match !found with
   | Some (p, q) -> Found (p, q)
-  | None -> if !unknowns = [] then Exhausted max_n else Inconclusive (max_n, List.rev !unknowns)
+  | None ->
+      if !unknowns = [] then Exhausted max_n
+      else Inconclusive (max_n, List.rev !unknowns)
 
-let classes ?budget ~k ~max_n () =
+let classes ?budget ?engine ~k ~max_n () =
   let reps : (int * int list ref) list ref = ref [] in
   let ok = ref true in
   for n = 0 to max_n do
@@ -38,7 +88,7 @@ let classes ?budget ~k ~max_n () =
       let rec place = function
         | [] -> reps := !reps @ [ (n, ref [ n ]) ]
         | (rep, members) :: rest -> (
-            match verify_pair ?budget ~k rep n with
+            match decide_pair ?budget ?engine ~k rep n with
             | Game.Equiv -> members := n :: !members
             | Game.Not_equiv -> place rest
             | Game.Unknown -> ok := false)
@@ -49,7 +99,12 @@ let classes ?budget ~k ~max_n () =
   if not !ok then None
   else Some (List.map (fun (_, members) -> List.rev !members) !reps)
 
-let classes_words ?budget ~sigma ~k ~max_len () =
+let classes_words ?budget ?engine ~sigma ~k ~max_len () =
+  let cache =
+    match engine with
+    | None | Some Seed -> None
+    | Some (Cached c) | Some (Parallel (c, _)) -> Some c
+  in
   let reps : (string * string list ref) list ref = ref [] in
   let ok = ref true in
   List.iter
@@ -58,7 +113,7 @@ let classes_words ?budget ~sigma ~k ~max_len () =
         let rec place = function
           | [] -> reps := !reps @ [ (w, ref [ w ]) ]
           | (rep, members) :: rest -> (
-              match Game.equiv ?budget ~sigma rep w k with
+              match Game.equiv ?budget ?cache ~sigma rep w k with
               | Game.Equiv -> members := w :: !members
               | Game.Not_equiv -> place rest
               | Game.Unknown -> ok := false)
@@ -66,4 +121,5 @@ let classes_words ?budget ~sigma ~k ~max_len () =
         place !reps
       end)
     (Words.Word.enumerate ~alphabet:sigma ~max_len);
-  if not !ok then None else Some (List.map (fun (_, members) -> List.rev !members) !reps)
+  if not !ok then None
+  else Some (List.map (fun (_, members) -> List.rev !members) !reps)

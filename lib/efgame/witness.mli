@@ -1,23 +1,48 @@
 (** Witness search over unary words (Lemma 3.4): minimal pairs p < q with
     [a^p ≡_k a^q], and ≡_k equivalence classes of initial segments. *)
 
+type engine =
+  | Seed  (** the original memoized search, no transposition table *)
+  | Cached of Cache.t
+      (** transposition-table-backed search; unary pairs dispatch to the
+          arithmetic fast path ({!Unary.solve}) directly *)
+  | Parallel of Cache.t * int
+      (** like [Cached], but scans fan the per-[q] pair checks out over
+          the given number of worker domains sharing the one table *)
+
 type scan_outcome =
   | Found of int * int  (** the minimal pair within the scanned range *)
   | Exhausted of int  (** no pair with q ≤ bound; all verdicts were exact *)
   | Inconclusive of int * (int * int) list
       (** bound, plus the pairs on which the solver ran out of budget *)
 
-val minimal_pair : ?budget:int -> k:int -> max_n:int -> unit -> scan_outcome
-(** Scan pairs in order of q, then p (so the first hit minimizes the larger
-    word). Prunes using monotonicity: a pair can only be ≡_k if it is ≡_j
-    for every j < k. *)
+val minimal_pair :
+  ?budget:int ->
+  ?engine:engine ->
+  ?on_q:(int -> unit) ->
+  k:int ->
+  max_n:int ->
+  unit ->
+  scan_outcome
+(** Scan pairs in order of q, then p (so the first hit minimizes the
+    larger word). Each pair runs through the monotonicity prefilter
+    first: ≡_k requires ≡_j for every j < k, and the low-round games
+    refute most pairs at a fraction of the k-round cost. All skips rest
+    on exact [Not_equiv] verdicts, so an [Exhausted] outcome is a sound
+    exhaustive claim. [on_q] is a progress callback invoked as each new
+    value of [q] starts (long frontier scans report through it). *)
 
-val classes : ?budget:int -> k:int -> max_n:int -> unit -> int list list option
+val classes :
+  ?budget:int -> ?engine:engine -> k:int -> max_n:int -> unit ->
+  int list list option
 (** ≡_k-classes of {a^0, …, a^max_n}, each sorted ascending, classes
     ordered by minimum. [None] when some comparison came back [Unknown]. *)
 
-val verify_pair : ?budget:int -> k:int -> int -> int -> Game.verdict
-(** [verify_pair ~k p q]: decide [a^p ≡_k a^q] with a full search. *)
+val verify_pair :
+  ?budget:int -> ?engine:engine -> k:int -> int -> int -> Game.verdict
+(** [verify_pair ~k p q]: decide [a^p ≡_k a^q] with a full search under
+    the chosen engine (default [Seed]). All engines agree on every
+    instance; they differ only in speed. *)
 
 val verify_pair_sound : ?budget:int -> ?width:int -> k:int -> int -> int -> Game.verdict
 (** One-sided verification using the Duplicator-restricted search (default
@@ -25,7 +50,7 @@ val verify_pair_sound : ?budget:int -> ?width:int -> k:int -> int -> int -> Game
     pairs beyond the full solver's reach. *)
 
 val classes_words :
-  ?budget:int -> sigma:char list -> k:int -> max_len:int -> unit ->
-  string list list option
+  ?budget:int -> ?engine:engine -> sigma:char list -> k:int -> max_len:int ->
+  unit -> string list list option
 (** ≡_k classes of all words over [sigma] up to [max_len] — the finite
     index underlying Theorem 3.2. [None] on budget exhaustion. *)
