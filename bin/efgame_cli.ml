@@ -6,22 +6,125 @@
      efgame_cli aaaa aaaaaa --rounds 2 --cache --stats
      efgame_cli abab baba --rounds 2 --jobs 4
      efgame_cli --scan 2 --max 14            (minimal unary pair search)
-     efgame_cli --scan 3 --max 96 --cache    (frontier scan, memoized engine)
-     efgame_cli --classes 1 --max 8          (≡_k classes of a^0..a^max) *)
+     efgame_cli --classes 1 --max 8          (≡_k classes of a^0..a^max)
+     efgame_cli --frontier 384 --table e2.tbl --json scan.json
+                                             (exhaustive ≡₃ scan, checkpointed)
+     efgame_cli --frontier 384 --table e2.tbl --resume
+                                             (continue a killed scan) *)
 
 open Cmdliner
 
 let pp_word ppf w = Words.Word.pp ppf w
 
-let run words rounds explain budget scan classes max_n use_cache jobs stats =
-  let cache =
-    if use_cache || jobs > 1 then Some (Efgame.Cache.create ()) else None
+(* ---------------------------------------------------------------- JSON *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_scan_json ~path ~mode ~k ~max_n ~jobs ~budget ~outcome ~stats ~wall_s
+    ~table =
+  let open Efgame.Witness in
+  let outcome_name, pair, unknown_count =
+    match outcome with
+    | Found (p, q) -> ("found", Printf.sprintf "[%d, %d]" p q, 0)
+    | Exhausted _ -> ("exhausted", "null", 0)
+    | Inconclusive (_, us) -> ("inconclusive", "null", List.length us)
   in
+  let lookups = stats.cache_hits + stats.cache_misses in
+  let hit_rate =
+    if lookups = 0 then 0.
+    else float_of_int stats.cache_hits /. float_of_int lookups
+  in
+  let table_json =
+    match table with
+    | None -> "null"
+    | Some (file, loaded, saved) ->
+        Printf.sprintf
+          {|{"path": "%s", "loaded_entries": %d, "saved_entries": %d}|}
+          (json_escape file) loaded saved
+  in
+  let oc = open_out path in
+  Printf.fprintf oc
+    {|{
+  "schema": "efgame-scan/1",
+  "mode": "%s",
+  "k": %d,
+  "max_n": %d,
+  "jobs": %d,
+  "budget": %d,
+  "outcome": "%s",
+  "pair": %s,
+  "unknown_pairs": %d,
+  "wall_s": %.6f,
+  "pairs": %d,
+  "nodes": %d,
+  "chunks": %d,
+  "cache_hits": %d,
+  "cache_misses": %d,
+  "cache_hit_rate": %.4f,
+  "table": %s
+}
+|}
+    mode k max_n jobs budget outcome_name pair unknown_count wall_s stats.pairs
+    stats.nodes stats.chunks stats.cache_hits stats.cache_misses hit_rate
+    table_json;
+  close_out oc
+
+(* ------------------------------------------------------------- driver *)
+
+let run words rounds explain budget scan classes frontier max_n use_cache jobs
+    stats table resume checkpoint_s json =
+  (* a frontier scan is table-driven by definition; --jobs > 1 and
+     --table each imply --cache as well *)
+  let use_cache =
+    use_cache || jobs > 1 || Option.is_some frontier || Option.is_some table
+  in
+  let cache = if use_cache then Some (Efgame.Cache.create ()) else None in
   let engine =
     match (cache, jobs) with
     | Some c, j when j > 1 -> Efgame.Witness.Parallel (c, j)
     | Some c, _ -> Efgame.Witness.Cached c
     | None, _ -> Efgame.Witness.Seed
+  in
+  let loaded =
+    match (cache, table) with
+    | Some c, Some file when resume ->
+        if Sys.file_exists file then (
+          match Efgame.Persist.load c file with
+          | Ok n ->
+              Format.eprintf "[table] resumed from %s (%d entries)@." file n;
+              Efgame.Cache.reset_counters c;
+              n
+          | Error e ->
+              Format.eprintf "[table] cannot resume from %s: %a@." file
+                Efgame.Persist.pp_error e;
+              exit 2)
+        else (
+          Format.eprintf
+            "[table] %s does not exist yet; starting a fresh scan@." file;
+          0)
+    | _ -> 0
+  in
+  let save_table () =
+    match (cache, table) with
+    | Some c, Some file ->
+        let n = Efgame.Persist.save c file in
+        Format.eprintf "[table] checkpoint: %d entries -> %s@." n file;
+        n
+    | _ -> 0
   in
   let print_cache_stats () =
     match cache with
@@ -29,19 +132,59 @@ let run words rounds explain budget scan classes max_n use_cache jobs stats =
         Format.printf "cache: %a@." Efgame.Cache.pp_stats (Efgame.Cache.stats c)
     | _ -> ()
   in
-  match (scan, classes) with
-  | Some k, _ ->
-      (match Efgame.Witness.minimal_pair ~budget ~engine ~k ~max_n () with
-      | Efgame.Witness.Found (p, q) ->
-          Format.printf "minimal pair for ≡_%d: a^%d ≡ a^%d@." k p q
-      | Efgame.Witness.Exhausted n ->
-          Format.printf "no pair with q ≤ %d (exhaustive)@." n
-      | Efgame.Witness.Inconclusive (n, unknowns) ->
-          Format.printf "inconclusive up to %d (budget ran out on %d pairs)@." n
-            (List.length unknowns));
-      print_cache_stats ();
-      exit 0
-  | None, Some k ->
+  let run_scan ~mode ~k ~max_n =
+    let last_save = ref (Unix.gettimeofday ()) in
+    let on_tick ~completed:_ =
+      if checkpoint_s > 0. && Unix.gettimeofday () -. !last_save >= checkpoint_s
+      then begin
+        ignore (save_table ());
+        last_save := Unix.gettimeofday ()
+      end
+    in
+    let last_q = ref 0 in
+    let on_q q =
+      if q / 32 > !last_q / 32 then begin
+        Format.eprintf "[scan] k=%d: q = %d / %d@." k q max_n;
+        last_q := q
+      end
+    in
+    let t0 = Unix.gettimeofday () in
+    let outcome, scan_stats =
+      Efgame.Witness.scan ~budget ~engine ~on_q ~on_tick ~k ~max_n ()
+    in
+    let wall_s = Unix.gettimeofday () -. t0 in
+    let saved = save_table () in
+    (match outcome with
+    | Efgame.Witness.Found (p, q) ->
+        Format.printf "minimal pair for ≡_%d: a^%d ≡ a^%d@." k p q
+    | Efgame.Witness.Exhausted n ->
+        Format.printf "no pair with q ≤ %d (exhaustive)@." n
+    | Efgame.Witness.Inconclusive (n, unknowns) ->
+        Format.printf "inconclusive up to %d (budget ran out on %d pairs)@." n
+          (List.length unknowns));
+    if stats then
+      Format.printf
+        "scan: %d pairs, %d nodes, %d chunks, %.2f s wall, %d table hits / %d lookups@."
+        scan_stats.Efgame.Witness.pairs scan_stats.Efgame.Witness.nodes
+        scan_stats.Efgame.Witness.chunks wall_s
+        scan_stats.Efgame.Witness.cache_hits
+        (scan_stats.Efgame.Witness.cache_hits
+        + scan_stats.Efgame.Witness.cache_misses);
+    (match json with
+    | Some path ->
+        write_scan_json ~path ~mode ~k ~max_n ~jobs:(max 1 jobs) ~budget
+          ~outcome ~stats:scan_stats ~wall_s
+          ~table:(Option.map (fun f -> (f, loaded, saved)) table)
+    | None -> ());
+    print_cache_stats ();
+    exit 0
+  in
+  match (frontier, scan, classes) with
+  | Some n, _, _ ->
+      (* the ≡₃ frontier of EXPERIMENTS.md E2: exhaustive over all pairs *)
+      run_scan ~mode:"frontier" ~k:3 ~max_n:n
+  | None, Some k, _ -> run_scan ~mode:"scan" ~k ~max_n
+  | None, None, Some k ->
       (match Efgame.Witness.classes ~budget ~engine ~k ~max_n () with
       | None -> Format.printf "budget exhausted@."
       | Some cls ->
@@ -50,9 +193,10 @@ let run words rounds explain budget scan classes max_n use_cache jobs stats =
             (fun members ->
               Format.printf "  {%s}@." (String.concat ", " (List.map string_of_int members)))
             cls);
+      ignore (save_table ());
       print_cache_stats ();
       exit 0
-  | None, None -> (
+  | None, None, None -> (
       match words with
       | [ w; v ] ->
           let cfg = Efgame.Game.make w v in
@@ -67,6 +211,7 @@ let run words rounds explain budget scan classes max_n use_cache jobs stats =
           if stats then
             Format.printf "table: %d hits, %d misses@." s.Efgame.Game.cache_hits
               s.Efgame.Game.cache_misses;
+          ignore (save_table ());
           print_cache_stats ();
           if explain && verdict = Efgame.Game.Not_equiv then begin
             match Efgame.Game.winning_line ~budget cfg rounds with
@@ -83,7 +228,7 @@ let run words rounds explain budget scan classes max_n use_cache jobs stats =
           end;
           exit (match verdict with Efgame.Game.Unknown -> 3 | _ -> 0)
       | _ ->
-          Format.eprintf "expected exactly two words (or --scan / --classes)@.";
+          Format.eprintf "expected exactly two words (or --scan / --classes / --frontier)@.";
           exit 2)
 
 let words_arg = Arg.(value & pos_all string [] & info [] ~docv:"WORD" ~doc:"The two words.")
@@ -92,6 +237,15 @@ let explain_arg = Arg.(value & flag & info [ "explain" ] ~doc:"Show a winning Sp
 let budget_arg = Arg.(value & opt int 50_000_000 & info [ "budget" ] ~docv:"N" ~doc:"Search node budget.")
 let scan_arg = Arg.(value & opt (some int) None & info [ "scan" ] ~docv:"K" ~doc:"Search the minimal unary ≡_K pair.")
 let classes_arg = Arg.(value & opt (some int) None & info [ "classes" ] ~docv:"K" ~doc:"Compute unary ≡_K classes.")
+
+let frontier_arg =
+  Arg.(value & opt (some int) None & info [ "frontier" ] ~docv:"N"
+       ~doc:"Exhaustive all-pairs ≡₃ frontier scan up to $(docv) (the E2 \
+             experiment), on the work-stealing scheduler with the \
+             transposition-table engine. Combine with --table/--resume to \
+             checkpoint and continue, --json for a machine-readable record, \
+             --jobs to fan pairs out over worker domains.")
+
 let max_arg = Arg.(value & opt int 14 & info [ "max" ] ~docv:"N" ~doc:"Bound for --scan/--classes.")
 
 let cache_arg =
@@ -109,12 +263,37 @@ let jobs_arg =
 let stats_arg =
   Arg.(value & flag & info [ "stats" ]
        ~doc:"Print transposition-table statistics (entries, hits, misses, \
-             stores) after solving.")
+             stores) after solving, and scan statistics (pairs, nodes, \
+             chunks, wall time) after a scan.")
+
+let table_arg =
+  Arg.(value & opt (some string) None & info [ "table" ] ~docv:"FILE"
+       ~doc:"Persist the transposition table to $(docv): periodic \
+             checkpoints during a scan (see --checkpoint) plus a final \
+             save. Only exact verdicts are written, so reloaded tables \
+             are sound regardless of budget. Implies --cache.")
+
+let resume_arg =
+  Arg.(value & flag & info [ "resume" ]
+       ~doc:"Load the --table file before scanning (if it exists), making \
+             the scan incremental: already-proved pairs are answered from \
+             the table. Without --resume an existing file is overwritten.")
+
+let checkpoint_arg =
+  Arg.(value & opt float 60. & info [ "checkpoint" ] ~docv:"S"
+       ~doc:"Seconds between table checkpoints during a scan (0 disables \
+             periodic checkpoints; the final save always happens).")
+
+let json_arg =
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+       ~doc:"Write a machine-readable record of the scan (outcome, wall \
+             time, pairs, nodes, table hit rate) to $(docv).")
 
 let cmd =
   Cmd.v
     (Cmd.info "efgame_cli" ~doc:"Decide w ≡_k v with the exhaustive EF-game solver")
     Term.(const run $ words_arg $ rounds_arg $ explain_arg $ budget_arg $ scan_arg
-          $ classes_arg $ max_arg $ cache_arg $ jobs_arg $ stats_arg)
+          $ classes_arg $ frontier_arg $ max_arg $ cache_arg $ jobs_arg $ stats_arg
+          $ table_arg $ resume_arg $ checkpoint_arg $ json_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -97,6 +97,15 @@ let rec store_unknown t key ~k ~width ~budget =
     if not (Atomic.compare_and_set e.unknown cur ((k, width, budget) :: cur))
     then store_unknown t key ~k ~width ~budget
 
+let fold t ~init ~f =
+  Array.fold_left
+    (fun acc b ->
+      List.fold_left
+        (fun acc e ->
+          f acc e.key ~win:(Atomic.get e.win) ~lose:(Atomic.get e.lose))
+        acc (Atomic.get b))
+    init t.buckets
+
 type stats = { hits : int; misses : int; stores : int; entries : int }
 
 let stats (t : t) =

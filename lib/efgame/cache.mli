@@ -53,6 +53,16 @@ val store_unknown : t -> Position.key -> k:int -> width:int -> budget:int -> uni
 (** Record that the search at [k] rounds with the given Duplicator width
     exhausted [budget] nodes. *)
 
+val fold :
+  t -> init:'a -> f:('a -> Position.key -> win:int -> lose:int -> 'a) -> 'a
+(** Fold over every entry's exact-verdict frontiers: [win] is the largest
+    proven-Duplicator-win round count (-1 when none), [lose] the smallest
+    proven-Spoiler-win round count ([max_int] when none). Budget-provenance
+    [Unknown] records are deliberately not exposed — they are only valid
+    relative to a width/budget pair and must not outlive the run that
+    produced them (see {!Persist}). Safe to call concurrently with
+    readers and writers; the result is a consistent-per-entry snapshot. *)
+
 type stats = { hits : int; misses : int; stores : int; entries : int }
 
 val stats : t -> stats

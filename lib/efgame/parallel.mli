@@ -19,6 +19,13 @@
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]. *)
 
+val run_workers : jobs:int -> (int -> unit) -> unit
+(** [run_workers ~jobs worker] runs [worker 0 .. worker (jobs-1)] to
+    completion, [jobs - 1] of them on fresh domains and worker 0 inline
+    on the calling domain ([jobs ≤ 1] spawns nothing). Reraises the first
+    worker exception after all workers have been joined. The building
+    block under {!map}, {!decide} and {!Scheduler.run}. *)
+
 val decide :
   ?mode:Game.mode ->
   ?budget:int ->

@@ -1,0 +1,139 @@
+(* On-disk snapshot of a transposition table's exact verdicts.
+
+   Layout (all integers little-endian):
+
+     bytes 0-3    magic "EFGT"
+     bytes 4-7    format version (u32)
+     bytes 8-15   entry count (u64)
+     bytes 16-23  FNV-1a 64 checksum of the payload (u64)
+     bytes 24-    payload: per entry
+                    u32   key length
+                    bytes key (canonical Position encoding, verbatim)
+                    i32   win  frontier (-1 = none proved)
+                    i32   lose frontier (-1 = none proved, i.e. max_int)
+
+   Only the win/lose frontiers are written: they are exact verdicts,
+   valid for any future search of any budget or width. Budget-provenance
+   Unknown records are deliberately dropped — an Unknown is evidence only
+   relative to the width/budget pair that produced it, and persisting it
+   could suppress a deeper future search. Loading therefore can never
+   flip or weaken a verdict; it only pre-proves positions. *)
+
+type error =
+  | Io of string
+  | Bad_magic
+  | Bad_version of int
+  | Truncated
+  | Corrupted
+
+let pp_error ppf = function
+  | Io msg -> Format.fprintf ppf "i/o error: %s" msg
+  | Bad_magic -> Format.fprintf ppf "not an EF-game table file (bad magic)"
+  | Bad_version v -> Format.fprintf ppf "unsupported table format version %d" v
+  | Truncated -> Format.fprintf ppf "table file is truncated"
+  | Corrupted -> Format.fprintf ppf "table file is corrupted (checksum mismatch)"
+
+let magic = "EFGT"
+let version = 1
+
+(* FNV-1a, 64-bit. Simple, dependency-free, and plenty for detecting
+   truncation-with-padding and bit rot; this is an integrity check, not
+   an authenticity one. *)
+let fnv1a64 s =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
+    s;
+  !h
+
+let encode_lose lose = if lose = max_int then -1l else Int32.of_int lose
+
+let save ?(max_depth = max_int) cache path =
+  let payload = Buffer.create (1 lsl 16) in
+  let written =
+    Cache.fold cache ~init:0 ~f:(fun n key ~win ~lose ->
+        if
+          (win >= 0 || lose < max_int)
+          && Position.key_depth key <= max_depth
+        then begin
+          Buffer.add_int32_le payload (Int32.of_int (String.length key));
+          Buffer.add_string payload key;
+          Buffer.add_int32_le payload (Int32.of_int win);
+          Buffer.add_int32_le payload (encode_lose lose);
+          n + 1
+        end
+        else n)
+  in
+  let payload = Buffer.contents payload in
+  let header = Buffer.create 24 in
+  Buffer.add_string header magic;
+  Buffer.add_int32_le header (Int32.of_int version);
+  Buffer.add_int64_le header (Int64.of_int written);
+  Buffer.add_int64_le header (fnv1a64 payload);
+  (* write-to-temp + rename: a checkpoint interrupted mid-write never
+     clobbers the previous good snapshot *)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Buffer.contents header);
+      output_string oc payload);
+  Sys.rename tmp path;
+  written
+
+let load cache path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+        In_channel.input_all ic)
+  with
+  | exception Sys_error msg -> Error (Io msg)
+  | data ->
+      let len = String.length data in
+      if len < 24 then
+        if len >= 4 && String.sub data 0 4 <> magic then Error Bad_magic
+        else Error Truncated
+      else if String.sub data 0 4 <> magic then Error Bad_magic
+      else
+        let b = Bytes.unsafe_of_string data in
+        let ver = Int32.to_int (Bytes.get_int32_le b 4) in
+        if ver <> version then Error (Bad_version ver)
+        else
+          let count = Int64.to_int (Bytes.get_int64_le b 8) in
+          let sum = Bytes.get_int64_le b 16 in
+          let payload = String.sub data 24 (len - 24) in
+          if fnv1a64 payload <> sum then Error Corrupted
+          else begin
+            (* structural pass first, stores second: a rejected file must
+               leave the table untouched *)
+            let structurally_ok =
+              let pos = ref 24 in
+              try
+                for _ = 1 to count do
+                  if !pos + 4 > len then raise Exit;
+                  let klen = Int32.to_int (Bytes.get_int32_le b !pos) in
+                  if klen < 0 || !pos + 4 + klen + 8 > len then raise Exit;
+                  pos := !pos + 4 + klen + 8
+                done;
+                !pos = len
+              with Exit -> false
+            in
+            if not structurally_ok then Error Truncated
+            else begin
+              let pos = ref 24 in
+              for _ = 1 to count do
+                let klen = Int32.to_int (Bytes.get_int32_le b !pos) in
+                let key = String.sub data (!pos + 4) klen in
+                let win = Int32.to_int (Bytes.get_int32_le b (!pos + 4 + klen)) in
+                let lose =
+                  Int32.to_int (Bytes.get_int32_le b (!pos + 4 + klen + 4))
+                in
+                if win >= 0 then Cache.store cache key ~k:win true;
+                if lose >= 0 then Cache.store cache key ~k:lose false;
+                pos := !pos + 4 + klen + 8
+              done;
+              Ok count
+            end
+          end

@@ -1,0 +1,42 @@
+(** Disk snapshots of a transposition table ({!Cache.t}), making repeated
+    frontier scans incremental: a killed scan resumes from its last
+    checkpoint by replaying against the loaded table, and a re-scan of an
+    already-covered range collapses to table lookups.
+
+    {b Soundness.} Only the exact win/lose frontiers are persisted — the
+    rounds at which a Duplicator win (resp. Spoiler win) has been
+    {e proved}. These are position-intrinsic facts, independent of the
+    budget, candidate width, alphabet letter (unary keys are letter-free
+    by construction, see {!Position.unary_key}) or engine that derived
+    them, so a loaded table can only pre-prove positions, never flip a
+    verdict. Budget-provenance [Unknown] records are deliberately {e not}
+    written: an Unknown is evidence only relative to its width/budget
+    provenance, and reloading it into a run with a different budget could
+    wrongly suppress a search.
+
+    The format is versioned and checksummed; [save] writes via a
+    temporary file and an atomic rename, so an interrupted checkpoint
+    never corrupts the previous snapshot. *)
+
+type error =
+  | Io of string  (** file missing / unreadable *)
+  | Bad_magic  (** not a table file at all *)
+  | Bad_version of int  (** written by an incompatible format version *)
+  | Truncated  (** structure runs past (or stops short of) the data *)
+  | Corrupted  (** payload checksum mismatch *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val save : ?max_depth:int -> Cache.t -> string -> int
+(** [save cache path]: snapshot every entry holding at least one exact
+    verdict whose position depth (played pairs, {!Position.key_depth}) is
+    at most [max_depth] (default: unbounded). Returns the number of
+    entries written. Safe to call while other domains are still reading
+    and writing the table — each entry is snapshot consistently. Raises
+    [Sys_error] on i/o failure. *)
+
+val load : Cache.t -> string -> (int, error) result
+(** [load cache path]: merge a snapshot into [cache] (monotone frontier
+    merge — existing entries are only ever strengthened). Returns the
+    number of entries merged. A file that fails validation is rejected
+    as a whole: on [Error] the table is untouched. *)

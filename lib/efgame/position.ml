@@ -59,6 +59,19 @@ let unary_key ~p ~q pairs =
     let b = encode_unary ~p ~q (List.sort compare (mirror pairs)) in
     if a <= b then a else b
 
+let count_char c s =
+  let n = ref 0 in
+  String.iter (fun ch -> if ch = c then incr n) s;
+  !n
+
+let key_depth k =
+  if String.length k = 0 then 0
+  else
+    match k.[0] with
+    | 'U' -> count_char ';' k
+    | 'G' -> count_char '\x02' k
+    | _ -> 0
+
 type interner = { tbl : (string, int) Hashtbl.t; mutable next : int }
 
 let interner () = { tbl = Hashtbl.create 64; next = 0 }

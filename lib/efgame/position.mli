@@ -33,6 +33,13 @@ val unary_key : p:int -> q:int -> (int * int) list -> key
 (** [unary_key ~p ~q pairs]: canonical key for a position of the unary
     game on c^p vs c^q, with factors given by their lengths. *)
 
+val key_depth : key -> int
+(** Number of played pairs recorded in a key (either encoding): the depth
+    of the position below the game's root. Constant entries don't count.
+    Used by {!Persist} to snapshot only the shallow, high-reuse layers of
+    a table, and by the scan engines to skip table traffic for deep
+    nodes. *)
+
 (** {1 Hash-consing}
 
     A per-solver interner mapping keys to dense integer ids, so local

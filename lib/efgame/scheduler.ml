@@ -1,0 +1,64 @@
+type t = {
+  next : int Atomic.t;
+  limit : int Atomic.t;
+  completed : int Atomic.t;
+  chunks : int Atomic.t;
+  jobs : int;
+  min_chunk : int;
+  max_chunk : int;
+}
+
+let create ?(min_chunk = 1) ?(max_chunk = 256) ~jobs ~total () =
+  if total < 0 then invalid_arg "Scheduler.create: negative total";
+  if min_chunk < 1 || max_chunk < min_chunk then
+    invalid_arg "Scheduler.create: need 1 <= min_chunk <= max_chunk";
+  {
+    next = Atomic.make 0;
+    limit = Atomic.make total;
+    completed = Atomic.make 0;
+    chunks = Atomic.make 0;
+    jobs = max 1 jobs;
+    min_chunk;
+    max_chunk;
+  }
+
+let rec atomic_min a v =
+  let c = Atomic.get a in
+  if v < c && not (Atomic.compare_and_set a c v) then atomic_min a v
+
+let shrink_limit t v = atomic_min t.limit (max 0 v)
+let limit t = Atomic.get t.limit
+let completed t = Atomic.get t.completed
+let chunks t = Atomic.get t.chunks
+
+(* Guided self-scheduling: each claim takes a 1/(2·jobs) share of the
+   remaining index space, clamped to [min_chunk, max_chunk]. Early claims
+   are large (amortizing the atomic traffic), the tail is fine-grained
+   (so no worker is left holding a big chunk while the others idle). *)
+let chunk_size t =
+  let remaining = Atomic.get t.limit - Atomic.get t.next in
+  min t.max_chunk (max t.min_chunk (remaining / (2 * t.jobs)))
+
+let run ?tick t f =
+  let worker w =
+    let rec loop () =
+      let size = chunk_size t in
+      let lo = Atomic.fetch_and_add t.next size in
+      if lo < Atomic.get t.limit then begin
+        Atomic.incr t.chunks;
+        let hi = lo + size in
+        let i = ref lo in
+        (* [limit] may shrink while we work through the chunk; re-reading
+           it per item makes cancellation effective at item granularity *)
+        while !i < hi && !i < Atomic.get t.limit do
+          f !i;
+          Atomic.incr t.completed;
+          incr i
+        done;
+        (match tick with Some g when w = 0 -> g () | _ -> ());
+        loop ()
+      end
+    in
+    loop ()
+  in
+  Parallel.run_workers ~jobs:t.jobs worker

@@ -1,0 +1,50 @@
+(** Work-stealing execution of an indexed work space over Domains.
+
+    Workers claim contiguous chunks of [0, total) from a single shared
+    atomic index — the classic guided self-scheduling discipline: a claim
+    takes a 1/(2·jobs) share of the {e remaining} space, clamped to
+    [\[min_chunk, max_chunk\]], so early chunks are large (few atomic
+    operations) and the tail is fine-grained (stragglers cannot strand a
+    large chunk behind one slow item). This replaces barrier-style
+    [Parallel.map] rounds for scans whose items have wildly heterogeneous
+    cost: no worker ever waits at a row boundary while another finishes a
+    deep search.
+
+    The limit is {e shrinkable}: [shrink_limit t i] abandons every index
+    ≥ i that has not started, at item granularity (in-flight chunks
+    re-check the limit before each item). Because the limit only ever
+    decreases, when [run] returns every index below the final limit has
+    been processed exactly once, and no index at or above it was started
+    after the shrink — precisely the contract a minimal-witness scan
+    needs for sound early exit. *)
+
+type t
+
+val create :
+  ?min_chunk:int -> ?max_chunk:int -> jobs:int -> total:int -> unit -> t
+(** A scheduler over the index space [0, total). [min_chunk] defaults to
+    1, [max_chunk] to 256 (capping chunk size keeps the inter-chunk
+    [tick] callback of {!run} reasonably frequent even at the start of a
+    large space). *)
+
+val run : ?tick:(unit -> unit) -> t -> (int -> unit) -> unit
+(** [run t f] executes [f i] for every [i] below the (possibly shrinking)
+    limit, over [jobs] worker domains (worker 0 runs inline on the
+    calling domain). [f] must be domain-safe. [tick] is invoked by worker
+    0 between its chunks — a single-writer hook for periodic work such as
+    table checkpoints. Reraises the first worker exception after joining
+    all workers. A scheduler is single-shot: do not call [run] twice. *)
+
+val shrink_limit : t -> int -> unit
+(** Abandon all indices ≥ the given value (atomic monotone min;
+    concurrent shrinks compose to the smallest). Indices already below
+    the new limit are unaffected and will still be processed. *)
+
+val limit : t -> int
+(** Current limit: [total] until someone shrinks it. *)
+
+val completed : t -> int
+(** Number of items processed so far (for progress reporting). *)
+
+val chunks : t -> int
+(** Number of chunks claimed so far (scheduling-overhead telemetry). *)

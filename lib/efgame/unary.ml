@@ -143,7 +143,8 @@ let candidate_table ~mine_max ~other_max =
     end;
     tbl.(a)
 
-let solve ?cache ?(limit = max_int) ?(budget = 50_000_000) ~p ~q ~init k0 =
+let solve ?cache ?(store_depth = max_int) ?(limit = max_int)
+    ?(budget = 50_000_000) ~p ~q ~init k0 =
   if p < 1 || q < 1 then invalid_arg "Unary.solve: need p >= 1 and q >= 1";
   let consts = [ (0, 0); (1, 1) ] in
   let nodes = ref 0 in
@@ -174,9 +175,14 @@ let solve ?cache ?(limit = max_int) ?(budget = 50_000_000) ~p ~q ~init k0 =
       | Some r -> r
       | None -> (
           let gkey =
+            (* deep positions skip the shared table entirely: during a cold
+               scan they are never re-reachable from another instance (keys
+               embed (p, q)), so building and hashing their keys is pure
+               overhead — the local memo already dedups within this solve *)
             match cache with
-            | Some _ -> Some (Position.unary_key ~p ~q spairs)
-            | None -> None
+            | Some _ when List.length spairs <= store_depth ->
+                Some (Position.unary_key ~p ~q spairs)
+            | _ -> None
           in
           let cached =
             match (cache, gkey) with

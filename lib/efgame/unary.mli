@@ -25,6 +25,7 @@
 
 val solve :
   ?cache:Cache.t ->
+  ?store_depth:int ->
   ?limit:int ->
   ?budget:int ->
   p:int ->
@@ -38,5 +39,11 @@ val solve :
     defined on both sides). [limit] is the Duplicator candidate width
     ([max_int], the default, is the full search; with a finite limit,
     [Some true] stays sound and [Some false] only means the truncated
-    search failed). Returns [(result, nodes, memo_entries)]; [result] is
-    [None] when the node [budget] is exhausted. *)
+    search failed). [store_depth] bounds the position depth (played
+    pairs) at which the shared [cache] is consulted and written — deeper
+    nodes use only the solve-local memo. Depth gating is a pure
+    time/space trade-off: within one solve the local memo already
+    deduplicates, and across solves only shallow positions are ever
+    re-reachable, so verdicts are unaffected. Returns
+    [(result, nodes, memo_entries)]; [result] is [None] when the node
+    [budget] is exhausted. *)

@@ -7,119 +7,270 @@ type scan_outcome =
   | Exhausted of int
   | Inconclusive of int * (int * int) list
 
+type scan_stats = {
+  pairs : int;
+  nodes : int;
+  chunks : int;
+  cache_hits : int;
+  cache_misses : int;
+}
+
+let engine_cache = function
+  | Seed -> None
+  | Cached c | Parallel (c, _) -> Some c
+
+let engine_jobs = function Seed | Cached _ -> 1 | Parallel (_, j) -> max 1 j
+
 let verdict_of_result = function
   | Some true -> Game.Equiv
   | Some false -> Game.Not_equiv
   | None -> Game.Unknown
 
-(* Decide [a^p ≡_k a^q] under the given engine. Cached/Parallel engines
-   take the arithmetic fast path ({!Unary.solve}) whenever both words are
-   nonempty, skipping [Game.make] entirely; pairs involving ε fall back
-   to the general solver (with the transposition table when present). *)
-let decide_pair ?budget ?(engine = Seed) ~k p q =
-  let general ?cache () = Game.equiv ?budget ?cache (unary p) (unary q) k in
+(* Decide [a^p ≡_k a^q] under the given engine, also reporting the number
+   of search nodes expanded. Cached/Parallel engines take the arithmetic
+   fast path ({!Unary.solve}) whenever both words are nonempty, skipping
+   [Game.make] entirely; pairs involving ε fall back to the general
+   solver (with the transposition table when present). [store_depth]
+   bounds the depth at which the shared table is touched (see
+   {!Unary.solve}); it never affects verdicts. *)
+let decide_pair_counted ?budget ?(engine = Seed) ?(store_depth = max_int) ~k p q
+    =
+  let general ?cache () =
+    let verdict, st =
+      Game.decide_with_stats ?budget ?cache (Game.make (unary p) (unary q)) k
+    in
+    (verdict, st.Game.nodes)
+  in
   match engine with
   | Seed -> general ()
   | Cached cache | Parallel (cache, _) ->
       if p >= 1 && q >= 1 then
         let budget = Option.value budget ~default:50_000_000 in
-        let r, _, _ = Unary.solve ~cache ~budget ~p ~q ~init:[] k in
-        verdict_of_result r
+        let r, nodes, _ =
+          Unary.solve ~cache ~store_depth ~budget ~p ~q ~init:[] k
+        in
+        (verdict_of_result r, nodes)
       else general ~cache ()
+
+let decide_pair ?budget ?engine ?store_depth ~k p q =
+  fst (decide_pair_counted ?budget ?engine ?store_depth ~k p q)
 
 (* Monotonicity prefilter: Duplicator surviving k rounds survives any
    prefix of the play, so ≡_k ⊆ ≡_j for every j < k. Testing the cheap
    low-round games first refutes most pairs long before the k-round
    search runs; every skip is justified by an exact Not_equiv verdict,
    so exhaustive-scan claims remain sound. *)
-let check_chain ?budget ~engine ~k p q =
+let check_chain_counted ?budget ~engine ?store_depth ~k p q =
+  let nodes = ref 0 in
+  let decide k' =
+    let v, n = decide_pair_counted ?budget ~engine ?store_depth ~k:k' p q in
+    nodes := !nodes + n;
+    v
+  in
   let rec go j =
-    if j >= k then decide_pair ?budget ~engine ~k p q
+    if j >= k then decide k
     else
-      match decide_pair ?budget ~engine ~k:j p q with
+      match decide j with
       | Game.Not_equiv -> Game.Not_equiv
       | Game.Equiv -> go (j + 1)
       | Game.Unknown -> Game.Unknown
   in
-  go (min 1 k)
+  let v = go (min 1 k) in
+  (v, !nodes)
 
 let verify_pair ?budget ?engine ~k p q = decide_pair ?budget ?engine ~k p q
 
 let verify_pair_sound ?budget ?(width = 6) ~k p q =
   Game.equiv ~mode:(Game.Duplicator_limited width) ?budget (unary p) (unary q) k
 
-let minimal_pair ?budget ?(engine = Seed) ?on_q ~k ~max_n () =
-  let unknowns = ref [] in
-  let found = ref None in
-  let eval q p = (p, check_chain ?budget ~engine ~k p q) in
-  (try
-     for q = 1 to max_n do
-       (match on_q with Some f -> f q | None -> ());
-       let ps = List.init q Fun.id in
-       let results =
-         match engine with
-         | Parallel (_, jobs) when jobs > 1 -> Parallel.map ~jobs (eval q) ps
-         | _ -> List.map (eval q) ps
-       in
-       List.iter
-         (fun (p, r) ->
-           match r with
-           | Game.Equiv ->
-               if !found = None then begin
-                 found := Some (p, q);
-                 raise Exit
-               end
-           | Game.Not_equiv -> ()
-           | Game.Unknown -> unknowns := (p, q) :: !unknowns)
-         results
-     done
-   with Exit -> ());
-  match !found with
-  | Some (p, q) -> Found (p, q)
-  | None ->
-      if !unknowns = [] then Exhausted max_n
-      else Inconclusive (max_n, List.rev !unknowns)
+(* The scan's work space is the (p, q) triangle linearized in (q, p)
+   order: index t = q·(q−1)/2 + p for 0 ≤ p < q. Smaller index ⇔
+   lexicographically earlier (q, p), so "minimal pair" = "minimal index
+   among Equiv verdicts". *)
+let index_of_pair p q = (q * (q - 1) / 2) + p
 
-let classes ?budget ?engine ~k ~max_n () =
-  let reps : (int * int list ref) list ref = ref [] in
-  let ok = ref true in
-  for n = 0 to max_n do
-    if !ok then begin
-      let rec place = function
-        | [] -> reps := !reps @ [ (n, ref [ n ]) ]
-        | (rep, members) :: rest -> (
-            match decide_pair ?budget ?engine ~k rep n with
-            | Game.Equiv -> members := n :: !members
-            | Game.Not_equiv -> place rest
-            | Game.Unknown -> ok := false)
-      in
-      place !reps
-    end
-  done;
-  if not !ok then None
-  else Some (List.map (fun (_, members) -> List.rev !members) !reps)
-
-let classes_words ?budget ?engine ~sigma ~k ~max_len () =
-  let cache =
-    match engine with
-    | None | Some Seed -> None
-    | Some (Cached c) | Some (Parallel (c, _)) -> Some c
+let pair_of_index t =
+  let q =
+    int_of_float ((1. +. sqrt (1. +. (8. *. float_of_int t))) /. 2.)
   in
-  let reps : (string * string list ref) list ref = ref [] in
+  (* float sqrt is only a guess; settle on the exact row *)
+  let q = ref q in
+  while !q * (!q - 1) / 2 > t do
+    decr q
+  done;
+  while (!q + 1) * !q / 2 <= t do
+    incr q
+  done;
+  (t - (!q * (!q - 1) / 2), !q)
+
+let rec atomic_cons a x =
+  let c = Atomic.get a in
+  if not (Atomic.compare_and_set a c (x :: c)) then atomic_cons a x
+
+let rec atomic_max a v =
+  let c = Atomic.get a in
+  if v > c && not (Atomic.compare_and_set a c v) then atomic_max a v
+
+let rec atomic_min a v =
+  let c = Atomic.get a in
+  if v < c && not (Atomic.compare_and_set a c v) then atomic_min a v
+
+let cache_counters engine =
+  match engine_cache engine with
+  | None -> (0, 0)
+  | Some c ->
+      let s = Cache.stats c in
+      (s.Cache.hits, s.Cache.misses)
+
+let scan ?budget ?(engine = Seed) ?(store_depth = 0) ?on_q ?on_tick ~k ~max_n
+    () =
+  let total = max_n * (max_n + 1) / 2 in
+  let jobs = engine_jobs engine in
+  let sched = Scheduler.create ~jobs ~total () in
+  let found_t = Atomic.make max_int in
+  let unknowns = Atomic.make [] in
+  let nodes = Atomic.make 0 in
+  let q_started = Atomic.make 0 in
+  let hits0, misses0 = cache_counters engine in
+  let eval t =
+    let p, q = pair_of_index t in
+    (match on_q with
+    | Some f ->
+        if q > Atomic.get q_started then begin
+          atomic_max q_started q;
+          f q
+        end
+    | None -> ());
+    let v, n = check_chain_counted ?budget ~engine ~store_depth ~k p q in
+    ignore (Atomic.fetch_and_add nodes n);
+    match v with
+    | Game.Equiv ->
+        atomic_min found_t t;
+        (* indices above t can no longer be the minimal witness: cancel
+           their chunks; everything below still completes, keeping the
+           minimality claim sound *)
+        Scheduler.shrink_limit sched t
+    | Game.Not_equiv -> ()
+    | Game.Unknown -> atomic_cons unknowns (p, q)
+  in
+  let tick =
+    match on_tick with
+    | None -> None
+    | Some f -> Some (fun () -> f ~completed:(Scheduler.completed sched))
+  in
+  Scheduler.run ?tick sched eval;
+  let hits1, misses1 = cache_counters engine in
+  let stats =
+    {
+      pairs = Scheduler.completed sched;
+      nodes = Atomic.get nodes;
+      chunks = Scheduler.chunks sched;
+      cache_hits = hits1 - hits0;
+      cache_misses = misses1 - misses0;
+    }
+  in
+  let outcome =
+    match Atomic.get found_t with
+    | t when t < max_int ->
+        let p, q = pair_of_index t in
+        Found (p, q)
+    | _ -> (
+        match Atomic.get unknowns with
+        | [] -> Exhausted max_n
+        | us ->
+            Inconclusive
+              (max_n, List.sort (fun (p, q) (p', q') -> compare (q, p) (q', p')) us))
+  in
+  (outcome, stats)
+
+let minimal_pair ?budget ?engine ?on_q ~k ~max_n () =
+  fst (scan ?budget ?engine ?on_q ~k ~max_n ())
+
+(* ------------------------------------------------------------------ *)
+(* Class decomposition: place each item against the current
+   representative list. Representatives live in a growable array (the
+   seed kept a list and appended with [@], quadratic in the class
+   count); members are collected per-representative and reversed once at
+   the end. *)
+
+type 'a reps = { mutable arr : ('a * 'a list ref) array; mutable len : int }
+
+let reps_make () = { arr = [||]; len = 0 }
+
+let reps_push r x =
+  let cell = (x, ref [ x ]) in
+  if r.len = Array.length r.arr then begin
+    let grown = Array.make (max 4 (2 * r.len)) cell in
+    Array.blit r.arr 0 grown 0 r.len;
+    r.arr <- grown
+  end;
+  r.arr.(r.len) <- cell;
+  r.len <- r.len + 1
+
+let reps_to_classes r =
+  List.init r.len (fun i -> List.rev !(snd r.arr.(i)))
+
+(* Place [x]: sequentially when [jobs = 1] (first Equiv in insertion
+   order; an Unknown encountered before it aborts, exactly the seed
+   semantics), else by fanning the comparisons against all current
+   representatives through the scheduler. ≡_k is an equivalence, so at
+   most one representative can answer Equiv — whichever comparison finds
+   it cancels the rest. The parallel path is accordingly slightly more
+   decisive than the sequential one: an exact Equiv places the item even
+   if a comparison against an earlier representative ran out of budget. *)
+let place ~jobs ~decide reps x =
+  if reps.len = 0 then `New
+  else if jobs = 1 then begin
+    let rec go i =
+      if i >= reps.len then `New
+      else
+        match decide (fst reps.arr.(i)) x with
+        | Game.Equiv -> `Member i
+        | Game.Not_equiv -> go (i + 1)
+        | Game.Unknown -> `Unknown
+    in
+    go 0
+  end
+  else begin
+    let sched = Scheduler.create ~jobs:(min jobs reps.len) ~total:reps.len () in
+    let found = Atomic.make max_int in
+    let unknown = Atomic.make false in
+    Scheduler.run sched (fun i ->
+        match decide (fst reps.arr.(i)) x with
+        | Game.Equiv ->
+            atomic_min found i;
+            Scheduler.shrink_limit sched i
+        | Game.Not_equiv -> ()
+        | Game.Unknown -> Atomic.set unknown true);
+    match Atomic.get found with
+    | i when i < max_int -> `Member i
+    | _ -> if Atomic.get unknown then `Unknown else `New
+  end
+
+let partition ~jobs ~decide items =
+  let reps = reps_make () in
   let ok = ref true in
   List.iter
-    (fun w ->
-      if !ok then begin
-        let rec place = function
-          | [] -> reps := !reps @ [ (w, ref [ w ]) ]
-          | (rep, members) :: rest -> (
-              match Game.equiv ?budget ?cache ~sigma rep w k with
-              | Game.Equiv -> members := w :: !members
-              | Game.Not_equiv -> place rest
-              | Game.Unknown -> ok := false)
-        in
-        place !reps
-      end)
-    (Words.Word.enumerate ~alphabet:sigma ~max_len);
-  if not !ok then None
-  else Some (List.map (fun (_, members) -> List.rev !members) !reps)
+    (fun x ->
+      if !ok then
+        match place ~jobs ~decide reps x with
+        | `Member i ->
+            let _, members = reps.arr.(i) in
+            members := x :: !members
+        | `New -> reps_push reps x
+        | `Unknown -> ok := false)
+    items;
+  if !ok then Some (reps_to_classes reps) else None
+
+let classes ?budget ?engine ~k ~max_n () =
+  let engine = Option.value engine ~default:Seed in
+  partition ~jobs:(engine_jobs engine)
+    ~decide:(fun rep n -> decide_pair ?budget ~engine ~k rep n)
+    (List.init (max_n + 1) Fun.id)
+
+let classes_words ?budget ?engine ~sigma ~k ~max_len () =
+  let engine = Option.value engine ~default:Seed in
+  let cache = engine_cache engine in
+  partition ~jobs:(engine_jobs engine)
+    ~decide:(fun rep w -> Game.equiv ?budget ?cache ~sigma rep w k)
+    (Words.Word.enumerate ~alphabet:sigma ~max_len)

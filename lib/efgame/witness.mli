@@ -1,5 +1,11 @@
 (** Witness search over unary words (Lemma 3.4): minimal pairs p < q with
-    [a^p ≡_k a^q], and ≡_k equivalence classes of initial segments. *)
+    [a^p ≡_k a^q], and ≡_k equivalence classes of initial segments.
+
+    Scans run over the linearized (p, q) triangle through the
+    work-stealing {!Scheduler} — pair granularity, no per-q barrier — and
+    under a [Cached]/[Parallel] engine they read and write the shared
+    transposition table, so a table persisted by a previous run
+    ({!Persist}) makes a repeated or resumed scan incremental. *)
 
 type engine =
   | Seed  (** the original memoized search, no transposition table *)
@@ -7,14 +13,58 @@ type engine =
       (** transposition-table-backed search; unary pairs dispatch to the
           arithmetic fast path ({!Unary.solve}) directly *)
   | Parallel of Cache.t * int
-      (** like [Cached], but scans fan the per-[q] pair checks out over
-          the given number of worker domains sharing the one table *)
+      (** like [Cached], but scans steal pair-granularity chunks of the
+          (p, q) triangle across the given number of worker domains
+          sharing the one table *)
 
 type scan_outcome =
   | Found of int * int  (** the minimal pair within the scanned range *)
   | Exhausted of int  (** no pair with q ≤ bound; all verdicts were exact *)
   | Inconclusive of int * (int * int) list
-      (** bound, plus the pairs on which the solver ran out of budget *)
+      (** bound, plus the pairs on which the solver ran out of budget,
+          sorted by (q, p) *)
+
+type scan_stats = {
+  pairs : int;  (** pair verdicts computed (early exit skips the rest) *)
+  nodes : int;  (** solver search nodes expanded, all engines *)
+  chunks : int;  (** scheduler chunks claimed *)
+  cache_hits : int;  (** transposition-table hits during this scan *)
+  cache_misses : int;  (** and misses; both 0 under [Seed] *)
+}
+
+val scan :
+  ?budget:int ->
+  ?engine:engine ->
+  ?store_depth:int ->
+  ?on_q:(int -> unit) ->
+  ?on_tick:(completed:int -> unit) ->
+  k:int ->
+  max_n:int ->
+  unit ->
+  scan_outcome * scan_stats
+(** Exhaustive scan of all pairs 0 ≤ p < q ≤ [max_n] in (q, p) order
+    (so the first hit minimizes the larger word). Each pair runs through
+    the monotonicity prefilter first: ≡_k requires ≡_j for every j < k,
+    and the low-round games refute most pairs at a fraction of the
+    k-round cost. All skips rest on exact [Not_equiv] verdicts, so an
+    [Exhausted] outcome is a sound exhaustive claim.
+
+    When a pair is [Found] mid-scan, outstanding work at larger indices
+    is cancelled via the scheduler's shrinkable limit; every smaller
+    index still completes, so the reported pair is minimal among exact
+    verdicts. [store_depth] (default 0: top-level pair verdicts only)
+    bounds the position depth at which pair solves touch the shared
+    table — verdict-neutral, see {!Unary.solve}. Depth 0 is the sweet
+    spot for scans: within a cold scan deeper entries are never
+    re-reachable (keys embed the pair), while the pair-level verdicts
+    are exactly what a warm restart replays against.
+
+    [on_q] is a progress callback invoked as the scan first reaches each
+    new value of [q] (under work stealing, values may be skipped — the
+    callback observes a nondecreasing sequence). [on_tick] is invoked by
+    the inline worker between chunks with the number of pairs completed —
+    the hook long-running frontier scans use for periodic table
+    checkpoints ({!Persist.save}). *)
 
 val minimal_pair :
   ?budget:int ->
@@ -24,19 +74,20 @@ val minimal_pair :
   max_n:int ->
   unit ->
   scan_outcome
-(** Scan pairs in order of q, then p (so the first hit minimizes the
-    larger word). Each pair runs through the monotonicity prefilter
-    first: ≡_k requires ≡_j for every j < k, and the low-round games
-    refute most pairs at a fraction of the k-round cost. All skips rest
-    on exact [Not_equiv] verdicts, so an [Exhausted] outcome is a sound
-    exhaustive claim. [on_q] is a progress callback invoked as each new
-    value of [q] starts (long frontier scans report through it). *)
+(** [scan] without the statistics. *)
 
 val classes :
   ?budget:int -> ?engine:engine -> k:int -> max_n:int -> unit ->
   int list list option
 (** ≡_k-classes of {a^0, …, a^max_n}, each sorted ascending, classes
-    ordered by minimum. [None] when some comparison came back [Unknown]. *)
+    ordered by minimum. [None] when some comparison came back [Unknown].
+    Under a [Parallel] engine the comparisons of each new word against
+    the current representatives are fanned out through the scheduler; an
+    exact [Equiv] cancels the remaining comparisons (at most one
+    representative can match — ≡_k is an equivalence), which also makes
+    the parallel path slightly more decisive on budget-starved runs: an
+    exact match places the word even when a comparison against an
+    earlier representative would have been [Unknown]. *)
 
 val verify_pair :
   ?budget:int -> ?engine:engine -> k:int -> int -> int -> Game.verdict
@@ -53,4 +104,15 @@ val classes_words :
   ?budget:int -> ?engine:engine -> sigma:char list -> k:int -> max_len:int ->
   unit -> string list list option
 (** ≡_k classes of all words over [sigma] up to [max_len] — the finite
-    index underlying Theorem 3.2. [None] on budget exhaustion. *)
+    index underlying Theorem 3.2. [None] on budget exhaustion. Same
+    engine/parallelism behaviour as {!classes}. *)
+
+(** {1 Triangle indexing}
+
+    The scan's linearization of the pair space, exposed for tests and
+    for resume bookkeeping: [index_of_pair p q = q·(q−1)/2 + p] for
+    0 ≤ p < q, and [pair_of_index] its inverse. Smaller index ⇔
+    lexicographically earlier (q, p). *)
+
+val index_of_pair : int -> int -> int
+val pair_of_index : int -> int * int

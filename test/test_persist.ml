@@ -1,0 +1,265 @@
+(* Disk snapshots of the transposition table: a save/load round-trip
+   reproduces every persisted frontier exactly; damaged files (bit rot,
+   truncation, wrong magic, wrong version) are rejected as a whole,
+   leaving the target table untouched; and — the property the whole
+   format hangs on — a reloaded table never flips a solver verdict. *)
+
+open Efgame
+
+let unary n = String.make n 'a'
+
+let check_int = Alcotest.(check int)
+let verdict = Alcotest.testable Game.pp_verdict (fun a b -> a = b)
+
+let tmp_table () = Filename.temp_file "efgame_test" ".tbl"
+
+let with_table f =
+  let path = tmp_table () in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+(* a cache warmed on both sides of the ≡₁/≡₂ frontiers, mixed alphabets
+   and ε — enough to populate win and lose frontiers at several rounds *)
+let warmed_cache () =
+  let cache = Cache.create () in
+  List.iter
+    (fun (w, v, k) -> ignore (Game.equiv ~cache w v k))
+    [
+      (unary 3, unary 4, 1);
+      (unary 2, unary 3, 1);
+      (unary 12, unary 14, 2);
+      (unary 12, unary 13, 2);
+      (unary 4, unary 3, 2);
+      ("", "a", 1);
+      ("abab", "baba", 2);
+      ("aaaabbb", "aaabbb", 2);
+    ];
+  cache
+
+let frontiers cache =
+  Cache.fold cache ~init:[] ~f:(fun acc key ~win ~lose ->
+      if win >= 0 || lose < max_int then (key, win, lose) :: acc else acc)
+  |> List.sort compare
+
+let test_round_trip () =
+  with_table (fun path ->
+      let cache = warmed_cache () in
+      let before = frontiers cache in
+      let written = Persist.save cache path in
+      check_int "one entry per exact-verdict position" (List.length before) written;
+      let fresh = Cache.create () in
+      (match Persist.load fresh path with
+      | Ok n -> check_int "all entries merged" written n
+      | Error e -> Alcotest.failf "load failed: %a" Persist.pp_error e);
+      let after = frontiers fresh in
+      check_int "same entry count after reload" (List.length before) (List.length after);
+      List.iter2
+        (fun (k, w, l) (k', w', l') ->
+          Alcotest.(check string) "key" k k';
+          check_int (Printf.sprintf "win frontier of %S" k) w w';
+          check_int (Printf.sprintf "lose frontier of %S" k) l l')
+        before after)
+
+let test_max_depth_filters () =
+  with_table (fun path ->
+      let cache = warmed_cache () in
+      let all = Persist.save cache path in
+      let top = Persist.save ~max_depth:0 cache path in
+      if top >= all then
+        Alcotest.failf "max_depth:0 wrote %d entries, full save wrote %d" top all;
+      let fresh = Cache.create () in
+      (match Persist.load fresh path with
+      | Ok n -> check_int "merged = written" top n
+      | Error e -> Alcotest.failf "load failed: %a" Persist.pp_error e);
+      List.iter
+        (fun (key, _, _) ->
+          check_int (Printf.sprintf "depth of %S" key) 0 (Position.key_depth key))
+        (frontiers fresh))
+
+(* load must reject the file as a whole and leave [into] untouched *)
+let check_rejected ~expect path into =
+  match Persist.load into path with
+  | Ok n -> Alcotest.failf "damaged file accepted (%d entries)" n
+  | Error e ->
+      Alcotest.check
+        (Alcotest.testable Persist.pp_error (fun a b -> a = b))
+        "error" expect e;
+      check_int "rejected load left the table untouched" 0 (Cache.stats into).Cache.entries
+
+let patch_file path pos f =
+  let ic = open_in_bin path in
+  let data = Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> In_channel.input_all ic) in
+  let b = Bytes.of_string data in
+  Bytes.set b pos (f (Bytes.get b pos));
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+      output_bytes oc b)
+
+let flip c = Char.chr (Char.code c lxor 0x5a)
+
+let test_corrupted_rejected () =
+  with_table (fun path ->
+      let cache = warmed_cache () in
+      ignore (Persist.save cache path);
+      (* flip one payload byte: checksum must catch it *)
+      patch_file path 30 flip;
+      check_rejected ~expect:Persist.Corrupted path (Cache.create ()))
+
+let test_truncated_rejected () =
+  with_table (fun path ->
+      let cache = warmed_cache () in
+      ignore (Persist.save cache path);
+      let ic = open_in_bin path in
+      let data = Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> In_channel.input_all ic) in
+      (* cut mid-payload and re-stamp the checksum of what is left, so
+         only the structural pass (not the checksum) can object *)
+      let cut = String.length data - 7 in
+      let payload = String.sub data 24 (cut - 24) in
+      let oc = open_out_bin path in
+      Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+          output_string oc (String.sub data 0 16);
+          let sum = Buffer.create 8 in
+          Buffer.add_int64_le sum
+            (let prime = 0x100000001b3L in
+             let h = ref 0xcbf29ce484222325L in
+             String.iter
+               (fun c ->
+                 h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
+               payload;
+             !h);
+          Buffer.output_buffer oc sum;
+          output_string oc payload);
+      check_rejected ~expect:Persist.Truncated path (Cache.create ()))
+
+let test_short_file_rejected () =
+  with_table (fun path ->
+      let oc = open_out_bin path in
+      output_string oc "EFGT\x01";
+      close_out oc;
+      check_rejected ~expect:Persist.Truncated path (Cache.create ()))
+
+let test_bad_magic_rejected () =
+  with_table (fun path ->
+      let cache = warmed_cache () in
+      ignore (Persist.save cache path);
+      patch_file path 0 (fun _ -> 'X');
+      check_rejected ~expect:Persist.Bad_magic path (Cache.create ()))
+
+let test_bad_version_rejected () =
+  with_table (fun path ->
+      let cache = warmed_cache () in
+      ignore (Persist.save cache path);
+      patch_file path 4 (fun _ -> '\x63');
+      check_rejected ~expect:(Persist.Bad_version 0x63) path (Cache.create ()))
+
+let test_missing_file_is_io_error () =
+  match Persist.load (Cache.create ()) "/nonexistent/efgame.tbl" with
+  | Ok _ -> Alcotest.fail "loading a missing file succeeded"
+  | Error (Persist.Io _) -> ()
+  | Error e -> Alcotest.failf "expected Io, got %a" Persist.pp_error e
+
+let test_merge_is_monotone () =
+  (* loading into a cache that already holds some of the entries must
+     keep every verdict reachable, not overwrite frontiers downward *)
+  with_table (fun path ->
+      let cache = warmed_cache () in
+      ignore (Persist.save cache path);
+      let target = Cache.create () in
+      ignore (Game.equiv ~cache:target (unary 12) (unary 14) 2);
+      (match Persist.load target path with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "load failed: %a" Persist.pp_error e);
+      List.iter
+        (fun (key, win, lose) ->
+          if win >= 0 then
+            Alcotest.(check (option bool))
+              (Printf.sprintf "win frontier of %S survives the merge" key)
+              (Some true)
+              (Cache.lookup target key ~k:win);
+          if lose < max_int then
+            Alcotest.(check (option bool))
+              (Printf.sprintf "lose frontier of %S survives the merge" key)
+              (Some false)
+              (Cache.lookup target key ~k:lose))
+        (frontiers cache))
+
+(* The soundness property the format documents: replaying any query
+   against a reloaded table yields the verdict the seed solver gives. *)
+let prop_reload_never_flips =
+  let gen =
+    QCheck.Gen.(
+      map3
+        (fun p d k -> (p, p + d, k))
+        (0 -- 13) (1 -- 4) (0 -- 2))
+  in
+  QCheck.Test.make ~name:"reloaded table never flips a verdict" ~count:60
+    (QCheck.make ~print:(fun (p, q, k) -> Printf.sprintf "(p=%d, q=%d, k=%d)" p q k) gen)
+    (fun (p, q, k) ->
+      with_table (fun path ->
+          let cache = Cache.create () in
+          ignore (Game.equiv ~cache (unary p) (unary q) k);
+          (* also warm some neighbours so the reloaded table answers
+             sub-queries of the replay, not just the top-level one *)
+          ignore (Game.equiv ~cache (unary (p + 1)) (unary q) k);
+          ignore (Persist.save cache path);
+          let reloaded = Cache.create () in
+          (match Persist.load reloaded path with
+          | Ok _ -> ()
+          | Error e -> QCheck.Test.fail_reportf "load failed: %a" Persist.pp_error e);
+          Game.equiv (unary p) (unary q) k
+          = Game.equiv ~cache:reloaded (unary p) (unary q) k))
+
+let test_witness_scan_agrees_after_reload () =
+  (* end-to-end: a cold scan persisted at store_depth 0, replayed warm,
+     reaches the same outcome with a fully-hitting table *)
+  with_table (fun path ->
+      let cold = Cache.create () in
+      let outcome_cold, _ =
+        Witness.scan ~engine:(Witness.Cached cold) ~k:2 ~max_n:20 ()
+      in
+      ignore (Persist.save cold path);
+      let warm = Cache.create () in
+      (match Persist.load warm path with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "load failed: %a" Persist.pp_error e);
+      Cache.reset_counters warm;
+      let outcome_warm, stats =
+        Witness.scan ~engine:(Witness.Cached warm) ~k:2 ~max_n:20 ()
+      in
+      (match (outcome_cold, outcome_warm) with
+      | Witness.Found (p, q), Witness.Found (p', q') ->
+          check_int "p" p p';
+          check_int "q" q q'
+      | a, b ->
+          if a <> b then Alcotest.fail "outcomes differ after reload");
+      Alcotest.check verdict "the found pair is (12, 14)"
+        (Game.equiv (unary 12) (unary 14) 2)
+        Game.Equiv;
+      if stats.Witness.cache_misses > 0 then
+        Alcotest.failf "warm replay missed the table %d times"
+          stats.Witness.cache_misses)
+
+let tests =
+  ( "efgame-persist",
+    [
+      Alcotest.test_case "save/load round-trips every frontier" `Quick
+        test_round_trip;
+      Alcotest.test_case "max_depth keeps only shallow positions" `Quick
+        test_max_depth_filters;
+      Alcotest.test_case "flipped payload byte ⇒ Corrupted, table untouched"
+        `Quick test_corrupted_rejected;
+      Alcotest.test_case "cut payload ⇒ Truncated, table untouched" `Quick
+        test_truncated_rejected;
+      Alcotest.test_case "short header ⇒ Truncated" `Quick
+        test_short_file_rejected;
+      Alcotest.test_case "wrong magic ⇒ Bad_magic" `Quick
+        test_bad_magic_rejected;
+      Alcotest.test_case "wrong version ⇒ Bad_version" `Quick
+        test_bad_version_rejected;
+      Alcotest.test_case "missing file ⇒ Io" `Quick
+        test_missing_file_is_io_error;
+      Alcotest.test_case "merging into a warm table is monotone" `Quick
+        test_merge_is_monotone;
+      QCheck_alcotest.to_alcotest prop_reload_never_flips;
+      Alcotest.test_case "warm scan replay: same outcome, zero misses" `Quick
+        test_witness_scan_agrees_after_reload;
+    ] )

@@ -1,0 +1,110 @@
+(* The work-stealing chunker: every index in [0, total) is executed
+   exactly once, across any worker count; shrinking the limit abandons
+   exactly the unstarted indices at or above it; worker exceptions
+   propagate. *)
+
+open Efgame
+
+let check_int = Alcotest.(check int)
+
+(* run over [0, total) with [jobs] workers and return the per-index
+   execution counts *)
+let run_counting ?min_chunk ?max_chunk ~jobs ~total () =
+  let counts = Array.init total (fun _ -> Atomic.make 0) in
+  let sched = Scheduler.create ?min_chunk ?max_chunk ~jobs ~total () in
+  Scheduler.run sched (fun i -> Atomic.incr counts.(i));
+  (sched, Array.map Atomic.get counts)
+
+let test_each_index_once () =
+  List.iter
+    (fun (jobs, total) ->
+      let sched, counts = run_counting ~jobs ~total () in
+      Array.iteri
+        (fun i c ->
+          check_int (Printf.sprintf "jobs=%d total=%d index %d" jobs total i) 1 c)
+        counts;
+      check_int
+        (Printf.sprintf "jobs=%d total=%d completed" jobs total)
+        total
+        (Scheduler.completed sched))
+    [ (1, 0); (1, 1); (1, 100); (2, 1); (2, 97); (3, 256); (3, 1000) ]
+
+let test_chunk_bounds_respected () =
+  (* min_chunk = max_chunk = c forces fixed-size chunks, so the claim
+     count is exactly ceil(total / c) *)
+  let total = 103 and c = 10 in
+  let sched, counts = run_counting ~min_chunk:c ~max_chunk:c ~jobs:1 ~total () in
+  Array.iter (fun n -> check_int "count" 1 n) counts;
+  check_int "chunks" ((total + c - 1) / c) (Scheduler.chunks sched)
+
+let test_shrink_abandons_tail () =
+  (* shrink as soon as index [cut] runs: everything below [cut] must
+     still complete, nothing at or above [cut] may start afterwards *)
+  List.iter
+    (fun jobs ->
+      let total = 400 and cut = 37 in
+      let counts = Array.init total (fun _ -> Atomic.make 0) in
+      let sched = Scheduler.create ~jobs ~total () in
+      Scheduler.run sched (fun i ->
+          Atomic.incr counts.(i);
+          if i = cut then Scheduler.shrink_limit sched cut);
+      for i = 0 to cut - 1 do
+        check_int
+          (Printf.sprintf "jobs=%d below cut index %d" jobs i)
+          1
+          (Atomic.get counts.(i))
+      done;
+      check_int (Printf.sprintf "jobs=%d final limit" jobs) cut
+        (Scheduler.limit sched);
+      (* at item granularity some indices ≥ cut may already have run
+         (including cut itself), but none more than once *)
+      Array.iteri
+        (fun i c ->
+          let c = Atomic.get c in
+          if c > 1 then
+            Alcotest.failf "jobs=%d index %d ran %d times" jobs i c)
+        counts)
+    [ 1; 2; 3 ]
+
+let test_shrink_is_monotone_min () =
+  let sched = Scheduler.create ~jobs:1 ~total:100 () in
+  Scheduler.shrink_limit sched 50;
+  Scheduler.shrink_limit sched 80;
+  check_int "shrink to a larger value is a no-op" 50 (Scheduler.limit sched);
+  Scheduler.shrink_limit sched 20;
+  check_int "shrink composes to the min" 20 (Scheduler.limit sched)
+
+let test_worker_exception_propagates () =
+  List.iter
+    (fun jobs ->
+      let sched = Scheduler.create ~jobs ~total:50 () in
+      match Scheduler.run sched (fun i -> if i = 17 then failwith "boom") with
+      | () -> Alcotest.fail "expected the worker exception to reraise"
+      | exception Failure msg -> Alcotest.(check string) "message" "boom" msg)
+    [ 1; 2 ]
+
+let test_tick_runs_between_chunks () =
+  (* 1-item chunks over 20 items ⇒ the inline worker ticks between its
+     claims; with jobs = 1 that is ≥ once (it claims everything) *)
+  let ticks = ref 0 in
+  let sched = Scheduler.create ~min_chunk:1 ~max_chunk:1 ~jobs:1 ~total:20 () in
+  Scheduler.run ~tick:(fun () -> incr ticks) sched (fun _ -> ());
+  if !ticks = 0 then Alcotest.fail "tick never ran";
+  check_int "completed" 20 (Scheduler.completed sched)
+
+let tests =
+  ( "efgame-scheduler",
+    [
+      Alcotest.test_case "each index exactly once, any jobs" `Quick
+        test_each_index_once;
+      Alcotest.test_case "fixed chunk size ⇒ ceil(total/c) claims" `Quick
+        test_chunk_bounds_respected;
+      Alcotest.test_case "shrink keeps everything below the cut" `Quick
+        test_shrink_abandons_tail;
+      Alcotest.test_case "shrink is an atomic monotone min" `Quick
+        test_shrink_is_monotone_min;
+      Alcotest.test_case "worker exceptions reraise" `Quick
+        test_worker_exception_propagates;
+      Alcotest.test_case "tick fires between inline chunks" `Quick
+        test_tick_runs_between_chunks;
+    ] )

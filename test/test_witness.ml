@@ -29,6 +29,91 @@ let test_verify () =
   check "sound mode agrees" true (Witness.verify_pair_sound ~k:1 3 4 = Game.Equiv);
   check "sound mode never lies" true (Witness.verify_pair_sound ~k:1 2 3 <> Game.Equiv)
 
+let test_triangle_indexing () =
+  (* pair_of_index is the exact inverse of index_of_pair over the whole
+     scanned range, and the linearization is (q, p)-lexicographic *)
+  let t = ref 0 in
+  for q = 1 to 60 do
+    for p = 0 to q - 1 do
+      Alcotest.(check int)
+        (Printf.sprintf "index of (%d,%d)" p q)
+        !t
+        (Witness.index_of_pair p q);
+      Alcotest.(check (pair int int))
+        (Printf.sprintf "pair of %d" !t)
+        (p, q)
+        (Witness.pair_of_index !t);
+      incr t
+    done
+  done
+
+(* every engine must agree with the seed on outcomes — the scheduler,
+   the transposition table and the arithmetic fast path are all
+   speed-only *)
+let engines () =
+  [
+    ("cached", Witness.Cached (Cache.create ()));
+    ("parallel j=2", Witness.Parallel (Cache.create (), 2));
+    ("parallel j=3", Witness.Parallel (Cache.create (), 3));
+  ]
+
+let test_scan_engine_agreement () =
+  List.iter
+    (fun (k, max_n) ->
+      let seed = Witness.minimal_pair ~k ~max_n () in
+      List.iter
+        (fun (name, engine) ->
+          let got = Witness.minimal_pair ~engine ~k ~max_n () in
+          check
+            (Printf.sprintf "%s agrees with seed at k=%d n<=%d" name k max_n)
+            true (got = seed))
+        (engines ()))
+    [ (1, 6); (1, 3); (2, 14); (2, 8); (3, 24) ]
+
+let test_scan_stats () =
+  let cache = Cache.create () in
+  let outcome, stats =
+    Witness.scan ~engine:(Witness.Cached cache) ~k:2 ~max_n:14 ()
+  in
+  check "found (12,14)" true (outcome = Witness.Found (12, 14));
+  (* early exit: index_of_pair 12 14 = 103, so at most 105 = full
+     triangle of 14 pairs run, and at least the 104 at or below the
+     witness *)
+  Alcotest.(check int) "pairs ≥ witness index + 1" 104
+    (min 104 stats.Witness.pairs);
+  check "pairs ≤ triangle" true (stats.Witness.pairs <= 105);
+  check "nodes counted" true (stats.Witness.nodes > 0);
+  check "chunks counted" true (stats.Witness.chunks > 0)
+
+let test_classes_engine_agreement () =
+  let seed = Witness.classes ~k:1 ~max_n:7 () in
+  List.iter
+    (fun (name, engine) ->
+      check
+        (Printf.sprintf "classes via %s" name)
+        true
+        (Witness.classes ~engine ~k:1 ~max_n:7 () = seed))
+    (engines ());
+  let seed_w = Witness.classes_words ~sigma:[ 'a'; 'b' ] ~k:1 ~max_len:3 () in
+  List.iter
+    (fun (name, engine) ->
+      check
+        (Printf.sprintf "word classes via %s" name)
+        true
+        (Witness.classes_words ~engine ~sigma:[ 'a'; 'b' ] ~k:1 ~max_len:3 ()
+        = seed_w))
+    (engines ())
+
+let test_classes_many_classes () =
+  (* ≡₂ on a^0..a^16 has 14 classes — exercises the growable
+     representative array past its initial capacity *)
+  match Witness.classes ~k:2 ~max_n:16 () with
+  | None -> Alcotest.fail "expected classes"
+  | Some classes ->
+      Alcotest.(check int) "class count" 14 (List.length classes);
+      check "threshold then parity" true
+        (List.mem [ 12; 14; 16 ] classes && List.mem [ 13; 15 ] classes)
+
 let tests =
   ( "witness",
     [
@@ -36,4 +121,13 @@ let tests =
       Alcotest.test_case "exhausted scan" `Quick test_exhausted;
       Alcotest.test_case "equivalence classes k=1" `Quick test_classes_k1;
       Alcotest.test_case "verification modes" `Quick test_verify;
+      Alcotest.test_case "triangle indexing round-trips" `Quick
+        test_triangle_indexing;
+      Alcotest.test_case "scan: all engines agree with seed" `Quick
+        test_scan_engine_agreement;
+      Alcotest.test_case "scan statistics are coherent" `Quick test_scan_stats;
+      Alcotest.test_case "classes: all engines agree with seed" `Quick
+        test_classes_engine_agreement;
+      Alcotest.test_case "classes past the initial array capacity" `Quick
+        test_classes_many_classes;
     ] )
