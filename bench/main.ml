@@ -400,62 +400,40 @@ let measure_frontier ~max_n =
     table_bytes;
   }
 
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
 let write_json ~path ~smoke ~estimates ~frontier =
-  let oc = open_out path in
-  let bench_fields =
-    estimates
-    |> List.map (fun (name, est) ->
-           Printf.sprintf "    \"%s\": %s" (json_escape name)
-             (match est with
-             | Some ns -> Printf.sprintf "%.2f" ns
-             | None -> "null"))
-    |> String.concat ",\n"
-  in
   let lookups = frontier.warm_hits + frontier.warm_misses in
   let hit_rate =
     if lookups = 0 then 0.
     else float_of_int frontier.warm_hits /. float_of_int lookups
   in
-  Printf.fprintf oc
-    {|{
-  "schema": "efgame-bench/1",
-  "smoke": %b,
-  "units": "ns_per_run",
-  "benchmarks": {
-%s
-  },
-  "frontier_warm_vs_cold": {
-    "k": 3,
-    "max_n": %d,
-    "cold_s": %.6f,
-    "warm_s": %.6f,
-    "speedup": %.2f,
-    "cold_nodes": %d,
-    "warm_nodes": %d,
-    "warm_hit_rate": %.4f,
-    "table_entries": %d,
-    "table_bytes": %d
-  }
-}
-|}
-    smoke bench_fields frontier.fm_max_n frontier.cold_s frontier.warm_s
-    (if frontier.warm_s > 0. then frontier.cold_s /. frontier.warm_s else 0.)
-    frontier.cold_nodes frontier.warm_nodes hit_rate frontier.table_entries
-    frontier.table_bytes;
-  close_out oc;
+  Obs.Jsonw.to_file path (fun j ->
+      Obs.Jsonw.obj j (fun j ->
+          Obs.Jsonw.field_string j "schema" "efgame-bench/1";
+          Obs.Jsonw.field_bool j "smoke" smoke;
+          Obs.Jsonw.field_string j "units" "ns_per_run";
+          Obs.Jsonw.field j "benchmarks" (fun j ->
+              Obs.Jsonw.obj j (fun j ->
+                  List.iter
+                    (fun (name, est) ->
+                      match est with
+                      | Some ns -> Obs.Jsonw.field_float ~prec:2 j name ns
+                      | None -> Obs.Jsonw.field_null j name)
+                    estimates));
+          Obs.Jsonw.field j "frontier_warm_vs_cold" (fun j ->
+              Obs.Jsonw.obj j (fun j ->
+                  Obs.Jsonw.field_int j "k" 3;
+                  Obs.Jsonw.field_int j "max_n" frontier.fm_max_n;
+                  Obs.Jsonw.field_float j "cold_s" frontier.cold_s;
+                  Obs.Jsonw.field_float j "warm_s" frontier.warm_s;
+                  Obs.Jsonw.field_float ~prec:2 j "speedup"
+                    (if frontier.warm_s > 0. then
+                       frontier.cold_s /. frontier.warm_s
+                     else 0.);
+                  Obs.Jsonw.field_int j "cold_nodes" frontier.cold_nodes;
+                  Obs.Jsonw.field_int j "warm_nodes" frontier.warm_nodes;
+                  Obs.Jsonw.field_float ~prec:4 j "warm_hit_rate" hit_rate;
+                  Obs.Jsonw.field_int j "table_entries" frontier.table_entries;
+                  Obs.Jsonw.field_int j "table_bytes" frontier.table_bytes))));
   Printf.printf "json: wrote %s (frontier n<=%d: cold %.2fs, warm %.3fs, %.0fx)\n%!"
     path frontier.fm_max_n frontier.cold_s frontier.warm_s
     (if frontier.warm_s > 0. then frontier.cold_s /. frontier.warm_s else 0.)
@@ -463,15 +441,25 @@ let write_json ~path ~smoke ~estimates ~frontier =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let smoke = List.mem "--smoke" args in
-  let rec parse_json = function
-    | "--json" :: path :: _ -> Some path
-    | _ :: rest -> parse_json rest
+  let rec find_path flag = function
+    | f :: path :: _ when f = flag -> Some path
+    | _ :: rest -> find_path flag rest
     | [] -> None
   in
-  let json = parse_json args in
+  let json = find_path "--json" args in
+  (match find_path "--trace" args with
+  | Some path ->
+      Obs.Trace.start ~path;
+      at_exit Obs.Trace.finish
+  | None -> ());
+  (match find_path "--metrics" args with
+  | Some path ->
+      Obs.Metrics.enable ();
+      at_exit (fun () -> Obs.Metrics.dump ~path)
+  | None -> ());
   let filter =
     let rec go = function
-      | "--json" :: _ :: rest -> go rest
+      | ("--json" | "--trace" | "--metrics") :: _ :: rest -> go rest
       | a :: rest -> if a = "--smoke" then go rest else Some a
       | [] -> None
     in

@@ -18,75 +18,71 @@ let pp_word ppf w = Words.Word.pp ppf w
 
 (* ---------------------------------------------------------------- JSON *)
 
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
 let write_scan_json ~path ~mode ~k ~max_n ~jobs ~budget ~outcome ~stats ~wall_s
     ~table =
   let open Efgame.Witness in
-  let outcome_name, pair, unknown_count =
-    match outcome with
-    | Found (p, q) -> ("found", Printf.sprintf "[%d, %d]" p q, 0)
-    | Exhausted _ -> ("exhausted", "null", 0)
-    | Inconclusive (_, us) -> ("inconclusive", "null", List.length us)
-  in
+  let module J = Obs.Jsonw in
   let lookups = stats.cache_hits + stats.cache_misses in
   let hit_rate =
     if lookups = 0 then 0.
     else float_of_int stats.cache_hits /. float_of_int lookups
   in
-  let table_json =
-    match table with
-    | None -> "null"
-    | Some (file, loaded, saved) ->
-        Printf.sprintf
-          {|{"path": "%s", "loaded_entries": %d, "saved_entries": %d}|}
-          (json_escape file) loaded saved
-  in
-  let oc = open_out path in
-  Printf.fprintf oc
-    {|{
-  "schema": "efgame-scan/1",
-  "mode": "%s",
-  "k": %d,
-  "max_n": %d,
-  "jobs": %d,
-  "budget": %d,
-  "outcome": "%s",
-  "pair": %s,
-  "unknown_pairs": %d,
-  "wall_s": %.6f,
-  "pairs": %d,
-  "nodes": %d,
-  "chunks": %d,
-  "cache_hits": %d,
-  "cache_misses": %d,
-  "cache_hit_rate": %.4f,
-  "table": %s
-}
-|}
-    mode k max_n jobs budget outcome_name pair unknown_count wall_s stats.pairs
-    stats.nodes stats.chunks stats.cache_hits stats.cache_misses hit_rate
-    table_json;
-  close_out oc
+  J.to_file path (fun w ->
+      J.obj w (fun w ->
+          J.field_string w "schema" "efgame-scan/1";
+          J.field_string w "mode" mode;
+          J.field_int w "k" k;
+          J.field_int w "max_n" max_n;
+          J.field_int w "jobs" jobs;
+          J.field_int w "budget" budget;
+          J.field_string w "outcome"
+            (match outcome with
+            | Found _ -> "found"
+            | Exhausted _ -> "exhausted"
+            | Inconclusive _ -> "inconclusive");
+          J.field w "pair" (fun w ->
+              match outcome with
+              | Found (p, q) ->
+                  J.arr w (fun w ->
+                      J.int w p;
+                      J.int w q)
+              | Exhausted _ | Inconclusive _ -> J.null w);
+          J.field_int w "unknown_pairs"
+            (match outcome with
+            | Inconclusive (_, us) -> List.length us
+            | Found _ | Exhausted _ -> 0);
+          J.field_float w "wall_s" wall_s;
+          J.field_int w "pairs" stats.pairs;
+          J.field_int w "nodes" stats.nodes;
+          J.field_int w "chunks" stats.chunks;
+          J.field_int w "cache_hits" stats.cache_hits;
+          J.field_int w "cache_misses" stats.cache_misses;
+          J.field_float ~prec:4 w "cache_hit_rate" hit_rate;
+          J.field w "table" (fun w ->
+              match table with
+              | None -> J.null w
+              | Some (file, loaded, saved) ->
+                  J.obj w (fun w ->
+                      J.field_string w "path" file;
+                      J.field_int w "loaded_entries" loaded;
+                      J.field_int w "saved_entries" saved))))
 
 (* ------------------------------------------------------------- driver *)
 
 let run words rounds explain budget scan classes frontier max_n use_cache jobs
-    stats table resume checkpoint_s json =
+    stats table resume checkpoint_s json trace metrics quiet verbose =
+  Obs.Log.setup ~quiet ~verbosity:(List.length verbose) ();
+  (* telemetry sinks flush on every exit path via at_exit *)
+  (match trace with
+  | Some path ->
+      Obs.Trace.start ~path;
+      at_exit Obs.Trace.finish
+  | None -> ());
+  (match metrics with
+  | Some path ->
+      Obs.Metrics.enable ();
+      at_exit (fun () -> Obs.Metrics.dump ~path)
+  | None -> ());
   (* a frontier scan is table-driven by definition; --jobs > 1 and
      --table each imply --cache as well *)
   let use_cache =
@@ -105,16 +101,16 @@ let run words rounds explain budget scan classes frontier max_n use_cache jobs
         if Sys.file_exists file then (
           match Efgame.Persist.load c file with
           | Ok n ->
-              Format.eprintf "[table] resumed from %s (%d entries)@." file n;
+              Obs.Log.info ~tag:"table" "resumed from %s (%d entries)" file n;
               Efgame.Cache.reset_counters c;
               n
           | Error e ->
-              Format.eprintf "[table] cannot resume from %s: %a@." file
+              Obs.Log.err ~tag:"table" "cannot resume from %s: %a" file
                 Efgame.Persist.pp_error e;
               exit 2)
         else (
-          Format.eprintf
-            "[table] %s does not exist yet; starting a fresh scan@." file;
+          Obs.Log.warn ~tag:"table"
+            "%s does not exist yet; starting a fresh scan" file;
           0)
     | _ -> 0
   in
@@ -122,7 +118,7 @@ let run words rounds explain budget scan classes frontier max_n use_cache jobs
     match (cache, table) with
     | Some c, Some file ->
         let n = Efgame.Persist.save c file in
-        Format.eprintf "[table] checkpoint: %d entries -> %s@." n file;
+        Obs.Log.info ~tag:"table" "checkpoint: %d entries -> %s" n file;
         n
     | _ -> 0
   in
@@ -144,13 +140,17 @@ let run words rounds explain budget scan classes frontier max_n use_cache jobs
     let last_q = ref 0 in
     let on_q q =
       if q / 32 > !last_q / 32 then begin
-        Format.eprintf "[scan] k=%d: q = %d / %d@." k q max_n;
+        Obs.Log.info ~tag:"scan" "k=%d: q = %d / %d" k q max_n;
         last_q := q
       end
     in
     let t0 = Unix.gettimeofday () in
     let outcome, scan_stats =
-      Efgame.Witness.scan ~budget ~engine ~on_q ~on_tick ~k ~max_n ()
+      Obs.Trace.with_span "scan"
+        ~args:(fun () ->
+          [ ("k", Obs.Trace.I k); ("max_n", Obs.Trace.I max_n) ])
+        (fun () ->
+          Efgame.Witness.scan ~budget ~engine ~on_q ~on_tick ~k ~max_n ())
     in
     let wall_s = Unix.gettimeofday () -. t0 in
     let saved = save_table () in
@@ -228,7 +228,8 @@ let run words rounds explain budget scan classes frontier max_n use_cache jobs
           end;
           exit (match verdict with Efgame.Game.Unknown -> 3 | _ -> 0)
       | _ ->
-          Format.eprintf "expected exactly two words (or --scan / --classes / --frontier)@.";
+          Obs.Log.err
+            "expected exactly two words (or --scan / --classes / --frontier)";
           exit 2)
 
 let words_arg = Arg.(value & pos_all string [] & info [] ~docv:"WORD" ~doc:"The two words.")
@@ -289,11 +290,35 @@ let json_arg =
        ~doc:"Write a machine-readable record of the scan (outcome, wall \
              time, pairs, nodes, table hit rate) to $(docv).")
 
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+       ~doc:"Record a Chrome trace-event file to $(docv): one track per \
+             worker domain, with scheduler chunks, pair decisions, and \
+             table checkpoints as nested spans. Open it at \
+             ui.perfetto.dev. Off by default, at zero cost.")
+
+let metrics_arg =
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+       ~doc:"Enable the sharded Obs counters (nodes by rounds-remaining, \
+             cache hits/misses/stores by depth, scheduler chunk sizes and \
+             per-worker share, checkpoint bytes) and dump the merged \
+             snapshot to $(docv) on exit.")
+
+let quiet_arg =
+  Arg.(value & flag & info [ "q"; "quiet" ]
+       ~doc:"Suppress progress and diagnostic lines on stderr (errors are \
+             still printed). Results on stdout are unaffected.")
+
+let verbose_arg =
+  Arg.(value & flag_all & info [ "v"; "verbose" ]
+       ~doc:"Show debug-level diagnostics on stderr.")
+
 let cmd =
   Cmd.v
     (Cmd.info "efgame_cli" ~doc:"Decide w ≡_k v with the exhaustive EF-game solver")
     Term.(const run $ words_arg $ rounds_arg $ explain_arg $ budget_arg $ scan_arg
           $ classes_arg $ frontier_arg $ max_arg $ cache_arg $ jobs_arg $ stats_arg
-          $ table_arg $ resume_arg $ checkpoint_arg $ json_arg)
+          $ table_arg $ resume_arg $ checkpoint_arg $ json_arg $ trace_arg
+          $ metrics_arg $ quiet_arg $ verbose_arg)
 
 let () = exit (Cmd.eval cmd)

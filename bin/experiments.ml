@@ -12,6 +12,10 @@
                                     [efgame_cli --frontier N --table FILE];
                                     a warm replay of the checked-in 512
                                     frontier takes seconds instead of hours
+     experiments.exe --trace FILE — Chrome trace-event record of the run
+                                    (open at ui.perfetto.dev)
+     experiments.exe --metrics FILE — dump the merged Obs counter snapshot
+     experiments.exe --quiet / -v — progress verbosity on stderr
 
    Budgets are chosen so that a full run finishes in a few minutes on a
    laptop; every solver verdict is three-valued, so a blown budget shows up
@@ -69,8 +73,8 @@ let e2 () =
           | Ok n ->
               Printf.sprintf "; warm-started from %d persisted verdicts" n
           | Error e ->
-              Printf.eprintf "[e2] ignoring table %s: %s\n%!" path
-                (Fmt.str "%a" Efgame.Persist.pp_error e);
+              Obs.Log.warn ~tag:"e2" "ignoring table %s: %a" path
+                Efgame.Persist.pp_error e;
               "; table rejected, cold scan")
   in
   let engine = Efgame.Witness.Cached cache in
@@ -87,7 +91,7 @@ let e2 () =
   let on_q q =
     if q / 32 > !last_q / 32 then begin
       last_q := q;
-      Printf.eprintf "[e2] ≡₃ frontier scan: q = %d\n%!" q
+      Obs.Log.info ~tag:"e2" "≡₃ frontier scan: q = %d" q
     end
   in
   let rows =
@@ -812,6 +816,7 @@ let preamble =
 
 let () =
   let markdown = ref None in
+  let quiet = ref false and verbosity = ref 0 in
   let args = Array.to_list Sys.argv in
   let rec parse = function
     | [] -> ()
@@ -825,15 +830,32 @@ let () =
         (match int_of_string_opt n with
         | Some b when b >= 0 -> frontier_bound := b
         | _ ->
-            Printf.eprintf "experiments: --frontier expects a non-negative integer, got %S\n" n;
+            Obs.Log.err
+              "experiments: --frontier expects a non-negative integer, got %S"
+              n;
             exit 2);
         parse rest
     | "--table" :: file :: rest ->
         frontier_table := Some file;
         parse rest
+    | "--trace" :: file :: rest ->
+        Obs.Trace.start ~path:file;
+        at_exit Obs.Trace.finish;
+        parse rest
+    | "--metrics" :: file :: rest ->
+        Obs.Metrics.enable ();
+        at_exit (fun () -> Obs.Metrics.dump ~path:file);
+        parse rest
+    | ("--quiet" | "-q") :: rest ->
+        quiet := true;
+        parse rest
+    | ("-v" | "--verbose") :: rest ->
+        incr verbosity;
+        parse rest
     | _ :: rest -> parse rest
   in
   parse (List.tl args);
+  Obs.Log.setup ~quiet:!quiet ~verbosity:!verbosity ();
   let tables = all_tables () in
   List.iter (fun t -> Format.printf "%a@.@." Report.pp t) tables;
   match !markdown with

@@ -1,3 +1,10 @@
+(* Obs counters sit directly beside the table's own atomics, broken down
+   by the rounds-remaining [k] of the lookup instead of one global
+   number; a merged snapshot therefore sums exactly to [stats]. *)
+let m_hits = Obs.Metrics.vec ~buckets:8 "cache.hits_by_k"
+let m_misses = Obs.Metrics.vec ~buckets:8 "cache.misses_by_k"
+let m_stores = Obs.Metrics.vec ~buckets:8 "cache.stores_by_k"
+
 type entry = {
   key : Position.key;
   win : int Atomic.t; (* max k with a proven Duplicator win; -1 = none *)
@@ -64,18 +71,22 @@ let lookup t key ~k =
   match find_entry t key with
   | Some e when k <= Atomic.get e.win ->
       Atomic.incr t.hits;
+      Obs.Metrics.vec_incr m_hits k;
       Some true
   | Some e when k >= Atomic.get e.lose ->
       Atomic.incr t.hits;
+      Obs.Metrics.vec_incr m_hits k;
       Some false
   | _ ->
       Atomic.incr t.misses;
+      Obs.Metrics.vec_incr m_misses k;
       None
 
 let store t key ~k result =
   let e = get_entry t key in
   if result then atomic_max e.win k else atomic_min e.lose k;
-  Atomic.incr t.stores
+  Atomic.incr t.stores;
+  Obs.Metrics.vec_incr m_stores k
 
 let unknown_reusable t key ~k ~width ~budget =
   match find_entry t key with

@@ -119,6 +119,15 @@ let response_candidates cfg entries side a =
 (* ------------------------------------------------------------------ *)
 (* Solver.                                                             *)
 
+(* Shared with [Unary] (the registry dedups by name): every node
+   expansion lands in the bucket of its rounds-remaining, so the merged
+   vector sums to the scan's global node total; the prune counters
+   record why subtrees were never expanded. *)
+let m_nodes = Obs.Metrics.vec ~buckets:8 "game.nodes_by_k"
+let m_prune_dominated = Obs.Metrics.counter "game.prune.dominated"
+let m_prune_forced = Obs.Metrics.counter "game.prune.forced"
+let m_prune_unsat = Obs.Metrics.counter "game.prune.unsat"
+
 exception Budget_exceeded
 
 type stats = {
@@ -231,6 +240,7 @@ let solver_run s pairs0 k0 =
   (* ---------------- seed path: no transposition table ---------------- *)
   let rec wins pairs entries k =
     incr nodes;
+    Obs.Metrics.vec_incr m_nodes k;
     if !nodes > s.budget then raise Budget_exceeded;
     if k = 0 then true
     else
@@ -247,6 +257,7 @@ let solver_run s pairs0 k0 =
   (* --------------- cached path: canonical keys + table --------------- *)
   and cwins pairs entries k =
     incr nodes;
+    Obs.Metrics.vec_incr m_nodes k;
     if !nodes > s.budget then raise Budget_exceeded;
     if k = 0 then true
     else
@@ -276,7 +287,10 @@ let solver_run s pairs0 k0 =
     let played (a, b) = match side with Left -> a | Right -> b in
     List.for_all
       (fun a ->
-        if List.exists (fun p -> played p = a) pairs then true (* dominated move *)
+        if List.exists (fun p -> played p = a) pairs then begin
+          Obs.Metrics.incr m_prune_dominated;
+          true (* dominated move *)
+        end
         else
           let candidates = response_candidates cfg entries side a in
           let candidates =
@@ -307,11 +321,18 @@ let solver_run s pairs0 k0 =
     in
     List.for_all
       (fun a ->
-        if List.exists (fun p -> played p = a) pairs then true (* dominated move *)
+        if List.exists (fun p -> played p = a) pairs then begin
+          Obs.Metrics.incr m_prune_dominated;
+          true (* dominated move *)
+        end
         else
           match forced_response cfg entries side a with
-          | `Unsat -> false
-          | `Forced r -> try_reply a r
+          | `Unsat ->
+              Obs.Metrics.incr m_prune_unsat;
+              false
+          | `Forced r ->
+              Obs.Metrics.incr m_prune_forced;
+              try_reply a r
           | `Unconstrained ->
               let candidates = response_candidates cfg entries side a in
               let candidates =

@@ -19,6 +19,15 @@
    could suppress a deeper future search. Loading therefore can never
    flip or weaken a verdict; it only pre-proves positions. *)
 
+(* Checkpoint cost accounting: total bytes moved and log₂-bucketed
+   durations (µs) for saves and loads. *)
+let m_saves = Obs.Metrics.counter "persist.saves"
+let m_save_bytes = Obs.Metrics.counter "persist.save_bytes"
+let m_save_us = Obs.Metrics.histogram "persist.save_us"
+let m_loads = Obs.Metrics.counter "persist.loads"
+let m_load_bytes = Obs.Metrics.counter "persist.load_bytes"
+let m_load_us = Obs.Metrics.histogram "persist.load_us"
+
 type error =
   | Io of string
   | Bad_magic
@@ -50,6 +59,10 @@ let fnv1a64 s =
 let encode_lose lose = if lose = max_int then -1l else Int32.of_int lose
 
 let save ?(max_depth = max_int) cache path =
+  Obs.Trace.with_span "persist.save"
+    ~args:(fun () -> [ ("path", Obs.Trace.S path) ])
+  @@ fun () ->
+  let t0 = Obs.Clock.now_us () in
   let payload = Buffer.create (1 lsl 16) in
   let written =
     Cache.fold cache ~init:0 ~f:(fun n key ~win ~lose ->
@@ -81,9 +94,17 @@ let save ?(max_depth = max_int) cache path =
       output_string oc (Buffer.contents header);
       output_string oc payload);
   Sys.rename tmp path;
+  Obs.Metrics.incr m_saves;
+  Obs.Metrics.add m_save_bytes (Buffer.length header + String.length payload);
+  Obs.Metrics.observe m_save_us
+    (int_of_float (Obs.Clock.now_us () -. t0));
   written
 
 let load cache path =
+  Obs.Trace.with_span "persist.load"
+    ~args:(fun () -> [ ("path", Obs.Trace.S path) ])
+  @@ fun () ->
+  let t0 = Obs.Clock.now_us () in
   match
     let ic = open_in_bin path in
     Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
@@ -134,6 +155,10 @@ let load cache path =
                 if lose >= 0 then Cache.store cache key ~k:lose false;
                 pos := !pos + 4 + klen + 8
               done;
+              Obs.Metrics.incr m_loads;
+              Obs.Metrics.add m_load_bytes len;
+              Obs.Metrics.observe m_load_us
+                (int_of_float (Obs.Clock.now_us () -. t0));
               Ok count
             end
           end

@@ -1,3 +1,10 @@
+(* Chunk claims mirror [t.chunks] exactly; the histogram records the
+   guided self-scheduling size decay, and the per-worker vector shows
+   how evenly the work stealing spread the items. *)
+let m_chunks = Obs.Metrics.counter "scheduler.chunks"
+let m_chunk_size = Obs.Metrics.histogram "scheduler.chunk_size"
+let m_items = Obs.Metrics.vec ~buckets:64 "scheduler.items_by_worker"
+
 type t = {
   next : int Atomic.t;
   limit : int Atomic.t;
@@ -46,15 +53,24 @@ let run ?tick t f =
       let lo = Atomic.fetch_and_add t.next size in
       if lo < Atomic.get t.limit then begin
         Atomic.incr t.chunks;
-        let hi = lo + size in
-        let i = ref lo in
-        (* [limit] may shrink while we work through the chunk; re-reading
-           it per item makes cancellation effective at item granularity *)
-        while !i < hi && !i < Atomic.get t.limit do
-          f !i;
-          Atomic.incr t.completed;
-          incr i
-        done;
+        Obs.Metrics.incr m_chunks;
+        Obs.Metrics.observe m_chunk_size size;
+        Obs.Trace.with_span "chunk"
+          ~args:(fun () ->
+            [ ("lo", Obs.Trace.I lo); ("size", Obs.Trace.I size);
+              ("worker", Obs.Trace.I w) ])
+          (fun () ->
+            let hi = lo + size in
+            let i = ref lo in
+            (* [limit] may shrink while we work through the chunk;
+               re-reading it per item makes cancellation effective at
+               item granularity *)
+            while !i < hi && !i < Atomic.get t.limit do
+              f !i;
+              Atomic.incr t.completed;
+              Obs.Metrics.vec_incr m_items w;
+              incr i
+            done);
         (match tick with Some g when w = 0 -> g () | _ -> ());
         loop ()
       end

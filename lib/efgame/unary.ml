@@ -1,6 +1,14 @@
 exception Budget_exceeded
 exception Unsat
 
+(* Same metric names as [Game] — the registry returns the shared
+   instances, so unary fast-path nodes and general-solver nodes land in
+   one "game.nodes_by_k" vector whose sum matches the scan totals. *)
+let m_nodes = Obs.Metrics.vec ~buckets:8 "game.nodes_by_k"
+let m_prune_dominated = Obs.Metrics.counter "game.prune.dominated"
+let m_prune_forced = Obs.Metrics.counter "game.prune.forced"
+let m_prune_unsat = Obs.Metrics.counter "game.prune.unsat"
+
 (* Partial-isomorphism extension check, arithmetic form. [entries] are
    (left, right) length pairs including the constants (0,0) and (1,1);
    [(na, nb)] is the candidate new pair. Mirrors Partial_iso.extension_ok:
@@ -155,6 +163,7 @@ let solve ?cache ?(store_depth = max_int) ?(limit = max_int)
   let order_l = move_order p and order_r = move_order q in
   let rec wins pairs entries k =
     incr nodes;
+    Obs.Metrics.vec_incr m_nodes k;
     if !nodes > budget then raise Budget_exceeded;
     if k = 0 then true
     else if k = 1 then begin
@@ -215,11 +224,18 @@ let solve ?cache ?(store_depth = max_int) ?(limit = max_int)
     let rec moves = function
       | [] -> true
       | a :: rest -> (dominated a || survives a) && moves rest
-    and dominated a = List.exists (fun pr -> mine pr = a) pairs
+    and dominated a =
+      let d = List.exists (fun pr -> mine pr = a) pairs in
+      if d then Obs.Metrics.incr m_prune_dominated;
+      d
     and survives a =
       match forced_reply oriented ~other_max a with
-      | exception Unsat -> false
-      | Some b -> try_reply a b
+      | exception Unsat ->
+          Obs.Metrics.incr m_prune_unsat;
+          false
+      | Some b ->
+          Obs.Metrics.incr m_prune_forced;
+          try_reply a b
       | None ->
           let cands =
             match side with `L -> candidates_l a | `R -> candidates_r a

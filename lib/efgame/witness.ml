@@ -141,7 +141,11 @@ let scan ?budget ?(engine = Seed) ?(store_depth = 0) ?on_q ?on_tick ~k ~max_n
           f q
         end
     | None -> ());
-    let v, n = check_chain_counted ?budget ~engine ~store_depth ~k p q in
+    let v, n =
+      Obs.Trace.with_span "pair"
+        ~args:(fun () -> [ ("p", Obs.Trace.I p); ("q", Obs.Trace.I q) ])
+        (fun () -> check_chain_counted ?budget ~engine ~store_depth ~k p q)
+    in
     ignore (Atomic.fetch_and_add nodes n);
     match v with
     | Game.Equiv ->

@@ -1,0 +1,2 @@
+let now_s () = Unix.gettimeofday ()
+let now_us () = Unix.gettimeofday () *. 1e6

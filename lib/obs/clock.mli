@@ -1,0 +1,8 @@
+(** Wall clock, wrapped so instrumented libraries ({!Obs.Trace} spans,
+    {!Obs.Metrics} duration histograms) need no direct [unix]
+    dependency of their own. *)
+
+val now_s : unit -> float
+
+(** Microseconds since the epoch — the unit Chrome trace events use. *)
+val now_us : unit -> float

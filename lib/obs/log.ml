@@ -1,0 +1,45 @@
+type level = Error | Warn | Info | Debug
+
+let to_int = function Error -> 0 | Warn -> 1 | Info -> 2 | Debug -> 3
+
+(* the threshold is read on every call, possibly from several domains *)
+let threshold = Atomic.make (to_int Info)
+
+let set_level l = Atomic.set threshold (to_int l)
+
+let level () =
+  match Atomic.get threshold with
+  | 0 -> Error
+  | 1 -> Warn
+  | 2 -> Info
+  | _ -> Debug
+
+let enabled l = to_int l <= Atomic.get threshold
+
+let setup ?(quiet = false) ?(verbosity = 0) () =
+  set_level (if quiet then Error else if verbosity >= 1 then Debug else Info)
+
+let mu = Mutex.create ()
+
+let severity = function
+  | Error -> "error: "
+  | Warn -> "warning: "
+  | Info | Debug -> ""
+
+let log lvl ?(tag = "") fmt =
+  if enabled lvl then
+    Format.kasprintf
+      (fun msg ->
+        let line =
+          (if tag = "" then "" else "[" ^ tag ^ "] ") ^ severity lvl ^ msg
+        in
+        Mutex.protect mu (fun () ->
+            prerr_string line;
+            prerr_newline ()))
+      fmt
+  else Format.ikfprintf (fun _ -> ()) Format.err_formatter fmt
+
+let err ?tag fmt = log Error ?tag fmt
+let warn ?tag fmt = log Warn ?tag fmt
+let info ?tag fmt = log Info ?tag fmt
+let debug ?tag fmt = log Debug ?tag fmt

@@ -1,0 +1,26 @@
+(** Leveled stderr logger.
+
+    Replaces the ad-hoc [[scan]]/[[table]] [Format.eprintf] lines in the
+    binaries: every diagnostic goes through one of {!err}/{!warn}/
+    {!info}/{!debug} with an optional [~tag] (rendered as the familiar
+    [[tag] ] prefix), and the level threshold is set once from the CLI
+    flags via {!setup}. Lines are serialized through a mutex so progress
+    messages from concurrent domains never interleave mid-line. Results
+    (tables, verdicts) still go to stdout — this is for diagnostics. *)
+
+type level = Error | Warn | Info | Debug
+
+val set_level : level -> unit
+val level : unit -> level
+val enabled : level -> bool
+
+(** [setup ~quiet ~verbosity ()] maps CLI flags to a threshold:
+    [quiet] ⇒ {!Error} only; [verbosity >= 1] ⇒ {!Debug}; otherwise the
+    default {!Info} (which preserves the pre-Obs behaviour of always
+    showing scan/table progress). [quiet] wins over [-v]. *)
+val setup : ?quiet:bool -> ?verbosity:int -> unit -> unit
+
+val err : ?tag:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+val warn : ?tag:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+val info : ?tag:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+val debug : ?tag:string -> ('a, Format.formatter, unit, unit) format4 -> 'a

@@ -1,0 +1,161 @@
+let on = Atomic.make false
+let enable () = Atomic.set on true
+let disable () = Atomic.set on false
+let enabled () = Atomic.get on
+let shards = 16
+
+type kind = C | V | H
+
+type metric = {
+  kind : kind;
+  buckets : int;
+  cells : int Atomic.t array array; (* shard -> bucket *)
+}
+
+type counter = metric
+type vec = metric
+type histogram = metric
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 32
+let reg_mu = Mutex.create ()
+
+(* 63 buckets cover floor(log2 v) + 1 for any positive tagged int *)
+let hist_buckets = 63
+
+let register name kind buckets =
+  Mutex.protect reg_mu (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some m ->
+          if m.kind <> kind then
+            invalid_arg
+              (Printf.sprintf
+                 "Obs.Metrics.%S: re-registered with a different kind" name);
+          m
+      | None ->
+          let m =
+            {
+              kind;
+              buckets;
+              cells =
+                Array.init shards (fun _ ->
+                    Array.init buckets (fun _ -> Atomic.make 0));
+            }
+          in
+          Hashtbl.add registry name m;
+          m)
+
+let counter name = register name C 1
+let vec ?(buckets = 16) name = register name V (max 1 buckets)
+let histogram name = register name H hist_buckets
+
+(* Domain ids are small consecutive ints; the low bits spread live
+   domains across distinct shards. *)
+let[@inline] shard () = (Domain.self () :> int) land (shards - 1)
+
+let[@inline] clamp m i =
+  if i < 0 then 0 else if i >= m.buckets then m.buckets - 1 else i
+
+let incr c = if Atomic.get on then Atomic.incr c.cells.(shard ()).(0)
+
+let add c n =
+  if Atomic.get on then ignore (Atomic.fetch_and_add c.cells.(shard ()).(0) n)
+
+let vec_incr v i =
+  if Atomic.get on then Atomic.incr v.cells.(shard ()).(clamp v i)
+
+let vec_add v i n =
+  if Atomic.get on then
+    ignore (Atomic.fetch_and_add v.cells.(shard ()).(clamp v i) n)
+
+let log2_bucket v =
+  if v <= 0 then 0
+  else begin
+    let b = ref 0 and n = ref v in
+    while !n > 0 do
+      b := !b + 1;
+      n := !n lsr 1
+    done;
+    !b (* floor(log2 v) + 1 *)
+  end
+
+let observe h v =
+  if Atomic.get on then Atomic.incr h.cells.(shard ()).(clamp h (log2_bucket v))
+
+type value = Counter of int | Vec of int array | Histogram of int array
+
+let merge m =
+  let out = Array.make m.buckets 0 in
+  Array.iter
+    (fun row ->
+      Array.iteri (fun i cell -> out.(i) <- out.(i) + Atomic.get cell) row)
+    m.cells;
+  out
+
+let trim_trailing_zeros a =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  Array.sub a 0 !n
+
+let snapshot () =
+  let items =
+    Mutex.protect reg_mu (fun () ->
+        Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry [])
+  in
+  items
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.map (fun (name, m) ->
+         let merged = merge m in
+         let v =
+           match m.kind with
+           | C -> Counter merged.(0)
+           | V -> Vec merged
+           | H -> Histogram (trim_trailing_zeros merged)
+         in
+         (name, v))
+
+let total = function
+  | Counter n -> n
+  | Vec a | Histogram a -> Array.fold_left ( + ) 0 a
+
+let reset () =
+  Mutex.protect reg_mu (fun () ->
+      Hashtbl.iter
+        (fun _ m ->
+          Array.iter
+            (fun row -> Array.iter (fun cell -> Atomic.set cell 0) row)
+            m.cells)
+        registry)
+
+let write_json w =
+  let snap = snapshot () in
+  let filter f = List.filter_map (fun (n, v) -> f n v) snap in
+  Jsonw.obj w (fun w ->
+      Jsonw.field_string w "schema" "efgame-metrics/1";
+      Jsonw.field_bool w "enabled" (enabled ());
+      Jsonw.field_int w "shards" shards;
+      let buckets_field key sel =
+        Jsonw.field w key (fun w ->
+            Jsonw.obj w (fun w ->
+                List.iter
+                  (fun (name, a) ->
+                    Jsonw.field w name (fun w ->
+                        Jsonw.arr w (fun w -> Array.iter (Jsonw.int w) a)))
+                  (filter sel)))
+      in
+      Jsonw.field w "counters" (fun w ->
+          Jsonw.obj w (fun w ->
+              List.iter
+                (fun (name, n) -> Jsonw.field_int w name n)
+                (filter (fun n -> function Counter c -> Some (n, c) | _ -> None))));
+      buckets_field "vecs" (fun n -> function Vec a -> Some (n, a) | _ -> None);
+      buckets_field "histograms" (fun n ->
+        function Histogram a -> Some (n, a) | _ -> None);
+      Jsonw.field w "totals" (fun w ->
+          Jsonw.obj w (fun w ->
+              List.iter
+                (fun (name, v) -> Jsonw.field_int w name (total v))
+                snap)))
+
+let dump ~path = Jsonw.to_file path write_json

@@ -1,0 +1,77 @@
+(** Sharded process-wide metrics with a merge-to-snapshot API.
+
+    Design: every metric owns [shards] independent arrays of atomic
+    cells; an increment touches only the cell picked by the calling
+    domain's id, so hot-path increments from concurrent domains never
+    contend on one cache line. Reads ({!snapshot}) merge the shards —
+    reading is rare and slow-path by construction.
+
+    Metrics are {b disabled by default}: every increment is then a
+    single atomic load and branch, with zero allocation, so leaving the
+    instrumentation compiled into the solver hot path costs noise-level
+    time (verified by the bench baseline). Enable with {!enable} (the
+    CLIs do this when [--metrics FILE] is passed).
+
+    Metrics are registered by name in a global registry; registering the
+    same name twice returns the same metric (the [Game] and [Unary]
+    solvers share the ["game.nodes_by_k"] vector this way). Increments
+    placed directly beside the engine's own counters (e.g. the cache's
+    hit/miss atomics) guarantee that a merged snapshot sums exactly to
+    the engine's global totals. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val enabled : unit -> bool
+
+(** Number of shards per metric (a power of two). *)
+val shards : int
+
+(** {1 Scalar counters} *)
+
+type counter
+
+val counter : string -> counter
+val incr : counter -> unit
+val add : counter -> int -> unit
+
+(** {1 Vector counters} — counters bucketed by a small integer index
+    (rounds remaining, worker id, …). Out-of-range indices clamp to the
+    nearest end bucket. *)
+
+type vec
+
+val vec : ?buckets:int -> string -> vec
+val vec_incr : vec -> int -> unit
+val vec_add : vec -> int -> int -> unit
+
+(** {1 Histograms} — log₂-bucketed: an observation [v] lands in bucket
+    0 when [v <= 0], else in bucket [floor(log2 v) + 1], so bucket [i]
+    (for [i >= 1]) counts observations in [[2^(i-1), 2^i)). *)
+
+type histogram
+
+val histogram : string -> histogram
+val observe : histogram -> int -> unit
+
+(** {1 Snapshots} *)
+
+type value =
+  | Counter of int
+  | Vec of int array
+  | Histogram of int array  (** trailing zero buckets trimmed *)
+
+(** Merged view of every registered metric, sorted by name. *)
+val snapshot : unit -> (string * value) list
+
+val total : value -> int
+
+(** Zero every cell of every registered metric (counts only; the
+    registry itself persists). *)
+val reset : unit -> unit
+
+(** Serialize the merged snapshot ([efgame-metrics/1]): top-level
+    [schema], [shards], [counters], [vecs], [histograms], and [totals]
+    (grand total per metric, across buckets). *)
+val write_json : Jsonw.t -> unit
+
+val dump : path:string -> unit

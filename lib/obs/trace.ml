@@ -1,0 +1,133 @@
+type arg = I of int | S of string | F of float
+
+let slots_n = 64
+
+type slot = { mu : Mutex.t; buf : Buffer.t }
+
+let slots =
+  Array.init slots_n (fun _ -> { mu = Mutex.create (); buf = Buffer.create 256 })
+
+let on = Atomic.make false
+let active () = Atomic.get on
+
+(* written by [start] before [on] flips, read by [finish] after *)
+let path_r = ref None
+let opened = Atomic.make 0
+let closed = Atomic.make 0
+
+(* domain ids that emitted at least one event, for thread_name metadata;
+   a race may record duplicates, deduped at [finish] *)
+let tids = Atomic.make []
+
+let rec record_tid tid =
+  let cur = Atomic.get tids in
+  if not (List.mem tid cur) then
+    if not (Atomic.compare_and_set tids cur (tid :: cur)) then record_tid tid
+
+let start ~path =
+  path_r := Some path;
+  Array.iter (fun s -> Mutex.protect s.mu (fun () -> Buffer.clear s.buf)) slots;
+  Atomic.set opened 0;
+  Atomic.set closed 0;
+  Atomic.set tids [];
+  Atomic.set on true
+
+let spans_opened () = Atomic.get opened
+let spans_closed () = Atomic.get closed
+
+let write_args w args =
+  Jsonw.field w "args" (fun w ->
+      Jsonw.obj w (fun w ->
+          List.iter
+            (fun (k, v) ->
+              match v with
+              | I n -> Jsonw.field_int w k n
+              | S s -> Jsonw.field_string w k s
+              | F f -> Jsonw.field_float w k f)
+            args))
+
+(* Serialize one event and append it (comma-prefixed) to the calling
+   domain's slot. Every slot fragment is a sequence of ",{...}" chunks;
+   [finish] opens the traceEvents array with a metadata event, so the
+   leading commas always follow an existing element. *)
+let emit ~name ~ph ~ts ~dur ~args =
+  let tid = (Domain.self () :> int) in
+  record_tid tid;
+  let w = Jsonw.create ~initial_size:128 () in
+  Jsonw.obj w (fun w ->
+      Jsonw.field_string w "name" name;
+      Jsonw.field_string w "ph" ph;
+      Jsonw.field_int w "pid" 1;
+      Jsonw.field_int w "tid" tid;
+      Jsonw.field w "ts" (fun w -> Jsonw.float ~prec:3 w ts);
+      (match dur with
+      | Some d -> Jsonw.field w "dur" (fun w -> Jsonw.float ~prec:3 w d)
+      | None -> ());
+      (match ph with
+      | "i" -> Jsonw.field_string w "s" "t" (* thread-scoped instant *)
+      | _ -> ());
+      match args with None -> () | Some mk -> write_args w (mk ()));
+  let s = slots.(tid land (slots_n - 1)) in
+  Mutex.protect s.mu (fun () ->
+      Buffer.add_string s.buf ",\n";
+      Buffer.add_string s.buf (Jsonw.contents w))
+
+let with_span ?args name f =
+  if not (Atomic.get on) then f ()
+  else begin
+    Atomic.incr opened;
+    let t0 = Clock.now_us () in
+    Fun.protect
+      ~finally:(fun () ->
+        let t1 = Clock.now_us () in
+        emit ~name ~ph:"X" ~ts:t0 ~dur:(Some (t1 -. t0)) ~args;
+        Atomic.incr closed)
+      f
+  end
+
+let instant ?args name =
+  if Atomic.get on then
+    emit ~name ~ph:"i" ~ts:(Clock.now_us ()) ~dur:None ~args
+
+let metadata w ~name ~tid ~value =
+  Jsonw.obj w (fun w ->
+      Jsonw.field_string w "name" name;
+      Jsonw.field_string w "ph" "M";
+      Jsonw.field_int w "pid" 1;
+      Jsonw.field_int w "tid" tid;
+      Jsonw.field w "args" (fun w ->
+          Jsonw.obj w (fun w -> Jsonw.field_string w "name" value)))
+
+let finish () =
+  if Atomic.get on then begin
+    Atomic.set on false;
+    match !path_r with
+    | None -> ()
+    | Some path ->
+        path_r := None;
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            let header = Jsonw.create () in
+            (* the schema/displayTimeUnit fields and the first metadata
+               event; slot fragments are comma-prefixed continuations of
+               the traceEvents array *)
+            output_string oc
+              "{\"schema\":\"efgame-trace/1\",\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+            metadata header ~name:"process_name" ~tid:0 ~value:"efgame";
+            let seen = List.sort_uniq compare (Atomic.get tids) in
+            List.iter
+              (fun tid ->
+                metadata header ~name:"thread_name" ~tid
+                  ~value:(Printf.sprintf "domain %d" tid))
+              seen;
+            output_string oc (Jsonw.contents header);
+            Array.iter
+              (fun s ->
+                Mutex.protect s.mu (fun () ->
+                    Buffer.output_buffer oc s.buf;
+                    Buffer.clear s.buf))
+              slots;
+            output_string oc "]}\n")
+  end

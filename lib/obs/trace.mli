@@ -1,0 +1,41 @@
+(** Low-overhead span tracing, emitted as Chrome trace-event JSON.
+
+    The output file ([efgame-trace/1]) is a standard JSON Object Format
+    trace: open it at {{:https://ui.perfetto.dev}ui.perfetto.dev} (or
+    [chrome://tracing]). Spans carry [pid] 1 and [tid] = the OCaml
+    domain id of the domain that ran them, so a multicore frontier scan
+    renders as one track per domain, with scheduler chunks and pair
+    decisions nested on each track.
+
+    Overhead discipline: when tracing is inactive, {!with_span} is a
+    single atomic load and branch followed by the traced function call —
+    no timestamps, no allocation beyond the closure the caller already
+    built. When active, spans are serialized as complete ("ph":"X")
+    events into per-domain buffers (each guarded by its own mutex, so
+    domains never contend with each other), and {!finish} stitches the
+    buffers into the file.
+
+    {!start}/{!finish} are not re-entrant and are meant to be called
+    once from the main domain (the CLIs call them around [main]). *)
+
+type arg = I of int | S of string | F of float
+
+val start : path:string -> unit
+val active : unit -> bool
+
+(** Write the trace file and deactivate. No-op when inactive. *)
+val finish : unit -> unit
+
+(** [with_span name f] runs [f], recording a span covering its
+    execution (including exceptional exits, via [Fun.protect]). [args]
+    is evaluated only when tracing is active. *)
+val with_span : ?args:(unit -> (string * arg) list) -> string -> (unit -> 'a) -> 'a
+
+(** A zero-duration instant event on the calling domain's track. *)
+val instant : ?args:(unit -> (string * arg) list) -> string -> unit
+
+(** Span accounting, for tests: every span opened must eventually be
+    closed (emitted). Counters reset on {!start}. *)
+val spans_opened : unit -> int
+
+val spans_closed : unit -> int

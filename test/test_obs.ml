@@ -1,0 +1,449 @@
+(* Tests for the lib/obs observability layer: the Jsonw writer produces
+   parseable JSON with correct escaping; sharded counters merged across
+   a Domain fan-out equal the sequential totals; every trace span opened
+   is closed and the emitted file parses as JSON; and the disabled
+   counter hot path allocates nothing. *)
+
+(* ------------------------------------------------------------------ *)
+(* A miniature recursive-descent JSON parser — just enough to validate
+   that the files Obs emits are well-formed and to extract values the
+   assertions need. Numbers come back as floats; objects as assoc
+   lists. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let literal lit v =
+    if !pos + String.length lit <= n && String.sub s !pos (String.length lit) = lit
+    then begin
+      pos := !pos + String.length lit;
+      v
+    end
+    else fail ("expected " ^ lit)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some '"' -> Buffer.add_char buf '"'; advance (); go ()
+          | Some '\\' -> Buffer.add_char buf '\\'; advance (); go ()
+          | Some '/' -> Buffer.add_char buf '/'; advance (); go ()
+          | Some 'n' -> Buffer.add_char buf '\n'; advance (); go ()
+          | Some 't' -> Buffer.add_char buf '\t'; advance (); go ()
+          | Some 'r' -> Buffer.add_char buf '\r'; advance (); go ()
+          | Some 'b' -> Buffer.add_char buf '\b'; advance (); go ()
+          | Some 'f' -> Buffer.add_char buf '\012'; advance (); go ()
+          | Some 'u' ->
+              advance ();
+              if !pos + 4 > n then fail "bad \\u escape";
+              let hex = String.sub s !pos 4 in
+              let code = int_of_string ("0x" ^ hex) in
+              (* BMP code points only; fine for our own output *)
+              if code < 0x80 then Buffer.add_char buf (Char.chr code)
+              else Buffer.add_string buf (Printf.sprintf "\\u%s" hex);
+              pos := !pos + 4;
+              go ()
+          | _ -> fail "bad escape")
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else
+          let rec members acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((key, v) :: acc)
+            | Some '}' ->
+                advance ();
+                Obj (List.rev ((key, v) :: acc))
+            | _ -> fail "expected , or }"
+          in
+          members []
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements (v :: acc)
+            | Some ']' ->
+                advance ();
+                Arr (List.rev (v :: acc))
+            | _ -> fail "expected , or ]"
+          in
+          elements []
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let member_exn key j =
+  match member key j with
+  | Some v -> v
+  | None -> Alcotest.failf "missing JSON member %S" key
+
+(* ------------------------------------------------------------------ *)
+(* Jsonw *)
+
+let test_jsonw_roundtrip () =
+  let j = Obs.Jsonw.create () in
+  Obs.Jsonw.obj j (fun j ->
+      Obs.Jsonw.field_string j "name" "a\"b\\c\n\t\x01d";
+      Obs.Jsonw.field_int j "n" 42;
+      Obs.Jsonw.field_float ~prec:2 j "x" 1.5;
+      Obs.Jsonw.field_float j "bad" Float.nan;
+      Obs.Jsonw.field_bool j "flag" true;
+      Obs.Jsonw.field_null j "nothing";
+      Obs.Jsonw.field j "xs" (fun j ->
+          Obs.Jsonw.arr j (fun j ->
+              Obs.Jsonw.int j 1;
+              Obs.Jsonw.string j "two";
+              Obs.Jsonw.obj j (fun j -> Obs.Jsonw.field_int j "k" 3))));
+  let parsed = parse_json (Obs.Jsonw.contents j) in
+  Alcotest.(check string)
+    "escaped string survives the roundtrip" "a\"b\\c\n\t\x01d"
+    (match member_exn "name" parsed with Str s -> s | _ -> "<not a string>");
+  (match member_exn "n" parsed with
+  | Num f -> Alcotest.(check (float 0.0)) "int field" 42.0 f
+  | _ -> Alcotest.fail "n is not a number");
+  (match member_exn "bad" parsed with
+  | Null -> ()
+  | _ -> Alcotest.fail "nan must serialize as null");
+  match member_exn "xs" parsed with
+  | Arr [ Num 1.0; Str "two"; Obj [ ("k", Num 3.0) ] ] -> ()
+  | _ -> Alcotest.fail "nested array shape"
+
+let test_jsonw_empty_containers () =
+  let j = Obs.Jsonw.create () in
+  Obs.Jsonw.obj j (fun j ->
+      Obs.Jsonw.field j "o" (fun j -> Obs.Jsonw.obj j (fun _ -> ()));
+      Obs.Jsonw.field j "a" (fun j -> Obs.Jsonw.arr j (fun _ -> ())));
+  match parse_json (Obs.Jsonw.contents j) with
+  | Obj [ ("o", Obj []); ("a", Arr []) ] -> ()
+  | _ -> Alcotest.fail "empty containers"
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+(* A fan-out of increments over [jobs] domains must merge to exactly the
+   same totals as performing them sequentially: the shard layout may
+   differ, the sums may not. *)
+let test_shard_merge_equals_sequential =
+  QCheck.Test.make ~count:30 ~name:"metrics: domain fan-out merge = sequential"
+    QCheck.(pair (int_bound 3) (list_of_size Gen.(1 -- 50) (int_bound 1000)))
+    (fun (extra_jobs, amounts) ->
+      let jobs = 1 + extra_jobs in
+      let c = Obs.Metrics.counter "test.merge_counter" in
+      let v = Obs.Metrics.vec ~buckets:4 "test.merge_vec" in
+      let read name =
+        match List.assoc_opt name (Obs.Metrics.snapshot ()) with
+        | Some value -> Obs.Metrics.total value
+        | None -> -1
+      in
+      let run_adds amounts =
+        List.iteri
+          (fun i a ->
+            Obs.Metrics.add c a;
+            Obs.Metrics.vec_incr v (i mod 4))
+          amounts
+      in
+      Obs.Metrics.reset ();
+      Obs.Metrics.enable ();
+      (* sequential reference *)
+      run_adds amounts;
+      let seq_counter = read "test.merge_counter" in
+      let seq_vec = read "test.merge_vec" in
+      Obs.Metrics.reset ();
+      (* the same work fanned out: every domain performs the full list,
+         so the expected total is jobs × sequential *)
+      let domains =
+        List.init jobs (fun _ -> Domain.spawn (fun () -> run_adds amounts))
+      in
+      List.iter Domain.join domains;
+      let par_counter = read "test.merge_counter" in
+      let par_vec = read "test.merge_vec" in
+      Obs.Metrics.disable ();
+      Obs.Metrics.reset ();
+      par_counter = jobs * seq_counter && par_vec = jobs * seq_vec)
+
+let test_metrics_disabled_no_counts () =
+  Obs.Metrics.reset ();
+  Obs.Metrics.disable ();
+  let c = Obs.Metrics.counter "test.disabled_counter" in
+  for _ = 1 to 100 do
+    Obs.Metrics.incr c
+  done;
+  let total =
+    match List.assoc_opt "test.disabled_counter" (Obs.Metrics.snapshot ()) with
+    | Some v -> Obs.Metrics.total v
+    | None -> -1
+  in
+  Alcotest.(check int) "disabled increments are dropped" 0 total
+
+let test_histogram_buckets () =
+  Obs.Metrics.reset ();
+  Obs.Metrics.enable ();
+  let h = Obs.Metrics.histogram "test.hist" in
+  (* bucket 0: v <= 0; bucket i >= 1 covers [2^(i-1), 2^i) *)
+  List.iter (Obs.Metrics.observe h) [ 0; -5; 1; 2; 3; 4; 1024 ];
+  Obs.Metrics.disable ();
+  let buckets =
+    match List.assoc_opt "test.hist" (Obs.Metrics.snapshot ()) with
+    | Some (Obs.Metrics.Histogram b) -> b
+    | _ -> [||]
+  in
+  Obs.Metrics.reset ();
+  let get i = if i < Array.length buckets then buckets.(i) else 0 in
+  Alcotest.(check int) "v<=0 bucket" 2 (get 0);
+  Alcotest.(check int) "v=1 bucket" 1 (get 1);
+  Alcotest.(check int) "v in [2,4) bucket" 2 (get 2);
+  Alcotest.(check int) "v=4 bucket" 1 (get 3);
+  Alcotest.(check int) "v=1024 bucket" 1 (get 11)
+
+(* The acceptance invariant from the PR: per-depth cache metrics sum to
+   exactly the cache's own global counters. Exercise a real cached scan
+   and compare. *)
+let test_metrics_match_cache_stats () =
+  Obs.Metrics.reset ();
+  Obs.Metrics.enable ();
+  let cache = Efgame.Cache.create () in
+  let engine = Efgame.Witness.Cached cache in
+  ignore (Efgame.Witness.scan ~engine ~k:3 ~max_n:20 ());
+  Obs.Metrics.disable ();
+  let stats = Efgame.Cache.stats cache in
+  let sum name =
+    match List.assoc_opt name (Obs.Metrics.snapshot ()) with
+    | Some v -> Obs.Metrics.total v
+    | None -> -1
+  in
+  Alcotest.(check int) "hits" stats.Efgame.Cache.hits (sum "cache.hits_by_k");
+  Alcotest.(check int)
+    "misses" stats.Efgame.Cache.misses
+    (sum "cache.misses_by_k");
+  Alcotest.(check int)
+    "stores" stats.Efgame.Cache.stores
+    (sum "cache.stores_by_k");
+  Obs.Metrics.reset ()
+
+(* Disabled hot path: an increment is an atomic load and a branch. The
+   loop below must not allocate on the minor heap (the Gc.minor_words
+   calls themselves may cost a few boxed floats, hence the slack). *)
+let test_disabled_zero_alloc () =
+  Obs.Metrics.disable ();
+  let c = Obs.Metrics.counter "test.zero_alloc" in
+  let v = Obs.Metrics.vec ~buckets:4 "test.zero_alloc_vec" in
+  let h = Obs.Metrics.histogram "test.zero_alloc_hist" in
+  (* warm up so the metric records and closures exist *)
+  Obs.Metrics.incr c;
+  let before = Gc.minor_words () in
+  for i = 1 to 100_000 do
+    Obs.Metrics.incr c;
+    Obs.Metrics.vec_incr v (i land 3);
+    Obs.Metrics.observe h i
+  done;
+  let after = Gc.minor_words () in
+  let words = int_of_float (after -. before) in
+  if words > 64 then
+    Alcotest.failf "disabled metric hot path allocated %d minor words" words
+
+let test_metrics_json_shape () =
+  Obs.Metrics.reset ();
+  Obs.Metrics.enable ();
+  let c = Obs.Metrics.counter "test.json_counter" in
+  Obs.Metrics.add c 7;
+  Obs.Metrics.disable ();
+  let j = Obs.Jsonw.create () in
+  Obs.Metrics.write_json j;
+  let parsed = parse_json (Obs.Jsonw.contents j) in
+  Obs.Metrics.reset ();
+  (match member_exn "schema" parsed with
+  | Str "efgame-metrics/1" -> ()
+  | _ -> Alcotest.fail "schema");
+  List.iter
+    (fun key ->
+      match member key parsed with
+      | Some (Obj _) -> ()
+      | _ -> Alcotest.failf "metrics JSON missing object %S" key)
+    [ "counters"; "vecs"; "histograms"; "totals" ];
+  match member_exn "counters" parsed with
+  | Obj fields -> (
+      match List.assoc_opt "test.json_counter" fields with
+      | Some (Num 7.0) -> ()
+      | _ -> Alcotest.fail "counter value in JSON")
+  | _ -> Alcotest.fail "counters shape"
+
+(* ------------------------------------------------------------------ *)
+(* Trace *)
+
+let test_trace_spans_balanced () =
+  let path = Filename.temp_file "obs_trace" ".json" in
+  Obs.Trace.start ~path;
+  (* spans across several domains, including an exceptional exit *)
+  let work () =
+    for i = 1 to 20 do
+      Obs.Trace.with_span "outer"
+        ~args:(fun () -> [ ("i", Obs.Trace.I i) ])
+        (fun () -> Obs.Trace.with_span "inner" (fun () -> ignore (i * i)))
+    done;
+    (try
+       Obs.Trace.with_span "raises" (fun () -> raise Exit)
+     with Exit -> ());
+    Obs.Trace.instant "tick"
+  in
+  let domains = List.init 3 (fun _ -> Domain.spawn work) in
+  work ();
+  List.iter Domain.join domains;
+  let opened = Obs.Trace.spans_opened () in
+  let closed = Obs.Trace.spans_closed () in
+  Obs.Trace.finish ();
+  Alcotest.(check bool) "some spans recorded" true (opened > 0);
+  Alcotest.(check int) "every span opened was closed" opened closed;
+  let content = In_channel.with_open_text path In_channel.input_all in
+  Sys.remove path;
+  let parsed = parse_json content in
+  (match member_exn "schema" parsed with
+  | Str "efgame-trace/1" -> ()
+  | _ -> Alcotest.fail "trace schema");
+  match member_exn "traceEvents" parsed with
+  | Arr events ->
+      (* 4 workers × (40 spans + 1 raising span + 1 instant) + metadata *)
+      Alcotest.(check bool)
+        "trace holds the emitted events" true
+        (List.length events >= 4 * 42);
+      List.iter
+        (fun ev ->
+          match member "ph" ev with
+          | Some (Str ("X" | "M" | "i")) -> ()
+          | _ -> Alcotest.fail "unexpected event phase")
+        events
+  | _ -> Alcotest.fail "traceEvents shape"
+
+let test_trace_inactive_passthrough () =
+  Alcotest.(check bool) "inactive by default" false (Obs.Trace.active ());
+  let r = Obs.Trace.with_span "ignored" (fun () -> 41 + 1) in
+  Alcotest.(check int) "with_span is transparent when inactive" 42 r
+
+(* ------------------------------------------------------------------ *)
+(* Log *)
+
+let test_log_levels () =
+  Obs.Log.setup ();
+  Alcotest.(check bool) "info on by default" true (Obs.Log.enabled Obs.Log.Info);
+  Alcotest.(check bool)
+    "debug off by default" false
+    (Obs.Log.enabled Obs.Log.Debug);
+  Obs.Log.setup ~quiet:true ~verbosity:3 ();
+  Alcotest.(check bool) "quiet wins over -v" false (Obs.Log.enabled Obs.Log.Warn);
+  Alcotest.(check bool) "errors always pass" true (Obs.Log.enabled Obs.Log.Error);
+  Obs.Log.setup ~verbosity:1 ();
+  Alcotest.(check bool) "-v enables debug" true (Obs.Log.enabled Obs.Log.Debug);
+  (* restore the default so later suites are unaffected *)
+  Obs.Log.setup ();
+  (* disabled calls must still consume their format arguments *)
+  Obs.Log.debug ~tag:"test" "dropped %d %s" 1 "arg"
+
+let tests =
+  ( "obs",
+    [
+      Alcotest.test_case "jsonw roundtrip" `Quick test_jsonw_roundtrip;
+      Alcotest.test_case "jsonw empty containers" `Quick
+        test_jsonw_empty_containers;
+      QCheck_alcotest.to_alcotest test_shard_merge_equals_sequential;
+      Alcotest.test_case "disabled metrics drop counts" `Quick
+        test_metrics_disabled_no_counts;
+      Alcotest.test_case "histogram log2 buckets" `Quick test_histogram_buckets;
+      Alcotest.test_case "metrics sum to cache stats" `Slow
+        test_metrics_match_cache_stats;
+      Alcotest.test_case "disabled hot path zero alloc" `Quick
+        test_disabled_zero_alloc;
+      Alcotest.test_case "metrics JSON shape" `Quick test_metrics_json_shape;
+      Alcotest.test_case "trace spans balanced + file parses" `Quick
+        test_trace_spans_balanced;
+      Alcotest.test_case "trace inactive passthrough" `Quick
+        test_trace_inactive_passthrough;
+      Alcotest.test_case "log levels" `Quick test_log_levels;
+    ] )
