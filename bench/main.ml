@@ -375,7 +375,11 @@ let measure_frontier ~max_n =
         Efgame.Witness.scan ~engine:(Efgame.Witness.Cached cold_cache) ~k:3
           ~max_n ())
   in
-  let table_entries = Efgame.Persist.save cold_cache tbl in
+  let table_entries =
+    match Efgame.Persist.save cold_cache tbl with
+    | Ok n -> n
+    | Error e -> Fmt.failwith "bench: saving %s: %a" tbl Efgame.Persist.pp_error e
+  in
   let table_bytes = (Unix.stat tbl).Unix.st_size in
   let warm_cache = Efgame.Cache.create () in
   (match Efgame.Persist.load warm_cache tbl with

@@ -10,16 +10,25 @@
      efgame_cli --frontier 384 --table e2.tbl --json scan.json
                                              (exhaustive ≡₃ scan, checkpointed)
      efgame_cli --frontier 384 --table e2.tbl --resume
-                                             (continue a killed scan) *)
+                                             (continue a killed scan)
+     efgame_cli table info e2.tbl            (validate a snapshot)
+     efgame_cli table merge all.tbl a.tbl b.tbl
+
+   Exit codes: 0 success (including a deadline-stopped scan, whose state
+   is resumable); 130/143 scan interrupted by SIGINT/SIGTERM after a
+   final checkpoint; 2 usage or unrecoverable table error; 3 verdict
+   Unknown; 4 final checkpoint failed after retries. *)
 
 open Cmdliner
 
 let pp_word ppf w = Words.Word.pp ppf w
 
+type stop_reason = Signal of Rt.Signal.source | Deadline
+
 (* ---------------------------------------------------------------- JSON *)
 
-let write_scan_json ~path ~mode ~k ~max_n ~jobs ~budget ~outcome ~stats ~wall_s
-    ~table =
+let write_scan_json ~path ~mode ~k ~max_n ~jobs ~budget ~outcome ~stop_reason
+    ~stats ~wall_s ~table =
   let open Efgame.Witness in
   let module J = Obs.Jsonw in
   let lookups = stats.cache_hits + stats.cache_misses in
@@ -39,18 +48,24 @@ let write_scan_json ~path ~mode ~k ~max_n ~jobs ~budget ~outcome ~stats ~wall_s
             (match outcome with
             | Found _ -> "found"
             | Exhausted _ -> "exhausted"
-            | Inconclusive _ -> "inconclusive");
+            | Inconclusive _ -> "inconclusive"
+            | Interrupted _ -> "interrupted");
+          J.field w "stop_reason" (fun w ->
+              match stop_reason with
+              | Some (Signal src) -> J.string w (Rt.Signal.name src)
+              | Some Deadline -> J.string w "deadline"
+              | None -> J.null w);
           J.field w "pair" (fun w ->
               match outcome with
               | Found (p, q) ->
                   J.arr w (fun w ->
                       J.int w p;
                       J.int w q)
-              | Exhausted _ | Inconclusive _ -> J.null w);
+              | Exhausted _ | Inconclusive _ | Interrupted _ -> J.null w);
           J.field_int w "unknown_pairs"
             (match outcome with
             | Inconclusive (_, us) -> List.length us
-            | Found _ | Exhausted _ -> 0);
+            | Found _ | Exhausted _ | Interrupted _ -> 0);
           J.field_float w "wall_s" wall_s;
           J.field_int w "pairs" stats.pairs;
           J.field_int w "nodes" stats.nodes;
@@ -58,6 +73,8 @@ let write_scan_json ~path ~mode ~k ~max_n ~jobs ~budget ~outcome ~stats ~wall_s
           J.field_int w "cache_hits" stats.cache_hits;
           J.field_int w "cache_misses" stats.cache_misses;
           J.field_float ~prec:4 w "cache_hit_rate" hit_rate;
+          J.field w "faults" (fun w ->
+              if Rt.Fault.enabled () then Rt.Fault.write_json w else J.null w);
           J.field w "table" (fun w ->
               match table with
               | None -> J.null w
@@ -70,8 +87,17 @@ let write_scan_json ~path ~mode ~k ~max_n ~jobs ~budget ~outcome ~stats ~wall_s
 (* ------------------------------------------------------------- driver *)
 
 let run words rounds explain budget scan classes frontier max_n use_cache jobs
-    stats table resume checkpoint_s json trace metrics quiet verbose =
+    stats table resume salvage checkpoint_s deadline_s inject_faults json trace
+    metrics quiet verbose =
   Obs.Log.setup ~quiet ~verbosity:(List.length verbose) ();
+  (match Rt.Fault.setup ?spec:inject_faults () with
+  | Ok () ->
+      if Rt.Fault.enabled () then
+        Obs.Log.warn ~tag:"fault" "fault injection armed"
+  | Error msg ->
+      Obs.Log.err "%s" msg;
+      exit 2);
+  Rt.Signal.install ();
   (* telemetry sinks flush on every exit path via at_exit *)
   (match trace with
   | Some path ->
@@ -95,18 +121,48 @@ let run words rounds explain budget scan classes frontier max_n use_cache jobs
     | Some c, _ -> Efgame.Witness.Cached c
     | None, _ -> Efgame.Witness.Seed
   in
+  let deadline =
+    match deadline_s with
+    | Some s -> Rt.Deadline.after s
+    | None -> Rt.Deadline.none
+  in
+  (* First trigger wins and latches: every subsequent poll is one ref
+     read, and the reason survives to pick the exit code. *)
+  let stop_reason = ref None in
+  let stop () =
+    match !stop_reason with
+    | Some _ -> true
+    | None -> (
+        match Rt.Signal.pending () with
+        | Some src ->
+            stop_reason := Some (Signal src);
+            true
+        | None ->
+            if Rt.Deadline.expired deadline then begin
+              stop_reason := Some Deadline;
+              true
+            end
+            else false)
+  in
   let loaded =
     match (cache, table) with
     | Some c, Some file when resume ->
-        if Sys.file_exists file then (
-          match Efgame.Persist.load c file with
-          | Ok n ->
-              Obs.Log.info ~tag:"table" "resumed from %s (%d entries)" file n;
+        if Sys.file_exists file || Sys.file_exists (file ^ ".bak") then (
+          match Efgame.Persist.recover ~salvage c file with
+          | Ok (src, r) ->
+              if r.Efgame.Persist.salvaged then
+                Obs.Log.warn ~tag:"table"
+                  "salvaged %d entries from %s (%d damaged regions dropped)"
+                  r.Efgame.Persist.entries src r.Efgame.Persist.dropped
+              else
+                Obs.Log.info ~tag:"table" "resumed from %s (%d entries)" src
+                  r.Efgame.Persist.entries;
               Efgame.Cache.reset_counters c;
-              n
+              r.Efgame.Persist.entries
           | Error e ->
-              Obs.Log.err ~tag:"table" "cannot resume from %s: %a" file
-                Efgame.Persist.pp_error e;
+              Obs.Log.err ~tag:"table"
+                "cannot resume from %s: %a%s" file Efgame.Persist.pp_error e
+                (if salvage then "" else " (try --salvage)");
               exit 2)
         else (
           Obs.Log.warn ~tag:"table"
@@ -114,12 +170,30 @@ let run words rounds explain budget scan classes frontier max_n use_cache jobs
           0)
     | _ -> 0
   in
-  let save_table () =
+  (* Checkpoint I/O never aborts a scan outright: transient failures
+     (ENOSPC, injected faults) get capped-exponential retries, a
+     periodic checkpoint that still fails is skipped (the next tick
+     tries again), and only a failed *final* save — actual lost work —
+     is an error exit. *)
+  let save_table ~final () =
     match (cache, table) with
-    | Some c, Some file ->
-        let n = Efgame.Persist.save c file in
-        Obs.Log.info ~tag:"table" "checkpoint: %d entries -> %s" n file;
-        n
+    | Some c, Some file -> (
+        match
+          Rt.Backoff.retry
+            ~on_retry:(fun ~attempt ~delay ->
+              Obs.Log.warn ~tag:"table"
+                "checkpoint to %s failed; attempt %d after %.2fs backoff" file
+                attempt delay)
+            (fun () -> Efgame.Persist.save c file)
+        with
+        | Ok n ->
+            Obs.Log.info ~tag:"table" "checkpoint: %d entries -> %s" n file;
+            n
+        | Error e ->
+            Obs.Log.err ~tag:"table" "checkpoint to %s failed for good: %a"
+              file Efgame.Persist.pp_error e;
+            if final then exit 4;
+            0)
     | _ -> 0
   in
   let print_cache_stats () =
@@ -131,10 +205,19 @@ let run words rounds explain budget scan classes frontier max_n use_cache jobs
   let run_scan ~mode ~k ~max_n =
     let last_save = ref (Unix.gettimeofday ()) in
     let on_tick ~completed:_ =
-      if checkpoint_s > 0. && Unix.gettimeofday () -. !last_save >= checkpoint_s
-      then begin
-        ignore (save_table ());
-        last_save := Unix.gettimeofday ()
+      if checkpoint_s > 0. then begin
+        let now = Unix.gettimeofday () in
+        let due = now -. !last_save >= checkpoint_s in
+        (* tighten the interval as the deadline nears, so the watchdog
+           never stops the scan with a full interval of unsaved work *)
+        let deadline_near =
+          Rt.Deadline.remaining deadline <= 2. *. checkpoint_s
+          && now -. !last_save >= checkpoint_s /. 4.
+        in
+        if due || deadline_near then begin
+          ignore (save_table ~final:false ());
+          last_save := Unix.gettimeofday ()
+        end
       end
     in
     let last_q = ref 0 in
@@ -150,10 +233,12 @@ let run words rounds explain budget scan classes frontier max_n use_cache jobs
         ~args:(fun () ->
           [ ("k", Obs.Trace.I k); ("max_n", Obs.Trace.I max_n) ])
         (fun () ->
-          Efgame.Witness.scan ~budget ~engine ~on_q ~on_tick ~k ~max_n ())
+          Efgame.Witness.scan ~budget ~engine ~on_q ~on_tick ~stop ~k ~max_n ())
     in
     let wall_s = Unix.gettimeofday () -. t0 in
-    let saved = save_table () in
+    (* the scheduler has drained (or been stopped): always take the
+       final checkpoint here, so a clean exit carries resumable state *)
+    let saved = save_table ~final:true () in
     (match outcome with
     | Efgame.Witness.Found (p, q) ->
         Format.printf "minimal pair for ≡_%d: a^%d ≡ a^%d@." k p q
@@ -161,7 +246,16 @@ let run words rounds explain budget scan classes frontier max_n use_cache jobs
         Format.printf "no pair with q ≤ %d (exhaustive)@." n
     | Efgame.Witness.Inconclusive (n, unknowns) ->
         Format.printf "inconclusive up to %d (budget ran out on %d pairs)@." n
-          (List.length unknowns));
+          (List.length unknowns)
+    | Efgame.Witness.Interrupted pairs ->
+        let why =
+          match !stop_reason with
+          | Some (Signal src) -> Rt.Signal.name src
+          | Some Deadline -> "deadline"
+          | None -> "stop"
+        in
+        Format.printf "interrupted (%s) after %d pairs; state is resumable@."
+          why pairs);
     if stats then
       Format.printf
         "scan: %d pairs, %d nodes, %d chunks, %.2f s wall, %d table hits / %d lookups@."
@@ -170,14 +264,28 @@ let run words rounds explain budget scan classes frontier max_n use_cache jobs
         scan_stats.Efgame.Witness.cache_hits
         (scan_stats.Efgame.Witness.cache_hits
         + scan_stats.Efgame.Witness.cache_misses);
+    if Rt.Fault.enabled () then
+      List.iter
+        (fun (site, evals, fires) ->
+          if evals > 0 then
+            Obs.Log.info ~tag:"fault" "%s: %d fires / %d evals" site fires
+              evals)
+        (Rt.Fault.stats ());
     (match json with
     | Some path ->
         write_scan_json ~path ~mode ~k ~max_n ~jobs:(max 1 jobs) ~budget
-          ~outcome ~stats:scan_stats ~wall_s
+          ~outcome ~stop_reason:!stop_reason ~stats:scan_stats ~wall_s
           ~table:(Option.map (fun f -> (f, loaded, saved)) table)
     | None -> ());
     print_cache_stats ();
-    exit 0
+    match !stop_reason with
+    | Some (Signal src) ->
+        Obs.Log.warn ~tag:"scan" "%s: checkpointed, exiting"
+          (Rt.Signal.name src);
+        exit (Rt.Signal.exit_code src)
+    | Some Deadline | None ->
+        (* a deadline stop is a scheduled success: state saved, exit 0 *)
+        exit 0
   in
   match (frontier, scan, classes) with
   | Some n, _, _ ->
@@ -193,7 +301,7 @@ let run words rounds explain budget scan classes frontier max_n use_cache jobs
             (fun members ->
               Format.printf "  {%s}@." (String.concat ", " (List.map string_of_int members)))
             cls);
-      ignore (save_table ());
+      ignore (save_table ~final:true ());
       print_cache_stats ();
       exit 0
   | None, None, None -> (
@@ -211,7 +319,7 @@ let run words rounds explain budget scan classes frontier max_n use_cache jobs
           if stats then
             Format.printf "table: %d hits, %d misses@." s.Efgame.Game.cache_hits
               s.Efgame.Game.cache_misses;
-          ignore (save_table ());
+          ignore (save_table ~final:true ());
           print_cache_stats ();
           if explain && verdict = Efgame.Game.Not_equiv then begin
             match Efgame.Game.winning_line ~budget cfg rounds with
@@ -231,6 +339,57 @@ let run words rounds explain budget scan classes frontier max_n use_cache jobs
           Obs.Log.err
             "expected exactly two words (or --scan / --classes / --frontier)";
           exit 2)
+
+(* ---------------------------------------------------- table subcommands *)
+
+let table_info file =
+  match Efgame.Persist.inspect file with
+  | Ok info ->
+      Format.printf "%a@." Efgame.Persist.pp_info info;
+      (* 0 = pristine, 1 = damaged but (partially) salvageable — lets CI
+         scripts branch without parsing the report *)
+      exit
+        (if info.Efgame.Persist.checksum_ok && info.Efgame.Persist.damaged = 0
+         then 0
+         else 1)
+  | Error e ->
+      Format.eprintf "%s: %a@." file Efgame.Persist.pp_error e;
+      exit 2
+
+let table_merge out ins salvage quiet verbose =
+  Obs.Log.setup ~quiet ~verbosity:(List.length verbose) ();
+  let cache = Efgame.Cache.create () in
+  let ok =
+    List.fold_left
+      (fun ok file ->
+        match Efgame.Persist.load ~salvage cache file with
+        | Ok r ->
+            if r.Efgame.Persist.salvaged then
+              Obs.Log.warn ~tag:"table"
+                "%s: salvaged %d entries (%d damaged regions dropped)" file
+                r.Efgame.Persist.entries r.Efgame.Persist.dropped
+            else
+              Obs.Log.info ~tag:"table" "%s: %d entries" file
+                r.Efgame.Persist.entries;
+            ok
+        | Error e ->
+            Obs.Log.err ~tag:"table" "%s: %a%s" file Efgame.Persist.pp_error e
+              (if salvage then "" else " (try --salvage)");
+            false)
+      true ins
+  in
+  if not ok then exit 2;
+  match Efgame.Persist.save cache out with
+  | Ok n ->
+      Format.printf "merged %d snapshots -> %s (%d entries)@."
+        (List.length ins) out n;
+      exit 0
+  | Error e ->
+      Obs.Log.err ~tag:"table" "cannot write %s: %a" out
+        Efgame.Persist.pp_error e;
+      exit 2
+
+(* ------------------------------------------------------------ cmdline *)
 
 let words_arg = Arg.(value & pos_all string [] & info [] ~docv:"WORD" ~doc:"The two words.")
 let rounds_arg = Arg.(value & opt int 1 & info [ "k"; "rounds" ] ~docv:"K" ~doc:"Number of rounds.")
@@ -276,19 +435,47 @@ let table_arg =
 
 let resume_arg =
   Arg.(value & flag & info [ "resume" ]
-       ~doc:"Load the --table file before scanning (if it exists), making \
-             the scan incremental: already-proved pairs are answered from \
-             the table. Without --resume an existing file is overwritten.")
+       ~doc:"Load the --table file before scanning (if it exists; its .bak \
+             sibling is tried when the primary is missing or damaged), \
+             making the scan incremental: already-proved pairs are answered \
+             from the table. Without --resume an existing file is \
+             overwritten.")
+
+let salvage_arg =
+  Arg.(value & flag & info [ "salvage" ]
+       ~doc:"When resuming from (or merging) a damaged snapshot, recover \
+             the valid entries instead of rejecting the whole file. Sound: \
+             a salvaged load only drops entries, never invents them, and \
+             dropped verdicts are simply re-derived by the scan.")
 
 let checkpoint_arg =
   Arg.(value & opt float 60. & info [ "checkpoint" ] ~docv:"S"
        ~doc:"Seconds between table checkpoints during a scan (0 disables \
-             periodic checkpoints; the final save always happens).")
+             periodic checkpoints; the final save on drain, signal or \
+             deadline always happens). Checkpoint writes are atomic \
+             (tmp + fsync + rename, previous snapshot kept as .bak) and \
+             retried with capped exponential backoff on I/O failure.")
+
+let deadline_arg =
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"S"
+       ~doc:"Stop the scan after $(docv) seconds of wall time: workers \
+             wind down at item granularity, a final checkpoint is taken, \
+             and the process exits 0 with resumable state — the in-process \
+             alternative to being killed by an external timeout.")
+
+let faults_arg =
+  Arg.(value & opt (some string) None & info [ "inject-faults" ] ~docv:"SEED:RATE"
+       ~doc:"Arm deterministic fault injection: every instrumented site \
+             (persist I/O, scheduler claim/item paths) fails with \
+             probability RATE, seeded by SEED. The EFGAME_FAULTS \
+             environment variable is the equivalent ambient switch. \
+             Robustness testing only.")
 
 let json_arg =
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
        ~doc:"Write a machine-readable record of the scan (outcome, wall \
-             time, pairs, nodes, table hit rate) to $(docv).")
+             time, pairs, nodes, table hit rate, fault-injection stats) to \
+             $(docv).")
 
 let trace_arg =
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
@@ -313,12 +500,59 @@ let verbose_arg =
   Arg.(value & flag_all & info [ "v"; "verbose" ]
        ~doc:"Show debug-level diagnostics on stderr.")
 
-let cmd =
-  Cmd.v
-    (Cmd.info "efgame_cli" ~doc:"Decide w ≡_k v with the exhaustive EF-game solver")
-    Term.(const run $ words_arg $ rounds_arg $ explain_arg $ budget_arg $ scan_arg
-          $ classes_arg $ frontier_arg $ max_arg $ cache_arg $ jobs_arg $ stats_arg
-          $ table_arg $ resume_arg $ checkpoint_arg $ json_arg $ trace_arg
-          $ metrics_arg $ quiet_arg $ verbose_arg)
+let main_term =
+  Term.(const run $ words_arg $ rounds_arg $ explain_arg $ budget_arg $ scan_arg
+        $ classes_arg $ frontier_arg $ max_arg $ cache_arg $ jobs_arg $ stats_arg
+        $ table_arg $ resume_arg $ salvage_arg $ checkpoint_arg $ deadline_arg
+        $ faults_arg $ json_arg $ trace_arg $ metrics_arg $ quiet_arg
+        $ verbose_arg)
 
-let () = exit (Cmd.eval cmd)
+let table_info_cmd =
+  let file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+         ~doc:"The snapshot to inspect.")
+  in
+  Cmd.v
+    (Cmd.info "info"
+       ~doc:"Validate a table snapshot without loading it: format version, \
+             checksums, per-entry framing, and how many entries a salvage \
+             would recover. Exits 0 (pristine), 1 (damaged), 2 (unreadable).")
+    Term.(const table_info $ file)
+
+let table_merge_cmd =
+  let out =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OUT"
+         ~doc:"The merged snapshot to write.")
+  in
+  let ins =
+    Arg.(non_empty & pos_right 0 string [] & info [] ~docv:"IN"
+         ~doc:"Snapshots to merge.")
+  in
+  Cmd.v
+    (Cmd.info "merge"
+       ~doc:"Merge table snapshots: load each IN into one table (monotone \
+             frontier merge — overlapping entries keep the strongest \
+             verdicts) and write the union to OUT in the current format. \
+             Also serves as a v1-to-v2 converter.")
+    Term.(const table_merge $ out $ ins $ salvage_arg $ quiet_arg $ verbose_arg)
+
+let table_cmd =
+  Cmd.group
+    (Cmd.info "table" ~doc:"Inspect and maintain persisted table snapshots.")
+    [ table_info_cmd; table_merge_cmd ]
+
+let info =
+  Cmd.info "efgame_cli"
+    ~doc:"Decide w ≡_k v with the exhaustive EF-game solver"
+
+(* [Cmd.group ~default] routes the first positional argument to a
+   subcommand, which would steal the two-word game mode ([efgame_cli
+   aaaa aaa]); dispatch on the literal "table" token instead, so every
+   other argv shape reaches the main term's positionals untouched. *)
+let () =
+  let cmd =
+    if Array.length Sys.argv > 1 && Sys.argv.(1) = "table" then
+      Cmd.group ~default:main_term info [ table_cmd ]
+    else Cmd.v info main_term
+  in
+  exit (Cmd.eval cmd)

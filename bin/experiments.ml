@@ -69,21 +69,56 @@ let e2 () =
         if not (Sys.file_exists path) then
           Printf.sprintf "; table %s absent, cold scan" (Filename.basename path)
         else
-          match Efgame.Persist.load cache path with
-          | Ok n ->
-              Printf.sprintf "; warm-started from %d persisted verdicts" n
+          match Efgame.Persist.recover ~salvage:true cache path with
+          | Ok (src, r) when r.Efgame.Persist.salvaged ->
+              Printf.sprintf
+                "; warm-started from %d verdicts salvaged out of %s"
+                r.Efgame.Persist.entries (Filename.basename src)
+          | Ok (_, r) ->
+              Printf.sprintf "; warm-started from %d persisted verdicts"
+                r.Efgame.Persist.entries
           | Error e ->
               Obs.Log.warn ~tag:"e2" "ignoring table %s: %a" path
                 Efgame.Persist.pp_error e;
               "; table rejected, cold scan")
   in
   let engine = Efgame.Witness.Cached cache in
+  (* SIGINT/SIGTERM wind the scan down at pair granularity; the state
+     checkpoints to --table (when given) before the conventional
+     128+signo exit, so an interrupted regeneration is resumable *)
+  let stop () = Rt.Signal.pending () <> None in
+  let checkpoint_and_quit src =
+    (match !frontier_table with
+    | Some path -> (
+        match
+          Rt.Backoff.retry
+            ~on_retry:(fun ~attempt ~delay ->
+              Obs.Log.warn ~tag:"e2"
+                "checkpoint failed; attempt %d after %.2fs backoff" attempt
+                delay)
+            (fun () -> Efgame.Persist.save cache path)
+        with
+        | Ok n ->
+            Obs.Log.warn ~tag:"e2" "%s: checkpointed %d entries -> %s"
+              (Rt.Signal.name src) n path
+        | Error e ->
+            Obs.Log.err ~tag:"e2" "%s: checkpoint failed for good: %a"
+              (Rt.Signal.name src) Efgame.Persist.pp_error e)
+    | None -> ());
+    exit (Rt.Signal.exit_code src)
+  in
   let scan ?on_q k max_n =
-    match Efgame.Witness.minimal_pair ~budget ~engine ?on_q ~k ~max_n () with
+    match
+      fst (Efgame.Witness.scan ~budget ~engine ?on_q ~stop ~k ~max_n ())
+    with
     | Efgame.Witness.Found (p, q) -> Printf.sprintf "(%d, %d)" p q
     | Efgame.Witness.Exhausted n ->
         Printf.sprintf "none with q ≤ %d (exhaustive, all pairs)" n
     | Efgame.Witness.Inconclusive (n, _) -> Printf.sprintf "inconclusive ≤ %d (budget)" n
+    | Efgame.Witness.Interrupted _ -> (
+        match Rt.Signal.pending () with
+        | Some src -> checkpoint_and_quit src
+        | None -> "interrupted")
   in
   (* under work stealing q values can be skipped, so report on crossing
      each 32-boundary rather than on exact multiples *)
@@ -856,6 +891,7 @@ let () =
   in
   parse (List.tl args);
   Obs.Log.setup ~quiet:!quiet ~verbosity:!verbosity ();
+  Rt.Signal.install ();
   let tables = all_tables () in
   List.iter (fun t -> Format.printf "%a@.@." Report.pp t) tables;
   match !markdown with

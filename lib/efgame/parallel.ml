@@ -19,6 +19,39 @@ let run_workers ~jobs worker =
     | None, [] -> ()
   end
 
+(* Supervised variant: collect worker exceptions instead of reraising.
+   [on_crash] runs on the calling domain — for spawned workers at join
+   time, for the inline worker immediately — so it may log and touch
+   shared state without further synchronization. *)
+let run_workers_supervised ~jobs ~on_crash worker =
+  if jobs <= 1 then (
+    match worker 0 with
+    | () -> 0
+    | exception e ->
+        on_crash ~worker:0 e;
+        1)
+  else begin
+    let spawned =
+      List.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1)))
+    in
+    let inline_crashed =
+      match worker 0 with
+      | () -> 0
+      | exception e ->
+          on_crash ~worker:0 e;
+          1
+    in
+    List.fold_left
+      (fun (crashed, i) d ->
+        match Domain.join d with
+        | () -> (crashed, i + 1)
+        | exception e ->
+            on_crash ~worker:i e;
+            (crashed + 1, i + 1))
+      (inline_crashed, 1) spawned
+    |> fst
+  end
+
 let map ?jobs f xs =
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
   let arr = Array.of_list xs in

@@ -26,6 +26,18 @@ val run_workers : jobs:int -> (int -> unit) -> unit
     worker exception after all workers have been joined. The building
     block under {!map}, {!decide} and {!Scheduler.run}. *)
 
+val run_workers_supervised :
+  jobs:int -> on_crash:(worker:int -> exn -> unit) -> (int -> unit) -> int
+(** Like {!run_workers}, but crash-tolerant: a worker whose exception
+    escapes does not kill the run — [on_crash] is invoked for it (on the
+    calling domain, after the crash) and the remaining workers keep
+    draining whatever shared work distributor they poll. Returns the
+    number of crashed workers (0 = every worker returned normally).
+    Completion of the shared work is the {e caller's} invariant to
+    check: with work stealing the survivors usually absorb a crashed
+    worker's share, but a supervisor (see {!Scheduler.run}) must verify
+    and finish any remainder. *)
+
 val decide :
   ?mode:Game.mode ->
   ?budget:int ->

@@ -14,29 +14,90 @@
     provenance, and reloading it into a run with a different budget could
     wrongly suppress a search.
 
-    The format is versioned and checksummed; [save] writes via a
-    temporary file and an atomic rename, so an interrupted checkpoint
-    never corrupts the previous snapshot. *)
+    {b Crash safety.} Format v2 frames every entry with a sync marker and
+    a per-entry checksum on top of the whole-payload checksum, so a
+    truncated or bit-flipped snapshot can be {e salvaged}: the valid
+    entries are recovered and the damaged ones dropped ({!load} with
+    [~salvage:true]). Because the table merge is monotone, a salvaged
+    subset is always sound — it can only pre-prove fewer positions.
+    [save] writes to a fresh temporary file, fsyncs it, rotates the
+    previous snapshot to [.bak], and renames atomically, so a crash at
+    any instant leaves either the new snapshot, the previous one, or
+    both; {!recover} falls back to the [.bak] when the primary is
+    missing or damaged beyond salvage. Format v1 files (whole-file
+    checksum only) still load in strict mode; salvage requires v2's
+    per-entry framing. *)
 
 type error =
-  | Io of string  (** file missing / unreadable *)
+  | Io of string  (** file missing / unreadable / unwritable *)
   | Bad_magic  (** not a table file at all *)
   | Bad_version of int  (** written by an incompatible format version *)
   | Truncated  (** structure runs past (or stops short of) the data *)
-  | Corrupted  (** payload checksum mismatch *)
+  | Corrupted  (** checksum mismatch *)
 
 val pp_error : Format.formatter -> error -> unit
 
-val save : ?max_depth:int -> Cache.t -> string -> int
+type report = {
+  entries : int;  (** entries merged into the cache *)
+  dropped : int;
+      (** damage regions skipped during salvage (each contiguous run of
+          unreadable bytes counts once); 0 on a clean load *)
+  salvaged : bool;
+      (** true when the file failed strict validation and recovery had
+          to skip damage; a clean file loaded with [~salvage:true] still
+          reports [false] *)
+}
+
+val save :
+  ?max_depth:int -> ?fsync:bool -> Cache.t -> string -> (int, error) result
 (** [save cache path]: snapshot every entry holding at least one exact
     verdict whose position depth (played pairs, {!Position.key_depth}) is
-    at most [max_depth] (default: unbounded). Returns the number of
-    entries written. Safe to call while other domains are still reading
-    and writing the table — each entry is snapshot consistently. Raises
-    [Sys_error] on i/o failure. *)
+    at most [max_depth] (default: unbounded), in format v2. Returns the
+    number of entries written, or [Error (Io _)] — it never raises on
+    I/O failure, so checkpoint paths can retry ({!Rt.Backoff}). The
+    write goes to a unique temporary file, is fsynced ([fsync] defaults
+    to [true]; pass [false] to trade durability for speed in tests),
+    the previous snapshot is rotated to [path ^ ".bak"], and the rename
+    is atomic. Safe to call while other domains are still reading and
+    writing the table — each entry is snapshot consistently. *)
 
-val load : Cache.t -> string -> (int, error) result
+val load : ?salvage:bool -> Cache.t -> string -> (report, error) result
 (** [load cache path]: merge a snapshot into [cache] (monotone frontier
-    merge — existing entries are only ever strengthened). Returns the
-    number of entries merged. A file that fails validation is rejected
-    as a whole: on [Error] the table is untouched. *)
+    merge — existing entries are only ever strengthened).
+
+    Strict mode (default): a file that fails any validation — magic,
+    version, whole-payload checksum, per-entry framing or checksum,
+    entry count — is rejected as a whole; on [Error] the table is
+    untouched.
+
+    Salvage mode ([~salvage:true], v2 files only): recover every entry
+    whose framing and per-entry checksum validate, skipping damage;
+    truncation and bit flips cost only the entries they touch. Only the
+    valid entries reach the table, so a salvaged load never introduces
+    an entry absent from the snapshot. v1 files have no per-entry
+    checksums and always load strictly. *)
+
+val recover :
+  ?salvage:bool -> Cache.t -> string -> (string * report, error) result
+(** [recover cache path]: {!load} from [path]; if that fails and
+    [path ^ ".bak"] exists, load the backup instead. Returns the path
+    actually loaded. The error reported on double failure is the
+    primary's. *)
+
+type info = {
+  path : string;
+  version : int;
+  bytes : int;  (** file size *)
+  declared_entries : int;  (** header entry count *)
+  checksum_ok : bool;  (** whole-payload checksum *)
+  valid_entries : int;  (** entries passing framing + per-entry checks *)
+  damaged : int;  (** damage regions a salvage would skip *)
+}
+
+val inspect : string -> (info, error) result
+(** Validate a snapshot without touching any table — the back end of
+    [efgame_cli table info]. Only [Io]/[Bad_magic]/[Bad_version]/
+    [Truncated] (header too short) are errors; payload damage shows up
+    in [checksum_ok]/[valid_entries]/[damaged]. *)
+
+val pp_info : Format.formatter -> info -> unit

@@ -6,6 +6,7 @@ type scan_outcome =
   | Found of int * int
   | Exhausted of int
   | Inconclusive of int * (int * int) list
+  | Interrupted of int
 
 type scan_stats = {
   pairs : int;
@@ -122,8 +123,8 @@ let cache_counters engine =
       let s = Cache.stats c in
       (s.Cache.hits, s.Cache.misses)
 
-let scan ?budget ?(engine = Seed) ?(store_depth = 0) ?on_q ?on_tick ~k ~max_n
-    () =
+let scan ?budget ?(engine = Seed) ?(store_depth = 0) ?on_q ?on_tick ?stop ~k
+    ~max_n () =
   let total = max_n * (max_n + 1) / 2 in
   let jobs = engine_jobs engine in
   let sched = Scheduler.create ~jobs ~total () in
@@ -162,7 +163,7 @@ let scan ?budget ?(engine = Seed) ?(store_depth = 0) ?on_q ?on_tick ~k ~max_n
     | None -> None
     | Some f -> Some (fun () -> f ~completed:(Scheduler.completed sched))
   in
-  Scheduler.run ?tick sched eval;
+  Scheduler.run ?tick ?stop sched eval;
   let hits1, misses1 = cache_counters engine in
   let stats =
     {
@@ -174,16 +175,22 @@ let scan ?budget ?(engine = Seed) ?(store_depth = 0) ?on_q ?on_tick ~k ~max_n
     }
   in
   let outcome =
-    match Atomic.get found_t with
-    | t when t < max_int ->
-        let p, q = pair_of_index t in
-        Found (p, q)
-    | _ -> (
-        match Atomic.get unknowns with
-        | [] -> Exhausted max_n
-        | us ->
-            Inconclusive
-              (max_n, List.sort (fun (p, q) (p', q') -> compare (q, p) (q', p')) us))
+    (* a stopped scan makes no claim at all: completed pairs are in the
+       table (if any), but neither minimality nor exhaustiveness holds *)
+    if Scheduler.stopped sched then Interrupted stats.pairs
+    else
+      match Atomic.get found_t with
+      | t when t < max_int ->
+          let p, q = pair_of_index t in
+          Found (p, q)
+      | _ -> (
+          match Atomic.get unknowns with
+          | [] -> Exhausted max_n
+          | us ->
+              Inconclusive
+                ( max_n,
+                  List.sort (fun (p, q) (p', q') -> compare (q, p) (q', p')) us
+                ))
   in
   (outcome, stats)
 

@@ -23,6 +23,11 @@ type scan_outcome =
   | Inconclusive of int * (int * int) list
       (** bound, plus the pairs on which the solver ran out of budget,
           sorted by (q, p) *)
+  | Interrupted of int
+      (** the scan was stopped (signal, deadline, {!Scheduler.request_stop})
+          after completing this many pairs; no claim — not even minimality —
+          is made about the space. Completed verdicts are in the engine's
+          table and a resumed run re-derives the rest. *)
 
 type scan_stats = {
   pairs : int;  (** pair verdicts computed (early exit skips the rest) *)
@@ -38,6 +43,7 @@ val scan :
   ?store_depth:int ->
   ?on_q:(int -> unit) ->
   ?on_tick:(completed:int -> unit) ->
+  ?stop:(unit -> bool) ->
   k:int ->
   max_n:int ->
   unit ->
@@ -64,7 +70,10 @@ val scan :
     callback observes a nondecreasing sequence). [on_tick] is invoked by
     the inline worker between chunks with the number of pairs completed —
     the hook long-running frontier scans use for periodic table
-    checkpoints ({!Persist.save}). *)
+    checkpoints ({!Persist.save}). [stop] is polled at item granularity;
+    once it returns true the scan winds down cooperatively and the
+    outcome is [Interrupted] — the signal/deadline hook for crash-safe
+    checkpoint-then-exit. *)
 
 val minimal_pair :
   ?budget:int ->

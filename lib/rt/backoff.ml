@@ -1,0 +1,21 @@
+let delays ?(base_s = 0.05) ?(max_s = 2.0) attempts =
+  List.init (max 0 (attempts - 1)) (fun i ->
+      Float.min max_s (base_s *. Float.pow 2. (float_of_int i)))
+
+let retry ?(attempts = 5) ?base_s ?max_s ?(sleep = Unix.sleepf)
+    ?(on_retry = fun ~attempt:_ ~delay:_ -> ()) f =
+  let ds = delays ?base_s ?max_s attempts in
+  let rec go n = function
+    | _ when n > attempts -> assert false
+    | ds -> (
+        match f () with
+        | Ok _ as ok -> ok
+        | Error _ as err -> (
+            match ds with
+            | [] -> err
+            | d :: rest ->
+                on_retry ~attempt:(n + 1) ~delay:d;
+                sleep d;
+                go (n + 1) rest))
+  in
+  go 1 ds

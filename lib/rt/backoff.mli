@@ -1,0 +1,27 @@
+(** Capped exponential backoff for retryable operations.
+
+    Built for checkpoint I/O: a transient failure (ENOSPC, an injected
+    fault, a hiccuping network filesystem) should cost a bounded number
+    of increasingly-spaced retries, never abort a multi-hour scan. *)
+
+val delays : ?base_s:float -> ?max_s:float -> int -> float list
+(** [delays n]: the sleep before each retry — [base_s · 2ⁱ] capped at
+    [max_s], for [i = 0 .. n-2] (the first attempt sleeps nothing, the
+    last failure sleeps nothing either). Defaults: [base_s = 0.05],
+    [max_s = 2.0]. *)
+
+val retry :
+  ?attempts:int ->
+  ?base_s:float ->
+  ?max_s:float ->
+  ?sleep:(float -> unit) ->
+  ?on_retry:(attempt:int -> delay:float -> unit) ->
+  (unit -> ('a, 'e) result) ->
+  ('a, 'e) result
+(** [retry f] runs [f] up to [attempts] times (default 5), sleeping the
+    capped-exponential {!delays} between attempts; the first [Ok] wins,
+    and the last [Error] is returned if every attempt fails. [on_retry]
+    is invoked before each re-attempt (1-based attempt number of the
+    try about to run). [sleep] defaults to [Unix.sleepf] and exists for
+    tests. [f] must not raise; wrap exceptional APIs into [result]s
+    first. *)

@@ -1,0 +1,8 @@
+type t = float (* absolute Unix time; infinity = never *)
+
+let none = infinity
+let after s = Unix.gettimeofday () +. s
+let expired t = t <> infinity && Unix.gettimeofday () >= t
+
+let remaining t =
+  if t = infinity then infinity else Float.max 0. (t -. Unix.gettimeofday ())

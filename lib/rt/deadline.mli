@@ -1,0 +1,19 @@
+(** Wall-clock deadlines for bounded-time runs.
+
+    A deadline turns "this scan may run for S seconds" into a stop
+    signal the scheduler polls: the driver checkpoints and exits 0 with
+    resumable state instead of being killed by an external timeout with
+    up to one checkpoint interval of work lost. *)
+
+type t
+
+val none : t
+(** Never expires. *)
+
+val after : float -> t
+(** [after s]: expires [s] seconds from now ([s <= 0] is already
+    expired). *)
+
+val expired : t -> bool
+val remaining : t -> float
+(** Seconds left; [infinity] for {!none}, clamped at [0.]. *)

@@ -1,0 +1,137 @@
+(* Disabled is the steady state: [fire] must cost one atomic load and a
+   branch, nothing more, so the points can live inside the persistence
+   and scheduler hot paths permanently (same contract as
+   [Obs.Metrics]'s disabled increments, and tested the same way). All
+   the interesting work — the per-site counter, the SplitMix64 draw —
+   happens only once armed. *)
+
+type point = {
+  name : string;
+  id : int;
+  evals : int Atomic.t;
+  fires : int Atomic.t;
+}
+
+exception Injected of string
+
+let armed = Atomic.make false
+let seed = Atomic.make 0
+
+(* rate stored in parts per million: the draw stays in integers *)
+let rate_ppm = Atomic.make 0
+let rate_of_ppm ppm = float_of_int ppm /. 1_000_000.
+
+let registry : (string, point) Hashtbl.t = Hashtbl.create 16
+let reg_mu = Mutex.create ()
+let next_id = ref 0
+
+let point name =
+  Mutex.protect reg_mu (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some p -> p
+      | None ->
+          let p =
+            {
+              name;
+              id = !next_id;
+              evals = Atomic.make 0;
+              fires = Atomic.make 0;
+            }
+          in
+          incr next_id;
+          Hashtbl.add registry name p;
+          p)
+
+let reset () =
+  Mutex.protect reg_mu (fun () ->
+      Hashtbl.iter
+        (fun _ p ->
+          Atomic.set p.evals 0;
+          Atomic.set p.fires 0)
+        registry)
+
+let configure ~seed:s ~rate =
+  let rate = Float.min 1. (Float.max 0. rate) in
+  Atomic.set seed s;
+  Atomic.set rate_ppm (int_of_float (rate *. 1_000_000.));
+  reset ();
+  Atomic.set armed true
+
+let disable () = Atomic.set armed false
+let enabled () = Atomic.get armed
+
+(* SplitMix64: a statistically solid mix of (seed, site, eval index)
+   into one draw, dependency-free. *)
+let splitmix64 x =
+  let open Int64 in
+  let x = add x 0x9E3779B97F4A7C15L in
+  let x = mul (logxor x (shift_right_logical x 30)) 0xBF58476D1CE4E5B9L in
+  let x = mul (logxor x (shift_right_logical x 27)) 0x94D049BB133111EBL in
+  logxor x (shift_right_logical x 31)
+
+let draw_fires p n =
+  let h =
+    splitmix64
+      (Int64.of_int
+         ((Atomic.get seed * 0x1000003) lxor (p.id * 0x9E3779B1) lxor n))
+  in
+  let u = Int64.to_int (Int64.rem (Int64.logand h Int64.max_int) 1_000_000L) in
+  u < Atomic.get rate_ppm
+
+let fire_armed p =
+  let n = Atomic.fetch_and_add p.evals 1 in
+  if draw_fires p n then begin
+    Atomic.incr p.fires;
+    raise (Injected p.name)
+  end
+
+let[@inline] fire p = if Atomic.get armed then fire_armed p
+
+let parse_spec spec =
+  match String.index_opt spec ':' with
+  | None -> Error (Printf.sprintf "bad fault spec %S: want SEED:RATE" spec)
+  | Some i -> (
+      let s = String.sub spec 0 i in
+      let r = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match (int_of_string_opt s, float_of_string_opt r) with
+      | Some seed, Some rate when rate >= 0. && rate <= 1. -> Ok (seed, rate)
+      | _ ->
+          Error
+            (Printf.sprintf
+               "bad fault spec %S: want SEED:RATE with RATE in [0, 1]" spec))
+
+let setup ?spec () =
+  let spec =
+    match spec with Some _ -> spec | None -> Sys.getenv_opt "EFGAME_FAULTS"
+  in
+  match spec with
+  | None -> Ok ()
+  | Some spec -> (
+      match parse_spec spec with
+      | Ok (seed, rate) ->
+          configure ~seed ~rate;
+          Ok ()
+      | Error _ as e -> e)
+
+let stats () =
+  Mutex.protect reg_mu (fun () ->
+      Hashtbl.fold
+        (fun name p acc -> (name, Atomic.get p.evals, Atomic.get p.fires) :: acc)
+        registry [])
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+
+let write_json w =
+  let module J = Obs.Jsonw in
+  J.obj w (fun w ->
+      J.field_bool w "enabled" (enabled ());
+      J.field_int w "seed" (Atomic.get seed);
+      J.field_float ~prec:6 w "rate" (rate_of_ppm (Atomic.get rate_ppm));
+      J.field w "sites" (fun w ->
+          J.obj w (fun w ->
+              List.iter
+                (fun (name, evals, fires) ->
+                  J.field w name (fun w ->
+                      J.obj w (fun w ->
+                          J.field_int w "evals" evals;
+                          J.field_int w "fires" fires)))
+                (stats ()))))

@@ -1,0 +1,62 @@
+(** Seeded, site-tagged fault injection.
+
+    A fault {e point} is a named site compiled into a hot path (an I/O
+    call, a scheduler claim, a worker item). Disabled — the default —
+    a {!fire} is a single atomic load and branch with zero allocation,
+    the same discipline as {!Obs.Metrics}, so the points stay compiled
+    into production paths. Armed ({!configure}), each [fire] draws from
+    a deterministic per-site stream (SplitMix64 over seed × site × eval
+    index) and raises {!Injected} with the configured probability.
+
+    Determinism: for a fixed seed and rate, the decision for the [n]-th
+    evaluation of a given site is a pure function of [(seed, site, n)] —
+    re-running a single-domain workload replays the exact same faults.
+    Under multiple domains the per-site interleaving (which domain sees
+    the n-th evaluation) varies, but the fault {e pattern per site} does
+    not.
+
+    Activation comes from [--inject-faults SEED:RATE] or the
+    [EFGAME_FAULTS] environment variable (see {!setup}). *)
+
+type point
+
+exception Injected of string
+(** Raised by {!fire} at an armed site; the payload is the site name.
+    Handlers must treat it like the failure it simulates (an I/O error,
+    a crashed worker) — never swallow it silently. *)
+
+val point : string -> point
+(** [point name] registers (or finds) the site [name]. Site names are
+    dotted paths like ["persist.write"]; registering the same name twice
+    returns the same point. *)
+
+val fire : point -> unit
+(** Evaluate the site: no-op when disabled; when armed, raises
+    {!Injected} with the configured probability. *)
+
+val configure : seed:int -> rate:float -> unit
+(** Arm every site: each {!fire} now fails with probability [rate]
+    (clamped to [0, 1]), deterministically in [seed]. Resets per-site
+    statistics. *)
+
+val disable : unit -> unit
+val enabled : unit -> bool
+
+val parse_spec : string -> (int * float, string) result
+(** Parse a ["SEED:RATE"] spec, e.g. ["42:0.02"]. *)
+
+val setup : ?spec:string -> unit -> (unit, string) result
+(** Arm from an explicit spec if given, else from the [EFGAME_FAULTS]
+    environment variable if set, else leave faults disabled. Returns
+    [Error] on a malformed spec. *)
+
+val stats : unit -> (string * int * int) list
+(** Per-site [(name, evaluations, fires)], sorted by name. Counters are
+    only maintained while armed. *)
+
+val write_json : Obs.Jsonw.t -> unit
+(** The {!stats} as a JSON object: site → [{"evals": n, "fires": m}],
+    plus the armed seed and rate. *)
+
+val reset : unit -> unit
+(** Zero every site's counters (the registry persists). *)

@@ -1,0 +1,31 @@
+type source = Int | Term
+
+(* 0 = none; otherwise the signal number. One atomic, written from the
+   handler (which runs on the main domain) and read from any domain. *)
+let flag = Atomic.make 0
+
+let source_of_signo s = if s = Sys.sigint then Int else Term
+
+let exit_code = function Int -> 130 | Term -> 143
+let name = function Int -> "SIGINT" | Term -> "SIGTERM"
+
+let handler signo =
+  if not (Atomic.compare_and_set flag 0 signo) then
+    (* second signal: the cooperative path is stuck or too slow — honour
+       the conventional immediate exit *)
+    Stdlib.exit (exit_code (source_of_signo signo))
+
+let installed = Atomic.make false
+
+let install () =
+  if Atomic.compare_and_set installed false true then begin
+    Sys.set_signal Sys.sigint (Sys.Signal_handle handler);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle handler)
+  end
+
+let pending () =
+  match Atomic.get flag with
+  | 0 -> None
+  | s -> Some (source_of_signo s)
+
+let clear () = Atomic.set flag 0

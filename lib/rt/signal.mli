@@ -1,0 +1,27 @@
+(** SIGINT/SIGTERM as a cooperative stop request.
+
+    {!install} replaces the default die-immediately behaviour with a
+    latch: the first signal sets a flag the scan's stop callback polls,
+    giving the driver a chance to checkpoint and exit cleanly with
+    resumable state (crash-only software: a clean exit is just a crash
+    we got to schedule). A {e second} signal while the first is being
+    honoured hard-exits with the conventional [128 + signo] code — the
+    escape hatch when the checkpoint itself wedges. *)
+
+type source = Int | Term
+
+val install : unit -> unit
+(** Latch SIGINT and SIGTERM. Idempotent. *)
+
+val pending : unit -> source option
+(** The first signal received since {!install}/{!clear}, if any. A
+    single atomic load — safe to poll per work item. *)
+
+val clear : unit -> unit
+(** Forget a pending signal (tests, or a driver that handled it). *)
+
+val exit_code : source -> int
+(** The conventional exit code: 130 for SIGINT, 143 for SIGTERM. *)
+
+val name : source -> string
+(** ["SIGINT"] / ["SIGTERM"]. *)

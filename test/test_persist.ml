@@ -1,8 +1,11 @@
 (* Disk snapshots of the transposition table: a save/load round-trip
    reproduces every persisted frontier exactly; damaged files (bit rot,
-   truncation, wrong magic, wrong version) are rejected as a whole,
-   leaving the target table untouched; and — the property the whole
-   format hangs on — a reloaded table never flips a solver verdict. *)
+   truncation, wrong magic, wrong version) are rejected as a whole in
+   strict mode, leaving the target table untouched; salvage mode recovers
+   exactly the entries whose per-entry checksums validate — never more;
+   v1 files still load; saves are atomic with .bak rotation; and — the
+   property the whole format hangs on — a reloaded table never flips a
+   solver verdict. *)
 
 open Efgame
 
@@ -15,7 +18,40 @@ let tmp_table () = Filename.temp_file "efgame_test" ".tbl"
 
 let with_table f =
   let path = tmp_table () in
-  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ path; path ^ ".bak" ])
+    (fun () -> f path)
+
+let save_exn ?max_depth cache path =
+  match Persist.save ?max_depth cache path with
+  | Ok n -> n
+  | Error e -> Alcotest.failf "save failed: %a" Persist.pp_error e
+
+let load_exn ?salvage cache path =
+  match Persist.load ?salvage cache path with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "load failed: %a" Persist.pp_error e
+
+let read_all path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+      In_channel.input_all ic)
+
+let write_file path data =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+      output_string oc data)
+
+let fnv1a64 s =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
+    s;
+  !h
 
 (* a cache warmed on both sides of the ≡₁/≡₂ frontiers, mixed alphabets
    and ε — enough to populate win and lose frontiers at several rounds *)
@@ -40,16 +76,38 @@ let frontiers cache =
       if win >= 0 || lose < max_int then (key, win, lose) :: acc else acc)
   |> List.sort compare
 
+(* hand-rolled v1 fixture: the pre-framing format (no sync markers, no
+   per-entry checksums), which load must keep accepting strictly *)
+let write_v1 path entries =
+  let payload = Buffer.create 256 in
+  List.iter
+    (fun (key, win, lose) ->
+      Buffer.add_int32_le payload (Int32.of_int (String.length key));
+      Buffer.add_string payload key;
+      Buffer.add_int32_le payload (Int32.of_int win);
+      Buffer.add_int32_le payload
+        (if lose = max_int then -1l else Int32.of_int lose))
+    entries;
+  let payload = Buffer.contents payload in
+  let b = Buffer.create (String.length payload + 24) in
+  Buffer.add_string b "EFGT";
+  Buffer.add_int32_le b 1l;
+  Buffer.add_int64_le b (Int64.of_int (List.length entries));
+  Buffer.add_int64_le b (fnv1a64 payload);
+  Buffer.add_string b payload;
+  write_file path (Buffer.contents b)
+
 let test_round_trip () =
   with_table (fun path ->
       let cache = warmed_cache () in
       let before = frontiers cache in
-      let written = Persist.save cache path in
+      let written = save_exn cache path in
       check_int "one entry per exact-verdict position" (List.length before) written;
       let fresh = Cache.create () in
-      (match Persist.load fresh path with
-      | Ok n -> check_int "all entries merged" written n
-      | Error e -> Alcotest.failf "load failed: %a" Persist.pp_error e);
+      let r = load_exn fresh path in
+      check_int "all entries merged" written r.Persist.entries;
+      Alcotest.(check bool) "clean load is not a salvage" false r.Persist.salvaged;
+      check_int "no damage" 0 r.Persist.dropped;
       let after = frontiers fresh in
       check_int "same entry count after reload" (List.length before) (List.length after);
       List.iter2
@@ -62,23 +120,21 @@ let test_round_trip () =
 let test_max_depth_filters () =
   with_table (fun path ->
       let cache = warmed_cache () in
-      let all = Persist.save cache path in
-      let top = Persist.save ~max_depth:0 cache path in
+      let all = save_exn cache path in
+      let top = save_exn ~max_depth:0 cache path in
       if top >= all then
         Alcotest.failf "max_depth:0 wrote %d entries, full save wrote %d" top all;
       let fresh = Cache.create () in
-      (match Persist.load fresh path with
-      | Ok n -> check_int "merged = written" top n
-      | Error e -> Alcotest.failf "load failed: %a" Persist.pp_error e);
+      check_int "merged = written" top (load_exn fresh path).Persist.entries;
       List.iter
         (fun (key, _, _) ->
           check_int (Printf.sprintf "depth of %S" key) 0 (Position.key_depth key))
         (frontiers fresh))
 
-(* load must reject the file as a whole and leave [into] untouched *)
-let check_rejected ~expect path into =
-  match Persist.load into path with
-  | Ok n -> Alcotest.failf "damaged file accepted (%d entries)" n
+(* strict load must reject the file as a whole and leave [into] untouched *)
+let check_rejected ?salvage ~expect path into =
+  match Persist.load ?salvage into path with
+  | Ok r -> Alcotest.failf "damaged file accepted (%d entries)" r.Persist.entries
   | Error e ->
       Alcotest.check
         (Alcotest.testable Persist.pp_error (fun a b -> a = b))
@@ -86,68 +142,55 @@ let check_rejected ~expect path into =
       check_int "rejected load left the table untouched" 0 (Cache.stats into).Cache.entries
 
 let patch_file path pos f =
-  let ic = open_in_bin path in
-  let data = Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> In_channel.input_all ic) in
-  let b = Bytes.of_string data in
+  let b = Bytes.of_string (read_all path) in
   Bytes.set b pos (f (Bytes.get b pos));
-  let oc = open_out_bin path in
-  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
-      output_bytes oc b)
+  write_file path (Bytes.to_string b)
 
 let flip c = Char.chr (Char.code c lxor 0x5a)
+
+(* cut [drop] bytes off the end and re-stamp the whole-payload checksum,
+   so only per-entry validation (not the file checksum) can object *)
+let truncate_restamped path drop =
+  let data = read_all path in
+  let cut = String.length data - drop in
+  let payload = String.sub data 24 (cut - 24) in
+  let b = Buffer.create cut in
+  Buffer.add_string b (String.sub data 0 16);
+  Buffer.add_int64_le b (fnv1a64 payload);
+  Buffer.add_string b payload;
+  write_file path (Buffer.contents b)
 
 let test_corrupted_rejected () =
   with_table (fun path ->
       let cache = warmed_cache () in
-      ignore (Persist.save cache path);
-      (* flip one payload byte: checksum must catch it *)
+      ignore (save_exn cache path);
+      (* flip one payload byte: the checksum must catch it *)
       patch_file path 30 flip;
       check_rejected ~expect:Persist.Corrupted path (Cache.create ()))
 
 let test_truncated_rejected () =
   with_table (fun path ->
       let cache = warmed_cache () in
-      ignore (Persist.save cache path);
-      let ic = open_in_bin path in
-      let data = Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> In_channel.input_all ic) in
-      (* cut mid-payload and re-stamp the checksum of what is left, so
-         only the structural pass (not the checksum) can object *)
-      let cut = String.length data - 7 in
-      let payload = String.sub data 24 (cut - 24) in
-      let oc = open_out_bin path in
-      Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
-          output_string oc (String.sub data 0 16);
-          let sum = Buffer.create 8 in
-          Buffer.add_int64_le sum
-            (let prime = 0x100000001b3L in
-             let h = ref 0xcbf29ce484222325L in
-             String.iter
-               (fun c ->
-                 h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
-               payload;
-             !h);
-          Buffer.output_buffer oc sum;
-          output_string oc payload);
+      ignore (save_exn cache path);
+      truncate_restamped path 7;
       check_rejected ~expect:Persist.Truncated path (Cache.create ()))
 
 let test_short_file_rejected () =
   with_table (fun path ->
-      let oc = open_out_bin path in
-      output_string oc "EFGT\x01";
-      close_out oc;
+      write_file path "EFGT\x01";
       check_rejected ~expect:Persist.Truncated path (Cache.create ()))
 
 let test_bad_magic_rejected () =
   with_table (fun path ->
       let cache = warmed_cache () in
-      ignore (Persist.save cache path);
+      ignore (save_exn cache path);
       patch_file path 0 (fun _ -> 'X');
       check_rejected ~expect:Persist.Bad_magic path (Cache.create ()))
 
 let test_bad_version_rejected () =
   with_table (fun path ->
       let cache = warmed_cache () in
-      ignore (Persist.save cache path);
+      ignore (save_exn cache path);
       patch_file path 4 (fun _ -> '\x63');
       check_rejected ~expect:(Persist.Bad_version 0x63) path (Cache.create ()))
 
@@ -157,17 +200,22 @@ let test_missing_file_is_io_error () =
   | Error (Persist.Io _) -> ()
   | Error e -> Alcotest.failf "expected Io, got %a" Persist.pp_error e
 
+let test_save_io_error_is_result () =
+  (* the unified error contract: save never raises on I/O failure *)
+  match Persist.save (warmed_cache ()) "/nonexistent/dir/efgame.tbl" with
+  | Ok _ -> Alcotest.fail "saving into a missing directory succeeded"
+  | Error (Persist.Io _) -> ()
+  | Error e -> Alcotest.failf "expected Io, got %a" Persist.pp_error e
+
 let test_merge_is_monotone () =
   (* loading into a cache that already holds some of the entries must
      keep every verdict reachable, not overwrite frontiers downward *)
   with_table (fun path ->
       let cache = warmed_cache () in
-      ignore (Persist.save cache path);
+      ignore (save_exn cache path);
       let target = Cache.create () in
       ignore (Game.equiv ~cache:target (unary 12) (unary 14) 2);
-      (match Persist.load target path with
-      | Ok _ -> ()
-      | Error e -> Alcotest.failf "load failed: %a" Persist.pp_error e);
+      ignore (load_exn target path);
       List.iter
         (fun (key, win, lose) ->
           if win >= 0 then
@@ -182,6 +230,218 @@ let test_merge_is_monotone () =
               (Cache.lookup target key ~k:lose))
         (frontiers cache))
 
+(* ------------------------------------------------------ v1 compatibility *)
+
+let test_v1_still_loads () =
+  with_table (fun path ->
+      let cache = warmed_cache () in
+      let entries = frontiers cache in
+      write_v1 path entries;
+      let fresh = Cache.create () in
+      let r = load_exn fresh path in
+      check_int "all v1 entries merged" (List.length entries) r.Persist.entries;
+      Alcotest.(check bool) "not a salvage" false r.Persist.salvaged;
+      Alcotest.(check (list (triple string int int)))
+        "identical frontiers" entries (frontiers fresh))
+
+let test_v1_truncation_unrecoverable () =
+  (* v1 has no per-entry checksums: partial recovery would be unsound,
+     so even salvage mode refuses — this is exactly the gap v2 closes *)
+  with_table (fun path ->
+      let cache = warmed_cache () in
+      write_v1 path (frontiers cache);
+      truncate_restamped path 3;
+      check_rejected ~expect:Persist.Truncated path (Cache.create ());
+      check_rejected ~salvage:true ~expect:Persist.Truncated path
+        (Cache.create ()))
+
+(* ------------------------------------------------------------- salvage *)
+
+let test_salvage_truncated () =
+  with_table (fun path ->
+      let cache = warmed_cache () in
+      let total = save_exn cache path in
+      truncate_restamped path 7;
+      (* strict still refuses... *)
+      check_rejected ~expect:Persist.Truncated path (Cache.create ());
+      (* ...salvage recovers everything but the torn tail entry *)
+      let fresh = Cache.create () in
+      let r = load_exn ~salvage:true fresh path in
+      Alcotest.(check bool) "flagged as salvaged" true r.Persist.salvaged;
+      check_int "one damage region" 1 r.Persist.dropped;
+      check_int "all but the torn entry recovered" (total - 1) r.Persist.entries;
+      let original = frontiers cache in
+      List.iter
+        (fun e ->
+          if not (List.mem e original) then
+            Alcotest.fail "salvage invented an entry")
+        (frontiers fresh))
+
+let test_salvage_bit_flip () =
+  with_table (fun path ->
+      let cache = warmed_cache () in
+      let total = save_exn cache path in
+      let len = String.length (read_all path) in
+      (* flip a byte in the middle of the payload: the entry it lands in
+         fails its checksum and is dropped; resync recovers the rest *)
+      patch_file path (24 + ((len - 24) / 2)) flip;
+      let fresh = Cache.create () in
+      let r = load_exn ~salvage:true fresh path in
+      Alcotest.(check bool) "flagged as salvaged" true r.Persist.salvaged;
+      if r.Persist.dropped < 1 then Alcotest.fail "no damage detected";
+      if r.Persist.entries >= total then
+        Alcotest.fail "damaged entry not dropped";
+      if r.Persist.entries = 0 then
+        Alcotest.fail "a single bit flip destroyed every entry";
+      let original = frontiers cache in
+      List.iter
+        (fun e ->
+          if not (List.mem e original) then
+            Alcotest.fail "salvage invented an entry")
+        (frontiers fresh))
+
+let test_salvage_clean_file_not_flagged () =
+  with_table (fun path ->
+      let cache = warmed_cache () in
+      let total = save_exn cache path in
+      let fresh = Cache.create () in
+      let r = load_exn ~salvage:true fresh path in
+      Alcotest.(check bool) "clean file is not 'salvaged'" false
+        r.Persist.salvaged;
+      check_int "everything loads" total r.Persist.entries)
+
+(* Random truncations and single-byte flips: strict load must always
+   reject; salvage load must either reject (header damage) or recover a
+   flagged subset of the original entries — never invent or strengthen. *)
+let prop_salvage_subset =
+  let cache = warmed_cache () in
+  let original = frontiers cache in
+  let pristine =
+    let path = tmp_table () in
+    ignore (save_exn cache path);
+    let data = read_all path in
+    Sys.remove path;
+    data
+  in
+  let n = String.length pristine in
+  let gen = QCheck.Gen.(pair bool (0 -- (n - 1))) in
+  QCheck.Test.make
+    ~name:"salvage recovers a flagged subset, strict always rejects"
+    ~count:80
+    (QCheck.make
+       ~print:(fun (t, pos) ->
+         Printf.sprintf "%s at %d" (if t then "truncate" else "flip") pos)
+       gen)
+    (fun (truncate, pos) ->
+      let path = tmp_table () in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          let damaged =
+            if truncate then String.sub pristine 0 pos
+            else begin
+              let b = Bytes.of_string pristine in
+              Bytes.set b pos (flip (Bytes.get b pos));
+              Bytes.to_string b
+            end
+          in
+          write_file path damaged;
+          (match Persist.load (Cache.create ()) path with
+          | Ok r ->
+              QCheck.Test.fail_reportf "strict load accepted (%d entries)"
+                r.Persist.entries
+          | Error _ -> ());
+          let fresh = Cache.create () in
+          match Persist.load ~salvage:true fresh path with
+          | Error _ -> true (* header damage: salvage may reject too *)
+          | Ok r ->
+              r.Persist.salvaged
+              && r.Persist.entries <= List.length original
+              && List.for_all
+                   (fun e -> List.mem e original)
+                   (frontiers fresh)))
+
+(* ------------------------------------------------- atomicity and backup *)
+
+let test_bak_rotation_and_recover () =
+  with_table (fun path ->
+      let c1 = Cache.create () in
+      ignore (Game.equiv ~cache:c1 (unary 3) (unary 4) 1);
+      let n1 = save_exn c1 path in
+      let c2 = warmed_cache () in
+      let n2 = save_exn c2 path in
+      if n2 <= n1 then Alcotest.fail "second snapshot should be larger";
+      (* the first snapshot was rotated to .bak *)
+      Alcotest.(check bool) "backup exists" true (Sys.file_exists (path ^ ".bak"));
+      check_int "backup holds the first snapshot" n1
+        (load_exn (Cache.create ()) (path ^ ".bak")).Persist.entries;
+      (* recover prefers the intact primary *)
+      (match Persist.recover (Cache.create ()) path with
+      | Ok (src, r) ->
+          Alcotest.(check string) "primary wins when intact" path src;
+          check_int "primary entry count" n2 r.Persist.entries
+      | Error e -> Alcotest.failf "recover failed: %a" Persist.pp_error e);
+      (* destroy the primary: recover must fall back to the backup *)
+      write_file path "not a table at all";
+      match Persist.recover (Cache.create ()) path with
+      | Ok (src, r) ->
+          Alcotest.(check string) "fell back to .bak" (path ^ ".bak") src;
+          check_int "backup entry count" n1 r.Persist.entries
+      | Error e -> Alcotest.failf "recover failed: %a" Persist.pp_error e)
+
+let test_save_leaves_no_tmp () =
+  with_table (fun path ->
+      ignore (save_exn (warmed_cache ()) path);
+      let dir = Filename.dirname path in
+      let stem = Filename.basename path ^ ".tmp." in
+      Array.iter
+        (fun f ->
+          if String.length f >= String.length stem
+             && String.sub f 0 (String.length stem) = stem
+          then Alcotest.failf "stale temp file %s" f)
+        (Sys.readdir dir))
+
+(* --------------------------------------------------------- fault paths *)
+
+let test_save_under_injected_faults () =
+  with_table (fun path ->
+      (* rate 1: the first write fault fires immediately; save must
+         report Io, remove its temp file, and leave no primary *)
+      Rt.Fault.configure ~seed:11 ~rate:1.;
+      let r = Persist.save (warmed_cache ()) path in
+      Rt.Fault.disable ();
+      (match r with
+      | Ok _ -> Alcotest.fail "save succeeded under rate-1 fault injection"
+      | Error (Persist.Io msg) ->
+          Alcotest.(check bool) "mentions the injection site" true
+            (String.length msg > 0)
+      | Error e -> Alcotest.failf "expected Io, got %a" Persist.pp_error e);
+      ignore (test_save_leaves_no_tmp ());
+      (* with faults off again the same save goes through *)
+      ignore (save_exn (warmed_cache ()) path))
+
+(* ------------------------------------------------------------- inspect *)
+
+let test_inspect () =
+  with_table (fun path ->
+      let total = save_exn (warmed_cache ()) path in
+      (match Persist.inspect path with
+      | Ok i ->
+          check_int "version" 2 i.Persist.version;
+          Alcotest.(check bool) "checksum ok" true i.Persist.checksum_ok;
+          check_int "declared" total i.Persist.declared_entries;
+          check_int "valid" total i.Persist.valid_entries;
+          check_int "no damage" 0 i.Persist.damaged
+      | Error e -> Alcotest.failf "inspect failed: %a" Persist.pp_error e);
+      patch_file path 40 flip;
+      match Persist.inspect path with
+      | Ok i ->
+          Alcotest.(check bool) "damage visible" true
+            ((not i.Persist.checksum_ok)
+            || i.Persist.valid_entries < i.Persist.declared_entries
+            || i.Persist.damaged > 0)
+      | Error e -> Alcotest.failf "inspect failed: %a" Persist.pp_error e)
+
 (* The soundness property the format documents: replaying any query
    against a reloaded table yields the verdict the seed solver gives. *)
 let prop_reload_never_flips =
@@ -194,13 +454,21 @@ let prop_reload_never_flips =
   QCheck.Test.make ~name:"reloaded table never flips a verdict" ~count:60
     (QCheck.make ~print:(fun (p, q, k) -> Printf.sprintf "(p=%d, q=%d, k=%d)" p q k) gen)
     (fun (p, q, k) ->
-      with_table (fun path ->
+      let path = tmp_table () in
+      Fun.protect
+        ~finally:(fun () ->
+          List.iter
+            (fun s -> try Sys.remove s with Sys_error _ -> ())
+            [ path; path ^ ".bak" ])
+        (fun () ->
           let cache = Cache.create () in
           ignore (Game.equiv ~cache (unary p) (unary q) k);
           (* also warm some neighbours so the reloaded table answers
              sub-queries of the replay, not just the top-level one *)
           ignore (Game.equiv ~cache (unary (p + 1)) (unary q) k);
-          ignore (Persist.save cache path);
+          (match Persist.save cache path with
+          | Ok _ -> ()
+          | Error e -> QCheck.Test.fail_reportf "save failed: %a" Persist.pp_error e);
           let reloaded = Cache.create () in
           (match Persist.load reloaded path with
           | Ok _ -> ()
@@ -216,11 +484,9 @@ let test_witness_scan_agrees_after_reload () =
       let outcome_cold, _ =
         Witness.scan ~engine:(Witness.Cached cold) ~k:2 ~max_n:20 ()
       in
-      ignore (Persist.save cold path);
+      ignore (save_exn cold path);
       let warm = Cache.create () in
-      (match Persist.load warm path with
-      | Ok _ -> ()
-      | Error e -> Alcotest.failf "load failed: %a" Persist.pp_error e);
+      ignore (load_exn warm path);
       Cache.reset_counters warm;
       let outcome_warm, stats =
         Witness.scan ~engine:(Witness.Cached warm) ~k:2 ~max_n:20 ()
@@ -257,8 +523,28 @@ let tests =
         test_bad_version_rejected;
       Alcotest.test_case "missing file ⇒ Io" `Quick
         test_missing_file_is_io_error;
+      Alcotest.test_case "unwritable path ⇒ Error Io, not an exception" `Quick
+        test_save_io_error_is_result;
       Alcotest.test_case "merging into a warm table is monotone" `Quick
         test_merge_is_monotone;
+      Alcotest.test_case "v1 snapshots still load" `Quick test_v1_still_loads;
+      Alcotest.test_case "truncated v1 is beyond salvage" `Quick
+        test_v1_truncation_unrecoverable;
+      Alcotest.test_case "salvage recovers all but the torn tail entry" `Quick
+        test_salvage_truncated;
+      Alcotest.test_case "salvage survives a single bit flip" `Quick
+        test_salvage_bit_flip;
+      Alcotest.test_case "a clean file is not reported as salvaged" `Quick
+        test_salvage_clean_file_not_flagged;
+      QCheck_alcotest.to_alcotest prop_salvage_subset;
+      Alcotest.test_case "save rotates .bak; recover falls back to it" `Quick
+        test_bak_rotation_and_recover;
+      Alcotest.test_case "save leaves no temp files behind" `Quick
+        test_save_leaves_no_tmp;
+      Alcotest.test_case "injected faults surface as Error Io" `Quick
+        test_save_under_injected_faults;
+      Alcotest.test_case "inspect reports format, checksums, damage" `Quick
+        test_inspect;
       QCheck_alcotest.to_alcotest prop_reload_never_flips;
       Alcotest.test_case "warm scan replay: same outcome, zero misses" `Quick
         test_witness_scan_agrees_after_reload;

@@ -1,0 +1,231 @@
+(* The rt runtime layer: deterministic fault injection (zero-cost when
+   disabled, replayable when armed), capped-exponential retry, wall-clock
+   deadlines, and the SIGINT/SIGTERM latch. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------- fault *)
+
+(* Run [fire] n times and record which evaluations raised. *)
+let fire_pattern p n =
+  List.init n (fun _ ->
+      match Rt.Fault.fire p with () -> false | exception Rt.Fault.Injected _ -> true)
+
+let test_fault_disabled_noop () =
+  Rt.Fault.disable ();
+  let p = Rt.Fault.point "test.noop" in
+  for _ = 1 to 1000 do
+    Rt.Fault.fire p
+  done;
+  check_bool "not enabled" false (Rt.Fault.enabled ())
+
+(* Same contract as Obs.Metrics' disabled hot path: one atomic load and
+   a branch, nothing on the minor heap (the Gc.minor_words calls
+   themselves may cost a few boxed floats, hence the slack). *)
+let test_fault_disabled_zero_alloc () =
+  Rt.Fault.disable ();
+  let p = Rt.Fault.point "test.zero_alloc" in
+  Rt.Fault.fire p;
+  let before = Gc.minor_words () in
+  for _ = 1 to 100_000 do
+    Rt.Fault.fire p
+  done;
+  let after = Gc.minor_words () in
+  let words = int_of_float (after -. before) in
+  if words > 64 then
+    Alcotest.failf "disabled fault point allocated %d minor words" words
+
+let test_fault_deterministic () =
+  let p = Rt.Fault.point "test.determinism" in
+  Rt.Fault.configure ~seed:42 ~rate:0.3;
+  let a = fire_pattern p 200 in
+  Rt.Fault.configure ~seed:42 ~rate:0.3;
+  let b = fire_pattern p 200 in
+  Rt.Fault.disable ();
+  check_bool "same seed replays the same fault pattern" true (a = b);
+  let fires = List.length (List.filter Fun.id a) in
+  if fires = 0 || fires = 200 then
+    Alcotest.failf "rate 0.3 fired %d/200 times" fires
+
+let test_fault_seed_changes_pattern () =
+  let p = Rt.Fault.point "test.seed" in
+  Rt.Fault.configure ~seed:1 ~rate:0.5;
+  let a = fire_pattern p 64 in
+  Rt.Fault.configure ~seed:2 ~rate:0.5;
+  let b = fire_pattern p 64 in
+  Rt.Fault.disable ();
+  check_bool "different seeds draw different patterns" false (a = b)
+
+let test_fault_rate_extremes () =
+  let p = Rt.Fault.point "test.rate" in
+  Rt.Fault.configure ~seed:7 ~rate:0.;
+  check_int "rate 0 never fires" 0
+    (List.length (List.filter Fun.id (fire_pattern p 100)));
+  Rt.Fault.configure ~seed:7 ~rate:1.;
+  check_int "rate 1 always fires" 100
+    (List.length (List.filter Fun.id (fire_pattern p 100)));
+  Rt.Fault.disable ()
+
+let test_fault_stats () =
+  let p = Rt.Fault.point "test.stats" in
+  Rt.Fault.configure ~seed:3 ~rate:1.;
+  ignore (fire_pattern p 5);
+  let evals, fires =
+    match
+      List.find_opt (fun (n, _, _) -> n = "test.stats") (Rt.Fault.stats ())
+    with
+    | Some (_, e, f) -> (e, f)
+    | None -> (-1, -1)
+  in
+  Rt.Fault.disable ();
+  check_int "evals counted" 5 evals;
+  check_int "fires counted" 5 fires
+
+let test_fault_parse_spec () =
+  (match Rt.Fault.parse_spec "42:0.02" with
+  | Ok (42, r) when abs_float (r -. 0.02) < 1e-9 -> ()
+  | Ok (s, r) -> Alcotest.failf "parsed (%d, %f)" s r
+  | Error e -> Alcotest.fail e);
+  List.iter
+    (fun spec ->
+      match Rt.Fault.parse_spec spec with
+      | Ok _ -> Alcotest.failf "accepted malformed spec %S" spec
+      | Error _ -> ())
+    [ ""; "42"; ":"; "x:0.1"; "42:x"; "42:1.5"; "42:-0.1" ]
+
+let test_fault_setup_spec () =
+  (match Rt.Fault.setup ~spec:"9:1.0" () with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  check_bool "armed" true (Rt.Fault.enabled ());
+  let p = Rt.Fault.point "test.setup" in
+  check_bool "fires" true
+    (match Rt.Fault.fire p with
+    | () -> false
+    | exception Rt.Fault.Injected site -> site = "test.setup");
+  Rt.Fault.disable ();
+  match Rt.Fault.setup ~spec:"nonsense" () with
+  | Ok () -> Alcotest.fail "accepted malformed setup spec"
+  | Error _ -> ()
+
+(* ----------------------------------------------------------- backoff *)
+
+let test_backoff_delays () =
+  let ds = Rt.Backoff.delays ~base_s:1. ~max_s:3. 5 in
+  Alcotest.(check (list (float 1e-9))) "doubling, capped" [ 1.; 2.; 3.; 3. ] ds;
+  Alcotest.(check (list (float 1e-9))) "one attempt sleeps nothing" []
+    (Rt.Backoff.delays 1)
+
+let test_backoff_first_try_ok () =
+  let calls = ref 0 in
+  let slept = ref [] in
+  let r =
+    Rt.Backoff.retry
+      ~sleep:(fun d -> slept := d :: !slept)
+      (fun () ->
+        incr calls;
+        Ok !calls)
+  in
+  check_bool "ok" true (r = Ok 1);
+  check_int "one call" 1 !calls;
+  check_int "no sleeps" 0 (List.length !slept)
+
+let test_backoff_retries_then_ok () =
+  let calls = ref 0 in
+  let slept = ref [] in
+  let retried = ref [] in
+  let r =
+    Rt.Backoff.retry ~attempts:5 ~base_s:0.01 ~max_s:0.02
+      ~sleep:(fun d -> slept := d :: !slept)
+      ~on_retry:(fun ~attempt ~delay:_ -> retried := attempt :: !retried)
+      (fun () ->
+        incr calls;
+        if !calls < 3 then Error "transient" else Ok !calls)
+  in
+  check_bool "eventually ok" true (r = Ok 3);
+  check_int "three calls" 3 !calls;
+  Alcotest.(check (list (float 1e-9)))
+    "slept the first two delays" [ 0.02; 0.01 ] !slept;
+  Alcotest.(check (list int)) "on_retry saw attempts 2 and 3" [ 3; 2 ] !retried
+
+let test_backoff_exhausted () =
+  let calls = ref 0 in
+  let r =
+    Rt.Backoff.retry ~attempts:4
+      ~sleep:(fun _ -> ())
+      (fun () ->
+        incr calls;
+        Error ("fail " ^ string_of_int !calls))
+  in
+  check_bool "last error wins" true (r = Error "fail 4");
+  check_int "exactly [attempts] calls" 4 !calls
+
+(* ---------------------------------------------------------- deadline *)
+
+let test_deadline () =
+  check_bool "none never expires" false (Rt.Deadline.expired Rt.Deadline.none);
+  check_bool "none remaining = inf" true
+    (Rt.Deadline.remaining Rt.Deadline.none = infinity);
+  let past = Rt.Deadline.after (-1.) in
+  check_bool "negative deadline already expired" true (Rt.Deadline.expired past);
+  check_bool "remaining clamps at 0" true (Rt.Deadline.remaining past = 0.);
+  let future = Rt.Deadline.after 3600. in
+  check_bool "future not expired" false (Rt.Deadline.expired future);
+  check_bool "future remaining positive" true (Rt.Deadline.remaining future > 0.)
+
+(* ------------------------------------------------------------ signal *)
+
+(* Deliver a real SIGTERM to ourselves: the latch must record it instead
+   of dying, and a clear must reset it. (A second signal would hard-exit
+   by design, so each test clears before and after.) *)
+let test_signal_latch () =
+  Rt.Signal.install ();
+  Rt.Signal.clear ();
+  check_bool "nothing pending" true (Rt.Signal.pending () = None);
+  Unix.kill (Unix.getpid ()) Sys.sigterm;
+  (* signal delivery is asynchronous; give the runtime a poll point *)
+  let deadline = Rt.Deadline.after 5. in
+  while Rt.Signal.pending () = None && not (Rt.Deadline.expired deadline) do
+    Unix.sleepf 0.001
+  done;
+  check_bool "SIGTERM latched" true (Rt.Signal.pending () = Some Rt.Signal.Term);
+  Rt.Signal.clear ();
+  check_bool "cleared" true (Rt.Signal.pending () = None)
+
+let test_signal_codes () =
+  check_int "SIGINT exit code" 130 (Rt.Signal.exit_code Rt.Signal.Int);
+  check_int "SIGTERM exit code" 143 (Rt.Signal.exit_code Rt.Signal.Term);
+  Alcotest.(check string) "names" "SIGINT" (Rt.Signal.name Rt.Signal.Int);
+  Alcotest.(check string) "names" "SIGTERM" (Rt.Signal.name Rt.Signal.Term)
+
+let tests =
+  ( "rt",
+    [
+      Alcotest.test_case "disabled fault point is a no-op" `Quick
+        test_fault_disabled_noop;
+      Alcotest.test_case "disabled fault point allocates nothing" `Quick
+        test_fault_disabled_zero_alloc;
+      Alcotest.test_case "same seed replays the same faults" `Quick
+        test_fault_deterministic;
+      Alcotest.test_case "different seeds differ" `Quick
+        test_fault_seed_changes_pattern;
+      Alcotest.test_case "rate 0 never fires, rate 1 always fires" `Quick
+        test_fault_rate_extremes;
+      Alcotest.test_case "per-site eval/fire counters" `Quick test_fault_stats;
+      Alcotest.test_case "SEED:RATE spec parsing" `Quick test_fault_parse_spec;
+      Alcotest.test_case "setup arms from an explicit spec" `Quick
+        test_fault_setup_spec;
+      Alcotest.test_case "backoff delays double and cap" `Quick
+        test_backoff_delays;
+      Alcotest.test_case "retry: first success wins, no sleeping" `Quick
+        test_backoff_first_try_ok;
+      Alcotest.test_case "retry: transient failures are absorbed" `Quick
+        test_backoff_retries_then_ok;
+      Alcotest.test_case "retry: the last error survives exhaustion" `Quick
+        test_backoff_exhausted;
+      Alcotest.test_case "deadlines expire and clamp" `Quick test_deadline;
+      Alcotest.test_case "SIGTERM latches instead of killing" `Quick
+        test_signal_latch;
+      Alcotest.test_case "conventional exit codes" `Quick test_signal_codes;
+    ] )

@@ -83,6 +83,132 @@ let test_worker_exception_propagates () =
       | exception Failure msg -> Alcotest.(check string) "message" "boom" msg)
     [ 1; 2 ]
 
+(* ------------------------------------------------------- supervision *)
+
+let test_run_workers_supervised () =
+  (* spawned crash: absorbed, reported, counted *)
+  let crashed = ref [] in
+  let n =
+    Parallel.run_workers_supervised ~jobs:4
+      ~on_crash:(fun ~worker e -> crashed := (worker, Printexc.to_string e) :: !crashed)
+      (fun w -> if w = 2 then failwith "crash-2")
+  in
+  check_int "one spawned crash" 1 n;
+  (match !crashed with
+  | [ (2, msg) ] ->
+      Alcotest.(check bool) "message carried" true
+        (String.length msg > 0 && String.length msg >= String.length "crash-2")
+  | l -> Alcotest.failf "unexpected crash report (%d entries)" (List.length l));
+  (* inline crash with jobs = 1 *)
+  let inline = ref 0 in
+  let n =
+    Parallel.run_workers_supervised ~jobs:1
+      ~on_crash:(fun ~worker:_ _ -> incr inline)
+      (fun _ -> failwith "inline")
+  in
+  check_int "inline crash counted" 1 n;
+  check_int "inline crash reported" 1 !inline;
+  (* no crash: zero *)
+  check_int "no crash" 0
+    (Parallel.run_workers_supervised ~jobs:3
+       ~on_crash:(fun ~worker:_ _ -> Alcotest.fail "spurious on_crash")
+       (fun _ -> ()))
+
+let test_flaky_item_retried () =
+  (* items ≡ 0 (mod 7) fail their first two attempts, then succeed: with
+     the default retry bound all 50 items complete; flaky ones ran three
+     times, the rest once *)
+  let total = 50 in
+  let attempts = Array.init total (fun _ -> Atomic.make 0) in
+  let sched = Scheduler.create ~jobs:2 ~total () in
+  Scheduler.run sched (fun i ->
+      let a = 1 + Atomic.fetch_and_add attempts.(i) 1 in
+      if i mod 7 = 0 && a <= 2 then failwith "transient");
+  check_int "all items completed" total (Scheduler.completed sched);
+  Array.iteri
+    (fun i a ->
+      check_int
+        (Printf.sprintf "attempts at %d" i)
+        (if i mod 7 = 0 then 3 else 1)
+        (Atomic.get a))
+    attempts;
+  (* 8 flaky items × 2 transient failures *)
+  check_int "fault count" 16 (Scheduler.faults sched)
+
+let test_poisoned_item_reraises_after_drain () =
+  (* a permanently failing item exhausts its retries; its original
+     exception reraises only after the rest of the space drained *)
+  let total = 40 and poison = 13 in
+  let attempts = Array.init total (fun _ -> Atomic.make 0) in
+  let sched = Scheduler.create ~retries:2 ~jobs:1 ~total () in
+  (match
+     Scheduler.run sched (fun i ->
+         Atomic.incr attempts.(i);
+         if i = poison then failwith "poison")
+   with
+  | () -> Alcotest.fail "expected the poisoned item's exception"
+  | exception Failure msg -> Alcotest.(check string) "original exn" "poison" msg);
+  check_int "poisoned item ran retries+1 times" 3 (Atomic.get attempts.(poison));
+  Array.iteri
+    (fun i a ->
+      if i <> poison then
+        check_int (Printf.sprintf "item %d ran once" i) 1 (Atomic.get a))
+    attempts;
+  check_int "everything else completed" (total - 1) (Scheduler.completed sched)
+
+let test_request_stop_winds_down () =
+  (* request_stop from inside an item: the worker finishes the current
+     item and claims nothing further *)
+  let ran = ref 0 in
+  let sched =
+    Scheduler.create ~min_chunk:1 ~max_chunk:1 ~jobs:1 ~total:1000 ()
+  in
+  Scheduler.run sched (fun _ ->
+      incr ran;
+      if !ran = 10 then Scheduler.request_stop sched);
+  Alcotest.(check bool) "stopped" true (Scheduler.stopped sched);
+  check_int "ran exactly to the stop" 10 !ran;
+  check_int "completed matches" 10 (Scheduler.completed sched)
+
+let test_stop_callback () =
+  (* an external stop predicate (the CLI's signal latch) halts the scan
+     long before the space is exhausted *)
+  let total = 100_000 in
+  let sched = Scheduler.create ~jobs:2 ~total () in
+  let stop () = Scheduler.completed sched >= 50 in
+  Scheduler.run ~stop sched (fun _ -> ());
+  Alcotest.(check bool) "stopped" true (Scheduler.stopped sched);
+  Alcotest.(check bool) "halted early" true (Scheduler.completed sched < total)
+
+let test_fault_injected_scan_completes () =
+  (* with deterministic faults on both injection sites (item retries and
+     worker-killing claim crashes), a generous retry bound still yields
+     an exactly-once execution of the whole space *)
+  List.iter
+    (fun jobs ->
+      Fun.protect ~finally:Rt.Fault.disable (fun () ->
+          Rt.Fault.configure ~seed:42 ~rate:0.02;
+          let total = 500 in
+          let counts = Array.init total (fun _ -> Atomic.make 0) in
+          let sched = Scheduler.create ~retries:10 ~jobs ~total () in
+          Scheduler.run sched (fun i -> Atomic.incr counts.(i));
+          Rt.Fault.disable ();
+          Array.iteri
+            (fun i c ->
+              check_int
+                (Printf.sprintf "jobs=%d index %d exactly once" jobs i)
+                1 (Atomic.get c))
+            counts;
+          check_int
+            (Printf.sprintf "jobs=%d completed" jobs)
+            total
+            (Scheduler.completed sched);
+          Alcotest.(check bool)
+            (Printf.sprintf "jobs=%d saw injected faults" jobs)
+            true
+            (Scheduler.faults sched + Scheduler.crashes sched > 0)))
+    [ 1; 2 ]
+
 let test_tick_runs_between_chunks () =
   (* 1-item chunks over 20 items ⇒ the inline worker ticks between its
      claims; with jobs = 1 that is ≥ once (it claims everything) *)
@@ -107,4 +233,16 @@ let tests =
         test_worker_exception_propagates;
       Alcotest.test_case "tick fires between inline chunks" `Quick
         test_tick_runs_between_chunks;
+      Alcotest.test_case "supervised workers absorb crashes" `Quick
+        test_run_workers_supervised;
+      Alcotest.test_case "flaky items are retried to completion" `Quick
+        test_flaky_item_retried;
+      Alcotest.test_case "poisoned items reraise after the drain" `Quick
+        test_poisoned_item_reraises_after_drain;
+      Alcotest.test_case "request_stop winds the scan down" `Quick
+        test_request_stop_winds_down;
+      Alcotest.test_case "external stop predicate halts early" `Quick
+        test_stop_callback;
+      Alcotest.test_case "fault-injected scans still run exactly once" `Quick
+        test_fault_injected_scan_completes;
     ] )

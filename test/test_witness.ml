@@ -15,6 +15,28 @@ let test_exhausted () =
   | Witness.Exhausted n -> Alcotest.(check int) "bound" 8 n
   | Witness.Found (p, q) -> Alcotest.failf "unexpected pair (%d,%d)" p q
   | Witness.Inconclusive _ -> Alcotest.fail "unexpected budget exhaustion"
+  | Witness.Interrupted _ -> Alcotest.fail "unexpected interruption"
+
+(* a scan stopped mid-flight reports Interrupted and leaves the cache in
+   a state from which an un-stopped rerun reaches the seed verdict *)
+let test_interrupted_resume () =
+  let cache = Cache.create () in
+  let polls = ref 0 in
+  let stop () =
+    incr polls;
+    !polls > 40
+  in
+  let outcome, _ =
+    Witness.scan ~engine:(Witness.Cached cache) ~stop ~k:2 ~max_n:20 ()
+  in
+  (match outcome with
+  | Witness.Interrupted _ -> ()
+  | _ -> Alcotest.fail "expected an interrupted scan");
+  let seed = Witness.minimal_pair ~k:2 ~max_n:20 () in
+  let resumed, _ =
+    Witness.scan ~engine:(Witness.Cached cache) ~k:2 ~max_n:20 ()
+  in
+  check "resumed scan agrees with a fresh one" true (resumed = seed)
 
 let test_classes_k1 () =
   match Witness.classes ~k:1 ~max_n:7 () with
@@ -119,6 +141,8 @@ let tests =
     [
       Alcotest.test_case "minimal pairs" `Quick test_minimal_pairs;
       Alcotest.test_case "exhausted scan" `Quick test_exhausted;
+      Alcotest.test_case "interrupted scan resumes from its cache" `Quick
+        test_interrupted_resume;
       Alcotest.test_case "equivalence classes k=1" `Quick test_classes_k1;
       Alcotest.test_case "verification modes" `Quick test_verify;
       Alcotest.test_case "triangle indexing round-trips" `Quick
