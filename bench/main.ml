@@ -404,7 +404,93 @@ let measure_frontier ~max_n =
     table_bytes;
   }
 
-let write_json ~path ~smoke ~estimates ~frontier =
+(* Sharded-scan measurement: the same exhaustive frontier worked by N
+   `Dist.Worker` processes (plain forks — no solver domains, so this is
+   the multi-process path, not the multi-domain one) over a shared
+   directory, against a single-process baseline. Forking happens only
+   after every bechamel test has joined its domains. *)
+
+type sharded_measure = {
+  sh_max_n : int;
+  sh_shards : int;
+  sh_workers : int;
+  single_s : float;
+  sharded_s : float;
+  sh_entries : int;
+}
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let measure_sharded ~max_n ~shards ~workers =
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let _, single_s =
+    time (fun () ->
+        Efgame.Witness.scan
+          ~engine:(Efgame.Witness.Cached (Efgame.Cache.create ()))
+          ~k:3 ~max_n ())
+  in
+  let dir = Filename.temp_file "efgame_bench" ".shards" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let m = Dist.Manifest.create ~k:3 ~max_n ~shards in
+  (match Dist.Manifest.save m ~dir with
+  | Ok () -> ()
+  | Error msg -> Fmt.failwith "bench: manifest: %s" msg);
+  let (), sharded_s =
+    time (fun () ->
+        let pids =
+          List.init workers (fun _ ->
+              match Unix.fork () with
+              | 0 ->
+                  Obs.Log.set_level Obs.Log.Error;
+                  let cfg =
+                    {
+                      (Dist.Worker.default_config ~dir) with
+                      Dist.Worker.ttl = 10.;
+                      fsync = false;
+                    }
+                  in
+                  Unix._exit
+                    (match Dist.Worker.run cfg with
+                    | Ok _ -> 0
+                    | Error _ -> 1)
+              | pid -> pid)
+        in
+        List.iter
+          (fun pid ->
+            match Unix.waitpid [] pid with
+            | _, Unix.WEXITED 0 -> ()
+            | _ -> Fmt.failwith "bench: shard worker failed")
+          pids)
+  in
+  let out = Filename.concat dir "merged.tbl" in
+  let entries =
+    match Dist.Merge.merge ~fsync:false ~dir ~out () with
+    | Ok t when Dist.Merge.complete t -> t.Dist.Merge.entries
+    | Ok _ -> Fmt.failwith "bench: sharded scan incomplete"
+    | Error msg -> Fmt.failwith "bench: merge: %s" msg
+  in
+  rm_rf dir;
+  {
+    sh_max_n = max_n;
+    sh_shards = shards;
+    sh_workers = workers;
+    single_s;
+    sharded_s;
+    sh_entries = entries;
+  }
+
+let write_json ~path ~smoke ~estimates ~frontier ~sharded =
   let lookups = frontier.warm_hits + frontier.warm_misses in
   let hit_rate =
     if lookups = 0 then 0.
@@ -437,7 +523,20 @@ let write_json ~path ~smoke ~estimates ~frontier =
                   Obs.Jsonw.field_int j "warm_nodes" frontier.warm_nodes;
                   Obs.Jsonw.field_float ~prec:4 j "warm_hit_rate" hit_rate;
                   Obs.Jsonw.field_int j "table_entries" frontier.table_entries;
-                  Obs.Jsonw.field_int j "table_bytes" frontier.table_bytes))));
+                  Obs.Jsonw.field_int j "table_bytes" frontier.table_bytes));
+          Obs.Jsonw.field j "sharded_scan" (fun j ->
+              Obs.Jsonw.obj j (fun j ->
+                  Obs.Jsonw.field_int j "k" 3;
+                  Obs.Jsonw.field_int j "max_n" sharded.sh_max_n;
+                  Obs.Jsonw.field_int j "shards" sharded.sh_shards;
+                  Obs.Jsonw.field_int j "workers" sharded.sh_workers;
+                  Obs.Jsonw.field_float j "single_process_s" sharded.single_s;
+                  Obs.Jsonw.field_float j "sharded_s" sharded.sharded_s;
+                  Obs.Jsonw.field_float ~prec:2 j "speedup"
+                    (if sharded.sharded_s > 0. then
+                       sharded.single_s /. sharded.sharded_s
+                     else 0.);
+                  Obs.Jsonw.field_int j "merged_entries" sharded.sh_entries))));
   Printf.printf "json: wrote %s (frontier n<=%d: cold %.2fs, warm %.3fs, %.0fx)\n%!"
     path frontier.fm_max_n frontier.cold_s frontier.warm_s
     (if frontier.warm_s > 0. then frontier.cold_s /. frontier.warm_s else 0.)
@@ -478,4 +577,9 @@ let () =
       (* smoke keeps the CI lane fast; the full measurement is the one
          checked in as BENCH_efgame.json *)
       let frontier = measure_frontier ~max_n:(if smoke then 48 else 96) in
-      write_json ~path ~smoke ~estimates ~frontier
+      let sharded =
+        measure_sharded
+          ~max_n:(if smoke then 48 else 96)
+          ~shards:8 ~workers:3
+      in
+      write_json ~path ~smoke ~estimates ~frontier ~sharded

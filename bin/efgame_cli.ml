@@ -28,7 +28,7 @@ type stop_reason = Signal of Rt.Signal.source | Deadline
 (* ---------------------------------------------------------------- JSON *)
 
 let write_scan_json ~path ~mode ~k ~max_n ~jobs ~budget ~outcome ~stop_reason
-    ~stats ~wall_s ~table =
+    ~stats ~wall_s ~range ~bound ~table =
   let open Efgame.Witness in
   let module J = Obs.Jsonw in
   let lookups = stats.cache_hits + stats.cache_misses in
@@ -67,6 +67,18 @@ let write_scan_json ~path ~mode ~k ~max_n ~jobs ~budget ~outcome ~stop_reason
             | Inconclusive (_, us) -> List.length us
             | Found _ | Exhausted _ | Interrupted _ -> 0);
           J.field_float w "wall_s" wall_s;
+          J.field w "range" (fun w ->
+              let lo, hi = range in
+              J.arr w (fun w ->
+                  J.int w lo;
+                  J.int w hi));
+          J.field w "proven_bound" (fun w ->
+              match bound with
+              | Some (k, n) ->
+                  J.arr w (fun w ->
+                      J.int w k;
+                      J.int w n)
+              | None -> J.null w);
           J.field_int w "pairs" stats.pairs;
           J.field_int w "nodes" stats.nodes;
           J.field_int w "chunks" stats.chunks;
@@ -144,7 +156,7 @@ let run words rounds explain budget scan classes frontier max_n use_cache jobs
             end
             else false)
   in
-  let loaded =
+  let loaded, loaded_bound =
     match (cache, table) with
     | Some c, Some file when resume ->
         if Sys.file_exists file || Sys.file_exists (file ^ ".bak") then (
@@ -158,7 +170,7 @@ let run words rounds explain budget scan classes frontier max_n use_cache jobs
                 Obs.Log.info ~tag:"table" "resumed from %s (%d entries)" src
                   r.Efgame.Persist.entries;
               Efgame.Cache.reset_counters c;
-              r.Efgame.Persist.entries
+              (r.Efgame.Persist.entries, r.Efgame.Persist.bound)
           | Error e ->
               Obs.Log.err ~tag:"table"
                 "cannot resume from %s: %a%s" file Efgame.Persist.pp_error e
@@ -167,15 +179,16 @@ let run words rounds explain budget scan classes frontier max_n use_cache jobs
         else (
           Obs.Log.warn ~tag:"table"
             "%s does not exist yet; starting a fresh scan" file;
-          0)
-    | _ -> 0
+          (0, None))
+    | _ -> (0, None)
   in
   (* Checkpoint I/O never aborts a scan outright: transient failures
      (ENOSPC, injected faults) get capped-exponential retries, a
      periodic checkpoint that still fails is skipped (the next tick
      tries again), and only a failed *final* save — actual lost work —
      is an error exit. *)
-  let save_table ~final () =
+  let save_table ?bound ~final () =
+    let bound = match bound with Some _ as b -> b | None -> loaded_bound in
     match (cache, table) with
     | Some c, Some file -> (
         match
@@ -184,7 +197,7 @@ let run words rounds explain budget scan classes frontier max_n use_cache jobs
               Obs.Log.warn ~tag:"table"
                 "checkpoint to %s failed; attempt %d after %.2fs backoff" file
                 attempt delay)
-            (fun () -> Efgame.Persist.save c file)
+            (fun () -> Efgame.Persist.save ?bound c file)
         with
         | Ok n ->
             Obs.Log.info ~tag:"table" "checkpoint: %d entries -> %s" n file;
@@ -203,6 +216,23 @@ let run words rounds explain budget scan classes frontier max_n use_cache jobs
     | _ -> ()
   in
   let run_scan ~mode ~k ~max_n =
+    (* Incremental frontier: a strictly-clean resume from a table whose
+       header proves "no ≡_k pair with q ≤ M" scans only the window of
+       new pairs (indices from M·(M+1)/2). M ≥ max_n degenerates to an
+       empty window — everything asked for is already proven. A bound
+       recorded at a different k cannot shrink this scan (it still
+       rides along in the header, see [save_table]). *)
+    let total = max_n * (max_n + 1) / 2 in
+    let range_lo =
+      match loaded_bound with
+      | Some (k', m) when k' = k -> min total (m * (m + 1) / 2)
+      | _ -> 0
+    in
+    if range_lo > 0 then
+      Obs.Log.info ~tag:"scan"
+        "proven bound q ≤ %d loaded: scanning %d of %d pairs"
+        (match loaded_bound with Some (_, m) -> m | None -> 0)
+        (total - range_lo) total;
     let last_save = ref (Unix.gettimeofday ()) in
     let on_tick ~completed:_ =
       if checkpoint_s > 0. then begin
@@ -233,17 +263,32 @@ let run words rounds explain budget scan classes frontier max_n use_cache jobs
         ~args:(fun () ->
           [ ("k", Obs.Trace.I k); ("max_n", Obs.Trace.I max_n) ])
         (fun () ->
-          Efgame.Witness.scan ~budget ~engine ~on_q ~on_tick ~stop ~k ~max_n ())
+          Efgame.Witness.scan ~budget ~engine ~range:(range_lo, total) ~on_q
+            ~on_tick ~stop ~k ~max_n ())
     in
     let wall_s = Unix.gettimeofday () -. t0 in
     (* the scheduler has drained (or been stopped): always take the
-       final checkpoint here, so a clean exit carries resumable state *)
-    let saved = save_table ~final:true () in
+       final checkpoint here, so a clean exit carries resumable state.
+       An Exhausted outcome upgrades the header's proven bound — the
+       skipped prefix was proven by the loaded bound, the window by this
+       scan; anything else preserves the loaded bound unchanged. *)
+    let final_bound =
+      match (outcome, loaded_bound) with
+      | Efgame.Witness.Exhausted _, Some (k', m) when k' = k ->
+          Some (k, max m max_n)
+      | Efgame.Witness.Exhausted _, _ ->
+          (* no usable prior bound ⇒ the window was the whole triangle,
+             so the new claim stands on its own *)
+          Some (k, max_n)
+      | _ -> loaded_bound
+    in
+    let saved = save_table ?bound:final_bound ~final:true () in
     (match outcome with
     | Efgame.Witness.Found (p, q) ->
         Format.printf "minimal pair for ≡_%d: a^%d ≡ a^%d@." k p q
     | Efgame.Witness.Exhausted n ->
-        Format.printf "no pair with q ≤ %d (exhaustive)@." n
+        Format.printf "no pair with q ≤ %d (exhaustive)@."
+          (match final_bound with Some (k', m) when k' = k -> m | _ -> n)
     | Efgame.Witness.Inconclusive (n, unknowns) ->
         Format.printf "inconclusive up to %d (budget ran out on %d pairs)@." n
           (List.length unknowns)
@@ -275,6 +320,7 @@ let run words rounds explain budget scan classes frontier max_n use_cache jobs
     | Some path ->
         write_scan_json ~path ~mode ~k ~max_n ~jobs:(max 1 jobs) ~budget
           ~outcome ~stop_reason:!stop_reason ~stats:scan_stats ~wall_s
+          ~range:(range_lo, total) ~bound:final_bound
           ~table:(Option.map (fun f -> (f, loaded, saved)) table)
     | None -> ());
     print_cache_stats ();
@@ -356,38 +402,277 @@ let table_info file =
       Format.eprintf "%s: %a@." file Efgame.Persist.pp_error e;
       exit 2
 
+(* Inputs are streamed one at a time into the accumulating table, and a
+   snapshot that fails to load is *skipped*, not fatal: the whole point
+   of merging shard outputs is that one corrupt shard must not abort the
+   recovery of the others. Exit 0 when every input merged, 1 when the
+   output was written from a strict subset, 2 when nothing merged or the
+   output could not be written. *)
 let table_merge out ins salvage quiet verbose =
   Obs.Log.setup ~quiet ~verbosity:(List.length verbose) ();
   let cache = Efgame.Cache.create () in
-  let ok =
-    List.fold_left
-      (fun ok file ->
-        match Efgame.Persist.load ~salvage cache file with
-        | Ok r ->
-            if r.Efgame.Persist.salvaged then
-              Obs.Log.warn ~tag:"table"
-                "%s: salvaged %d entries (%d damaged regions dropped)" file
-                r.Efgame.Persist.entries r.Efgame.Persist.dropped
-            else
-              Obs.Log.info ~tag:"table" "%s: %d entries" file
-                r.Efgame.Persist.entries;
-            ok
-        | Error e ->
-            Obs.Log.err ~tag:"table" "%s: %a%s" file Efgame.Persist.pp_error e
-              (if salvage then "" else " (try --salvage)");
-            false)
-      true ins
-  in
-  if not ok then exit 2;
+  let merged = ref 0 and skipped = ref 0 in
+  List.iter
+    (fun file ->
+      match Efgame.Persist.load ~salvage cache file with
+      | Ok r ->
+          incr merged;
+          if r.Efgame.Persist.salvaged then
+            Format.printf "%s: salvaged %d entries (%d damaged regions dropped)@."
+              file r.Efgame.Persist.entries r.Efgame.Persist.dropped
+          else Format.printf "%s: %d entries@." file r.Efgame.Persist.entries
+      | Error e ->
+          incr skipped;
+          Obs.Log.err ~tag:"table" "%s: skipped: %a%s" file
+            Efgame.Persist.pp_error e
+            (if salvage then "" else " (try --salvage)"))
+    ins;
+  if !merged = 0 then begin
+    Obs.Log.err ~tag:"table" "no input could be merged; not writing %s" out;
+    exit 2
+  end;
   match Efgame.Persist.save cache out with
   | Ok n ->
-      Format.printf "merged %d snapshots -> %s (%d entries)@."
-        (List.length ins) out n;
-      exit 0
+      Format.printf "merged %d/%d snapshots -> %s (%d entries%s)@." !merged
+        (List.length ins) out n
+        (if !skipped > 0 then Printf.sprintf ", %d inputs skipped" !skipped
+         else "");
+      exit (if !skipped > 0 then 1 else 0)
   | Error e ->
       Obs.Log.err ~tag:"table" "cannot write %s: %a" out
         Efgame.Persist.pp_error e;
       exit 2
+
+(* ---------------------------------------------------- shard subcommands *)
+
+(* Exit codes of the shard group (documented in README "Distributed
+   scans"): init/work 0 ok, work 1 if this worker quarantined a shard;
+   status 0 all done, 3 work remaining, 1 quarantine-blocked; merge 0
+   complete, 1 partial output written, 2 nothing written; audit 0 pass,
+   5 mismatch. 2 is the shared "bad manifest / usage" failure, and
+   130/143 are signal exits as everywhere else. *)
+
+let shard_init dir k max_n shards quiet verbose =
+  Obs.Log.setup ~quiet ~verbosity:(List.length verbose) ();
+  match Dist.Manifest.create ~k ~max_n ~shards with
+  | exception Invalid_argument msg ->
+      Obs.Log.err ~tag:"shard" "%s" msg;
+      exit 2
+  | m -> (
+      (try Unix.mkdir dir 0o755
+       with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      match Dist.Manifest.save m ~dir with
+      | Ok () ->
+          Format.printf
+            "initialized %s: k=%d, %d pairs (q ≤ %d) in %d shards@." dir
+            m.Dist.Manifest.k m.Dist.Manifest.total m.Dist.Manifest.max_n
+            (Array.length m.Dist.Manifest.shards);
+          exit 0
+      | Error msg ->
+          Obs.Log.err ~tag:"shard" "%s" msg;
+          exit 2)
+
+let write_worker_json ~path ~dir ~wall_s (s : Dist.Worker.summary) =
+  let module J = Obs.Jsonw in
+  J.to_file path (fun w ->
+      J.obj w (fun w ->
+          J.field_string w "schema" "efgame-shard-worker/1";
+          J.field_string w "dir" dir;
+          J.field_float w "wall_s" wall_s;
+          J.field_int w "completed" s.completed;
+          J.field_int w "claimed" s.claimed;
+          J.field_int w "reclaimed" s.reclaimed;
+          J.field_int w "abandoned" s.abandoned;
+          J.field_int w "requeued" s.requeued;
+          J.field_int w "quarantined" s.quarantined;
+          J.field_int w "pairs" s.pairs;
+          J.field w "faults" (fun w ->
+              if Rt.Fault.enabled () then Rt.Fault.write_json w else J.null w)))
+
+let shard_work dir ttl jobs budget attempts max_requeues deadline_s
+    inject_faults json metrics quiet verbose =
+  Obs.Log.setup ~quiet ~verbosity:(List.length verbose) ();
+  (match Rt.Fault.setup ?spec:inject_faults () with
+  | Ok () ->
+      if Rt.Fault.enabled () then
+        Obs.Log.warn ~tag:"fault" "fault injection armed"
+  | Error msg ->
+      Obs.Log.err "%s" msg;
+      exit 2);
+  Rt.Signal.install ();
+  (match metrics with
+  | Some path ->
+      Obs.Metrics.enable ();
+      at_exit (fun () -> Obs.Metrics.dump ~path)
+  | None -> ());
+  let deadline =
+    match deadline_s with
+    | Some s -> Rt.Deadline.after s
+    | None -> Rt.Deadline.none
+  in
+  let cfg =
+    {
+      (Dist.Worker.default_config ~dir) with
+      Dist.Worker.ttl;
+      jobs = max 1 jobs;
+      budget;
+      attempts;
+      max_requeues;
+      deadline;
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  match Dist.Worker.run cfg with
+  | Error msg ->
+      Obs.Log.err ~tag:"shard" "%s" msg;
+      exit 2
+  | Ok s ->
+      let wall_s = Unix.gettimeofday () -. t0 in
+      Format.printf
+        "worker: %d shard(s) completed (%d claimed, %d reclaimed), %d \
+         abandoned, %d requeued, %d quarantined, %d pairs, %.2f s@."
+        s.Dist.Worker.completed s.Dist.Worker.claimed s.Dist.Worker.reclaimed
+        s.Dist.Worker.abandoned s.Dist.Worker.requeued
+        s.Dist.Worker.quarantined s.Dist.Worker.pairs wall_s;
+      (match json with
+      | Some path -> write_worker_json ~path ~dir ~wall_s s
+      | None -> ());
+      (match Rt.Signal.pending () with
+      | Some src ->
+          Obs.Log.warn ~tag:"shard" "%s: leases released, exiting"
+            (Rt.Signal.name src);
+          exit (Rt.Signal.exit_code src)
+      | None -> ());
+      exit (if s.Dist.Worker.quarantined > 0 then 1 else 0)
+
+let shard_status dir ttl json quiet verbose =
+  Obs.Log.setup ~quiet ~verbosity:(List.length verbose) ();
+  match Dist.Manifest.load ~dir with
+  | Error msg ->
+      Obs.Log.err ~tag:"shard" "%s" msg;
+      exit 2
+  | Ok m ->
+      let detail s =
+        let id = s.Dist.Manifest.id in
+        match Dist.Manifest.state ~dir ~ttl s with
+        | Dist.Manifest.Quarantined ->
+            ( "quarantined",
+              match Dist.Manifest.quarantine_reason dir id with
+              | Some reason -> ": " ^ reason
+              | None -> "" )
+        | Dist.Manifest.Done -> (
+            ( "done",
+              match Dist.Record.read ~dir id with
+              | Ok r -> (
+                  Printf.sprintf " (%d entries%s)" r.Dist.Record.entries
+                    (match r.Dist.Record.outcome with
+                    | Dist.Record.Exhausted -> ""
+                    | Dist.Record.Found (p, q) ->
+                        Printf.sprintf ", found (%d,%d)" p q))
+              | Error _ -> "" ))
+        | Dist.Manifest.Leased -> (
+            ( "leased",
+              match Dist.Lease.holder (Dist.Manifest.lease_path dir id) with
+              | Some (owner, age) ->
+                  Printf.sprintf " by %s (heartbeat %.1fs ago)" owner age
+              | None -> "" ))
+        | Dist.Manifest.Pending -> (
+            ( "pending",
+              match Dist.Manifest.lease_age dir id with
+              | Some age -> Printf.sprintf " (stale lease, %.1fs)" age
+              | None -> "" ))
+      in
+      Array.iter
+        (fun s ->
+          let state, extra = detail s in
+          Format.printf "shard %04d [%6d, %6d) %-11s%s@." s.Dist.Manifest.id
+            s.Dist.Manifest.lo s.Dist.Manifest.hi state extra)
+        m.Dist.Manifest.shards;
+      let c = Dist.Manifest.counts ~dir ~ttl m in
+      Format.printf
+        "%d shard(s): %d done, %d leased, %d pending (%d stale), %d \
+         quarantined@."
+        (Array.length m.Dist.Manifest.shards)
+        c.Dist.Manifest.done_ c.Dist.Manifest.leased c.Dist.Manifest.pending
+        c.Dist.Manifest.stale c.Dist.Manifest.quarantined;
+      (match json with
+      | Some path ->
+          let module J = Obs.Jsonw in
+          J.to_file path (fun w ->
+              J.obj w (fun w ->
+                  J.field_string w "schema" "efgame-shard-status/1";
+                  J.field_int w "k" m.Dist.Manifest.k;
+                  J.field_int w "max_n" m.Dist.Manifest.max_n;
+                  J.field_int w "total" m.Dist.Manifest.total;
+                  J.field_int w "shards" (Array.length m.Dist.Manifest.shards);
+                  J.field_int w "done" c.Dist.Manifest.done_;
+                  J.field_int w "leased" c.Dist.Manifest.leased;
+                  J.field_int w "pending" c.Dist.Manifest.pending;
+                  J.field_int w "stale" c.Dist.Manifest.stale;
+                  J.field_int w "quarantined" c.Dist.Manifest.quarantined))
+      | None -> ());
+      if c.Dist.Manifest.quarantined > 0 then exit 1
+      else if c.Dist.Manifest.pending > 0 || c.Dist.Manifest.leased > 0 then
+        exit 3
+      else exit 0
+
+let shard_merge dir out threshold quiet verbose =
+  Obs.Log.setup ~quiet ~verbosity:(List.length verbose) ();
+  match Dist.Merge.merge ~salvage_threshold:threshold ~dir ~out () with
+  | Error msg ->
+      Obs.Log.err ~tag:"shard" "%s" msg;
+      exit 2
+  | Ok t ->
+      List.iter
+        (fun (id, st) ->
+          match st with
+          | Dist.Merge.Merged r ->
+              Format.printf "shard %04d: merged (%d entries)@." id
+                r.Efgame.Persist.entries
+          | Dist.Merge.Salvaged (r, certified) ->
+              Format.printf
+                "shard %04d: salvaged %d of %d certified entries@." id
+                r.Efgame.Persist.entries certified
+          | Dist.Merge.Quarantined reason ->
+              Format.printf "shard %04d: quarantined: %s@." id reason
+          | Dist.Merge.Missing -> Format.printf "shard %04d: missing@." id)
+        t.Dist.Merge.per_shard;
+      Format.printf
+        "merged %d shard(s) (%d salvaged) -> %s: %d entries, %d \
+         quarantined, %d missing@."
+        t.Dist.Merge.merged t.Dist.Merge.salvaged out t.Dist.Merge.entries
+        t.Dist.Merge.quarantined t.Dist.Merge.missing;
+      (match t.Dist.Merge.found with
+      | Some (p, q) ->
+          Format.printf "minimal pair across shards: a^%d ≡ a^%d@." p q
+      | None -> ());
+      (match t.Dist.Merge.bound with
+      | Some (k, n) ->
+          Format.printf "proven bound stamped: no ≡_%d pair with q ≤ %d@." k n
+      | None -> ());
+      exit (if Dist.Merge.complete t then 0 else 1)
+
+let shard_audit dir table sample seed budget salvage quiet verbose =
+  Obs.Log.setup ~quiet ~verbosity:(List.length verbose) ();
+  match Dist.Audit.audit ~seed ?budget ~sample ~salvage ~dir ~table () with
+  | Error msg ->
+      Obs.Log.err ~tag:"shard" "%s" msg;
+      exit 2
+  | Ok a ->
+      List.iter
+        (fun { Dist.Audit.p; q; table = t; fresh } ->
+          Format.printf
+            "MISMATCH (%d,%d): table says %s, fresh solve says %a@." p q
+            (if t then "equivalent" else "inequivalent")
+            Efgame.Game.pp_verdict fresh)
+        a.Dist.Audit.mismatches;
+      Format.printf
+        "audit: %d sampled, %d checked, %d absent, %d unknown, %d \
+         mismatch(es)@."
+        a.Dist.Audit.sample a.Dist.Audit.checked a.Dist.Audit.absent
+        a.Dist.Audit.unknown
+        (List.length a.Dist.Audit.mismatches);
+      exit (if Dist.Audit.passed a then 0 else 5)
 
 (* ------------------------------------------------------------ cmdline *)
 
@@ -541,18 +826,152 @@ let table_cmd =
     (Cmd.info "table" ~doc:"Inspect and maintain persisted table snapshots.")
     [ table_info_cmd; table_merge_cmd ]
 
+(* ------------------------------------------------- shard command group *)
+
+let shard_dir_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR"
+       ~doc:"The shared scan directory (manifest plus per-shard files).")
+
+let ttl_arg =
+  Arg.(value & opt float 30. & info [ "ttl" ] ~docv:"S"
+       ~doc:"Lease staleness threshold in seconds: a lease whose heartbeat \
+             is older than $(docv) is presumed dead and reclaimable. Every \
+             worker on a directory must use the same TTL.")
+
+let shard_init_cmd =
+  let k =
+    Arg.(value & opt int 3 & info [ "k"; "rounds" ] ~docv:"K" ~doc:"Rounds.")
+  in
+  let max_n =
+    Arg.(value & opt int 384 & info [ "max" ] ~docv:"N"
+         ~doc:"Scan all pairs (p, q) with q ≤ $(docv).")
+  in
+  let shards =
+    Arg.(value & opt int 8 & info [ "shards" ] ~docv:"S"
+         ~doc:"Number of near-equal triangle windows to cut.")
+  in
+  Cmd.v
+    (Cmd.info "init"
+       ~doc:"Initialize a scan directory: cut the (p, q) triangle into \
+             shard windows and write the immutable, checksummed manifest. \
+             Refuses to re-initialize an existing directory.")
+    Term.(const shard_init $ shard_dir_arg $ k $ max_n $ shards $ quiet_arg
+          $ verbose_arg)
+
+let shard_work_cmd =
+  let budget =
+    Arg.(value & opt (some int) None & info [ "budget" ] ~docv:"N"
+         ~doc:"Per-pair node budget (solver default when omitted). A shard \
+               whose scan exhausts the budget is quarantined, not retried: \
+               budget exhaustion is deterministic.")
+  in
+  let attempts =
+    Arg.(value & opt int 3 & info [ "attempts" ] ~docv:"N"
+         ~doc:"In-lease I/O attempts per shard (capped exponential backoff, \
+               heartbeat renewed before each retry).")
+  in
+  let max_requeues =
+    Arg.(value & opt int 2 & info [ "max-requeues" ] ~docv:"N"
+         ~doc:"Cross-worker re-enqueues before a failing shard is \
+               quarantined.")
+  in
+  Cmd.v
+    (Cmd.info "work"
+       ~doc:"Claim and scan shards until every shard in DIR is done or \
+             quarantined: claim via atomic lease file, scan the window, \
+             persist and validate the shard table, write the completion \
+             record, release. Run any number of these concurrently — \
+             including on different machines sharing DIR. Exits 0, or 1 if \
+             this worker quarantined a shard.")
+    Term.(const shard_work $ shard_dir_arg $ ttl_arg $ jobs_arg $ budget
+          $ attempts $ max_requeues $ deadline_arg $ faults_arg $ json_arg
+          $ metrics_arg $ quiet_arg $ verbose_arg)
+
+let shard_status_cmd =
+  Cmd.v
+    (Cmd.info "status"
+       ~doc:"Report per-shard state (pending / leased / done / quarantined, \
+             with lease holders and quarantine reasons) derived from the \
+             directory. Exits 0 when every shard is done, 3 while work \
+             remains, 1 when quarantined shards block completion.")
+    Term.(const shard_status $ shard_dir_arg $ ttl_arg $ json_arg $ quiet_arg
+          $ verbose_arg)
+
+let shard_merge_cmd =
+  let out =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"OUT"
+         ~doc:"The merged frontier table to write.")
+  in
+  let threshold =
+    Arg.(value & opt float 0.5 & info [ "threshold" ] ~docv:"F"
+         ~doc:"Minimum salvageable fraction of a damaged shard's certified \
+               entries; anything below is quarantined instead of merged.")
+  in
+  Cmd.v
+    (Cmd.info "merge"
+       ~doc:"Merge every certified shard table of DIR into OUT, \
+             re-verifying each on the way in (record checksum against the \
+             table file, then strict load). Damaged shards salvage or \
+             quarantine; one corrupt shard never aborts the merge. The \
+             proven bound is stamped on OUT only when every shard merged \
+             strictly clean and exhausted its window. Exits 0 when \
+             complete, 1 when the output is partial, 2 when nothing could \
+             be written.")
+    Term.(const shard_merge $ shard_dir_arg $ out $ threshold $ quiet_arg
+          $ verbose_arg)
+
+let shard_audit_cmd =
+  let table =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"TABLE"
+         ~doc:"The merged table to audit.")
+  in
+  let sample =
+    Arg.(value & opt int 64 & info [ "sample" ] ~docv:"N"
+         ~doc:"Number of pairs to re-solve.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED"
+         ~doc:"SplitMix64 seed for the sample — reproducible, so two \
+               auditors with one seed check the same pairs.")
+  in
+  let budget =
+    Arg.(value & opt (some int) None & info [ "budget" ] ~docv:"N"
+         ~doc:"Per-pair node budget for the re-solves.")
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:"Spot-audit TABLE against the manifest in DIR: re-solve a \
+             seeded deterministic sample of pairs from scratch and compare \
+             verdicts. Catches bad computation that checksums cannot — a \
+             wrong entry was wrong at birth. Exits 0 on a clean audit, 5 \
+             on any mismatch.")
+    Term.(const shard_audit $ shard_dir_arg $ table $ sample $ seed $ budget
+          $ salvage_arg $ quiet_arg $ verbose_arg)
+
+let shard_cmd =
+  Cmd.group
+    (Cmd.info "shard"
+       ~doc:"Coordinator-free distributed frontier scans over a shared \
+             directory: lease-based shard claims, crash-tolerant \
+             completion records, quarantine, merge, and audit.")
+    [ shard_init_cmd; shard_work_cmd; shard_status_cmd; shard_merge_cmd;
+      shard_audit_cmd ]
+
 let info =
   Cmd.info "efgame_cli"
     ~doc:"Decide w ≡_k v with the exhaustive EF-game solver"
 
 (* [Cmd.group ~default] routes the first positional argument to a
    subcommand, which would steal the two-word game mode ([efgame_cli
-   aaaa aaa]); dispatch on the literal "table" token instead, so every
-   other argv shape reaches the main term's positionals untouched. *)
+   aaaa aaa]); dispatch on the literal "table"/"shard" tokens instead,
+   so every other argv shape reaches the main term's positionals
+   untouched. *)
 let () =
   let cmd =
-    if Array.length Sys.argv > 1 && Sys.argv.(1) = "table" then
-      Cmd.group ~default:main_term info [ table_cmd ]
+    if
+      Array.length Sys.argv > 1
+      && (Sys.argv.(1) = "table" || Sys.argv.(1) = "shard")
+    then Cmd.group ~default:main_term info [ table_cmd; shard_cmd ]
     else Cmd.v info main_term
   in
   exit (Cmd.eval cmd)

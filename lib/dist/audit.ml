@@ -1,0 +1,109 @@
+(* Spot-audit of a merged frontier table: re-solve a seeded
+   deterministic sample of pairs from scratch and compare against the
+   verdicts the table records.
+
+   The persistence layer's checksums defend against bad disks; this
+   defends against bad *computation* — a miscompiled worker, a host
+   with flaky RAM that corrupted verdicts before they were checksummed,
+   a tampered shard table re-checksummed to look clean. Any exact
+   verdict in the table that a fresh solve contradicts is a mismatch,
+   and one mismatch means the table cannot be trusted (the monotone
+   merge can drop entries, never alter them, so a wrong entry was wrong
+   at birth).
+
+   Sampling is SplitMix64 over the caller's seed, so an audit is
+   reproducible by seed and two auditors with the same seed check the
+   same pairs. Pairs the table has no verdict for are counted [absent],
+   not failed: a shard that early-exited on a Found witness legitimately
+   leaves its tail unscanned. *)
+
+let m_checked = Obs.Metrics.counter "dist.audit_checked"
+let m_mismatches = Obs.Metrics.counter "dist.audit_mismatches"
+
+type mismatch = {
+  p : int;
+  q : int;
+  table : bool;  (** the merged table's verdict: equivalent? *)
+  fresh : Efgame.Game.verdict;  (** the independent re-solve *)
+}
+
+type t = {
+  sample : int;  (** pairs drawn *)
+  checked : int;  (** drawn pairs with a table verdict to check *)
+  absent : int;  (** drawn pairs the table holds no verdict for *)
+  unknown : int;  (** re-solves that exhausted their budget *)
+  mismatches : mismatch list;
+}
+
+let passed t = t.mismatches = []
+
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let sample_indices ~seed ~total n =
+  let state = ref (Int64.of_int seed) in
+  List.init n (fun _ ->
+      Int64.to_int
+        (Int64.rem
+           (Int64.logand (splitmix64 state) 0x3FFFFFFFFFFFFFFFL)
+           (Int64.of_int total)))
+
+let audit ?(seed = 1) ?budget ?(sample = 64) ?(salvage = false) ~dir ~table ()
+    =
+  match Manifest.load ~dir with
+  | Error msg -> Error msg
+  | Ok m ->
+      let merged = Efgame.Cache.create () in
+      (match Efgame.Persist.load ~salvage merged table with
+      | Error e -> Error (Format.asprintf "%s: %a" table Efgame.Persist.pp_error e)
+      | Ok _ ->
+          (* the re-solver's cache warms only from its own solves — its
+             verdicts never touch the table under audit *)
+          let solver = Efgame.Cache.create () in
+          let engine = Efgame.Witness.Cached solver in
+          let k = m.Manifest.k in
+          let step acc t =
+            let p, q = Efgame.Witness.pair_of_index t in
+            match Efgame.Witness.table_verdict merged ~k p q with
+            | None -> { acc with absent = acc.absent + 1 }
+            | Some table_eq -> (
+                Obs.Metrics.incr m_checked;
+                match Efgame.Witness.verify_pair ?budget ~engine ~k p q with
+                | Efgame.Game.Unknown -> { acc with unknown = acc.unknown + 1 }
+                | fresh ->
+                    let agree =
+                      match fresh with
+                      | Efgame.Game.Equiv -> table_eq
+                      | Efgame.Game.Not_equiv -> not table_eq
+                      | Efgame.Game.Unknown -> assert false
+                    in
+                    if agree then { acc with checked = acc.checked + 1 }
+                    else begin
+                      Obs.Metrics.incr m_mismatches;
+                      Obs.Log.err ~tag:"dist"
+                        "audit mismatch on (%d, %d): table says %s, re-solve \
+                         says %s"
+                        p q
+                        (if table_eq then "equivalent" else "not equivalent")
+                        (Format.asprintf "%a" Efgame.Game.pp_verdict fresh);
+                      {
+                        acc with
+                        checked = acc.checked + 1;
+                        mismatches =
+                          { p; q; table = table_eq; fresh } :: acc.mismatches;
+                      }
+                    end)
+          in
+          let init =
+            { sample; checked = 0; absent = 0; unknown = 0; mismatches = [] }
+          in
+          let result =
+            List.fold_left step init
+              (sample_indices ~seed ~total:m.Manifest.total sample)
+          in
+          Ok { result with mismatches = List.rev result.mismatches })

@@ -1,0 +1,47 @@
+(** Spot-audit of a merged frontier table: re-solve a seeded
+    deterministic sample of pairs from scratch and compare against the
+    table's recorded verdicts.
+
+    The persistence layer's checksums defend against bad disks; this
+    defends against bad {e computation} — a miscompiled worker, flaky
+    RAM corrupting verdicts before they were checksummed, a tampered
+    table re-checksummed to look clean. One mismatch means the table
+    cannot be trusted: the monotone merge can drop entries but never
+    alter them, so a wrong entry was wrong at birth.
+
+    Sampling is SplitMix64 over the caller's seed — reproducible, and
+    two auditors with one seed check the same pairs. Pairs the table
+    holds no verdict for count as [absent], not failed: a shard that
+    early-exited on a Found witness legitimately leaves its tail
+    unscanned. *)
+
+type mismatch = {
+  p : int;
+  q : int;
+  table : bool;  (** the merged table's verdict: equivalent? *)
+  fresh : Efgame.Game.verdict;  (** the independent re-solve *)
+}
+
+type t = {
+  sample : int;  (** pairs drawn *)
+  checked : int;  (** drawn pairs with a table verdict to check *)
+  absent : int;  (** drawn pairs the table holds no verdict for *)
+  unknown : int;  (** re-solves that exhausted their budget *)
+  mismatches : mismatch list;
+}
+
+val passed : t -> bool
+
+val audit :
+  ?seed:int ->
+  ?budget:int ->
+  ?sample:int ->
+  ?salvage:bool ->
+  dir:string ->
+  table:string ->
+  unit ->
+  (t, string) result
+(** Audit [sample] (default 64) pairs of [table] against the manifest
+    in [dir]. The re-solver warms a cache of its own — its verdicts
+    never come from the table under audit. [Error] on a bad manifest or
+    an unloadable table ([salvage] forwards to {!Efgame.Persist.load}). *)

@@ -1,0 +1,123 @@
+(* Shard ownership over a shared directory, with no coordinator.
+
+   The protocol leans on exactly two filesystem guarantees:
+
+   - [O_CREAT | O_EXCL] open is atomic: of N racing claimants, precisely
+     one creates the lease file. That create is the linearization point
+     of every claim.
+   - [rename] of an existing file is atomic and fails with ENOENT for
+     every caller but one. Reclaiming a stale lease renames it to a
+     unique tombstone first; the single winner of that rename is the
+     only process allowed to race for the re-create.
+
+   Liveness is mtime: the holder bumps the lease's mtime as a heartbeat
+   ({!renew}), and a lease whose mtime is older than the TTL is presumed
+   dead and reclaimable. A wedged-but-alive holder can therefore lose
+   its lease — which is why {!renew} re-reads the file and reports
+   [`Lost] when the content no longer names this owner, and why the
+   worker abandons (rather than completes) a shard whose lease it lost.
+   Double execution during the handover window is harmless: shard scans
+   are deterministic and the table merge is monotone, so re-running a
+   shard is idempotent (see DESIGN.md). *)
+
+let m_claimed = Obs.Metrics.counter "dist.shards_claimed"
+let m_reclaimed = Obs.Metrics.counter "dist.shards_reclaimed"
+let m_renewals = Obs.Metrics.counter "dist.lease_renewals"
+
+type t = { path : string; owner : string }
+
+let tomb_counter = Atomic.make 0
+
+(* host:pid:nonce — unique across the fleet for the lifetime of a lease.
+   The nonce guards against pid reuse on one host across a quick
+   crash/restart cycle. *)
+let default_owner () =
+  Printf.sprintf "%s:%d:%08x"
+    (Unix.gethostname ())
+    (Unix.getpid ())
+    (Hashtbl.hash (Unix.gettimeofday (), Unix.getpid ()) land 0xffffffff)
+
+let read_owner path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> In_channel.input_all ic)
+  with
+  | data -> Some (String.trim data)
+  | exception Sys_error _ -> None
+
+let write_exclusive path content =
+  match Unix.openfile path [ O_WRONLY; O_CREAT; O_EXCL; O_CLOEXEC ] 0o644 with
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let b = Bytes.of_string (content ^ "\n") in
+          ignore (Unix.write fd b 0 (Bytes.length b)));
+      true
+  | exception Unix.Unix_error (Unix.EEXIST, _, _) -> false
+
+let age path =
+  match Unix.stat path with
+  | st -> Some (Unix.gettimeofday () -. st.Unix.st_mtime)
+  | exception Unix.Unix_error _ -> None
+
+(* Move the stale lease aside; exactly one racer's rename succeeds, and
+   that winner deletes the tombstone. The losers see ENOENT and go back
+   to competing on the O_EXCL create like everyone else. *)
+let reclaim_stale path =
+  let tomb =
+    Printf.sprintf "%s.stale.%d.%d" path (Unix.getpid ())
+      (Atomic.fetch_and_add tomb_counter 1)
+  in
+  match Sys.rename path tomb with
+  | () ->
+      (try Sys.remove tomb with Sys_error _ -> ());
+      true
+  | exception Sys_error _ -> false
+
+let rec try_claim ?(attempts = 3) ~ttl ~owner path =
+  if attempts <= 0 then `Held
+  else if write_exclusive path owner then begin
+    Obs.Metrics.incr m_claimed;
+    `Claimed { path; owner }
+  end
+  else
+    match age path with
+    | None ->
+        (* the holder released between our create and our stat: retry *)
+        try_claim ~attempts:(attempts - 1) ~ttl ~owner path
+    | Some a when a > ttl ->
+        if reclaim_stale path && write_exclusive path owner then begin
+          Obs.Metrics.incr m_claimed;
+          Obs.Metrics.incr m_reclaimed;
+          `Reclaimed { path; owner }
+        end
+        else
+          (* lost the reclaim race, or a third party re-created first *)
+          `Held
+    | Some _ -> `Held
+
+let renew t =
+  match read_owner t.path with
+  | Some owner when owner = t.owner -> (
+      match Unix.utimes t.path 0. 0. with
+      | () ->
+          Obs.Metrics.incr m_renewals;
+          `Renewed
+      | exception Unix.Unix_error _ -> `Lost)
+  | Some _ | None -> `Lost
+
+(* Only the owner removes its lease; a reclaimed lease names someone
+   else and must be left alone. *)
+let release t =
+  match read_owner t.path with
+  | Some owner when owner = t.owner -> (
+      try Sys.remove t.path with Sys_error _ -> ())
+  | Some _ | None -> ()
+
+let holder path =
+  match (read_owner path, age path) with
+  | Some owner, Some age -> Some (owner, age)
+  | _ -> None

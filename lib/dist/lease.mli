@@ -1,0 +1,47 @@
+(** Atomic lease files: shard ownership over a shared directory with no
+    coordinator.
+
+    The protocol leans on two filesystem guarantees: [O_CREAT|O_EXCL]
+    open is atomic (of N racing claimants exactly one creates the file —
+    the linearization point of every claim), and [rename] fails with
+    ENOENT for all but one caller (reclaiming a stale lease renames it
+    to a unique tombstone first, so exactly one reclaimer proceeds).
+
+    Liveness is mtime: {!renew} bumps it as a heartbeat, and a lease
+    older than the TTL is presumed dead and reclaimable. A wedged but
+    alive holder can therefore lose its lease; {!renew} detects this
+    ([`Lost]) by re-reading the owner, and the worker then abandons the
+    shard. Double execution during the handover window is harmless:
+    shard scans are deterministic and the table merge is monotone, so
+    re-running a shard is idempotent (DESIGN.md, "Lease reclaim without
+    consensus"). *)
+
+type t = { path : string; owner : string }
+
+val default_owner : unit -> string
+(** [host:pid:nonce] — unique across the fleet for a lease's lifetime.
+    The nonce guards against pid reuse through a crash/restart cycle. *)
+
+val try_claim :
+  ?attempts:int ->
+  ttl:float ->
+  owner:string ->
+  string ->
+  [ `Claimed of t | `Reclaimed of t | `Held ]
+(** One claim attempt on a lease path. [`Claimed]: we created the lease.
+    [`Reclaimed]: the previous lease was stale (older than [ttl]
+    seconds); we won the reclaim race and created a fresh one.
+    [`Held]: someone else holds it, or beat us to it. Never blocks,
+    never spins beyond [attempts] (default 3) vanished-file races. *)
+
+val renew : t -> [ `Renewed | `Lost ]
+(** Heartbeat: bump the lease mtime — but only after re-reading the
+    file and confirming it still names us. [`Lost] means a reclaimer
+    took the shard (we were presumed dead); stop working on it. *)
+
+val release : t -> unit
+(** Remove the lease if it still names us; a reclaimed lease belongs
+    to someone else and is left untouched. Never raises. *)
+
+val holder : string -> (string * float) option
+(** [(owner, age_seconds)] of the lease at a path, if one exists. *)

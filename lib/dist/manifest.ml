@@ -1,0 +1,269 @@
+(* The shard manifest: one immutable, checksummed file describing how a
+   frontier scan was cut into triangle windows. Everything *mutable*
+   about a scan — who holds which shard, which shards are finished or
+   quarantined — is deliberately NOT in the manifest: per-shard state is
+   derived from the presence of sibling files (lease / done / quarantine
+   records), so there is no coordinator and no file that two workers
+   ever need to update concurrently.
+
+   Format (plain text, line-oriented, dependency-free):
+
+     efgame-shard-manifest 1
+     k 3
+     max_n 96
+     total 4656
+     shard 0 0 582
+     shard 1 582 1164
+     ...
+     checksum <fnv1a64 of every preceding byte, hex>
+
+   The checksum makes a torn or hand-edited manifest detectable; since
+   the file is written once (tmp + rename) and never rewritten, that is
+   the only integrity risk. *)
+
+type shard = { id : int; lo : int; hi : int }
+
+type t = { k : int; max_n : int; total : int; shards : shard array }
+
+(* Per-shard lifecycle, derived from the filesystem (see {!state}). *)
+type state = Pending | Leased | Done | Quarantined
+
+let version = 1
+let file_name = "manifest"
+
+let path dir = Filename.concat dir file_name
+
+let shard_base dir id = Filename.concat dir (Printf.sprintf "shard-%04d" id)
+let table_path dir id = shard_base dir id ^ ".tbl"
+let lease_path dir id = shard_base dir id ^ ".lease"
+let done_path dir id = shard_base dir id ^ ".done"
+let retries_path dir id = shard_base dir id ^ ".retries"
+let quarantine_path dir id = shard_base dir id ^ ".quarantine"
+
+let fnv1a64 s =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
+    s;
+  !h
+
+let create ~k ~max_n ~shards =
+  if k < 0 then invalid_arg "Manifest.create: negative k";
+  if max_n < 1 then invalid_arg "Manifest.create: max_n < 1";
+  if shards < 1 then invalid_arg "Manifest.create: shards < 1";
+  let total = max_n * (max_n + 1) / 2 in
+  let shards = min shards total in
+  let size = (total + shards - 1) / shards in
+  let arr =
+    Array.init shards (fun i ->
+        { id = i; lo = min total (i * size); hi = min total ((i + 1) * size) })
+  in
+  { k; max_n; total; shards = arr }
+
+let body m =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "efgame-shard-manifest %d\n" version);
+  Buffer.add_string b (Printf.sprintf "k %d\n" m.k);
+  Buffer.add_string b (Printf.sprintf "max_n %d\n" m.max_n);
+  Buffer.add_string b (Printf.sprintf "total %d\n" m.total);
+  Array.iter
+    (fun s -> Buffer.add_string b (Printf.sprintf "shard %d %d %d\n" s.id s.lo s.hi))
+    m.shards;
+  Buffer.contents b
+
+let save m ~dir =
+  let body = body m in
+  let data = Printf.sprintf "%schecksum %Lx\n" body (fnv1a64 body) in
+  let final = path dir in
+  if Sys.file_exists final then Error (final ^ ": manifest already exists")
+  else
+    let tmp = Printf.sprintf "%s.tmp.%d" final (Unix.getpid ()) in
+    match
+      let oc = open_out_bin tmp in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc data;
+          flush oc;
+          Unix.fsync (Unix.descr_of_out_channel oc));
+      Sys.rename tmp final
+    with
+    | () -> Ok ()
+    | exception Sys_error msg ->
+        (try Sys.remove tmp with Sys_error _ -> ());
+        Error msg
+    | exception Unix.Unix_error (err, fn, _) ->
+        (try Sys.remove tmp with Sys_error _ -> ());
+        Error (Printf.sprintf "%s: %s" fn (Unix.error_message err))
+
+let load ~dir =
+  let file = path dir in
+  match
+    let ic = open_in_bin file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> In_channel.input_all ic)
+  with
+  | exception Sys_error msg -> Error msg
+  | data -> (
+      (* split off the trailing checksum line and verify it covers the
+         exact bytes it follows *)
+      let check_prefix = "checksum " in
+      match String.rindex_opt (String.sub data 0 (max 0 (String.length data - 1))) '\n' with
+      | None -> Error (file ^ ": not a shard manifest")
+      | Some nl -> (
+          let body = String.sub data 0 (nl + 1) in
+          let last = String.sub data (nl + 1) (String.length data - nl - 1) in
+          let ok =
+            String.length last > String.length check_prefix
+            && String.sub last 0 (String.length check_prefix) = check_prefix
+            &&
+            let hex =
+              String.trim
+                (String.sub last (String.length check_prefix)
+                   (String.length last - String.length check_prefix))
+            in
+            match Int64.of_string_opt ("0x" ^ hex) with
+            | Some sum -> sum = fnv1a64 body
+            | None -> false
+          in
+          if not ok then Error (file ^ ": manifest checksum mismatch")
+          else
+            let lines =
+              String.split_on_char '\n' body
+              |> List.filter (fun l -> String.trim l <> "")
+            in
+            let shards = ref [] in
+            let k = ref (-1) and max_n = ref (-1) and total = ref (-1) in
+            let bad = ref None in
+            List.iteri
+              (fun i line ->
+                match (i, String.split_on_char ' ' line) with
+                | 0, [ "efgame-shard-manifest"; v ] ->
+                    if int_of_string_opt v <> Some version then
+                      bad := Some (Printf.sprintf "unsupported manifest version %s" v)
+                | _, [ "k"; v ] -> k := int_of_string v
+                | _, [ "max_n"; v ] -> max_n := int_of_string v
+                | _, [ "total"; v ] -> total := int_of_string v
+                | _, [ "shard"; id; lo; hi ] ->
+                    shards :=
+                      { id = int_of_string id;
+                        lo = int_of_string lo;
+                        hi = int_of_string hi }
+                      :: !shards
+                | _ -> bad := Some (Printf.sprintf "unrecognized line %S" line))
+              lines;
+            match !bad with
+            | Some msg -> Error (file ^ ": " ^ msg)
+            | None ->
+                let shards = Array.of_list (List.rev !shards) in
+                if
+                  !k < 0 || !max_n < 1
+                  || !total <> !max_n * (!max_n + 1) / 2
+                  || Array.length shards = 0
+                  || not
+                       (Array.for_all
+                          (fun s ->
+                            s.id >= 0 && 0 <= s.lo && s.lo <= s.hi
+                            && s.hi <= !total)
+                          shards)
+                then Error (file ^ ": inconsistent manifest fields")
+                else Ok { k = !k; max_n = !max_n; total = !total; shards }))
+
+(* Lease freshness: heartbeats bump the lease file's mtime, so a lease
+   older than the TTL belongs to a worker that died or wedged. *)
+let lease_age dir id =
+  match Unix.stat (lease_path dir id) with
+  | st -> Some (Unix.gettimeofday () -. st.Unix.st_mtime)
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> None
+  | exception Unix.Unix_error _ -> None
+
+let state ~dir ~ttl s =
+  if Sys.file_exists (quarantine_path dir s.id) then Quarantined
+  else if Sys.file_exists (done_path dir s.id) then Done
+  else
+    match lease_age dir s.id with
+    | Some age when age <= ttl -> Leased
+    | Some _ | None -> Pending
+
+type counts = {
+  pending : int;
+  leased : int;
+  stale : int;  (** leased past the TTL — reclaimable, counted as pending work *)
+  done_ : int;
+  quarantined : int;
+}
+
+let counts ~dir ~ttl m =
+  Array.fold_left
+    (fun c s ->
+      match state ~dir ~ttl s with
+      | Quarantined -> { c with quarantined = c.quarantined + 1 }
+      | Done -> { c with done_ = c.done_ + 1 }
+      | Leased -> { c with leased = c.leased + 1 }
+      | Pending ->
+          if lease_age dir s.id <> None then
+            { c with pending = c.pending + 1; stale = c.stale + 1 }
+          else { c with pending = c.pending + 1 })
+    { pending = 0; leased = 0; stale = 0; done_ = 0; quarantined = 0 }
+    m.shards
+
+let retries dir id =
+  match
+    let ic = open_in (retries_path dir id) in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> input_line ic)
+  with
+  | line -> Option.value (int_of_string_opt (String.trim line)) ~default:0
+  | exception Sys_error _ -> 0
+  | exception End_of_file -> 0
+
+(* Last-writer-wins is fine here: the counter only gates how long a
+   flaky shard keeps being retried, and only the lease holder bumps it. *)
+let bump_retries dir id =
+  let n = retries dir id + 1 in
+  let path = retries_path dir id in
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  (try
+     let oc = open_out tmp in
+     Fun.protect
+       ~finally:(fun () -> close_out_noerr oc)
+       (fun () -> output_string oc (string_of_int n ^ "\n"));
+     Sys.rename tmp path
+   with Sys_error _ -> ());
+  n
+
+let quarantine ~dir ~owner id reason =
+  let path = quarantine_path dir id in
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  try
+    let oc = open_out tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc (Printf.sprintf "shard %d\nowner %s\nreason %s\n" id owner reason));
+    Sys.rename tmp path;
+    Ok ()
+  with Sys_error msg ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    Error msg
+
+let quarantine_reason dir id =
+  match
+    let ic = open_in (quarantine_path dir id) in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> In_channel.input_all ic)
+  with
+  | data ->
+      List.find_map
+        (fun l ->
+          match String.index_opt l ' ' with
+          | Some i when String.sub l 0 i = "reason" ->
+              Some (String.sub l (i + 1) (String.length l - i - 1))
+          | _ -> None)
+        (String.split_on_char '\n' data)
+  | exception Sys_error _ -> None

@@ -1,0 +1,49 @@
+(** Merge certified shard tables into one frontier table, quarantining
+    what cannot be trusted instead of aborting or silently merging
+    garbage.
+
+    Each Done shard is re-verified on the way in: the completion
+    record's checksum must match the table file, and the table must pass
+    strict {!Efgame.Persist.load} validation. A table that fails strict
+    validation but salvages at least [salvage_threshold] of its
+    certified entries is merged from the valid subset (sound, because
+    the merge is monotone — it just weakens coverage); anything worse is
+    quarantined with a reason. One corrupt shard never aborts the merge
+    of the others.
+
+    The proven bound [(k, max_n)] is stamped on the output table only
+    when {e every} shard merged strictly clean with an Exhausted
+    outcome — the union of windows then provably covers the triangle.
+    Any Found, Missing, Salvaged, or Quarantined shard withholds it. *)
+
+type shard_status =
+  | Merged of Efgame.Persist.report
+  | Salvaged of Efgame.Persist.report * int
+      (** report, plus the certified entry count it fell short of *)
+  | Quarantined of string
+  | Missing  (** not Done yet — the merge is partial *)
+
+type t = {
+  entries : int;  (** entries in the merged output table *)
+  merged : int;
+  salvaged : int;
+  quarantined : int;
+  missing : int;
+  bound : (int * int) option;  (** stamped on the output when proven *)
+  found : (int * int) option;  (** minimal witness pair across shards *)
+  per_shard : (int * shard_status) list;
+}
+
+val complete : t -> bool
+(** No shard Missing or Quarantined. *)
+
+val merge :
+  ?salvage_threshold:float ->
+  ?fsync:bool ->
+  dir:string ->
+  out:string ->
+  unit ->
+  (t, string) result
+(** Merge every mergeable shard of [dir] into a fresh table at [out]
+    (save retried with backoff). [salvage_threshold] defaults to 0.5.
+    [Error] only on a bad manifest or an unwritable output. *)

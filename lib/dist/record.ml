@@ -1,0 +1,104 @@
+(* Shard completion records: the small text file a worker renames into
+   place after its shard table is written and validated. The record is
+   what promotes a shard to Done, and it carries the FNV of the table
+   file it certifies, so the merge can detect a table that was replaced
+   or damaged after certification (the record and the table are two
+   files; the checksum ties them together). *)
+
+type outcome =
+  | Exhausted  (** every pair in the window refuted *)
+  | Found of int * int  (** minimal equivalent pair within the window *)
+
+type t = {
+  shard : int;
+  owner : string;
+  outcome : outcome;
+  entries : int;  (** entries in the certified table *)
+  table_fnv : int64;  (** FNV-1a64 of the table file's bytes *)
+}
+
+let file_fnv path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> In_channel.input_all ic)
+  with
+  | data -> Ok (Manifest.fnv1a64 data)
+  | exception Sys_error msg -> Error msg
+
+let to_string r =
+  let outcome =
+    match r.outcome with
+    | Exhausted -> "exhausted"
+    | Found (p, q) -> Printf.sprintf "found %d %d" p q
+  in
+  Printf.sprintf
+    "efgame-shard-done 1\nshard %d\nowner %s\noutcome %s\nentries %d\ntable_fnv %Lx\n"
+    r.shard r.owner outcome r.entries r.table_fnv
+
+let write ~dir r =
+  let path = Manifest.done_path dir r.shard in
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  match
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc (to_string r);
+        flush oc;
+        Unix.fsync (Unix.descr_of_out_channel oc));
+    Sys.rename tmp path
+  with
+  | () -> Ok ()
+  | exception Sys_error msg ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      Error msg
+  | exception Unix.Unix_error (err, fn, _) ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      Error (Printf.sprintf "%s: %s" fn (Unix.error_message err))
+
+let read ~dir id =
+  let path = Manifest.done_path dir id in
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> In_channel.input_all ic)
+  with
+  | exception Sys_error msg -> Error msg
+  | data -> (
+      let fields =
+        String.split_on_char '\n' data
+        |> List.filter_map (fun l ->
+               match String.index_opt l ' ' with
+               | Some i ->
+                   Some
+                     ( String.sub l 0 i,
+                       String.sub l (i + 1) (String.length l - i - 1) )
+               | None -> None)
+      in
+      let get k = List.assoc_opt k fields in
+      let int k = Option.bind (get k) int_of_string_opt in
+      match
+        ( get "efgame-shard-done", int "shard", get "owner", get "outcome",
+          int "entries",
+          Option.bind (get "table_fnv") (fun h -> Int64.of_string_opt ("0x" ^ h))
+        )
+      with
+      | Some "1", Some shard, Some owner, Some outcome, Some entries, Some fnv
+        -> (
+          let outcome =
+            match String.split_on_char ' ' outcome with
+            | [ "exhausted" ] -> Some Exhausted
+            | [ "found"; p; q ] -> (
+                match (int_of_string_opt p, int_of_string_opt q) with
+                | Some p, Some q -> Some (Found (p, q))
+                | _ -> None)
+            | _ -> None
+          in
+          match outcome with
+          | Some outcome ->
+              Ok { shard; owner; outcome; entries; table_fnv = fnv }
+          | None -> Error (path ^ ": malformed outcome"))
+      | _ -> Error (path ^ ": malformed completion record"))

@@ -1,0 +1,24 @@
+(** Shard completion records: the small file whose atomic rename
+    promotes a shard to Done, carrying the FNV-1a64 of the table file it
+    certifies — the record and the table are separate files, and the
+    checksum is what ties a certification to exactly one table state
+    (a table replaced or damaged after certification is detected at
+    merge time). *)
+
+type outcome =
+  | Exhausted  (** every pair in the window refuted *)
+  | Found of int * int  (** minimal equivalent pair within the window *)
+
+type t = {
+  shard : int;
+  owner : string;
+  outcome : outcome;
+  entries : int;  (** entries in the certified table *)
+  table_fnv : int64;  (** FNV-1a64 of the table file's bytes *)
+}
+
+val file_fnv : string -> (int64, string) result
+val write : dir:string -> t -> (unit, string) result
+(** Atomic (tmp + fsync + rename). *)
+
+val read : dir:string -> int -> (t, string) result

@@ -1,0 +1,339 @@
+(* The shard worker: claim → scan → persist → certify → release, in a
+   loop, until every shard in the directory is terminal (Done or
+   Quarantined) or the driver asks us to stop.
+
+   Failure handling is layered:
+
+   - Transient I/O failures inside one attempt (a failed save, a failed
+     validation read, a failed record write) are retried in-lease with
+     capped exponential backoff ({!Rt.Backoff.retry}), renewing the
+     lease heartbeat before each retry so a slow disk doesn't cost us
+     the shard.
+   - A shard whose attempts are exhausted is *re-enqueued*: its partial
+     outputs are deleted, its cross-worker retry counter is bumped, and
+     its lease released, so any worker (including this one) can try it
+     again from scratch.
+   - A shard that keeps failing past [max_requeues], or whose scan came
+     back Inconclusive (budget exhaustion — deterministic, retrying
+     cannot help), is {e quarantined} with a reason and never merged.
+   - A lease lost mid-scan (we wedged past the TTL and someone reclaimed
+     us) abandons the shard: the reclaiming worker owns it now, and our
+     half-finished table must not be certified. Double execution up to
+     that point is harmless — shard scans are deterministic and the
+     merge is monotone (see DESIGN.md). *)
+
+let m_completed = Obs.Metrics.counter "dist.shards_completed"
+let m_abandoned = Obs.Metrics.counter "dist.shards_abandoned"
+let m_requeued = Obs.Metrics.counter "dist.shards_requeued"
+let m_quarantined = Obs.Metrics.counter "dist.shards_quarantined"
+
+let fp_claim = Rt.Fault.point "dist.claim"
+let fp_certify = Rt.Fault.point "dist.certify"
+
+type config = {
+  dir : string;
+  ttl : float;  (** lease staleness threshold, seconds *)
+  jobs : int;  (** solver domains per shard scan *)
+  budget : int option;  (** per-pair node budget (solver default if None) *)
+  attempts : int;  (** in-lease I/O attempts per shard (Rt.Backoff) *)
+  max_requeues : int;  (** cross-worker retries before quarantine *)
+  deadline : Rt.Deadline.t;
+  fsync : bool;
+  store_depth : int;
+}
+
+let default_config ~dir =
+  {
+    dir;
+    ttl = 30.;
+    jobs = 1;
+    budget = None;
+    attempts = 3;
+    max_requeues = 2;
+    deadline = Rt.Deadline.none;
+    fsync = true;
+    store_depth = 0;
+  }
+
+type summary = {
+  completed : int;
+  claimed : int;
+  reclaimed : int;
+  abandoned : int;  (** lease lost mid-scan; shard left to its new owner *)
+  requeued : int;
+  quarantined : int;
+  pairs : int;  (** pair verdicts computed across all shard scans *)
+}
+
+let zero_summary =
+  {
+    completed = 0;
+    claimed = 0;
+    reclaimed = 0;
+    abandoned = 0;
+    requeued = 0;
+    quarantined = 0;
+    pairs = 0;
+  }
+
+let remove_quiet path = try Sys.remove path with Sys_error _ -> ()
+
+(* One certification attempt: snapshot the shard cache, re-read it
+   strictly (exactly what the merge will do), and rename the completion
+   record into place. Any failure is an [Error] for {!Rt.Backoff.retry}. *)
+let certify ~cfg ~owner ~shard ~cache ~outcome () =
+  let table = Manifest.table_path cfg.dir shard.Manifest.id in
+  match
+    Rt.Fault.fire fp_certify;
+    Efgame.Persist.save ~fsync:cfg.fsync cache table
+  with
+  | exception Rt.Fault.Injected site ->
+      Error (Printf.sprintf "injected fault at %s" site)
+  | Error e -> Error (Format.asprintf "save: %a" Efgame.Persist.pp_error e)
+  | Ok written -> (
+      let check = Efgame.Cache.create () in
+      match Efgame.Persist.load check table with
+      | Error e ->
+          Error (Format.asprintf "validation: %a" Efgame.Persist.pp_error e)
+      | Ok r when r.Efgame.Persist.entries <> written ->
+          Error
+            (Printf.sprintf "validation: %d entries on disk, %d written"
+               r.Efgame.Persist.entries written)
+      | Ok _ -> (
+          match Record.file_fnv table with
+          | Error msg -> Error ("checksum: " ^ msg)
+          | Ok fnv -> (
+              let record =
+                {
+                  Record.shard = shard.Manifest.id;
+                  owner;
+                  outcome;
+                  entries = written;
+                  table_fnv = fnv;
+                }
+              in
+              match Record.write ~dir:cfg.dir record with
+              | Ok () -> Ok written
+              | Error msg -> Error ("record: " ^ msg))))
+
+(* Retried in-lease; each retry renews the heartbeat first so slow I/O
+   can't cost us the lease while we back off. *)
+let certify_with_retries ~cfg ~owner ~shard ~lease ~cache outcome =
+  Rt.Backoff.retry ~attempts:cfg.attempts
+    ~on_retry:(fun ~attempt:_ ~delay:_ -> ignore (Lease.renew lease))
+    (certify ~cfg ~owner ~shard ~cache ~outcome)
+
+(* Scan one claimed shard's window. Returns the warmed cache on success
+   so certification writes exactly what was computed. *)
+let execute ~cfg ~stop (lease : Lease.t) shard m =
+  let open Manifest in
+  let cache = Efgame.Cache.create () in
+  let engine =
+    if cfg.jobs > 1 then Efgame.Witness.Parallel (cache, cfg.jobs)
+    else Efgame.Witness.Cached cache
+  in
+  let lost = ref false in
+  let last_renew = ref (Unix.gettimeofday ()) in
+  let on_tick ~completed:_ =
+    let now = Unix.gettimeofday () in
+    if now -. !last_renew > cfg.ttl /. 3. then begin
+      (match Lease.renew lease with `Renewed -> () | `Lost -> lost := true);
+      last_renew := now
+    end
+  in
+  let stop () =
+    !lost || stop () || Rt.Deadline.expired cfg.deadline
+    || Rt.Signal.pending () <> None
+  in
+  match
+    Efgame.Witness.scan ?budget:cfg.budget ~engine ~store_depth:cfg.store_depth
+      ~range:(shard.lo, shard.hi) ~on_tick ~stop ~k:m.k ~max_n:m.max_n ()
+  with
+  | exception e ->
+      (* a crashed scan (an injected scheduler fault that escaped
+         supervision, or anything else) requeues the shard instead of
+         crashing the worker *)
+      `Failed (Printf.sprintf "scan raised: %s" (Printexc.to_string e), 0)
+  | outcome, stats -> (
+      let pairs = stats.Efgame.Witness.pairs in
+      if !lost then `Lost_lease pairs
+      else
+        match outcome with
+        | Efgame.Witness.Interrupted _ -> `Stopped pairs
+        | Efgame.Witness.Inconclusive (_, unknowns) ->
+            `Undecidable
+              ( Printf.sprintf "budget exhausted on %d pair(s)"
+                  (List.length unknowns),
+                pairs )
+        | Efgame.Witness.Found (p, q) ->
+            `Scanned (cache, Record.Found (p, q), pairs)
+        | Efgame.Witness.Exhausted _ -> `Scanned (cache, Record.Exhausted, pairs))
+
+let quarantine_shard ~cfg ~owner id reason =
+  Obs.Metrics.incr m_quarantined;
+  Obs.Log.warn ~tag:"dist" "shard %d quarantined: %s" id reason;
+  match Manifest.quarantine ~dir:cfg.dir ~owner id reason with
+  | Ok () -> ()
+  | Error msg -> Obs.Log.err ~tag:"dist" "cannot quarantine shard %d: %s" id msg
+
+(* Failure paths land here: drop partial outputs, count a cross-worker
+   retry, and either re-enqueue or quarantine. *)
+let requeue_or_quarantine ~cfg ~owner (lease : Lease.t) id reason =
+  remove_quiet (Manifest.table_path cfg.dir id);
+  remove_quiet (Manifest.done_path cfg.dir id);
+  let tries = Manifest.bump_retries cfg.dir id in
+  if tries > cfg.max_requeues then begin
+    quarantine_shard ~cfg ~owner id
+      (Printf.sprintf "%s (after %d re-enqueues)" reason (tries - 1));
+    Lease.release lease;
+    `Quarantined
+  end
+  else begin
+    Obs.Metrics.incr m_requeued;
+    Obs.Log.warn ~tag:"dist" "shard %d re-enqueued (attempt %d/%d): %s" id
+      tries cfg.max_requeues reason;
+    Lease.release lease;
+    `Requeued
+  end
+
+(* Drive one freshly claimed shard to a terminal local outcome.
+   Returns [`Stop] only when the driver's stop condition fired. *)
+let work_one ~cfg ~stop ~owner lease ~how shard m summary =
+  let id = shard.Manifest.id in
+  (match how with
+  | `Claimed ->
+      Obs.Log.info ~tag:"dist" "claimed shard %d [%d, %d)" id
+        shard.Manifest.lo shard.Manifest.hi
+  | `Reclaimed ->
+      Obs.Log.info ~tag:"dist" "reclaimed stale shard %d [%d, %d)" id
+        shard.Manifest.lo shard.Manifest.hi);
+  let summary =
+    {
+      summary with
+      claimed = summary.claimed + 1;
+      reclaimed =
+        (summary.reclaimed + match how with `Reclaimed -> 1 | `Claimed -> 0);
+    }
+  in
+  match execute ~cfg ~stop lease shard m with
+  | `Lost_lease pairs ->
+      Obs.Metrics.incr m_abandoned;
+      Obs.Log.warn ~tag:"dist" "lease on shard %d lost mid-scan; abandoning" id;
+      ( `Continue,
+        {
+          summary with
+          abandoned = summary.abandoned + 1;
+          pairs = summary.pairs + pairs;
+        } )
+  | `Stopped pairs ->
+      Lease.release lease;
+      (`Stop, { summary with pairs = summary.pairs + pairs })
+  | `Undecidable (reason, pairs) ->
+      quarantine_shard ~cfg ~owner id reason;
+      Lease.release lease;
+      ( `Continue,
+        {
+          summary with
+          quarantined = summary.quarantined + 1;
+          pairs = summary.pairs + pairs;
+        } )
+  | `Failed (reason, pairs) -> (
+      let summary = { summary with pairs = summary.pairs + pairs } in
+      match requeue_or_quarantine ~cfg ~owner lease id reason with
+      | `Quarantined ->
+          (`Continue, { summary with quarantined = summary.quarantined + 1 })
+      | `Requeued -> (`Continue, { summary with requeued = summary.requeued + 1 }))
+  | `Scanned (cache, outcome, pairs) -> (
+      let summary = { summary with pairs = summary.pairs + pairs } in
+      match certify_with_retries ~cfg ~owner ~shard ~lease ~cache outcome with
+      | Ok written ->
+          Obs.Metrics.incr m_completed;
+          Obs.Log.info ~tag:"dist" "shard %d done: %s, %d entries" id
+            (match outcome with
+            | Record.Exhausted -> "exhausted"
+            | Record.Found (p, q) -> Printf.sprintf "found (%d,%d)" p q)
+            written;
+          Lease.release lease;
+          (`Continue, { summary with completed = summary.completed + 1 })
+      | Error reason -> (
+          match requeue_or_quarantine ~cfg ~owner lease id reason with
+          | `Quarantined ->
+              (`Continue, { summary with quarantined = summary.quarantined + 1 })
+          | `Requeued ->
+              (`Continue, { summary with requeued = summary.requeued + 1 })))
+
+let run ?(stop = fun () -> false) cfg =
+  match Manifest.load ~dir:cfg.dir with
+  | Error msg -> Error msg
+  | Ok m ->
+      let owner = Lease.default_owner () in
+      let n = Array.length m.Manifest.shards in
+      (* start the sweep at an owner-dependent offset so N workers
+         launched together don't all stampede shard 0 *)
+      let offset = Hashtbl.hash owner mod n in
+      let poll = Float.min (cfg.ttl /. 4.) 0.25 in
+      let should_stop () =
+        stop () || Rt.Deadline.expired cfg.deadline
+        || Rt.Signal.pending () <> None
+      in
+      let rec loop summary =
+        if should_stop () then Ok summary
+        else begin
+          let claimable = ref [] in
+          let busy = ref false in
+          for i = 0 to n - 1 do
+            let s = m.Manifest.shards.((i + offset) mod n) in
+            match Manifest.state ~dir:cfg.dir ~ttl:cfg.ttl s with
+            | Manifest.Pending -> claimable := s :: !claimable
+            | Manifest.Leased -> busy := true
+            | Manifest.Done | Manifest.Quarantined -> ()
+          done;
+          match List.rev !claimable with
+          | [] ->
+              if not !busy then Ok summary (* every shard is terminal *)
+              else begin
+                (* someone else holds the remaining work; wait for them
+                   to finish or go stale *)
+                Unix.sleepf poll;
+                loop summary
+              end
+          | candidates -> (
+              (* claim the first shard that will have us *)
+              let rec claim = function
+                | [] -> `None
+                | s :: rest -> (
+                    match
+                      Rt.Fault.fire fp_claim;
+                      Lease.try_claim ~ttl:cfg.ttl ~owner
+                        (Manifest.lease_path cfg.dir s.Manifest.id)
+                    with
+                    | exception Rt.Fault.Injected _ -> claim rest
+                    | `Held -> claim rest
+                    | `Claimed lease -> `Go (lease, `Claimed, s)
+                    | `Reclaimed lease -> `Go (lease, `Reclaimed, s))
+              in
+              match claim candidates with
+              | `None ->
+                  (* all candidates were claimed under us: back off a
+                     beat and rescan *)
+                  Unix.sleepf (Float.min poll 0.05);
+                  loop summary
+              | `Go (lease, how, s) ->
+                  if
+                    (* the shard may have been finished by a stale
+                       holder between our state snapshot and the claim *)
+                    Sys.file_exists (Manifest.done_path cfg.dir s.Manifest.id)
+                    || Sys.file_exists
+                         (Manifest.quarantine_path cfg.dir s.Manifest.id)
+                  then begin
+                    Lease.release lease;
+                    loop summary
+                  end
+                  else begin
+                    match work_one ~cfg ~stop ~owner lease ~how s m summary with
+                    | `Stop, summary -> Ok summary
+                    | `Continue, summary -> loop summary
+                  end)
+        end
+      in
+      loop zero_summary

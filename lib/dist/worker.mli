@@ -1,0 +1,48 @@
+(** The shard worker loop: claim → scan → persist → certify → release,
+    until every shard in the directory is terminal or the driver stops.
+
+    Failure handling is layered: transient I/O failures are retried
+    in-lease with capped exponential backoff ({!Rt.Backoff.retry},
+    renewing the heartbeat before each retry); a shard whose attempts
+    are exhausted is {e re-enqueued} (partial outputs deleted, lease
+    released, cross-worker retry counter bumped) for any worker to try
+    afresh; a shard failing past [max_requeues] — or whose scan was
+    Inconclusive, which retrying cannot fix — is {e quarantined} with a
+    reason. A lease lost mid-scan abandons the shard uncertified: the
+    reclaimer owns it now, and the work already done is harmless to
+    repeat (deterministic scan, monotone merge). *)
+
+type config = {
+  dir : string;
+  ttl : float;  (** lease staleness threshold, seconds *)
+  jobs : int;  (** solver domains per shard scan *)
+  budget : int option;  (** per-pair node budget (solver default if None) *)
+  attempts : int;  (** in-lease I/O attempts per shard (Rt.Backoff) *)
+  max_requeues : int;  (** cross-worker retries before quarantine *)
+  deadline : Rt.Deadline.t;
+  fsync : bool;
+  store_depth : int;
+}
+
+val default_config : dir:string -> config
+(** ttl 30 s, 1 job, 3 attempts, 2 re-enqueues, no deadline, fsync on,
+    store depth 0. *)
+
+type summary = {
+  completed : int;
+  claimed : int;
+  reclaimed : int;  (** claims that reclaimed a stale lease *)
+  abandoned : int;  (** leases lost mid-scan; shard left to its new owner *)
+  requeued : int;
+  quarantined : int;
+  pairs : int;  (** pair verdicts computed across all shard scans *)
+}
+
+val zero_summary : summary
+
+val run : ?stop:(unit -> bool) -> config -> (summary, string) result
+(** Work the directory until every shard is Done or Quarantined, the
+    [stop] callback fires, the deadline expires, or a latched signal is
+    pending ({!Rt.Signal}). While other workers hold the remaining
+    shards, polls at a fraction of the TTL waiting for them to finish or
+    go stale. [Error] only on a missing or invalid manifest. *)

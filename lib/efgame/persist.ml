@@ -5,8 +5,16 @@
      bytes 0-3    magic "EFGT"
      bytes 4-7    format version (u32)
      bytes 8-15   entry count (u64)
-     bytes 16-23  FNV-1a 64 checksum of the payload (u64)
-     bytes 24-    payload
+     bytes 16-23  FNV-1a 64 checksum of everything after byte 24 (u64)
+     bytes 24-    payload (v1/v2), or bound prefix + payload (v3):
+       bytes 24-27  proven-bound rounds k (i32, -1 = no bound)   [v3]
+       bytes 28-35  proven-bound max q  (i64, -1 = no bound)     [v3]
+       bytes 36-    payload                                      [v3]
+
+   The v3 bound prefix records an exhaustive-scan fact ("no ≡_k pair
+   with q ≤ n") and sits inside the checksummed region, so a bit flip
+   in the bound is caught by the strict whole-file check; salvage never
+   reports a bound at all (a damaged file may only force a rescan).
 
    v1 payload, per entry (no framing — a damaged file is all-or-nothing):
      u32   key length
@@ -65,10 +73,19 @@ let pp_error ppf = function
   | Truncated -> Format.fprintf ppf "table file is truncated"
   | Corrupted -> Format.fprintf ppf "table file is corrupted (checksum mismatch)"
 
-type report = { entries : int; dropped : int; salvaged : bool }
+type report = {
+  entries : int;
+  dropped : int;
+  salvaged : bool;
+  bound : (int * int) option;
+}
 
 let magic = "EFGT"
-let version = 2
+let version = 3
+
+(* v3 entries start after the 12-byte bound prefix; v1/v2 right after
+   the header *)
+let payload_base = function 3 -> 36 | _ -> 24
 
 (* Four bytes unlikely to occur in canonical keys or small integers;
    salvage hunts for this pattern to re-frame after damage. *)
@@ -96,12 +113,16 @@ let encode_lose lose = if lose = max_int then -1l else Int32.of_int lose
 
 let tmp_counter = Atomic.make 0
 
-let save ?(max_depth = max_int) ?(fsync = true) cache path =
+let save ?(max_depth = max_int) ?(fsync = true) ?bound cache path =
   Obs.Trace.with_span "persist.save"
     ~args:(fun () -> [ ("path", Obs.Trace.S path) ])
   @@ fun () ->
   let t0 = Obs.Clock.now_us () in
   let payload = Buffer.create (1 lsl 16) in
+  (* the bound prefix opens the checksummed region *)
+  let bound_k, bound_n = match bound with Some (k, n) -> (k, n) | None -> (-1, -1) in
+  Buffer.add_int32_le payload (Int32.of_int bound_k);
+  Buffer.add_int64_le payload (Int64.of_int bound_n);
   let body = Buffer.create 256 in
   let written =
     Cache.fold cache ~init:0 ~f:(fun n key ~win ~lose ->
@@ -195,10 +216,11 @@ let walk_v1 data count =
   | () -> if !pos = len then Some (List.rev !acc) else None
   | exception Exit -> None
 
-(* v2 walk with resynchronization. Returns the valid entries in file
-   order plus the number of damage regions skipped; on an undamaged file
-   [dropped = 0] and the walk consumes the payload exactly. *)
-let walk_v2 data =
+(* v2/v3 walk with resynchronization, starting at [from]. Returns the
+   valid entries in file order plus the number of damage regions
+   skipped; on an undamaged file [dropped = 0] and the walk consumes
+   the payload exactly. *)
+let walk_v2 ~from data =
   let len = String.length data in
   let b = Bytes.unsafe_of_string data in
   let sync_at pos =
@@ -231,7 +253,7 @@ let walk_v2 data =
     done;
     min !i len
   in
-  let pos = ref 24 in
+  let pos = ref from in
   let acc = ref [] in
   let dropped = ref 0 in
   while !pos < len do
@@ -277,19 +299,27 @@ let analyze data =
   else
     let b = Bytes.unsafe_of_string data in
     let ver = Int32.to_int (Bytes.get_int32_le b 4) in
-    if ver <> 1 && ver <> 2 then Error (Bad_version ver)
+    if ver < 1 || ver > version then Error (Bad_version ver)
+    else if len < payload_base ver then Error Truncated
     else
       let declared = Int64.to_int (Bytes.get_int64_le b 8) in
       let sum = Bytes.get_int64_le b 16 in
       let checksum_ok = fnv1a64_sub data 24 (len - 24) = sum in
+      let bound =
+        if ver < 3 then None
+        else
+          let k = Int32.to_int (Bytes.get_int32_le b 24) in
+          let n = Int64.to_int (Bytes.get_int64_le b 28) in
+          if k >= 0 && n >= 0 then Some (k, n) else None
+      in
       if ver = 1 then
         let entries =
           if checksum_ok then walk_v1 data declared else None
         in
-        Ok (ver, declared, checksum_ok, entries, 0)
+        Ok (ver, declared, checksum_ok, entries, 0, bound)
       else
-        let entries, dropped = walk_v2 data in
-        Ok (ver, declared, checksum_ok, Some entries, dropped)
+        let entries, dropped = walk_v2 ~from:(payload_base ver) data in
+        Ok (ver, declared, checksum_ok, Some entries, dropped, bound)
 
 let clean ~declared ~checksum_ok ~dropped entries =
   checksum_ok && dropped = 0 && List.length entries = declared
@@ -314,7 +344,7 @@ let load ?(salvage = false) cache path =
       in
       match analyze data with
       | Error _ as e -> e
-      | Ok (1, declared, checksum_ok, entries, _) -> (
+      | Ok (1, declared, checksum_ok, entries, _, _) -> (
           (* v1: all-or-nothing, salvage or not — there is no per-entry
              checksum to make partial recovery sound *)
           if not checksum_ok then Error Corrupted
@@ -323,11 +353,13 @@ let load ?(salvage = false) cache path =
             | None -> Error Truncated
             | Some entries ->
                 store_entries cache entries;
-                finish { entries = declared; dropped = 0; salvaged = false })
-      | Ok (_, declared, checksum_ok, Some entries, dropped) ->
+                finish
+                  { entries = declared; dropped = 0; salvaged = false;
+                    bound = None })
+      | Ok (_, declared, checksum_ok, Some entries, dropped, bound) ->
           if clean ~declared ~checksum_ok ~dropped entries then begin
             store_entries cache entries;
-            finish { entries = declared; dropped = 0; salvaged = false }
+            finish { entries = declared; dropped = 0; salvaged = false; bound }
           end
           else if not salvage then
             (* strict: prefer the more precise structural verdict when
@@ -338,10 +370,13 @@ let load ?(salvage = false) cache path =
                else Corrupted)
           else begin
             store_entries cache entries;
+            (* a salvaged bound is no bound: the header is only evidence
+               when the whole file validated *)
             finish
-              { entries = List.length entries; dropped; salvaged = true }
+              { entries = List.length entries; dropped; salvaged = true;
+                bound = None }
           end
-      | Ok (_, _, _, None, _) -> assert false (* v2 walk always returns *))
+      | Ok (_, _, _, None, _, _) -> assert false (* v2 walk always returns *))
 
 let recover ?salvage cache path =
   match load ?salvage cache path with
@@ -364,6 +399,7 @@ type info = {
   checksum_ok : bool;
   valid_entries : int;
   damaged : int;
+  bound : (int * int) option;
 }
 
 let inspect path =
@@ -372,7 +408,7 @@ let inspect path =
   | Ok data -> (
       match analyze data with
       | Error _ as e -> e
-      | Ok (version, declared, checksum_ok, entries, damaged) ->
+      | Ok (version, declared, checksum_ok, entries, damaged, bound) ->
           let valid =
             match entries with Some es -> List.length es | None -> 0
           in
@@ -385,12 +421,16 @@ let inspect path =
               checksum_ok;
               valid_entries = valid;
               damaged;
+              bound;
             })
 
 let pp_info ppf i =
   Format.fprintf ppf
-    "%s: format v%d, %d bytes, %d declared / %d valid entries, checksum %s%s"
+    "%s: format v%d, %d bytes, %d declared / %d valid entries, checksum %s%s%s"
     i.path i.version i.bytes i.declared_entries i.valid_entries
     (if i.checksum_ok then "ok" else "MISMATCH")
     (if i.damaged > 0 then Format.sprintf ", %d damaged region(s)" i.damaged
      else "")
+    (match i.bound with
+    | Some (k, n) -> Format.sprintf ", proven bound: no ≡_%d pair with q ≤ %d" k n
+    | None -> "")

@@ -26,7 +26,17 @@
     both; {!recover} falls back to the [.bak] when the primary is
     missing or damaged beyond salvage. Format v1 files (whole-file
     checksum only) still load in strict mode; salvage requires v2's
-    per-entry framing. *)
+    per-entry framing.
+
+    {b Proven bounds.} Format v3 adds an optional {e proven bound}
+    [(k, n)] to the header: the claim that the exhaustive pair scan at
+    [k] rounds found no equivalent pair with q ≤ [n] (a fact about the
+    pair {e space}, established by whichever scan wrote the file — see
+    {!Witness.scan}). The bound bytes are covered by the file checksum,
+    and a bound is only ever reported from a load that passed {e strict}
+    validation — a salvaged file reports no bound, so a damaged header
+    can only force a rescan, never an unsound skip. v1/v2 files carry no
+    bound and still load. *)
 
 type error =
   | Io of string  (** file missing / unreadable / unwritable *)
@@ -46,13 +56,26 @@ type report = {
       (** true when the file failed strict validation and recovery had
           to skip damage; a clean file loaded with [~salvage:true] still
           reports [false] *)
+  bound : (int * int) option;
+      (** the header's proven bound [(k, n)] — no ≡_k pair with q ≤ n —
+          when the file is v3, declares one, and loaded {e strictly}
+          clean. Always [None] on a salvaged load: a bound from a
+          damaged file is not evidence. *)
 }
 
 val save :
-  ?max_depth:int -> ?fsync:bool -> Cache.t -> string -> (int, error) result
+  ?max_depth:int ->
+  ?fsync:bool ->
+  ?bound:int * int ->
+  Cache.t ->
+  string ->
+  (int, error) result
 (** [save cache path]: snapshot every entry holding at least one exact
     verdict whose position depth (played pairs, {!Position.key_depth}) is
-    at most [max_depth] (default: unbounded), in format v2. Returns the
+    at most [max_depth] (default: unbounded), in format v3. [bound], if
+    given, records the proven scan bound [(k, n)] in the header (callers
+    must only pass a bound established by an [Exhausted] scan — see the
+    format notes above). Returns the
     number of entries written, or [Error (Io _)] — it never raises on
     I/O failure, so checkpoint paths can retry ({!Rt.Backoff}). The
     write goes to a unique temporary file, is fsynced ([fsync] defaults
@@ -92,6 +115,8 @@ type info = {
   checksum_ok : bool;  (** whole-payload checksum *)
   valid_entries : int;  (** entries passing framing + per-entry checks *)
   damaged : int;  (** damage regions a salvage would skip *)
+  bound : (int * int) option;
+      (** declared proven bound; only trustworthy when [checksum_ok] *)
 }
 
 val inspect : string -> (info, error) result

@@ -104,6 +104,16 @@ let pair_of_index t =
   done;
   (t - (!q * (!q - 1) / 2), !q)
 
+(* The cache key a scan's pair verdict lands under: the unary fast path
+   ({!Unary.solve}) keys on lengths alone; ε pairs go through the general
+   game, whose alphabet for a^0 vs a^q is the singleton ['a']. Exposed so
+   an auditor can read a merged table's verdicts without a solver run. *)
+let pair_key p q =
+  if p >= 1 && q >= 1 then Position.unary_key ~p ~q []
+  else Position.key ~sigma:[ 'a' ] ~left:(unary p) ~right:(unary q) []
+
+let table_verdict cache ~k p q = Cache.lookup cache (pair_key p q) ~k
+
 let rec atomic_cons a x =
   let c = Atomic.get a in
   if not (Atomic.compare_and_set a c (x :: c)) then atomic_cons a x
@@ -123,17 +133,25 @@ let cache_counters engine =
       let s = Cache.stats c in
       (s.Cache.hits, s.Cache.misses)
 
-let scan ?budget ?(engine = Seed) ?(store_depth = 0) ?on_q ?on_tick ?stop ~k
-    ~max_n () =
+let scan ?budget ?(engine = Seed) ?(store_depth = 0) ?range ?on_q ?on_tick
+    ?stop ~k ~max_n () =
   let total = max_n * (max_n + 1) / 2 in
+  let lo, hi = match range with None -> (0, total) | Some (lo, hi) -> (lo, hi) in
+  if lo < 0 || hi > total || lo > hi then
+    invalid_arg
+      (Printf.sprintf "Witness.scan: range [%d, %d) outside triangle [0, %d)"
+         lo hi total);
   let jobs = engine_jobs engine in
-  let sched = Scheduler.create ~jobs ~total () in
+  let sched = Scheduler.create ~jobs ~total:(hi - lo) () in
   let found_t = Atomic.make max_int in
   let unknowns = Atomic.make [] in
   let nodes = Atomic.make 0 in
   let q_started = Atomic.make 0 in
   let hits0, misses0 = cache_counters engine in
-  let eval t =
+  (* the scheduler works in window-relative indices; [lo +] maps back
+     into the triangle *)
+  let eval r =
+    let t = lo + r in
     let p, q = pair_of_index t in
     (match on_q with
     | Some f ->
@@ -154,7 +172,7 @@ let scan ?budget ?(engine = Seed) ?(store_depth = 0) ?on_q ?on_tick ?stop ~k
         (* indices above t can no longer be the minimal witness: cancel
            their chunks; everything below still completes, keeping the
            minimality claim sound *)
-        Scheduler.shrink_limit sched t
+        Scheduler.shrink_limit sched r
     | Game.Not_equiv -> ()
     | Game.Unknown -> atomic_cons unknowns (p, q)
   in

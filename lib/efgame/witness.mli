@@ -41,6 +41,7 @@ val scan :
   ?budget:int ->
   ?engine:engine ->
   ?store_depth:int ->
+  ?range:int * int ->
   ?on_q:(int -> unit) ->
   ?on_tick:(completed:int -> unit) ->
   ?stop:(unit -> bool) ->
@@ -64,6 +65,19 @@ val scan :
     spot for scans: within a cold scan deeper entries are never
     re-reachable (keys embed the pair), while the pair-level verdicts
     are exactly what a warm restart replays against.
+
+    [range (lo, hi)] restricts the scan to the half-open index window
+    [lo, hi) of the linearized triangle (default: the whole triangle,
+    [0, max_n·(max_n+1)/2)); [Invalid_argument] if the window falls
+    outside it. This is the shard and incremental-frontier primitive:
+    indices below [M·(M+1)/2] are exactly the pairs with q ≤ M, so a
+    table carrying a proven bound M resumes with
+    [range (M·(M+1)/2, total)], and a distributed scan hands each
+    worker a disjoint window ({!Dist}). With a window set, the
+    outcome's claims shrink to it: [Found] is the minimal pair
+    {e within the window}, [Exhausted] says no pair {e in the window}
+    (the reported bound is still [max_n] — combining windows back into
+    a whole-triangle claim is the caller's bookkeeping).
 
     [on_q] is a progress callback invoked as the scan first reaches each
     new value of [q] (under work stealing, values may be skipped — the
@@ -125,3 +139,15 @@ val classes_words :
 
 val index_of_pair : int -> int -> int
 val pair_of_index : int -> int * int
+
+val pair_key : int -> int -> Position.key
+(** The table key under which a scan's top-level verdict for the pair
+    (p, q) is stored — the unary fast-path key for p ≥ 1, the general
+    game's root key for ε pairs. *)
+
+val table_verdict : Cache.t -> k:int -> int -> int -> bool option
+(** [table_verdict cache ~k p q]: the pair's ≡_k verdict as recorded in
+    [cache] (rounds-aware: a win frontier ≥ k answers [Some true], a
+    lose frontier ≤ k answers [Some false]), or [None] when the table
+    has no exact verdict for it. Pure table read — never solves. The
+    audit primitive ({!Dist.Audit}). *)

@@ -1,0 +1,447 @@
+(* The distributed-scan layer: manifest integrity (round-trip,
+   checksum rejection, immutability), lease semantics (atomic claim,
+   TTL expiry and reclaim, heartbeat renewal, loss detection, the
+   no-double-claim race property), the worker's failure ladder
+   (re-enqueue then quarantine; Inconclusive quarantines immediately),
+   and the end-to-end worker → merge → audit pipeline including audit
+   detection of a tampered-but-checksum-clean table. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let tmp_counter = ref 0
+
+let fresh_dir () =
+  incr tmp_counter;
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "efgame_dist_%d_%d" (Unix.getpid ()) !tmp_counter)
+  in
+  Unix.mkdir d 0o755;
+  d
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let with_dir f =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let read_all path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> In_channel.input_all ic)
+
+let write_file path data =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc data)
+
+(* backdate a lease so its age exceeds any TTL under test *)
+let backdate path =
+  let old = Unix.gettimeofday () -. 3600. in
+  Unix.utimes path old old
+
+(* ----------------------------------------------------------- manifest *)
+
+let test_manifest_round_trip () =
+  with_dir (fun dir ->
+      let m = Dist.Manifest.create ~k:3 ~max_n:96 ~shards:7 in
+      check_int "total" (96 * 97 / 2) m.Dist.Manifest.total;
+      (match Dist.Manifest.save m ~dir with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "save: %s" msg);
+      match Dist.Manifest.load ~dir with
+      | Error msg -> Alcotest.failf "load: %s" msg
+      | Ok m' ->
+          check_int "k" m.Dist.Manifest.k m'.Dist.Manifest.k;
+          check_int "max_n" m.Dist.Manifest.max_n m'.Dist.Manifest.max_n;
+          check_int "shards"
+            (Array.length m.Dist.Manifest.shards)
+            (Array.length m'.Dist.Manifest.shards);
+          Alcotest.(check bool) "windows" true (m.Dist.Manifest.shards = m'.Dist.Manifest.shards))
+
+let test_manifest_covers_triangle () =
+  (* shard windows tile [0, total) exactly: no gap, no overlap *)
+  List.iter
+    (fun (max_n, shards) ->
+      let m = Dist.Manifest.create ~k:2 ~max_n ~shards in
+      let covered = ref 0 in
+      Array.iteri
+        (fun i s ->
+          check_int
+            (Printf.sprintf "lo of shard %d (max_n=%d)" i max_n)
+            !covered s.Dist.Manifest.lo;
+          covered := s.Dist.Manifest.hi)
+        m.Dist.Manifest.shards;
+      check_int
+        (Printf.sprintf "full cover (max_n=%d, shards=%d)" max_n shards)
+        m.Dist.Manifest.total !covered)
+    [ (1, 1); (5, 3); (16, 4); (16, 1000); (96, 7) ]
+
+let test_manifest_checksum_rejected () =
+  with_dir (fun dir ->
+      let m = Dist.Manifest.create ~k:2 ~max_n:16 ~shards:4 in
+      (match Dist.Manifest.save m ~dir with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "save: %s" msg);
+      let path = Dist.Manifest.path dir in
+      let data = read_all path in
+      (* flip one digit inside the k line: the trailing checksum no
+         longer matches *)
+      let i =
+        match String.index_opt data 'k' with
+        | Some i -> i + 2
+        | None -> Alcotest.fail "no k line"
+      in
+      let tampered = Bytes.of_string data in
+      Bytes.set tampered i (if Bytes.get tampered i = '2' then '3' else '2');
+      Sys.remove path;
+      write_file path (Bytes.to_string tampered);
+      (match Dist.Manifest.load ~dir with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "tampered manifest loaded");
+      (* truncation is also caught *)
+      Sys.remove path;
+      write_file path (String.sub data 0 (String.length data / 2));
+      match Dist.Manifest.load ~dir with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "truncated manifest loaded")
+
+let test_manifest_immutable () =
+  with_dir (fun dir ->
+      let m = Dist.Manifest.create ~k:2 ~max_n:8 ~shards:2 in
+      (match Dist.Manifest.save m ~dir with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "save: %s" msg);
+      match Dist.Manifest.save m ~dir with
+      | Ok () -> Alcotest.fail "manifest overwrite allowed"
+      | Error _ -> ())
+
+(* ------------------------------------------------------------- leases *)
+
+let test_lease_claim_and_held () =
+  with_dir (fun dir ->
+      let path = Filename.concat dir "s.lease" in
+      (match Dist.Lease.try_claim ~ttl:30. ~owner:"alice" path with
+      | `Claimed _ -> ()
+      | `Reclaimed _ -> Alcotest.fail "reclaimed a lease that never existed"
+      | `Held -> Alcotest.fail "fresh lease reported held");
+      (match Dist.Lease.holder path with
+      | Some (owner, age) ->
+          Alcotest.(check string) "holder" "alice" owner;
+          check_bool "age sane" true (age >= 0. && age < 60.)
+      | None -> Alcotest.fail "no holder after claim");
+      match Dist.Lease.try_claim ~ttl:30. ~owner:"bob" path with
+      | `Held -> ()
+      | `Claimed _ | `Reclaimed _ -> Alcotest.fail "double claim")
+
+let test_lease_ttl_reclaim () =
+  with_dir (fun dir ->
+      let path = Filename.concat dir "s.lease" in
+      let alice =
+        match Dist.Lease.try_claim ~ttl:5. ~owner:"alice" path with
+        | `Claimed l -> l
+        | _ -> Alcotest.fail "claim"
+      in
+      backdate path;
+      (match Dist.Lease.try_claim ~ttl:5. ~owner:"bob" path with
+      | `Reclaimed _ -> ()
+      | `Claimed _ -> Alcotest.fail "stale lease claimed as fresh"
+      | `Held -> Alcotest.fail "stale lease held");
+      (match Dist.Lease.holder path with
+      | Some (owner, _) -> Alcotest.(check string) "new holder" "bob" owner
+      | None -> Alcotest.fail "no holder after reclaim");
+      (* the evicted holder notices on its next heartbeat *)
+      match Dist.Lease.renew alice with
+      | `Lost -> ()
+      | `Renewed -> Alcotest.fail "evicted holder renewed")
+
+let test_lease_renew_keeps_fresh () =
+  with_dir (fun dir ->
+      let path = Filename.concat dir "s.lease" in
+      let l =
+        match Dist.Lease.try_claim ~ttl:5. ~owner:"alice" path with
+        | `Claimed l -> l
+        | _ -> Alcotest.fail "claim"
+      in
+      backdate path;
+      (match Dist.Lease.renew l with
+      | `Renewed -> ()
+      | `Lost -> Alcotest.fail "holder lost its own un-reclaimed lease");
+      (* the heartbeat reset the age: no longer reclaimable *)
+      (match Dist.Lease.try_claim ~ttl:5. ~owner:"bob" path with
+      | `Held -> ()
+      | `Claimed _ | `Reclaimed _ -> Alcotest.fail "renewed lease reclaimed");
+      Dist.Lease.release l;
+      check_bool "released" false (Sys.file_exists path))
+
+let test_lease_release_respects_owner () =
+  with_dir (fun dir ->
+      let path = Filename.concat dir "s.lease" in
+      let alice =
+        match Dist.Lease.try_claim ~ttl:5. ~owner:"alice" path with
+        | `Claimed l -> l
+        | _ -> Alcotest.fail "claim"
+      in
+      backdate path;
+      (match Dist.Lease.try_claim ~ttl:5. ~owner:"bob" path with
+      | `Reclaimed _ -> ()
+      | _ -> Alcotest.fail "reclaim");
+      (* alice's release must not remove bob's lease *)
+      Dist.Lease.release alice;
+      match Dist.Lease.holder path with
+      | Some (owner, _) -> Alcotest.(check string) "survives" "bob" owner
+      | None -> Alcotest.fail "reclaimed lease released by old owner")
+
+(* N claimants race one lease path: exactly one wins, and the file
+   names the winner. The O_EXCL linearization point is the whole
+   protocol; this is the property everything else leans on. *)
+let prop_no_double_claim =
+  QCheck.Test.make ~name:"racing claimants never double-claim" ~count:25
+    QCheck.(int_range 2 8)
+    (fun n ->
+      with_dir (fun dir ->
+          let path = Filename.concat dir "s.lease" in
+          let start = Atomic.make false in
+          let domains =
+            List.init n (fun i ->
+                Domain.spawn (fun () ->
+                    while not (Atomic.get start) do
+                      Domain.cpu_relax ()
+                    done;
+                    let owner = Printf.sprintf "racer-%d" i in
+                    match Dist.Lease.try_claim ~ttl:30. ~owner path with
+                    | `Claimed _ | `Reclaimed _ -> Some owner
+                    | `Held -> None))
+          in
+          Atomic.set start true;
+          let winners = List.filter_map Domain.join domains in
+          match (winners, Dist.Lease.holder path) with
+          | [ w ], Some (holder, _) -> w = holder
+          | _ -> false))
+
+(* ----------------------------------------------- worker failure ladder *)
+
+let setup_scan ~k ~max_n ~shards dir =
+  let m = Dist.Manifest.create ~k ~max_n ~shards in
+  match Dist.Manifest.save m ~dir with
+  | Ok () -> m
+  | Error msg -> Alcotest.failf "manifest save: %s" msg
+
+let run_worker cfg =
+  match Dist.Worker.run cfg with
+  | Ok s -> s
+  | Error msg -> Alcotest.failf "worker: %s" msg
+
+let test_requeue_then_quarantine () =
+  with_dir (fun dir ->
+      ignore (setup_scan ~k:2 ~max_n:4 ~shards:1 dir);
+      (* make the completion record unwritable: a directory squats on
+         its tmp path (the worker runs in-process, so the pid in the
+         name is ours), so certification fails deterministically every
+         attempt while the derived shard state stays Pending *)
+      Unix.mkdir
+        (Printf.sprintf "%s.tmp.%d"
+           (Dist.Manifest.done_path dir 0)
+           (Unix.getpid ()))
+        0o755;
+      let cfg =
+        {
+          (Dist.Worker.default_config ~dir) with
+          Dist.Worker.attempts = 1;
+          max_requeues = 2;
+          fsync = false;
+        }
+      in
+      let s = run_worker cfg in
+      check_int "completed" 0 s.Dist.Worker.completed;
+      check_int "requeued" 2 s.Dist.Worker.requeued;
+      check_int "quarantined" 1 s.Dist.Worker.quarantined;
+      (match
+         Dist.Manifest.state ~dir ~ttl:30. { Dist.Manifest.id = 0; lo = 0; hi = 1 }
+       with
+      | Dist.Manifest.Quarantined -> ()
+      | _ -> Alcotest.fail "shard not quarantined on disk");
+      match Dist.Manifest.quarantine_reason dir 0 with
+      | Some reason ->
+          check_bool "reason mentions re-enqueues" true
+            (String.length reason > 0)
+      | None -> Alcotest.fail "no quarantine reason recorded")
+
+let test_inconclusive_quarantines_immediately () =
+  with_dir (fun dir ->
+      ignore (setup_scan ~k:2 ~max_n:6 ~shards:1 dir);
+      let cfg =
+        {
+          (Dist.Worker.default_config ~dir) with
+          Dist.Worker.budget = Some 1;
+          (* budget exhaustion is deterministic: no requeue should happen *)
+          fsync = false;
+        }
+      in
+      let s = run_worker cfg in
+      check_int "requeued" 0 s.Dist.Worker.requeued;
+      check_int "quarantined" 1 s.Dist.Worker.quarantined;
+      match Dist.Manifest.quarantine_reason dir 0 with
+      | Some reason ->
+          check_bool "reason names the budget" true
+            (String.length reason >= String.length "budget"
+            && String.sub reason 0 6 = "budget")
+      | None -> Alcotest.fail "no quarantine reason recorded")
+
+(* --------------------------------------- end-to-end pipeline and audit *)
+
+(* k=2, max_n=10: every pair is inequivalent (the minimal ≡₂ pair is
+   (12, 14)), so every shard exhausts its window and the merged table
+   carries a verdict for all 55 pairs plus the proven bound. *)
+let test_worker_merge_audit () =
+  with_dir (fun dir ->
+      ignore (setup_scan ~k:2 ~max_n:10 ~shards:3 dir);
+      let cfg =
+        { (Dist.Worker.default_config ~dir) with Dist.Worker.fsync = false }
+      in
+      let s = run_worker cfg in
+      check_int "completed" 3 s.Dist.Worker.completed;
+      check_int "quarantined" 0 s.Dist.Worker.quarantined;
+      let out = Filename.concat dir "merged.tbl" in
+      (match Dist.Merge.merge ~fsync:false ~dir ~out () with
+      | Error msg -> Alcotest.failf "merge: %s" msg
+      | Ok t ->
+          check_bool "complete" true (Dist.Merge.complete t);
+          check_int "merged shards" 3 t.Dist.Merge.merged;
+          check_int "salvaged" 0 t.Dist.Merge.salvaged;
+          Alcotest.(check (option (pair int int)))
+            "bound stamped" (Some (2, 10)) t.Dist.Merge.bound;
+          Alcotest.(check (option (pair int int)))
+            "no witness" None t.Dist.Merge.found);
+      (* every verdict the merged table does hold refutes its pair
+         (some pairs are legitimately absent: the unary fast path can
+         decide them without a cache store) *)
+      let cache = Efgame.Cache.create () in
+      (match Efgame.Persist.load cache out with
+      | Ok r -> check_bool "clean load" false r.Efgame.Persist.salvaged
+      | Error e -> Alcotest.failf "load: %a" Efgame.Persist.pp_error e);
+      let present = ref 0 in
+      for q = 1 to 10 do
+        for p = 0 to q - 1 do
+          match Efgame.Witness.table_verdict cache ~k:2 p q with
+          | Some eq ->
+              incr present;
+              if eq then Alcotest.failf "(%d,%d) claimed equivalent" p q
+          | None -> ()
+        done
+      done;
+      check_bool "table holds verdicts" true (!present > 0);
+      match Dist.Audit.audit ~seed:7 ~sample:32 ~dir ~table:out () with
+      | Error msg -> Alcotest.failf "audit: %s" msg
+      | Ok a ->
+          check_bool "audit passed" true (Dist.Audit.passed a);
+          check_int "sample fully accounted for" a.Dist.Audit.sample
+            (a.Dist.Audit.checked + a.Dist.Audit.absent);
+          check_bool "some pairs checked" true (a.Dist.Audit.checked > 0);
+          check_int "no mismatches" 0 (List.length a.Dist.Audit.mismatches))
+
+(* Checksums cannot catch a table that was *computed* wrong and then
+   checksummed clean; the audit exists for exactly that. Rewrite the
+   merged table with every verdict flipped (a perfectly well-formed,
+   checksum-valid file) and the audit must fail on every sampled pair. *)
+let test_audit_detects_tampering () =
+  with_dir (fun dir ->
+      ignore (setup_scan ~k:2 ~max_n:10 ~shards:2 dir);
+      let cfg =
+        { (Dist.Worker.default_config ~dir) with Dist.Worker.fsync = false }
+      in
+      ignore (run_worker cfg);
+      let out = Filename.concat dir "merged.tbl" in
+      (match Dist.Merge.merge ~fsync:false ~dir ~out () with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "merge: %s" msg);
+      let forged = Efgame.Cache.create () in
+      for q = 1 to 10 do
+        for p = 0 to q - 1 do
+          (* every pair is inequivalent; the forgery claims each is
+             equivalent at k = 2 *)
+          Efgame.Cache.store forged (Efgame.Witness.pair_key p q) ~k:2 true
+        done
+      done;
+      let tampered = Filename.concat dir "tampered.tbl" in
+      (match Efgame.Persist.save ~fsync:false forged tampered with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "save: %a" Efgame.Persist.pp_error e);
+      match Dist.Audit.audit ~seed:7 ~sample:16 ~dir ~table:tampered () with
+      | Error msg -> Alcotest.failf "audit: %s" msg
+      | Ok a ->
+          check_bool "audit failed" false (Dist.Audit.passed a);
+          check_int "every checked pair mismatched" a.Dist.Audit.checked
+            (List.length a.Dist.Audit.mismatches);
+          check_bool "at least one checked" true (a.Dist.Audit.checked > 0))
+
+(* Two workers interleaved over one directory still produce a complete,
+   auditable scan: worker A's stale lease (backdated, as if A died
+   mid-shard) is reclaimed by worker B. *)
+let test_reclaim_completes_scan () =
+  with_dir (fun dir ->
+      ignore (setup_scan ~k:2 ~max_n:10 ~shards:2 dir);
+      (* a dead worker's half-claim: a lease nobody will ever renew *)
+      (match
+         Dist.Lease.try_claim ~ttl:5. ~owner:"dead-worker"
+           (Dist.Manifest.lease_path dir 0)
+       with
+      | `Claimed _ -> ()
+      | _ -> Alcotest.fail "pre-claim");
+      backdate (Dist.Manifest.lease_path dir 0);
+      let cfg =
+        {
+          (Dist.Worker.default_config ~dir) with
+          Dist.Worker.ttl = 5.;
+          fsync = false;
+        }
+      in
+      let s = run_worker cfg in
+      check_int "completed" 2 s.Dist.Worker.completed;
+      check_bool "reclaimed at least once" true (s.Dist.Worker.reclaimed >= 1);
+      let out = Filename.concat dir "merged.tbl" in
+      match Dist.Merge.merge ~fsync:false ~dir ~out () with
+      | Ok t -> check_bool "complete after reclaim" true (Dist.Merge.complete t)
+      | Error msg -> Alcotest.failf "merge: %s" msg)
+
+let tests =
+  ( "dist",
+    [
+      Alcotest.test_case "manifest round-trips" `Quick
+        test_manifest_round_trip;
+      Alcotest.test_case "manifest windows tile the triangle" `Quick
+        test_manifest_covers_triangle;
+      Alcotest.test_case "tampered or truncated manifest rejected" `Quick
+        test_manifest_checksum_rejected;
+      Alcotest.test_case "manifest save refuses overwrite" `Quick
+        test_manifest_immutable;
+      Alcotest.test_case "lease claim; second claimant held" `Quick
+        test_lease_claim_and_held;
+      Alcotest.test_case "stale lease reclaimed after TTL" `Quick
+        test_lease_ttl_reclaim;
+      Alcotest.test_case "heartbeat renewal keeps a lease" `Quick
+        test_lease_renew_keeps_fresh;
+      Alcotest.test_case "release never removes another owner's lease"
+        `Quick test_lease_release_respects_owner;
+      QCheck_alcotest.to_alcotest prop_no_double_claim;
+      Alcotest.test_case "failing shard re-enqueued then quarantined"
+        `Quick test_requeue_then_quarantine;
+      Alcotest.test_case "inconclusive shard quarantined immediately"
+        `Quick test_inconclusive_quarantines_immediately;
+      Alcotest.test_case "worker -> merge -> audit pipeline" `Quick
+        test_worker_merge_audit;
+      Alcotest.test_case "audit detects a tampered table" `Quick
+        test_audit_detects_tampering;
+      Alcotest.test_case "stale lease reclaim completes the scan" `Quick
+        test_reclaim_completes_scan;
+    ] )

@@ -427,7 +427,7 @@ let test_inspect () =
       let total = save_exn (warmed_cache ()) path in
       (match Persist.inspect path with
       | Ok i ->
-          check_int "version" 2 i.Persist.version;
+          check_int "version" 3 i.Persist.version;
           Alcotest.(check bool) "checksum ok" true i.Persist.checksum_ok;
           check_int "declared" total i.Persist.declared_entries;
           check_int "valid" total i.Persist.valid_entries;
@@ -441,6 +441,84 @@ let test_inspect () =
             || i.Persist.valid_entries < i.Persist.declared_entries
             || i.Persist.damaged > 0)
       | Error e -> Alcotest.failf "inspect failed: %a" Persist.pp_error e)
+
+(* -------------------------------------------------------- proven bounds *)
+
+let bound_opt = Alcotest.(option (pair int int))
+
+let save_bound_exn ?bound cache path =
+  match Persist.save ?bound cache path with
+  | Ok n -> n
+  | Error e -> Alcotest.failf "save failed: %a" Persist.pp_error e
+
+let test_bound_round_trip () =
+  with_table (fun path ->
+      let cache = warmed_cache () in
+      ignore (save_bound_exn ~bound:(3, 96) cache path);
+      let r = load_exn (Cache.create ()) path in
+      Alcotest.check bound_opt "bound survives the round trip" (Some (3, 96))
+        r.Persist.bound;
+      (match Persist.inspect path with
+      | Ok i ->
+          Alcotest.check bound_opt "inspect sees the bound" (Some (3, 96))
+            i.Persist.bound
+      | Error e -> Alcotest.failf "inspect failed: %a" Persist.pp_error e);
+      (* a save without a bound declares none *)
+      ignore (save_bound_exn cache path);
+      Alcotest.check bound_opt "no bound when none was saved" None
+        (load_exn (Cache.create ()) path).Persist.bound)
+
+let test_bound_flip_detected () =
+  (* the bound bytes sit inside the checksummed region: flipping one is
+     a strict Corrupted, and even salvage must not report the bound *)
+  with_table (fun path ->
+      ignore (save_bound_exn ~bound:(3, 96) (warmed_cache ()) path);
+      patch_file path 28 flip;
+      check_rejected ~expect:Persist.Corrupted path (Cache.create ());
+      let fresh = Cache.create () in
+      let r = load_exn ~salvage:true fresh path in
+      Alcotest.(check bool) "flagged as salvaged" true r.Persist.salvaged;
+      Alcotest.check bound_opt "a salvaged bound is no bound" None
+        r.Persist.bound)
+
+let test_salvaged_payload_drops_bound () =
+  (* damage in the *payload* also voids the bound: a salvaged file is
+     not evidence of an exhaustive scan *)
+  with_table (fun path ->
+      ignore (save_bound_exn ~bound:(2, 48) (warmed_cache ()) path);
+      let len = String.length (read_all path) in
+      patch_file path (36 + ((len - 36) / 2)) flip;
+      let r = load_exn ~salvage:true (Cache.create ()) path in
+      Alcotest.(check bool) "flagged as salvaged" true r.Persist.salvaged;
+      Alcotest.check bound_opt "bound voided by payload damage" None
+        r.Persist.bound)
+
+(* hand-rolled v2 fixture from a v3 save: strip the 12-byte bound
+   prefix, restamp version and checksum — the per-entry framing is
+   byte-identical between the formats *)
+let rewrite_as_v2 path =
+  let data = read_all path in
+  let payload = String.sub data 36 (String.length data - 36) in
+  let b = Buffer.create (String.length payload + 24) in
+  Buffer.add_string b (String.sub data 0 4);
+  Buffer.add_int32_le b 2l;
+  Buffer.add_string b (String.sub data 8 8);
+  Buffer.add_int64_le b (fnv1a64 payload);
+  Buffer.add_string b payload;
+  write_file path (Buffer.contents b)
+
+let test_v2_still_loads () =
+  with_table (fun path ->
+      let cache = warmed_cache () in
+      let total = save_exn cache path in
+      rewrite_as_v2 path;
+      let fresh = Cache.create () in
+      let r = load_exn fresh path in
+      check_int "all v2 entries merged" total r.Persist.entries;
+      Alcotest.(check bool) "not a salvage" false r.Persist.salvaged;
+      Alcotest.check bound_opt "v2 carries no bound" None r.Persist.bound;
+      Alcotest.(check (list (triple string int int)))
+        "identical frontiers" (frontiers cache) (frontiers fresh))
 
 (* The soundness property the format documents: replaying any query
    against a reloaded table yields the verdict the seed solver gives. *)
@@ -545,6 +623,14 @@ let tests =
         test_save_under_injected_faults;
       Alcotest.test_case "inspect reports format, checksums, damage" `Quick
         test_inspect;
+      Alcotest.test_case "proven bound round-trips through the header" `Quick
+        test_bound_round_trip;
+      Alcotest.test_case "flipped bound byte ⇒ Corrupted; salvage voids it"
+        `Quick test_bound_flip_detected;
+      Alcotest.test_case "payload damage voids the bound" `Quick
+        test_salvaged_payload_drops_bound;
+      Alcotest.test_case "v2 snapshots still load (no bound)" `Quick
+        test_v2_still_loads;
       QCheck_alcotest.to_alcotest prop_reload_never_flips;
       Alcotest.test_case "warm scan replay: same outcome, zero misses" `Quick
         test_witness_scan_agrees_after_reload;

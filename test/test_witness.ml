@@ -107,6 +107,88 @@ let test_scan_stats () =
   check "nodes counted" true (stats.Witness.nodes > 0);
   check "chunks counted" true (stats.Witness.chunks > 0)
 
+(* windowed scans: disjoint ranges cover the triangle exactly, the
+   window containing the witness finds it, the one below exhausts, and
+   the incremental-frontier split (resume from a proven bound) agrees
+   with the full scan *)
+let test_scan_range () =
+  let max_n = 20 in
+  let total = max_n * (max_n + 1) / 2 in
+  let witness_t = Witness.index_of_pair 12 14 in
+  (* the window below the witness is exhausted... *)
+  let below, stats =
+    Witness.scan
+      ~engine:(Witness.Cached (Cache.create ()))
+      ~range:(0, witness_t) ~k:2 ~max_n ()
+  in
+  check "window below the witness exhausts" true
+    (match below with Witness.Exhausted _ -> true | _ -> false);
+  Alcotest.(check int) "window pair count" witness_t stats.Witness.pairs;
+  (* ...and the window from the witness on finds it *)
+  let above, _ =
+    Witness.scan
+      ~engine:(Witness.Cached (Cache.create ()))
+      ~range:(witness_t, total) ~k:2 ~max_n ()
+  in
+  check "window from the witness finds it" true
+    (above = Witness.Found (12, 14));
+  (* incremental frontier: q ≤ 13 proven clean, scan only the new pairs *)
+  let frontier_13 = 13 * 14 / 2 in
+  let incr, _ =
+    Witness.scan
+      ~engine:(Witness.Cached (Cache.create ()))
+      ~range:(frontier_13, total) ~k:2 ~max_n ()
+  in
+  check "incremental window agrees with the full scan" true
+    (incr = Witness.Found (12, 14));
+  (* an empty window is a no-op exhaustion *)
+  let empty, stats =
+    Witness.scan
+      ~engine:(Witness.Cached (Cache.create ()))
+      ~range:(5, 5) ~k:2 ~max_n ()
+  in
+  check "empty window exhausts" true
+    (match empty with Witness.Exhausted _ -> true | _ -> false);
+  Alcotest.(check int) "empty window scans nothing" 0 stats.Witness.pairs;
+  (* out-of-triangle windows are rejected *)
+  (try
+     ignore (Witness.scan ~range:(0, total + 1) ~k:2 ~max_n ());
+     Alcotest.fail "oversized range accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Witness.scan ~range:(-1, 4) ~k:2 ~max_n ());
+    Alcotest.fail "negative range accepted"
+  with Invalid_argument _ -> ()
+
+let test_scan_range_sharded_cover () =
+  (* splitting the triangle into disjoint windows and merging the shard
+     caches reproduces the single-scan frontier exactly — the property
+     lib/dist's merge rests on. An exhausted scan (no early exit) keeps
+     the covered pair set deterministic on both sides. *)
+  let max_n = 8 in
+  let total = max_n * (max_n + 1) / 2 in
+  let frontiers cache =
+    Cache.fold cache ~init:[] ~f:(fun acc key ~win ~lose ->
+        if win >= 0 || lose < max_int then (key, win, lose) :: acc else acc)
+    |> List.sort compare
+  in
+  let whole = Cache.create () in
+  ignore (Witness.scan ~engine:(Witness.Cached whole) ~k:2 ~max_n ());
+  let merged = Cache.create () in
+  let shard = (total + 2) / 3 in
+  for i = 0 to 2 do
+    let lo = min total (i * shard) and hi = min total ((i + 1) * shard) in
+    let c = Cache.create () in
+    ignore (Witness.scan ~engine:(Witness.Cached c) ~range:(lo, hi) ~k:2 ~max_n ());
+    List.iter
+      (fun (key, win, lose) ->
+        if win >= 0 then Cache.store merged key ~k:win true;
+        if lose < max_int then Cache.store merged key ~k:lose false)
+      (frontiers c)
+  done;
+  check "sharded windows merge to the single-scan frontier" true
+    (frontiers whole = frontiers merged)
+
 let test_classes_engine_agreement () =
   let seed = Witness.classes ~k:1 ~max_n:7 () in
   List.iter
@@ -150,6 +232,10 @@ let tests =
       Alcotest.test_case "scan: all engines agree with seed" `Quick
         test_scan_engine_agreement;
       Alcotest.test_case "scan statistics are coherent" `Quick test_scan_stats;
+      Alcotest.test_case "windowed scans: split, find, resume, reject" `Quick
+        test_scan_range;
+      Alcotest.test_case "disjoint windows merge to the full frontier" `Quick
+        test_scan_range_sharded_cover;
       Alcotest.test_case "classes: all engines agree with seed" `Quick
         test_classes_engine_agreement;
       Alcotest.test_case "classes past the initial array capacity" `Quick
