@@ -407,8 +407,10 @@ let measure_frontier ~max_n =
 (* Sharded-scan measurement: the same exhaustive frontier worked by N
    `Dist.Worker` processes (plain forks — no solver domains, so this is
    the multi-process path, not the multi-domain one) over a shared
-   directory, against a single-process baseline. Forking happens only
-   after every bechamel test has joined its domains. *)
+   directory, against a single-process baseline. This must run BEFORE
+   any bechamel test: OCaml 5 refuses Unix.fork once any other domain
+   has ever been created, joined or not, and the parallel benchmarks
+   create domains. *)
 
 type sharded_measure = {
   sh_max_n : int;
@@ -498,9 +500,14 @@ let write_json ~path ~smoke ~estimates ~frontier ~sharded =
   in
   Obs.Jsonw.to_file path (fun j ->
       Obs.Jsonw.obj j (fun j ->
-          Obs.Jsonw.field_string j "schema" "efgame-bench/1";
+          (* /2 added the engine and environment fields; timings are only
+             comparable between reports that agree on both *)
+          Obs.Jsonw.field_string j "schema" "efgame-bench/2";
           Obs.Jsonw.field_bool j "smoke" smoke;
           Obs.Jsonw.field_string j "units" "ns_per_run";
+          Obs.Jsonw.field_string j "engine"
+            (Efgame.Repr.to_string (Efgame.Repr.default ()));
+          Obs.Jsonw.field j "environment" (Obs.Env.emit (Obs.Env.capture ()));
           Obs.Jsonw.field j "benchmarks" (fun j ->
               Obs.Jsonw.obj j (fun j ->
                   List.iter
@@ -550,6 +557,14 @@ let () =
     | [] -> None
   in
   let json = find_path "--json" args in
+  (match find_path "--engine" args with
+  | Some name -> (
+      match Efgame.Repr.of_string (String.lowercase_ascii name) with
+      | Ok r -> Efgame.Repr.set_default r
+      | Error msg ->
+          prerr_endline ("bench: --engine: " ^ msg);
+          exit 2)
+  | None -> ());
   (match find_path "--trace" args with
   | Some path ->
       Obs.Trace.start ~path;
@@ -562,24 +577,35 @@ let () =
   | None -> ());
   let filter =
     let rec go = function
-      | ("--json" | "--trace" | "--metrics") :: _ :: rest -> go rest
+      | ("--json" | "--trace" | "--metrics" | "--engine") :: _ :: rest ->
+          go rest
       | a :: rest -> if a = "--smoke" then go rest else Some a
       | [] -> None
     in
     go args
   in
-  Printf.printf "bench: monotonic clock, OLS ns/run estimates%s\n%!"
+  Printf.printf "bench: monotonic clock, OLS ns/run estimates, engine=%s%s\n%!"
+    (Efgame.Repr.to_string (Efgame.Repr.default ()))
     (if smoke then " (smoke mode: single runs, timings not meaningful)" else "");
+  (* the fork-based sharded measure must precede the bechamel runs (see
+     its comment); the frontier measure rides along for cache locality
+     of the code path, not out of necessity *)
+  let measures =
+    match json with
+    | None -> None
+    | Some _ ->
+        let sharded =
+          measure_sharded
+            ~max_n:(if smoke then 48 else 96)
+            ~shards:8 ~workers:3
+        in
+        let frontier = measure_frontier ~max_n:(if smoke then 48 else 96) in
+        Some (frontier, sharded)
+  in
   let estimates = benchmark ~smoke filter in
-  match json with
-  | None -> ()
-  | Some path ->
+  match (json, measures) with
+  | Some path, Some (frontier, sharded) ->
       (* smoke keeps the CI lane fast; the full measurement is the one
          checked in as BENCH_efgame.json *)
-      let frontier = measure_frontier ~max_n:(if smoke then 48 else 96) in
-      let sharded =
-        measure_sharded
-          ~max_n:(if smoke then 48 else 96)
-          ~shards:8 ~workers:3
-      in
       write_json ~path ~smoke ~estimates ~frontier ~sharded
+  | _ -> ()

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Ablation sweep: one bench report per solver engine plus the
+# one-flag-at-a-time ablation matrix, all into a single output
+# directory. This is what the ablation-matrix CI job runs (in --smoke
+# mode) and what a workstation run uses to regenerate BENCH_efgame.json
+# (full mode; copy bench-packed.json over the committed baseline).
+#
+#   bench/sweep.sh OUTDIR [--smoke] [--reps N]
+#
+# Produces:
+#   OUTDIR/bench-packed.json     bench --json under --engine packed
+#   OUTDIR/bench-boxed.json      bench --json under --engine boxed
+#   OUTDIR/ablation-matrix.json  the ablate.exe matrix (schema efgame-ablate/1)
+#
+# Every report embeds the environment block (hostname, CPU, domain
+# count, OCaml version), so downstream comparisons can detect — and
+# refuse to hard-fail on — numbers from a different machine.
+set -euo pipefail
+
+outdir="${1:?usage: bench/sweep.sh OUTDIR [--smoke] [--reps N]}"
+shift
+smoke=""
+reps=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --smoke) smoke="--smoke"; shift ;;
+    --reps) reps="--reps $2"; shift 2 ;;
+    *) echo "sweep.sh: unknown argument $1" >&2; exit 2 ;;
+  esac
+done
+
+mkdir -p "$outdir"
+
+for engine in packed boxed; do
+  echo "== bench --engine $engine $smoke =="
+  dune exec bench/main.exe -- $smoke --engine "$engine" \
+    --json "$outdir/bench-$engine.json"
+done
+
+echo "== ablation matrix =="
+dune exec bench/ablate.exe -- $smoke $reps --json "$outdir/ablation-matrix.json"
+
+echo "sweep: reports in $outdir/"

@@ -40,6 +40,7 @@ let write_scan_json ~path ~mode ~k ~max_n ~jobs ~budget ~outcome ~stop_reason
       J.obj w (fun w ->
           J.field_string w "schema" "efgame-scan/1";
           J.field_string w "mode" mode;
+          J.field_string w "engine" (Efgame.Repr.to_string (Efgame.Repr.default ()));
           J.field_int w "k" k;
           J.field_int w "max_n" max_n;
           J.field_int w "jobs" jobs;
@@ -100,8 +101,11 @@ let write_scan_json ~path ~mode ~k ~max_n ~jobs ~budget ~outcome ~stop_reason
 
 let run words rounds explain budget scan classes frontier max_n use_cache jobs
     stats table resume salvage checkpoint_s deadline_s inject_faults json trace
-    metrics quiet verbose =
+    metrics engine_repr quiet verbose =
   Obs.Log.setup ~quiet ~verbosity:(List.length verbose) ();
+  (* the flag outranks the EFGAME_ENGINE environment default; every solver
+     entry point below picks the engine up via [Repr.default] *)
+  Efgame.Repr.set_default engine_repr;
   (match Rt.Fault.setup ?spec:inject_faults () with
   | Ok () ->
       if Rt.Fault.enabled () then
@@ -776,6 +780,13 @@ let metrics_arg =
              per-worker share, checkpoint bytes) and dump the merged \
              snapshot to $(docv) on exit.")
 
+let engine_arg =
+  Arg.(value
+       & opt (enum [ ("packed", Efgame.Repr.Packed); ("boxed", Efgame.Repr.Boxed) ])
+           (Efgame.Repr.default ())
+       & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:"Solver engine: $(b,packed) (succinct representations —                  integer factor ids, arena configurations, packed memo keys)                  or $(b,boxed) (the string-based reference engine). The two                  are verdict-identical on every instance; packed is the                  faster default. Overrides the EFGAME_ENGINE environment                  variable.")
+
 let quiet_arg =
   Arg.(value & flag & info [ "q"; "quiet" ]
        ~doc:"Suppress progress and diagnostic lines on stderr (errors are \
@@ -789,8 +800,8 @@ let main_term =
   Term.(const run $ words_arg $ rounds_arg $ explain_arg $ budget_arg $ scan_arg
         $ classes_arg $ frontier_arg $ max_arg $ cache_arg $ jobs_arg $ stats_arg
         $ table_arg $ resume_arg $ salvage_arg $ checkpoint_arg $ deadline_arg
-        $ faults_arg $ json_arg $ trace_arg $ metrics_arg $ quiet_arg
-        $ verbose_arg)
+        $ faults_arg $ json_arg $ trace_arg $ metrics_arg $ engine_arg
+        $ quiet_arg $ verbose_arg)
 
 let table_info_cmd =
   let file =
@@ -821,10 +832,41 @@ let table_merge_cmd =
              Also serves as a v1-to-v2 converter.")
     Term.(const table_merge $ out $ ins $ salvage_arg $ quiet_arg $ verbose_arg)
 
+(* A canonical text rendering of a table's exact-verdict frontiers:
+   one line per entry, sorted, with the key escaped — two tables are
+   semantically equal iff their dumps are byte-equal. The
+   engine-equivalence CI job diffs the dumps of scans run under the
+   packed and boxed engines. *)
+let table_dump file salvage quiet verbose =
+  Obs.Log.setup ~quiet ~verbosity:(List.length verbose) ();
+  let cache = Efgame.Cache.create () in
+  match Efgame.Persist.load ~salvage cache file with
+  | Error e ->
+      Format.eprintf "%s: %a@." file Efgame.Persist.pp_error e;
+      exit 2
+  | Ok _ ->
+      Efgame.Cache.fold cache ~init:[] ~f:(fun acc key ~win ~lose ->
+          Printf.sprintf "%s\twin<=%d\tlose>=%s" (String.escaped key) win
+            (if lose = max_int then "inf" else string_of_int lose)
+          :: acc)
+      |> List.sort String.compare
+      |> List.iter print_endline;
+      exit 0
+
+let table_dump_cmd =
+  let file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+         ~doc:"The snapshot to dump.")
+  in
+  Cmd.v
+    (Cmd.info "dump"
+       ~doc:"Print a table's entries as sorted, escaped text — one line per              position with its exact-verdict frontiers. Two snapshots hold              the same verdicts iff their dumps are byte-identical, which is              how the engine-equivalence CI job compares scans run under              different solver engines.")
+    Term.(const table_dump $ file $ salvage_arg $ quiet_arg $ verbose_arg)
+
 let table_cmd =
   Cmd.group
     (Cmd.info "table" ~doc:"Inspect and maintain persisted table snapshots.")
-    [ table_info_cmd; table_merge_cmd ]
+    [ table_info_cmd; table_merge_cmd; table_dump_cmd ]
 
 (* ------------------------------------------------- shard command group *)
 

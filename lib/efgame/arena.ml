@@ -1,0 +1,60 @@
+(* Growable stack of int pairs with explicit mark/release, the packed
+   engine's configuration store: game entries live in two parallel int
+   arrays instead of cons cells, so extending a position during search is
+   two writes and backtracking is a length decrement — no per-node heap
+   allocation, nothing for the GC to trace. A generation counter ticks on
+   every [reset] so tests (and assertions) can detect stale aliasing:
+   any index or mark captured before a reset is invalid afterwards. *)
+
+type t = {
+  mutable a : int array;
+  mutable b : int array;
+  mutable len : int;
+  mutable generation : int;
+}
+
+let create ?(capacity = 64) () =
+  let capacity = max 1 capacity in
+  { a = Array.make capacity 0; b = Array.make capacity 0; len = 0; generation = 0 }
+
+let len t = t.len
+let generation t = t.generation
+let capacity t = Array.length t.a
+
+let reset t =
+  t.len <- 0;
+  t.generation <- t.generation + 1
+
+let grow t =
+  let cap = 2 * Array.length t.a in
+  let a = Array.make cap 0 and b = Array.make cap 0 in
+  Array.blit t.a 0 a 0 t.len;
+  Array.blit t.b 0 b 0 t.len;
+  t.a <- a;
+  t.b <- b
+
+let push t x y =
+  if t.len = Array.length t.a then grow t;
+  t.a.(t.len) <- x;
+  t.b.(t.len) <- y;
+  t.len <- t.len + 1
+
+let pop t =
+  if t.len = 0 then invalid_arg "Arena.pop: empty";
+  t.len <- t.len - 1
+
+let fst_at t i = t.a.(i)
+let snd_at t i = t.b.(i)
+
+let mark t = t.len
+
+let release t m =
+  if m < 0 || m > t.len then invalid_arg "Arena.release: bad mark";
+  t.len <- m
+
+let to_list ?(from = 0) t =
+  List.init (t.len - from) (fun i -> (t.a.(from + i), t.b.(from + i)))
+
+let cols t = (t.a, t.b)
+let col_a t = t.a
+let col_b t = t.b

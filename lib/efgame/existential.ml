@@ -46,7 +46,7 @@ let extension_ok entries e =
 
 exception Budget_exceeded
 
-let decide ?(budget = 50_000_000) cfg k0 =
+let decide_boxed ?(budget = 50_000_000) cfg k0 =
   let left, right = Game.structures cfg in
   let consts = Game.constant_entries cfg in
   let moves =
@@ -89,7 +89,28 @@ let decide ?(budget = 50_000_000) cfg k0 =
     try if wins [] consts k0 then Game.Equiv else Game.Not_equiv
     with Budget_exceeded -> Game.Unknown
 
-let equiv ?sigma ?budget w v k = decide ?budget (Game.make ?sigma w v) k
+let decide ?(budget = 50_000_000) ?repr cfg k0 =
+  let repr = match repr with Some r -> r | None -> Repr.default () in
+  let packed =
+    match repr with
+    | Repr.Boxed -> None
+    | Repr.Packed ->
+        let left, right = Game.structures cfg in
+        Game.constant_entries cfg |> Packed.make_gstate left right
+  in
+  match packed with
+  | None -> decide_boxed ~budget cfg k0
+  | Some g ->
+      (* the one-sided recursion is packed; the top-level preservation
+         check of the constant vector stays boxed (it runs once) *)
+      if not (preserves (Game.constant_entries cfg)) then Game.Not_equiv
+      else (
+        match Packed.run_existential g ~budget k0 with
+        | Some true -> Game.Equiv
+        | Some false -> Game.Not_equiv
+        | None -> Game.Unknown)
+
+let equiv ?sigma ?budget ?repr w v k = decide ?budget ?repr (Game.make ?sigma w v) k
 
 let rec positive_exists (f : Fc.Formula.t) =
   match f with

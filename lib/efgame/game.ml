@@ -158,10 +158,19 @@ type solver = {
   interner : Position.interner;
   cmemo : (int * int, bool) Hashtbl.t; (* (rounds, position id), cached path *)
   unary : (char * int * int) option;
+  repr : Repr.t;
+  packed : Packed.gstate option Lazy.t;
+      (* packed replay of the seed path; only built (and only used) for
+         cache-less full-mode solves from the empty position — the other
+         paths either need the shared table's string keys at every node
+         or a candidate-width limit the packed general search does not
+         carry. Lazy because solver handles are also created by callers
+         that never hit the eligible branch (strategies, winning lines). *)
   mutable nodes : int;
 }
 
-let solver ?(mode = Full) ?(budget = 50_000_000) ?cache cfg =
+let solver ?(mode = Full) ?(budget = 50_000_000) ?cache ?repr cfg =
+  let repr = match repr with Some r -> r | None -> Repr.default () in
   {
     cfg;
     mode;
@@ -171,6 +180,12 @@ let solver ?(mode = Full) ?(budget = 50_000_000) ?cache cfg =
     interner = Position.interner ();
     cmemo = Hashtbl.create 64;
     unary = (match cache with Some _ -> unary_of cfg | None -> None);
+    repr;
+    packed =
+      lazy
+        (match (repr, cache, mode) with
+        | Repr.Packed, None, Full -> Packed.make_gstate cfg.left cfg.right cfg.consts
+        | _ -> None);
     nodes = 0;
   }
 
@@ -392,9 +407,12 @@ let solver_run s pairs0 k0 =
                   pairs0
               in
               let before = Cache.stats cache in
-              let r, n, m =
-                Unary.solve ~cache ~limit ~budget:s.budget ~p ~q ~init k0
+              let usolve =
+                match s.repr with
+                | Repr.Packed -> Packed.solve_unary
+                | Repr.Boxed -> Unary.solve
               in
+              let r, n, m = usolve ~cache ~limit ~budget:s.budget ~p ~q ~init k0 in
               let after = Cache.stats cache in
               cache_hits := !cache_hits + (after.Cache.hits - before.Cache.hits);
               cache_misses :=
@@ -412,9 +430,17 @@ let solver_run s pairs0 k0 =
                   on_budget ();
                   (None, Position.interned s.interner)))
       | _ -> (
-          match wins pairs0 entries0 k0 with
-          | r -> (Some r, Hashtbl.length memo)
-          | exception Budget_exceeded -> (None, Hashtbl.length memo))
+          match (if pairs0 = [] then Lazy.force s.packed else None) with
+          | Some g ->
+              let r, n, m =
+                Packed.run_general g ~nodes0:!nodes ~budget:s.budget k0
+              in
+              nodes := n;
+              (r, m)
+          | None -> (
+              match wins pairs0 entries0 k0 with
+              | r -> (Some r, Hashtbl.length memo)
+              | exception Budget_exceeded -> (None, Hashtbl.length memo)))
   in
   s.nodes <- !nodes;
   ( result,
@@ -453,16 +479,16 @@ let spoiler_moves cfg = function
   | Left -> cfg.left_moves
   | Right -> cfg.right_moves
 
-let decide_with_stats ?(mode = Full) ?(budget = 50_000_000) ?cache cfg k =
-  let s = solver ~mode ~budget ?cache cfg in
+let decide_with_stats ?(mode = Full) ?(budget = 50_000_000) ?cache ?repr cfg k =
+  let s = solver ~mode ~budget ?cache ?repr cfg in
   let result, stats = solver_run s [] k in
   (to_verdict mode result, stats)
 
-let decide ?mode ?budget ?cache cfg k =
-  fst (decide_with_stats ?mode ?budget ?cache cfg k)
+let decide ?mode ?budget ?cache ?repr cfg k =
+  fst (decide_with_stats ?mode ?budget ?cache ?repr cfg k)
 
-let equiv ?sigma ?mode ?budget ?cache w v k =
-  decide ?mode ?budget ?cache (make ?sigma w v) k
+let equiv ?sigma ?mode ?budget ?cache ?repr w v k =
+  decide ?mode ?budget ?cache ?repr (make ?sigma w v) k
 
 (* ------------------------------------------------------------------ *)
 (* Principal variation extraction.                                     *)

@@ -50,7 +50,9 @@ type stats = {
   cache_misses : int;
 }
 
-val decide : ?mode:mode -> ?budget:int -> ?cache:Cache.t -> config -> int -> verdict
+val decide :
+  ?mode:mode -> ?budget:int -> ?cache:Cache.t -> ?repr:Repr.t -> config -> int
+  -> verdict
 (** [decide cfg k]: does Duplicator have a winning strategy for the
     k-round game? [budget] bounds the number of search nodes (default
     50_000_000).
@@ -61,13 +63,21 @@ val decide : ?mode:mode -> ?budget:int -> ?cache:Cache.t -> config -> int -> ver
     replies skip the candidate scan, and unary instances are dispatched
     to the arithmetic fast path ({!Unary}). Verdicts are identical to the
     plain engine on every instance; without [?cache] the seed search runs
-    unchanged. *)
+    unchanged.
+
+    [?repr] selects the solver engine (default {!Repr.default}): [Packed]
+    replays the same search over succinct representations ({!Packed}) on
+    the eligible paths — cache-less full-mode solves from the empty
+    position and cached unary solves — and falls back to the boxed
+    engine elsewhere. Verdicts (and node counts) are identical under
+    both engines on every instance. *)
 
 type solver
 (** A solver handle with a persistent memo table, for deciding many
     positions of the same game (e.g. by solver-backed strategies). *)
 
-val solver : ?mode:mode -> ?budget:int -> ?cache:Cache.t -> config -> solver
+val solver :
+  ?mode:mode -> ?budget:int -> ?cache:Cache.t -> ?repr:Repr.t -> config -> solver
 
 val solver_wins : solver -> (string * string) list -> int -> verdict
 (** [solver_wins s pairs k]: can Duplicator win [k] more rounds from the
@@ -79,11 +89,12 @@ val solver_stats : solver -> stats
     are those of the shared table, when one was supplied. *)
 
 val decide_with_stats :
-  ?mode:mode -> ?budget:int -> ?cache:Cache.t -> config -> int -> verdict * stats
+  ?mode:mode -> ?budget:int -> ?cache:Cache.t -> ?repr:Repr.t -> config -> int
+  -> verdict * stats
 
 val equiv :
   ?sigma:char list -> ?mode:mode -> ?budget:int -> ?cache:Cache.t ->
-  string -> string -> int -> verdict
+  ?repr:Repr.t -> string -> string -> int -> verdict
 (** Convenience wrapper building the config. *)
 
 val winning_line : ?budget:int -> config -> int -> (move * string option) list option

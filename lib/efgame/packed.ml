@@ -1,0 +1,753 @@
+(* The packed solver engine: the boxed searches of [Unary], [Game] and
+   [Existential] replayed over succinct representations — factors as
+   suffix-automaton ids ({!Words.Factor_bitset}), positions as
+   arena-allocated int pairs ({!Arena}), memo keys as packed integers.
+
+   The contract with the boxed engine is strict mirroring: identical move
+   order, identical candidate order, identical pruning, identical budget
+   accounting and identical Obs metrics, so that the two engines expand
+   the same search tree node for node. Verdict identity is what the
+   monotone-merge soundness of the distributed scans rests on (see
+   DESIGN.md); node identity is stronger, and cheap to test. Any
+   divergence in [Unary]/[Game] search order must be ported here (and
+   will be caught by the identity suite in test/test_packed.ml).
+
+   Representation choices, in one place:
+   - a position's entries live in a per-domain {!Arena} (reset at solve
+     start, pushed/popped during search: no per-node allocation);
+   - local memo keys pack the sorted played pairs into one OCaml int
+     whenever they fit in 62 bits, falling back to int-array keys (the
+     number of played pairs is a function of remaining rounds, so the
+     variable-width encoding is unambiguous within a table);
+   - shared-{!Cache} traffic still uses {!Position} string keys, built
+     only at store-eligible depths — table bytes and persistence format
+     are engine-independent. *)
+
+module Factor_bitset = Words.Factor_bitset
+
+exception Budget_exceeded
+
+(* Same registry instances as [Game]/[Unary]: packed nodes land in the
+   same vectors the observability CI cross-checks against scan totals. *)
+let m_nodes = Obs.Metrics.vec ~buckets:8 "game.nodes_by_k"
+let m_prune_dominated = Obs.Metrics.counter "game.prune.dominated"
+let m_prune_forced = Obs.Metrics.counter "game.prune.forced"
+let m_prune_unsat = Obs.Metrics.counter "game.prune.unsat"
+
+(* smallest b >= 1 with v < 2^b *)
+let bits_for v =
+  let rec go b = if v lsr b = 0 then b else go (b + 1) in
+  max 1 (go 0)
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain scratch: one arena and one sort buffer, reused across
+   every packed solve on this domain. Solves reset the arena on entry
+   and are not reentrant, so stack discipline guarantees no state leaks
+   from one solve into the next (asserted by the arena-reuse tests). *)
+
+type scratch = {
+  ar : Arena.t;
+  mutable keybuf : int array;
+  mutable w1buf : int array; (* closure values for the 1-round closed form *)
+}
+
+let scratch_key =
+  Domain.DLS.new_key (fun () ->
+      { ar = Arena.create (); keybuf = Array.make 16 0; w1buf = Array.make 64 0 })
+
+let scratch () = Domain.DLS.get scratch_key
+let scratch_arena () = (scratch ()).ar
+
+let ensure_keybuf s n =
+  if Array.length s.keybuf < n then
+    s.keybuf <- Array.make (max 16 (2 * n)) 0
+
+let ensure_w1buf s n =
+  if Array.length s.w1buf < n then s.w1buf <- Array.make (max 64 (2 * n)) 0
+
+(* ------------------------------------------------------------------ *)
+(* Position memo: one table per remaining-round count. Within a table
+   every key encodes the same number of played pairs, so the packed int
+   (or the int array of packed pairs) is a faithful key. The probe array
+   trick avoids allocating on lookups: probing Hashtbl with a mutable
+   scratch key is sound (hashing and equality are structural); only a
+   store copies. Recursion strictly decreases k, so probe.(k) is stable
+   across the subtree computed under it. *)
+
+module Pmemo = struct
+  type t = {
+    tbl : (int, bool) Hashtbl.t array;
+    big : (int array, bool) Hashtbl.t array;
+    fits : bool array;
+    probe : int array array;
+    pairbits : int;
+  }
+
+  let create ~k0 ~npairs_at ~pairbits =
+    {
+      tbl = Array.init (k0 + 1) (fun _ -> Hashtbl.create 64);
+      big = Array.init (k0 + 1) (fun _ -> Hashtbl.create 8);
+      fits = Array.init (k0 + 1) (fun k -> npairs_at k * pairbits <= 62);
+      probe = Array.init (k0 + 1) (fun k -> Array.make (max 1 (npairs_at k)) 0);
+      pairbits;
+    }
+
+  let size m =
+    let total = ref 0 in
+    Array.iter (fun t -> total := !total + Hashtbl.length t) m.tbl;
+    Array.iter (fun t -> total := !total + Hashtbl.length t) m.big;
+    !total
+
+  (* memoized [compute ()] under the key in buf.[0 .. n-1] *)
+  let cached m k buf n compute =
+    if m.fits.(k) then begin
+      let key = ref 0 in
+      for i = 0 to n - 1 do
+        key := (!key lsl m.pairbits) lor buf.(i)
+      done;
+      let key = !key in
+      match Hashtbl.find_opt m.tbl.(k) key with
+      | Some r -> r
+      | None ->
+          let r = compute () in
+          Hashtbl.replace m.tbl.(k) key r;
+          r
+    end
+    else begin
+      let pr = m.probe.(k) in
+      Array.blit buf 0 pr 0 n;
+      match Hashtbl.find_opt m.big.(k) pr with
+      | Some r -> r
+      | None ->
+          let r = compute () in
+          Hashtbl.replace m.big.(k) (Array.copy pr) r;
+          r
+    end
+end
+
+(* Pack the played pairs (arena indices >= nconsts) into keybuf, each as
+   (x lsl rbits) lor y, insertion-sorted ascending; returns the count.
+   Numeric order on packed pairs is lexicographic order on (x, y), so
+   two positions collide exactly when the boxed sorted pair lists are
+   equal — memo hit patterns match the boxed engine's. *)
+let fill_sorted_pairs s ar ~nconsts ~rbits =
+  let n = Arena.len ar - nconsts in
+  ensure_keybuf s n;
+  let buf = s.keybuf in
+  let xs = Arena.col_a ar and ys = Arena.col_b ar in
+  for i = 0 to n - 1 do
+    let v =
+      (Array.unsafe_get xs (nconsts + i) lsl rbits)
+      lor Array.unsafe_get ys (nconsts + i)
+    in
+    let j = ref i in
+    while !j > 0 && buf.(!j - 1) > v do
+      buf.(!j) <- buf.(!j - 1);
+      decr j
+    done;
+    buf.(!j) <- v
+  done;
+  n
+
+(* ================================================================== *)
+(* Unary engine: Unary.solve over the arena.                           *)
+(* ================================================================== *)
+
+(* Unary.ext_ok over arena entries (consts + played; order-free). The
+   columns are fetched once and read unsafely: no push happens inside,
+   and every index is < len. (Without flambda each [Arena.fst_at] is a
+   real call, and these loops are the scan's inner core.) *)
+let uext_ok ar na nb =
+  let len = Arena.len ar in
+  let xs = Arena.col_a ar and ys = Arena.col_b ar in
+  let rec eq i =
+    i >= len
+    || (na = Array.unsafe_get xs i) = (nb = Array.unsafe_get ys i)
+       && eq (i + 1)
+  and outer i =
+    i >= len
+    ||
+    let x = Array.unsafe_get xs i and y = Array.unsafe_get ys i in
+    (x = na + na) = (y = nb + nb)
+    && inner x y 0
+    && outer (i + 1)
+  and inner x y j =
+    j >= len
+    ||
+    let u = Array.unsafe_get xs j and v = Array.unsafe_get ys j in
+    (na = x + u) = (nb = y + v)
+    && (x = na + u) = (y = nb + v)
+    && inner x y (j + 1)
+  in
+  eq 0 && outer 0
+
+(* Unary.forced_reply over the arena, oriented by [swap] (false: Spoiler
+   moved on the left). Returns the forced reply or -1 (unconstrained);
+   raises Unary.Unsat exactly when the boxed version does. *)
+let uforced_reply ar ~swap ~other_max a =
+  let len = Arena.len ar in
+  let l = Arena.col_a ar and r = Arena.col_b ar in
+  (* orientation = exchanging the columns, hoisted out of the loops *)
+  let xs = if swap then r else l and ys = if swap then l else r in
+  let forced = ref (-1) in
+  let force v =
+    if v < 0 || v > other_max then raise Unary.Unsat
+    else if !forced = -1 then forced := v
+    else if !forced <> v then raise Unary.Unsat
+  in
+  for i = 0 to len - 1 do
+    let x = Array.unsafe_get xs i and y = Array.unsafe_get ys i in
+    if x = a + a then
+      if y land 1 = 1 then raise Unary.Unsat else force (y asr 1);
+    for j = 0 to len - 1 do
+      let u = Array.unsafe_get xs j and v = Array.unsafe_get ys j in
+      if x + u = a then force (y + v);
+      if x = a + u then force (y - v)
+    done
+  done;
+  !forced
+
+(* Additive closure of one arena column (the [swap]-oriented "mine"
+   side), clipped to [2..max_v]: values x + u, x - u, x / 2 over the
+   column's entries, deduplicated into [buf]. Returns the count. Mirrors
+   [Unary.closure]; order is irrelevant (the caller folds a conjunction
+   over the values). *)
+let uclosure ar ~swap ~max_v buf =
+  let len = Arena.len ar in
+  let l = Arena.col_a ar and r = Arena.col_b ar in
+  let xs = if swap then r else l in
+  let n = ref 0 in
+  let add v =
+    if v >= 2 && v <= max_v then begin
+      let dup = ref false in
+      for i = 0 to !n - 1 do
+        if buf.(i) = v then dup := true
+      done;
+      if not !dup then begin
+        buf.(!n) <- v;
+        incr n
+      end
+    end
+  in
+  for i = 0 to len - 1 do
+    let x = Array.unsafe_get xs i in
+    if x land 1 = 0 then add (x asr 1);
+    for j = 0 to len - 1 do
+      add (x + Array.unsafe_get xs j);
+      add (x - Array.unsafe_get xs j)
+    done
+  done;
+  !n
+
+(* The 1-round closed form over the arena — [Unary.w1] without the list
+   round-trip. This is the leaf of every unary search, so it carries most
+   of a scan's work; unlike the recursive case there is no node or metric
+   accounting inside, so only the boolean must match the boxed form (and
+   does, case for case). *)
+let uw1 s ar ~p ~q =
+  let len = Arena.len ar in
+  ensure_w1buf s (len * ((2 * len) + 1));
+  let buf = s.w1buf in
+  let side ~swap ~mine_max ~other_max =
+    let cs_n = uclosure ar ~swap ~max_v:mine_max buf in
+    let ok = ref true in
+    for ci = 0 to cs_n - 1 do
+      if !ok then
+        let a = buf.(ci) in
+        match uforced_reply ar ~swap ~other_max a with
+        | exception Unary.Unsat -> ok := false
+        | -1 ->
+            (* unreachable for closure moves; kept for exactness *)
+            let rec scan b =
+              b <= other_max
+              && ((if swap then uext_ok ar b a else uext_ok ar a b)
+                 || scan (b + 1))
+            in
+            if not (scan 0) then ok := false
+        | b ->
+            if not (if swap then uext_ok ar b a else uext_ok ar a b) then
+              ok := false
+    done;
+    !ok
+    &&
+    (* generic moves exist iff the closure misses part of [2..mine_max] *)
+    let generic_move = cs_n < max 0 (mine_max - 1) in
+    (not generic_move)
+    ||
+    let cs'_n = uclosure ar ~swap:(not swap) ~max_v:other_max buf in
+    cs'_n < max 0 (other_max - 1)
+  in
+  side ~swap:false ~mine_max:p ~other_max:q
+  && side ~swap:true ~mine_max:q ~other_max:p
+
+let solve_unary ?cache ?(store_depth = max_int) ?(limit = max_int)
+    ?(budget = 50_000_000) ~p ~q ~init k0 =
+  if p < 1 || q < 1 then
+    invalid_arg "Packed.solve_unary: need p >= 1 and q >= 1";
+  let s = scratch () in
+  let ar = s.ar in
+  Arena.reset ar;
+  Arena.push ar 0 0;
+  Arena.push ar 1 1;
+  let nconsts = 2 in
+  let full = limit = max_int in
+  let nodes = ref 0 in
+  let rbits = bits_for (max p q) in
+  let npairs0 = List.length init in
+  let memo =
+    Pmemo.create ~k0
+      ~npairs_at:(fun k -> npairs0 + (k0 - k))
+      ~pairbits:(2 * rbits)
+  in
+  let candidates_l = Unary.candidate_table ~mine_max:p ~other_max:q in
+  let candidates_r = Unary.candidate_table ~mine_max:q ~other_max:p in
+  let order_l = Unary.move_order p and order_r = Unary.move_order q in
+  let rec wins k =
+    incr nodes;
+    Obs.Metrics.vec_incr m_nodes k;
+    if !nodes > budget then raise Budget_exceeded;
+    if k = 0 then true
+    else
+      let n = fill_sorted_pairs s ar ~nconsts ~rbits in
+      Pmemo.cached memo k s.keybuf n (fun () -> compute k n)
+  and compute k n =
+    if k = 1 then
+      (* closed form; like the boxed engine, never touches the shared
+         table (the computation is cheaper than building its key) *)
+      uw1 s ar ~p ~q
+    else
+      let gkey =
+        match cache with
+        | Some _ when n <= store_depth ->
+            Some (Position.unary_key ~p ~q (Arena.to_list ~from:nconsts ar))
+        | _ -> None
+      in
+      let cached_r =
+        match (cache, gkey) with
+        | Some c, Some key -> Cache.lookup c key ~k
+        | _ -> None
+      in
+      match cached_r with
+      | Some r -> r
+      | None ->
+          let r = spoiler false k && spoiler true k in
+          (match (cache, gkey) with
+          | Some c, Some key ->
+              (* limited-mode failures are not genuine Spoiler wins *)
+              if r || full then Cache.store c key ~k r
+          | _ -> ());
+          r
+  and spoiler swap k =
+    let rec moves = function
+      | [] -> true
+      | a :: rest -> (dominated a || survives a) && moves rest
+    and dominated a =
+      let len = Arena.len ar in
+      let l = Arena.col_a ar and r = Arena.col_b ar in
+      let xs = if swap then r else l in
+      let rec go i = i < len && (Array.unsafe_get xs i = a || go (i + 1)) in
+      let d = go nconsts in
+      if d then Obs.Metrics.incr m_prune_dominated;
+      d
+    and survives a =
+      let other_max = if swap then p else q in
+      match uforced_reply ar ~swap ~other_max a with
+      | exception Unary.Unsat ->
+          Obs.Metrics.incr m_prune_unsat;
+          false
+      | -1 ->
+          let cands = if swap then candidates_r a else candidates_l a in
+          if full then List.exists (fun b -> try_reply a b) cands
+          else
+            let rec go i = function
+              | [] -> false
+              | b :: rest -> i < limit && (try_reply a b || go (i + 1) rest)
+            in
+            go 0 cands
+      | b ->
+          Obs.Metrics.incr m_prune_forced;
+          try_reply a b
+    and try_reply a b =
+      let na, nb = if swap then (b, a) else (a, b) in
+      uext_ok ar na nb
+      && begin
+           Arena.push ar na nb;
+           let r = wins (k - 1) in
+           Arena.pop ar;
+           r
+         end
+    in
+    moves (if swap then order_r else order_l)
+  in
+  (* validate the initial position entry by entry (same fold as boxed:
+     once an entry fails, later ones are not added) *)
+  let valid = ref true in
+  List.iter
+    (fun (l, r) ->
+      if !valid && l >= 0 && l <= p && r >= 0 && r <= q && uext_ok ar l r
+      then Arena.push ar l r
+      else valid := false)
+    init;
+  let result =
+    if not !valid then Some false
+    else try Some (wins k0) with Budget_exceeded -> None
+  in
+  (result, !nodes, Pmemo.size memo)
+
+(* ================================================================== *)
+(* General engine: Game's seed path (and Existential's one-sided game) *)
+(* over factor ids.                                                    *)
+(* ================================================================== *)
+
+type gside = {
+  fb : Factor_bitset.t;
+  lexrank : int array; (* id -> rank in String.compare order *)
+  wlen : int;
+}
+
+type gstate = {
+  gl : gside;
+  gr : gside;
+  consts_l : int array; (* parallel entry coordinates; -1 encodes ⊥ *)
+  consts_r : int array;
+  moves_l : int array; (* Spoiler moves, longest first (desc len, lex) *)
+  moves_r : int array;
+  xmap_lr : int array; (* left id -> right id of the same string, or -1 *)
+  xmap_rl : int array;
+  cand_l : int array option array; (* response order per left move *)
+  cand_r : int array option array;
+  lbits : int;
+  gbits : int; (* bits of a packed (left, right) pair: lbits + rbits *)
+}
+
+(* String.compare on two factors of one word, via character reads. *)
+let cmp_lex fb i j =
+  if i = j then 0
+  else
+    let w = Factor_bitset.word fb in
+    let li = Factor_bitset.length fb i and lj = Factor_bitset.length fb j in
+    let si = Factor_bitset.start fb i and sj = Factor_bitset.start fb j in
+    let m = if li < lj then li else lj in
+    let rec go k =
+      if k = m then compare li lj
+      else
+        let c = Char.compare w.[si + k] w.[sj + k] in
+        if c <> 0 then c else go (k + 1)
+    in
+    go 0
+
+(* Game.by_desc_length: descending length, then String.compare. *)
+let cmp_desc_len fb i j =
+  let c = compare (Factor_bitset.length fb j) (Factor_bitset.length fb i) in
+  if c <> 0 then c else cmp_lex fb i j
+
+let make_gside w =
+  let fb = Factor_bitset.of_word w in
+  let size = Factor_bitset.size fb in
+  let ids = Array.init size Fun.id in
+  Array.sort (cmp_lex fb) ids;
+  let lexrank = Array.make size 0 in
+  Array.iteri (fun rank id -> lexrank.(id) <- rank) ids;
+  { fb; lexrank; wlen = String.length w }
+
+let const_ids fb proj consts =
+  List.map
+    (fun e ->
+      match proj e with
+      | None -> -1
+      | Some v -> (
+          match Factor_bitset.id_of fb v with
+          | Some i -> i
+          | None -> invalid_arg "Packed.make_gstate: constant not a factor"))
+    consts
+  |> Array.of_list
+
+let movable side consts =
+  let size = Factor_bitset.size side.fb in
+  let skip = Factor_bitset.Bitset.create size in
+  Array.iter (fun i -> if i >= 0 then Factor_bitset.Bitset.add skip i) consts;
+  let out = ref [] in
+  for i = size - 1 downto 0 do
+    if not (Factor_bitset.Bitset.mem skip i) then out := i :: !out
+  done;
+  let arr = Array.of_list !out in
+  Array.sort (cmp_desc_len side.fb) arr;
+  arr
+
+let cross_map from_ to_ =
+  Array.init (Factor_bitset.size from_.fb) (fun a ->
+      Factor_bitset.id_of_sub to_.fb
+        (Factor_bitset.word from_.fb)
+        ~off:(Factor_bitset.start from_.fb a)
+        ~len:(Factor_bitset.length from_.fb a))
+
+let make_gstate left right consts =
+  let lw = Fc.Structure.word left and rw = Fc.Structure.word right in
+  let gl = make_gside lw and gr = make_gside rw in
+  let fl = Factor_bitset.size gl.fb and fr = Factor_bitset.size gr.fb in
+  (* The packed candidate sort key multiplexes (penalty, distance,
+     lex rank, id) into one int; bail out to the boxed engine when the
+     instance is too large for that to fit (far beyond current use). *)
+  if gl.wlen + gr.wlen > 4000 || fl > 1 lsl 20 || fr > 1 lsl 20 then None
+  else
+    Some
+      {
+        gl;
+        gr;
+        consts_l = const_ids gl.fb fst consts;
+        consts_r = const_ids gr.fb snd consts;
+        moves_l = movable gl (const_ids gl.fb fst consts);
+        moves_r = movable gr (const_ids gr.fb snd consts);
+        xmap_lr = cross_map gl gr;
+        xmap_rl = cross_map gr gl;
+        cand_l = Array.make fl None;
+        cand_r = Array.make fr None;
+        lbits = bits_for (max 1 (fl - 1));
+        gbits = bits_for (max 1 (fl - 1)) + bits_for (max 1 (fr - 1));
+      }
+
+(* Game.response_candidates' tail: the whole response universe sorted by
+   (score, response) — the score is position-independent, so the order
+   is computed once per (side, move) and reused at every node. Key
+   layout (most significant first): identical-response flag, prefix/
+   suffix status penalty, length distance, lexicographic rank — exactly
+   the boxed ((-1|0, penalty, distance), string) sort key. *)
+let build_candidates ~from_ ~to_ ~xmap a =
+  let ft = Factor_bitset.size to_.fb in
+  let rbits = bits_for (max 1 (ft - 1)) in
+  let la = Factor_bitset.length from_.fb a in
+  let lf = from_.wlen and lt = to_.wlen in
+  let apre = Factor_bitset.is_word_prefix from_.fb a in
+  let asuf = Factor_bitset.is_word_suffix from_.fb a in
+  let xa = xmap.(a) in
+  let arr =
+    Array.init ft (fun r ->
+        let key =
+          if r = xa then 0
+          else
+            let lr = Factor_bitset.length to_.fb r in
+            let pen =
+              (if Factor_bitset.is_word_prefix to_.fb r = apre then 0 else 1)
+              + if Factor_bitset.is_word_suffix to_.fb r = asuf then 0 else 1
+            in
+            let mirror = abs (lt - lr - (lf - la)) in
+            let direct = abs (lr - la) in
+            let dist = if mirror < direct then mirror else direct in
+            1 + (((pen * (lf + lt + 1)) + dist) * ft) + to_.lexrank.(r)
+        in
+        (key lsl rbits) lor r)
+  in
+  Array.sort (fun (x : int) y -> compare x y) arr;
+  let mask = (1 lsl rbits) - 1 in
+  Array.map (fun v -> v land mask) arr
+
+let candidates st swap a =
+  let tbl = if swap then st.cand_r else st.cand_l in
+  match tbl.(a) with
+  | Some arr -> arr
+  | None ->
+      let arr =
+        if swap then
+          build_candidates ~from_:st.gr ~to_:st.gl ~xmap:st.xmap_rl a
+        else build_candidates ~from_:st.gl ~to_:st.gr ~xmap:st.xmap_lr a
+      in
+      tbl.(a) <- Some arr;
+      arr
+
+(* Game.derived_candidates over ids: same patterns, same discovery order
+   (most recent play first, then constants in declaration order — the
+   boxed entries list), same dedup; responses that are not factors of
+   the target word are dropped here instead of by a post-filter, which
+   yields the same sequence. *)
+let derived st ar ~nconsts swap a =
+  let from_ = if swap then st.gr else st.gl in
+  let to_ = if swap then st.gl else st.gr in
+  let ffb = from_.fb and tfb = to_.fb in
+  let len = Arena.len ar in
+  let nplayed = len - nconsts in
+  let idx t = if t < nplayed then len - 1 - t else t - nplayed in
+  let x_at t =
+    let i = idx t in
+    if swap then Arena.snd_at ar i else Arena.fst_at ar i
+  in
+  let y_at t =
+    let i = idx t in
+    if swap then Arena.fst_at ar i else Arena.snd_at ar i
+  in
+  let la = Factor_bitset.length ffb a in
+  let out = ref [] in
+  let add r = if not (List.mem r !out) then out := r :: !out in
+  for ti = 0 to len - 1 do
+    let xi = x_at ti and yi = y_at ti in
+    if xi >= 0 && yi >= 0 then
+      for tj = 0 to len - 1 do
+        let xj = x_at tj and yj = y_at tj in
+        if xj >= 0 && yj >= 0 then begin
+          (* a = xi · xj  ⇒  respond yi · yj *)
+          if Factor_bitset.concat ffb xi xj = a then begin
+            let r = Factor_bitset.concat tfb yi yj in
+            if r >= 0 then add r
+          end;
+          let li = Factor_bitset.length ffb xi in
+          let lj = Factor_bitset.length ffb xj in
+          let lyi = Factor_bitset.length tfb yi in
+          let lyj = Factor_bitset.length tfb yj in
+          (* xi = a · xj  ⇒  respond yi with suffix yj removed *)
+          if
+            li = la + lj
+            && Factor_bitset.is_prefix_of ffb a xi
+            && Factor_bitset.is_suffix_of ffb xj xi
+            && Factor_bitset.is_suffix_of tfb yj yi
+          then add (Factor_bitset.sub_id tfb yi ~off:0 ~len:(lyi - lyj));
+          (* xi = xj · a  ⇒  respond yi with prefix yj removed *)
+          if
+            li = lj + la
+            && Factor_bitset.is_prefix_of ffb xj xi
+            && Factor_bitset.is_suffix_of ffb a xi
+            && Factor_bitset.is_prefix_of tfb yj yi
+          then add (Factor_bitset.sub_id tfb yi ~off:lyj ~len:(lyi - lyj))
+        end
+      done
+  done;
+  List.rev !out
+
+let c3 fb x y z = x >= 0 && y >= 0 && z >= 0 && Factor_bitset.concat fb y z = x
+
+(* Partial_iso.extension_ok over ids: pairwise equality-pattern checks
+   of the new entry against every entry, then every concatenation triple
+   containing the new entry (index -1 below). *)
+let ext_ok st ar nl nr =
+  let len = Arena.len ar in
+  let rec pairs i =
+    i >= len
+    || (nl = Arena.fst_at ar i) = (nr = Arena.snd_at ar i) && pairs (i + 1)
+  in
+  pairs 0
+  &&
+  let getl t = if t < 0 then nl else Arena.fst_at ar t in
+  let getr t = if t < 0 then nr else Arena.snd_at ar t in
+  let tri i j k =
+    c3 st.gl.fb (getl i) (getl j) (getl k)
+    = c3 st.gr.fb (getr i) (getr j) (getr k)
+  in
+  let ok = ref true in
+  let i = ref (-1) in
+  while !ok && !i < len do
+    let j = ref (-1) in
+    while !ok && !j < len do
+      if
+        not (tri (-1) !i !j && tri !i (-1) !j && tri !i !j (-1))
+      then ok := false;
+      incr j
+    done;
+    incr i
+  done;
+  !ok
+
+(* Existential.extension_ok: one-directional preservation (left patterns
+   must transfer to the right; the converse imposes nothing). *)
+let ext_ok_exist st ar nl nr =
+  let len = Arena.len ar in
+  let rec pairs i =
+    i >= len
+    || (Arena.fst_at ar i <> nl || Arena.snd_at ar i = nr) && pairs (i + 1)
+  in
+  pairs 0
+  &&
+  let getl t = if t < 0 then nl else Arena.fst_at ar t in
+  let getr t = if t < 0 then nr else Arena.snd_at ar t in
+  let tri i j k =
+    (not (c3 st.gl.fb (getl i) (getl j) (getl k)))
+    || c3 st.gr.fb (getr i) (getr j) (getr k)
+  in
+  let ok = ref true in
+  let i = ref (-1) in
+  while !ok && !i < len do
+    let j = ref (-1) in
+    while !ok && !j < len do
+      if
+        not (tri (-1) !i !j && tri !i (-1) !j && tri !i !j (-1))
+      then ok := false;
+      incr j
+    done;
+    incr i
+  done;
+  !ok
+
+(* The shared ∀∃ recursion. [exist] selects Existential's one-sided game
+   (Left moves only, directional extension check, no Obs metrics — the
+   boxed Existential emits none). *)
+let run st ~exist ~metrics ~nodes0 ~budget k0 =
+  let s = scratch () in
+  let ar = s.ar in
+  Arena.reset ar;
+  let nconsts = Array.length st.consts_l in
+  for i = 0 to nconsts - 1 do
+    Arena.push ar st.consts_l.(i) st.consts_r.(i)
+  done;
+  let rbits = st.gbits - st.lbits in
+  let nodes = ref nodes0 in
+  let memo = Pmemo.create ~k0 ~npairs_at:(fun k -> k0 - k) ~pairbits:st.gbits in
+  let rec wins k =
+    incr nodes;
+    if metrics then Obs.Metrics.vec_incr m_nodes k;
+    if !nodes > budget then raise Budget_exceeded;
+    if k = 0 then true
+    else
+      let n = fill_sorted_pairs s ar ~nconsts ~rbits in
+      Pmemo.cached memo k s.keybuf n (fun () ->
+          if exist then spoiler false k
+          else spoiler false k && spoiler true k)
+  and spoiler swap k =
+    let moves = if swap then st.moves_r else st.moves_l in
+    let nmoves = Array.length moves in
+    let rec go i = i >= nmoves || (try_move moves.(i) && go (i + 1))
+    and try_move a = dominated a || survives a
+    and dominated a =
+      let len = Arena.len ar in
+      let rec scan i =
+        i < len
+        && ((if swap then Arena.snd_at ar i else Arena.fst_at ar i) = a
+           || scan (i + 1))
+      in
+      let d = scan nconsts in
+      if d && metrics then Obs.Metrics.incr m_prune_dominated;
+      d
+    and survives a =
+      let d = derived st ar ~nconsts swap a in
+      let rec tryd = function
+        | [] ->
+            let cand = candidates st swap a in
+            let m = Array.length cand in
+            let rec rest i =
+              i < m
+              &&
+              let r = cand.(i) in
+              if List.mem r d then rest (i + 1)
+              else try_reply a r || rest (i + 1)
+            in
+            rest 0
+        | r :: more -> try_reply a r || tryd more
+      in
+      tryd d
+    and try_reply a r =
+      let nl, nr = if swap then (r, a) else (a, r) in
+      (if exist then ext_ok_exist st ar nl nr else ext_ok st ar nl nr)
+      && begin
+           Arena.push ar nl nr;
+           let v = wins (k - 1) in
+           Arena.pop ar;
+           v
+         end
+    in
+    go 0
+  in
+  let result = (try Some (wins k0) with Budget_exceeded -> None) in
+  (result, !nodes, Pmemo.size memo)
+
+let run_general st ?(nodes0 = 0) ~budget k0 =
+  run st ~exist:false ~metrics:true ~nodes0 ~budget k0
+
+let run_existential st ~budget k0 =
+  let r, _, _ = run st ~exist:true ~metrics:false ~nodes0:0 ~budget k0 in
+  r

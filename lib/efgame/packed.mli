@@ -1,0 +1,72 @@
+(** The packed solver engine: succinct-representation replays of the
+    boxed searches in {!Unary}, {!Game} and {!Existential}.
+
+    Factors become suffix-automaton ids ({!Words.Factor_bitset}), game
+    configurations live in a per-domain {!Arena}, and memo keys are
+    packed integers — but the search itself is a node-for-node mirror of
+    the boxed engine: same move order, same candidate order, same
+    pruning, same budget accounting, same shared-{!Cache} traffic and
+    Obs metrics. Verdict identity between the engines is load-bearing
+    (distributed scans merge verdicts monotonically; see DESIGN.md) and
+    is enforced by the identity suite in test/test_packed.ml, which also
+    checks the stronger node-count identity.
+
+    Engine selection is {!Repr}; dispatch lives in {!Game},
+    {!Existential} and {!Witness}. *)
+
+exception Budget_exceeded
+
+val solve_unary :
+  ?cache:Cache.t ->
+  ?store_depth:int ->
+  ?limit:int ->
+  ?budget:int ->
+  p:int ->
+  q:int ->
+  init:(int * int) list ->
+  int ->
+  bool option * int * int
+(** Drop-in replacement for {!Unary.solve}: same signature, same
+    verdicts, same node counts, same shared-cache reads and writes.
+    Positions are arena entries instead of pair lists and local memo
+    keys are packed ints instead of hashed lists. *)
+
+(** {1 General (two-word) games} *)
+
+type gstate
+(** Packed solver state for a fixed (left, right, constants) instance:
+    both factor indexes, cross-word factor maps, move arrays and
+    memoized per-move candidate orders. Reusable across solves of the
+    same instance. *)
+
+val make_gstate :
+  Fc.Structure.t ->
+  Fc.Structure.t ->
+  (string option * string option) list ->
+  gstate option
+(** [None] when the instance exceeds the packed key budget (words or
+    factor sets too large to multiplex sort keys into an int) — callers
+    fall back to the boxed engine. Raises [Invalid_argument] if a
+    defined constant is not a factor of its word (boxed configs cannot
+    represent that either). *)
+
+val run_general :
+  gstate -> ?nodes0:int -> budget:int -> int -> bool option * int * int
+(** The seed {!Game} search from the empty position: [(verdict, nodes,
+    memo_entries)] with [nodes] counted on top of [nodes0] (so a
+    caller's running total threads through budget checks exactly as in
+    the boxed solver). [None] on budget exhaustion. *)
+
+val run_existential :
+  gstate -> budget:int -> int -> bool option
+(** The one-sided {!Existential} search (Spoiler moves left only,
+    directional preservation). The caller performs Existential's
+    top-level [preserves consts] check; this is only the recursion. *)
+
+(** {1 Test hooks} *)
+
+val scratch_arena : unit -> Arena.t
+(** This domain's solve arena (shared by all packed solves on the
+    domain). Exposed so tests can assert the reuse discipline: resets
+    advance the generation, and no configuration survives across
+    solves. *)

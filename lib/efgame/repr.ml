@@ -1,0 +1,22 @@
+type t = Boxed | Packed
+
+let to_string = function Boxed -> "boxed" | Packed -> "packed"
+
+let of_string = function
+  | "boxed" -> Ok Boxed
+  | "packed" -> Ok Packed
+  | s -> Error (Printf.sprintf "unknown engine %S (expected boxed|packed)" s)
+
+let pp ppf r = Format.pp_print_string ppf (to_string r)
+
+let initial =
+  match Sys.getenv_opt "EFGAME_ENGINE" with
+  | None | Some "" -> Packed
+  | Some s -> (
+      match of_string (String.lowercase_ascii s) with
+      | Ok r -> r
+      | Error msg -> invalid_arg ("EFGAME_ENGINE: " ^ msg))
+
+let current = ref initial
+let default () = !current
+let set_default r = current := r

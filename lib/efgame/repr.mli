@@ -1,0 +1,25 @@
+(** Solver engine selection: boxed (string/list) vs packed (succinct).
+
+    Both engines run the same ∀∃ search over the same move and candidate
+    orders and are verdict-identical (node-for-node, in fact — see the
+    identity tests and the DESIGN.md note); they differ only in how
+    positions, factors and partial isomorphisms are represented. The
+    boxed engine is the readable reference; the packed engine
+    ({!Packed}) is the hot path.
+
+    The session default comes from the [EFGAME_ENGINE] environment
+    variable ([boxed] or [packed]; packed when unset) and can be
+    overridden programmatically ({!set_default}) or per call via the
+    [?repr] parameters of {!Game}, {!Existential} and {!Witness}. *)
+
+type t = Boxed | Packed
+
+val default : unit -> t
+(** The engine used when a [?repr] argument is omitted. *)
+
+val set_default : t -> unit
+(** Override the session default (the CLI's [--engine] flag). *)
+
+val of_string : string -> (t, string) result
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -23,6 +23,10 @@
     search is the same ∀∃ recursion over the same move/candidate space,
     only the representation differs. *)
 
+exception Unsat
+(** Raised by {!forced_reply} when a Spoiler move refutes the position:
+    its forced replies conflict or fall outside the reply range. *)
+
 val solve :
   ?cache:Cache.t ->
   ?store_depth:int ->
@@ -47,3 +51,36 @@ val solve :
     re-reachable, so verdicts are unaffected. Returns
     [(result, nodes, memo_entries)]; [result] is [None] when the node
     [budget] is exhausted. *)
+
+(** {1 Search internals}
+
+    The exact move/candidate machinery of {!solve}, exposed so the packed
+    engine ({!Packed.solve_unary}) can replay the identical search over
+    its arena representation. Any change here changes both engines in
+    lockstep — which is precisely how they stay node-for-node identical. *)
+
+val ext_ok : (int * int) list -> int -> int -> bool
+(** Partial-isomorphism extension check in arithmetic form; [entries]
+    include the constants [(0, 0)] and [(1, 1)]. *)
+
+val forced_reply : (int * int) list -> other_max:int -> int -> int option
+(** The reply pinned down by additive patterns, [None] when
+    unconstrained; raises {!Unsat} when no reply can preserve the
+    partial isomorphism. *)
+
+val candidate_order : mine_max:int -> other_max:int -> int -> int list
+(** Duplicator reply order for a Spoiler move (exhaustive, heuristically
+    ranked). *)
+
+val candidate_table : mine_max:int -> other_max:int -> int -> int list
+(** Per-move memoization of {!candidate_order} (one table per partial
+    application). *)
+
+val closure : int list -> max_v:int -> int list
+(** Additive closure of played coordinates, clipped to [2..max_v]. *)
+
+val w1 : (int * int) list -> p:int -> q:int -> bool
+(** Exact closed form for the 1-round game from the given entries. *)
+
+val move_order : int -> int list
+(** Spoiler move order over [2..m] (hi/lo interleaved). *)

@@ -34,11 +34,11 @@ let verdict_of_result = function
    solver (with the transposition table when present). [store_depth]
    bounds the depth at which the shared table is touched (see
    {!Unary.solve}); it never affects verdicts. *)
-let decide_pair_counted ?budget ?(engine = Seed) ?(store_depth = max_int) ~k p q
-    =
+let decide_pair_counted ?budget ?(engine = Seed) ?(store_depth = max_int) ?repr
+    ~k p q =
   let general ?cache () =
     let verdict, st =
-      Game.decide_with_stats ?budget ?cache (Game.make (unary p) (unary q)) k
+      Game.decide_with_stats ?budget ?cache ?repr (Game.make (unary p) (unary q)) k
     in
     (verdict, st.Game.nodes)
   in
@@ -47,24 +47,27 @@ let decide_pair_counted ?budget ?(engine = Seed) ?(store_depth = max_int) ~k p q
   | Cached cache | Parallel (cache, _) ->
       if p >= 1 && q >= 1 then
         let budget = Option.value budget ~default:50_000_000 in
-        let r, nodes, _ =
-          Unary.solve ~cache ~store_depth ~budget ~p ~q ~init:[] k
+        let solve =
+          match (match repr with Some r -> r | None -> Repr.default ()) with
+          | Repr.Packed -> Packed.solve_unary
+          | Repr.Boxed -> Unary.solve
         in
+        let r, nodes, _ = solve ~cache ~store_depth ~budget ~p ~q ~init:[] k in
         (verdict_of_result r, nodes)
       else general ~cache ()
 
-let decide_pair ?budget ?engine ?store_depth ~k p q =
-  fst (decide_pair_counted ?budget ?engine ?store_depth ~k p q)
+let decide_pair ?budget ?engine ?store_depth ?repr ~k p q =
+  fst (decide_pair_counted ?budget ?engine ?store_depth ?repr ~k p q)
 
 (* Monotonicity prefilter: Duplicator surviving k rounds survives any
    prefix of the play, so ≡_k ⊆ ≡_j for every j < k. Testing the cheap
    low-round games first refutes most pairs long before the k-round
    search runs; every skip is justified by an exact Not_equiv verdict,
    so exhaustive-scan claims remain sound. *)
-let check_chain_counted ?budget ~engine ?store_depth ~k p q =
+let check_chain_counted ?budget ~engine ?store_depth ?repr ~k p q =
   let nodes = ref 0 in
   let decide k' =
-    let v, n = decide_pair_counted ?budget ~engine ?store_depth ~k:k' p q in
+    let v, n = decide_pair_counted ?budget ~engine ?store_depth ?repr ~k:k' p q in
     nodes := !nodes + n;
     v
   in
@@ -134,7 +137,7 @@ let cache_counters engine =
       (s.Cache.hits, s.Cache.misses)
 
 let scan ?budget ?(engine = Seed) ?(store_depth = 0) ?range ?on_q ?on_tick
-    ?stop ~k ~max_n () =
+    ?stop ?repr ~k ~max_n () =
   let total = max_n * (max_n + 1) / 2 in
   let lo, hi = match range with None -> (0, total) | Some (lo, hi) -> (lo, hi) in
   if lo < 0 || hi > total || lo > hi then
@@ -163,7 +166,7 @@ let scan ?budget ?(engine = Seed) ?(store_depth = 0) ?range ?on_q ?on_tick
     let v, n =
       Obs.Trace.with_span "pair"
         ~args:(fun () -> [ ("p", Obs.Trace.I p); ("q", Obs.Trace.I q) ])
-        (fun () -> check_chain_counted ?budget ~engine ~store_depth ~k p q)
+        (fun () -> check_chain_counted ?budget ~engine ~store_depth ?repr ~k p q)
     in
     ignore (Atomic.fetch_and_add nodes n);
     match v with
@@ -212,8 +215,8 @@ let scan ?budget ?(engine = Seed) ?(store_depth = 0) ?range ?on_q ?on_tick
   in
   (outcome, stats)
 
-let minimal_pair ?budget ?engine ?on_q ~k ~max_n () =
-  fst (scan ?budget ?engine ?on_q ~k ~max_n ())
+let minimal_pair ?budget ?engine ?on_q ?repr ~k ~max_n () =
+  fst (scan ?budget ?engine ?on_q ?repr ~k ~max_n ())
 
 (* ------------------------------------------------------------------ *)
 (* Class decomposition: place each item against the current

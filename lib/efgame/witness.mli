@@ -45,6 +45,7 @@ val scan :
   ?on_q:(int -> unit) ->
   ?on_tick:(completed:int -> unit) ->
   ?stop:(unit -> bool) ->
+  ?repr:Repr.t ->
   k:int ->
   max_n:int ->
   unit ->
@@ -87,12 +88,17 @@ val scan :
     checkpoints ({!Persist.save}). [stop] is polled at item granularity;
     once it returns true the scan winds down cooperatively and the
     outcome is [Interrupted] — the signal/deadline hook for crash-safe
-    checkpoint-then-exit. *)
+    checkpoint-then-exit.
+
+    [?repr] selects the solver engine for every pair decided by the scan
+    (default {!Repr.default}); verdict tables are bit-identical across
+    engines — the engine-equivalence CI job asserts exactly this. *)
 
 val minimal_pair :
   ?budget:int ->
   ?engine:engine ->
   ?on_q:(int -> unit) ->
+  ?repr:Repr.t ->
   k:int ->
   max_n:int ->
   unit ->

@@ -1,0 +1,47 @@
+let cpu_model () =
+  match open_in "/proc/cpuinfo" with
+  | exception Sys_error _ -> "unknown"
+  | ic ->
+      let rec go () =
+        match input_line ic with
+        | exception End_of_file -> None
+        | line when String.starts_with ~prefix:"model name" line -> (
+            match String.index_opt line ':' with
+            | Some i ->
+                Some
+                  (String.trim
+                     (String.sub line (i + 1) (String.length line - i - 1)))
+            | None -> go ())
+        | _ -> go ()
+      in
+      let m = go () in
+      close_in ic;
+      Option.value m ~default:"unknown"
+
+type t = {
+  hostname : string;
+  cpu : string;
+  domains : int;
+  ocaml_version : string;
+  word_size : int;
+  os : string;
+}
+
+let capture () =
+  {
+    hostname = (try Unix.gethostname () with Unix.Unix_error _ -> "unknown");
+    cpu = cpu_model ();
+    domains = Domain.recommended_domain_count ();
+    ocaml_version = Sys.ocaml_version;
+    word_size = Sys.word_size;
+    os = Sys.os_type;
+  }
+
+let emit t j =
+  Jsonw.obj j (fun j ->
+      Jsonw.field_string j "hostname" t.hostname;
+      Jsonw.field_string j "cpu" t.cpu;
+      Jsonw.field_int j "recommended_domains" t.domains;
+      Jsonw.field_string j "ocaml_version" t.ocaml_version;
+      Jsonw.field_int j "word_size" t.word_size;
+      Jsonw.field_string j "os" t.os)

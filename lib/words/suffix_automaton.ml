@@ -3,6 +3,7 @@ type state = {
   mutable link : int;
   mutable next : (char * int) list;
   mutable occurrences : int; (* endpos class size, filled after build *)
+  mutable first_end : int; (* minimal end position (1-indexed) of the class *)
 }
 
 type t = { word : string; states : state array; size : int }
@@ -11,7 +12,8 @@ let build w =
   let n = String.length w in
   let cap = max 2 ((2 * n) + 2) in
   let states =
-    Array.init cap (fun _ -> { len = 0; link = -1; next = []; occurrences = 0 })
+    Array.init cap (fun _ ->
+        { len = 0; link = -1; next = []; occurrences = 0; first_end = 0 })
   in
   let size = ref 1 in
   let last = ref 0 in
@@ -25,6 +27,7 @@ let build w =
       incr size;
       states.(cur).len <- states.(!last).len + 1;
       states.(cur).occurrences <- 1;
+      states.(cur).first_end <- states.(cur).len;
       let p = ref !last in
       while !p >= 0 && get !p c = None do
         set !p c cur;
@@ -41,6 +44,7 @@ let build w =
            states.(clone).next <- states.(q).next;
            states.(clone).link <- states.(q).link;
            states.(clone).occurrences <- 0;
+           states.(clone).first_end <- states.(q).first_end;
            while !p >= 0 && get !p c = Some q do
              set !p c clone;
              p := states.(!p).link
@@ -61,6 +65,12 @@ let build w =
 
 let word t = t.word
 let state_count t = t.size
+
+(* Read-only per-state access for index builders ({!Factor_bitset}). *)
+let state_len t v = t.states.(v).len
+let state_link t v = t.states.(v).link
+let state_first_end t v = t.states.(v).first_end
+let step t v c = List.assoc_opt c t.states.(v).next
 
 let walk t u =
   let rec go q i =

@@ -24,3 +24,25 @@ val count_factors : t -> int
 val count_occurrences : t -> string -> int
 (** Number of (possibly overlapping) occurrences of a factor; 0 when not a
     factor. *)
+
+(** {1 Per-state access}
+
+    Read-only view of the automaton's structure, for index builders
+    ({!Factor_bitset}) that assign dense factor ids from the end-position
+    classes. States are numbered [0 .. state_count t - 1]; 0 is the
+    initial state. *)
+
+val state_len : t -> int -> int
+(** Length of the longest factor in the state's class. The class covers
+    exactly the lengths [state_len t (state_link t v) + 1 .. state_len t v]. *)
+
+val state_link : t -> int -> int
+(** Suffix link (-1 for the initial state). *)
+
+val state_first_end : t -> int -> int
+(** Minimal end position (1-indexed, i.e. number of characters of [word t]
+    consumed) at which the state's factors occur; every factor [u] of the
+    class occurs as [word t[first_end - |u| .. first_end - 1]]. *)
+
+val step : t -> int -> char -> int option
+(** One DFA transition. *)

@@ -1,0 +1,287 @@
+(* The packed engine is a node-for-node replay of the boxed search: on
+   every instance the two engines must agree not just on the verdict but
+   on the number of expanded nodes, the local-memo size, and the shared
+   cache traffic — the strongest cheap certificate that the search trees
+   coincide. Plus the arena discipline: per-domain scratch reuse across
+   solves must never let one solve's configurations alias into the
+   next. *)
+
+open Efgame
+
+let unary n = String.make n 'a'
+
+let verdict = Alcotest.testable Game.pp_verdict (fun a b -> a = b)
+
+(* unary pairs straddling the ≡₁/≡₂ frontiers, ε, the same-word
+   diagonal, mixed alphabets, non-unary shapes — the corpus of the
+   cache-identity suite plus packed-specific edge shapes *)
+let instances =
+  [
+    ("", "a", 0);
+    ("", "", 2);
+    ("", "ab", 1);
+    ("a", "a", 2);
+    ("ab", "ba", 0);
+    ("ab", "ba", 1);
+    ("ab", "aa", 0);
+    (unary 2, unary 1, 2);
+    (unary 4, unary 3, 2);
+    (unary 3, unary 4, 1);
+    (unary 2, unary 3, 1);
+    (unary 8, unary 9, 2);
+    (unary 5, unary 5, 3);
+    ("abab", "abab", 3);
+    ("abab", "baba", 2);
+    ("abba", "abab", 2);
+    (unary 4 ^ "bbb", unary 3 ^ "bbb", 1);
+    (unary 4 ^ "bbb", unary 3 ^ "bbb", 2);
+    ("aaaabbb", "aaabbb", 2);
+    ("ab", "aabb", 1);
+    ("ab", "aabb", 2);
+    ("abc", "cba", 2);
+    ("aab", "abb", 3);
+  ]
+
+let stats_tuple (st : Game.stats) =
+  ( (st.Game.nodes, st.Game.memo_entries),
+    (st.Game.cache_hits, st.Game.cache_misses) )
+
+let check_identity ?budget (w, v, k) =
+  let cfg = Game.make w v in
+  let bv, bs = Game.decide_with_stats ?budget ~repr:Repr.Boxed cfg k in
+  let pv, ps = Game.decide_with_stats ?budget ~repr:Repr.Packed cfg k in
+  let label = Printf.sprintf "%S vs %S @%d" w v k in
+  Alcotest.check verdict label bv pv;
+  Alcotest.(check (pair (pair int int) (pair int int)))
+    (label ^ " stats") (stats_tuple bs) (stats_tuple ps)
+
+let test_general_identity () = List.iter check_identity instances
+
+let test_general_identity_budget () =
+  (* budget exhaustion must hit at the same node on both engines *)
+  List.iter
+    (fun b -> check_identity ~budget:b (unary 6, unary 7, 3))
+    [ 1; 10; 100; 1000; 100_000 ]
+
+let test_unary_identity () =
+  for p = 1 to 9 do
+    for q = p to 9 do
+      for k = 0 to 3 do
+        let b = Unary.solve ~p ~q ~init:[] k in
+        let pk = Packed.solve_unary ~p ~q ~init:[] k in
+        Alcotest.(check (triple (option bool) int int))
+          (Printf.sprintf "a^%d vs a^%d @%d" p q k)
+          b pk
+      done
+    done
+  done
+
+let test_unary_identity_init_limit () =
+  let inits = [ []; [ (2, 2) ]; [ (3, 2); (2, 3) ]; [ (5, 9) ]; [ (0, 0) ] ] in
+  List.iter
+    (fun init ->
+      List.iter
+        (fun limit ->
+          let b = Unary.solve ~limit ~p:7 ~q:9 ~init 3 in
+          let pk = Packed.solve_unary ~limit ~p:7 ~q:9 ~init 3 in
+          Alcotest.(check (triple (option bool) int int))
+            (Printf.sprintf "init=%d limit=%d" (List.length init) limit)
+            b pk)
+        [ 1; 2; 4; max_int ])
+    inits
+
+let test_unary_cache_traffic () =
+  (* identical shared-table reads, writes and final contents: stats
+     counters and per-(k, depth) verdicts must match entry for entry *)
+  List.iter
+    (fun store_depth ->
+      let run solve =
+        let cache = Cache.create () in
+        let out = ref [] in
+        for q = 2 to 8 do
+          for p = 1 to q - 1 do
+            for k = 1 to 3 do
+              let r, n, _ = solve ~cache ~store_depth ~p ~q ~init:[] k in
+              out := (p, q, k, r, n) :: !out
+            done
+          done
+        done;
+        let st = Cache.stats cache in
+        (!out, st.Cache.hits, st.Cache.misses, st.Cache.entries)
+      in
+      let b = run (fun ~cache ~store_depth ~p ~q ~init k ->
+          Unary.solve ~cache ~store_depth ~p ~q ~init k)
+      in
+      let pk = run (fun ~cache ~store_depth ~p ~q ~init k ->
+          Packed.solve_unary ~cache ~store_depth ~p ~q ~init k)
+      in
+      let _, bh, bm, be = b and _, ph, pm, pe = pk in
+      let proj (o, _, _, _) = o in
+      Alcotest.(check bool)
+        (Printf.sprintf "verdicts+nodes (depth %d)" store_depth)
+        true
+        (proj b = proj pk);
+      Alcotest.(check (triple int int int))
+        (Printf.sprintf "cache traffic (depth %d)" store_depth)
+        (bh, bm, be) (ph, pm, pe))
+    [ 0; 1; max_int ]
+
+let test_existential_identity () =
+  List.iter
+    (fun (w, v, k) ->
+      let cfg = Game.make w v in
+      Alcotest.check verdict
+        (Printf.sprintf "exist %S vs %S @%d" w v k)
+        (Existential.decide ~repr:Repr.Boxed cfg k)
+        (Existential.decide ~repr:Repr.Packed cfg k))
+    instances
+
+let test_scan_identity () =
+  (* the engine-equivalence claim at test scale: frontier scans under
+     both engines produce the same outcome and expand the same number of
+     nodes *)
+  List.iter
+    (fun k ->
+      let run repr = Witness.scan ~repr ~k ~max_n:14 () in
+      let bo, bs = run Repr.Boxed and po, ps = run Repr.Packed in
+      Alcotest.(check bool)
+        (Printf.sprintf "scan outcome @k=%d" k)
+        true (bo = po);
+      Alcotest.(check int)
+        (Printf.sprintf "scan nodes @k=%d" k)
+        bs.Witness.nodes ps.Witness.nodes)
+    [ 1; 2 ]
+
+(* ------------------------------------------------------------------ *)
+(* Randomized identity *)
+
+let gen_word =
+  QCheck.Gen.(
+    sized_size (int_bound 6) (fun n ->
+        map
+          (fun l -> String.init (List.length l) (List.nth l))
+          (list_repeat n (oneofl [ 'a'; 'b' ]))))
+
+let arb_pair_k =
+  QCheck.make
+    ~print:(fun (w, v, k) -> Printf.sprintf "(%S, %S, %d)" w v k)
+    QCheck.Gen.(
+      map3 (fun w v k -> (w, v, k)) gen_word gen_word (int_range 0 3))
+
+let qcheck_general_identity =
+  QCheck.Test.make ~count:120 ~name:"packed = boxed (random general)"
+    arb_pair_k (fun (w, v, k) ->
+      let cfg = Game.make w v in
+      let bv, bs = Game.decide_with_stats ~repr:Repr.Boxed cfg k in
+      let pv, ps = Game.decide_with_stats ~repr:Repr.Packed cfg k in
+      bv = pv && stats_tuple bs = stats_tuple ps)
+
+let arb_unary =
+  QCheck.make
+    ~print:(fun (p, q, k, init) ->
+      Printf.sprintf "(p=%d, q=%d, k=%d, init=[%s])" p q k
+        (String.concat ";"
+           (List.map (fun (l, r) -> Printf.sprintf "%d,%d" l r) init)))
+    QCheck.Gen.(
+      let pair = map2 (fun l r -> (l, r)) (int_bound 13) (int_bound 13) in
+      map3
+        (fun p q (k, init) -> (p, q, k, init))
+        (int_range 1 12) (int_range 1 12)
+        (map2 (fun k init -> (k, init)) (int_range 0 3)
+           (list_size (int_bound 2) pair)))
+
+let qcheck_unary_identity =
+  QCheck.Test.make ~count:300 ~name:"packed = boxed (random unary)" arb_unary
+    (fun (p, q, k, init) ->
+      Unary.solve ~p ~q ~init k = Packed.solve_unary ~p ~q ~init k)
+
+(* ------------------------------------------------------------------ *)
+(* Arena discipline *)
+
+let test_arena_basics () =
+  let a = Arena.create ~capacity:2 () in
+  Alcotest.(check int) "empty" 0 (Arena.len a);
+  Arena.push a 1 2;
+  Arena.push a 3 4;
+  Arena.push a 5 6;
+  (* grows past initial capacity *)
+  Alcotest.(check int) "len" 3 (Arena.len a);
+  Alcotest.(check (pair int int)) "entry 1" (3, 4) (Arena.fst_at a 1, Arena.snd_at a 1);
+  Alcotest.(check (list (pair int int)))
+    "to_list" [ (1, 2); (3, 4); (5, 6) ] (Arena.to_list a);
+  Alcotest.(check (list (pair int int)))
+    "to_list from" [ (3, 4); (5, 6) ] (Arena.to_list ~from:1 a);
+  Arena.pop a;
+  Alcotest.(check int) "pop" 2 (Arena.len a);
+  let m = Arena.mark a in
+  Arena.push a 7 8;
+  Arena.push a 9 10;
+  Arena.release a m;
+  Alcotest.(check int) "release" 2 (Arena.len a)
+
+let test_arena_stale_mark () =
+  let a = Arena.create () in
+  Arena.push a 1 1;
+  Arena.push a 2 2;
+  let m = Arena.mark a in
+  let g = Arena.generation a in
+  Arena.reset a;
+  Alcotest.(check int) "generation bumped" (g + 1) (Arena.generation a);
+  Alcotest.(check int) "reset empties" 0 (Arena.len a);
+  (* a mark taken before the reset exceeds the emptied stack: refusing it
+     is what makes cross-solve aliasing impossible *)
+  Alcotest.check_raises "stale mark refused"
+    (Invalid_argument "Arena.release: bad mark") (fun () -> Arena.release a m)
+
+let test_arena_reuse_no_aliasing () =
+  (* interleave distinct solves on the shared per-domain arena: each
+     must reproduce its fresh-arena answer exactly (result AND node
+     count), and each solve must start a new arena generation *)
+  let solve_a () = Packed.solve_unary ~p:5 ~q:7 ~init:[] 3 in
+  let solve_b () = Packed.solve_unary ~p:9 ~q:11 ~init:[ (4, 4) ] 3 in
+  let solve_c () = Packed.solve_unary ~p:2 ~q:3 ~init:[] 2 in
+  let fresh_a = solve_a () and fresh_b = solve_b () and fresh_c = solve_c () in
+  let g0 = Arena.generation (Packed.scratch_arena ()) in
+  Alcotest.(check bool) "a replays" true (solve_a () = fresh_a);
+  Alcotest.(check bool) "b replays" true (solve_b () = fresh_b);
+  Alcotest.(check bool) "a replays after b" true (solve_a () = fresh_a);
+  Alcotest.(check bool) "c replays" true (solve_c () = fresh_c);
+  Alcotest.(check bool) "b replays after c" true (solve_b () = fresh_b);
+  let g1 = Arena.generation (Packed.scratch_arena ()) in
+  Alcotest.(check int) "one generation per solve" (g0 + 5) g1
+
+let test_arena_isolated_across_engines () =
+  (* a boxed solve between two packed solves must not perturb the packed
+     replay (the engines share nothing but code) *)
+  let before = Packed.solve_unary ~p:6 ~q:8 ~init:[] 3 in
+  let _ = Unary.solve ~p:7 ~q:9 ~init:[] 3 in
+  let _ = Game.decide_with_stats ~repr:Repr.Boxed (Game.make "ab" "ba") 2 in
+  Alcotest.(check bool)
+    "packed unperturbed" true
+    (Packed.solve_unary ~p:6 ~q:8 ~init:[] 3 = before)
+
+let tests =
+  ( "packed_engine",
+    [
+      Alcotest.test_case "general identity (corpus)" `Quick
+        test_general_identity;
+      Alcotest.test_case "general identity under budgets" `Quick
+        test_general_identity_budget;
+      Alcotest.test_case "unary identity (grid)" `Quick test_unary_identity;
+      Alcotest.test_case "unary identity (init, limit)" `Quick
+        test_unary_identity_init_limit;
+      Alcotest.test_case "unary cache traffic identity" `Quick
+        test_unary_cache_traffic;
+      Alcotest.test_case "existential identity" `Quick
+        test_existential_identity;
+      Alcotest.test_case "scan identity" `Slow test_scan_identity;
+      QCheck_alcotest.to_alcotest qcheck_general_identity;
+      QCheck_alcotest.to_alcotest qcheck_unary_identity;
+      Alcotest.test_case "arena basics" `Quick test_arena_basics;
+      Alcotest.test_case "arena stale mark refused" `Quick
+        test_arena_stale_mark;
+      Alcotest.test_case "arena reuse, no stale aliasing" `Quick
+        test_arena_reuse_no_aliasing;
+      Alcotest.test_case "arena isolated across engines" `Quick
+        test_arena_isolated_across_engines;
+    ] )
