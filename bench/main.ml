@@ -567,7 +567,7 @@ let () =
   | None -> ());
   (match find_path "--trace" args with
   | Some path ->
-      Obs.Trace.start ~path;
+      Obs.Trace.start ~path ();
       at_exit Obs.Trace.finish
   | None -> ());
   (match find_path "--metrics" args with

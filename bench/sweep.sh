@@ -19,12 +19,14 @@ set -euo pipefail
 
 outdir="${1:?usage: bench/sweep.sh OUTDIR [--smoke] [--reps N]}"
 shift
-smoke=""
-reps=""
+# option pass-throughs are arrays, never word-split strings: every
+# expansion below stays quoted and an empty option vanishes cleanly
+smoke=()
+reps=()
 while [ $# -gt 0 ]; do
   case "$1" in
-    --smoke) smoke="--smoke"; shift ;;
-    --reps) reps="--reps $2"; shift 2 ;;
+    --smoke) smoke=(--smoke); shift ;;
+    --reps) reps=(--reps "$2"); shift 2 ;;
     *) echo "sweep.sh: unknown argument $1" >&2; exit 2 ;;
   esac
 done
@@ -32,12 +34,13 @@ done
 mkdir -p "$outdir"
 
 for engine in packed boxed; do
-  echo "== bench --engine $engine $smoke =="
-  dune exec bench/main.exe -- $smoke --engine "$engine" \
+  echo "== bench --engine $engine ${smoke[*]:-} =="
+  dune exec bench/main.exe -- ${smoke[@]+"${smoke[@]}"} --engine "$engine" \
     --json "$outdir/bench-$engine.json"
 done
 
 echo "== ablation matrix =="
-dune exec bench/ablate.exe -- $smoke $reps --json "$outdir/ablation-matrix.json"
+dune exec bench/ablate.exe -- ${smoke[@]+"${smoke[@]}"} ${reps[@]+"${reps[@]}"} \
+  --json "$outdir/ablation-matrix.json"
 
 echo "sweep: reports in $outdir/"

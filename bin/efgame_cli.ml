@@ -101,7 +101,7 @@ let write_scan_json ~path ~mode ~k ~max_n ~jobs ~budget ~outcome ~stop_reason
 
 let run words rounds explain budget scan classes frontier max_n use_cache jobs
     stats table resume salvage checkpoint_s deadline_s inject_faults json trace
-    metrics engine_repr quiet verbose =
+    metrics telemetry telemetry_interval flight engine_repr quiet verbose =
   Obs.Log.setup ~quiet ~verbosity:(List.length verbose) ();
   (* the flag outranks the EFGAME_ENGINE environment default; every solver
      entry point below picks the engine up via [Repr.default] *)
@@ -117,13 +117,36 @@ let run words rounds explain budget scan classes frontier max_n use_cache jobs
   (* telemetry sinks flush on every exit path via at_exit *)
   (match trace with
   | Some path ->
-      Obs.Trace.start ~path;
+      Obs.Trace.start ~path ();
       at_exit Obs.Trace.finish
   | None -> ());
   (match metrics with
   | Some path ->
       Obs.Metrics.enable ();
       at_exit (fun () -> Obs.Metrics.dump ~path)
+  | None -> ());
+  (* the flight ring dumps from the signal path (handlers run at safe
+     points, so file I/O is fine there) and again at exit — the exit
+     dump runs after the final checkpoint, so a SIGTERMed scan's last
+     flight events include that checkpoint *)
+  (match flight with
+  | Some path ->
+      Obs.Events.enable ();
+      Rt.Signal.add_hook (fun _ -> Obs.Events.dump ~path);
+      at_exit (fun () -> Obs.Events.dump ~path)
+  | None -> ());
+  let progress_pairs = Atomic.make 0 in
+  (match telemetry with
+  | Some path ->
+      (* a telemetry snapshot embeds the merged metrics, so the counters
+         must be armed even without --metrics *)
+      Obs.Metrics.enable ();
+      let t =
+        Obs.Telemetry.start ~interval:telemetry_interval ?flight
+          ~progress:(fun () -> [ ("pairs", Atomic.get progress_pairs) ])
+          ~path ()
+      in
+      at_exit (fun () -> Obs.Telemetry.stop_publisher t)
   | None -> ());
   (* a frontier scan is table-driven by definition; --jobs > 1 and
      --table each imply --cache as well *)
@@ -238,7 +261,8 @@ let run words rounds explain budget scan classes frontier max_n use_cache jobs
         (match loaded_bound with Some (_, m) -> m | None -> 0)
         (total - range_lo) total;
     let last_save = ref (Unix.gettimeofday ()) in
-    let on_tick ~completed:_ =
+    let on_tick ~completed =
+      Atomic.set progress_pairs completed;
       if checkpoint_s > 0. then begin
         let now = Unix.gettimeofday () in
         let due = now -. !last_save >= checkpoint_s in
@@ -271,6 +295,9 @@ let run words rounds explain budget scan classes frontier max_n use_cache jobs
             ~on_tick ~stop ~k ~max_n ())
     in
     let wall_s = Unix.gettimeofday () -. t0 in
+    (* the last scheduler tick can trail the final pair; publish the
+       drained count so the exit telemetry snapshot is exact *)
+    Atomic.set progress_pairs scan_stats.Efgame.Witness.pairs;
     (* the scheduler has drained (or been stopped): always take the
        final checkpoint here, so a clean exit carries resumable state.
        An Exhausted outcome upgrades the header's proven bound — the
@@ -447,6 +474,93 @@ let table_merge out ins salvage quiet verbose =
         Efgame.Persist.pp_error e;
       exit 2
 
+(* ---------------------------------------------------- trace subcommands *)
+
+(* Merge per-process Chrome trace files into one fleet timeline. Each
+   input's events are re-stamped with a fresh pid (1..N in merge
+   order), so Perfetto shows one named process per worker with one
+   track per domain under it — the (worker, domain) grid. Process-name
+   metadata survives; a duplicate label is suffixed with its pid so
+   two workers that both called themselves "efgame" stay
+   distinguishable. An unreadable input is skipped, not fatal, exactly
+   like a corrupt shard table under [table merge]. *)
+let trace_merge out ins quiet verbose =
+  Obs.Log.setup ~quiet ~verbosity:(List.length verbose) ();
+  let module R = Obs.Jsonr in
+  let module J = Obs.Jsonw in
+  let seen_labels = Hashtbl.create 8 in
+  let merged = ref 0 and skipped = ref 0 in
+  let chunks = ref [] in
+  List.iter
+    (fun file ->
+      match R.of_file file with
+      | Error e ->
+          incr skipped;
+          Obs.Log.err ~tag:"trace" "%s: skipped: %s" file e
+      | Ok doc -> (
+          match R.mem_list "traceEvents" doc with
+          | None ->
+              incr skipped;
+              Obs.Log.err ~tag:"trace" "%s: skipped: no traceEvents array"
+                file
+          | Some evs ->
+              incr merged;
+              let pid = !merged in
+              let rename label =
+                if Hashtbl.mem seen_labels label then
+                  Printf.sprintf "%s #%d" label pid
+                else begin
+                  Hashtbl.add seen_labels label ();
+                  label
+                end
+              in
+              let remap ev =
+                match ev with
+                | R.Obj fields ->
+                    let is_process_name =
+                      R.mem_string "ph" ev = Some "M"
+                      && R.mem_string "name" ev = Some "process_name"
+                    in
+                    R.Obj
+                      (List.map
+                         (fun (k, v) ->
+                           match (k, v) with
+                           | "pid", _ -> (k, R.Num (float_of_int pid))
+                           | "args", R.Obj afields when is_process_name ->
+                               ( k,
+                                 R.Obj
+                                   (List.map
+                                      (fun (ak, av) ->
+                                        match (ak, av) with
+                                        | "name", R.Str label ->
+                                            (ak, R.Str (rename label))
+                                        | _ -> (ak, av))
+                                      afields) )
+                           | _ -> (k, v))
+                         fields)
+                | other -> other
+              in
+              Obs.Log.info ~tag:"trace" "%s: %d event(s) as pid %d" file
+                (List.length evs) pid;
+              chunks := List.map remap evs :: !chunks))
+    ins;
+  if !merged = 0 then begin
+    Obs.Log.err ~tag:"trace" "no input could be merged; not writing %s" out;
+    exit 2
+  end;
+  let events = List.concat (List.rev !chunks) in
+  J.to_file out (fun w ->
+      J.obj w (fun w ->
+          J.field_string w "schema" "efgame-trace/1";
+          J.field_string w "displayTimeUnit" "ms";
+          J.field w "traceEvents" (fun w ->
+              J.arr w (fun w -> List.iter (R.write w) events))));
+  Format.printf "merged %d/%d trace(s) -> %s (%d events%s)@." !merged
+    (List.length ins) out (List.length events)
+    (if !skipped > 0 then Printf.sprintf ", %d inputs skipped" !skipped
+     else "");
+  exit (if !skipped > 0 then 1 else 0)
+
 (* ---------------------------------------------------- shard subcommands *)
 
 (* Exit codes of the shard group (documented in README "Distributed
@@ -494,7 +608,7 @@ let write_worker_json ~path ~dir ~wall_s (s : Dist.Worker.summary) =
               if Rt.Fault.enabled () then Rt.Fault.write_json w else J.null w)))
 
 let shard_work dir ttl jobs budget attempts max_requeues deadline_s
-    inject_faults json metrics quiet verbose =
+    inject_faults json metrics heartbeat flight quiet verbose =
   Obs.Log.setup ~quiet ~verbosity:(List.length verbose) ();
   (match Rt.Fault.setup ?spec:inject_faults () with
   | Ok () ->
@@ -508,6 +622,16 @@ let shard_work dir ttl jobs budget attempts max_requeues deadline_s
   | Some path ->
       Obs.Metrics.enable ();
       at_exit (fun () -> Obs.Metrics.dump ~path)
+  | None -> ());
+  (* the worker's tick thread dumps the ring too (cfg.flight below);
+     the signal hook and at_exit cover the paths between ticks, so the
+     last flight events of a SIGTERMed worker include its final
+     checkpoint, written before the exit dump *)
+  (match flight with
+  | Some path ->
+      Obs.Events.enable ();
+      Rt.Signal.add_hook (fun _ -> Obs.Events.dump ~path);
+      at_exit (fun () -> Obs.Events.dump ~path)
   | None -> ());
   let deadline =
     match deadline_s with
@@ -523,6 +647,8 @@ let shard_work dir ttl jobs budget attempts max_requeues deadline_s
       attempts;
       max_requeues;
       deadline;
+      heartbeat;
+      flight;
     }
   in
   let t0 = Unix.gettimeofday () in
@@ -578,7 +704,11 @@ let shard_status dir ttl json quiet verbose =
             ( "leased",
               match Dist.Lease.holder (Dist.Manifest.lease_path dir id) with
               | Some (owner, age) ->
-                  Printf.sprintf " by %s (heartbeat %.1fs ago)" owner age
+                  (* a heartbeat past half the TTL deserves attention
+                     before the reclaim actually fires *)
+                  Printf.sprintf " by %s (heartbeat %.1fs ago%s)" owner age
+                    (if age > ttl /. 2. then "; AGING, past half the TTL"
+                     else "")
               | None -> "" ))
         | Dist.Manifest.Pending -> (
             ( "pending",
@@ -593,32 +723,132 @@ let shard_status dir ttl json quiet verbose =
             s.Dist.Manifest.lo s.Dist.Manifest.hi state extra)
         m.Dist.Manifest.shards;
       let c = Dist.Manifest.counts ~dir ~ttl m in
+      (* liveness signals the counts can't show: how long since the
+         fleet last finished a shard, and how many live leases are
+         already past half the TTL (renewals have stopped; the reclaim
+         countdown is running) *)
+      let newest_done =
+        Array.fold_left
+          (fun acc s ->
+            match
+              (Unix.stat (Dist.Manifest.done_path dir s.Dist.Manifest.id))
+                .Unix.st_mtime
+            with
+            | m -> ( match acc with Some a when a >= m -> acc | _ -> Some m)
+            | exception Unix.Unix_error _ -> acc)
+          None m.Dist.Manifest.shards
+      in
+      let newest_done_age =
+        Option.map (fun m -> Float.max 0. (Unix.gettimeofday () -. m)) newest_done
+      in
+      let aging =
+        Array.fold_left
+          (fun acc s ->
+            match
+              Dist.Lease.holder
+                (Dist.Manifest.lease_path dir s.Dist.Manifest.id)
+            with
+            | Some (_, age) when age > ttl /. 2. && age <= ttl -> acc + 1
+            | _ -> acc)
+          0 m.Dist.Manifest.shards
+      in
       Format.printf
-        "%d shard(s): %d done, %d leased, %d pending (%d stale), %d \
-         quarantined@."
+        "%d shard(s): %d done, %d leased (%d aging), %d pending (%d stale), \
+         %d quarantined@."
         (Array.length m.Dist.Manifest.shards)
-        c.Dist.Manifest.done_ c.Dist.Manifest.leased c.Dist.Manifest.pending
-        c.Dist.Manifest.stale c.Dist.Manifest.quarantined;
+        c.Dist.Manifest.done_ c.Dist.Manifest.leased aging
+        c.Dist.Manifest.pending c.Dist.Manifest.stale
+        c.Dist.Manifest.quarantined;
+      (match newest_done_age with
+      | Some age -> Format.printf "newest completion record: %.1fs ago@." age
+      | None -> ());
       (match json with
       | Some path ->
           let module J = Obs.Jsonw in
           J.to_file path (fun w ->
               J.obj w (fun w ->
-                  J.field_string w "schema" "efgame-shard-status/1";
+                  J.field_string w "schema" "efgame-shard-status/2";
                   J.field_int w "k" m.Dist.Manifest.k;
                   J.field_int w "max_n" m.Dist.Manifest.max_n;
                   J.field_int w "total" m.Dist.Manifest.total;
                   J.field_int w "shards" (Array.length m.Dist.Manifest.shards);
                   J.field_int w "done" c.Dist.Manifest.done_;
                   J.field_int w "leased" c.Dist.Manifest.leased;
+                  J.field_int w "aging_leases" aging;
                   J.field_int w "pending" c.Dist.Manifest.pending;
                   J.field_int w "stale" c.Dist.Manifest.stale;
-                  J.field_int w "quarantined" c.Dist.Manifest.quarantined))
+                  J.field_int w "quarantined" c.Dist.Manifest.quarantined;
+                  match newest_done_age with
+                  | Some age ->
+                      J.field_float ~prec:1 w "newest_done_age_s" age
+                  | None -> J.field_null w "newest_done_age_s"))
       | None -> ());
       if c.Dist.Manifest.quarantined > 0 then exit 1
       else if c.Dist.Manifest.pending > 0 || c.Dist.Manifest.leased > 0 then
         exit 3
       else exit 0
+
+(* The live fleet view: merge every worker's heartbeat snapshot with
+   the manifest-derived shard states. Corrupt, truncated, or missing
+   heartbeats are skipped with a warning (Heartbeat.list); stale ones
+   are shown but excluded from throughput and the ETA. Exit codes
+   mirror [shard status]: 0 all done, 3 work remaining, 1 quarantine-
+   blocked. *)
+let shard_top dir ttl stale_after watch json quiet verbose =
+  Obs.Log.setup ~quiet ~verbosity:(List.length verbose) ();
+  match Dist.Manifest.load ~dir with
+  | Error msg ->
+      Obs.Log.err ~tag:"shard" "%s" msg;
+      exit 2
+  | Ok m ->
+      Rt.Signal.install ();
+      let once () =
+        let views, warnings = Dist.Heartbeat.list ~dir in
+        let states =
+          Array.to_list
+            (Array.map
+               (fun s -> (s, Dist.Manifest.state ~dir ~ttl s))
+               m.Dist.Manifest.shards)
+        in
+        let t =
+          Dist.Top.aggregate ~now:(Unix.gettimeofday ()) ~stale_after ~states
+            views
+        in
+        (match json with
+        | Some path ->
+            Obs.Telemetry.write_atomic ~path (fun w ->
+                Dist.Top.write_json ~warnings t w)
+        | None -> ());
+        print_string (Dist.Top.render ~warnings t);
+        flush stdout;
+        t
+      in
+      let code (t : Dist.Top.t) =
+        if t.Dist.Top.shards_quarantined > 0 then 1
+        else if t.Dist.Top.shards_pending + t.Dist.Top.shards_leased > 0 then 3
+        else 0
+      in
+      (match watch with
+      | None -> exit (code (once ()))
+      | Some secs ->
+          let rec loop () =
+            if Unix.isatty Unix.stdout then print_string "\027[H\027[2J";
+            let t = once () in
+            match Rt.Signal.pending () with
+            | Some src ->
+                Obs.Log.warn ~tag:"shard" "%s: watch stopped"
+                  (Rt.Signal.name src);
+                exit (Rt.Signal.exit_code src)
+            | None ->
+                if t.Dist.Top.shards_pending + t.Dist.Top.shards_leased = 0
+                then exit (code t)
+                else begin
+                  (try Unix.sleepf (Float.max 0.1 secs)
+                   with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+                  loop ()
+                end
+          in
+          loop ())
 
 let shard_merge dir out threshold quiet verbose =
   Obs.Log.setup ~quiet ~verbosity:(List.length verbose) ();
@@ -780,6 +1010,28 @@ let metrics_arg =
              per-worker share, checkpoint bytes) and dump the merged \
              snapshot to $(docv) on exit.")
 
+let telemetry_arg =
+  Arg.(value & opt (some string) None & info [ "telemetry" ] ~docv:"FILE"
+       ~doc:"Publish a rolling live-telemetry snapshot to $(docv) while the \
+             process works: pid, uptime, environment identity, progress \
+             counters, and the merged metrics (with latency percentiles) — \
+             rewritten atomically (tmp+rename) every tick by a background \
+             thread, so a concurrent reader always sees a complete \
+             document and the solve hot path never blocks on telemetry \
+             I/O. Implies the metrics counters.")
+
+let telemetry_interval_arg =
+  Arg.(value & opt float 2. & info [ "telemetry-interval" ] ~docv:"S"
+       ~doc:"Seconds between telemetry snapshots (default 2).")
+
+let flight_arg =
+  Arg.(value & opt (some string) None & info [ "flight" ] ~docv:"FILE"
+       ~doc:"Arm the flight recorder: a fixed-size lock-free ring of recent \
+             lifecycle events (retries, fault injections, checkpoints, \
+             signals), dumped to $(docv) on signals, at exit, and on every \
+             telemetry tick — a killed process leaves a post-mortem no \
+             older than one tick.")
+
 let engine_arg =
   Arg.(value
        & opt (enum [ ("packed", Efgame.Repr.Packed); ("boxed", Efgame.Repr.Boxed) ])
@@ -800,7 +1052,8 @@ let main_term =
   Term.(const run $ words_arg $ rounds_arg $ explain_arg $ budget_arg $ scan_arg
         $ classes_arg $ frontier_arg $ max_arg $ cache_arg $ jobs_arg $ stats_arg
         $ table_arg $ resume_arg $ salvage_arg $ checkpoint_arg $ deadline_arg
-        $ faults_arg $ json_arg $ trace_arg $ metrics_arg $ engine_arg
+        $ faults_arg $ json_arg $ trace_arg $ metrics_arg $ telemetry_arg
+        $ telemetry_interval_arg $ flight_arg $ engine_arg
         $ quiet_arg $ verbose_arg)
 
 let table_info_cmd =
@@ -868,6 +1121,34 @@ let table_cmd =
     (Cmd.info "table" ~doc:"Inspect and maintain persisted table snapshots.")
     [ table_info_cmd; table_merge_cmd; table_dump_cmd ]
 
+(* ------------------------------------------------- trace command group *)
+
+let trace_merge_cmd =
+  let out =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OUT"
+         ~doc:"The merged trace to write.")
+  in
+  let ins =
+    Arg.(non_empty & pos_right 0 string [] & info [] ~docv:"IN"
+         ~doc:"Per-process trace-event files to merge.")
+  in
+  Cmd.v
+    (Cmd.info "merge"
+       ~doc:"Merge per-process Chrome trace files (--trace output) into one \
+             fleet timeline openable at ui.perfetto.dev: each input's \
+             events are re-stamped with a distinct pid, so the merged view \
+             shows one named process per worker with one track per domain \
+             under it. A corrupt input is skipped, not fatal. Exits 0 when \
+             every input merged, 1 when the output covers a strict subset, \
+             2 when nothing merged.")
+    Term.(const trace_merge $ out $ ins $ quiet_arg $ verbose_arg)
+
+let trace_cmd =
+  Cmd.group
+    (Cmd.info "trace"
+       ~doc:"Work with recorded trace-event files (see --trace).")
+    [ trace_merge_cmd ]
+
 (* ------------------------------------------------- shard command group *)
 
 let shard_dir_arg =
@@ -917,17 +1198,26 @@ let shard_work_cmd =
          ~doc:"Cross-worker re-enqueues before a failing shard is \
                quarantined.")
   in
+  let heartbeat =
+    Arg.(value & opt float 2. & info [ "heartbeat-every" ] ~docv:"S"
+         ~doc:"Seconds between telemetry heartbeat snapshots (the .hb file \
+               in DIR that $(b,shard top) aggregates). 0 disables the \
+               publisher entirely. Distinct from --ttl, which governs the \
+               per-shard lease files.")
+  in
   Cmd.v
     (Cmd.info "work"
        ~doc:"Claim and scan shards until every shard in DIR is done or \
              quarantined: claim via atomic lease file, scan the window, \
              persist and validate the shard table, write the completion \
              record, release. Run any number of these concurrently — \
-             including on different machines sharing DIR. Exits 0, or 1 if \
-             this worker quarantined a shard.")
+             including on different machines sharing DIR. While working, \
+             each worker advertises itself live via a heartbeat snapshot \
+             in DIR (see $(b,shard top)). Exits 0, or 1 if this worker \
+             quarantined a shard.")
     Term.(const shard_work $ shard_dir_arg $ ttl_arg $ jobs_arg $ budget
           $ attempts $ max_requeues $ deadline_arg $ faults_arg $ json_arg
-          $ metrics_arg $ quiet_arg $ verbose_arg)
+          $ metrics_arg $ heartbeat $ flight_arg $ quiet_arg $ verbose_arg)
 
 let shard_status_cmd =
   Cmd.v
@@ -938,6 +1228,31 @@ let shard_status_cmd =
              remains, 1 when quarantined shards block completion.")
     Term.(const shard_status $ shard_dir_arg $ ttl_arg $ json_arg $ quiet_arg
           $ verbose_arg)
+
+let shard_top_cmd =
+  let stale =
+    Arg.(value & opt float Dist.Top.default_stale_after
+         & info [ "stale-after" ] ~docv:"S"
+             ~doc:"Treat a heartbeat older than $(docv) seconds as stale: \
+                   the worker still shows (its completed work is real) but \
+                   its rate is excluded from fleet throughput and the ETA.")
+  in
+  let watch =
+    Arg.(value & opt (some float) None & info [ "watch" ] ~docv:"S"
+         ~doc:"Refresh every $(docv) seconds until the scan completes or a \
+               signal stops the watch.")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Live fleet view: merge every worker's heartbeat snapshot in \
+             DIR with the manifest's shard states into fleet throughput \
+             (pairs/s), per-worker share, cache hit rates, checkpoint ages, \
+             and an ETA from the windows still outstanding. Corrupt or \
+             truncated heartbeats are skipped with a warning; stale ones \
+             are flagged. Exit codes mirror $(b,shard status): 0 all done, \
+             3 work remaining, 1 quarantine-blocked.")
+    Term.(const shard_top $ shard_dir_arg $ ttl_arg $ stale $ watch
+          $ json_arg $ quiet_arg $ verbose_arg)
 
 let shard_merge_cmd =
   let out =
@@ -996,8 +1311,8 @@ let shard_cmd =
        ~doc:"Coordinator-free distributed frontier scans over a shared \
              directory: lease-based shard claims, crash-tolerant \
              completion records, quarantine, merge, and audit.")
-    [ shard_init_cmd; shard_work_cmd; shard_status_cmd; shard_merge_cmd;
-      shard_audit_cmd ]
+    [ shard_init_cmd; shard_work_cmd; shard_status_cmd; shard_top_cmd;
+      shard_merge_cmd; shard_audit_cmd ]
 
 let info =
   Cmd.info "efgame_cli"
@@ -1005,15 +1320,16 @@ let info =
 
 (* [Cmd.group ~default] routes the first positional argument to a
    subcommand, which would steal the two-word game mode ([efgame_cli
-   aaaa aaa]); dispatch on the literal "table"/"shard" tokens instead,
-   so every other argv shape reaches the main term's positionals
-   untouched. *)
+   aaaa aaa]); dispatch on the literal "table"/"shard"/"trace" tokens
+   instead, so every other argv shape reaches the main term's
+   positionals untouched. *)
 let () =
   let cmd =
     if
       Array.length Sys.argv > 1
-      && (Sys.argv.(1) = "table" || Sys.argv.(1) = "shard")
-    then Cmd.group ~default:main_term info [ table_cmd; shard_cmd ]
+      && (Sys.argv.(1) = "table" || Sys.argv.(1) = "shard"
+         || Sys.argv.(1) = "trace")
+    then Cmd.group ~default:main_term info [ table_cmd; trace_cmd; shard_cmd ]
     else Cmd.v info main_term
   in
   exit (Cmd.eval cmd)

@@ -874,7 +874,7 @@ let () =
         frontier_table := Some file;
         parse rest
     | "--trace" :: file :: rest ->
-        Obs.Trace.start ~path:file;
+        Obs.Trace.start ~path:file ();
         at_exit Obs.Trace.finish;
         parse rest
     | "--metrics" :: file :: rest ->

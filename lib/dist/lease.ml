@@ -81,6 +81,7 @@ let rec try_claim ?(attempts = 3) ~ttl ~owner path =
   if attempts <= 0 then `Held
   else if write_exclusive path owner then begin
     Obs.Metrics.incr m_claimed;
+    Obs.Events.record ~detail:(Filename.basename path) "lease.claim";
     `Claimed { path; owner }
   end
   else
@@ -92,6 +93,7 @@ let rec try_claim ?(attempts = 3) ~ttl ~owner path =
         if reclaim_stale path && write_exclusive path owner then begin
           Obs.Metrics.incr m_claimed;
           Obs.Metrics.incr m_reclaimed;
+          Obs.Events.record ~detail:(Filename.basename path) "lease.reclaim";
           `Reclaimed { path; owner }
         end
         else
@@ -105,9 +107,14 @@ let renew t =
       match Unix.utimes t.path 0. 0. with
       | () ->
           Obs.Metrics.incr m_renewals;
+          Obs.Events.record ~detail:(Filename.basename t.path) "lease.renew";
           `Renewed
-      | exception Unix.Unix_error _ -> `Lost)
-  | Some _ | None -> `Lost
+      | exception Unix.Unix_error _ ->
+          Obs.Events.record ~detail:(Filename.basename t.path) "lease.lost";
+          `Lost)
+  | Some _ | None ->
+      Obs.Events.record ~detail:(Filename.basename t.path) "lease.lost";
+      `Lost
 
 (* Only the owner removes its lease; a reclaimed lease names someone
    else and must be left alone. *)

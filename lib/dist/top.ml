@@ -1,0 +1,222 @@
+(* The fleet aggregator behind [efgame_cli shard top]: fold every
+   readable worker heartbeat plus the manifest's derived shard states
+   into one live view — fleet throughput, per-worker share, ETA from
+   the windows still outstanding.
+
+   [aggregate] is a pure function of its inputs (clock included), so
+   the qcheck property "the fleet row is the sum of the worker rows"
+   can drive it with arbitrary snapshots; all the I/O and tolerance
+   lives in {!Heartbeat.list} and the caller. *)
+
+type worker_row = {
+  hb : Heartbeat.view;
+  age : float;  (** seconds since the snapshot was published *)
+  fresh : bool;
+  rate : float;  (** pairs/s over the worker's uptime *)
+  share : float;  (** of the fleet's pairs; 0 when the fleet is at 0 *)
+}
+
+type t = {
+  now : float;
+  workers : worker_row list;  (** sorted by owner *)
+  fleet_pairs : int;
+  fleet_completed : int;
+  fleet_claimed : int;
+  fleet_reclaimed : int;
+  fleet_abandoned : int;
+  fleet_requeued : int;
+  fleet_quarantined : int;
+  fleet_cache_hits : int;
+  fleet_cache_misses : int;
+  fleet_faults : int;
+  fleet_retries : int;
+  rate : float;  (** Σ rate over fresh workers *)
+  shards_pending : int;
+  shards_leased : int;
+  shards_done : int;
+  shards_quarantined : int;
+  total_pairs : int;  (** Σ window sizes over every shard *)
+  done_pairs : int;  (** Σ window sizes over Done shards *)
+  remaining_pairs : int;  (** Σ window sizes over Pending/Leased shards *)
+  eta_s : float option;  (** remaining / rate; None when either is 0 *)
+}
+
+let default_stale_after = 10.
+
+let aggregate ~now ?(stale_after = default_stale_after) ?(states = []) views =
+  let views =
+    List.sort (fun a b -> compare a.Heartbeat.v_owner b.Heartbeat.v_owner) views
+  in
+  let sum f = List.fold_left (fun acc v -> acc + f v) 0 views in
+  let fleet_pairs = sum (fun v -> v.Heartbeat.v_pairs) in
+  let workers =
+    List.map
+      (fun (v : Heartbeat.view) ->
+        let age = Float.max 0. (now -. v.v_now) in
+        let fresh = age <= stale_after in
+        {
+          hb = v;
+          age;
+          fresh;
+          rate = Heartbeat.pairs_per_s v;
+          share =
+            (if fleet_pairs = 0 then 0.
+             else float_of_int v.v_pairs /. float_of_int fleet_pairs);
+        })
+      views
+  in
+  let rate =
+    List.fold_left
+      (fun acc w -> if w.fresh then acc +. w.rate else acc)
+      0. workers
+  in
+  let count_state want =
+    List.length (List.filter (fun (_, st) -> st = want) states)
+  in
+  let pairs_in want =
+    List.fold_left
+      (fun acc ((s : Manifest.shard), st) ->
+        if st = want then acc + (s.hi - s.lo) else acc)
+      0 states
+  in
+  let total_pairs =
+    List.fold_left (fun acc ((s : Manifest.shard), _) -> acc + (s.hi - s.lo)) 0 states
+  in
+  let remaining_pairs = pairs_in Manifest.Pending + pairs_in Manifest.Leased in
+  {
+    now;
+    workers;
+    fleet_pairs;
+    fleet_completed = sum (fun v -> v.Heartbeat.v_completed);
+    fleet_claimed = sum (fun v -> v.Heartbeat.v_claimed);
+    fleet_reclaimed = sum (fun v -> v.Heartbeat.v_reclaimed);
+    fleet_abandoned = sum (fun v -> v.Heartbeat.v_abandoned);
+    fleet_requeued = sum (fun v -> v.Heartbeat.v_requeued);
+    fleet_quarantined = sum (fun v -> v.Heartbeat.v_quarantined);
+    fleet_cache_hits = sum (fun v -> v.Heartbeat.v_cache_hits);
+    fleet_cache_misses = sum (fun v -> v.Heartbeat.v_cache_misses);
+    fleet_faults = sum (fun v -> v.Heartbeat.v_faults);
+    fleet_retries = sum (fun v -> v.Heartbeat.v_retries);
+    rate;
+    shards_pending = count_state Manifest.Pending;
+    shards_leased = count_state Manifest.Leased;
+    shards_done = count_state Manifest.Done;
+    shards_quarantined = count_state Manifest.Quarantined;
+    total_pairs;
+    done_pairs = pairs_in Manifest.Done;
+    remaining_pairs;
+    eta_s =
+      (if remaining_pairs > 0 && rate > 0. then
+         Some (float_of_int remaining_pairs /. rate)
+       else None);
+  }
+
+(* ----------------------------------------------------------- output *)
+
+let write_json ?(warnings = []) t w =
+  let module J = Obs.Jsonw in
+  J.obj w (fun w ->
+      J.field_string w "schema" "efgame-top/1";
+      J.field_float ~prec:6 w "now_s" t.now;
+      J.field w "fleet" (fun w ->
+          J.obj w (fun w ->
+              J.field_int w "workers" (List.length t.workers);
+              J.field_int w "fresh_workers"
+                (List.length (List.filter (fun r -> r.fresh) t.workers));
+              J.field_int w "pairs" t.fleet_pairs;
+              J.field_float ~prec:2 w "pairs_per_s" t.rate;
+              (match t.eta_s with
+              | Some eta -> J.field_float ~prec:1 w "eta_s" eta
+              | None -> J.field_null w "eta_s");
+              J.field_int w "completed" t.fleet_completed;
+              J.field_int w "claimed" t.fleet_claimed;
+              J.field_int w "reclaimed" t.fleet_reclaimed;
+              J.field_int w "abandoned" t.fleet_abandoned;
+              J.field_int w "requeued" t.fleet_requeued;
+              J.field_int w "quarantined" t.fleet_quarantined;
+              J.field_int w "cache_hits" t.fleet_cache_hits;
+              J.field_int w "cache_misses" t.fleet_cache_misses;
+              J.field_int w "faults" t.fleet_faults;
+              J.field_int w "retries" t.fleet_retries));
+      J.field w "shards" (fun w ->
+          J.obj w (fun w ->
+              J.field_int w "pending" t.shards_pending;
+              J.field_int w "leased" t.shards_leased;
+              J.field_int w "done" t.shards_done;
+              J.field_int w "quarantined" t.shards_quarantined;
+              J.field_int w "total_pairs" t.total_pairs;
+              J.field_int w "done_pairs" t.done_pairs;
+              J.field_int w "remaining_pairs" t.remaining_pairs));
+      J.field w "workers" (fun w ->
+          J.arr w (fun w ->
+              List.iter
+                (fun r ->
+                  let v = r.hb in
+                  J.obj w (fun w ->
+                      J.field_string w "owner" v.Heartbeat.v_owner;
+                      J.field_string w "host" v.Heartbeat.v_host;
+                      J.field_int w "pid" v.Heartbeat.v_pid;
+                      J.field_float ~prec:2 w "age_s" r.age;
+                      J.field_bool w "fresh" r.fresh;
+                      J.field_int w "pairs" v.Heartbeat.v_pairs;
+                      J.field_float ~prec:2 w "pairs_per_s" r.rate;
+                      J.field_float ~prec:4 w "share" r.share;
+                      J.field_int w "completed" v.Heartbeat.v_completed;
+                      J.field_int w "requeued" v.Heartbeat.v_requeued;
+                      J.field_int w "quarantined" v.Heartbeat.v_quarantined;
+                      J.field_int w "faults" v.Heartbeat.v_faults;
+                      J.field_float ~prec:4 w "cache_hit_rate"
+                        (Heartbeat.cache_hit_rate v);
+                      (match v.Heartbeat.v_current_shard with
+                      | Some id -> J.field_int w "current_shard" id
+                      | None -> J.field_null w "current_shard");
+                      match Heartbeat.checkpoint_age v with
+                      | Some age ->
+                          J.field_float ~prec:1 w "last_checkpoint_age_s"
+                            (age +. r.age)
+                      | None -> J.field_null w "last_checkpoint_age_s"))
+                t.workers));
+      J.field w "warnings" (fun w ->
+          J.arr w (fun w -> List.iter (J.string w) warnings)))
+
+let pp_eta ppf = function
+  | None -> Format.fprintf ppf "-"
+  | Some s when s >= 3600. -> Format.fprintf ppf "%.1fh" (s /. 3600.)
+  | Some s when s >= 60. -> Format.fprintf ppf "%.1fm" (s /. 60.)
+  | Some s -> Format.fprintf ppf "%.0fs" s
+
+let render ?(warnings = []) t =
+  let b = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer b in
+  let fresh = List.length (List.filter (fun r -> r.fresh) t.workers) in
+  Format.fprintf ppf
+    "fleet: %d worker(s) (%d fresh)  %d pairs  %.1f pairs/s  eta %a@."
+    (List.length t.workers) fresh t.fleet_pairs t.rate pp_eta t.eta_s;
+  Format.fprintf ppf
+    "shards: %d pending, %d leased, %d done, %d quarantined  (%d / %d pairs done)@."
+    t.shards_pending t.shards_leased t.shards_done t.shards_quarantined
+    t.done_pairs t.total_pairs;
+  if t.fleet_reclaimed + t.fleet_requeued + t.fleet_abandoned > 0 then
+    Format.fprintf ppf
+      "events: %d reclaimed, %d requeued, %d abandoned, %d faults@."
+      t.fleet_reclaimed t.fleet_requeued t.fleet_abandoned t.fleet_faults;
+  Format.fprintf ppf
+    "@[<v>%-34s %6s %9s %6s %6s %7s %6s %8s@]@." "owner" "age" "pairs"
+    "rate" "share" "hit%" "shard" "ckpt-age";
+  List.iter
+    (fun r ->
+      let v = r.hb in
+      Format.fprintf ppf "%-34s %5.1fs %9d %6.1f %5.1f%% %6.1f%% %6s %8s%s@."
+        v.Heartbeat.v_owner r.age v.Heartbeat.v_pairs r.rate (r.share *. 100.)
+        (Heartbeat.cache_hit_rate v *. 100.)
+        (match v.Heartbeat.v_current_shard with
+        | Some id -> string_of_int id
+        | None -> "-")
+        (match Heartbeat.checkpoint_age v with
+        | Some age -> Printf.sprintf "%.0fs" (age +. r.age)
+        | None -> "-")
+        (if r.fresh then "" else "  [stale]"))
+    t.workers;
+  List.iter (fun wmsg -> Format.fprintf ppf "warning: %s@." wmsg) warnings;
+  Format.pp_print_flush ppf ();
+  Buffer.contents b

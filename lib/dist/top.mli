@@ -1,0 +1,61 @@
+(** Fleet aggregation for [efgame_cli shard top]: merge every worker's
+    heartbeat snapshot with the manifest's derived shard states into
+    one live view.
+
+    {!aggregate} is pure (the clock is a parameter): the fleet row is,
+    by construction, the field-wise sum of the worker snapshots — the
+    property the qcheck test pins down. Tolerance to missing/corrupt/
+    stale snapshots lives in {!Heartbeat.list} (skip + warn) and in the
+    [fresh] flag here (a stale worker's rate is excluded from fleet
+    throughput and the ETA, but its counters still count: its completed
+    work is real). *)
+
+type worker_row = {
+  hb : Heartbeat.view;
+  age : float;  (** [now] minus the snapshot's own publish time *)
+  fresh : bool;  (** [age <= stale_after] *)
+  rate : float;  (** pairs/s over the worker's uptime *)
+  share : float;  (** of fleet pairs; 0 when the fleet is at 0 *)
+}
+
+type t = {
+  now : float;
+  workers : worker_row list;  (** sorted by owner *)
+  fleet_pairs : int;
+  fleet_completed : int;
+  fleet_claimed : int;
+  fleet_reclaimed : int;
+  fleet_abandoned : int;
+  fleet_requeued : int;
+  fleet_quarantined : int;
+  fleet_cache_hits : int;
+  fleet_cache_misses : int;
+  fleet_faults : int;
+  fleet_retries : int;
+  rate : float;  (** Σ rate over fresh workers *)
+  shards_pending : int;
+  shards_leased : int;
+  shards_done : int;
+  shards_quarantined : int;
+  total_pairs : int;
+  done_pairs : int;
+  remaining_pairs : int;  (** windows still Pending or Leased *)
+  eta_s : float option;  (** [remaining_pairs / rate]; [None] at 0 *)
+}
+
+val default_stale_after : float
+(** 10 s — five default heartbeat intervals. *)
+
+val aggregate :
+  now:float ->
+  ?stale_after:float ->
+  ?states:(Manifest.shard * Manifest.state) list ->
+  Heartbeat.view list ->
+  t
+
+val write_json : ?warnings:string list -> t -> Obs.Jsonw.t -> unit
+(** The [efgame-top/1] document: [fleet] (sums + rate + ETA), [shards],
+    per-worker rows, and the skip warnings. *)
+
+val render : ?warnings:string list -> t -> string
+(** Human-readable multi-line rendering for the watch loop. *)

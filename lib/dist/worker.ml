@@ -40,6 +40,8 @@ type config = {
   deadline : Rt.Deadline.t;
   fsync : bool;
   store_depth : int;
+  heartbeat : float;  (** snapshot publish interval; <= 0 disables *)
+  flight : string option;  (** dump the flight ring here on every tick *)
 }
 
 let default_config ~dir =
@@ -53,6 +55,8 @@ let default_config ~dir =
     deadline = Rt.Deadline.none;
     fsync = true;
     store_depth = 0;
+    heartbeat = 2.;
+    flight = None;
   }
 
 type summary = {
@@ -81,13 +85,14 @@ let remove_quiet path = try Sys.remove path with Sys_error _ -> ()
 (* One certification attempt: snapshot the shard cache, re-read it
    strictly (exactly what the merge will do), and rename the completion
    record into place. Any failure is an [Error] for {!Rt.Backoff.retry}. *)
-let certify ~cfg ~owner ~shard ~cache ~outcome () =
+let certify ~cfg ~owner ~hb ~shard ~cache ~outcome () =
   let table = Manifest.table_path cfg.dir shard.Manifest.id in
   match
     Rt.Fault.fire fp_certify;
     Efgame.Persist.save ~fsync:cfg.fsync cache table
   with
   | exception Rt.Fault.Injected site ->
+      Atomic.incr hb.Heartbeat.faults;
       Error (Printf.sprintf "injected fault at %s" site)
   | Error e -> Error (Format.asprintf "save: %a" Efgame.Persist.pp_error e)
   | Ok written -> (
@@ -118,23 +123,47 @@ let certify ~cfg ~owner ~shard ~cache ~outcome () =
 
 (* Retried in-lease; each retry renews the heartbeat first so slow I/O
    can't cost us the lease while we back off. *)
-let certify_with_retries ~cfg ~owner ~shard ~lease ~cache outcome =
+let certify_with_retries ~cfg ~owner ~hb ~shard ~lease ~cache outcome =
   Rt.Backoff.retry ~attempts:cfg.attempts
-    ~on_retry:(fun ~attempt:_ ~delay:_ -> ignore (Lease.renew lease))
-    (certify ~cfg ~owner ~shard ~cache ~outcome)
+    ~on_retry:(fun ~attempt ~delay:_ ->
+      Atomic.incr hb.Heartbeat.retries;
+      if Obs.Events.enabled () then
+        Obs.Events.record
+          ~detail:
+            (Printf.sprintf "certify shard %d attempt %d" shard.Manifest.id
+               attempt)
+          "retry";
+      ignore (Lease.renew lease))
+    (certify ~cfg ~owner ~hb ~shard ~cache ~outcome)
 
 (* Scan one claimed shard's window. Returns the warmed cache on success
-   so certification writes exactly what was computed. *)
-let execute ~cfg ~stop (lease : Lease.t) shard m =
+   so certification writes exactly what was computed.
+
+   The heartbeat atomics are refreshed from the scheduler's tick
+   callback (cumulative pairs, this shard's cache counters on top of
+   the pre-shard base): the scan only ever stores into atomics here,
+   and the telemetry thread turns them into a snapshot file at its own
+   pace. *)
+let execute ~cfg ~stop ~hb (lease : Lease.t) shard m =
   let open Manifest in
   let cache = Efgame.Cache.create () in
   let engine =
     if cfg.jobs > 1 then Efgame.Witness.Parallel (cache, cfg.jobs)
     else Efgame.Witness.Cached cache
   in
+  let pairs_base = Atomic.get hb.Heartbeat.pairs in
+  let hits_base = Atomic.get hb.Heartbeat.cache_hits in
+  let misses_base = Atomic.get hb.Heartbeat.cache_misses in
+  let set_progress ~completed =
+    Atomic.set hb.Heartbeat.pairs (pairs_base + completed);
+    let cs = Efgame.Cache.stats cache in
+    Atomic.set hb.Heartbeat.cache_hits (hits_base + cs.Efgame.Cache.hits);
+    Atomic.set hb.Heartbeat.cache_misses (misses_base + cs.Efgame.Cache.misses)
+  in
   let lost = ref false in
   let last_renew = ref (Unix.gettimeofday ()) in
-  let on_tick ~completed:_ =
+  let on_tick ~completed =
+    set_progress ~completed;
     let now = Unix.gettimeofday () in
     if now -. !last_renew > cfg.ttl /. 3. then begin
       (match Lease.renew lease with `Renewed -> () | `Lost -> lost := true);
@@ -152,10 +181,14 @@ let execute ~cfg ~stop (lease : Lease.t) shard m =
   | exception e ->
       (* a crashed scan (an injected scheduler fault that escaped
          supervision, or anything else) requeues the shard instead of
-         crashing the worker *)
+         crashing the worker. Roll the progress atomics back to the
+         pre-shard base: the summary credits a raised scan with zero
+         pairs, and the published heartbeat must agree with it. *)
+      set_progress ~completed:0;
       `Failed (Printf.sprintf "scan raised: %s" (Printexc.to_string e), 0)
   | outcome, stats -> (
       let pairs = stats.Efgame.Witness.pairs in
+      set_progress ~completed:pairs;
       if !lost then `Lost_lease pairs
       else
         match outcome with
@@ -171,6 +204,10 @@ let execute ~cfg ~stop (lease : Lease.t) shard m =
 
 let quarantine_shard ~cfg ~owner id reason =
   Obs.Metrics.incr m_quarantined;
+  if Obs.Events.enabled () then
+    Obs.Events.record
+      ~detail:(Printf.sprintf "shard %d: %s" id reason)
+      "quarantine";
   Obs.Log.warn ~tag:"dist" "shard %d quarantined: %s" id reason;
   match Manifest.quarantine ~dir:cfg.dir ~owner id reason with
   | Ok () -> ()
@@ -190,6 +227,10 @@ let requeue_or_quarantine ~cfg ~owner (lease : Lease.t) id reason =
   end
   else begin
     Obs.Metrics.incr m_requeued;
+    if Obs.Events.enabled () then
+      Obs.Events.record
+        ~detail:(Printf.sprintf "shard %d attempt %d: %s" id tries reason)
+        "requeue";
     Obs.Log.warn ~tag:"dist" "shard %d re-enqueued (attempt %d/%d): %s" id
       tries cfg.max_requeues reason;
     Lease.release lease;
@@ -198,7 +239,7 @@ let requeue_or_quarantine ~cfg ~owner (lease : Lease.t) id reason =
 
 (* Drive one freshly claimed shard to a terminal local outcome.
    Returns [`Stop] only when the driver's stop condition fired. *)
-let work_one ~cfg ~stop ~owner lease ~how shard m summary =
+let work_one ~cfg ~stop ~owner ~hb lease ~how shard m summary =
   let id = shard.Manifest.id in
   (match how with
   | `Claimed ->
@@ -215,9 +256,23 @@ let work_one ~cfg ~stop ~owner lease ~how shard m summary =
         (summary.reclaimed + match how with `Reclaimed -> 1 | `Claimed -> 0);
     }
   in
-  match execute ~cfg ~stop lease shard m with
+  Atomic.incr hb.Heartbeat.claimed;
+  (match how with
+  | `Reclaimed -> Atomic.incr hb.Heartbeat.reclaimed
+  | `Claimed -> ());
+  Atomic.set hb.Heartbeat.current_shard id;
+  let finish r =
+    Atomic.set hb.Heartbeat.current_shard (-1);
+    r
+  in
+  finish
+  @@
+  match execute ~cfg ~stop ~hb lease shard m with
   | `Lost_lease pairs ->
       Obs.Metrics.incr m_abandoned;
+      Atomic.incr hb.Heartbeat.abandoned;
+      if Obs.Events.enabled () then
+        Obs.Events.record ~detail:(Printf.sprintf "shard %d" id) "abandon";
       Obs.Log.warn ~tag:"dist" "lease on shard %d lost mid-scan; abandoning" id;
       ( `Continue,
         {
@@ -230,6 +285,7 @@ let work_one ~cfg ~stop ~owner lease ~how shard m summary =
       (`Stop, { summary with pairs = summary.pairs + pairs })
   | `Undecidable (reason, pairs) ->
       quarantine_shard ~cfg ~owner id reason;
+      Atomic.incr hb.Heartbeat.quarantined;
       Lease.release lease;
       ( `Continue,
         {
@@ -241,13 +297,21 @@ let work_one ~cfg ~stop ~owner lease ~how shard m summary =
       let summary = { summary with pairs = summary.pairs + pairs } in
       match requeue_or_quarantine ~cfg ~owner lease id reason with
       | `Quarantined ->
+          Atomic.incr hb.Heartbeat.quarantined;
           (`Continue, { summary with quarantined = summary.quarantined + 1 })
-      | `Requeued -> (`Continue, { summary with requeued = summary.requeued + 1 }))
+      | `Requeued ->
+          Atomic.incr hb.Heartbeat.requeued;
+          (`Continue, { summary with requeued = summary.requeued + 1 }))
   | `Scanned (cache, outcome, pairs) -> (
       let summary = { summary with pairs = summary.pairs + pairs } in
-      match certify_with_retries ~cfg ~owner ~shard ~lease ~cache outcome with
+      match
+        certify_with_retries ~cfg ~owner ~hb ~shard ~lease ~cache outcome
+      with
       | Ok written ->
           Obs.Metrics.incr m_completed;
+          Atomic.incr hb.Heartbeat.completed;
+          Atomic.set hb.Heartbeat.last_checkpoint_s
+            (int_of_float (Unix.gettimeofday ()));
           Obs.Log.info ~tag:"dist" "shard %d done: %s, %d entries" id
             (match outcome with
             | Record.Exhausted -> "exhausted"
@@ -258,8 +322,10 @@ let work_one ~cfg ~stop ~owner lease ~how shard m summary =
       | Error reason -> (
           match requeue_or_quarantine ~cfg ~owner lease id reason with
           | `Quarantined ->
+              Atomic.incr hb.Heartbeat.quarantined;
               (`Continue, { summary with quarantined = summary.quarantined + 1 })
           | `Requeued ->
+              Atomic.incr hb.Heartbeat.requeued;
               (`Continue, { summary with requeued = summary.requeued + 1 })))
 
 let run ?(stop = fun () -> false) cfg =
@@ -267,6 +333,24 @@ let run ?(stop = fun () -> false) cfg =
   | Error msg -> Error msg
   | Ok m ->
       let owner = Lease.default_owner () in
+      let hb = Heartbeat.make_stats ~owner in
+      (* Live advertisement: the tick thread owns all heartbeat I/O (and
+         the flight dump, so a SIGKILL loses at most one tick's worth of
+         post-mortem). The loop below only ever stores into [hb]'s
+         atomics. *)
+      let publish ~seq =
+        if cfg.heartbeat > 0. then
+          Heartbeat.publish ~dir:cfg.dir (Heartbeat.view_of_stats ~seq hb);
+        match cfg.flight with
+        | Some path -> Obs.Events.dump ~path
+        | None -> ()
+      in
+      let ticker =
+        if cfg.heartbeat > 0. || cfg.flight <> None then
+          let interval = if cfg.heartbeat > 0. then cfg.heartbeat else 2.0 in
+          Some (Obs.Telemetry.ticker ~interval publish)
+        else None
+      in
       let n = Array.length m.Manifest.shards in
       (* start the sweep at an owner-dependent offset so N workers
          launched together don't all stampede shard 0 *)
@@ -307,7 +391,9 @@ let run ?(stop = fun () -> false) cfg =
                       Lease.try_claim ~ttl:cfg.ttl ~owner
                         (Manifest.lease_path cfg.dir s.Manifest.id)
                     with
-                    | exception Rt.Fault.Injected _ -> claim rest
+                    | exception Rt.Fault.Injected _ ->
+                        Atomic.incr hb.Heartbeat.faults;
+                        claim rest
                     | `Held -> claim rest
                     | `Claimed lease -> `Go (lease, `Claimed, s)
                     | `Reclaimed lease -> `Go (lease, `Reclaimed, s))
@@ -330,10 +416,17 @@ let run ?(stop = fun () -> false) cfg =
                     loop summary
                   end
                   else begin
-                    match work_one ~cfg ~stop ~owner lease ~how s m summary with
+                    match
+                      work_one ~cfg ~stop ~owner ~hb lease ~how s m summary
+                    with
                     | `Stop, summary -> Ok summary
                     | `Continue, summary -> loop summary
                   end)
         end
       in
-      loop zero_summary
+      (* the final heartbeat publishes synchronously on the way out
+         (Telemetry.stop ticks once more after the join), so the last
+         snapshot on disk agrees with the summary we return *)
+      Fun.protect
+        ~finally:(fun () -> Option.iter Obs.Telemetry.stop ticker)
+        (fun () -> loop zero_summary)

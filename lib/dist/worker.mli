@@ -22,11 +22,18 @@ type config = {
   deadline : Rt.Deadline.t;
   fsync : bool;
   store_depth : int;
+  heartbeat : float;
+      (** telemetry heartbeat publish interval, seconds; [<= 0] turns
+          the publisher off entirely (no tick thread, no [.hb] file) *)
+  flight : string option;
+      (** dump the {!Obs.Events} flight ring here on every heartbeat
+          tick and at the end of the run, so a killed worker leaves a
+          last-moments record no older than one tick *)
 }
 
 val default_config : dir:string -> config
 (** ttl 30 s, 1 job, 3 attempts, 2 re-enqueues, no deadline, fsync on,
-    store depth 0. *)
+    store depth 0, heartbeat every 2 s, no flight file. *)
 
 type summary = {
   completed : int;
@@ -45,4 +52,11 @@ val run : ?stop:(unit -> bool) -> config -> (summary, string) result
     [stop] callback fires, the deadline expires, or a latched signal is
     pending ({!Rt.Signal}). While other workers hold the remaining
     shards, polls at a fraction of the TTL waiting for them to finish or
-    go stale. [Error] only on a missing or invalid manifest. *)
+    go stale. [Error] only on a missing or invalid manifest.
+
+    With [heartbeat > 0] the worker advertises itself live via
+    {!Heartbeat}: a tick thread publishes its [.hb] snapshot in [dir]
+    every [heartbeat] seconds (the solve path only bumps atomics). The
+    final snapshot is published synchronously before [run] returns, so
+    an aggregate over the fleet's heartbeats matches the sum of the
+    returned summaries exactly. *)

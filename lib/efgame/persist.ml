@@ -45,6 +45,7 @@
 let m_saves = Obs.Metrics.counter "persist.saves"
 let m_save_bytes = Obs.Metrics.counter "persist.save_bytes"
 let m_save_us = Obs.Metrics.histogram "persist.save_us"
+let m_checkpoint_ns = Obs.Metrics.timer "persist.checkpoint_ns"
 let m_save_failures = Obs.Metrics.counter "persist.save_failures"
 let m_loads = Obs.Metrics.counter "persist.loads"
 let m_load_bytes = Obs.Metrics.counter "persist.load_bytes"
@@ -177,7 +178,14 @@ let save ?(max_depth = max_int) ?(fsync = true) ?bound cache path =
   | () ->
       Obs.Metrics.incr m_saves;
       Obs.Metrics.add m_save_bytes (Buffer.length header + String.length payload);
-      Obs.Metrics.observe m_save_us (int_of_float (Obs.Clock.now_us () -. t0));
+      let dt_us = Obs.Clock.now_us () -. t0 in
+      Obs.Metrics.observe m_save_us (int_of_float dt_us);
+      Obs.Metrics.observe_ns m_checkpoint_ns (int_of_float (dt_us *. 1e3));
+      if Obs.Events.enabled () then
+        Obs.Events.record
+          ~detail:
+            (Printf.sprintf "%s entries=%d" (Filename.basename path) written)
+          "checkpoint";
       Ok written
   | exception e ->
       (try Sys.remove tmp with Sys_error _ -> ());

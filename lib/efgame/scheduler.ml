@@ -5,6 +5,7 @@
    worker crashes, and items abandoned after exhausting their retries. *)
 let m_chunks = Obs.Metrics.counter "scheduler.chunks"
 let m_chunk_size = Obs.Metrics.histogram "scheduler.chunk_size"
+let m_chunk_ns = Obs.Metrics.timer "scheduler.chunk_ns"
 let m_items = Obs.Metrics.vec ~buckets:64 "scheduler.items_by_worker"
 let m_faults = Obs.Metrics.counter "scheduler.item_faults"
 let m_requeues = Obs.Metrics.counter "scheduler.requeues"
@@ -97,6 +98,11 @@ let has_requeued t = Mutex.protect t.mu (fun () -> t.requeued <> [])
 let record_fault t item failures e =
   Atomic.incr t.faults;
   Obs.Metrics.incr m_faults;
+  if Obs.Events.enabled () then
+    Obs.Events.record
+      ~detail:(Printf.sprintf "item %d attempt %d: %s" item failures
+                 (Printexc.to_string e))
+      "retry";
   let give_up = failures > t.retries in
   if Atomic.fetch_and_add t.warn_budget (-1) > 0 then
     Obs.Log.warn ~tag:"sched" "item %d attempt %d raised %s%s" item failures
@@ -159,17 +165,19 @@ let run ?tick ?stop t f =
                   [ ("lo", Obs.Trace.I lo); ("size", Obs.Trace.I size);
                     ("worker", Obs.Trace.I w) ])
                 (fun () ->
-                  let hi = lo + size in
-                  let i = ref lo in
-                  (* [limit] may shrink while we work through the chunk;
-                     re-reading it per item makes cancellation effective
-                     at item granularity *)
-                  while
-                    !i < hi && !i < Atomic.get t.limit && not (should_stop ())
-                  do
-                    run_item t f w !i ~failures:0;
-                    incr i
-                  done);
+                  Obs.Metrics.time m_chunk_ns (fun () ->
+                      let hi = lo + size in
+                      let i = ref lo in
+                      (* [limit] may shrink while we work through the
+                         chunk; re-reading it per item makes cancellation
+                         effective at item granularity *)
+                      while
+                        !i < hi && !i < Atomic.get t.limit
+                        && not (should_stop ())
+                      do
+                        run_item t f w !i ~failures:0;
+                        incr i
+                      done));
               (match tick with Some g when w = 0 -> g () | _ -> ());
               loop ()
             end

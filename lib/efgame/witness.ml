@@ -1,5 +1,10 @@
 let unary n = String.make n 'a'
 
+(* Wall-clock per-pair solve latency (full monotone chain, all rounds).
+   Disabled this is one atomic load per pair; enabled it feeds the
+   p50/p95/p99 the telemetry snapshots report. *)
+let m_pair_ns = Obs.Metrics.timer "solve.pair_ns"
+
 type engine = Seed | Cached of Cache.t | Parallel of Cache.t * int
 
 type scan_outcome =
@@ -166,7 +171,9 @@ let scan ?budget ?(engine = Seed) ?(store_depth = 0) ?range ?on_q ?on_tick
     let v, n =
       Obs.Trace.with_span "pair"
         ~args:(fun () -> [ ("p", Obs.Trace.I p); ("q", Obs.Trace.I q) ])
-        (fun () -> check_chain_counted ?budget ~engine ~store_depth ?repr ~k p q)
+        (fun () ->
+          Obs.Metrics.time m_pair_ns (fun () ->
+              check_chain_counted ?budget ~engine ~store_depth ?repr ~k p q))
     in
     ignore (Atomic.fetch_and_add nodes n);
     match v with

@@ -1,2 +1,7 @@
 let now_s () = Unix.gettimeofday ()
 let now_us () = Unix.gettimeofday () *. 1e6
+
+(* gettimeofday resolves to ~1µs; the ns unit is for bucket arithmetic
+   (log₂-ns timer histograms), not for claiming ns-accurate clocks.
+   2^62 ns ≈ 146 years past the epoch, so the tagged int never wraps. *)
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)

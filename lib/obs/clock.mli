@@ -6,3 +6,8 @@ val now_s : unit -> float
 
 (** Microseconds since the epoch — the unit Chrome trace events use. *)
 val now_us : unit -> float
+
+(** Nanoseconds since the epoch as an int — the unit {!Obs.Metrics}
+    timers bucket by. Granularity is whatever [gettimeofday] offers
+    (~1µs); the value fits a tagged 63-bit int for another century. *)
+val now_ns : unit -> int

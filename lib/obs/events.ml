@@ -1,0 +1,99 @@
+(* The flight recorder: a fixed-size lock-free ring of the most recent
+   structured lifecycle events (lease claims, retries, checkpoints,
+   quarantines, signals). Recording is wait-free — one fetch-and-add
+   claims a sequence number, one atomic store publishes the slot — so
+   the sites can live on supervision and persistence paths permanently.
+   A dump can race recorders; it reads each slot once and keeps
+   whatever sequence-consistent prefix it saw, which is exactly the
+   guarantee a post-mortem wants: the last moments, possibly missing a
+   write that was in flight when we died. *)
+
+type event = { seq : int; t_s : float; kind : string; detail : string }
+
+type ring = {
+  cap : int;
+  slots : event option Atomic.t array;
+  cursor : int Atomic.t;
+}
+
+(* [None] = disabled: recording is then one atomic load and a branch,
+   the same contract as disabled [Metrics] increments. *)
+let state : ring option Atomic.t = Atomic.make None
+
+let default_capacity = 256
+
+let enable ?(capacity = default_capacity) () =
+  let capacity = max 1 capacity in
+  Atomic.set state
+    (Some
+       {
+         cap = capacity;
+         slots = Array.init capacity (fun _ -> Atomic.make None);
+         cursor = Atomic.make 0;
+       })
+
+let disable () = Atomic.set state None
+let enabled () = Atomic.get state <> None
+
+let capacity () =
+  match Atomic.get state with None -> 0 | Some r -> r.cap
+
+let recorded () =
+  match Atomic.get state with None -> 0 | Some r -> Atomic.get r.cursor
+
+let record ?(detail = "") kind =
+  match Atomic.get state with
+  | None -> ()
+  | Some r ->
+      let seq = Atomic.fetch_and_add r.cursor 1 in
+      Atomic.set r.slots.(seq mod r.cap)
+        (Some { seq; t_s = Clock.now_s (); kind; detail })
+
+let recent () =
+  match Atomic.get state with
+  | None -> []
+  | Some r ->
+      Array.to_list r.slots
+      |> List.filter_map Atomic.get
+      |> List.sort (fun a b -> compare a.seq b.seq)
+
+let write_json w =
+  let events = recent () in
+  Jsonw.obj w (fun w ->
+      Jsonw.field_string w "schema" "efgame-flight/1";
+      Jsonw.field_int w "pid" (Unix.getpid ());
+      Jsonw.field_int w "capacity" (capacity ());
+      Jsonw.field_int w "recorded" (recorded ());
+      Jsonw.field_int w "dropped" (max 0 (recorded () - capacity ()));
+      Jsonw.field w "events" (fun w ->
+          Jsonw.arr w (fun w ->
+              List.iter
+                (fun e ->
+                  Jsonw.obj w (fun w ->
+                      Jsonw.field_int w "seq" e.seq;
+                      Jsonw.field_float ~prec:6 w "t_s" e.t_s;
+                      Jsonw.field_string w "kind" e.kind;
+                      if e.detail <> "" then
+                        Jsonw.field_string w "detail" e.detail))
+                events)))
+
+(* tmp + rename, like every snapshot this repo publishes: a reader (or
+   the next dump) never sees a torn flight file. Dump failures are
+   swallowed — the flight recorder must never turn a crash landing into
+   a different crash. *)
+let dump ~path =
+  if enabled () then begin
+    let w = Jsonw.create ~initial_size:4096 () in
+    write_json w;
+    let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+    try
+      let oc = open_out_bin tmp in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc (Jsonw.contents w);
+          output_char oc '\n');
+      Sys.rename tmp path
+    with Sys_error _ | Unix.Unix_error _ ->
+      (try Sys.remove tmp with Sys_error _ -> ())
+  end

@@ -1,0 +1,40 @@
+(** Flight recorder: a fixed-size lock-free ring of recent lifecycle
+    events, dumped to a [flight.json] post-mortem on signals, at exit,
+    and on every telemetry tick (so even a SIGKILLed worker leaves a
+    last-moments record no older than one tick).
+
+    Recording is wait-free (one fetch-and-add, one atomic store) and,
+    when the recorder is disabled, a single atomic load and branch —
+    the same hot-path contract as disabled {!Metrics} increments. The
+    ring keeps the newest [capacity] events; older ones are overwritten
+    and counted in the dump's [dropped] field. *)
+
+type event = { seq : int; t_s : float; kind : string; detail : string }
+
+val enable : ?capacity:int -> unit -> unit
+(** Arm the recorder with a fresh ring (default capacity 256). *)
+
+val disable : unit -> unit
+val enabled : unit -> bool
+
+val record : ?detail:string -> string -> unit
+(** [record ~detail kind] appends an event. Callers with expensive
+    [detail] strings should guard on {!enabled} before building them. *)
+
+val recent : unit -> event list
+(** The surviving events, oldest first. Empty when disabled. *)
+
+val recorded : unit -> int
+(** Total events ever recorded (≥ [List.length (recent ())]). *)
+
+val capacity : unit -> int
+
+val write_json : Jsonw.t -> unit
+(** The [efgame-flight/1] document: pid, capacity, recorded, dropped,
+    and the surviving events oldest-first. *)
+
+val dump : path:string -> unit
+(** Atomically (tmp+rename) write the flight file. No-op when disabled;
+    I/O failures are swallowed — a post-mortem writer must never be the
+    thing that crashes. Safe to call repeatedly; each dump replaces the
+    previous one whole. *)

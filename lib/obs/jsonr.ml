@@ -1,0 +1,271 @@
+(* A small recursive-descent JSON reader — the read-side dual of
+   {!Jsonw}. It exists for the telemetry consumers ([shard top], [trace
+   merge], tests) that must ingest snapshot files written by possibly
+   crashed or still-running processes: parsing is strict (a truncated
+   heartbeat is an [Error], never a half-value), but every accessor is
+   option-returning so callers can skip damaged or shape-shifted
+   documents the way [Merge] skips corrupt shards. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Bad of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+type cursor = { s : string; mutable i : int }
+
+let peek c = if c.i < String.length c.s then Some c.s.[c.i] else None
+
+let skip_ws c =
+  while
+    c.i < String.length c.s
+    && match c.s.[c.i] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    c.i <- c.i + 1
+  done
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> c.i <- c.i + 1
+  | Some x -> fail "expected %c at byte %d, got %c" ch c.i x
+  | None -> fail "expected %c at byte %d, got end of input" ch c.i
+
+let literal c word v =
+  let n = String.length word in
+  if c.i + n <= String.length c.s && String.sub c.s c.i n = word then begin
+    c.i <- c.i + n;
+    v
+  end
+  else fail "bad literal at byte %d" c.i
+
+let hex_digit ch =
+  match ch with
+  | '0' .. '9' -> Char.code ch - Char.code '0'
+  | 'a' .. 'f' -> Char.code ch - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code ch - Char.code 'A' + 10
+  | _ -> fail "bad hex escape digit %c" ch
+
+(* \uXXXX escapes are decoded to UTF-8; surrogate pairs are combined
+   when both halves are present, lone surrogates become U+FFFD. *)
+let add_utf8 b u =
+  if u < 0x80 then Buffer.add_char b (Char.chr u)
+  else if u < 0x800 then begin
+    Buffer.add_char b (Char.chr (0xC0 lor (u lsr 6)));
+    Buffer.add_char b (Char.chr (0x80 lor (u land 0x3F)))
+  end
+  else if u < 0x10000 then begin
+    Buffer.add_char b (Char.chr (0xE0 lor (u lsr 12)));
+    Buffer.add_char b (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (u land 0x3F)))
+  end
+  else begin
+    Buffer.add_char b (Char.chr (0xF0 lor (u lsr 18)));
+    Buffer.add_char b (Char.chr (0x80 lor ((u lsr 12) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (u land 0x3F)))
+  end
+
+let parse_u16 c =
+  if c.i + 4 > String.length c.s then fail "truncated \\u escape";
+  let v =
+    (hex_digit c.s.[c.i] lsl 12)
+    lor (hex_digit c.s.[c.i + 1] lsl 8)
+    lor (hex_digit c.s.[c.i + 2] lsl 4)
+    lor hex_digit c.s.[c.i + 3]
+  in
+  c.i <- c.i + 4;
+  v
+
+let parse_string c =
+  expect c '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    if c.i >= String.length c.s then fail "unterminated string";
+    match c.s.[c.i] with
+    | '"' -> c.i <- c.i + 1
+    | '\\' ->
+        c.i <- c.i + 1;
+        (if c.i >= String.length c.s then fail "unterminated escape"
+         else
+           match c.s.[c.i] with
+           | '"' -> Buffer.add_char b '"'; c.i <- c.i + 1
+           | '\\' -> Buffer.add_char b '\\'; c.i <- c.i + 1
+           | '/' -> Buffer.add_char b '/'; c.i <- c.i + 1
+           | 'b' -> Buffer.add_char b '\b'; c.i <- c.i + 1
+           | 'f' -> Buffer.add_char b '\012'; c.i <- c.i + 1
+           | 'n' -> Buffer.add_char b '\n'; c.i <- c.i + 1
+           | 'r' -> Buffer.add_char b '\r'; c.i <- c.i + 1
+           | 't' -> Buffer.add_char b '\t'; c.i <- c.i + 1
+           | 'u' ->
+               c.i <- c.i + 1;
+               let u = parse_u16 c in
+               if u >= 0xD800 && u <= 0xDBFF then
+                 if
+                   c.i + 2 <= String.length c.s
+                   && c.s.[c.i] = '\\'
+                   && c.s.[c.i + 1] = 'u'
+                 then begin
+                   c.i <- c.i + 2;
+                   let lo = parse_u16 c in
+                   if lo >= 0xDC00 && lo <= 0xDFFF then
+                     add_utf8 b
+                       (0x10000 + ((u - 0xD800) lsl 10) + (lo - 0xDC00))
+                   else begin
+                     add_utf8 b 0xFFFD;
+                     add_utf8 b lo
+                   end
+                 end
+                 else add_utf8 b 0xFFFD
+               else if u >= 0xDC00 && u <= 0xDFFF then add_utf8 b 0xFFFD
+               else add_utf8 b u
+           | ch -> fail "bad escape \\%c" ch);
+        go ()
+    | ch ->
+        Buffer.add_char b ch;
+        c.i <- c.i + 1;
+        go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number c =
+  let start = c.i in
+  let num_char ch =
+    match ch with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while c.i < String.length c.s && num_char c.s.[c.i] do
+    c.i <- c.i + 1
+  done;
+  let lit = String.sub c.s start (c.i - start) in
+  match float_of_string_opt lit with
+  | Some f -> Num f
+  | None -> fail "bad number %S at byte %d" lit start
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail "unexpected end of input"
+  | Some '{' ->
+      c.i <- c.i + 1;
+      skip_ws c;
+      if peek c = Some '}' then begin
+        c.i <- c.i + 1;
+        Obj []
+      end
+      else begin
+        let fields = ref [] in
+        let rec members () =
+          skip_ws c;
+          let key = parse_string c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c in
+          fields := (key, v) :: !fields;
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              c.i <- c.i + 1;
+              members ()
+          | Some '}' -> c.i <- c.i + 1
+          | _ -> fail "expected , or } at byte %d" c.i
+        in
+        members ();
+        Obj (List.rev !fields)
+      end
+  | Some '[' ->
+      c.i <- c.i + 1;
+      skip_ws c;
+      if peek c = Some ']' then begin
+        c.i <- c.i + 1;
+        Arr []
+      end
+      else begin
+        let items = ref [] in
+        let rec elements () =
+          let v = parse_value c in
+          items := v :: !items;
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              c.i <- c.i + 1;
+              elements ()
+          | Some ']' -> c.i <- c.i + 1
+          | _ -> fail "expected , or ] at byte %d" c.i
+        in
+        elements ();
+        Arr (List.rev !items)
+      end
+  | Some '"' -> Str (parse_string c)
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some _ -> parse_number c
+
+let parse s =
+  let c = { s; i = 0 } in
+  match parse_value c with
+  | v ->
+      skip_ws c;
+      if c.i <> String.length s then
+        Error (Printf.sprintf "trailing garbage at byte %d" c.i)
+      else Ok v
+  | exception Bad msg -> Error msg
+
+let of_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> In_channel.input_all ic)
+  with
+  | exception Sys_error msg -> Error msg
+  | data -> (
+      match parse data with
+      | Ok _ as ok -> ok
+      | Error msg -> Error (path ^ ": " ^ msg))
+
+(* ------------------------------------------------------- accessors *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_string = function Str s -> Some s | _ -> None
+let to_float = function Num f -> Some f | _ -> None
+
+let to_int = function
+  | Num f when Float.is_integer f && Float.abs f <= 2. ** 62. ->
+      Some (int_of_float f)
+  | _ -> None
+
+let to_bool = function Bool b -> Some b | _ -> None
+let to_list = function Arr items -> Some items | _ -> None
+let to_obj = function Obj fields -> Some fields | _ -> None
+
+let mem_string key j = Option.bind (member key j) to_string
+let mem_float key j = Option.bind (member key j) to_float
+let mem_int key j = Option.bind (member key j) to_int
+let mem_list key j = Option.bind (member key j) to_list
+
+(* ------------------------------------------------------ re-emission *)
+
+let rec write w = function
+  | Null -> Jsonw.null w
+  | Bool b -> Jsonw.bool w b
+  | Num f ->
+      if Float.is_integer f && Float.abs f <= 2. ** 62. then
+        Jsonw.int w (int_of_float f)
+      else Jsonw.float w f
+  | Str s -> Jsonw.string w s
+  | Arr items -> Jsonw.arr w (fun w -> List.iter (write w) items)
+  | Obj fields ->
+      Jsonw.obj w (fun w ->
+          List.iter (fun (k, v) -> Jsonw.field w k (fun w -> write w v)) fields)

@@ -1,0 +1,47 @@
+(** Minimal JSON reader — the read-side dual of {!Jsonw}.
+
+    Built for the fleet-telemetry consumers ([shard top], [trace
+    merge]) that read snapshot files written by concurrently running or
+    crashed processes. Parsing is strict: a truncated or torn file is
+    an [Error], never a silently partial value (the atomic tmp+rename
+    publish discipline means a well-formed file is all-or-nothing, so
+    strictness loses nothing). The accessors are all option-returning,
+    so a caller can treat an unexpected shape exactly like a corrupt
+    file: skip it with a warning and keep aggregating. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+
+(** Read and parse a whole file; I/O errors come back as [Error] with
+    the path prefixed, like the parse errors. *)
+val of_file : string -> (t, string) result
+
+(** {1 Accessors} — all total; [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+val to_string : t -> string option
+val to_float : t -> float option
+
+(** Integral numbers only (and only those exactly representable in a
+    63-bit int); [1.5] is [None], not [1]. *)
+val to_int : t -> int option
+
+val to_bool : t -> bool option
+val to_list : t -> t list option
+val to_obj : t -> (string * t) list option
+
+val mem_string : string -> t -> string option
+val mem_float : string -> t -> float option
+val mem_int : string -> t -> int option
+val mem_list : string -> t -> t list option
+
+(** Re-serialize a parsed value through {!Jsonw} (used by [trace merge]
+    to splice events from several files into one document). *)
+val write : Jsonw.t -> t -> unit

@@ -26,12 +26,35 @@ let severity = function
   | Warn -> "warning: "
   | Info | Debug -> ""
 
+(* Process start, for the elapsed-ms column: module initialization
+   happens before any line is emitted. *)
+let t0 = Unix.gettimeofday ()
+
+let iso8601 t =
+  let tm = Unix.gmtime t in
+  let ms = int_of_float ((t -. Float.of_int (int_of_float t)) *. 1000.) in
+  let ms = if ms < 0 then 0 else if ms > 999 then 999 else ms in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec ms
+
+let elapsed_ms () = int_of_float ((Unix.gettimeofday () -. t0) *. 1000.)
+
+(* "<iso-utc> +<elapsed>ms [tag] severity: msg" — the timestamp gives
+   cross-host correlation (fleet logs interleave meaningfully), the
+   elapsed column gives at-a-glance phase timing within one process,
+   and the [tag] stays where long-standing greps (and the shard-torture
+   harness) expect it. *)
 let log lvl ?(tag = "") fmt =
   if enabled lvl then
     Format.kasprintf
       (fun msg ->
         let line =
-          (if tag = "" then "" else "[" ^ tag ^ "] ") ^ severity lvl ^ msg
+          Printf.sprintf "%s +%dms %s%s%s"
+            (iso8601 (Unix.gettimeofday ()))
+            (elapsed_ms ())
+            (if tag = "" then "" else "[" ^ tag ^ "] ")
+            (severity lvl) msg
         in
         Mutex.protect mu (fun () ->
             prerr_string line;

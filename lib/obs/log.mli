@@ -10,6 +10,11 @@
 
 type level = Error | Warn | Info | Debug
 
+(** Every line carries temporal context:
+    ["<iso-8601-utc> +<elapsed>ms \[tag\] severity: msg"] — wall-clock
+    UTC with millisecond precision for cross-host correlation, elapsed
+    milliseconds since process start for in-process phase timing. *)
+
 val set_level : level -> unit
 val level : unit -> level
 val enabled : level -> bool
@@ -19,6 +24,14 @@ val enabled : level -> bool
     default {!Info} (which preserves the pre-Obs behaviour of always
     showing scan/table progress). [quiet] wins over [-v]. *)
 val setup : ?quiet:bool -> ?verbosity:int -> unit -> unit
+
+(** [iso8601 t] renders a Unix timestamp as UTC
+    ["YYYY-MM-DDThh:mm:ss.mmmZ"] — the prefix every log line carries.
+    Exposed so tests can round-trip the format. *)
+val iso8601 : float -> string
+
+(** Milliseconds since this process loaded the library. *)
+val elapsed_ms : unit -> int
 
 val err : ?tag:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
 val warn : ?tag:string -> ('a, Format.formatter, unit, unit) format4 -> 'a

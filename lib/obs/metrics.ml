@@ -4,7 +4,7 @@ let disable () = Atomic.set on false
 let enabled () = Atomic.get on
 let shards = 16
 
-type kind = C | V | H
+type kind = C | V | H | T
 
 type metric = {
   kind : kind;
@@ -15,6 +15,7 @@ type metric = {
 type counter = metric
 type vec = metric
 type histogram = metric
+type timer = metric
 
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 32
 let reg_mu = Mutex.create ()
@@ -47,6 +48,7 @@ let register name kind buckets =
 let counter name = register name C 1
 let vec ?(buckets = 16) name = register name V (max 1 buckets)
 let histogram name = register name H hist_buckets
+let timer name = register name T hist_buckets
 
 (* Domain ids are small consecutive ints; the low bits spread live
    domains across distinct shards. *)
@@ -81,7 +83,56 @@ let log2_bucket v =
 let observe h v =
   if Atomic.get on then Atomic.incr h.cells.(shard ()).(clamp h (log2_bucket v))
 
-type value = Counter of int | Vec of int array | Histogram of int array
+let observe_ns = observe
+
+(* Disabled, [time] is the same one-load-and-branch as every other
+   increment, then a plain call — no timestamps are taken. Enabled, the
+   wall-clock delta lands in the log₂-ns bucket even on exceptional
+   exit, so a timer's count always matches the number of calls. *)
+let time t f =
+  if not (Atomic.get on) then f ()
+  else begin
+    let t0 = Clock.now_ns () in
+    Fun.protect
+      ~finally:(fun () -> observe_ns t (Clock.now_ns () - t0))
+      f
+  end
+
+(* Bucket 0 holds v <= 0 (treated as [0, 1)); bucket i >= 1 holds
+   [2^(i-1), 2^i). Percentile estimation interpolates linearly inside
+   the bucket the rank falls in — exact at bucket boundaries, at most a
+   factor-2 bucket width off inside, which is the precision log₂
+   buckets buy. *)
+let bucket_bounds i =
+  if i <= 0 then (0., 1.)
+  else (Float.pow 2. (float_of_int (i - 1)), Float.pow 2. (float_of_int i))
+
+let percentile buckets q =
+  let q = Float.max 0. (Float.min 1. q) in
+  let total = Array.fold_left ( + ) 0 buckets in
+  if total = 0 then 0.
+  else begin
+    let rank = q *. float_of_int total in
+    let n = Array.length buckets in
+    let rec go i cum =
+      if i >= n then snd (bucket_bounds (n - 1))
+      else
+        let cum' = cum + buckets.(i) in
+        if buckets.(i) > 0 && float_of_int cum' >= rank then begin
+          let lo, hi = bucket_bounds i in
+          let into = (rank -. float_of_int cum) /. float_of_int buckets.(i) in
+          lo +. ((hi -. lo) *. into)
+        end
+        else go (i + 1) cum'
+    in
+    go 0 0
+  end
+
+type value =
+  | Counter of int
+  | Vec of int array
+  | Histogram of int array
+  | Timer of int array
 
 let merge m =
   let out = Array.make m.buckets 0 in
@@ -112,12 +163,13 @@ let snapshot () =
            | C -> Counter merged.(0)
            | V -> Vec merged
            | H -> Histogram (trim_trailing_zeros merged)
+           | T -> Timer (trim_trailing_zeros merged)
          in
          (name, v))
 
 let total = function
   | Counter n -> n
-  | Vec a | Histogram a -> Array.fold_left ( + ) 0 a
+  | Vec a | Histogram a | Timer a -> Array.fold_left ( + ) 0 a
 
 let reset () =
   Mutex.protect reg_mu (fun () ->
@@ -132,7 +184,7 @@ let write_json w =
   let snap = snapshot () in
   let filter f = List.filter_map (fun (n, v) -> f n v) snap in
   Jsonw.obj w (fun w ->
-      Jsonw.field_string w "schema" "efgame-metrics/1";
+      Jsonw.field_string w "schema" "efgame-metrics/2";
       Jsonw.field_bool w "enabled" (enabled ());
       Jsonw.field_int w "shards" shards;
       let buckets_field key sel =
@@ -152,6 +204,24 @@ let write_json w =
       buckets_field "vecs" (fun n -> function Vec a -> Some (n, a) | _ -> None);
       buckets_field "histograms" (fun n ->
         function Histogram a -> Some (n, a) | _ -> None);
+      Jsonw.field w "timers" (fun w ->
+          Jsonw.obj w (fun w ->
+              List.iter
+                (fun (name, a) ->
+                  Jsonw.field w name (fun w ->
+                      Jsonw.obj w (fun w ->
+                          Jsonw.field_int w "count"
+                            (Array.fold_left ( + ) 0 a);
+                          Jsonw.field_float ~prec:1 w "p50_ns"
+                            (percentile a 0.50);
+                          Jsonw.field_float ~prec:1 w "p95_ns"
+                            (percentile a 0.95);
+                          Jsonw.field_float ~prec:1 w "p99_ns"
+                            (percentile a 0.99);
+                          Jsonw.field w "buckets" (fun w ->
+                              Jsonw.arr w (fun w ->
+                                  Array.iter (Jsonw.int w) a)))))
+                (filter (fun n -> function Timer a -> Some (n, a) | _ -> None))));
       Jsonw.field w "totals" (fun w ->
           Jsonw.obj w (fun w ->
               List.iter

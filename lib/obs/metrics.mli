@@ -53,12 +53,36 @@ type histogram
 val histogram : string -> histogram
 val observe : histogram -> int -> unit
 
+(** {1 Timers} — wall-clock latency histograms on log₂ {e nanosecond}
+    buckets (same bucket convention as {!histogram}). Snapshots report
+    p50/p95/p99 alongside the raw buckets; disabled, {!time} is a
+    single atomic load and branch followed by the call — no clock is
+    read, nothing allocates beyond the caller's closure. *)
+
+type timer
+
+val timer : string -> timer
+
+(** [time t f] runs [f], landing the elapsed wall-clock nanoseconds in
+    [t] (also on exceptional exit, via [Fun.protect]). *)
+val time : timer -> (unit -> 'a) -> 'a
+
+(** Record an already-measured duration, in nanoseconds. *)
+val observe_ns : timer -> int -> unit
+
+(** [percentile buckets q] estimates the [q]-quantile (q in [0, 1]) of
+    a log₂-bucketed histogram by linear interpolation inside the bucket
+    the rank falls in. 0 when the histogram is empty. Exposed for the
+    fleet aggregator and tests. *)
+val percentile : int array -> float -> float
+
 (** {1 Snapshots} *)
 
 type value =
   | Counter of int
   | Vec of int array
   | Histogram of int array  (** trailing zero buckets trimmed *)
+  | Timer of int array  (** log₂-ns buckets, trailing zeros trimmed *)
 
 (** Merged view of every registered metric, sorted by name. *)
 val snapshot : unit -> (string * value) list
@@ -69,9 +93,11 @@ val total : value -> int
     registry itself persists). *)
 val reset : unit -> unit
 
-(** Serialize the merged snapshot ([efgame-metrics/1]): top-level
-    [schema], [shards], [counters], [vecs], [histograms], and [totals]
-    (grand total per metric, across buckets). *)
+(** Serialize the merged snapshot ([efgame-metrics/2]): top-level
+    [schema], [shards], [counters], [vecs], [histograms], [timers]
+    (count, p50/p95/p99 in ns, raw buckets), and [totals] (grand total
+    per metric, across buckets; a timer's total is its observation
+    count). *)
 val write_json : Jsonw.t -> unit
 
 val dump : path:string -> unit

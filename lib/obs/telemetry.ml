@@ -1,0 +1,109 @@
+(* Live telemetry: a background tick thread that periodically publishes
+   snapshots while the process works.
+
+   The cardinal rule (see DESIGN.md): the tick thread owns ALL the
+   I/O. The solve hot path only ever touches the sharded atomics it
+   already touches for metrics; publishing reads them at its leisure.
+   A slow or wedged disk can therefore delay telemetry, never the scan.
+
+   Publishing is atomic (tmp + rename, the [Persist] discipline): a
+   concurrent reader ([shard top], a human with [watch cat]) always
+   sees a complete snapshot or the previous one, never a torn file. *)
+
+type ticker = {
+  interval : float;
+  stop : bool Atomic.t;
+  seq : int Atomic.t;
+  fn : seq:int -> unit;
+  thread : Thread.t;
+}
+
+let run_tick t =
+  try t.fn ~seq:(Atomic.fetch_and_add t.seq 1)
+  with _ -> () (* a failed publish must never kill the publisher *)
+
+(* Thread.delay in small slices bounds stop latency without a condition
+   variable (systhreads offer no timed wait); twenty wakeups a second
+   in a sleeping thread is free next to a solver burning all cores. *)
+let ticker ?(interval = 2.0) fn =
+  let interval = Float.max 0.01 interval in
+  let stop = Atomic.make false in
+  let seq = Atomic.make 0 in
+  let tick () = try fn ~seq:(Atomic.fetch_and_add seq 1) with _ -> () in
+  let rec loop next =
+    if not (Atomic.get stop) then begin
+      let now = Unix.gettimeofday () in
+      if now >= next then begin
+        tick ();
+        loop (now +. interval)
+      end
+      else begin
+        Thread.delay (Float.min 0.05 (next -. now));
+        loop next
+      end
+    end
+  in
+  (* first tick fires immediately: the snapshot file appears as soon as
+     the process starts working, not one interval later *)
+  let thread = Thread.create (fun () -> loop (Unix.gettimeofday ())) () in
+  { interval; stop; seq; fn; thread }
+
+(* The final publish runs on the stopping thread, after the join: when
+   [stop] returns, the last snapshot is on disk and reflects the end
+   state — the aggregator's totals can match the process's own final
+   report exactly. *)
+let stop t =
+  Atomic.set t.stop true;
+  Thread.join t.thread;
+  run_tick t
+
+let tick_now = run_tick
+
+(* ------------------------------------------------- snapshot publisher *)
+
+let write_atomic ~path f =
+  let w = Jsonw.create ~initial_size:4096 () in
+  f w;
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  try
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc (Jsonw.contents w);
+        output_char oc '\n');
+    Sys.rename tmp path
+  with Sys_error _ | Unix.Unix_error _ ->
+    (try Sys.remove tmp with Sys_error _ -> ())
+
+let write_snapshot ~path ~started ~env ~progress ~seq =
+  let now = Clock.now_s () in
+  write_atomic ~path (fun w ->
+      Jsonw.obj w (fun w ->
+          Jsonw.field_string w "schema" "efgame-telemetry/1";
+          Jsonw.field_int w "pid" (Unix.getpid ());
+          Jsonw.field_int w "seq" seq;
+          Jsonw.field_float ~prec:6 w "started_s" started;
+          Jsonw.field_float ~prec:6 w "now_s" now;
+          Jsonw.field_float ~prec:3 w "uptime_s" (now -. started);
+          Jsonw.field w "env" (fun w -> Env.emit env w);
+          Jsonw.field w "progress" (fun w ->
+              Jsonw.obj w (fun w ->
+                  List.iter
+                    (fun (k, v) -> Jsonw.field_int w k v)
+                    (progress ())));
+          Jsonw.field w "metrics" Metrics.write_json))
+
+type t = { ticker : ticker }
+
+let start ?interval ?flight ?(progress = fun () -> []) ~path () =
+  let started = Clock.now_s () in
+  let env = Env.capture () in
+  let publish ~seq =
+    write_snapshot ~path ~started ~env ~progress ~seq;
+    match flight with Some fp -> Events.dump ~path:fp | None -> ()
+  in
+  { ticker = ticker ?interval publish }
+
+let publish t = tick_now t.ticker
+let stop_publisher t = stop t.ticker

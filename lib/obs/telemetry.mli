@@ -1,0 +1,56 @@
+(** Live telemetry: a background tick thread publishing rolling
+    snapshots while the process works.
+
+    Discipline (see DESIGN.md): the tick thread owns {e all} the I/O —
+    the solve hot path only touches the sharded atomics it already
+    touches for metrics, so a slow disk delays telemetry, never the
+    scan. Every write is atomic (tmp + rename, the [Persist]
+    discipline), so a concurrent reader always sees a complete
+    snapshot. *)
+
+(** {1 Generic ticker} — the mechanism, reusable for custom publishers
+    (the [dist] worker heartbeats ride on it). *)
+
+type ticker
+
+(** [ticker ~interval f] spawns a thread calling [f ~seq] now and then
+    every [interval] seconds (default 2.0). Exceptions from [f] are
+    swallowed: a failed publish must never kill the publisher. *)
+val ticker : ?interval:float -> (seq:int -> unit) -> ticker
+
+(** Stop the thread, join it, then run one final [f] from the calling
+    thread — after [stop] returns, the last snapshot reflects the end
+    state (so aggregated totals can match the process's final report
+    exactly). *)
+val stop : ticker -> unit
+
+(** Force an immediate out-of-band tick from the calling thread. *)
+val tick_now : ticker -> unit
+
+(** {1 Standard snapshot publisher} *)
+
+(** Atomic (tmp+rename) JSON file write; shared by every telemetry
+    publisher. I/O failures are swallowed. *)
+val write_atomic : path:string -> (Jsonw.t -> unit) -> unit
+
+type t
+
+(** [start ~path ()] begins publishing [efgame-telemetry/1] snapshots
+    to [path]: pid, seq, uptime, {!Env} identity, the [progress]
+    counters (re-read every tick), and the full merged {!Metrics}
+    snapshot. When [flight] is given, the {!Events} ring is dumped
+    there on every tick too — this is how a SIGKILLed process still
+    leaves a recent post-mortem. *)
+val start :
+  ?interval:float ->
+  ?flight:string ->
+  ?progress:(unit -> (string * int) list) ->
+  path:string ->
+  unit ->
+  t
+
+(** Publish one snapshot immediately (out of band). *)
+val publish : t -> unit
+
+(** Stop the tick thread and write the final snapshot. *)
+val stop_publisher : t -> unit

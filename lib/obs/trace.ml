@@ -12,6 +12,14 @@ let active () = Atomic.get on
 
 (* written by [start] before [on] flips, read by [finish] after *)
 let path_r = ref None
+
+(* Cross-process identity: events carry the real pid (captured at
+   [start], so a fork+trace child stamps its own), and the process
+   track is named by [label] — a fleet worker labels itself with its
+   owner id, so a merged timeline shows one named process per worker
+   with one track per domain under it. *)
+let pid_r = ref 1
+let label_r = ref "efgame"
 let opened = Atomic.make 0
 let closed = Atomic.make 0
 
@@ -24,8 +32,10 @@ let rec record_tid tid =
   if not (List.mem tid cur) then
     if not (Atomic.compare_and_set tids cur (tid :: cur)) then record_tid tid
 
-let start ~path =
+let start ?(label = "efgame") ~path () =
   path_r := Some path;
+  pid_r := Unix.getpid ();
+  label_r := label;
   Array.iter (fun s -> Mutex.protect s.mu (fun () -> Buffer.clear s.buf)) slots;
   Atomic.set opened 0;
   Atomic.set closed 0;
@@ -57,7 +67,7 @@ let emit ~name ~ph ~ts ~dur ~args =
   Jsonw.obj w (fun w ->
       Jsonw.field_string w "name" name;
       Jsonw.field_string w "ph" ph;
-      Jsonw.field_int w "pid" 1;
+      Jsonw.field_int w "pid" !pid_r;
       Jsonw.field_int w "tid" tid;
       Jsonw.field w "ts" (fun w -> Jsonw.float ~prec:3 w ts);
       (match dur with
@@ -93,7 +103,7 @@ let metadata w ~name ~tid ~value =
   Jsonw.obj w (fun w ->
       Jsonw.field_string w "name" name;
       Jsonw.field_string w "ph" "M";
-      Jsonw.field_int w "pid" 1;
+      Jsonw.field_int w "pid" !pid_r;
       Jsonw.field_int w "tid" tid;
       Jsonw.field w "args" (fun w ->
           Jsonw.obj w (fun w -> Jsonw.field_string w "name" value)))
@@ -115,7 +125,7 @@ let finish () =
                the traceEvents array *)
             output_string oc
               "{\"schema\":\"efgame-trace/1\",\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
-            metadata header ~name:"process_name" ~tid:0 ~value:"efgame";
+            metadata header ~name:"process_name" ~tid:0 ~value:!label_r;
             let seen = List.sort_uniq compare (Atomic.get tids) in
             List.iter
               (fun tid ->

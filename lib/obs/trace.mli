@@ -2,10 +2,12 @@
 
     The output file ([efgame-trace/1]) is a standard JSON Object Format
     trace: open it at {{:https://ui.perfetto.dev}ui.perfetto.dev} (or
-    [chrome://tracing]). Spans carry [pid] 1 and [tid] = the OCaml
-    domain id of the domain that ran them, so a multicore frontier scan
-    renders as one track per domain, with scheduler chunks and pair
-    decisions nested on each track.
+    [chrome://tracing]). Spans carry [pid] = the real process id and
+    [tid] = the OCaml domain id of the domain that ran them, so a
+    multicore frontier scan renders as one track per domain, with
+    scheduler chunks and pair decisions nested on each track — and
+    [efgame_cli trace merge] can stitch several processes' traces into
+    one fleet timeline with one track per (worker, domain).
 
     Overhead discipline: when tracing is inactive, {!with_span} is a
     single atomic load and branch followed by the traced function call —
@@ -20,7 +22,12 @@
 
 type arg = I of int | S of string | F of float
 
-val start : path:string -> unit
+(** [start ~path ()] activates tracing. Events are stamped with the
+    {e real} pid (captured here), and [label] (default ["efgame"])
+    names the process track — fleet workers pass their owner id so
+    [trace merge] timelines show one named process per worker. *)
+val start : ?label:string -> path:string -> unit -> unit
+
 val active : unit -> bool
 
 (** Write the trace file and deactivate. No-op when inactive. *)

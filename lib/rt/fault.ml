@@ -82,6 +82,7 @@ let fire_armed p =
   let n = Atomic.fetch_and_add p.evals 1 in
   if draw_fires p n then begin
     Atomic.incr p.fires;
+    Obs.Events.record ~detail:p.name "fault";
     raise (Injected p.name)
   end
 

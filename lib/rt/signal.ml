@@ -9,8 +9,24 @@ let source_of_signo s = if s = Sys.sigint then Int else Term
 let exit_code = function Int -> 130 | Term -> 143
 let name = function Int -> "SIGINT" | Term -> "SIGTERM"
 
+(* Dump hooks run when the first signal latches (OCaml delivers
+   Signal_handle at safe points on the main domain, so ordinary code —
+   including the flight-recorder file write — is safe here). They are
+   insurance for the wedged case: the cooperative path may never reach
+   its own at_exit dump, but the hook already left a post-mortem. *)
+let hooks : (source -> unit) list Atomic.t = Atomic.make []
+
+let rec add_hook f =
+  let cur = Atomic.get hooks in
+  if not (Atomic.compare_and_set hooks cur (f :: cur)) then add_hook f
+
 let handler signo =
-  if not (Atomic.compare_and_set flag 0 signo) then
+  if Atomic.compare_and_set flag 0 signo then begin
+    let src = source_of_signo signo in
+    Obs.Events.record ~detail:(name src) "signal";
+    List.iter (fun f -> try f src with _ -> ()) (Atomic.get hooks)
+  end
+  else
     (* second signal: the cooperative path is stuck or too slow — honour
        the conventional immediate exit *)
     Stdlib.exit (exit_code (source_of_signo signo))

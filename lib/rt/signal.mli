@@ -20,6 +20,14 @@ val pending : unit -> source option
 val clear : unit -> unit
 (** Forget a pending signal (tests, or a driver that handled it). *)
 
+val add_hook : (source -> unit) -> unit
+(** Run [f] when the {e first} signal latches (before {!pending} is
+    observed by any poll — the hook runs inside the handler, at a safe
+    point on the main domain). Used to dump the {!Obs.Events} flight
+    ring the instant a stop is requested, so even a worker that wedges
+    before its cooperative checkpoint leaves a post-mortem. Exceptions
+    from hooks are swallowed; hooks persist across {!clear}. *)
+
 val exit_code : source -> int
 (** The conventional exit code: 130 for SIGINT, 143 for SIGTERM. *)
 

@@ -196,4 +196,63 @@ let () =
   expect_field "dl2.json" "outcome" "\"exhausted\"";
   expect_same_table ~what:"deadline resume" "dl.tbl" "clean.tbl";
 
+  (* 5. flight recorder post-mortem: SIGTERM a telemetry-publishing
+     scan mid-flight. The worker checkpoints and exits 143; the flight
+     ring it leaves behind must parse, record the signal, and end on
+     the final checkpoint — the dump at exit runs after that save. *)
+  note "--- SIGTERM flight recorder";
+  let term_pid =
+    spawn
+      [ "--frontier"; n_big; "--jobs"; "2"; "--table"; "term.tbl";
+        "--checkpoint"; "0.01"; "--flight"; "flight.json"; "--telemetry";
+        "telemetry.json"; "--telemetry-interval"; "0.1"; "--json";
+        "term.json"; "-q" ]
+  in
+  Unix.sleepf 0.2;
+  (try Unix.kill term_pid Sys.sigterm
+   with Unix.Unix_error (Unix.ESRCH, _, _) -> ());
+  (match wait term_pid with
+  | `Exit 143 -> note "OK  SIGTERMed scan checkpointed and exited 143"
+  | `Exit 0 ->
+      (* the scan beat the timer; the flight file must still be valid *)
+      note "OK  scan finished before the SIGTERM landed"
+  | st -> fail "SIGTERMed scan: %s (wanted exit 143)" (pp_status st));
+  (match Obs.Jsonr.of_file "flight.json" with
+  | Error e -> fail "flight.json does not parse: %s" e
+  | Ok j -> (
+      (match Obs.Jsonr.mem_string "schema" j with
+      | Some "efgame-flight/1" -> ()
+      | other ->
+          fail "flight.json schema: %s"
+            (Option.value ~default:"missing" other));
+      match Obs.Jsonr.mem_list "events" j with
+      | None | Some [] -> fail "flight.json holds no events"
+      | Some events ->
+          let kinds =
+            List.filter_map (fun e -> Obs.Jsonr.mem_string "kind" e) events
+          in
+          let last = List.nth kinds (List.length kinds - 1) in
+          if last <> "checkpoint" then
+            fail "flight.json last event is %S (wanted the final checkpoint)"
+              last;
+          if not (List.mem "signal" kinds) then
+            note "  (signal event rotated out of the ring — acceptable)"
+          else note "OK  flight.json: %d events, signal + final checkpoint"
+              (List.length events)));
+  (match Obs.Jsonr.of_file "telemetry.json" with
+  | Error e -> fail "telemetry.json does not parse: %s" e
+  | Ok j -> (
+      match Obs.Jsonr.mem_string "schema" j with
+      | Some "efgame-telemetry/1" ->
+          note "OK  telemetry.json: valid final snapshot"
+      | other ->
+          fail "telemetry.json schema: %s"
+            (Option.value ~default:"missing" other)));
+  (* the interrupted state is resumable to the reference, as ever *)
+  expect_ok
+    [ "--frontier"; n_big; "--jobs"; "2"; "--table"; "term.tbl"; "--resume";
+      "--json"; "term2.json"; "-q" ];
+  expect_field "term2.json" "outcome" "\"exhausted\"";
+  expect_same_table ~what:"post-SIGTERM resume" "term.tbl" "clean.tbl";
+
   note "crash-resume: all stages passed"

@@ -314,16 +314,20 @@ let test_metrics_match_cache_stats () =
    calls themselves may cost a few boxed floats, hence the slack). *)
 let test_disabled_zero_alloc () =
   Obs.Metrics.disable ();
+  Obs.Events.disable ();
   let c = Obs.Metrics.counter "test.zero_alloc" in
   let v = Obs.Metrics.vec ~buckets:4 "test.zero_alloc_vec" in
   let h = Obs.Metrics.histogram "test.zero_alloc_hist" in
+  let t = Obs.Metrics.timer "test.zero_alloc_timer" in
   (* warm up so the metric records and closures exist *)
   Obs.Metrics.incr c;
   let before = Gc.minor_words () in
   for i = 1 to 100_000 do
     Obs.Metrics.incr c;
     Obs.Metrics.vec_incr v (i land 3);
-    Obs.Metrics.observe h i
+    Obs.Metrics.observe h i;
+    Obs.Metrics.observe_ns t i;
+    Obs.Events.record "test"
   done;
   let after = Gc.minor_words () in
   let words = int_of_float (after -. before) in
@@ -341,14 +345,14 @@ let test_metrics_json_shape () =
   let parsed = parse_json (Obs.Jsonw.contents j) in
   Obs.Metrics.reset ();
   (match member_exn "schema" parsed with
-  | Str "efgame-metrics/1" -> ()
+  | Str "efgame-metrics/2" -> ()
   | _ -> Alcotest.fail "schema");
   List.iter
     (fun key ->
       match member key parsed with
       | Some (Obj _) -> ()
       | _ -> Alcotest.failf "metrics JSON missing object %S" key)
-    [ "counters"; "vecs"; "histograms"; "totals" ];
+    [ "counters"; "vecs"; "histograms"; "timers"; "totals" ];
   match member_exn "counters" parsed with
   | Obj fields -> (
       match List.assoc_opt "test.json_counter" fields with
@@ -361,7 +365,7 @@ let test_metrics_json_shape () =
 
 let test_trace_spans_balanced () =
   let path = Filename.temp_file "obs_trace" ".json" in
-  Obs.Trace.start ~path;
+  Obs.Trace.start ~path ();
   (* spans across several domains, including an exceptional exit *)
   let work () =
     for i = 1 to 20 do
