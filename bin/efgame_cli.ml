@@ -577,8 +577,11 @@ let shard_init dir k max_n shards quiet verbose =
       Obs.Log.err ~tag:"shard" "%s" msg;
       exit 2
   | m -> (
-      (try Unix.mkdir dir 0o755
-       with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      (match (Dist.Store.active ()).Dist.Store.mkdir dir with
+      | Ok () -> ()
+      | Error e ->
+          Obs.Log.err ~tag:"shard" "%s: %s" dir (Dist.Store.error_message e);
+          exit 2);
       match Dist.Manifest.save m ~dir with
       | Ok () ->
           Format.printf
@@ -608,8 +611,16 @@ let write_worker_json ~path ~dir ~wall_s (s : Dist.Worker.summary) =
               if Rt.Fault.enabled () then Rt.Fault.write_json w else J.null w)))
 
 let shard_work dir ttl jobs budget attempts max_requeues deadline_s
-    inject_faults json metrics heartbeat flight quiet verbose =
+    inject_faults chaos json metrics heartbeat flight quiet verbose =
   Obs.Log.setup ~quiet ~verbosity:(List.length verbose) ();
+  (match Dist.Store.setup ?spec:chaos () with
+  | Ok () ->
+      let st = Dist.Store.active () in
+      if st.Dist.Store.label <> "posix" then
+        Obs.Log.warn ~tag:"chaos" "hostile store armed: %s" st.Dist.Store.label
+  | Error msg ->
+      Obs.Log.err "%s" msg;
+      exit 2);
   (match Rt.Fault.setup ?spec:inject_faults () with
   | Ok () ->
       if Rt.Fault.enabled () then
@@ -727,19 +738,17 @@ let shard_status dir ttl json quiet verbose =
          fleet last finished a shard, and how many live leases are
          already past half the TTL (renewals have stopped; the reclaim
          countdown is running) *)
+      let st = Dist.Store.active () in
       let newest_done =
         Array.fold_left
           (fun acc s ->
-            match
-              (Unix.stat (Dist.Manifest.done_path dir s.Dist.Manifest.id))
-                .Unix.st_mtime
-            with
-            | m -> ( match acc with Some a when a >= m -> acc | _ -> Some m)
-            | exception Unix.Unix_error _ -> acc)
+            match st.Dist.Store.mtime (Dist.Manifest.done_path dir s.Dist.Manifest.id) with
+            | Ok m -> ( match acc with Some a when a >= m -> acc | _ -> Some m)
+            | Error _ -> acc)
           None m.Dist.Manifest.shards
       in
       let newest_done_age =
-        Option.map (fun m -> Float.max 0. (Unix.gettimeofday () -. m)) newest_done
+        Option.map (fun m -> Float.max 0. (st.Dist.Store.now () -. m)) newest_done
       in
       let aging =
         Array.fold_left
@@ -803,16 +812,20 @@ let shard_top dir ttl stale_after watch json quiet verbose =
   | Ok m ->
       Rt.Signal.install ();
       let once () =
-        let views, warnings = Dist.Heartbeat.list ~dir in
+        let observed, warnings = Dist.Heartbeat.list ~dir in
         let states =
           Array.to_list
             (Array.map
                (fun s -> (s, Dist.Manifest.state ~dir ~ttl s))
                m.Dist.Manifest.shards)
         in
+        let st = Dist.Store.active () in
+        let skew_margin =
+          Float.max Dist.Top.default_skew_margin (Dist.Store.stale_margin st)
+        in
         let t =
-          Dist.Top.aggregate ~now:(Unix.gettimeofday ()) ~stale_after ~states
-            views
+          Dist.Top.aggregate ~now:(st.Dist.Store.now ()) ~stale_after
+            ~skew_margin ~states observed
         in
         (match json with
         | Some path ->
@@ -907,6 +920,265 @@ let shard_audit dir table sample seed budget salvage quiet verbose =
         a.Dist.Audit.unknown
         (List.length a.Dist.Audit.mismatches);
       exit (if Dist.Audit.passed a then 0 else 5)
+
+
+(* --------------------------------------------------------- shard soak *)
+
+(* End-to-end chaos soak: run an elastic fleet of real worker processes
+   against a hostile store (EFGAME_CHAOS in each child), SIGKILL them at
+   a seeded random cadence while respawning replacements, drain, merge —
+   and demand the merged table is verdict-identical (canonical dump
+   byte-equality) to an undisturbed single-process scan of the same
+   manifest on the local filesystem. Any lost or double-counted window
+   shows up as a dump difference, a missing completion record, or a
+   quarantined shard; all three fail the soak. *)
+
+let canonical_lines file =
+  let cache = Efgame.Cache.create () in
+  match Efgame.Persist.load cache file with
+  | Error e -> Error (Format.asprintf "%s: %a" file Efgame.Persist.pp_error e)
+  | Ok _ ->
+      Ok
+        (Efgame.Cache.fold cache ~init:[] ~f:(fun acc key ~win ~lose ->
+             Printf.sprintf "%s\twin<=%d\tlose>=%s" (String.escaped key) win
+               (if lose = max_int then "inf" else string_of_int lose)
+             :: acc)
+        |> List.sort String.compare)
+
+let shard_soak dir workers kill_rate chaos duration seed min_kills max_n
+    shards ttl json quiet verbose =
+  Obs.Log.setup ~quiet ~verbosity:(List.length verbose) ();
+  let k = 3 in
+  let fail fmt = Format.kasprintf (fun msg ->
+      Obs.Log.err ~tag:"soak" "%s" msg; exit 2) fmt
+  in
+  (match Dist.Store.profile chaos with
+  | Ok _ -> ()
+  | Error msg -> fail "%s" msg);
+  if workers < 1 then fail "--workers must be at least 1";
+  let mk d =
+    match (Dist.Store.active ()).Dist.Store.mkdir d with
+    | Ok () -> ()
+    | Error e -> fail "%s: %s" d (Dist.Store.error_message e)
+  in
+  let init d =
+    match Dist.Manifest.create ~k ~max_n ~shards with
+    | exception Invalid_argument msg -> fail "%s" msg
+    | m -> (
+        mk d;
+        match Dist.Manifest.save m ~dir:d with
+        | Ok () -> m
+        | Error msg -> fail "%s" msg)
+  in
+  let m = init dir in
+  let logs = Filename.concat dir "soak-logs" in
+  mk logs;
+  let exe = Sys.executable_name in
+  let spawned = ref 0 in
+  let spawn () =
+    let i = !spawned in
+    incr spawned;
+    let spec = Printf.sprintf "%s:%d" chaos (seed + i) in
+    let log = Filename.concat logs (Printf.sprintf "worker-%02d.log" i) in
+    let fd = Unix.openfile log [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+    let env = Array.append (Unix.environment ()) [| "EFGAME_CHAOS=" ^ spec |] in
+    let argv =
+      [| exe; "shard"; "work"; dir; "--ttl"; Printf.sprintf "%g" ttl;
+         "--heartbeat-every"; "0.5"; "-q" |]
+    in
+    let pid = Unix.create_process_env exe argv env Unix.stdin fd fd in
+    Unix.close fd;
+    pid
+  in
+  let fleet = ref [] in
+  let kills = ref 0 and respawns = ref 0 in
+  let reap () =
+    fleet :=
+      List.filter
+        (fun pid ->
+          match Unix.waitpid [ Unix.WNOHANG ] pid with
+          | 0, _ -> true
+          | _ -> false
+          | exception Unix.Unix_error _ -> false)
+        !fleet
+  in
+  let work_remaining () =
+    let c = Dist.Manifest.counts ~dir ~ttl m in
+    c.Dist.Manifest.pending + c.Dist.Manifest.leased > 0
+  in
+  let refill () =
+    while List.length !fleet < workers do
+      fleet := spawn () :: !fleet;
+      incr respawns
+    done
+  in
+  let kill_one pid =
+    try
+      Unix.kill pid Sys.sigkill;
+      incr kills
+    with Unix.Unix_error _ -> ()
+  in
+  fleet := List.init workers (fun _ -> spawn ());
+  respawns := 0;
+  Obs.Log.info ~tag:"soak"
+    "%d worker(s) under %s chaos on %s (%d shards, %d pairs); killing at \
+     %.2f/s for %.1fs" workers chaos dir
+    (Array.length m.Dist.Manifest.shards)
+    m.Dist.Manifest.total kill_rate duration;
+  let tick_s = 0.1 in
+  let kill_stream =
+    Rt.Fault.stream ~name:"soak.kill" ~seed
+      ~rate:(Float.min 1.0 (kill_rate *. tick_s))
+  in
+  let pick = Rt.Fault.stream ~name:"soak.pick" ~seed ~rate:1.0 in
+  let t0 = Unix.gettimeofday () in
+  let t_storm_end = t0 +. duration in
+  while Unix.gettimeofday () < t_storm_end && work_remaining () do
+    reap ();
+    refill ();
+    if Rt.Fault.trips kill_stream then begin
+      let n = List.length !fleet in
+      if n > 0 then begin
+        let idx = min (n - 1) (int_of_float (Rt.Fault.uniform pick *. float_of_int n)) in
+        kill_one (List.nth !fleet idx)
+      end
+    end;
+    Unix.sleepf tick_s
+  done;
+  (* guarantee the contracted kill count while work remains: a soak that
+     never actually lost a worker mid-claim proves nothing *)
+  while !kills < min_kills && work_remaining () do
+    reap ();
+    (match !fleet with
+    | [] -> refill ()
+    | pid :: _ -> kill_one pid);
+    Unix.sleepf 0.2
+  done;
+  (* drain: let the (respawning) fleet finish every shard *)
+  let drain_deadline = Unix.gettimeofday () +. Float.max 120. (duration *. 10.) in
+  let drained = ref true in
+  let rec drain () =
+    reap ();
+    if work_remaining () then
+      if Unix.gettimeofday () > drain_deadline then drained := false
+      else begin
+        if !fleet = [] then begin
+          fleet := [ spawn () ];
+          incr respawns
+        end;
+        Unix.sleepf 0.25;
+        drain ()
+      end
+  in
+  drain ();
+  List.iter
+    (fun pid -> try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ())
+    !fleet;
+  List.iter
+    (fun pid -> try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+    !fleet;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  if not !drained then begin
+    Obs.Log.err ~tag:"soak" "drain timed out with work remaining";
+    exit 1
+  end;
+  (* reference: the same manifest scanned undisturbed, one process, no
+     chaos (the driver's store is plain posix) *)
+  let ref_dir = dir ^ ".ref" in
+  ignore (init ref_dir);
+  let ref_cfg =
+    { (Dist.Worker.default_config ~dir:ref_dir) with
+      Dist.Worker.ttl = 3600.; heartbeat = 0. }
+  in
+  (match Dist.Worker.run ref_cfg with
+  | Ok _ -> ()
+  | Error msg -> fail "reference scan: %s" msg);
+  let merge d out =
+    match Dist.Merge.merge ~dir:d ~out () with
+    | Ok t -> t
+    | Error msg -> fail "merge %s: %s" d msg
+  in
+  let out = Filename.concat dir "soak-merged.tbl" in
+  let ref_out = Filename.concat ref_dir "ref-merged.tbl" in
+  let t_chaos = merge dir out in
+  let t_ref = merge ref_dir ref_out in
+  let problems = ref [] in
+  let problem fmt =
+    Format.kasprintf (fun msg -> problems := msg :: !problems) fmt
+  in
+  if !kills < min_kills then
+    problem "only %d kill(s) landed (want >= %d); enlarge --max or --duration"
+      !kills min_kills;
+  (* window conservation: every shard merged, exactly once, strictly *)
+  let n_shards = Array.length m.Dist.Manifest.shards in
+  if t_chaos.Dist.Merge.merged <> n_shards then
+    problem "%d of %d windows merged strictly (%d salvaged, %d quarantined, \
+             %d missing)"
+      t_chaos.Dist.Merge.merged n_shards t_chaos.Dist.Merge.salvaged
+      t_chaos.Dist.Merge.quarantined t_chaos.Dist.Merge.missing;
+  Array.iter
+    (fun s ->
+      match Dist.Record.read ~dir s.Dist.Manifest.id with
+      | Ok _ -> ()
+      | Error msg ->
+          problem "window %d lost its completion record: %s"
+            s.Dist.Manifest.id msg)
+    m.Dist.Manifest.shards;
+  if t_chaos.Dist.Merge.bound <> t_ref.Dist.Merge.bound then
+    problem "proven bound differs: chaos %s, reference %s"
+      (match t_chaos.Dist.Merge.bound with
+      | Some (k, n) -> Printf.sprintf "(%d,%d)" k n
+      | None -> "none")
+      (match t_ref.Dist.Merge.bound with
+      | Some (k, n) -> Printf.sprintf "(%d,%d)" k n
+      | None -> "none");
+  let identical =
+    match (canonical_lines out, canonical_lines ref_out) with
+    | Error msg, _ | _, Error msg ->
+        problem "%s" msg;
+        false
+    | Ok a, Ok b ->
+        if a <> b then begin
+          let diff =
+            List.length (List.filter (fun l -> not (List.mem l b)) a)
+            + List.length (List.filter (fun l -> not (List.mem l a)) b)
+          in
+          problem "merged table differs from the undisturbed scan in %d \
+                   entr(ies)" diff
+        end;
+        a = b
+  in
+  Format.printf
+    "soak: %d spawn(s) (%d respawns), %d SIGKILL(s), %d shard(s) merged, \
+     %d entries, %.1fs@."
+    !spawned !respawns !kills t_chaos.Dist.Merge.merged
+    t_chaos.Dist.Merge.entries wall_s;
+  Format.printf "merged table %s the undisturbed single-process scan@."
+    (if identical then "is verdict-identical to" else "DIFFERS from");
+  List.iter (fun msg -> Format.printf "FAIL: %s@." msg) (List.rev !problems);
+  (match json with
+  | Some path ->
+      let module J = Obs.Jsonw in
+      J.to_file path (fun w ->
+          J.obj w (fun w ->
+              J.field_string w "schema" "efgame-shard-soak/1";
+              J.field_string w "dir" dir;
+              J.field_string w "chaos" chaos;
+              J.field_int w "seed" seed;
+              J.field_int w "workers" workers;
+              J.field_int w "spawned" !spawned;
+              J.field_int w "respawns" !respawns;
+              J.field_int w "kills" !kills;
+              J.field_int w "shards" n_shards;
+              J.field_int w "merged" t_chaos.Dist.Merge.merged;
+              J.field_int w "entries" t_chaos.Dist.Merge.entries;
+              J.field_float ~prec:2 w "wall_s" wall_s;
+              J.field_bool w "identical" identical;
+              J.field w "problems" (fun w ->
+                  J.arr w (fun w ->
+                      List.iter (J.string w) (List.rev !problems)))))
+  | None -> ());
+  exit (if !problems = [] then 0 else 1)
 
 (* ------------------------------------------------------------ cmdline *)
 
@@ -1161,6 +1433,17 @@ let ttl_arg =
              is older than $(docv) is presumed dead and reclaimable. Every \
              worker on a directory must use the same TTL.")
 
+let chaos_arg =
+  Arg.(value & opt (some string) None & info [ "chaos" ] ~docv:"PROFILE[:SEED]"
+       ~doc:"Run this worker's shard-directory I/O through a hostile \
+             deterministic store wrapper: coarse mtimes, a skewed process \
+             clock, delayed visibility of other workers' files, torn \
+             exclusive creates, and transient EIO/ENOSPC/EINTR faults. \
+             Profiles: $(b,nfs-coarse), $(b,flaky-io), $(b,skewed-clock), \
+             $(b,none); SEED defaults to 0. The EFGAME_CHAOS environment \
+             variable is the equivalent ambient switch. Robustness testing \
+             only.")
+
 let shard_init_cmd =
   let k =
     Arg.(value & opt int 3 & info [ "k"; "rounds" ] ~docv:"K" ~doc:"Rounds.")
@@ -1216,8 +1499,9 @@ let shard_work_cmd =
              in DIR (see $(b,shard top)). Exits 0, or 1 if this worker \
              quarantined a shard.")
     Term.(const shard_work $ shard_dir_arg $ ttl_arg $ jobs_arg $ budget
-          $ attempts $ max_requeues $ deadline_arg $ faults_arg $ json_arg
-          $ metrics_arg $ heartbeat $ flight_arg $ quiet_arg $ verbose_arg)
+          $ attempts $ max_requeues $ deadline_arg $ faults_arg $ chaos_arg
+          $ json_arg $ metrics_arg $ heartbeat $ flight_arg $ quiet_arg
+          $ verbose_arg)
 
 let shard_status_cmd =
   Cmd.v
@@ -1305,14 +1589,75 @@ let shard_audit_cmd =
     Term.(const shard_audit $ shard_dir_arg $ table $ sample $ seed $ budget
           $ salvage_arg $ quiet_arg $ verbose_arg)
 
+let shard_soak_cmd =
+  let workers =
+    Arg.(value & opt int 3 & info [ "workers" ] ~docv:"N"
+         ~doc:"Fleet strength: killed workers are replaced to keep $(docv) \
+               running until the scan drains.")
+  in
+  let kill_rate =
+    Arg.(value & opt float 1.0 & info [ "kill-rate" ] ~docv:"R"
+         ~doc:"Expected SIGKILLs per second during the storm window \
+               (seeded random schedule).")
+  in
+  let chaos =
+    Arg.(value & opt string "nfs-coarse" & info [ "chaos" ] ~docv:"PROFILE"
+         ~doc:"Chaos profile each worker runs under (see $(b,shard work \
+               --chaos)); the driver's own merge and the reference scan \
+               stay on the plain local filesystem.")
+  in
+  let duration =
+    Arg.(value & opt float 8. & info [ "duration" ] ~docv:"S"
+         ~doc:"Length of the kill storm; the drain afterwards runs until \
+               every shard is terminal.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED"
+         ~doc:"Seeds the kill schedule and each worker's chaos stream \
+               (worker i gets chaos seed SEED+i).")
+  in
+  let min_kills =
+    Arg.(value & opt int 5 & info [ "min-kills" ] ~docv:"N"
+         ~doc:"Fail the soak unless at least $(docv) SIGKILLs landed while \
+               work remained — a storm that never hit anything proves \
+               nothing.")
+  in
+  let max_n =
+    Arg.(value & opt int 96 & info [ "max" ] ~docv:"N"
+         ~doc:"Scan all pairs (p, q) with q <= $(docv).")
+  in
+  let shards =
+    Arg.(value & opt int 12 & info [ "shards" ] ~docv:"S"
+         ~doc:"Shard windows to cut.")
+  in
+  let ttl =
+    Arg.(value & opt float 5. & info [ "ttl" ] ~docv:"S"
+         ~doc:"Lease TTL for the soak fleet (short, so killed workers' \
+               shards reclaim quickly).")
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:"Chaos soak for the whole shard protocol: spawn an elastic \
+             fleet of real worker processes under a hostile store profile, \
+             SIGKILL them on a seeded schedule while respawning \
+             replacements, drain, merge — then demand the merged table is \
+             verdict-identical to an undisturbed single-process scan of \
+             the same manifest, every window exactly once. Exits 0 on a \
+             clean soak, 1 on any lost/duplicated window, table \
+             difference, or an underpowered storm, 2 on usage errors.")
+    Term.(const shard_soak $ shard_dir_arg $ workers $ kill_rate $ chaos
+          $ duration $ seed $ min_kills $ max_n $ shards $ ttl $ json_arg
+          $ quiet_arg $ verbose_arg)
+
 let shard_cmd =
   Cmd.group
     (Cmd.info "shard"
        ~doc:"Coordinator-free distributed frontier scans over a shared \
              directory: lease-based shard claims, crash-tolerant \
-             completion records, quarantine, merge, and audit.")
+             completion records, quarantine, merge, audit, and chaos \
+             soak.")
     [ shard_init_cmd; shard_work_cmd; shard_status_cmd; shard_top_cmd;
-      shard_merge_cmd; shard_audit_cmd ]
+      shard_merge_cmd; shard_audit_cmd; shard_soak_cmd ]
 
 let info =
   Cmd.info "efgame_cli"

@@ -39,7 +39,7 @@ type stats = {
 let make_stats ~owner =
   {
     owner;
-    started = Unix.gettimeofday ();
+    started = (Store.active ()).Store.now ();
     pairs = Atomic.make 0;
     completed = Atomic.make 0;
     claimed = Atomic.make 0;
@@ -111,7 +111,10 @@ let path ~dir ~owner =
   let h = Int64.to_int (Manifest.fnv1a64 owner) land 0xffffff in
   Filename.concat dir (Printf.sprintf "worker-%s-%06x%s" (sanitize owner) h suffix)
 
-let view_of_stats ?(now = Unix.gettimeofday ()) ~seq s =
+let view_of_stats ?now ~seq s =
+  let now =
+    match now with Some n -> n | None -> (Store.active ()).Store.now ()
+  in
   {
     v_owner = s.owner;
     v_pid = Unix.getpid ();
@@ -172,8 +175,33 @@ let write_view v w =
           J.field_float ~prec:3 w "last_checkpoint_age_s" age
       | None -> J.field_null w "last_checkpoint_s")
 
+(* Publishing degrades gracefully under a hostile store: a failed
+   write (ENOSPC, EIO, injected chaos) is counted and logged ONCE at
+   WARN, then the ticker keeps ticking — the next successful publish
+   logs the recovery. Telemetry must never crash the tick thread or
+   cost the worker its shard. *)
+let m_publish_failures = Obs.Metrics.counter "dist.heartbeat_publish_failures"
+let publish_degraded = Atomic.make false
+
 let publish ~dir v =
-  Obs.Telemetry.write_atomic ~path:(path ~dir ~owner:v.v_owner) (write_view v)
+  let st = Store.active () in
+  let w = Obs.Jsonw.create ~initial_size:1024 () in
+  write_view v w;
+  match
+    st.Store.put_atomic ~fsync:false
+      (path ~dir ~owner:v.v_owner)
+      (Obs.Jsonw.contents w ^ "\n")
+  with
+  | Ok () ->
+      if Atomic.exchange publish_degraded false then
+        Obs.Log.info ~tag:"dist" "heartbeat publishing recovered"
+  | Error e ->
+      Obs.Metrics.incr m_publish_failures;
+      if not (Atomic.exchange publish_degraded true) then
+        Obs.Log.warn ~tag:"dist"
+          "heartbeat publish failed (%s); continuing without telemetry \
+           until the store recovers"
+          (Store.error_message e)
 
 (* ---------------------------------------------------------- reading *)
 
@@ -222,27 +250,49 @@ let of_json j =
   | _ -> Error "missing heartbeat fields"
 
 let load file =
-  match Obs.Jsonr.of_file file with
-  | Error msg -> Error msg
-  | Ok j -> ( match of_json j with Ok v -> Ok v | Error msg -> Error (file ^ ": " ^ msg))
+  match (Store.active ()).Store.read file with
+  | Error e -> Error (file ^ ": " ^ Store.error_message e)
+  | Ok data -> (
+      match Obs.Jsonr.parse data with
+      | Error msg -> Error (file ^ ": " ^ msg)
+      | Ok j -> (
+          match of_json j with
+          | Ok v -> Ok v
+          | Error msg -> Error (file ^ ": " ^ msg)))
 
 (* Corrupt-tolerant sweep, the [Merge] discipline: a heartbeat that
    fails to read is a warning in the result, never an exception — one
    worker dying mid-publish (tmp+rename makes even that unlikely) must
-   not blind the aggregator to the rest of the fleet. *)
+   not blind the aggregator to the rest of the fleet.
+
+   Each view comes back with the store-observed mtime of its file, so
+   staleness can be judged against what the shared directory actually
+   shows rather than trusting the publisher's own (possibly skewed)
+   clock — a worker whose clock disagrees is then flagged as skewed by
+   the aggregator instead of being mis-classified as stale or
+   suspiciously fresh. *)
+type observed = { ob_view : view; ob_mtime : float option }
+
 let list ~dir =
-  match Sys.readdir dir with
-  | exception Sys_error msg -> ([], [ msg ])
-  | names ->
-      Array.sort compare names;
+  let st = Store.active () in
+  match st.Store.list dir with
+  | Error e -> ([], [ dir ^ ": " ^ Store.error_message e ])
+  | Ok names ->
       Array.fold_left
         (fun (views, warnings) name ->
           if
             String.starts_with ~prefix:"worker-" name
             && Filename.check_suffix name suffix
           then
-            match load (Filename.concat dir name) with
-            | Ok v -> (v :: views, warnings)
+            let file = Filename.concat dir name in
+            match load file with
+            | Ok v ->
+                let ob_mtime =
+                  match st.Store.mtime file with
+                  | Ok m -> Some m
+                  | Error _ -> None
+                in
+                ({ ob_view = v; ob_mtime } :: views, warnings)
             | Error msg ->
                 (views, Printf.sprintf "skipping heartbeat %s: %s" name msg :: warnings)
           else (views, warnings))

@@ -73,8 +73,12 @@ val checkpoint_age : view -> float option
     plus a short owner hash, so distinct owners never collide). *)
 val path : dir:string -> owner:string -> string
 
-(** Atomically write the view's heartbeat file. Failures are swallowed
-    (telemetry must never fail the worker). *)
+(** Atomically write the view's heartbeat file through the active
+    {!Store}. Degrades gracefully: a failed publish (ENOSPC, EIO,
+    injected chaos) bumps the [dist.heartbeat_publish_failures] counter
+    and logs once at WARN, then stays quiet until the next success logs
+    the recovery — telemetry never crashes the tick thread or the
+    worker. *)
 val publish : dir:string -> view -> unit
 
 (** {1 Reading} *)
@@ -82,6 +86,12 @@ val publish : dir:string -> view -> unit
 val of_json : Obs.Jsonr.t -> (view, string) result
 val load : string -> (view, string) result
 
+type observed = { ob_view : view; ob_mtime : float option }
+(** A readable heartbeat plus the store-observed mtime of its file —
+    the aggregator judges staleness against the mtime (what the shared
+    directory shows) and uses the gap to the publisher's own [v_now]
+    to flag clock skew. *)
+
 (** All readable heartbeats under [dir] (sorted by file name), plus one
     warning per skipped unreadable/corrupt file. Never raises. *)
-val list : dir:string -> view list * string list
+val list : dir:string -> observed list * string list

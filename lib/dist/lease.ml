@@ -1,24 +1,33 @@
 (* Shard ownership over a shared directory, with no coordinator.
 
-   The protocol leans on exactly two filesystem guarantees:
+   The protocol leans on exactly two storage guarantees (Store's
+   contract; see DESIGN.md decision 9):
 
-   - [O_CREAT | O_EXCL] open is atomic: of N racing claimants, precisely
-     one creates the lease file. That create is the linearization point
-     of every claim.
-   - [rename] of an existing file is atomic and fails with ENOENT for
-     every caller but one. Reclaiming a stale lease renames it to a
-     unique tombstone first; the single winner of that rename is the
-     only process allowed to race for the re-create.
+   - [create_excl] is atomic: of N racing claimants, precisely one
+     creates the lease file. That create is the linearization point of
+     every claim.
+   - [rename] of an existing file is atomic and fails for every caller
+     but one. Reclaiming a stale lease renames it to a unique tombstone
+     first; the single winner of that rename is the only process
+     allowed to race for the re-create.
 
    Liveness is mtime: the holder bumps the lease's mtime as a heartbeat
-   ({!renew}), and a lease whose mtime is older than the TTL is presumed
-   dead and reclaimable. A wedged-but-alive holder can therefore lose
-   its lease — which is why {!renew} re-reads the file and reports
-   [`Lost] when the content no longer names this owner, and why the
-   worker abandons (rather than completes) a shard whose lease it lost.
-   Double execution during the handover window is harmless: shard scans
-   are deterministic and the table merge is monotone, so re-running a
-   shard is idempotent (see DESIGN.md). *)
+   ({!renew}), and a lease whose observed mtime is older than the TTL —
+   plus the store's staleness margin, which absorbs coarse mtime
+   granularity and bounded clock skew — is presumed dead. Presumption
+   is not enough to reclaim: hostile stores (NFS-like mounts) can make
+   a healthy lease look momentarily old, so a reclaim requires TWO
+   observations of the SAME stale mtime separated by a grace interval
+   at least the store's rename-visibility bound. A renewing holder
+   changes the mtime between the observations and resets the clock; a
+   genuinely dead one cannot.
+
+   A wedged-but-alive holder can still lose its lease — which is why
+   {!renew} re-reads the file and reports [`Lost] when the content no
+   longer names this owner, and why the worker abandons (rather than
+   completes) a shard whose lease it lost. Double execution during the
+   handover window is harmless: shard scans are deterministic and the
+   table merge is monotone, so re-running a shard is idempotent. *)
 
 let m_claimed = Obs.Metrics.counter "dist.shards_claimed"
 let m_reclaimed = Obs.Metrics.counter "dist.shards_reclaimed"
@@ -38,93 +47,186 @@ let default_owner () =
     (Hashtbl.hash (Unix.gettimeofday (), Unix.getpid ()) land 0xffffffff)
 
 let read_owner path =
-  match
-    let ic = open_in_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> In_channel.input_all ic)
-  with
-  | data -> Some (String.trim data)
-  | exception Sys_error _ -> None
-
-let write_exclusive path content =
-  match Unix.openfile path [ O_WRONLY; O_CREAT; O_EXCL; O_CLOEXEC ] 0o644 with
-  | fd ->
-      Fun.protect
-        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-        (fun () ->
-          let b = Bytes.of_string (content ^ "\n") in
-          ignore (Unix.write fd b 0 (Bytes.length b)));
-      true
-  | exception Unix.Unix_error (Unix.EEXIST, _, _) -> false
+  match (Store.active ()).Store.read path with
+  | Ok data -> Some (String.trim data)
+  | Error _ -> None
 
 let age path =
-  match Unix.stat path with
-  | st -> Some (Unix.gettimeofday () -. st.Unix.st_mtime)
-  | exception Unix.Unix_error _ -> None
+  let st = Store.active () in
+  match st.Store.mtime path with
+  | Ok m -> Some (st.Store.now () -. m)
+  | Error _ -> None
 
 (* Move the stale lease aside; exactly one racer's rename succeeds, and
-   that winner deletes the tombstone. The losers see ENOENT and go back
-   to competing on the O_EXCL create like everyone else. *)
+   that winner deletes the tombstone. The losers see Absent and go back
+   to competing on the exclusive create like everyone else. Tombstone
+   handling is idempotent: a tombstone whose delete failed (or whose
+   reclaimer died between rename and delete) is swept by
+   {!sweep_tombstones} once it is old enough that no rename can still
+   be in flight. *)
 let reclaim_stale path =
+  let st = Store.active () in
   let tomb =
     Printf.sprintf "%s.stale.%d.%d" path (Unix.getpid ())
       (Atomic.fetch_and_add tomb_counter 1)
   in
-  match Sys.rename path tomb with
-  | () ->
-      (try Sys.remove tomb with Sys_error _ -> ());
+  match st.Store.rename ~src:path ~dst:tomb with
+  | Ok () ->
+      ignore (st.Store.delete tomb);
       true
-  | exception Sys_error _ -> false
+  | Error _ -> false
 
-let rec try_claim ?(attempts = 3) ~ttl ~owner path =
-  if attempts <= 0 then `Held
-  else if write_exclusive path owner then begin
-    Obs.Metrics.incr m_claimed;
-    Obs.Events.record ~detail:(Filename.basename path) "lease.claim";
-    `Claimed { path; owner }
-  end
-  else
-    match age path with
-    | None ->
-        (* the holder released between our create and our stat: retry *)
-        try_claim ~attempts:(attempts - 1) ~ttl ~owner path
-    | Some a when a > ttl ->
-        if reclaim_stale path && write_exclusive path owner then begin
-          Obs.Metrics.incr m_claimed;
-          Obs.Metrics.incr m_reclaimed;
-          Obs.Events.record ~detail:(Filename.basename path) "lease.reclaim";
-          `Reclaimed { path; owner }
-        end
-        else
-          (* lost the reclaim race, or a third party re-created first *)
-          `Held
-    | Some _ -> `Held
+(* Two-observation reclaim bookkeeping, per process: the first time a
+   path looks stale we only remember (mtime, when we saw it); reclaim
+   is allowed when a later look — at least the grace interval after —
+   finds the very same mtime. Any heartbeat in between changes the
+   mtime and restarts the clock. *)
+let observations : (string, float * float) Hashtbl.t = Hashtbl.create 16
+let obs_mu = Mutex.create ()
+
+let observe path m now =
+  Mutex.protect obs_mu (fun () ->
+      match Hashtbl.find_opt observations path with
+      | Some (m0, t0) when m0 = m -> now -. t0
+      | _ ->
+          Hashtbl.replace observations path (m, now);
+          0.)
+
+let forget path = Mutex.protect obs_mu (fun () -> Hashtbl.remove observations path)
+
+let claimed path owner how =
+  Obs.Metrics.incr m_claimed;
+  (match how with
+  | `Claimed -> Obs.Events.record ~detail:(Filename.basename path) "lease.claim"
+  | `Reclaimed ->
+      Obs.Metrics.incr m_reclaimed;
+      Obs.Events.record ~detail:(Filename.basename path) "lease.reclaim");
+  forget path;
+  match how with
+  | `Claimed -> `Claimed { path; owner }
+  | `Reclaimed -> `Reclaimed { path; owner }
+
+let try_claim ?(attempts = 3) ?grace ~ttl ~owner path =
+  let st = Store.active () in
+  let margin = Store.stale_margin st in
+  let grace =
+    match grace with Some g -> g | None -> Store.reclaim_grace st ~ttl
+  in
+  let rec go attempts =
+    if attempts <= 0 then `Held
+    else
+      match st.Store.create_excl path (owner ^ "\n") with
+      | Ok () -> claimed path owner `Claimed
+      | Error (Store.Io _) -> (
+          (* ambiguous create: the file may or may not exist now, and
+             may or may not be ours. Re-read to find out; if that too
+             fails, give up the attempt — if our create did land, the
+             orphan lease simply ages out and is reclaimed like any
+             dead worker's. Never double-claimed, at worst delayed. *)
+          match read_owner path with
+          | Some o when o = owner -> claimed path owner `Claimed
+          | Some _ -> `Held
+          | None -> go (attempts - 1))
+      | Error Store.Absent -> go (attempts - 1)
+      | Error Store.Exists -> (
+          (* our own earlier torn create can leave a lease that already
+             names us: recognize it instead of waiting for it to rot *)
+          match read_owner path with
+          | Some o when o = owner -> claimed path owner `Claimed
+          | _ -> (
+              match st.Store.mtime path with
+              | Error _ ->
+                  (* the holder released between our create and our
+                     stat (or the store flickered): retry *)
+                  go (attempts - 1)
+              | Ok m ->
+                  let now = st.Store.now () in
+                  if now -. m > ttl +. margin then begin
+                    if observe path m now >= grace then begin
+                      if reclaim_stale path then
+                        match st.Store.create_excl path (owner ^ "\n") with
+                        | Ok () -> claimed path owner `Reclaimed
+                        | Error _ -> `Held
+                      else `Held (* lost the reclaim race *)
+                    end
+                    else `Held (* stale once; confirm after the grace *)
+                  end
+                  else begin
+                    forget path;
+                    `Held
+                  end))
+  in
+  go attempts
 
 let renew t =
-  match read_owner t.path with
-  | Some owner when owner = t.owner -> (
-      match Unix.utimes t.path 0. 0. with
-      | () ->
+  let st = Store.active () in
+  match st.Store.read t.path with
+  | Ok data when String.trim data = t.owner -> (
+      match st.Store.touch t.path with
+      | Ok () ->
           Obs.Metrics.incr m_renewals;
           Obs.Events.record ~detail:(Filename.basename t.path) "lease.renew";
           `Renewed
-      | exception Unix.Unix_error _ ->
+      | Error Store.Absent ->
           Obs.Events.record ~detail:(Filename.basename t.path) "lease.lost";
-          `Lost)
-  | Some _ | None ->
+          `Lost
+      | Error _ ->
+          (* a transient touch failure just ages the heartbeat a bit;
+             the TTL margin absorbs it and the next renew catches up *)
+          `Renewed)
+  | Ok _ | Error Store.Absent ->
       Obs.Events.record ~detail:(Filename.basename t.path) "lease.lost";
       `Lost
+  | Error _ ->
+      (* can't tell — keep working. If we really were reclaimed, the
+         new owner's scan is idempotent with ours; certify-time record
+         writes stay atomic either way. *)
+      `Renewed
 
 (* Only the owner removes its lease; a reclaimed lease names someone
    else and must be left alone. *)
 let release t =
-  match read_owner t.path with
-  | Some owner when owner = t.owner -> (
-      try Sys.remove t.path with Sys_error _ -> ())
-  | Some _ | None -> ()
+  let st = Store.active () in
+  match st.Store.read t.path with
+  | Ok data when String.trim data = t.owner -> ignore (st.Store.delete t.path)
+  | _ -> ()
 
 let holder path =
   match (read_owner path, age path) with
   | Some owner, Some age -> Some (owner, age)
   | _ -> None
+
+(* Orphaned tombstone sweep: a reclaimer that died between its rename
+   and its delete leaves [path.stale.pid.n] behind. Tombstones carry no
+   authority — deleting one is always safe — but only sweep those older
+   than the TTL so a rename still in flight is never yanked from under
+   its winner. *)
+let sweep_tombstones ~dir ~ttl =
+  let st = Store.active () in
+  match st.Store.list dir with
+  | Error _ -> 0
+  | Ok names ->
+      Array.fold_left
+        (fun swept name ->
+          let is_tomb =
+            match String.index_opt name '.' with
+            | None -> false
+            | Some _ ->
+                (* shard-NNNN.lease.stale.PID.N *)
+                let rec has_stale = function
+                  | [] | [ _ ] -> false
+                  | "stale" :: _ :: _ -> true
+                  | _ :: rest -> has_stale rest
+                in
+                has_stale (String.split_on_char '.' name)
+          in
+          if not is_tomb then swept
+          else
+            let path = Filename.concat dir name in
+            match st.Store.mtime path with
+            | Ok m when st.Store.now () -. m > ttl +. Store.stale_margin st ->
+                (match st.Store.delete path with
+                | Ok () -> swept + 1
+                | Error _ -> swept)
+            | _ -> swept)
+        0 names

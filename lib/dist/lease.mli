@@ -1,20 +1,24 @@
 (** Atomic lease files: shard ownership over a shared directory with no
-    coordinator.
+    coordinator, hardened for hostile stores.
 
-    The protocol leans on two filesystem guarantees: [O_CREAT|O_EXCL]
-    open is atomic (of N racing claimants exactly one creates the file —
-    the linearization point of every claim), and [rename] fails with
-    ENOENT for all but one caller (reclaiming a stale lease renames it
-    to a unique tombstone first, so exactly one reclaimer proceeds).
+    The protocol leans on two {!Store} guarantees: [create_excl] is
+    atomic (of N racing claimants exactly one creates the file — the
+    linearization point of every claim), and [rename] fails for all but
+    one caller (reclaiming a stale lease renames it to a unique
+    tombstone first, so exactly one reclaimer proceeds).
 
     Liveness is mtime: {!renew} bumps it as a heartbeat, and a lease
-    older than the TTL is presumed dead and reclaimable. A wedged but
-    alive holder can therefore lose its lease; {!renew} detects this
-    ([`Lost]) by re-reading the owner, and the worker then abandons the
-    shard. Double execution during the handover window is harmless:
-    shard scans are deterministic and the table merge is monotone, so
-    re-running a shard is idempotent (DESIGN.md, "Lease reclaim without
-    consensus"). *)
+    whose observed age exceeds [ttl] {e plus the store's staleness
+    margin} (mtime granularity + clock skew, {!Store.stale_margin}) is
+    presumed dead. Reclaim additionally requires {e two} observations
+    of the same stale mtime separated by a grace interval
+    ({!Store.reclaim_grace}), so a heartbeat that is merely slow to
+    become visible never loses a healthy holder its lease. A wedged but
+    alive holder can still lose it; {!renew} detects this ([`Lost]) by
+    re-reading the owner, and the worker then abandons the shard.
+    Double execution during the handover window is harmless: shard
+    scans are deterministic and the table merge is monotone, so
+    re-running a shard is idempotent (DESIGN.md decisions 5 and 9). *)
 
 type t = { path : string; owner : string }
 
@@ -24,24 +28,38 @@ val default_owner : unit -> string
 
 val try_claim :
   ?attempts:int ->
+  ?grace:float ->
   ttl:float ->
   owner:string ->
   string ->
   [ `Claimed of t | `Reclaimed of t | `Held ]
-(** One claim attempt on a lease path. [`Claimed]: we created the lease.
-    [`Reclaimed]: the previous lease was stale (older than [ttl]
-    seconds); we won the reclaim race and created a fresh one.
-    [`Held]: someone else holds it, or beat us to it. Never blocks,
+(** One claim attempt on a lease path. [`Claimed]: we created the lease
+    (or recognized our own earlier ambiguous create). [`Reclaimed]: the
+    previous lease was stale past the margin on two observations
+    [grace] seconds apart (default {!Store.reclaim_grace}); we won the
+    reclaim race and created a fresh one. [`Held]: someone else holds
+    it, beat us to it, or the first stale observation was just
+    recorded — poll again after the grace to confirm. Never blocks,
     never spins beyond [attempts] (default 3) vanished-file races. *)
 
 val renew : t -> [ `Renewed | `Lost ]
 (** Heartbeat: bump the lease mtime — but only after re-reading the
     file and confirming it still names us. [`Lost] means a reclaimer
-    took the shard (we were presumed dead); stop working on it. *)
+    took the shard (we were presumed dead); stop working on it. A
+    transient store error keeps the lease ([`Renewed]): the TTL margin
+    absorbs one missed beat, and wrongly abandoning is the only unsafe
+    direction for throughput. *)
 
 val release : t -> unit
 (** Remove the lease if it still names us; a reclaimed lease belongs
     to someone else and is left untouched. Never raises. *)
 
 val holder : string -> (string * float) option
-(** [(owner, age_seconds)] of the lease at a path, if one exists. *)
+(** [(owner, observed_age_seconds)] of the lease at a path, if one
+    exists; age is store-observed (coarse mtime and skew included). *)
+
+val sweep_tombstones : dir:string -> ttl:float -> int
+(** Delete reclaim tombstones ([*.stale.PID.N]) older than
+    [ttl + margin] — leftovers of reclaimers that died between their
+    rename and their delete. Idempotent and always safe (tombstones
+    carry no authority); returns how many were swept. *)

@@ -74,40 +74,21 @@ let body m =
   Buffer.contents b
 
 let save m ~dir =
+  let st = Store.active () in
   let body = body m in
   let data = Printf.sprintf "%schecksum %Lx\n" body (fnv1a64 body) in
   let final = path dir in
-  if Sys.file_exists final then Error (final ^ ": manifest already exists")
+  if st.Store.exists final then Error (final ^ ": manifest already exists")
   else
-    let tmp = Printf.sprintf "%s.tmp.%d" final (Unix.getpid ()) in
-    match
-      let oc = open_out_bin tmp in
-      Fun.protect
-        ~finally:(fun () -> close_out_noerr oc)
-        (fun () ->
-          output_string oc data;
-          flush oc;
-          Unix.fsync (Unix.descr_of_out_channel oc));
-      Sys.rename tmp final
-    with
-    | () -> Ok ()
-    | exception Sys_error msg ->
-        (try Sys.remove tmp with Sys_error _ -> ());
-        Error msg
-    | exception Unix.Unix_error (err, fn, _) ->
-        (try Sys.remove tmp with Sys_error _ -> ());
-        Error (Printf.sprintf "%s: %s" fn (Unix.error_message err))
+    match st.Store.put_atomic final data with
+    | Ok () -> Ok ()
+    | Error e -> Error (Store.error_message e)
 
 let load ~dir =
   let file = path dir in
-  match
-    let ic = open_in_bin file in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> In_channel.input_all ic)
-  with
-  | exception Sys_error msg -> Error msg
-  | data -> (
+  match (Store.active ()).Store.read file with
+  | Error e -> Error (file ^ ": " ^ Store.error_message e)
+  | Ok data -> (
       (* split off the trailing checksum line and verify it covers the
          exact bytes it follows *)
       let check_prefix = "checksum " in
@@ -173,19 +154,23 @@ let load ~dir =
                 else Ok { k = !k; max_n = !max_n; total = !total; shards }))
 
 (* Lease freshness: heartbeats bump the lease file's mtime, so a lease
-   older than the TTL belongs to a worker that died or wedged. *)
+   older than the TTL belongs to a worker that died or wedged. Ages are
+   store-observed — coarse mtimes and this process's clock skew are in
+   the number, which is why staleness cuts at TTL plus the store's
+   margin, not at the bare TTL. *)
 let lease_age dir id =
-  match Unix.stat (lease_path dir id) with
-  | st -> Some (Unix.gettimeofday () -. st.Unix.st_mtime)
-  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> None
-  | exception Unix.Unix_error _ -> None
+  let st = Store.active () in
+  match st.Store.mtime (lease_path dir id) with
+  | Ok m -> Some (st.Store.now () -. m)
+  | Error _ -> None
 
 let state ~dir ~ttl s =
-  if Sys.file_exists (quarantine_path dir s.id) then Quarantined
-  else if Sys.file_exists (done_path dir s.id) then Done
+  let st = Store.active () in
+  if st.Store.exists (quarantine_path dir s.id) then Quarantined
+  else if st.Store.exists (done_path dir s.id) then Done
   else
     match lease_age dir s.id with
-    | Some age when age <= ttl -> Leased
+    | Some age when age <= ttl +. Store.stale_margin st -> Leased
     | Some _ | None -> Pending
 
 type counts = {
@@ -211,54 +196,36 @@ let counts ~dir ~ttl m =
     m.shards
 
 let retries dir id =
-  match
-    let ic = open_in (retries_path dir id) in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> input_line ic)
-  with
-  | line -> Option.value (int_of_string_opt (String.trim line)) ~default:0
-  | exception Sys_error _ -> 0
-  | exception End_of_file -> 0
+  match (Store.active ()).Store.read (retries_path dir id) with
+  | Ok data -> (
+      match String.index_opt data '\n' with
+      | Some i ->
+          Option.value
+            (int_of_string_opt (String.trim (String.sub data 0 i)))
+            ~default:0
+      | None -> Option.value (int_of_string_opt (String.trim data)) ~default:0)
+  | Error _ -> 0
 
 (* Last-writer-wins is fine here: the counter only gates how long a
    flaky shard keeps being retried, and only the lease holder bumps it. *)
 let bump_retries dir id =
   let n = retries dir id + 1 in
-  let path = retries_path dir id in
-  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
-  (try
-     let oc = open_out tmp in
-     Fun.protect
-       ~finally:(fun () -> close_out_noerr oc)
-       (fun () -> output_string oc (string_of_int n ^ "\n"));
-     Sys.rename tmp path
-   with Sys_error _ -> ());
+  ignore
+    ((Store.active ()).Store.put_atomic ~fsync:false (retries_path dir id)
+       (string_of_int n ^ "\n"));
   n
 
 let quarantine ~dir ~owner id reason =
-  let path = quarantine_path dir id in
-  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
-  try
-    let oc = open_out tmp in
-    Fun.protect
-      ~finally:(fun () -> close_out_noerr oc)
-      (fun () ->
-        output_string oc (Printf.sprintf "shard %d\nowner %s\nreason %s\n" id owner reason));
-    Sys.rename tmp path;
-    Ok ()
-  with Sys_error msg ->
-    (try Sys.remove tmp with Sys_error _ -> ());
-    Error msg
+  match
+    (Store.active ()).Store.put_atomic (quarantine_path dir id)
+      (Printf.sprintf "shard %d\nowner %s\nreason %s\n" id owner reason)
+  with
+  | Ok () -> Ok ()
+  | Error e -> Error (Store.error_message e)
 
 let quarantine_reason dir id =
-  match
-    let ic = open_in (quarantine_path dir id) in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> In_channel.input_all ic)
-  with
-  | data ->
+  match (Store.active ()).Store.read (quarantine_path dir id) with
+  | Ok data ->
       List.find_map
         (fun l ->
           match String.index_opt l ' ' with
@@ -266,4 +233,4 @@ let quarantine_reason dir id =
               Some (String.sub l (i + 1) (String.length l - i - 1))
           | _ -> None)
         (String.split_on_char '\n' data)
-  | exception Sys_error _ -> None
+  | Error _ -> None

@@ -66,11 +66,20 @@ let merge_shard ~dir ~owner ~salvage_threshold ~into (s : Manifest.shard) =
         (Option.value (Manifest.quarantine_reason dir id) ~default:"(unreadable reason)")
   | Manifest.Pending | Manifest.Leased -> Missing
   | Manifest.Done -> (
-      match Record.read ~dir id with
+      (* A transient store fault (EIO flicker, chaos injection) must not
+         quarantine a healthy shard: retry the reads with backoff first,
+         and only quarantine what still fails when the store has had
+         every chance to answer. *)
+      match Rt.Backoff.retry ~attempts:4 ~base_s:0.02 ~max_s:0.25 (fun () ->
+                Record.read ~dir id)
+      with
       | Error msg -> quarantine ~dir ~owner id ("completion record: " ^ msg)
       | Ok record -> (
           let table = Manifest.table_path dir id in
-          match Record.file_fnv table with
+          match
+            Rt.Backoff.retry ~attempts:4 ~base_s:0.02 ~max_s:0.25 (fun () ->
+                Record.file_fnv table)
+          with
           | Error msg -> quarantine ~dir ~owner id ("table unreadable: " ^ msg)
           | Ok fnv when fnv <> record.Record.table_fnv ->
               quarantine ~dir ~owner id

@@ -18,14 +18,9 @@ type t = {
 }
 
 let file_fnv path =
-  match
-    let ic = open_in_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> In_channel.input_all ic)
-  with
-  | data -> Ok (Manifest.fnv1a64 data)
-  | exception Sys_error msg -> Error msg
+  match (Store.active ()).Store.read path with
+  | Ok data -> Ok (Manifest.fnv1a64 data)
+  | Error e -> Error (path ^ ": " ^ Store.error_message e)
 
 let to_string r =
   let outcome =
@@ -38,36 +33,18 @@ let to_string r =
     r.shard r.owner outcome r.entries r.table_fnv
 
 let write ~dir r =
-  let path = Manifest.done_path dir r.shard in
-  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
   match
-    let oc = open_out_bin tmp in
-    Fun.protect
-      ~finally:(fun () -> close_out_noerr oc)
-      (fun () ->
-        output_string oc (to_string r);
-        flush oc;
-        Unix.fsync (Unix.descr_of_out_channel oc));
-    Sys.rename tmp path
+    (Store.active ()).Store.put_atomic (Manifest.done_path dir r.shard)
+      (to_string r)
   with
-  | () -> Ok ()
-  | exception Sys_error msg ->
-      (try Sys.remove tmp with Sys_error _ -> ());
-      Error msg
-  | exception Unix.Unix_error (err, fn, _) ->
-      (try Sys.remove tmp with Sys_error _ -> ());
-      Error (Printf.sprintf "%s: %s" fn (Unix.error_message err))
+  | Ok () -> Ok ()
+  | Error e -> Error (Store.error_message e)
 
 let read ~dir id =
   let path = Manifest.done_path dir id in
-  match
-    let ic = open_in_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> In_channel.input_all ic)
-  with
-  | exception Sys_error msg -> Error msg
-  | data -> (
+  match (Store.active ()).Store.read path with
+  | Error e -> Error (path ^ ": " ^ Store.error_message e)
+  | Ok data -> (
       let fields =
         String.split_on_char '\n' data
         |> List.filter_map (fun l ->

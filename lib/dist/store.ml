@@ -1,0 +1,392 @@
+(* The storage interface behind every lib/dist filesystem touch.
+
+   This module is the single place in lib/dist allowed to call Unix/Sys
+   file primitives (CI greps the rest of the directory for strays). The
+   [posix] store is the local filesystem at zero overhead; [chaos]
+   wraps any store in seeded, deterministic hostility so the lease
+   protocol can be soaked under NFS-like semantics — coarse mtimes,
+   skewed clocks, renames that other handles see late, creates whose
+   outcome the caller never learns, and a background drizzle of
+   transient I/O errors drawn from Rt.Fault streams.
+
+   Soundness note: chaos never fakes success. An injected failure
+   either prevents the underlying operation (clean fault) or hides a
+   real success behind an ambiguous [Io] (torn create) — both are
+   things real storage does. The one simulation liberty is delayed
+   visibility, which reports a real file [Absent]; that only ever makes
+   the protocol MORE conservative (a claim retries, a reclaim waits),
+   never less. *)
+
+type error = Absent | Exists | Io of string
+
+let error_message = function
+  | Absent -> "no such file"
+  | Exists -> "already exists"
+  | Io msg -> msg
+
+type bounds = {
+  mtime_granularity_s : float;
+  clock_skew_s : float;
+  rename_visibility_s : float;
+}
+
+type t = {
+  label : string;
+  bounds : bounds;
+  now : unit -> float;
+  put_atomic : ?fsync:bool -> string -> string -> (unit, error) result;
+  create_excl : string -> string -> (unit, error) result;
+  read : string -> (string, error) result;
+  list : string -> (string array, error) result;
+  delete : string -> (unit, error) result;
+  rename : src:string -> dst:string -> (unit, error) result;
+  touch : string -> (unit, error) result;
+  mtime : string -> (float, error) result;
+  exists : string -> bool;
+  mkdir : string -> (unit, error) result;
+}
+
+(* ------------------------------------------------------------- posix *)
+
+let io_of_unix e fn = Io (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+
+let posix_read path =
+  match Unix.openfile path [ Unix.O_RDONLY; Unix.O_CLOEXEC ] 0 with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> Error Absent
+  | exception Unix.Unix_error (e, fn, _) -> Error (io_of_unix e fn)
+  | fd -> (
+      let ic = Unix.in_channel_of_descr fd in
+      match
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> In_channel.input_all ic)
+      with
+      | data -> Ok data
+      | exception Sys_error msg -> Error (Io msg))
+
+let posix_put ?(fsync = true) path data =
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let cleanup () = try Sys.remove tmp with Sys_error _ -> () in
+  match
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc data;
+        flush oc;
+        if fsync then Unix.fsync (Unix.descr_of_out_channel oc));
+    Sys.rename tmp path
+  with
+  | () -> Ok ()
+  | exception Sys_error msg ->
+      cleanup ();
+      Error (Io msg)
+  | exception Unix.Unix_error (e, fn, _) ->
+      cleanup ();
+      Error (io_of_unix e fn)
+
+let posix_create_excl path content =
+  match
+    Unix.openfile path
+      [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_EXCL; Unix.O_CLOEXEC ]
+      0o644
+  with
+  | exception Unix.Unix_error (Unix.EEXIST, _, _) -> Error Exists
+  | exception Unix.Unix_error (e, fn, _) -> Error (io_of_unix e fn)
+  | fd -> (
+      match
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            let b = Bytes.of_string content in
+            ignore (Unix.write fd b 0 (Bytes.length b)))
+      with
+      | () -> Ok ()
+      | exception Unix.Unix_error (e, fn, _) -> Error (io_of_unix e fn))
+
+let posix_list dir =
+  match Sys.readdir dir with
+  | names ->
+      Array.sort compare names;
+      Ok names
+  | exception Sys_error msg ->
+      if Sys.file_exists dir then Error (Io msg) else Error Absent
+
+let posix_delete path =
+  match Unix.unlink path with
+  | () -> Ok ()
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> Error Absent
+  | exception Unix.Unix_error (e, fn, _) -> Error (io_of_unix e fn)
+
+let posix_rename ~src ~dst =
+  match Unix.rename src dst with
+  | () -> Ok ()
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> Error Absent
+  | exception Unix.Unix_error (e, fn, _) -> Error (io_of_unix e fn)
+
+(* utimes 0. 0. is the documented "set both times to now" special case *)
+let posix_touch path =
+  match Unix.utimes path 0. 0. with
+  | () -> Ok ()
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> Error Absent
+  | exception Unix.Unix_error (e, fn, _) -> Error (io_of_unix e fn)
+
+let posix_mtime path =
+  match Unix.stat path with
+  | st -> Ok st.Unix.st_mtime
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> Error Absent
+  | exception Unix.Unix_error (e, fn, _) -> Error (io_of_unix e fn)
+
+let posix_mkdir dir =
+  match Unix.mkdir dir 0o755 with
+  | () -> Ok ()
+  | exception Unix.Unix_error (Unix.EEXIST, _, _) -> Ok ()
+  | exception Unix.Unix_error (e, fn, _) -> Error (io_of_unix e fn)
+
+let posix =
+  {
+    label = "posix";
+    bounds =
+      { mtime_granularity_s = 0.; clock_skew_s = 0.; rename_visibility_s = 0. };
+    now = Unix.gettimeofday;
+    put_atomic = posix_put;
+    create_excl = posix_create_excl;
+    read = posix_read;
+    list = posix_list;
+    delete = posix_delete;
+    rename = posix_rename;
+    touch = posix_touch;
+    mtime = posix_mtime;
+    exists = Sys.file_exists;
+    mkdir = posix_mkdir;
+  }
+
+(* --------------------------------------------------- protocol margins *)
+
+let stale_margin t = t.bounds.mtime_granularity_s +. t.bounds.clock_skew_s
+
+let reclaim_grace t ~ttl =
+  Float.max
+    (t.bounds.rename_visibility_s +. t.bounds.mtime_granularity_s)
+    (Float.min (ttl /. 4.) 1.0)
+
+(* ------------------------------------------------------------- chaos *)
+
+type profile = {
+  p_name : string;
+  p_mtime_granularity_s : float;
+  p_clock_skew_s : float;
+  p_visibility_s : float;
+  p_fault_rate : float;
+  p_torn_rate : float;
+}
+
+let profiles =
+  [
+    ( "nfs-coarse",
+      {
+        p_name = "nfs-coarse";
+        p_mtime_granularity_s = 1.0;
+        p_clock_skew_s = 1.5;
+        p_visibility_s = 0.4;
+        p_fault_rate = 0.02;
+        p_torn_rate = 0.02;
+      } );
+    ( "flaky-io",
+      {
+        p_name = "flaky-io";
+        p_mtime_granularity_s = 0.;
+        p_clock_skew_s = 0.;
+        p_visibility_s = 0.;
+        p_fault_rate = 0.10;
+        p_torn_rate = 0.05;
+      } );
+    ( "skewed-clock",
+      {
+        p_name = "skewed-clock";
+        p_mtime_granularity_s = 2.0;
+        p_clock_skew_s = 3.0;
+        p_visibility_s = 0.;
+        p_fault_rate = 0.;
+        p_torn_rate = 0.;
+      } );
+    ( "none",
+      {
+        p_name = "none";
+        p_mtime_granularity_s = 0.;
+        p_clock_skew_s = 0.;
+        p_visibility_s = 0.;
+        p_fault_rate = 0.;
+        p_torn_rate = 0.;
+      } );
+  ]
+
+let profile name =
+  match List.assoc_opt name profiles with
+  | Some p -> Ok p
+  | None ->
+      Error
+        (Printf.sprintf "unknown chaos profile %S (have: %s)" name
+           (String.concat ", " (List.map fst profiles)))
+
+let m_injected = Obs.Metrics.counter "store.chaos_injected"
+
+let chaos ?(seed = 0) p base =
+  let pid = Unix.getpid () in
+  let fault = Rt.Fault.stream ~name:"store.fault" ~seed ~rate:p.p_fault_rate in
+  let torn = Rt.Fault.stream ~name:"store.torn" ~seed ~rate:p.p_torn_rate in
+  let flicker =
+    (* half of the reads inside the visibility window miss — the window
+       itself bounds the damage, the rate just makes it intermittent *)
+    Rt.Fault.stream ~name:"store.flicker" ~seed ~rate:0.5
+  in
+  (* per-process clock skew, fixed for the process lifetime: mixing the
+     pid in means each fleet member disagrees differently, like real
+     unsynchronized hosts *)
+  let skew =
+    if p.p_clock_skew_s <= 0. then 0.
+    else
+      let s = Rt.Fault.stream ~name:"store.skew" ~seed:(seed lxor (pid * 0x9E3779B1)) ~rate:0. in
+      ((2. *. Rt.Fault.uniform s) -. 1.) *. p.p_clock_skew_s
+  in
+  let errno = Atomic.make 0 in
+  let injected op =
+    Obs.Metrics.incr m_injected;
+    let which =
+      match Atomic.fetch_and_add errno 1 mod 3 with
+      | 0 -> "EIO"
+      | 1 -> "ENOSPC"
+      | _ -> "EINTR"
+    in
+    Io (Printf.sprintf "%s: injected %s (chaos %s)" op which p.p_name)
+  in
+  (* You always see your own writes (close-to-open consistency); only
+     other handles' fresh files flicker. *)
+  let written : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let wmu = Mutex.create () in
+  let mark path = Mutex.protect wmu (fun () -> Hashtbl.replace written path ()) in
+  let unmark path = Mutex.protect wmu (fun () -> Hashtbl.remove written path) in
+  let ours path = Mutex.protect wmu (fun () -> Hashtbl.mem written path) in
+  let coarsen m =
+    if p.p_mtime_granularity_s <= 0. then m
+    else Float.of_int (int_of_float (m /. p.p_mtime_granularity_s))
+         *. p.p_mtime_granularity_s
+  in
+  let flickers path =
+    p.p_visibility_s > 0.
+    && (not (ours path))
+    && (match base.mtime path with
+       | Ok m -> base.now () -. m < p.p_visibility_s
+       | Error _ -> false)
+    && Rt.Fault.trips flicker
+  in
+  {
+    label = Printf.sprintf "chaos:%s over %s" p.p_name base.label;
+    bounds =
+      {
+        mtime_granularity_s =
+          Float.max base.bounds.mtime_granularity_s p.p_mtime_granularity_s;
+        clock_skew_s = base.bounds.clock_skew_s +. p.p_clock_skew_s;
+        rename_visibility_s =
+          base.bounds.rename_visibility_s +. p.p_visibility_s;
+      };
+    now = (fun () -> base.now () +. skew);
+    put_atomic =
+      (fun ?fsync path data ->
+        if Rt.Fault.trips fault then Error (injected "put_atomic")
+        else
+          match base.put_atomic ?fsync path data with
+          | Ok () ->
+              mark path;
+              Ok ()
+          | Error _ as e -> e);
+    create_excl =
+      (fun path content ->
+        if Rt.Fault.trips fault then Error (injected "create_excl")
+        else
+          match base.create_excl path content with
+          | Ok () ->
+              mark path;
+              if Rt.Fault.trips torn then
+                Error
+                  (Io
+                     (Printf.sprintf
+                        "create_excl: outcome unknown (chaos %s torn create)"
+                        p.p_name))
+              else Ok ()
+          | Error _ as e -> e);
+    read =
+      (fun path ->
+        if flickers path then Error Absent
+        else if Rt.Fault.trips fault then Error (injected "read")
+        else base.read path);
+    list =
+      (fun dir ->
+        if Rt.Fault.trips fault then Error (injected "list")
+        else base.list dir);
+    delete =
+      (fun path ->
+        if Rt.Fault.trips fault then Error (injected "delete")
+        else
+          match base.delete path with
+          | Ok () ->
+              unmark path;
+              Ok ()
+          | Error _ as e -> e);
+    rename =
+      (fun ~src ~dst ->
+        if Rt.Fault.trips fault then Error (injected "rename")
+        else
+          match base.rename ~src ~dst with
+          | Ok () ->
+              mark dst;
+              Ok ()
+          | Error _ as e -> e);
+    touch =
+      (fun path ->
+        if Rt.Fault.trips fault then Error (injected "touch")
+        else base.touch path);
+    mtime =
+      (fun path ->
+        if flickers path then Error Absent
+        else Result.map coarsen (base.mtime path));
+    exists = (fun path -> if flickers path then false else base.exists path);
+    mkdir = base.mkdir;
+  }
+
+(* ------------------------------------------------------ active store *)
+
+let active_store = Atomic.make posix
+let active () = Atomic.get active_store
+let use t = Atomic.set active_store t
+
+let of_spec spec =
+  if spec = "posix" then Ok posix
+  else
+    let name, seed =
+      match String.index_opt spec ':' with
+      | None -> (spec, Ok 0)
+      | Some i -> (
+          let s = String.sub spec (i + 1) (String.length spec - i - 1) in
+          ( String.sub spec 0 i,
+            match int_of_string_opt s with
+            | Some n -> Ok n
+            | None -> Error (Printf.sprintf "bad chaos seed %S" s) ))
+    in
+    match (profile name, seed) with
+    | Error msg, _ | _, Error msg ->
+        Error (Printf.sprintf "bad chaos spec %S: %s (want PROFILE[:SEED])" spec msg)
+    | Ok p, Ok seed -> Ok (chaos ~seed p posix)
+
+let setup ?spec () =
+  let spec =
+    match spec with Some _ -> spec | None -> Sys.getenv_opt "EFGAME_CHAOS"
+  in
+  match spec with
+  | None -> Ok ()
+  | Some spec -> (
+      match of_spec spec with
+      | Ok t ->
+          use t;
+          Ok ()
+      | Error _ as e -> e)

@@ -10,8 +10,15 @@
 
 type worker_row = {
   hb : Heartbeat.view;
-  age : float;  (** seconds since the snapshot was published *)
+  age : float;
+      (** seconds since the snapshot appeared, judged against the
+          store-observed file mtime when available (the publisher's own
+          clock may be skewed), else against its self-reported [v_now] *)
   fresh : bool;
+  skew_s : float option;
+      (** publisher clock minus store mtime — how far this worker's
+          clock disagrees with the store's, when the mtime is known *)
+  skewed : bool;  (** |skew_s| beyond the margin: flagged, not stale *)
   rate : float;  (** pairs/s over the worker's uptime *)
   share : float;  (** of the fleet's pairs; 0 when the fleet is at 0 *)
 }
@@ -42,28 +49,54 @@ type t = {
 }
 
 let default_stale_after = 10.
+let default_skew_margin = 2.0
 
-let aggregate ~now ?(stale_after = default_stale_after) ?(states = []) views =
-  let views =
-    List.sort (fun a b -> compare a.Heartbeat.v_owner b.Heartbeat.v_owner) views
+let aggregate ~now ?(stale_after = default_stale_after)
+    ?(skew_margin = default_skew_margin) ?(states = []) observed =
+  let observed =
+    List.sort
+      (fun a b ->
+        compare a.Heartbeat.ob_view.Heartbeat.v_owner
+          b.Heartbeat.ob_view.Heartbeat.v_owner)
+      observed
   in
+  let views = List.map (fun o -> o.Heartbeat.ob_view) observed in
   let sum f = List.fold_left (fun acc v -> acc + f v) 0 views in
   let fleet_pairs = sum (fun v -> v.Heartbeat.v_pairs) in
   let workers =
     List.map
-      (fun (v : Heartbeat.view) ->
-        let age = Float.max 0. (now -. v.v_now) in
+      (fun (o : Heartbeat.observed) ->
+        let v = o.Heartbeat.ob_view in
+        (* Staleness against the store-observed mtime when we have one:
+           a worker whose clock runs ahead or behind is then flagged as
+           skewed instead of being mis-classified fresh or stale. *)
+        let age =
+          match o.Heartbeat.ob_mtime with
+          | Some m -> Float.max 0. (now -. m)
+          | None -> Float.max 0. (now -. v.Heartbeat.v_now)
+        in
         let fresh = age <= stale_after in
+        let skew_s =
+          Option.map (fun m -> v.Heartbeat.v_now -. m) o.Heartbeat.ob_mtime
+        in
+        let skewed =
+          match skew_s with
+          | Some s -> Float.abs s > skew_margin
+          | None -> false
+        in
         {
           hb = v;
           age;
           fresh;
+          skew_s;
+          skewed;
           rate = Heartbeat.pairs_per_s v;
           share =
             (if fleet_pairs = 0 then 0.
-             else float_of_int v.v_pairs /. float_of_int fleet_pairs);
+             else
+               float_of_int v.Heartbeat.v_pairs /. float_of_int fleet_pairs);
         })
-      views
+      observed
   in
   let rate =
     List.fold_left
@@ -158,6 +191,10 @@ let write_json ?(warnings = []) t w =
                       J.field_int w "pid" v.Heartbeat.v_pid;
                       J.field_float ~prec:2 w "age_s" r.age;
                       J.field_bool w "fresh" r.fresh;
+                      (match r.skew_s with
+                      | Some s -> J.field_float ~prec:2 w "clock_skew_s" s
+                      | None -> J.field_null w "clock_skew_s");
+                      J.field_bool w "clock_skewed" r.skewed;
                       J.field_int w "pairs" v.Heartbeat.v_pairs;
                       J.field_float ~prec:2 w "pairs_per_s" r.rate;
                       J.field_float ~prec:4 w "share" r.share;
@@ -215,7 +252,10 @@ let render ?(warnings = []) t =
         (match Heartbeat.checkpoint_age v with
         | Some age -> Printf.sprintf "%.0fs" (age +. r.age)
         | None -> "-")
-        (if r.fresh then "" else "  [stale]"))
+        (match (r.fresh, r.skewed, r.skew_s) with
+        | false, _, _ -> "  [stale]"
+        | true, true, Some s -> Printf.sprintf "  [skew %+.1fs]" s
+        | true, _, _ -> ""))
     t.workers;
   List.iter (fun wmsg -> Format.fprintf ppf "warning: %s@." wmsg) warnings;
   Format.pp_print_flush ppf ();

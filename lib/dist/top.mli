@@ -12,8 +12,15 @@
 
 type worker_row = {
   hb : Heartbeat.view;
-  age : float;  (** [now] minus the snapshot's own publish time *)
+  age : float;
+      (** [now] minus the store-observed file mtime when known, else
+          minus the snapshot's self-reported publish time — staleness
+          is judged by what the shared directory shows, so a worker
+          with a skewed clock is not mis-classified *)
   fresh : bool;  (** [age <= stale_after] *)
+  skew_s : float option;
+      (** publisher clock minus store mtime, when the mtime is known *)
+  skewed : bool;  (** [|skew_s| > skew_margin] — flagged, not stale *)
   rate : float;  (** pairs/s over the worker's uptime *)
   share : float;  (** of fleet pairs; 0 when the fleet is at 0 *)
 }
@@ -46,11 +53,17 @@ type t = {
 val default_stale_after : float
 (** 10 s — five default heartbeat intervals. *)
 
+val default_skew_margin : float
+(** 2 s — |publisher clock − store mtime| beyond this flags the worker
+    as clock-skewed. Callers running under a chaos store should widen
+    it to at least {!Store.stale_margin}. *)
+
 val aggregate :
   now:float ->
   ?stale_after:float ->
+  ?skew_margin:float ->
   ?states:(Manifest.shard * Manifest.state) list ->
-  Heartbeat.view list ->
+  Heartbeat.observed list ->
   t
 
 val write_json : ?warnings:string list -> t -> Obs.Jsonw.t -> unit

@@ -80,7 +80,7 @@ let zero_summary =
     pairs = 0;
   }
 
-let remove_quiet path = try Sys.remove path with Sys_error _ -> ()
+let remove_quiet path = ignore ((Store.active ()).Store.delete path)
 
 (* One certification attempt: snapshot the shard cache, re-read it
    strictly (exactly what the merge will do), and rename the completion
@@ -160,11 +160,12 @@ let execute ~cfg ~stop ~hb (lease : Lease.t) shard m =
     Atomic.set hb.Heartbeat.cache_hits (hits_base + cs.Efgame.Cache.hits);
     Atomic.set hb.Heartbeat.cache_misses (misses_base + cs.Efgame.Cache.misses)
   in
+  let st = Store.active () in
   let lost = ref false in
-  let last_renew = ref (Unix.gettimeofday ()) in
+  let last_renew = ref (st.Store.now ()) in
   let on_tick ~completed =
     set_progress ~completed;
-    let now = Unix.gettimeofday () in
+    let now = st.Store.now () in
     if now -. !last_renew > cfg.ttl /. 3. then begin
       (match Lease.renew lease with `Renewed -> () | `Lost -> lost := true);
       last_renew := now
@@ -311,7 +312,7 @@ let work_one ~cfg ~stop ~owner ~hb lease ~how shard m summary =
           Obs.Metrics.incr m_completed;
           Atomic.incr hb.Heartbeat.completed;
           Atomic.set hb.Heartbeat.last_checkpoint_s
-            (int_of_float (Unix.gettimeofday ()));
+            (int_of_float ((Store.active ()).Store.now ()));
           Obs.Log.info ~tag:"dist" "shard %d done: %s, %d entries" id
             (match outcome with
             | Record.Exhausted -> "exhausted"
@@ -328,8 +329,58 @@ let work_one ~cfg ~stop ~owner ~hb lease ~how shard m summary =
               Atomic.incr hb.Heartbeat.requeued;
               (`Continue, { summary with requeued = summary.requeued + 1 })))
 
-let run ?(stop = fun () -> false) cfg =
+(* Elastic join: a worker arriving in an already-crowded fleet (more
+   fresh heartbeats than pending shards) staggers its first claim sweep
+   by a jittered beat instead of piling onto the contention. Purely a
+   throughput courtesy — claims stay safe at any arrival rate. *)
+let join_stagger ~cfg ~owner =
+  let st = Store.active () in
+  let observed, _ = Heartbeat.list ~dir:cfg.dir in
+  let now = st.Store.now () in
+  let fresh =
+    List.length
+      (List.filter
+         (fun (o : Heartbeat.observed) ->
+           let age =
+             match o.Heartbeat.ob_mtime with
+             | Some m -> now -. m
+             | None -> now -. o.Heartbeat.ob_view.Heartbeat.v_now
+           in
+           age <= Top.default_stale_after)
+         observed)
+  in
   match Manifest.load ~dir:cfg.dir with
+  | Error _ -> ()
+  | Ok m ->
+      let pending =
+        Array.fold_left
+          (fun acc s ->
+            match Manifest.state ~dir:cfg.dir ~ttl:cfg.ttl s with
+            | Manifest.Pending -> acc + 1
+            | _ -> acc)
+          0 m.Manifest.shards
+      in
+      if fresh > pending && pending >= 0 then begin
+        let cap = Float.min (cfg.ttl /. 2.) 2.0 in
+        let j =
+          Rt.Backoff.stream
+            ~seed:(Hashtbl.hash owner land 0x3fffffff)
+            ~base_s:0.05 ~max_s:cap ()
+        in
+        let d = Float.min cap (Rt.Backoff.next j *. float_of_int fresh) in
+        Obs.Log.info ~tag:"dist"
+          "fleet crowded (%d fresh workers, %d pending shards); staggering \
+           join by %.2fs" fresh pending d;
+        Unix.sleepf d
+      end
+
+let run ?(stop = fun () -> false) cfg =
+  (* the manifest read itself must survive a transient store fault:
+     losing the whole worker to one EIO blip defeats the fleet *)
+  match
+    Rt.Backoff.retry ~attempts:4 ~base_s:0.05 ~max_s:0.5 (fun () ->
+        Manifest.load ~dir:cfg.dir)
+  with
   | Error msg -> Error msg
   | Ok m ->
       let owner = Lease.default_owner () in
@@ -351,11 +402,20 @@ let run ?(stop = fun () -> false) cfg =
           Some (Obs.Telemetry.ticker ~interval publish)
         else None
       in
+      join_stagger ~cfg ~owner;
       let n = Array.length m.Manifest.shards in
       (* start the sweep at an owner-dependent offset so N workers
          launched together don't all stampede shard 0 *)
       let offset = Hashtbl.hash owner mod n in
       let poll = Float.min (cfg.ttl /. 4.) 0.25 in
+      (* idle-wait pacing: decorrelated jitter (seeded by owner, so the
+         fleet decorrelates but each worker replays deterministically),
+         reset to the base after every successful claim *)
+      let pace =
+        Rt.Backoff.stream
+          ~seed:(Hashtbl.hash owner land 0x3fffffff)
+          ~base_s:(Float.min poll 0.05) ~max_s:poll ()
+      in
       let should_stop () =
         stop () || Rt.Deadline.expired cfg.deadline
         || Rt.Signal.pending () <> None
@@ -376,9 +436,11 @@ let run ?(stop = fun () -> false) cfg =
           | [] ->
               if not !busy then Ok summary (* every shard is terminal *)
               else begin
-                (* someone else holds the remaining work; wait for them
+                (* someone else holds the remaining work; sweep dead
+                   reclaimers' tombstones while we wait for the holders
                    to finish or go stale *)
-                Unix.sleepf poll;
+                ignore (Lease.sweep_tombstones ~dir:cfg.dir ~ttl:cfg.ttl);
+                Unix.sleepf (Rt.Backoff.next pace);
                 loop summary
               end
           | candidates -> (
@@ -401,15 +463,17 @@ let run ?(stop = fun () -> false) cfg =
               match claim candidates with
               | `None ->
                   (* all candidates were claimed under us: back off a
-                     beat and rescan *)
-                  Unix.sleepf (Float.min poll 0.05);
+                     jittered beat and rescan *)
+                  Unix.sleepf (Rt.Backoff.next pace);
                   loop summary
               | `Go (lease, how, s) ->
+                  Rt.Backoff.reset pace;
                   if
                     (* the shard may have been finished by a stale
                        holder between our state snapshot and the claim *)
-                    Sys.file_exists (Manifest.done_path cfg.dir s.Manifest.id)
-                    || Sys.file_exists
+                    (Store.active ()).Store.exists
+                      (Manifest.done_path cfg.dir s.Manifest.id)
+                    || (Store.active ()).Store.exists
                          (Manifest.quarantine_path cfg.dir s.Manifest.id)
                   then begin
                     Lease.release lease;

@@ -61,6 +61,13 @@ let tick_now = run_tick
 
 (* ------------------------------------------------- snapshot publisher *)
 
+(* Publish failures (ENOSPC, EIO, a vanished directory) degrade
+   gracefully: count them, warn ONCE, keep ticking, and note the
+   recovery when writes start landing again. Telemetry must never crash
+   or spam the process it observes. *)
+let m_write_failures = Metrics.counter "obs.telemetry_write_failures"
+let write_degraded = Atomic.make false
+
 let write_atomic ~path f =
   let w = Jsonw.create ~initial_size:4096 () in
   f w;
@@ -72,9 +79,23 @@ let write_atomic ~path f =
       (fun () ->
         output_string oc (Jsonw.contents w);
         output_char oc '\n');
-    Sys.rename tmp path
-  with Sys_error _ | Unix.Unix_error _ ->
-    (try Sys.remove tmp with Sys_error _ -> ())
+    Sys.rename tmp path;
+    if Atomic.exchange write_degraded false then
+      Log.info ~tag:"obs" "telemetry publishing recovered (%s)" path
+  with
+  | (Sys_error _ | Unix.Unix_error _) as exn ->
+      let msg =
+        match exn with
+        | Sys_error m -> m
+        | Unix.Unix_error (e, _, arg) -> Unix.error_message e ^ ": " ^ arg
+        | _ -> assert false
+      in
+      Metrics.incr m_write_failures;
+      (try Sys.remove tmp with Sys_error _ -> ());
+      if not (Atomic.exchange write_degraded true) then
+        Log.warn ~tag:"obs"
+          "telemetry write failed (%s); continuing without snapshots until \
+           the filesystem recovers" msg
 
 let write_snapshot ~path ~started ~env ~progress ~seq =
   let now = Clock.now_s () in

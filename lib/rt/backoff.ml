@@ -1,21 +1,80 @@
+(* Capped backoff for retryable operations.
+
+   Two schedules share the cap:
+
+   - [delays]: the pure capped-exponential ladder — deterministic,
+     documented, and what [retry ~jitter:No_jitter] sleeps.
+   - decorrelated jitter (the default for [retry]): each sleep is drawn
+     uniformly from [base, min (cap, prev * 3)]. When a reclaimed lease
+     releases a whole fleet of claimants at once, exponential backoff
+     keeps them in lockstep — every worker retries at the same instants
+     and they stampede the O_EXCL create together, forever. Jitter
+     decorrelates them after the first round while keeping the same cap
+     and the same expected growth.
+
+   Determinism escape hatch: [Seeded s] draws the jitter from a private
+   SplitMix64 stream ({!Fault.stream}), so a test replays the exact same
+   sleep sequence; [Auto] seeds from the clock and pid. *)
+
 let delays ?(base_s = 0.05) ?(max_s = 2.0) attempts =
   List.init (max 0 (attempts - 1)) (fun i ->
       Float.min max_s (base_s *. Float.pow 2. (float_of_int i)))
 
-let retry ?(attempts = 5) ?base_s ?max_s ?(sleep = Unix.sleepf)
-    ?(on_retry = fun ~attempt:_ ~delay:_ -> ()) f =
-  let ds = delays ?base_s ?max_s attempts in
-  let rec go n = function
-    | _ when n > attempts -> assert false
-    | ds -> (
-        match f () with
-        | Ok _ as ok -> ok
-        | Error _ as err -> (
-            match ds with
-            | [] -> err
-            | d :: rest ->
-                on_retry ~attempt:(n + 1) ~delay:d;
-                sleep d;
-                go (n + 1) rest))
+type jitter = No_jitter | Seeded of int | Auto
+
+let auto_seed () =
+  Hashtbl.hash (Unix.gettimeofday (), Unix.getpid ()) land 0x3fffffff
+
+(* A standalone decorrelated-jitter delay source, for callers that pace
+   their own loop (the worker's claim sweep) rather than retrying a
+   single operation. *)
+type stream = {
+  base_s : float;
+  max_s : float;
+  draw : Fault.stream;
+  mutable prev : float;
+}
+
+let stream ?seed ~base_s ~max_s () =
+  let seed = match seed with Some s -> s | None -> auto_seed () in
+  {
+    base_s;
+    max_s;
+    draw = Fault.stream ~name:"backoff.jitter" ~seed ~rate:0.;
+    prev = 0.;
+  }
+
+let next t =
+  let hi = Float.min t.max_s (Float.max t.base_s (t.prev *. 3.)) in
+  let d = t.base_s +. (Fault.uniform t.draw *. (hi -. t.base_s)) in
+  t.prev <- d;
+  d
+
+let reset t = t.prev <- 0.
+
+let retry ?(attempts = 5) ?(base_s = 0.05) ?(max_s = 2.0) ?(jitter = Auto)
+    ?(sleep = Unix.sleepf) ?(on_retry = fun ~attempt:_ ~delay:_ -> ()) f =
+  let draw =
+    match jitter with
+    | No_jitter -> None
+    | Seeded seed -> Some (stream ~seed ~base_s ~max_s ())
+    | Auto -> Some (stream ~base_s ~max_s ())
   in
-  go 1 ds
+  let rec go n =
+    match f () with
+    | Ok _ as ok -> ok
+    | Error _ as err ->
+        if n >= attempts then err
+        else begin
+          let d =
+            match draw with
+            | None ->
+                Float.min max_s (base_s *. Float.pow 2. (float_of_int (n - 1)))
+            | Some s -> next s
+          in
+          on_retry ~attempt:(n + 1) ~delay:d;
+          sleep d;
+          go (n + 1)
+        end
+  in
+  go 1

@@ -1,27 +1,60 @@
-(** Capped exponential backoff for retryable operations.
+(** Capped backoff with decorrelated jitter for retryable operations.
 
-    Built for checkpoint I/O: a transient failure (ENOSPC, an injected
-    fault, a hiccuping network filesystem) should cost a bounded number
-    of increasingly-spaced retries, never abort a multi-hour scan. *)
+    Built for checkpoint and lease I/O: a transient failure (ENOSPC, an
+    injected fault, a hiccuping network filesystem) should cost a
+    bounded number of increasingly-spaced retries, never abort a
+    multi-hour scan — and when a reclaimed lease releases a whole fleet
+    of claimants at once, their retries must not stay in lockstep.
+    {!retry} therefore sleeps {e decorrelated jitter} by default: each
+    delay is uniform in [[base, min (cap, prev·3)]], so racing workers
+    spread out after the first round. [~jitter:No_jitter] restores the
+    pure capped-exponential {!delays} ladder, and [Seeded] replays a
+    deterministic jitter sequence for tests. *)
 
 val delays : ?base_s:float -> ?max_s:float -> int -> float list
-(** [delays n]: the sleep before each retry — [base_s · 2ⁱ] capped at
-    [max_s], for [i = 0 .. n-2] (the first attempt sleeps nothing, the
-    last failure sleeps nothing either). Defaults: [base_s = 0.05],
-    [max_s = 2.0]. *)
+(** [delays n]: the jitter-free ladder — the sleep before each retry is
+    [base_s · 2ⁱ] capped at [max_s], for [i = 0 .. n-2] (the first
+    attempt sleeps nothing, the last failure sleeps nothing either).
+    Defaults: [base_s = 0.05], [max_s = 2.0]. This is exactly what
+    [retry ~jitter:No_jitter] sleeps. *)
+
+(** How {!retry} spaces attempts. [Auto] (the default) is decorrelated
+    jitter seeded from the clock and pid; [Seeded s] is the same
+    distribution replayed deterministically from [s] — the escape hatch
+    for tests; [No_jitter] is the pure {!delays} ladder. *)
+type jitter = No_jitter | Seeded of int | Auto
 
 val retry :
   ?attempts:int ->
   ?base_s:float ->
   ?max_s:float ->
+  ?jitter:jitter ->
   ?sleep:(float -> unit) ->
   ?on_retry:(attempt:int -> delay:float -> unit) ->
   (unit -> ('a, 'e) result) ->
   ('a, 'e) result
-(** [retry f] runs [f] up to [attempts] times (default 5), sleeping the
-    capped-exponential {!delays} between attempts; the first [Ok] wins,
-    and the last [Error] is returned if every attempt fails. [on_retry]
-    is invoked before each re-attempt (1-based attempt number of the
-    try about to run). [sleep] defaults to [Unix.sleepf] and exists for
-    tests. [f] must not raise; wrap exceptional APIs into [result]s
-    first. *)
+(** [retry f] runs [f] up to [attempts] times (default 5), sleeping
+    between attempts per [jitter]; the first [Ok] wins, and the last
+    [Error] is returned if every attempt fails. Every jittered delay
+    stays within [[base_s, max_s]]. [on_retry] is invoked before each
+    re-attempt (1-based attempt number of the try about to run).
+    [sleep] defaults to [Unix.sleepf] and exists for tests. [f] must
+    not raise; wrap exceptional APIs into [result]s first. *)
+
+(** {1 Standalone jitter source}
+
+    For callers that pace their own loop (the shard worker's claim
+    sweep) rather than retrying one operation: successive {!next} calls
+    walk the decorrelated-jitter schedule, {!reset} drops back to the
+    base delay after a success. *)
+
+type stream
+
+val stream : ?seed:int -> base_s:float -> max_s:float -> unit -> stream
+(** Deterministic when [seed] is given; clock-and-pid seeded otherwise. *)
+
+val next : stream -> float
+(** The next delay: uniform in [[base_s, min (max_s, prev·3)]]. *)
+
+val reset : stream -> unit
+(** Forget the previous delay — the next {!next} is near [base_s]. *)

@@ -88,6 +88,57 @@ let fire_armed p =
 
 let[@inline] fire p = if Atomic.get armed then fire_armed p
 
+(* ------------------------------------------------------------ streams *)
+
+(* A stream is a private fault source: same SplitMix64 draw as the armed
+   points, but owned by its creator and live regardless of the global
+   arming switch. Chaos wrappers (Dist.Store.chaos) draw their injected
+   I/O errors from streams so a chaos store can be hostile while the
+   global fault points stay quiet — and vice versa. *)
+type stream = {
+  s_name : string;
+  s_seed : int;
+  s_rate_ppm : int;
+  s_evals : int Atomic.t;
+  s_fires : int Atomic.t;
+}
+
+let stream ~name ~seed ~rate =
+  let rate = Float.min 1. (Float.max 0. rate) in
+  {
+    s_name = name;
+    s_seed = seed lxor (Hashtbl.hash name * 0x9E3779B1);
+    s_rate_ppm = int_of_float (rate *. 1_000_000.);
+    s_evals = Atomic.make 0;
+    s_fires = Atomic.make 0;
+  }
+
+let trips s =
+  if s.s_rate_ppm <= 0 then false
+  else begin
+    let n = Atomic.fetch_and_add s.s_evals 1 in
+    let h = splitmix64 (Int64.of_int ((s.s_seed * 0x1000003) lxor n)) in
+    let u =
+      Int64.to_int (Int64.rem (Int64.logand h Int64.max_int) 1_000_000L)
+    in
+    let fires = u < s.s_rate_ppm in
+    if fires then Atomic.incr s.s_fires;
+    fires
+  end
+
+(* A raw deterministic draw from the same stream space: uniform in
+   [0, 1), advancing the eval counter. For jitter and schedule choices
+   that want the stream's reproducibility without the fire/no-fire
+   framing. *)
+let uniform s =
+  let n = Atomic.fetch_and_add s.s_evals 1 in
+  let h = splitmix64 (Int64.of_int ((s.s_seed * 0x1000003) lxor n)) in
+  let u = Int64.to_float (Int64.shift_right_logical h 11) in
+  u /. 9007199254740992. (* 2^53 *)
+
+let stream_name s = s.s_name
+let stream_stats s = (Atomic.get s.s_evals, Atomic.get s.s_fires)
+
 let parse_spec spec =
   match String.index_opt spec ':' with
   | None -> Error (Printf.sprintf "bad fault spec %S: want SEED:RATE" spec)

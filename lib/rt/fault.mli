@@ -42,6 +42,36 @@ val configure : seed:int -> rate:float -> unit
 val disable : unit -> unit
 val enabled : unit -> bool
 
+(** {1 Private fault streams}
+
+    A {e stream} is a fault source owned by its creator: the same
+    deterministic SplitMix64 draw as armed points, but independent of
+    the global arming switch. Chaos wrappers ({!Dist.Store}-style)
+    draw injected I/O errors from streams so hostile storage and the
+    global fault points can be armed independently. *)
+
+type stream
+
+val stream : name:string -> seed:int -> rate:float -> stream
+(** A fresh stream firing with probability [rate] (clamped to [0, 1]),
+    deterministically in [(seed, name, draw index)]. *)
+
+val trips : stream -> bool
+(** Draw once: [true] with the stream's rate. Never raises — the caller
+    decides what failure to simulate. Thread-safe; under concurrent
+    callers the per-stream draw sequence is fixed but its interleaving
+    across callers is not. *)
+
+val uniform : stream -> float
+(** A deterministic uniform draw in [0, 1) from the same sequence —
+    for jittered delays and schedule choices that want the stream's
+    reproducibility. Advances the same counter as {!trips}. *)
+
+val stream_name : stream -> string
+
+val stream_stats : stream -> int * int
+(** [(draws, fires)] so far. *)
+
 val parse_spec : string -> (int * float, string) result
 (** Parse a ["SEED:RATE"] spec, e.g. ["42:0.02"]. *)
 

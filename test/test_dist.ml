@@ -153,7 +153,9 @@ let test_lease_ttl_reclaim () =
         | _ -> Alcotest.fail "claim"
       in
       backdate path;
-      (match Dist.Lease.try_claim ~ttl:5. ~owner:"bob" path with
+      (* grace 0: a single stale observation suffices — the POSIX-sharp
+         fast path (two-observation reclaim is tested separately) *)
+      (match Dist.Lease.try_claim ~ttl:5. ~grace:0. ~owner:"bob" path with
       | `Reclaimed _ -> ()
       | `Claimed _ -> Alcotest.fail "stale lease claimed as fresh"
       | `Held -> Alcotest.fail "stale lease held");
@@ -193,7 +195,7 @@ let test_lease_release_respects_owner () =
         | _ -> Alcotest.fail "claim"
       in
       backdate path;
-      (match Dist.Lease.try_claim ~ttl:5. ~owner:"bob" path with
+      (match Dist.Lease.try_claim ~ttl:5. ~grace:0. ~owner:"bob" path with
       | `Reclaimed _ -> ()
       | _ -> Alcotest.fail "reclaim");
       (* alice's release must not remove bob's lease *)
@@ -201,6 +203,188 @@ let test_lease_release_respects_owner () =
       match Dist.Lease.holder path with
       | Some (owner, _) -> Alcotest.(check string) "survives" "bob" owner
       | None -> Alcotest.fail "reclaimed lease released by old owner")
+
+
+(* Two-observation reclaim: the first stale sighting only starts the
+   clock; the reclaim needs the SAME stale mtime again at least the
+   grace interval later. Any mtime change in between — a slow heartbeat
+   finally landing — restarts the clock and keeps the holder safe. *)
+let test_lease_two_observation_reclaim () =
+  with_dir (fun dir ->
+      let path = Filename.concat dir "s.lease" in
+      (match Dist.Lease.try_claim ~ttl:5. ~owner:"alice" path with
+      | `Claimed _ -> ()
+      | _ -> Alcotest.fail "claim");
+      backdate path;
+      let bob g = Dist.Lease.try_claim ~ttl:5. ~grace:g ~owner:"bob" path in
+      (match bob 0.05 with
+      | `Held -> ()
+      | _ -> Alcotest.fail "reclaimed on the first stale observation");
+      (match bob 0.05 with
+      | `Held -> () (* immediately again: the grace has not elapsed *)
+      | _ -> Alcotest.fail "reclaimed before the grace elapsed");
+      (* the presumed-dead holder heartbeats after all: the observed
+         mtime changes (still old, but different), clock restarts *)
+      let old = Unix.gettimeofday () -. 1800. in
+      Unix.utimes path old old;
+      Unix.sleepf 0.08;
+      (match bob 0.05 with
+      | `Held -> ()
+      | _ -> Alcotest.fail "reclaimed though the mtime moved");
+      Unix.sleepf 0.08;
+      match bob 0.05 with
+      | `Reclaimed _ -> ()
+      | `Claimed _ -> Alcotest.fail "claimed, not reclaimed"
+      | `Held -> Alcotest.fail "second confirmed observation did not reclaim")
+
+(* ------------------------------------------------- store and chaos *)
+
+let nfs_like =
+  {
+    Dist.Store.p_name = "test-nfs";
+    p_mtime_granularity_s = 1.0;
+    p_clock_skew_s = 1.5;
+    p_visibility_s = 0.5;
+    p_fault_rate = 0.;
+    p_torn_rate = 0.;
+  }
+
+let with_store st f =
+  let prev = Dist.Store.active () in
+  Dist.Store.use st;
+  Fun.protect ~finally:(fun () -> Dist.Store.use prev) f
+
+let test_store_posix_contract () =
+  with_dir (fun dir ->
+      let st = Dist.Store.posix in
+      let path = Filename.concat dir "f" in
+      (match st.Dist.Store.read path with
+      | Error Dist.Store.Absent -> ()
+      | _ -> Alcotest.fail "missing file should read Absent");
+      (match st.Dist.Store.put_atomic ~fsync:false path "hello" with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "put: %s" (Dist.Store.error_message e));
+      (match st.Dist.Store.read path with
+      | Ok "hello" -> ()
+      | _ -> Alcotest.fail "read back");
+      (match st.Dist.Store.create_excl path "x" with
+      | Error Dist.Store.Exists -> ()
+      | _ -> Alcotest.fail "create_excl over an existing file must lose");
+      (match st.Dist.Store.list dir with
+      | Ok [| "f" |] -> ()
+      | Ok a -> Alcotest.failf "list: %d entries" (Array.length a)
+      | Error e -> Alcotest.failf "list: %s" (Dist.Store.error_message e));
+      Alcotest.(check (float 1e-9))
+        "posix stale margin is zero" 0.
+        (Dist.Store.stale_margin st);
+      check_bool "posix grace is capped poll-scale" true
+        (Dist.Store.reclaim_grace st ~ttl:30. = 1.0))
+
+let test_store_chaos_bounds_and_margins () =
+  let st = Dist.Store.chaos ~seed:3 nfs_like Dist.Store.posix in
+  Alcotest.(check (float 1e-9))
+    "stale margin = granularity + skew" 2.5
+    (Dist.Store.stale_margin st);
+  check_bool "grace covers the visibility bound" true
+    (Dist.Store.reclaim_grace st ~ttl:30. >= 1.5);
+  (* the skewed clock stays inside the advertised bound *)
+  let d = st.Dist.Store.now () -. Unix.gettimeofday () in
+  check_bool "clock skew within ±bound" true (Float.abs d <= 1.5 +. 0.1)
+
+let test_store_chaos_coarse_mtime_and_own_writes () =
+  with_dir (fun dir ->
+      let st = Dist.Store.chaos ~seed:11 nfs_like Dist.Store.posix in
+      with_store st (fun () ->
+          let mine = Filename.concat dir "mine" in
+          (match st.Dist.Store.put_atomic ~fsync:false mine "1" with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "put: %s" (Dist.Store.error_message e));
+          (* close-to-open consistency: own writes never flicker *)
+          for _ = 1 to 50 do
+            (match st.Dist.Store.read mine with
+            | Ok _ -> ()
+            | Error _ -> Alcotest.fail "own write flickered");
+            check_bool "own write always exists" true (st.Dist.Store.exists mine)
+          done;
+          (match st.Dist.Store.mtime mine with
+          | Ok m ->
+              Alcotest.(check (float 1e-6))
+                "mtime floored to the granularity bucket" 0.
+                (Float.rem m 1.0)
+          | Error e -> Alcotest.failf "mtime: %s" (Dist.Store.error_message e));
+          (* another handle's fresh file is allowed to flicker Absent *)
+          let theirs = Filename.concat dir "theirs" in
+          (match Dist.Store.posix.Dist.Store.put_atomic ~fsync:false theirs "2" with
+          | Ok () -> ()
+          | Error _ -> Alcotest.fail "posix put");
+          let absents = ref 0 and oks = ref 0 in
+          for _ = 1 to 40 do
+            match st.Dist.Store.read theirs with
+            | Ok _ -> incr oks
+            | Error Dist.Store.Absent -> incr absents
+            | Error e -> Alcotest.failf "read: %s" (Dist.Store.error_message e)
+          done;
+          check_bool "fresh foreign file flickered at least once" true
+            (!absents > 0);
+          check_bool "…but not always" true (!oks > 0)))
+
+let test_store_chaos_deterministic_faults () =
+  with_dir (fun dir ->
+      let flaky =
+        { nfs_like with Dist.Store.p_name = "all-faults";
+          p_visibility_s = 0.; p_fault_rate = 0.3 }
+      in
+      let path = Filename.concat dir "f" in
+      (match Dist.Store.posix.Dist.Store.put_atomic ~fsync:false path "x" with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "seed file");
+      let trace seed =
+        let st = Dist.Store.chaos ~seed flaky Dist.Store.posix in
+        List.init 64 (fun _ ->
+            match st.Dist.Store.read path with
+            | Ok _ -> "ok"
+            | Error e -> Dist.Store.error_message e)
+      in
+      Alcotest.(check (list string))
+        "same seed replays the same fault schedule" (trace 5) (trace 5);
+      check_bool "some injected faults fired" true
+        (List.exists (fun r -> r <> "ok") (trace 5)))
+
+let test_store_of_spec () =
+  (match Dist.Store.of_spec "posix" with
+  | Ok st -> Alcotest.(check string) "posix" "posix" st.Dist.Store.label
+  | Error e -> Alcotest.failf "posix spec: %s" e);
+  (match Dist.Store.of_spec "nfs-coarse:7" with
+  | Ok st ->
+      check_bool "chaos label names the profile" true
+        (String.length st.Dist.Store.label > 5)
+  | Error e -> Alcotest.failf "nfs-coarse:7: %s" e);
+  match Dist.Store.of_spec "no-such-profile" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown profile accepted"
+
+(* A torn create (the exclusive create lands on disk but reports an
+   ambiguous I/O error) must not strand the lease: the claimant
+   recognizes its own owner line on the next attempt. *)
+let test_lease_torn_create_recovers () =
+  with_dir (fun dir ->
+      let torn =
+        { nfs_like with Dist.Store.p_name = "torn";
+          p_mtime_granularity_s = 0.; p_clock_skew_s = 0.;
+          p_visibility_s = 0.; p_torn_rate = 1.0 }
+      in
+      let st = Dist.Store.chaos ~seed:1 torn Dist.Store.posix in
+      with_store st (fun () ->
+          let path = Filename.concat dir "s.lease" in
+          (match Dist.Lease.try_claim ~ttl:30. ~owner:"alice" path with
+          | `Claimed _ -> ()
+          | `Reclaimed _ -> Alcotest.fail "nothing to reclaim"
+          | `Held -> Alcotest.fail "torn create lost the lease");
+          match Dist.Store.posix.Dist.Store.read path with
+          | Ok data ->
+              Alcotest.(check string) "lease names the claimant" "alice"
+                (String.trim data)
+          | Error _ -> Alcotest.fail "no lease on disk after torn create"))
 
 (* N claimants race one lease path: exactly one wins, and the file
    names the winner. The O_EXCL linearization point is the whole
@@ -241,6 +425,113 @@ let run_worker cfg =
   match Dist.Worker.run cfg with
   | Ok s -> s
   | Error msg -> Alcotest.failf "worker: %s" msg
+
+(* The same race under a hostile store: torn creates, transient faults,
+   coarse mtimes, a skewed clock. The chaos wrapper never fakes success
+   — it only hides or delays real ones — so at most one racer may win,
+   and whenever someone wins the file (read through plain POSIX, the
+   ground truth) must name exactly that racer. A torn create may leave
+   a lease with NO winner reported; that is a delayed claim, not a
+   double one, and the orphan ages out by TTL. *)
+let prop_no_double_claim_under_chaos =
+  QCheck.Test.make ~name:"chaos store: racing claimants never double-claim"
+    ~count:20
+    QCheck.(pair (int_range 2 6) (int_range 0 1000))
+    (fun (n, seed) ->
+      with_dir (fun dir ->
+          let profile =
+            {
+              Dist.Store.p_name = "race-chaos";
+              p_mtime_granularity_s = 1.0;
+              p_clock_skew_s = 1.0;
+              p_visibility_s = 0.2;
+              p_fault_rate = 0.1;
+              p_torn_rate = 0.15;
+            }
+          in
+          let st = Dist.Store.chaos ~seed profile Dist.Store.posix in
+          with_store st (fun () ->
+              let path = Filename.concat dir "s.lease" in
+              let start = Atomic.make false in
+              let domains =
+                List.init n (fun i ->
+                    Domain.spawn (fun () ->
+                        while not (Atomic.get start) do
+                          Domain.cpu_relax ()
+                        done;
+                        let owner = Printf.sprintf "racer-%d" i in
+                        match Dist.Lease.try_claim ~ttl:30. ~owner path with
+                        | `Claimed _ | `Reclaimed _ -> Some owner
+                        | `Held -> None))
+              in
+              Atomic.set start true;
+              let winners = List.filter_map Domain.join domains in
+              match winners with
+              | [] -> true
+              | [ w ] -> (
+                  match Dist.Store.posix.Dist.Store.read path with
+                  | Ok data -> String.trim data = w
+                  | Error _ -> false)
+              | _ -> false)))
+
+(* Window conservation under a random chaos schedule: a full worker →
+   merge pipeline on a hostile store still certifies every window
+   exactly once, and the merged verdicts are identical to a clean run.
+   The quarantine/reclaim/requeue machinery may all fire along the way;
+   none of it may lose or duplicate a window. *)
+let prop_chaos_pipeline_conserves_windows =
+  QCheck.Test.make ~name:"chaos schedule: no window lost or double-counted"
+    ~count:5
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let dump dir out =
+        match Dist.Merge.merge ~fsync:false ~dir ~out () with
+        | Error msg -> Alcotest.failf "merge: %s" msg
+        | Ok t ->
+            if not (Dist.Merge.complete t) then
+              Alcotest.failf "merge incomplete: %d missing, %d quarantined"
+                t.Dist.Merge.missing t.Dist.Merge.quarantined;
+            if t.Dist.Merge.merged <> 3 then
+              Alcotest.failf "%d windows merged strictly" t.Dist.Merge.merged;
+            let cache = Efgame.Cache.create () in
+            (match Efgame.Persist.load cache out with
+            | Ok _ -> ()
+            | Error e -> Alcotest.failf "load: %a" Efgame.Persist.pp_error e);
+            Efgame.Cache.fold cache ~init:[] ~f:(fun acc key ~win ~lose ->
+                (key, win, lose) :: acc)
+            |> List.sort compare
+      in
+      let scan ~chaos dir =
+        ignore (setup_scan ~k:2 ~max_n:10 ~shards:3 dir);
+        let run () =
+          let cfg =
+            {
+              (Dist.Worker.default_config ~dir) with
+              Dist.Worker.fsync = false;
+              heartbeat = 0.;
+            }
+          in
+          ignore (run_worker cfg)
+        in
+        (if chaos then
+           let profile =
+             {
+               Dist.Store.p_name = "pipeline-chaos";
+               p_mtime_granularity_s = 1.0;
+               p_clock_skew_s = 1.5;
+               p_visibility_s = 0.;
+               p_fault_rate = 0.05;
+               p_torn_rate = 0.05;
+             }
+           in
+           with_store (Dist.Store.chaos ~seed profile Dist.Store.posix) run
+         else run ());
+        dump dir (Filename.concat dir "merged.tbl")
+      in
+      with_dir (fun dir ->
+          with_dir (fun ref_dir ->
+              scan ~chaos:true dir = scan ~chaos:false ref_dir)))
+
 
 let test_requeue_then_quarantine () =
   with_dir (fun dir ->
@@ -433,7 +724,22 @@ let tests =
         test_lease_renew_keeps_fresh;
       Alcotest.test_case "release never removes another owner's lease"
         `Quick test_lease_release_respects_owner;
+      Alcotest.test_case "reclaim needs two observations a grace apart"
+        `Quick test_lease_two_observation_reclaim;
+      Alcotest.test_case "store: posix contract and margins" `Quick
+        test_store_posix_contract;
+      Alcotest.test_case "store: chaos bounds widen the margins" `Quick
+        test_store_chaos_bounds_and_margins;
+      Alcotest.test_case "store: coarse mtimes; own writes never flicker"
+        `Quick test_store_chaos_coarse_mtime_and_own_writes;
+      Alcotest.test_case "store: chaos faults are seed-deterministic"
+        `Quick test_store_chaos_deterministic_faults;
+      Alcotest.test_case "store: spec parsing" `Quick test_store_of_spec;
+      Alcotest.test_case "torn exclusive create recovers the claim" `Quick
+        test_lease_torn_create_recovers;
       QCheck_alcotest.to_alcotest prop_no_double_claim;
+      QCheck_alcotest.to_alcotest prop_no_double_claim_under_chaos;
+      QCheck_alcotest.to_alcotest prop_chaos_pipeline_conserves_windows;
       Alcotest.test_case "failing shard re-enqueued then quarantined"
         `Quick test_requeue_then_quarantine;
       Alcotest.test_case "inconclusive shard quarantined immediately"

@@ -137,6 +137,7 @@ let test_backoff_retries_then_ok () =
   let retried = ref [] in
   let r =
     Rt.Backoff.retry ~attempts:5 ~base_s:0.01 ~max_s:0.02
+      ~jitter:Rt.Backoff.No_jitter
       ~sleep:(fun d -> slept := d :: !slept)
       ~on_retry:(fun ~attempt ~delay:_ -> retried := attempt :: !retried)
       (fun () ->
@@ -148,6 +149,46 @@ let test_backoff_retries_then_ok () =
   Alcotest.(check (list (float 1e-9)))
     "slept the first two delays" [ 0.02; 0.01 ] !slept;
   Alcotest.(check (list int)) "on_retry saw attempts 2 and 3" [ 3; 2 ] !retried
+
+(* Decorrelated jitter (satellite of the chaos work): every delay stays
+   inside [base, max], a seeded stream replays bit-identically, and
+   [reset] drops the walk back to the base neighborhood. *)
+let test_backoff_jitter_bounds_and_determinism () =
+  let take st n = List.init n (fun _ -> Rt.Backoff.next st) in
+  let a = Rt.Backoff.stream ~seed:42 ~base_s:0.01 ~max_s:0.5 () in
+  let b = Rt.Backoff.stream ~seed:42 ~base_s:0.01 ~max_s:0.5 () in
+  let da = take a 64 and db = take b 64 in
+  Alcotest.(check (list (float 0.))) "same seed, same schedule" da db;
+  List.iter
+    (fun d -> check_bool "delay within [base, max]" true (d >= 0.01 && d <= 0.5))
+    da;
+  let c = Rt.Backoff.stream ~seed:7 ~base_s:0.01 ~max_s:0.5 () in
+  ignore (take c 32);
+  Rt.Backoff.reset c;
+  let after_reset = Rt.Backoff.next c in
+  (* after reset the window is [base, min(max, base*3)]: near the base *)
+  check_bool "reset returns to the base neighborhood" true
+    (after_reset >= 0.01 && after_reset <= 0.03 +. 1e-9)
+
+let test_backoff_seeded_retry_replays () =
+  let run () =
+    let slept = ref [] in
+    let calls = ref 0 in
+    ignore
+      (Rt.Backoff.retry ~attempts:5 ~base_s:0.01 ~max_s:0.2
+         ~jitter:(Rt.Backoff.Seeded 99)
+         ~sleep:(fun d -> slept := d :: !slept)
+         (fun () ->
+           incr calls;
+           if !calls < 5 then Error "again" else Ok ()));
+    !slept
+  in
+  let a = run () and b = run () in
+  Alcotest.(check (list (float 0.))) "seeded retries replay" a b;
+  check_int "four sleeps" 4 (List.length a);
+  List.iter
+    (fun d -> check_bool "jittered delay in range" true (d >= 0.01 && d <= 0.2))
+    a
 
 let test_backoff_exhausted () =
   let calls = ref 0 in
@@ -222,6 +263,10 @@ let tests =
         test_backoff_first_try_ok;
       Alcotest.test_case "retry: transient failures are absorbed" `Quick
         test_backoff_retries_then_ok;
+      Alcotest.test_case "jitter: bounded, seeded-deterministic, resettable"
+        `Quick test_backoff_jitter_bounds_and_determinism;
+      Alcotest.test_case "retry with Seeded jitter replays exactly" `Quick
+        test_backoff_seeded_retry_replays;
       Alcotest.test_case "retry: the last error survives exhaustion" `Quick
         test_backoff_exhausted;
       Alcotest.test_case "deadlines expire and clamp" `Quick test_deadline;

@@ -123,7 +123,12 @@ let prop_top_is_sum_of_workers =
               ~now:(now -. age) a)
           specs
       in
-      let t = Dist.Top.aggregate ~now views in
+      let t =
+        Dist.Top.aggregate ~now
+          (List.map
+             (fun v -> { Dist.Heartbeat.ob_view = v; ob_mtime = None })
+             views)
+      in
       let sum f = List.fold_left (fun acc v -> acc + f v) 0 views in
       let open Dist.Heartbeat in
       List.length t.Dist.Top.workers = List.length views
@@ -164,7 +169,10 @@ let test_top_states_and_eta () =
       v_pairs = 100;
     }
   in
-  let t = Dist.Top.aggregate ~now:1000. ~states [ v ] in
+  let t =
+    Dist.Top.aggregate ~now:1000. ~states
+      [ { Dist.Heartbeat.ob_view = v; ob_mtime = None } ]
+  in
   Alcotest.(check int) "pending" 1 t.Dist.Top.shards_pending;
   Alcotest.(check int) "leased" 1 t.Dist.Top.shards_leased;
   Alcotest.(check int) "done" 1 t.Dist.Top.shards_done;
@@ -229,17 +237,67 @@ let test_heartbeat_corrupt_skipped () =
       write "worker-torn-000001.hb" "{\"schema\":\"efgame-heartbeat/1\",\"ow";
       write "worker-garbage-000002.hb" "\x00\xff not json at all";
       write "worker-alien-000003.hb" "{\"schema\":\"something-else/9\"}";
-      let views, warnings = Dist.Heartbeat.list ~dir in
-      Alcotest.(check int) "only the good snapshot loads" 1 (List.length views);
+      let observed, warnings = Dist.Heartbeat.list ~dir in
+      Alcotest.(check int) "only the good snapshot loads" 1
+        (List.length observed);
       Alcotest.(check string)
         "and it is the right one" "good"
-        (List.hd views).Dist.Heartbeat.v_owner;
+        (List.hd observed).Dist.Heartbeat.ob_view.Dist.Heartbeat.v_owner;
+      Alcotest.(check bool) "the store-observed mtime rides along" true
+        ((List.hd observed).Dist.Heartbeat.ob_mtime <> None);
       Alcotest.(check int) "one warning per skipped file" 3
         (List.length warnings);
       (* the aggregate over the survivors still works *)
-      let t = Dist.Top.aggregate ~now:1001. views in
+      let t = Dist.Top.aggregate ~now:1001. observed in
       Alcotest.(check int) "aggregate sees the good pairs" 42
         t.Dist.Top.fleet_pairs)
+
+(* Satellite of the chaos work: a heartbeat publisher on a failing
+   store (ENOSPC, EIO, injected chaos) must keep ticking — no exception
+   escapes, no file appears — and resume cleanly once the store heals.
+   The regression this pins: an early version let a full disk kill the
+   worker's telemetry thread. *)
+let test_heartbeat_publish_degrades_gracefully () =
+  let dir = tmpdir "hb-degrade" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let hostile =
+        {
+          Dist.Store.p_name = "enospc";
+          p_mtime_granularity_s = 0.;
+          p_clock_skew_s = 0.;
+          p_visibility_s = 0.;
+          p_fault_rate = 1.0;
+          p_torn_rate = 0.;
+        }
+      in
+      let stats = Dist.Heartbeat.make_stats ~owner:"degraded" in
+      let v = Dist.Heartbeat.view_of_stats ~seq:1 stats in
+      let path = Dist.Heartbeat.path ~dir ~owner:"degraded" in
+      let prev = Dist.Store.active () in
+      Dist.Store.use (Dist.Store.chaos ~seed:9 hostile Dist.Store.posix);
+      Fun.protect
+        ~finally:(fun () -> Dist.Store.use prev)
+        (fun () ->
+          (* every publish fails; none may raise or write *)
+          for seq = 1 to 5 do
+            Dist.Heartbeat.publish ~dir
+              (Dist.Heartbeat.view_of_stats ~seq stats)
+          done;
+          Alcotest.(check bool)
+            "no snapshot lands while the store is down" false
+            (Sys.file_exists path));
+      (* the store heals: publishing resumes with no restart *)
+      Dist.Heartbeat.publish ~dir v;
+      Alcotest.(check bool)
+        "snapshot appears once the store recovers" true
+        (Sys.file_exists path);
+      match Dist.Heartbeat.load path with
+      | Ok v' ->
+          Alcotest.(check string)
+            "and it is readable" "degraded" v'.Dist.Heartbeat.v_owner
+      | Error e -> Alcotest.failf "post-recovery load: %s" e)
 
 let test_heartbeat_missing_dir () =
   let views, warnings = Dist.Heartbeat.list ~dir:"/nonexistent-dir-efgame" in
@@ -411,6 +469,8 @@ let tests =
         test_heartbeat_roundtrip;
       Alcotest.test_case "corrupt heartbeats skipped with warning" `Quick
         test_heartbeat_corrupt_skipped;
+      Alcotest.test_case "heartbeat publish degrades and recovers" `Quick
+        test_heartbeat_publish_degrades_gracefully;
       Alcotest.test_case "heartbeat list on missing dir" `Quick
         test_heartbeat_missing_dir;
       Alcotest.test_case "log timestamps are ISO-8601" `Quick test_log_iso8601;
