@@ -567,31 +567,83 @@ let trace_merge out ins quiet verbose =
    scans"): init/work 0 ok, work 1 if this worker quarantined a shard;
    status 0 all done, 3 work remaining, 1 quarantine-blocked; merge 0
    complete, 1 partial output written, 2 nothing written; audit 0 pass,
-   5 mismatch. 2 is the shared "bad manifest / usage" failure, and
-   130/143 are signal exits as everywhere else. *)
+   5 mismatch; heal 0 every quarantine cleared, 1 irreducible windows
+   remain, 2 heal infrastructure failure; run 0 converged with the
+   proven bound stamped, 1 converged partially. 2 is the shared "bad
+   manifest / usage" failure, and 130/143 are signal exits as
+   everywhere else. *)
 
-let shard_init dir k max_n shards quiet verbose =
+(* [--cost-model] spellings: "uniform", "power[:ALPHA]", or "auto" —
+   fit the exponent from a prior run's completion-record wall times
+   ([--calibrate DIR]), falling back to the static Power default. *)
+let resolve_cost_model ~fail spec calibrate =
+  match String.lowercase_ascii spec with
+  | "auto" -> (
+      let fallback = Dist.Cost.Power Dist.Cost.default_alpha in
+      match calibrate with
+      | None ->
+          Obs.Log.info ~tag:"shard"
+            "--cost-model auto without --calibrate records: static fallback \
+             %s"
+            (Dist.Cost.to_string fallback);
+          fallback
+      | Some cdir -> (
+          match Dist.Manifest.load ~dir:cdir with
+          | Error msg -> fail (Printf.sprintf "--calibrate %s: %s" cdir msg)
+          | Ok cm ->
+              let samples =
+                Array.to_list cm.Dist.Manifest.shards
+                |> List.filter_map (fun s ->
+                       match Dist.Record.read ~dir:cdir s.Dist.Manifest.id with
+                       | Ok { Dist.Record.wall_ns = Some w; _ } ->
+                           Some
+                             {
+                               Dist.Cost.s_lo = s.Dist.Manifest.lo;
+                               s_hi = s.Dist.Manifest.hi;
+                               s_wall = Int64.to_float w /. 1e9;
+                             }
+                       | _ -> None)
+              in
+              let model = Dist.Cost.calibrate ~fallback samples in
+              Obs.Log.info ~tag:"shard"
+                "calibrated %s from %d timed window(s) of %s"
+                (Dist.Cost.to_string model)
+                (List.length samples) cdir;
+              model))
+  | "power" -> Dist.Cost.Power Dist.Cost.default_alpha
+  | spec -> (
+      match Dist.Cost.of_string spec with
+      | Ok m -> m
+      | Error msg -> fail msg)
+
+let shard_init dir k max_n shards cost_model calibrate quiet verbose =
   Obs.Log.setup ~quiet ~verbosity:(List.length verbose) ();
-  match Dist.Manifest.create ~k ~max_n ~shards with
-  | exception Invalid_argument msg ->
-      Obs.Log.err ~tag:"shard" "%s" msg;
-      exit 2
+  let fail fmt =
+    Format.kasprintf
+      (fun msg ->
+        Obs.Log.err ~tag:"shard" "%s" msg;
+        exit 2)
+      fmt
+  in
+  let model =
+    resolve_cost_model ~fail:(fun msg -> fail "%s" msg) cost_model calibrate
+  in
+  match Dist.Manifest.create ~model ~k ~max_n ~shards () with
+  | exception Invalid_argument msg -> fail "%s" msg
   | m -> (
       (match (Dist.Store.active ()).Dist.Store.mkdir dir with
       | Ok () -> ()
-      | Error e ->
-          Obs.Log.err ~tag:"shard" "%s: %s" dir (Dist.Store.error_message e);
-          exit 2);
+      | Error e -> fail "%s: %s" dir (Dist.Store.error_message e));
       match Dist.Manifest.save m ~dir with
       | Ok () ->
           Format.printf
-            "initialized %s: k=%d, %d pairs (q ≤ %d) in %d shards@." dir
-            m.Dist.Manifest.k m.Dist.Manifest.total m.Dist.Manifest.max_n
-            (Array.length m.Dist.Manifest.shards);
+            "initialized %s: k=%d, %d pairs (q ≤ %d) in %d shards (%s \
+             windows)@."
+            dir m.Dist.Manifest.k m.Dist.Manifest.total m.Dist.Manifest.max_n
+            (Array.length m.Dist.Manifest.shards)
+            (Dist.Cost.to_string m.Dist.Manifest.model);
           exit 0
-      | Error msg ->
-          Obs.Log.err ~tag:"shard" "%s" msg;
-          exit 2)
+      | Error msg -> fail "%s" msg)
 
 let write_worker_json ~path ~dir ~wall_s (s : Dist.Worker.summary) =
   let module J = Obs.Jsonw in
@@ -607,11 +659,15 @@ let write_worker_json ~path ~dir ~wall_s (s : Dist.Worker.summary) =
           J.field_int w "requeued" s.requeued;
           J.field_int w "quarantined" s.quarantined;
           J.field_int w "pairs" s.pairs;
+          J.field_int w "speculated" s.speculated;
+          J.field_int w "spec_wins" s.spec_wins;
+          J.field_int w "deduped" s.deduped;
           J.field w "faults" (fun w ->
               if Rt.Fault.enabled () then Rt.Fault.write_json w else J.null w)))
 
 let shard_work dir ttl jobs budget attempts max_requeues deadline_s
-    inject_faults chaos json metrics heartbeat flight quiet verbose =
+    inject_faults chaos speculate throttle json metrics heartbeat flight quiet
+    verbose =
   Obs.Log.setup ~quiet ~verbosity:(List.length verbose) ();
   (match Dist.Store.setup ?spec:chaos () with
   | Ok () ->
@@ -660,6 +716,8 @@ let shard_work dir ttl jobs budget attempts max_requeues deadline_s
       deadline;
       heartbeat;
       flight;
+      speculate;
+      throttle;
     }
   in
   let t0 = Unix.gettimeofday () in
@@ -675,6 +733,11 @@ let shard_work dir ttl jobs budget attempts max_requeues deadline_s
         s.Dist.Worker.completed s.Dist.Worker.claimed s.Dist.Worker.reclaimed
         s.Dist.Worker.abandoned s.Dist.Worker.requeued
         s.Dist.Worker.quarantined s.Dist.Worker.pairs wall_s;
+      if s.Dist.Worker.speculated > 0 || s.Dist.Worker.deduped > 0 then
+        Format.printf
+          "worker: %d speculation(s), %d win(s), %d duplicate(s) discarded@."
+          s.Dist.Worker.speculated s.Dist.Worker.spec_wins
+          s.Dist.Worker.deduped;
       (match json with
       | Some path -> write_worker_json ~path ~dir ~wall_s s
       | None -> ());
@@ -825,7 +888,7 @@ let shard_top dir ttl stale_after watch json quiet verbose =
         in
         let t =
           Dist.Top.aggregate ~now:(st.Dist.Store.now ()) ~stale_after
-            ~skew_margin ~states observed
+            ~skew_margin ~model:m.Dist.Manifest.model ~states observed
         in
         (match json with
         | Some path ->
@@ -921,6 +984,422 @@ let shard_audit dir table sample seed budget salvage quiet verbose =
         (List.length a.Dist.Audit.mismatches);
       exit (if Dist.Audit.passed a then 0 else 5)
 
+(* --------------------------------------------------------- shard heal *)
+
+let shard_heal dir budget jobs deadline_s json quiet verbose =
+  Obs.Log.setup ~quiet ~verbosity:(List.length verbose) ();
+  Rt.Signal.install ();
+  let deadline =
+    match deadline_s with
+    | Some s -> Rt.Deadline.after s
+    | None -> Rt.Deadline.none
+  in
+  let cfg =
+    {
+      (Dist.Heal.default_config ~dir) with
+      Dist.Heal.budget;
+      jobs = max 1 jobs;
+      deadline;
+    }
+  in
+  match Dist.Heal.heal_all ~cfg with
+  | Error msg ->
+      Obs.Log.err ~tag:"shard" "%s" msg;
+      exit 2
+  | Ok f ->
+      List.iter
+        (fun (id, r) ->
+          match r with
+          | `Healed o ->
+              Format.printf
+                "shard %04d: healed (%d entries re-certified in %d \
+                 window(s))@."
+                id o.Dist.Heal.entries o.Dist.Heal.splits
+          | `Poisoned leaves ->
+              Format.printf
+                "shard %04d: still poisoned, %d irreducible sub-window(s)@."
+                id (List.length leaves)
+          | `Error msg -> Format.printf "shard %04d: heal failed: %s@." id msg)
+        f.Dist.Heal.per_shard;
+      Format.printf "heal: %d healed, %d still poisoned, %d failed@."
+        f.Dist.Heal.healed f.Dist.Heal.still_poisoned f.Dist.Heal.failed;
+      (match json with
+      | Some path ->
+          let module J = Obs.Jsonw in
+          J.to_file path (fun w ->
+              J.obj w (fun w ->
+                  J.field_string w "schema" "efgame-shard-heal/1";
+                  J.field_string w "dir" dir;
+                  J.field_int w "healed" f.Dist.Heal.healed;
+                  J.field_int w "still_poisoned" f.Dist.Heal.still_poisoned;
+                  J.field_int w "failed" f.Dist.Heal.failed;
+                  J.field w "per_shard" (fun w ->
+                      J.arr w (fun w ->
+                          List.iter
+                            (fun (id, r) ->
+                              J.obj w (fun w ->
+                                  J.field_int w "shard" id;
+                                  match r with
+                                  | `Healed o ->
+                                      J.field_string w "result" "healed";
+                                      J.field_int w "entries"
+                                        o.Dist.Heal.entries;
+                                      J.field_int w "splits" o.Dist.Heal.splits
+                                  | `Poisoned leaves ->
+                                      J.field_string w "result" "poisoned";
+                                      J.field_int w "irreducible"
+                                        (List.length leaves)
+                                  | `Error msg ->
+                                      J.field_string w "result" "error";
+                                      J.field_string w "detail" msg))
+                            f.Dist.Heal.per_shard))))
+      | None -> ());
+      exit
+        (if f.Dist.Heal.failed > 0 then 2
+         else if f.Dist.Heal.still_poisoned > 0 then 1
+         else 0)
+
+(* ---------------------------------------------------------- shard run *)
+
+(* The self-healing convergence controller behind [shard run] and the
+   soak's drain: alternate a work phase — an elastic fleet of real
+   worker processes (speculation armed by the caller's [spawn]),
+   respawned on death until nothing is Pending or Leased or the phase
+   deadline fires — with a heal phase over whatever got quarantined,
+   until the directory is terminal or a whole round makes no progress.
+   Merging is the caller's last step; the controller only drives the
+   directory itself to convergence. *)
+
+type converge_report = {
+  cv_rounds : int;
+  cv_spawned : int;
+  cv_respawns : int;
+  cv_healed : int;
+  cv_heal_failures : int;
+  cv_poisoned : int;  (** shards still quarantined at the end *)
+  cv_converged : bool;  (** nothing pending, leased, or quarantined *)
+  cv_phases : (string * int * float) list;  (** phase, round, wall s *)
+}
+
+let converge ~dir ~ttl ~workers ~rounds ~heal_budget ~heal_jobs
+    ~phase_deadline_s ~spawn (m : Dist.Manifest.t) =
+  let counts () = Dist.Manifest.counts ~dir ~ttl m in
+  let fleet = ref [] in
+  let spawned = ref 0 in
+  let reap () =
+    fleet :=
+      List.filter
+        (fun pid ->
+          match Unix.waitpid [ Unix.WNOHANG ] pid with
+          | 0, _ -> true
+          | _ -> false
+          | exception Unix.Unix_error _ -> false)
+        !fleet
+  in
+  let stop_fleet () =
+    List.iter
+      (fun pid -> try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ())
+      !fleet;
+    List.iter
+      (fun pid ->
+        try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+      !fleet;
+    fleet := []
+  in
+  let phase_deadline () =
+    match phase_deadline_s with
+    | Some s -> Rt.Deadline.after s
+    | None -> Rt.Deadline.none
+  in
+  let phases = ref [] in
+  let healed = ref 0 and heal_failures = ref 0 in
+  let interrupted () = Rt.Signal.pending () <> None in
+  let rec round_loop round =
+    if round > rounds || interrupted () then round - 1
+    else begin
+      let c0 = counts () in
+      if c0.Dist.Manifest.pending + c0.Dist.Manifest.leased > 0 then begin
+        let t0 = Unix.gettimeofday () in
+        let deadline = phase_deadline () in
+        let rec drive () =
+          reap ();
+          let c = counts () in
+          if
+            c.Dist.Manifest.pending + c.Dist.Manifest.leased = 0
+            || Rt.Deadline.expired deadline
+            || interrupted ()
+          then ()
+          else begin
+            while List.length !fleet < workers do
+              fleet := spawn () :: !fleet;
+              incr spawned
+            done;
+            Unix.sleepf 0.2;
+            drive ()
+          end
+        in
+        drive ();
+        stop_fleet ();
+        phases :=
+          ("work", round, Unix.gettimeofday () -. t0) :: !phases
+      end;
+      let c1 = counts () in
+      if c1.Dist.Manifest.quarantined > 0 && not (interrupted ()) then begin
+        let t0 = Unix.gettimeofday () in
+        let cfg =
+          {
+            (Dist.Heal.default_config ~dir) with
+            Dist.Heal.budget = heal_budget;
+            jobs = max 1 heal_jobs;
+            deadline = phase_deadline ();
+          }
+        in
+        (match Dist.Heal.heal_all ~cfg with
+        | Ok f ->
+            healed := !healed + f.Dist.Heal.healed;
+            heal_failures := !heal_failures + f.Dist.Heal.failed
+        | Error msg ->
+            Obs.Log.err ~tag:"run" "heal: %s" msg;
+            incr heal_failures);
+        phases := ("heal", round, Unix.gettimeofday () -. t0) :: !phases
+      end;
+      let c2 = counts () in
+      let terminal =
+        c2.Dist.Manifest.pending + c2.Dist.Manifest.leased = 0
+      in
+      if terminal && c2.Dist.Manifest.quarantined = 0 then round
+      else if
+        (* a round that moved nothing forward will not move the next
+           one either: irreducible poison or a wedged store — stop
+           instead of respawning forever *)
+        c2.Dist.Manifest.done_ > c0.Dist.Manifest.done_
+        || c2.Dist.Manifest.quarantined < c1.Dist.Manifest.quarantined
+      then round_loop (round + 1)
+      else round
+    end
+  in
+  let rounds_used = max 1 (round_loop 1) in
+  stop_fleet ();
+  let c = counts () in
+  {
+    cv_rounds = rounds_used;
+    cv_spawned = !spawned;
+    cv_respawns = max 0 (!spawned - workers);
+    cv_healed = !healed;
+    cv_heal_failures = !heal_failures;
+    cv_poisoned = c.Dist.Manifest.quarantined;
+    cv_converged =
+      c.Dist.Manifest.pending + c.Dist.Manifest.leased = 0
+      && c.Dist.Manifest.quarantined = 0;
+    cv_phases = List.rev !phases;
+  }
+
+(* Drain tail: how long the last window outlived the median completion
+   — the metric cost-model manifests exist to shrink. Derived from the
+   done files' store mtimes, so it survives the controller restarting. *)
+let drain_tail_s ~dir (m : Dist.Manifest.t) =
+  let st = Dist.Store.active () in
+  let mtimes =
+    Array.to_list m.Dist.Manifest.shards
+    |> List.filter_map (fun s ->
+           match
+             st.Dist.Store.mtime (Dist.Manifest.done_path dir s.Dist.Manifest.id)
+           with
+           | Ok t -> Some t
+           | Error _ -> None)
+    |> List.sort compare
+  in
+  match mtimes with
+  | [] | [ _ ] -> None
+  | ts ->
+      let a = Array.of_list ts in
+      let n = Array.length a in
+      let median =
+        if n mod 2 = 1 then a.(n / 2)
+        else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.
+      in
+      Some (Float.max 0. (a.(n - 1) -. median))
+
+(* The merge itself can quarantine a shard — table unreadable or
+   damaged at merge time (torn-record debris after a SIGKILL, a store
+   that lied about a write) — which the work/heal rounds above never
+   see because it happens after they finish. Close the self-healing
+   loop over that too: when a merge quarantines anything, heal and
+   re-merge, bounded by [rounds]. Returns the last merge result plus
+   how many shards this extra loop healed. *)
+let merge_until_clean ~dir ~out ~rounds ~budget ~jobs () =
+  let healed = ref 0 in
+  let rec go attempt =
+    let r = Dist.Merge.merge ~dir ~out () in
+    match r with
+    | Ok t when t.Dist.Merge.quarantined > 0 && attempt < rounds -> (
+        Obs.Log.warn ~tag:"run"
+          "merge quarantined %d shard(s); healing and re-merging"
+          t.Dist.Merge.quarantined;
+        let cfg =
+          {
+            (Dist.Heal.default_config ~dir) with
+            Dist.Heal.budget;
+            jobs = max 1 jobs;
+          }
+        in
+        match Dist.Heal.heal_all ~cfg with
+        | Ok f when f.Dist.Heal.healed > 0 ->
+            healed := !healed + f.Dist.Heal.healed;
+            go (attempt + 1)
+        | Ok _ | Error _ -> r)
+    | _ -> r
+  in
+  let r = go 1 in
+  (r, !healed)
+
+let shard_run dir out workers ttl rounds budget jobs phase_deadline_s json
+    quiet verbose =
+  Obs.Log.setup ~quiet ~verbosity:(List.length verbose) ();
+  Rt.Signal.install ();
+  let fail fmt =
+    Format.kasprintf
+      (fun msg ->
+        Obs.Log.err ~tag:"run" "%s" msg;
+        exit 2)
+      fmt
+  in
+  if workers < 1 then fail "--workers must be at least 1";
+  match Dist.Manifest.load ~dir with
+  | Error msg -> fail "%s" msg
+  | Ok m ->
+      let logs = Filename.concat dir "run-logs" in
+      (match (Dist.Store.active ()).Dist.Store.mkdir logs with
+      | Ok () -> ()
+      | Error e -> fail "%s: %s" logs (Dist.Store.error_message e));
+      let exe = Sys.executable_name in
+      let child = ref 0 in
+      let spawn () =
+        let i = !child in
+        incr child;
+        let log = Filename.concat logs (Printf.sprintf "worker-%02d.log" i) in
+        let fd =
+          Unix.openfile log [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+        in
+        let argv =
+          Array.of_list
+            ([ exe; "shard"; "work"; dir; "--ttl"; Printf.sprintf "%g" ttl;
+               "--heartbeat-every"; "0.5"; "--speculate"; "-q" ]
+            @ (match budget with
+              | Some b -> [ "--budget"; string_of_int b ]
+              | None -> [])
+            @ if jobs > 1 then [ "--jobs"; string_of_int jobs ] else [])
+        in
+        let pid = Unix.create_process exe argv Unix.stdin fd fd in
+        Unix.close fd;
+        pid
+      in
+      Obs.Log.info ~tag:"run"
+        "converging %s: %d worker(s), ttl %gs, up to %d round(s)" dir workers
+        ttl rounds;
+      let t0 = Unix.gettimeofday () in
+      let cv =
+        converge ~dir ~ttl ~workers ~rounds ~heal_budget:budget
+          ~heal_jobs:jobs ~phase_deadline_s ~spawn m
+      in
+      let wall_s = Unix.gettimeofday () -. t0 in
+      let merge_result, merge_healed =
+        merge_until_clean ~dir ~out ~rounds ~budget ~jobs ()
+      in
+      let cv = { cv with cv_healed = cv.cv_healed + merge_healed } in
+      let tail = drain_tail_s ~dir m in
+      List.iter
+        (fun (phase, round, wall) ->
+          Format.printf "phase %s (round %d): %.1fs@." phase round wall)
+        cv.cv_phases;
+      Format.printf
+        "run: %d round(s), %d spawn(s) (%d respawns), %d healed, %d \
+         poisoned, %.1fs@."
+        cv.cv_rounds cv.cv_spawned cv.cv_respawns cv.cv_healed cv.cv_poisoned
+        wall_s;
+      (match tail with
+      | Some t -> Format.printf "drain tail: %.1fs past the median window@." t
+      | None -> ());
+      let t_merge, code =
+        match merge_result with
+        | Error msg ->
+            Obs.Log.err ~tag:"run" "merge: %s" msg;
+            (None, 2)
+        | Ok t ->
+            (match t.Dist.Merge.found with
+            | Some (p, q) ->
+                Format.printf "minimal pair across shards: a^%d ≡ a^%d@." p q
+            | None -> ());
+            (match t.Dist.Merge.bound with
+            | Some (k, n) ->
+                Format.printf
+                  "proven bound stamped: no ≡_%d pair with q ≤ %d@." k n
+            | None -> ());
+            Format.printf "merged %d shard(s) -> %s: %d entries@."
+              t.Dist.Merge.merged out t.Dist.Merge.entries;
+            ( Some t,
+              if
+                cv.cv_converged
+                && Dist.Merge.complete t
+                && t.Dist.Merge.bound <> None
+              then 0
+              else 1 )
+      in
+      (match json with
+      | Some path ->
+          let module J = Obs.Jsonw in
+          J.to_file path (fun w ->
+              J.obj w (fun w ->
+                  J.field_string w "schema" "efgame-shard-run/1";
+                  J.field_string w "dir" dir;
+                  J.field_string w "out" out;
+                  J.field_string w "model"
+                    (Dist.Cost.to_string m.Dist.Manifest.model);
+                  J.field_int w "workers" workers;
+                  J.field_int w "rounds" cv.cv_rounds;
+                  J.field_int w "spawned" cv.cv_spawned;
+                  J.field_int w "respawns" cv.cv_respawns;
+                  J.field_int w "healed" cv.cv_healed;
+                  J.field_int w "heal_failures" cv.cv_heal_failures;
+                  J.field_int w "poisoned" cv.cv_poisoned;
+                  J.field_bool w "converged" cv.cv_converged;
+                  J.field_float ~prec:2 w "wall_s" wall_s;
+                  (match tail with
+                  | Some t -> J.field_float ~prec:2 w "drain_tail_s" t
+                  | None -> J.field_null w "drain_tail_s");
+                  J.field w "phases" (fun w ->
+                      J.arr w (fun w ->
+                          List.iter
+                            (fun (phase, round, wall) ->
+                              J.obj w (fun w ->
+                                  J.field_string w "phase" phase;
+                                  J.field_int w "round" round;
+                                  J.field_float ~prec:2 w "wall_s" wall))
+                            cv.cv_phases));
+                  match t_merge with
+                  | None -> J.field_null w "merge"
+                  | Some t ->
+                      J.field w "merge" (fun w ->
+                          J.obj w (fun w ->
+                              J.field_int w "merged" t.Dist.Merge.merged;
+                              J.field_int w "salvaged" t.Dist.Merge.salvaged;
+                              J.field_int w "quarantined"
+                                t.Dist.Merge.quarantined;
+                              J.field_int w "missing" t.Dist.Merge.missing;
+                              J.field_int w "entries" t.Dist.Merge.entries;
+                              match t.Dist.Merge.bound with
+                              | Some (k, n) ->
+                                  J.field w "bound" (fun w ->
+                                      J.obj w (fun w ->
+                                          J.field_int w "k" k;
+                                          J.field_int w "max_n" n))
+                              | None -> J.field_null w "bound"))))
+      | None -> ());
+      (match Rt.Signal.pending () with
+      | Some src -> exit (Rt.Signal.exit_code src)
+      | None -> ());
+      exit code
+
 
 (* --------------------------------------------------------- shard soak *)
 
@@ -946,7 +1425,7 @@ let canonical_lines file =
         |> List.sort String.compare)
 
 let shard_soak dir workers kill_rate chaos duration seed min_kills max_n
-    shards ttl json quiet verbose =
+    shards ttl stragglers poison cost_model json quiet verbose =
   Obs.Log.setup ~quiet ~verbosity:(List.length verbose) ();
   let k = 3 in
   let fail fmt = Format.kasprintf (fun msg ->
@@ -956,13 +1435,19 @@ let shard_soak dir workers kill_rate chaos duration seed min_kills max_n
   | Ok _ -> ()
   | Error msg -> fail "%s" msg);
   if workers < 1 then fail "--workers must be at least 1";
+  if stragglers < 0 then fail "--stragglers must be nonnegative";
+  if poison < 0 then fail "--poison must be nonnegative";
+  if poison >= shards then fail "--poison must leave at least one shard";
+  let model =
+    resolve_cost_model ~fail:(fun msg -> fail "%s" msg) cost_model None
+  in
   let mk d =
     match (Dist.Store.active ()).Dist.Store.mkdir d with
     | Ok () -> ()
     | Error e -> fail "%s: %s" d (Dist.Store.error_message e)
   in
   let init d =
-    match Dist.Manifest.create ~k ~max_n ~shards with
+    match Dist.Manifest.create ~model ~k ~max_n ~shards () with
     | exception Invalid_argument msg -> fail "%s" msg
     | m -> (
         mk d;
@@ -971,11 +1456,23 @@ let shard_soak dir workers kill_rate chaos duration seed min_kills max_n
         | Error msg -> fail "%s" msg)
   in
   let m = init dir in
+  (* injected poison: pre-quarantine the first shards with no table
+     and no record behind them — exactly what a healable quarantine
+     looks like, so the drain's heal phase must repair them before the
+     merge can go strictly clean *)
+  for id = 0 to poison - 1 do
+    match
+      Dist.Manifest.quarantine ~dir ~owner:"soak-poison" id
+        "injected: soak poison (healable)"
+    with
+    | Ok () -> ()
+    | Error msg -> fail "%s" msg
+  done;
   let logs = Filename.concat dir "soak-logs" in
   mk logs;
   let exe = Sys.executable_name in
   let spawned = ref 0 in
-  let spawn () =
+  let spawn role =
     let i = !spawned in
     incr spawned;
     let spec = Printf.sprintf "%s:%d" chaos (seed + i) in
@@ -983,8 +1480,13 @@ let shard_soak dir workers kill_rate chaos duration seed min_kills max_n
     let fd = Unix.openfile log [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
     let env = Array.append (Unix.environment ()) [| "EFGAME_CHAOS=" ^ spec |] in
     let argv =
-      [| exe; "shard"; "work"; dir; "--ttl"; Printf.sprintf "%g" ttl;
-         "--heartbeat-every"; "0.5"; "-q" |]
+      Array.of_list
+        ([ exe; "shard"; "work"; dir; "--ttl"; Printf.sprintf "%g" ttl;
+           "--heartbeat-every"; "0.5"; "-q" ]
+        @
+        match role with
+        | `Straggler -> [ "--throttle"; "3" ]
+        | `Normal -> [ "--speculate" ])
     in
     let pid = Unix.create_process_env exe argv env Unix.stdin fd fd in
     Unix.close fd;
@@ -995,7 +1497,7 @@ let shard_soak dir workers kill_rate chaos duration seed min_kills max_n
   let reap () =
     fleet :=
       List.filter
-        (fun pid ->
+        (fun (pid, _) ->
           match Unix.waitpid [ Unix.WNOHANG ] pid with
           | 0, _ -> true
           | _ -> false
@@ -1006,9 +1508,17 @@ let shard_soak dir workers kill_rate chaos duration seed min_kills max_n
     let c = Dist.Manifest.counts ~dir ~ttl m in
     c.Dist.Manifest.pending + c.Dist.Manifest.leased > 0
   in
+  (* killed workers are replaced in kind: the contracted straggler
+     strength is maintained just like the normal strength, so the
+     storm cannot accidentally cure the fleet of its stragglers *)
   let refill () =
-    while List.length !fleet < workers do
-      fleet := spawn () :: !fleet;
+    let count role = List.length (List.filter (fun (_, r) -> r = role) !fleet) in
+    while count `Normal < workers do
+      fleet := (spawn `Normal, `Normal) :: !fleet;
+      incr respawns
+    done;
+    while count `Straggler < stragglers do
+      fleet := (spawn `Straggler, `Straggler) :: !fleet;
       incr respawns
     done
   in
@@ -1018,13 +1528,22 @@ let shard_soak dir workers kill_rate chaos duration seed min_kills max_n
       incr kills
     with Unix.Unix_error _ -> ()
   in
-  fleet := List.init workers (fun _ -> spawn ());
+  (* stragglers launch first, with a head start: each must actually be
+     holding a shard (crawling through it) by the time the normal
+     workers arrive, or the run degenerates into an ordinary soak and
+     proves nothing about speculation *)
+  fleet := List.init stragglers (fun _ -> (spawn `Straggler, `Straggler));
+  if stragglers > 0 then Unix.sleepf 0.75;
+  fleet :=
+    List.init workers (fun _ -> (spawn `Normal, `Normal)) @ !fleet;
   respawns := 0;
   Obs.Log.info ~tag:"soak"
-    "%d worker(s) under %s chaos on %s (%d shards, %d pairs); killing at \
-     %.2f/s for %.1fs" workers chaos dir
+    "%d worker(s) (+%d straggler(s)) under %s chaos on %s (%d shards, %d \
+     pairs, %d poisoned, %s windows); killing at %.2f/s for %.1fs" workers
+    stragglers chaos dir
     (Array.length m.Dist.Manifest.shards)
-    m.Dist.Manifest.total kill_rate duration;
+    m.Dist.Manifest.total poison (Dist.Cost.to_string model) kill_rate
+    duration;
   let tick_s = 0.1 in
   let kill_stream =
     Rt.Fault.stream ~name:"soak.kill" ~seed
@@ -1037,10 +1556,16 @@ let shard_soak dir workers kill_rate chaos duration seed min_kills max_n
     reap ();
     refill ();
     if Rt.Fault.trips kill_stream then begin
-      let n = List.length !fleet in
+      (* the storm targets only the normal workers: a straggler that
+         dies is just an ordinary stale-lease reclaim (the torture test
+         already proves those), while a straggler that survives forces
+         the fleet to rescue its held shard by speculation — which is
+         what --stragglers exists to prove *)
+      let victims = List.filter (fun (_, r) -> r = `Normal) !fleet in
+      let n = List.length victims in
       if n > 0 then begin
         let idx = min (n - 1) (int_of_float (Rt.Fault.uniform pick *. float_of_int n)) in
-        kill_one (List.nth !fleet idx)
+        kill_one (fst (List.nth victims idx))
       end
     end;
     Unix.sleepf tick_s
@@ -1049,37 +1574,54 @@ let shard_soak dir workers kill_rate chaos duration seed min_kills max_n
      never actually lost a worker mid-claim proves nothing *)
   while !kills < min_kills && work_remaining () do
     reap ();
-    (match !fleet with
+    (match List.filter (fun (_, r) -> r = `Normal) !fleet with
     | [] -> refill ()
-    | pid :: _ -> kill_one pid);
+    | (pid, _) :: _ -> kill_one pid);
     Unix.sleepf 0.2
   done;
-  (* drain: let the (respawning) fleet finish every shard *)
-  let drain_deadline = Unix.gettimeofday () +. Float.max 120. (duration *. 10.) in
-  let drained = ref true in
-  let rec drain () =
-    reap ();
-    if work_remaining () then
-      if Unix.gettimeofday () > drain_deadline then drained := false
-      else begin
-        if !fleet = [] then begin
-          fleet := [ spawn () ];
-          incr respawns
-        end;
-        Unix.sleepf 0.25;
-        drain ()
-      end
+  (* drain: hand the directory to the convergence controller. The
+     storm's normal workers are retired (the controller spawns its own
+     speculating replacements), but live stragglers are kept — and
+     topped back up — so the controller must actually rescue their
+     held shards through tail speculation, and its heal phase must
+     repair whatever the storm or --poison quarantined. Zero manual
+     steps from here to a terminal directory. *)
+  reap ();
+  let keep, retire =
+    List.partition (fun (_, role) -> role = `Straggler) !fleet
   in
-  drain ();
+  List.iter
+    (fun (pid, _) -> try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ())
+    retire;
+  List.iter
+    (fun (pid, _) ->
+      try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+    retire;
+  let straggler_pids = ref (List.map fst keep) in
+  while List.length !straggler_pids < stragglers && work_remaining () do
+    straggler_pids := spawn `Straggler :: !straggler_pids;
+    incr respawns
+  done;
+  fleet := [];
+  let cv =
+    converge ~dir ~ttl ~workers ~rounds:3 ~heal_budget:None ~heal_jobs:1
+      ~phase_deadline_s:(Some (Float.max 120. (duration *. 10.)))
+      ~spawn:(fun () -> spawn `Normal)
+      m
+  in
   List.iter
     (fun pid -> try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ())
-    !fleet;
+    !straggler_pids;
   List.iter
-    (fun pid -> try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
-    !fleet;
+    (fun pid ->
+      try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+    !straggler_pids;
   let wall_s = Unix.gettimeofday () -. t0 in
-  if not !drained then begin
-    Obs.Log.err ~tag:"soak" "drain timed out with work remaining";
+  if not cv.cv_converged then begin
+    Obs.Log.err ~tag:"soak"
+      "fleet failed to converge: %d shard(s) still poisoned after %d \
+       round(s)"
+      cv.cv_poisoned cv.cv_rounds;
     exit 1
   end;
   (* reference: the same manifest scanned undisturbed, one process, no
@@ -1093,15 +1635,22 @@ let shard_soak dir workers kill_rate chaos duration seed min_kills max_n
   (match Dist.Worker.run ref_cfg with
   | Ok _ -> ()
   | Error msg -> fail "reference scan: %s" msg);
-  let merge d out =
-    match Dist.Merge.merge ~dir:d ~out () with
-    | Ok t -> t
-    | Error msg -> fail "merge %s: %s" d msg
-  in
   let out = Filename.concat dir "soak-merged.tbl" in
   let ref_out = Filename.concat ref_dir "ref-merged.tbl" in
-  let t_chaos = merge dir out in
-  let t_ref = merge ref_dir ref_out in
+  (* the chaos directory merges through the healing loop (merge-time
+     quarantines repaired unattended, like shard run); the reference
+     was never disturbed and merges plainly *)
+  let t_chaos, merge_healed =
+    match merge_until_clean ~dir ~out ~rounds:3 ~budget:None ~jobs:1 () with
+    | Ok t, healed -> (t, healed)
+    | Error msg, _ -> fail "merge %s: %s" dir msg
+  in
+  let cv = { cv with cv_healed = cv.cv_healed + merge_healed } in
+  let t_ref =
+    match Dist.Merge.merge ~dir:ref_dir ~out:ref_out () with
+    | Ok t -> t
+    | Error msg -> fail "merge %s: %s" ref_dir msg
+  in
   let problems = ref [] in
   let problem fmt =
     Format.kasprintf (fun msg -> problems := msg :: !problems) fmt
@@ -1109,6 +1658,36 @@ let shard_soak dir workers kill_rate chaos duration seed min_kills max_n
   if !kills < min_kills then
     problem "only %d kill(s) landed (want >= %d); enlarge --max or --duration"
       !kills min_kills;
+  if cv.cv_healed < poison then
+    problem "only %d of %d injected quarantine(s) healed" cv.cv_healed poison;
+  (* a speculative win leaves a record naming its .spec.tbl, and the
+     winning worker's heartbeat counts it; with stragglers in the
+     fleet, at least one rescue must show on one of the two. (The
+     record marker alone is not enough: a later heal legitimately
+     re-certifies under the plain path, and under heavy chaos a
+     stale-looking lease can be reclaimed before any speculator wins —
+     the heartbeats survive both.) *)
+  let spec_records =
+    Array.fold_left
+      (fun acc s ->
+        match Dist.Record.read ~dir s.Dist.Manifest.id with
+        | Ok { Dist.Record.table = Some _; _ } -> acc + 1
+        | _ -> acc)
+      0 m.Dist.Manifest.shards
+  in
+  let spec_wins, speculated =
+    let obs, _warnings = Dist.Heartbeat.list ~dir in
+    List.fold_left
+      (fun (w, s) (o : Dist.Heartbeat.observed) ->
+        ( w + o.Dist.Heartbeat.ob_view.Dist.Heartbeat.v_spec_wins,
+          s + o.Dist.Heartbeat.ob_view.Dist.Heartbeat.v_speculated ))
+      (0, 0) obs
+  in
+  if stragglers > 0 && spec_records = 0 && spec_wins = 0 then
+    problem
+      "no speculative rescue despite %d straggler(s) (%d speculation(s) \
+       started, 0 won)"
+      stragglers speculated;
   (* window conservation: every shard merged, exactly once, strictly *)
   let n_shards = Array.length m.Dist.Manifest.shards in
   if t_chaos.Dist.Merge.merged <> n_shards then
@@ -1148,11 +1727,16 @@ let shard_soak dir workers kill_rate chaos duration seed min_kills max_n
         end;
         a = b
   in
+  respawns := !respawns + cv.cv_respawns;
   Format.printf
     "soak: %d spawn(s) (%d respawns), %d SIGKILL(s), %d shard(s) merged, \
      %d entries, %.1fs@."
     !spawned !respawns !kills t_chaos.Dist.Merge.merged
     t_chaos.Dist.Merge.entries wall_s;
+  Format.printf
+    "soak: %d round(s) to converge, %d healed (of %d poisoned), %d \
+     speculative record(s), %d speculative win(s) of %d started@."
+    cv.cv_rounds cv.cv_healed poison spec_records spec_wins speculated;
   Format.printf "merged table %s the undisturbed single-process scan@."
     (if identical then "is verdict-identical to" else "DIFFERS from");
   List.iter (fun msg -> Format.printf "FAIL: %s@." msg) (List.rev !problems);
@@ -1174,6 +1758,18 @@ let shard_soak dir workers kill_rate chaos duration seed min_kills max_n
               J.field_int w "entries" t_chaos.Dist.Merge.entries;
               J.field_float ~prec:2 w "wall_s" wall_s;
               J.field_bool w "identical" identical;
+              J.field_string w "model" (Dist.Cost.to_string model);
+              J.field_int w "stragglers" stragglers;
+              J.field_int w "poisoned" poison;
+              J.field_int w "healed" cv.cv_healed;
+              J.field_int w "rounds" cv.cv_rounds;
+              J.field_bool w "converged" cv.cv_converged;
+              J.field_int w "spec_records" spec_records;
+              J.field_int w "spec_wins" spec_wins;
+              J.field_int w "speculated" speculated;
+              (match drain_tail_s ~dir m with
+              | Some t -> J.field_float ~prec:2 w "drain_tail_s" t
+              | None -> J.field_null w "drain_tail_s");
               J.field w "problems" (fun w ->
                   J.arr w (fun w ->
                       List.iter (J.string w) (List.rev !problems)))))
@@ -1444,6 +2040,16 @@ let chaos_arg =
              variable is the equivalent ambient switch. Robustness testing \
              only.")
 
+let cost_model_arg =
+  Arg.(value & opt string "uniform" & info [ "cost-model" ] ~docv:"MODEL"
+       ~doc:"How shard windows are weighted when the triangle is cut: \
+             $(b,uniform) (equal pair counts, the legacy cut), \
+             $(b,power:ALPHA) (pair (p, q) priced at (q+1)^ALPHA, so \
+             deep-q windows shrink and the fleet's drain tail with it; \
+             $(b,power) alone uses the static default exponent), or \
+             $(b,auto) (fit ALPHA from a prior run's completion-record \
+             wall times via --calibrate, static fallback otherwise).")
+
 let shard_init_cmd =
   let k =
     Arg.(value & opt int 3 & info [ "k"; "rounds" ] ~docv:"K" ~doc:"Rounds.")
@@ -1454,15 +2060,24 @@ let shard_init_cmd =
   in
   let shards =
     Arg.(value & opt int 8 & info [ "shards" ] ~docv:"S"
-         ~doc:"Number of near-equal triangle windows to cut.")
+         ~doc:"Number of near-equal-cost triangle windows to cut (see \
+               --cost-model).")
+  in
+  let calibrate =
+    Arg.(value & opt (some string) None & info [ "calibrate" ] ~docv:"DIR"
+         ~doc:"With --cost-model auto: fit the cost exponent from the \
+               completion records of the prior scan directory $(docv) \
+               (their wall_ns fields), falling back to the static default \
+               when fewer than two timed windows exist.")
   in
   Cmd.v
     (Cmd.info "init"
        ~doc:"Initialize a scan directory: cut the (p, q) triangle into \
-             shard windows and write the immutable, checksummed manifest. \
-             Refuses to re-initialize an existing directory.")
-    Term.(const shard_init $ shard_dir_arg $ k $ max_n $ shards $ quiet_arg
-          $ verbose_arg)
+             shard windows — equal in pair count or in modeled cost (see \
+             --cost-model) — and write the immutable, checksummed \
+             manifest. Refuses to re-initialize an existing directory.")
+    Term.(const shard_init $ shard_dir_arg $ k $ max_n $ shards
+          $ cost_model_arg $ calibrate $ quiet_arg $ verbose_arg)
 
 let shard_work_cmd =
   let budget =
@@ -1488,6 +2103,21 @@ let shard_work_cmd =
                publisher entirely. Distinct from --ttl, which governs the \
                per-shard lease files.")
   in
+  let speculate =
+    Arg.(value & flag & info [ "speculate" ]
+         ~doc:"When idle (nothing claimable, work still leased), \
+               speculatively re-execute straggler-held shards under their \
+               secondary lease and race the holder to the completion \
+               record. First record wins; the loser's duplicate is \
+               discarded by content hash. Sound — double execution of a \
+               deterministic scan under a monotone merge is idempotent.")
+  in
+  let throttle =
+    Arg.(value & opt (some float) None & info [ "throttle" ] ~docv:"R"
+         ~doc:"Cap this worker's scan rate at $(docv) pairs/s — a chaos \
+               hook for manufacturing stragglers deterministically in \
+               soaks. Never set this in a real deployment.")
+  in
   Cmd.v
     (Cmd.info "work"
        ~doc:"Claim and scan shards until every shard in DIR is done or \
@@ -1500,8 +2130,8 @@ let shard_work_cmd =
              quarantined a shard.")
     Term.(const shard_work $ shard_dir_arg $ ttl_arg $ jobs_arg $ budget
           $ attempts $ max_requeues $ deadline_arg $ faults_arg $ chaos_arg
-          $ json_arg $ metrics_arg $ heartbeat $ flight_arg $ quiet_arg
-          $ verbose_arg)
+          $ speculate $ throttle $ json_arg $ metrics_arg $ heartbeat
+          $ flight_arg $ quiet_arg $ verbose_arg)
 
 let shard_status_cmd =
   Cmd.v
@@ -1589,6 +2219,69 @@ let shard_audit_cmd =
     Term.(const shard_audit $ shard_dir_arg $ table $ sample $ seed $ budget
           $ salvage_arg $ quiet_arg $ verbose_arg)
 
+let shard_heal_cmd =
+  let budget =
+    Arg.(value & opt (some int) None & info [ "budget" ] ~docv:"N"
+         ~doc:"Base per-pair node budget for the re-solves, doubled at \
+               every split level (solver default when omitted).")
+  in
+  Cmd.v
+    (Cmd.info "heal"
+       ~doc:"Automatic quarantine repair: re-solve every quarantined \
+             shard's window from scratch with escalated budgets, clearing \
+             the quarantine and re-certifying the table on success; a \
+             window that still fails is split and its halves retried (one \
+             budget doubling per level) until only irreducible single-pair \
+             sub-windows remain, and the quarantine reason is narrowed to \
+             exactly them. Idempotent and crash-safe: the quarantine is \
+             lifted only after the fresh record lands. Exits 0 when every \
+             quarantine cleared, 1 when irreducible windows remain, 2 on \
+             heal-infrastructure failure.")
+    Term.(const shard_heal $ shard_dir_arg $ budget $ jobs_arg
+          $ deadline_arg $ json_arg $ quiet_arg $ verbose_arg)
+
+let shard_run_cmd =
+  let out =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"OUT"
+         ~doc:"The merged frontier table to write.")
+  in
+  let workers =
+    Arg.(value & opt int 3 & info [ "workers" ] ~docv:"N"
+         ~doc:"Worker processes to keep alive during each work phase \
+               (dead ones are respawned).")
+  in
+  let rounds =
+    Arg.(value & opt int 3 & info [ "rounds" ] ~docv:"N"
+         ~doc:"Maximum work-then-heal rounds before giving up; the \
+               controller also stops early after a round that makes no \
+               progress.")
+  in
+  let budget =
+    Arg.(value & opt (some int) None & info [ "budget" ] ~docv:"N"
+         ~doc:"Per-pair node budget for the workers, and the heal phase's \
+               base budget (solver default when omitted).")
+  in
+  let phase_deadline =
+    Arg.(value & opt (some float) None & info [ "phase-deadline" ] ~docv:"S"
+         ~doc:"Wall-clock budget for each work and heal phase: an expired \
+               phase winds down cleanly and the controller moves on \
+               (unbounded when omitted).")
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"The one-command convergence controller: drive an initialized \
+             DIR from claim to stamped proven bound with zero manual \
+             steps. Alternates a work phase — an elastic fleet of \
+             speculating workers, respawned on death, until nothing is \
+             pending or leased — with a heal phase over whatever got \
+             quarantined, then merges every certified shard into OUT. \
+             Exits 0 when the fleet converged and the proven bound was \
+             stamped, 1 on partial convergence (irreducible poison or an \
+             incomplete merge), 2 on usage or infrastructure failure.")
+    Term.(const shard_run $ shard_dir_arg $ out $ workers $ ttl_arg $ rounds
+          $ budget $ jobs_arg $ phase_deadline $ json_arg $ quiet_arg
+          $ verbose_arg)
+
 let shard_soak_cmd =
   let workers =
     Arg.(value & opt int 3 & info [ "workers" ] ~docv:"N"
@@ -1635,19 +2328,35 @@ let shard_soak_cmd =
          ~doc:"Lease TTL for the soak fleet (short, so killed workers' \
                shards reclaim quickly).")
   in
+  let stragglers =
+    Arg.(value & opt int 0 & info [ "stragglers" ] ~docv:"N"
+         ~doc:"Keep $(docv) additional throttled workers (a few pairs/s) \
+               in the fleet, maintained by role through the storm and the \
+               drain — the converging fleet must rescue their held shards \
+               by speculative re-execution, and the soak fails unless at \
+               least one speculative record landed.")
+  in
+  let poison =
+    Arg.(value & opt int 0 & info [ "poison" ] ~docv:"P"
+         ~doc:"Pre-quarantine the first $(docv) shards (no table, no \
+               record — healable damage); the drain's heal phase must \
+               repair every one before the merge can go strictly clean.")
+  in
   Cmd.v
     (Cmd.info "soak"
        ~doc:"Chaos soak for the whole shard protocol: spawn an elastic \
-             fleet of real worker processes under a hostile store profile, \
-             SIGKILL them on a seeded schedule while respawning \
-             replacements, drain, merge — then demand the merged table is \
-             verdict-identical to an undisturbed single-process scan of \
-             the same manifest, every window exactly once. Exits 0 on a \
-             clean soak, 1 on any lost/duplicated window, table \
-             difference, or an underpowered storm, 2 on usage errors.")
+             fleet of real worker processes under a hostile store profile \
+             (optionally with throttled stragglers and pre-poisoned \
+             shards), SIGKILL them on a seeded schedule while respawning \
+             replacements, then converge unattended — speculation, heal, \
+             merge — and demand the merged table is verdict-identical to \
+             an undisturbed single-process scan of the same manifest, \
+             every window exactly once. Exits 0 on a clean soak, 1 on any \
+             lost/duplicated window, table difference, unhealed \
+             quarantine, or an underpowered storm, 2 on usage errors.")
     Term.(const shard_soak $ shard_dir_arg $ workers $ kill_rate $ chaos
-          $ duration $ seed $ min_kills $ max_n $ shards $ ttl $ json_arg
-          $ quiet_arg $ verbose_arg)
+          $ duration $ seed $ min_kills $ max_n $ shards $ ttl $ stragglers
+          $ poison $ cost_model_arg $ json_arg $ quiet_arg $ verbose_arg)
 
 let shard_cmd =
   Cmd.group
@@ -1657,7 +2366,8 @@ let shard_cmd =
              completion records, quarantine, merge, audit, and chaos \
              soak.")
     [ shard_init_cmd; shard_work_cmd; shard_status_cmd; shard_top_cmd;
-      shard_merge_cmd; shard_audit_cmd; shard_soak_cmd ]
+      shard_merge_cmd; shard_audit_cmd; shard_heal_cmd; shard_run_cmd;
+      shard_soak_cmd ]
 
 let info =
   Cmd.info "efgame_cli"

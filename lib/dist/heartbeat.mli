@@ -34,6 +34,10 @@ type stats = {
   retries : int Atomic.t;
   current_shard : int Atomic.t;
   last_checkpoint_s : int Atomic.t;
+  cost_done : int Atomic.t;
+      (** model-cost units completed, truncated (0 under Uniform) *)
+  speculated : int Atomic.t;  (** speculative re-executions started *)
+  spec_wins : int Atomic.t;  (** speculative records that landed first *)
 }
 
 val make_stats : owner:string -> stats
@@ -60,6 +64,9 @@ type view = {
   v_retries : int;
   v_current_shard : int option;
   v_last_checkpoint : float option;
+  v_cost_done : int;  (** additive field — readers default it to 0 *)
+  v_speculated : int;
+  v_spec_wins : int;
 }
 
 val view_of_stats : ?now:float -> seq:int -> stats -> view

@@ -8,27 +8,37 @@
 
    Format (plain text, line-oriented, dependency-free):
 
-     efgame-shard-manifest 1
+     efgame-shard-manifest 2
      k 3
      max_n 96
      total 4656
+     model power:2
      shard 0 0 582
      shard 1 582 1164
      ...
      checksum <fnv1a64 of every preceding byte, hex>
 
-   The checksum makes a torn or hand-edited manifest detectable; since
-   the file is written once (tmp + rename) and never rewritten, that is
-   the only integrity risk. *)
+   Version 2 added the [model] line (the cost model the windows were
+   tiled by — see {!Cost}); version 1 manifests, which are always
+   equal-pair cuts, still load with [model = Uniform]. The checksum
+   makes a torn or hand-edited manifest detectable; since the file is
+   written once (tmp + rename) and never rewritten, that is the only
+   integrity risk. *)
 
 type shard = { id : int; lo : int; hi : int }
 
-type t = { k : int; max_n : int; total : int; shards : shard array }
+type t = {
+  k : int;
+  max_n : int;
+  total : int;
+  model : Cost.model;
+  shards : shard array;
+}
 
 (* Per-shard lifecycle, derived from the filesystem (see {!state}). *)
 type state = Pending | Leased | Done | Quarantined
 
-let version = 1
+let version = 2
 let file_name = "manifest"
 
 let path dir = Filename.concat dir file_name
@@ -40,6 +50,15 @@ let done_path dir id = shard_base dir id ^ ".done"
 let retries_path dir id = shard_base dir id ^ ".retries"
 let quarantine_path dir id = shard_base dir id ^ ".quarantine"
 
+(* Speculative re-execution (see {!Worker}) runs under a secondary
+   lease and writes its table to a distinct file, so a speculator and
+   the primary holder never race on the same bytes — only on the
+   completion record, whose exclusive create is the single winner
+   point. *)
+let spec_lease_path dir id = shard_base dir id ^ ".spec.lease"
+let spec_table_path dir id = shard_base dir id ^ ".spec.tbl"
+let spec_table_name id = Printf.sprintf "shard-%04d.spec.tbl" id
+
 let fnv1a64 s =
   let prime = 0x100000001b3L in
   let h = ref 0xcbf29ce484222325L in
@@ -49,18 +68,14 @@ let fnv1a64 s =
     s;
   !h
 
-let create ~k ~max_n ~shards =
+let create ?(model = Cost.Uniform) ~k ~max_n ~shards () =
   if k < 0 then invalid_arg "Manifest.create: negative k";
   if max_n < 1 then invalid_arg "Manifest.create: max_n < 1";
   if shards < 1 then invalid_arg "Manifest.create: shards < 1";
   let total = max_n * (max_n + 1) / 2 in
-  let shards = min shards total in
-  let size = (total + shards - 1) / shards in
-  let arr =
-    Array.init shards (fun i ->
-        { id = i; lo = min total (i * size); hi = min total ((i + 1) * size) })
-  in
-  { k; max_n; total; shards = arr }
+  let windows = Cost.tile ~model ~max_n ~shards in
+  let arr = Array.mapi (fun i (lo, hi) -> { id = i; lo; hi }) windows in
+  { k; max_n; total; model; shards = arr }
 
 let body m =
   let b = Buffer.create 256 in
@@ -68,6 +83,7 @@ let body m =
   Buffer.add_string b (Printf.sprintf "k %d\n" m.k);
   Buffer.add_string b (Printf.sprintf "max_n %d\n" m.max_n);
   Buffer.add_string b (Printf.sprintf "total %d\n" m.total);
+  Buffer.add_string b (Printf.sprintf "model %s\n" (Cost.to_string m.model));
   Array.iter
     (fun s -> Buffer.add_string b (Printf.sprintf "shard %d %d %d\n" s.id s.lo s.hi))
     m.shards;
@@ -118,16 +134,31 @@ let load ~dir =
             in
             let shards = ref [] in
             let k = ref (-1) and max_n = ref (-1) and total = ref (-1) in
+            let ver = ref (-1) in
+            let model = ref Cost.Uniform in
             let bad = ref None in
             List.iteri
               (fun i line ->
                 match (i, String.split_on_char ' ' line) with
-                | 0, [ "efgame-shard-manifest"; v ] ->
-                    if int_of_string_opt v <> Some version then
-                      bad := Some (Printf.sprintf "unsupported manifest version %s" v)
+                | 0, [ "efgame-shard-manifest"; v ] -> (
+                    (* v1 manifests (equal-pair cuts, no model line)
+                       still load; anything newer than us does not *)
+                    match int_of_string_opt v with
+                    | Some n when n >= 1 && n <= version -> ver := n
+                    | _ ->
+                        bad :=
+                          Some
+                            (Printf.sprintf "unsupported manifest version %s" v))
                 | _, [ "k"; v ] -> k := int_of_string v
                 | _, [ "max_n"; v ] -> max_n := int_of_string v
                 | _, [ "total"; v ] -> total := int_of_string v
+                | _, [ "model"; v ] -> (
+                    if !ver < 2 then
+                      bad := Some "model line in a version 1 manifest"
+                    else
+                      match Cost.of_string v with
+                      | Ok m -> model := m
+                      | Error msg -> bad := Some msg)
                 | _, [ "shard"; id; lo; hi ] ->
                     shards :=
                       { id = int_of_string id;
@@ -151,7 +182,15 @@ let load ~dir =
                             && s.hi <= !total)
                           shards)
                 then Error (file ^ ": inconsistent manifest fields")
-                else Ok { k = !k; max_n = !max_n; total = !total; shards }))
+                else
+                  Ok
+                    {
+                      k = !k;
+                      max_n = !max_n;
+                      total = !total;
+                      model = !model;
+                      shards;
+                    }))
 
 (* Lease freshness: heartbeats bump the lease file's mtime, so a lease
    older than the TTL belongs to a worker that died or wedged. Ages are

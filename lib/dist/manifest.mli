@@ -13,7 +13,13 @@ type shard = { id : int; lo : int; hi : int }
 (** A half-open window [lo, hi) of the linearized (p, q) triangle
     (see {!Efgame.Witness.index_of_pair}). *)
 
-type t = { k : int; max_n : int; total : int; shards : shard array }
+type t = {
+  k : int;
+  max_n : int;
+  total : int;
+  model : Cost.model;  (** the cost model the windows were tiled by *)
+  shards : shard array;
+}
 
 (** Shard lifecycle, derived from the filesystem by {!state}:
     [Quarantined] if a quarantine record exists (terminal), else [Done]
@@ -22,10 +28,12 @@ type t = { k : int; max_n : int; total : int; shards : shard array }
     {e stale} lease (mtime past the TTL), claimable via reclaim. *)
 type state = Pending | Leased | Done | Quarantined
 
-val create : k:int -> max_n:int -> shards:int -> t
-(** Cut the triangle for [max_n] into [shards] near-equal windows
-    (capped at one pair per shard). [Invalid_argument] on nonsensical
-    parameters. *)
+val create :
+  ?model:Cost.model -> k:int -> max_n:int -> shards:int -> unit -> t
+(** Cut the triangle for [max_n] into [shards] nonempty windows of
+    near-equal {e model cost} (equal pair counts under the default
+    [Uniform]; see {!Cost.tile}), capped at one pair per shard.
+    [Invalid_argument] on nonsensical parameters. *)
 
 val save : t -> dir:string -> (unit, string) result
 (** Write [dir]/manifest (tmp + fsync + atomic rename). Refuses to
@@ -58,6 +66,20 @@ val lease_path : string -> int -> string
 val done_path : string -> int -> string
 val retries_path : string -> int -> string
 val quarantine_path : string -> int -> string
+
+val spec_lease_path : string -> int -> string
+(** The {e secondary} lease a speculating worker claims before
+    re-executing a straggler-held shard (see {!Worker}): at most one
+    speculator per shard, never contending with the primary lease. *)
+
+val spec_table_path : string -> int -> string
+(** Where a speculator writes its table — distinct from
+    {!table_path}, so primary and speculator never race on table
+    bytes; the completion record names which file it certifies. *)
+
+val spec_table_name : int -> string
+(** Basename of {!spec_table_path}, as stored in a record's [table]
+    field. *)
 
 (** {1 Cross-worker retry counter and quarantine records} *)
 

@@ -37,6 +37,11 @@ type t = {
 val complete : t -> bool
 (** No shard Missing or Quarantined. *)
 
+val blend : into:Efgame.Cache.t -> Efgame.Cache.t -> unit
+(** Fold every exact verdict of the second cache into [into] — the
+    monotone entry-by-entry merge used for salvaged subsets here and
+    for sub-window caches in {!Heal}. *)
+
 val merge :
   ?salvage_threshold:float ->
   ?fsync:bool ->

@@ -1,9 +1,20 @@
-(* Shard completion records: the small text file a worker renames into
-   place after its shard table is written and validated. The record is
-   what promotes a shard to Done, and it carries the FNV of the table
-   file it certifies, so the merge can detect a table that was replaced
-   or damaged after certification (the record and the table are two
-   files; the checksum ties them together). *)
+(* Shard completion records: the small text file a worker publishes
+   after its shard table is written and validated. The record is what
+   promotes a shard to Done, and it carries the FNV of the table file
+   it certifies, so the merge can detect a table that was replaced or
+   damaged after certification (the record and the table are two files;
+   the checksum ties them together).
+
+   With speculative re-execution (see {!Worker}) a shard can have two
+   racing certifiers — the primary lease holder and a speculator — so
+   the record write is an {e exclusive create}: of N racers exactly one
+   record lands, and that record names (in its [table] field) which
+   table file it certifies, so a record can never certify bytes its
+   loser wrote. The loser reads the winner's record back and discards
+   its own output — by content hash the two tables are identical anyway
+   (deterministic scans), which the loser verifies and logs. [replace]
+   is for {!Heal}, which re-certifies a repaired shard under a
+   quarantine it is about to clear; nothing else overwrites a record. *)
 
 type outcome =
   | Exhausted  (** every pair in the window refuted *)
@@ -15,12 +26,21 @@ type t = {
   outcome : outcome;
   entries : int;  (** entries in the certified table *)
   table_fnv : int64;  (** FNV-1a64 of the table file's bytes *)
+  table : string option;
+      (** basename of the certified table when it is not the shard's
+          default [shard-NNNN.tbl] (a speculator's [.spec.tbl]) *)
+  wall_ns : int64 option;  (** wall time the certifying scan took *)
 }
 
 let file_fnv path =
   match (Store.active ()).Store.read path with
   | Ok data -> Ok (Manifest.fnv1a64 data)
   | Error e -> Error (path ^ ": " ^ Store.error_message e)
+
+let table_file ~dir r =
+  match r.table with
+  | None -> Manifest.table_path dir r.shard
+  | Some name -> Filename.concat dir name
 
 let to_string r =
   let outcome =
@@ -29,16 +49,14 @@ let to_string r =
     | Found (p, q) -> Printf.sprintf "found %d %d" p q
   in
   Printf.sprintf
-    "efgame-shard-done 1\nshard %d\nowner %s\noutcome %s\nentries %d\ntable_fnv %Lx\n"
+    "efgame-shard-done 1\nshard %d\nowner %s\noutcome %s\nentries %d\ntable_fnv %Lx\n%s%s"
     r.shard r.owner outcome r.entries r.table_fnv
-
-let write ~dir r =
-  match
-    (Store.active ()).Store.put_atomic (Manifest.done_path dir r.shard)
-      (to_string r)
-  with
-  | Ok () -> Ok ()
-  | Error e -> Error (Store.error_message e)
+    (match r.table with
+    | Some name -> Printf.sprintf "table %s\n" name
+    | None -> "")
+    (match r.wall_ns with
+    | Some ns -> Printf.sprintf "wall_ns %Ld\n" ns
+    | None -> "")
 
 let read ~dir id =
   let path = Manifest.done_path dir id in
@@ -74,8 +92,42 @@ let read ~dir id =
                 | _ -> None)
             | _ -> None
           in
-          match outcome with
-          | Some outcome ->
-              Ok { shard; owner; outcome; entries; table_fnv = fnv }
-          | None -> Error (path ^ ": malformed outcome"))
+          (* a table reference must stay inside the scan directory: a
+             bare basename, nothing path-like *)
+          let table_ok =
+            match get "table" with
+            | None -> true
+            | Some name ->
+                name <> "" && name <> ".." && name = Filename.basename name
+          in
+          match (outcome, table_ok) with
+          | Some outcome, true ->
+              Ok
+                {
+                  shard;
+                  owner;
+                  outcome;
+                  entries;
+                  table_fnv = fnv;
+                  table = get "table";
+                  wall_ns = Option.bind (get "wall_ns") Int64.of_string_opt;
+                }
+          | Some _, false -> Error (path ^ ": suspicious table reference")
+          | None, _ -> Error (path ^ ": malformed outcome"))
       | _ -> Error (path ^ ": malformed completion record"))
+
+let write ?(replace = false) ~dir r =
+  let st = Store.active () in
+  let path = Manifest.done_path dir r.shard in
+  if replace then
+    match st.Store.put_atomic path (to_string r) with
+    | Ok () -> `Written
+    | Error e -> `Error (Store.error_message e)
+  else
+    match st.Store.create_excl path (to_string r) with
+    | Ok () -> `Written
+    | Error Store.Exists ->
+        (* someone certified this shard first — hand the winner's record
+           back so the loser can dedup by content hash *)
+        `Lost (Result.to_option (read ~dir r.shard))
+    | Error e -> `Error (Store.error_message e)

@@ -22,7 +22,16 @@ type worker_row = {
       (** publisher clock minus store mtime, when the mtime is known *)
   skewed : bool;  (** [|skew_s| > skew_margin] — flagged, not stale *)
   rate : float;  (** pairs/s over the worker's uptime *)
+  cost_rate : float;  (** model-cost units/s (0 under Uniform) *)
   share : float;  (** of fleet pairs; 0 when the fleet is at 0 *)
+  straggler : bool;
+      (** fresh, holding a shard, and progressing at a rate below the
+          fleet's robust median by more than
+          [max(3 MAD-sigmas, 25% of median)] — needs at least three
+          fresh shard-holding workers, so a two-worker fleet where one
+          is simply slower is never flagged. Cost rates are compared
+          under a [Power] model (pair rates legitimately diverge when
+          windows are equal-cost), pair rates under [Uniform]. *)
 }
 
 type t = {
@@ -47,7 +56,17 @@ type t = {
   total_pairs : int;
   done_pairs : int;
   remaining_pairs : int;  (** windows still Pending or Leased *)
-  eta_s : float option;  (** [remaining_pairs / rate]; [None] at 0 *)
+  total_cost : float;  (** Σ model window costs over every shard *)
+  done_cost : float;
+  remaining_cost : float;
+  eta_s : float option;
+      (** remaining model cost over the fleet's cost rate when the
+          model prices work unevenly and workers report cost progress;
+          else [remaining_pairs / rate]; [None] when either is 0 *)
+  eta_basis : string;  (** ["cost"] or ["pairs"] *)
+  stragglers : int list;
+      (** shard ids currently held by straggling workers — the
+          speculation candidates, sorted and deduplicated *)
 }
 
 val default_stale_after : float
@@ -62,13 +81,19 @@ val aggregate :
   now:float ->
   ?stale_after:float ->
   ?skew_margin:float ->
+  ?model:Cost.model ->
   ?states:(Manifest.shard * Manifest.state) list ->
   Heartbeat.observed list ->
   t
+(** [model] (default [Uniform]) prices the outstanding windows for the
+    cost-based ETA and switches straggler detection to cost rates;
+    pass the manifest's model. *)
 
 val write_json : ?warnings:string list -> t -> Obs.Jsonw.t -> unit
-(** The [efgame-top/1] document: [fleet] (sums + rate + ETA), [shards],
-    per-worker rows, and the skip warnings. *)
+(** The [efgame-top/2] document: [fleet] (sums + rate + ETA + basis),
+    [shards] (counts, pair and cost totals, straggler ids), per-worker
+    rows (with [straggler] flags and speculation counters), and the
+    skip warnings. Every [efgame-top/1] field is carried unchanged. *)
 
 val render : ?warnings:string list -> t -> string
 (** Human-readable multi-line rendering for the watch loop. *)

@@ -54,7 +54,7 @@ let backdate path =
 
 let test_manifest_round_trip () =
   with_dir (fun dir ->
-      let m = Dist.Manifest.create ~k:3 ~max_n:96 ~shards:7 in
+      let m = Dist.Manifest.create ~k:3 ~max_n:96 ~shards:7 () in
       check_int "total" (96 * 97 / 2) m.Dist.Manifest.total;
       (match Dist.Manifest.save m ~dir with
       | Ok () -> ()
@@ -73,7 +73,7 @@ let test_manifest_covers_triangle () =
   (* shard windows tile [0, total) exactly: no gap, no overlap *)
   List.iter
     (fun (max_n, shards) ->
-      let m = Dist.Manifest.create ~k:2 ~max_n ~shards in
+      let m = Dist.Manifest.create ~k:2 ~max_n ~shards () in
       let covered = ref 0 in
       Array.iteri
         (fun i s ->
@@ -89,7 +89,7 @@ let test_manifest_covers_triangle () =
 
 let test_manifest_checksum_rejected () =
   with_dir (fun dir ->
-      let m = Dist.Manifest.create ~k:2 ~max_n:16 ~shards:4 in
+      let m = Dist.Manifest.create ~k:2 ~max_n:16 ~shards:4 () in
       (match Dist.Manifest.save m ~dir with
       | Ok () -> ()
       | Error msg -> Alcotest.failf "save: %s" msg);
@@ -118,7 +118,7 @@ let test_manifest_checksum_rejected () =
 
 let test_manifest_immutable () =
   with_dir (fun dir ->
-      let m = Dist.Manifest.create ~k:2 ~max_n:8 ~shards:2 in
+      let m = Dist.Manifest.create ~k:2 ~max_n:8 ~shards:2 () in
       (match Dist.Manifest.save m ~dir with
       | Ok () -> ()
       | Error msg -> Alcotest.failf "save: %s" msg);
@@ -416,7 +416,7 @@ let prop_no_double_claim =
 (* ----------------------------------------------- worker failure ladder *)
 
 let setup_scan ~k ~max_n ~shards dir =
-  let m = Dist.Manifest.create ~k ~max_n ~shards in
+  let m = Dist.Manifest.create ~k ~max_n ~shards () in
   match Dist.Manifest.save m ~dir with
   | Ok () -> m
   | Error msg -> Alcotest.failf "manifest save: %s" msg
@@ -536,15 +536,17 @@ let prop_chaos_pipeline_conserves_windows =
 let test_requeue_then_quarantine () =
   with_dir (fun dir ->
       ignore (setup_scan ~k:2 ~max_n:4 ~shards:1 dir);
-      (* make the completion record unwritable: a directory squats on
-         its tmp path (the worker runs in-process, so the pid in the
-         name is ours), so certification fails deterministically every
-         attempt while the derived shard state stays Pending *)
-      Unix.mkdir
-        (Printf.sprintf "%s.tmp.%d"
-           (Dist.Manifest.done_path dir 0)
-           (Unix.getpid ()))
-        0o755;
+      (* make the table unwritable: a directory squats on the table
+         path and a non-empty directory on its .bak slot, so the save's
+         bak rotation fails deterministically every attempt (rename
+         onto a non-empty directory) while the derived shard state
+         stays Pending — the record is never reached *)
+      let table = Dist.Manifest.table_path dir 0 in
+      Unix.mkdir table 0o755;
+      Unix.mkdir (table ^ ".bak") 0o755;
+      Out_channel.with_open_bin
+        (Filename.concat (table ^ ".bak") "squatter")
+        (fun oc -> Out_channel.output_string oc "x");
       let cfg =
         {
           (Dist.Worker.default_config ~dir) with

@@ -94,6 +94,9 @@ let view_of_ints ~owner ~now:v_now a : Dist.Heartbeat.view =
     v_retries = a.(10);
     v_current_shard = None;
     v_last_checkpoint = None;
+    v_cost_done = 0;
+    v_speculated = 0;
+    v_spec_wins = 0;
   }
 
 let prop_top_is_sum_of_workers =
